@@ -1,0 +1,233 @@
+package asha
+
+import (
+	"repro/internal/core"
+	"repro/internal/xrand"
+)
+
+// Algorithm configures a tuning method for the Tuner. Implementations
+// are the option structs below (ASHA, SHA, Hyperband, AsyncHyperband,
+// RandomSearch, PBT, BOHB, GPOptimizer).
+type Algorithm interface {
+	newScheduler(space *Space, rng *xrand.RNG) core.Scheduler
+}
+
+// ASHA is the paper's contribution (Algorithm 2): asynchronous
+// successive halving with promotion whenever a configuration enters the
+// top 1/Eta of its rung.
+type ASHA struct {
+	// Eta is the reduction factor (>= 2, paper default 4).
+	Eta int
+	// MinResource (r) and MaxResource (R) bound per-trial training.
+	MinResource float64
+	MaxResource float64
+	// EarlyStopRate is s: rung 0 trains to MinResource * Eta^s.
+	EarlyStopRate int
+	// InfiniteHorizon removes the R cap so promotions continue
+	// indefinitely (Section 3.3).
+	InfiniteHorizon bool
+}
+
+func (a ASHA) newScheduler(space *Space, rng *xrand.RNG) core.Scheduler {
+	return core.NewASHA(core.ASHAConfig{
+		Space:           space,
+		RNG:             rng,
+		Eta:             a.Eta,
+		MinResource:     a.MinResource,
+		MaxResource:     a.MaxResource,
+		EarlyStopRate:   a.EarlyStopRate,
+		InfiniteHorizon: a.InfiniteHorizon,
+	})
+}
+
+// SHA is synchronous successive halving (Algorithm 1), parallelized by
+// starting new brackets whenever workers would otherwise idle.
+type SHA struct {
+	// N is the number of configurations per bracket.
+	N             int
+	Eta           int
+	MinResource   float64
+	MaxResource   float64
+	EarlyStopRate int
+	// SingleBracket runs exactly one bracket and stops (no backfill).
+	SingleBracket bool
+}
+
+func (s SHA) newScheduler(space *Space, rng *xrand.RNG) core.Scheduler {
+	return core.NewSHA(core.SHAConfig{
+		Space:            space,
+		RNG:              rng,
+		N:                s.N,
+		Eta:              s.Eta,
+		MinResource:      s.MinResource,
+		MaxResource:      s.MaxResource,
+		EarlyStopRate:    s.EarlyStopRate,
+		AllowNewBrackets: !s.SingleBracket,
+	})
+}
+
+// Hyperband loops synchronous SHA brackets over early-stopping rates,
+// automating the choice of s (Li et al. 2018).
+type Hyperband struct {
+	Eta         int
+	MinResource float64
+	MaxResource float64
+	// MaxBracket bounds the largest early-stopping rate looped through;
+	// < 0 uses smax = floor(log_eta(R/r)).
+	MaxBracket int
+}
+
+func (h Hyperband) newScheduler(space *Space, rng *xrand.RNG) core.Scheduler {
+	mb := h.MaxBracket
+	if mb == 0 {
+		mb = -1
+	}
+	return core.NewHyperband(core.HyperbandConfig{
+		Space:       space,
+		RNG:         rng,
+		Eta:         h.Eta,
+		MinResource: h.MinResource,
+		MaxResource: h.MaxResource,
+		MaxBracket:  mb,
+	})
+}
+
+// AsyncHyperband loops ASHA brackets over early-stopping rates
+// (Section 3.2).
+type AsyncHyperband struct {
+	Eta         int
+	MinResource float64
+	MaxResource float64
+	MaxBracket  int // < 0 or 0 uses smax
+}
+
+func (h AsyncHyperband) newScheduler(space *Space, rng *xrand.RNG) core.Scheduler {
+	mb := h.MaxBracket
+	if mb == 0 {
+		mb = -1
+	}
+	return core.NewAsyncHyperband(core.AsyncHyperbandConfig{
+		Space:       space,
+		RNG:         rng,
+		Eta:         h.Eta,
+		MinResource: h.MinResource,
+		MaxResource: h.MaxResource,
+		MaxBracket:  mb,
+	})
+}
+
+// RandomSearch trains every sampled configuration to MaxResource.
+type RandomSearch struct {
+	MaxResource float64
+}
+
+func (r RandomSearch) newScheduler(space *Space, rng *xrand.RNG) core.Scheduler {
+	return core.NewRandomSearch(core.RandomSearchConfig{
+		Space:       space,
+		RNG:         rng,
+		MaxResource: r.MaxResource,
+	})
+}
+
+// PBT is Population Based Training (Jaderberg et al. 2017) with
+// truncation selection and perturb-or-resample exploration.
+type PBT struct {
+	Population  int
+	Step        float64
+	MaxResource float64
+	// TruncationFrac defaults to 0.2; ResampleProb to 0.25.
+	TruncationFrac float64
+	ResampleProb   float64
+	// FrozenParams are hyperparameters PBT must not perturb (e.g.
+	// architecture-changing ones).
+	FrozenParams []string
+	// MaxLag bounds training-progress drift between members (0 = off).
+	MaxLag float64
+}
+
+func (p PBT) newScheduler(space *Space, rng *xrand.RNG) core.Scheduler {
+	tf := p.TruncationFrac
+	if tf == 0 {
+		tf = 0.2
+	}
+	return core.NewPBT(core.PBTConfig{
+		Space:            space,
+		RNG:              rng,
+		Population:       p.Population,
+		Step:             p.Step,
+		MaxResource:      p.MaxResource,
+		TruncationFrac:   tf,
+		ResampleProb:     p.ResampleProb,
+		FrozenParams:     p.FrozenParams,
+		MaxLag:           p.MaxLag,
+		SpawnPopulations: true,
+	})
+}
+
+// BOHB combines synchronous SHA with TPE model-based sampling
+// (Falkner et al. 2018).
+type BOHB struct {
+	N             int
+	Eta           int
+	MinResource   float64
+	MaxResource   float64
+	EarlyStopRate int
+	// RandomFraction defaults to 1/3.
+	RandomFraction float64
+}
+
+func (b BOHB) newScheduler(space *Space, rng *xrand.RNG) core.Scheduler {
+	return core.NewBOHB(core.BOHBConfig{
+		Space:            space,
+		RNG:              rng,
+		N:                b.N,
+		Eta:              b.Eta,
+		MinResource:      b.MinResource,
+		MaxResource:      b.MaxResource,
+		EarlyStopRate:    b.EarlyStopRate,
+		RandomFraction:   b.RandomFraction,
+		AllowNewBrackets: true,
+	})
+}
+
+// GPOptimizer is Vizier-style batched Gaussian-process optimization
+// with expected improvement and constant liars; every configuration is
+// trained to MaxResource (no early stopping).
+type GPOptimizer struct {
+	MaxResource float64
+	// LossCap clips outliers before modelling (0 = off).
+	LossCap float64
+}
+
+func (g GPOptimizer) newScheduler(space *Space, rng *xrand.RNG) core.Scheduler {
+	return core.NewVizier(core.VizierConfig{
+		Space:       space,
+		RNG:         rng,
+		MaxResource: g.MaxResource,
+		LossCap:     g.LossCap,
+	})
+}
+
+// ModelASHA is ASHA with TPE model-based sampling of new configurations
+// (asynchronous BOHB) — the "combining ASHA with adaptive selection
+// methods" extension named in the paper's conclusion.
+type ModelASHA struct {
+	Eta           int
+	MinResource   float64
+	MaxResource   float64
+	EarlyStopRate int
+	// RandomFraction defaults to 1/3.
+	RandomFraction float64
+}
+
+func (m ModelASHA) newScheduler(space *Space, rng *xrand.RNG) core.Scheduler {
+	return core.NewModelASHA(core.ModelASHAConfig{
+		Space:          space,
+		RNG:            rng,
+		Eta:            m.Eta,
+		MinResource:    m.MinResource,
+		MaxResource:    m.MaxResource,
+		EarlyStopRate:  m.EarlyStopRate,
+		RandomFraction: m.RandomFraction,
+	})
+}

@@ -1,0 +1,278 @@
+package asha
+
+// This file is the benchmark harness required by the reproduction: one
+// testing.B benchmark per table and figure of the paper's evaluation
+// (see DESIGN.md for the per-experiment index), plus ablation benches
+// for the design choices DESIGN.md calls out and micro-benchmarks of
+// the scheduler hot path.
+//
+// Each figure bench runs its experiment end to end at a reduced but
+// meaningful scale (so the full suite completes in minutes) and prints
+// the regenerated rows/series once. Full paper-scale runs:
+//
+//	go run ./cmd/ashaexp -exp fig5        (etc.)
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"os"
+	"sync"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/workload"
+	"repro/internal/xrand"
+)
+
+// printOnce guards the one-time printing of each experiment's output so
+// b.N loops do not repeat it.
+var printOnce sync.Map
+
+func runExperiment(b *testing.B, id string, opt experiments.Options) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Run(id, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, done := printOnce.LoadOrStore(id, true); !done {
+			fmt.Fprintf(os.Stdout, "\n===== %s: %s =====\n%s\n", res.ID, res.Title, res.Output)
+		}
+	}
+}
+
+// BenchmarkFigure1PromotionScheme regenerates the Figure 1 promotion
+// table (exact, deterministic).
+func BenchmarkFigure1PromotionScheme(b *testing.B) {
+	runExperiment(b, "fig1", experiments.Options{})
+}
+
+// BenchmarkFigure2PromotionTrace regenerates the Figure 2 chronological
+// job traces for synchronous SHA and ASHA (exact, deterministic).
+func BenchmarkFigure2PromotionTrace(b *testing.B) {
+	runExperiment(b, "fig2", experiments.Options{})
+}
+
+// BenchmarkFigure3Sequential regenerates the Figure 3 sequential
+// comparison (both CIFAR-10 benchmarks, all seven searchers).
+func BenchmarkFigure3Sequential(b *testing.B) {
+	runExperiment(b, "fig3", experiments.Options{Trials: 3})
+}
+
+// BenchmarkFigure4Distributed25 regenerates the Figure 4 25-worker
+// comparison.
+func BenchmarkFigure4Distributed25(b *testing.B) {
+	runExperiment(b, "fig4", experiments.Options{Trials: 3})
+}
+
+// BenchmarkFigure5LargeScalePTB regenerates the Figure 5 500-worker PTB
+// comparison (ASHA vs async Hyperband vs Vizier).
+func BenchmarkFigure5LargeScalePTB(b *testing.B) {
+	runExperiment(b, "fig5", experiments.Options{Trials: 2})
+}
+
+// BenchmarkFigure6ModernLSTM regenerates the Figure 6 DropConnect LSTM
+// comparison (ASHA vs PBT, 16 workers).
+func BenchmarkFigure6ModernLSTM(b *testing.B) {
+	runExperiment(b, "fig6", experiments.Options{Trials: 5})
+}
+
+// BenchmarkFigure7Stragglers regenerates the Figure 7 straggler/drop
+// grid (configurations trained to R in 2000 time units).
+func BenchmarkFigure7Stragglers(b *testing.B) {
+	runExperiment(b, "fig7", experiments.Options{Trials: 5})
+}
+
+// BenchmarkFigure8TimeToFirst regenerates the Figure 8 grid (time until
+// the first configuration trained to R).
+func BenchmarkFigure8TimeToFirst(b *testing.B) {
+	runExperiment(b, "fig8", experiments.Options{Trials: 5})
+}
+
+// BenchmarkFigure9Fabolas regenerates the Figure 9 Fabolas comparison
+// on all four Appendix A.2 tasks.
+func BenchmarkFigure9Fabolas(b *testing.B) {
+	runExperiment(b, "fig9", experiments.Options{Trials: 2})
+}
+
+// BenchmarkTable1SearchSpace renders the Table 1 search space.
+func BenchmarkTable1SearchSpace(b *testing.B) {
+	runExperiment(b, "tab1", experiments.Options{})
+}
+
+// BenchmarkTable2SearchSpace renders the Table 2 search space.
+func BenchmarkTable2SearchSpace(b *testing.B) {
+	runExperiment(b, "tab2", experiments.Options{})
+}
+
+// BenchmarkTable3SearchSpace renders the Table 3 search space.
+func BenchmarkTable3SearchSpace(b *testing.B) {
+	runExperiment(b, "tab3", experiments.Options{})
+}
+
+// BenchmarkSection32SpeedupClaim verifies the Section 3.2 wall-clock
+// arithmetic analytically and by simulation.
+func BenchmarkSection32SpeedupClaim(b *testing.B) {
+	runExperiment(b, "speedup", experiments.Options{})
+}
+
+// BenchmarkSection33Mispromotions regenerates the sqrt(n) mispromotion
+// analysis of Section 3.3.
+func BenchmarkSection33Mispromotions(b *testing.B) {
+	runExperiment(b, "mispromote", experiments.Options{})
+}
+
+// ---------------------------------------------------------------------
+// Ablation benches for the design choices DESIGN.md calls out.
+
+// BenchmarkAblationInfiniteHorizon compares finite- vs infinite-horizon
+// ASHA on the PTB workload: the infinite horizon keeps promoting past R.
+func BenchmarkAblationInfiniteHorizon(b *testing.B) {
+	bench := workload.PTBLSTM()
+	for i := 0; i < b.N; i++ {
+		for _, inf := range []bool{false, true} {
+			sched := core.NewASHA(core.ASHAConfig{
+				Space:           bench.Space(),
+				RNG:             xrand.New(17),
+				Eta:             4,
+				MinResource:     1,
+				MaxResource:     bench.MaxResource(),
+				InfiniteHorizon: inf,
+				RungCap:         6,
+			})
+			run := cluster.Run(sched, bench.WithNoiseSeed(17), cluster.Options{
+				Workers: 100, MaxTime: 3, Seed: 17,
+			})
+			if _, done := printOnce.LoadOrStore(fmt.Sprintf("inf-%v", inf), true); !done {
+				fmt.Printf("ablation infinite-horizon=%v: jobs=%d trials=%d rungs=%v\n",
+					inf, run.CompletedJobs, run.Trials, sched.RungSizes())
+			}
+		}
+	}
+}
+
+// BenchmarkAblationEarlyStopRate sweeps ASHA's early-stopping rate s on
+// benchmark 1 — the bracket ablation behind asynchronous Hyperband.
+func BenchmarkAblationEarlyStopRate(b *testing.B) {
+	bench := workload.CudaConvnet()
+	for i := 0; i < b.N; i++ {
+		for s := 0; s <= 3; s++ {
+			sched := core.NewASHA(core.ASHAConfig{
+				Space:         bench.Space(),
+				RNG:           xrand.New(23),
+				Eta:           4,
+				MinResource:   bench.MaxResource() / 256,
+				MaxResource:   bench.MaxResource(),
+				EarlyStopRate: s,
+			})
+			run := cluster.Run(sched, bench.WithNoiseSeed(23), cluster.Options{
+				Workers: 25, MaxTime: 150, Seed: 23,
+			})
+			if _, done := printOnce.LoadOrStore(fmt.Sprintf("esr-%d", s), true); !done {
+				fmt.Printf("ablation early-stop s=%d: final test error=%.4f trials=%d\n",
+					s, run.FinalTestLoss(), run.Trials)
+			}
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Micro-benchmarks of the scheduler hot path and the executor.
+
+// BenchmarkASHASchedulerThroughput measures get_job/report pairs on a
+// large live bracket — the operation rate a 500-worker cluster demands.
+func BenchmarkASHASchedulerThroughput(b *testing.B) {
+	bench := workload.PTBLSTM()
+	sched := core.NewASHA(core.ASHAConfig{
+		Space:       bench.Space(),
+		RNG:         xrand.New(5),
+		Eta:         4,
+		MinResource: 1,
+		MaxResource: bench.MaxResource(),
+	})
+	rng := xrand.New(6)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		job, _ := sched.Next()
+		sched.Report(core.Result{
+			TrialID: job.TrialID, Rung: job.Rung, Config: job.Config,
+			Loss: rng.Float64(), Resource: job.TargetResource,
+		})
+	}
+}
+
+// BenchmarkSimulatedCluster500Workers measures the discrete-event
+// simulator end to end at the paper's largest scale.
+func BenchmarkSimulatedCluster500Workers(b *testing.B) {
+	bench := workload.PTBLSTM()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sched := core.NewASHA(core.ASHAConfig{
+			Space:       bench.Space(),
+			RNG:         xrand.New(uint64(i) + 1),
+			Eta:         4,
+			MinResource: 1,
+			MaxResource: bench.MaxResource(),
+		})
+		cluster.Run(sched, bench.WithNoiseSeed(uint64(i)), cluster.Options{
+			Workers: 500, MaxTime: 6, Seed: uint64(i),
+		})
+	}
+}
+
+// BenchmarkTunerGoroutineExecutor measures the public API's real
+// concurrent executor on a trivial objective.
+func BenchmarkTunerGoroutineExecutor(b *testing.B) {
+	space := NewSpace(LogUniform("lr", 1e-4, 1), Uniform("m", 0, 1))
+	obj := func(_ context.Context, cfg Config, from, to float64, state interface{}) (float64, interface{}, error) {
+		return math.Abs(math.Log10(cfg["lr"])+2) + 1/(1+to), to, nil
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tuner := New(space, obj, ASHA{Eta: 3, MinResource: 1, MaxResource: 27},
+			WithWorkers(8), WithMaxJobs(2000), WithSeed(uint64(i)+1))
+		if _, err := tuner.Run(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationModelBasedASHA compares plain ASHA with ModelASHA
+// (asynchronous BOHB) on benchmark 1 — the paper's stated extension of
+// combining ASHA with adaptive selection.
+func BenchmarkAblationModelBasedASHA(b *testing.B) {
+	bench := workload.CudaConvnet()
+	for i := 0; i < b.N; i++ {
+		for _, model := range []bool{false, true} {
+			var sched core.Scheduler
+			if model {
+				sched = core.NewModelASHA(core.ModelASHAConfig{
+					Space:       bench.Space(),
+					RNG:         xrand.New(31),
+					Eta:         4,
+					MinResource: bench.MaxResource() / 256,
+					MaxResource: bench.MaxResource(),
+				})
+			} else {
+				sched = core.NewASHA(core.ASHAConfig{
+					Space:       bench.Space(),
+					RNG:         xrand.New(31),
+					Eta:         4,
+					MinResource: bench.MaxResource() / 256,
+					MaxResource: bench.MaxResource(),
+				})
+			}
+			run := cluster.Run(sched, bench.WithNoiseSeed(31), cluster.Options{
+				Workers: 25, MaxTime: 150, Seed: 31,
+			})
+			if _, done := printOnce.LoadOrStore(fmt.Sprintf("model-%v", model), true); !done {
+				fmt.Printf("ablation model-based=%v: final test error=%.4f trials=%d\n",
+					model, run.FinalTestLoss(), run.Trials)
+			}
+		}
+	}
+}

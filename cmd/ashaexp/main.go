@@ -1,0 +1,56 @@
+// Command ashaexp regenerates the paper's tables and figures (see
+// DESIGN.md for the per-experiment index).
+//
+// Usage:
+//
+//	ashaexp -list
+//	ashaexp -exp fig5 [-trials 5] [-scale 1.0] [-seed 0]
+//	ashaexp -all -scale 0.1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		list   = flag.Bool("list", false, "list available experiments")
+		exp    = flag.String("exp", "", "experiment id to run (fig1..fig9, tab1..tab3, speedup, mispromote)")
+		all    = flag.Bool("all", false, "run every experiment")
+		trials = flag.Int("trials", 0, "override the number of repetitions (0 = paper value)")
+		scale  = flag.Float64("scale", 1.0, "shrink time budgets and repetitions by this factor in (0, 1]")
+		seed   = flag.Uint64("seed", 0, "base random seed")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			title, _ := experiments.Title(id)
+			fmt.Printf("%-12s %s\n", id, title)
+		}
+		return
+	}
+
+	opt := experiments.Options{Trials: *trials, Scale: *scale, Seed: *seed}
+	ids := []string{*exp}
+	if *all {
+		ids = experiments.IDs()
+	} else if *exp == "" {
+		fmt.Fprintln(os.Stderr, "ashaexp: pass -exp <id>, -all, or -list")
+		os.Exit(2)
+	}
+	for _, id := range ids {
+		start := time.Now()
+		res, err := experiments.Run(id, opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ashaexp: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("== %s: %s\n\n%s\n[%s took %s]\n\n", res.ID, res.Title, res.Output, res.ID, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,109 @@
+// Command ashatune demonstrates the public tuning API on a built-in
+// synthetic objective: it tunes a 4-dimensional search space with the
+// selected algorithm on a pool of goroutine workers and reports the
+// incumbent trajectory.
+//
+// Usage:
+//
+//	ashatune [-algo asha|sha|hyperband|async-hyperband|random|pbt|bohb|gp]
+//	         [-workers 8] [-jobs 5000] [-seed 1] [-eta 4]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"os"
+
+	asha "repro"
+)
+
+// objective is a synthetic iterative trainer with a narrow optimum:
+// lr near 3e-3, weight decay near 1e-5, width 256, warmup near 0.1.
+func objective(_ context.Context, cfg asha.Config, from, to float64, state interface{}) (float64, interface{}, error) {
+	floor := 0.08 +
+		0.09*math.Abs(math.Log10(cfg["lr"])+2.5) +
+		0.05*math.Abs(math.Log10(cfg["weight decay"])+5) +
+		0.03*math.Abs(math.Log2(cfg["width"])-8) +
+		0.25*math.Abs(cfg["warmup"]-0.1)
+	loss := 3.0
+	if s, ok := state.(float64); ok {
+		loss = s
+	}
+	loss = floor + (loss-floor)*math.Exp(-0.06*(to-from))
+	return loss, loss, nil
+}
+
+func algorithm(name string, eta int) (asha.Algorithm, error) {
+	const r, R = 1, 256
+	switch name {
+	case "asha":
+		return asha.ASHA{Eta: eta, MinResource: r, MaxResource: R}, nil
+	case "sha":
+		return asha.SHA{N: 256, Eta: eta, MinResource: r, MaxResource: R}, nil
+	case "hyperband":
+		return asha.Hyperband{Eta: eta, MinResource: r, MaxResource: R}, nil
+	case "async-hyperband":
+		return asha.AsyncHyperband{Eta: eta, MinResource: r, MaxResource: R}, nil
+	case "random":
+		return asha.RandomSearch{MaxResource: R}, nil
+	case "pbt":
+		return asha.PBT{Population: 20, Step: 8, MaxResource: R}, nil
+	case "bohb":
+		return asha.BOHB{N: 256, Eta: eta, MinResource: r, MaxResource: R}, nil
+	case "gp":
+		return asha.GPOptimizer{MaxResource: R}, nil
+	default:
+		return nil, fmt.Errorf("unknown algorithm %q", name)
+	}
+}
+
+func main() {
+	var (
+		algoName = flag.String("algo", "asha", "tuning algorithm: asha, sha, hyperband, async-hyperband, random, pbt, bohb, gp")
+		workers  = flag.Int("workers", 8, "concurrent training goroutines")
+		jobs     = flag.Int("jobs", 5000, "training-job budget")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		eta      = flag.Int("eta", 4, "reduction factor for halving-based algorithms")
+	)
+	flag.Parse()
+
+	algo, err := algorithm(*algoName, *eta)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ashatune:", err)
+		os.Exit(2)
+	}
+	space := asha.NewSpace(
+		asha.LogUniform("lr", 1e-5, 1),
+		asha.LogUniform("weight decay", 1e-8, 1e-2),
+		asha.Choice("width", 64, 128, 256, 512, 1024),
+		asha.Uniform("warmup", 0, 0.5),
+	)
+
+	improvements := 0
+	tuner := asha.New(space, objective, algo,
+		asha.WithWorkers(*workers),
+		asha.WithMaxJobs(*jobs),
+		asha.WithSeed(*seed),
+		asha.WithProgress(func(p asha.Progress) {
+			if p.HasBest && p.Completed%500 == 0 {
+				fmt.Printf("  %5d jobs: incumbent loss %.4f\n", p.Completed, p.BestLoss)
+			}
+			_ = improvements
+		}),
+	)
+
+	fmt.Printf("tuning with %s on %d workers (%d-job budget)...\n", *algoName, *workers, *jobs)
+	res, err := tuner.Run(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nbest loss %.4f at resource %.0f after %d jobs / %d configurations (%.0f resource units, %s)\n",
+		res.BestLoss, res.BestResource, res.CompletedJobs, res.Trials, res.TotalResource, res.Elapsed.Round(1e6))
+	fmt.Println("best configuration:")
+	for _, p := range space.Params() {
+		fmt.Printf("  %-14s %.6g\n", p.Name, res.BestConfig[p.Name])
+	}
+}

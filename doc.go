@@ -1,0 +1,31 @@
+// Package asha is a Go implementation of ASHA — the Asynchronous
+// Successive Halving Algorithm from "A System for Massively Parallel
+// Hyperparameter Tuning" (Li et al., MLSys 2020) — together with the
+// full family of tuning methods the paper evaluates: synchronous
+// Successive Halving, Hyperband (synchronous and asynchronous), random
+// search, Population Based Training, BOHB, a Vizier-like GP optimizer
+// and a Fabolas-like multi-fidelity GP optimizer.
+//
+// The public API centers on the Tuner, which runs any of these
+// algorithms over a user-supplied training objective on a pool of
+// goroutine workers:
+//
+//	space := asha.NewSpace(
+//		asha.LogUniform("lr", 1e-5, 1),
+//		asha.Choice("batch", 32, 64, 128),
+//	)
+//	tuner := asha.New(space, objective, asha.ASHA{
+//		Eta:         4,
+//		MinResource: 1,
+//		MaxResource: 256,
+//	}, asha.WithWorkers(8))
+//	result, err := tuner.Run(ctx)
+//
+// The objective is called asynchronously with (config, fromResource,
+// toResource, state) and must resume training from its last checkpoint
+// state — exactly the run_then_return_val_loss contract of the paper.
+//
+// The repository also contains the paper's full experimental harness:
+// every table and figure of the evaluation section can be regenerated
+// with cmd/ashaexp (see DESIGN.md and EXPERIMENTS.md).
+package asha

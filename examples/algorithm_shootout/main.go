@@ -1,0 +1,105 @@
+// Algorithm shootout: run every tuning method in the library on the
+// same objective with the same wall-clock budget and compare what they
+// find — a miniature version of the paper's Section 4.1 comparison, on
+// real goroutines rather than the simulator. Training cost is
+// proportional to the resource consumed, so early-stopping methods can
+// evaluate many more configurations within the budget.
+//
+// Run with:
+//
+//	go run ./examples/algorithm_shootout
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"math"
+	"sort"
+	"time"
+
+	asha "repro"
+)
+
+const (
+	rMin = 1.0
+	rMax = 64.0
+)
+
+// objective is a rugged 4-dimensional tuning problem: two log-scale
+// parameters with a narrow good region, an interaction term, and
+// resource-dependent convergence.
+func objective(_ context.Context, cfg asha.Config, from, to float64, state interface{}) (float64, interface{}, error) {
+	lr := math.Log10(cfg["lr"])
+	wd := math.Log10(cfg["weight decay"])
+	floor := 0.05 +
+		0.10*math.Abs(lr+2) + // optimum lr = 1e-2
+		0.06*math.Abs(wd+4) + // optimum wd = 1e-4
+		0.05*math.Abs(cfg["momentum"]-0.9)*math.Abs(lr+2) + // interaction
+		0.02*math.Abs(cfg["layers"]-4)
+	loss := 1.5
+	if s, ok := state.(float64); ok {
+		loss = s
+	}
+	rate := 0.08
+	loss = floor + (loss-floor)*math.Exp(-rate*(to-from))
+	// Training takes real time proportional to the resource trained.
+	time.Sleep(time.Duration((to - from) * float64(40*time.Microsecond)))
+	return loss, loss, nil
+}
+
+func space() *asha.Space {
+	return asha.NewSpace(
+		asha.LogUniform("lr", 1e-5, 1),
+		asha.LogUniform("weight decay", 1e-7, 1e-1),
+		asha.Uniform("momentum", 0, 1),
+		asha.Int("layers", 2, 8),
+	)
+}
+
+func main() {
+	algos := map[string]asha.Algorithm{
+		"ASHA":            asha.ASHA{Eta: 4, MinResource: rMin, MaxResource: rMax},
+		"SHA":             asha.SHA{N: 64, Eta: 4, MinResource: rMin, MaxResource: rMax},
+		"Hyperband":       asha.Hyperband{Eta: 4, MinResource: rMin, MaxResource: rMax},
+		"Async Hyperband": asha.AsyncHyperband{Eta: 4, MinResource: rMin, MaxResource: rMax},
+		"Random":          asha.RandomSearch{MaxResource: rMax},
+		"PBT":             asha.PBT{Population: 16, Step: 8, MaxResource: rMax},
+		"BOHB":            asha.BOHB{N: 64, Eta: 4, MinResource: rMin, MaxResource: rMax},
+		"Model ASHA":      asha.ModelASHA{Eta: 4, MinResource: rMin, MaxResource: rMax},
+		"GP (Vizier-like)": asha.GPOptimizer{
+			MaxResource: rMax,
+		},
+	}
+
+	type row struct {
+		name string
+		loss float64
+		jobs int
+	}
+	var rows []row
+	seed := uint64(11)
+	for name, algo := range algos {
+		seed++
+		tuner := asha.New(space(), objective, algo,
+			asha.WithWorkers(8),
+			asha.WithMaxDuration(1500*time.Millisecond),
+			asha.WithSeed(seed),
+		)
+		res, err := tuner.Run(context.Background())
+		if err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		rows = append(rows, row{name: name, loss: res.BestLoss, jobs: res.Trials})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].loss < rows[j].loss })
+
+	fmt.Printf("%-18s %-12s %s\n", "algorithm", "best loss", "configs explored")
+	for _, r := range rows {
+		fmt.Printf("%-18s %-12.4f %d\n", r.name, r.loss, r.jobs)
+	}
+	fmt.Println("\nEvery method got the same 1.5s wall-clock budget on 8 workers, with")
+	fmt.Println("training cost proportional to resource. Early-stopping methods cover")
+	fmt.Println("far more configurations per unit time — the paper's core argument for")
+	fmt.Println("the large-scale regime.")
+}

@@ -1,0 +1,55 @@
+// PBT vs ASHA on the modern-LSTM task: a miniature of Section 4.3.1
+// (Figure 6). PBT refines a population by copying weights from strong
+// members; ASHA explores far more configurations with aggressive early
+// stopping. Early on PBT leads; given the full budget ASHA finds the
+// better configuration.
+//
+// Run with:
+//
+//	go run ./examples/pbt_vs_asha
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/workload"
+	"repro/internal/xrand"
+)
+
+func main() {
+	bench := workload.DropConnectLSTM()
+	horizon := 2 * bench.MeanTimeR() // 2 x time(R), as in Figure 6
+
+	pbt := core.NewPBT(core.PBTConfig{
+		Space:            bench.Space(),
+		RNG:              xrand.New(3),
+		Population:       20,
+		Step:             8, // exploit/explore every 8 epochs
+		MaxResource:      bench.MaxResource(),
+		TruncationFrac:   0.2,
+		MaxLag:           16,
+		SpawnPopulations: true,
+	})
+	asha := core.NewASHA(core.ASHAConfig{
+		Space:       bench.Space(),
+		RNG:         xrand.New(3),
+		Eta:         4,
+		MinResource: 1, // 1 epoch
+		MaxResource: bench.MaxResource(),
+	})
+
+	opts := cluster.Options{Workers: 16, MaxTime: horizon, Seed: 5}
+	pbtRun := cluster.Run(pbt, bench.WithNoiseSeed(1), opts)
+	ashaRun := cluster.Run(asha, bench.WithNoiseSeed(1), opts)
+
+	fmt.Printf("Tuning %s with 16 workers for %.0f minutes (2 x time(R)):\n\n", bench.Name(), horizon)
+	fmt.Printf("%-10s %-24s %-24s\n", "minutes", "PBT val perplexity", "ASHA val perplexity")
+	for frac := 0.125; frac <= 1.0001; frac += 0.125 {
+		t := horizon * frac
+		fmt.Printf("%-10.0f %-24.2f %-24.2f\n", t, pbtRun.TestLossAt(t), ashaRun.TestLossAt(t))
+	}
+	fmt.Printf("\nfinal: PBT %.2f vs ASHA %.2f (lower is better)\n", pbtRun.FinalTestLoss(), ashaRun.FinalTestLoss())
+	fmt.Printf("configurations explored: PBT %d, ASHA %d\n", pbtRun.Trials, ashaRun.Trials)
+}

@@ -1,0 +1,79 @@
+// Quickstart: tune a synthetic training objective with ASHA on a pool
+// of goroutine workers, using only the public API.
+//
+// The objective mimics an iterative trainer: its loss decays toward a
+// configuration-dependent floor as resource (epochs) accumulates, and
+// it resumes from a checkpoint state between rungs — exactly the
+// contract real training code implements.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"math"
+
+	asha "repro"
+)
+
+// checkpoint is the state our "trainer" carries between rungs.
+type checkpoint struct {
+	loss float64
+}
+
+// train advances the synthetic model from resource `from` to `to`.
+// The achievable floor rewards a learning rate near 0.05 and a dropout
+// near 0.2; convergence speed depends on batch size.
+func train(_ context.Context, cfg asha.Config, from, to float64, state interface{}) (float64, interface{}, error) {
+	floor := 0.10 +
+		math.Abs(math.Log10(cfg["lr"])-math.Log10(0.05))*0.08 +
+		math.Abs(cfg["dropout"]-0.2)*0.4
+	rate := 0.05 * math.Sqrt(256/cfg["batch"])
+	loss := 2.0 // untrained
+	if c, ok := state.(checkpoint); ok {
+		loss = c.loss
+	}
+	loss = floor + (loss-floor)*math.Exp(-rate*(to-from))
+	return loss, checkpoint{loss: loss}, nil
+}
+
+func main() {
+	space := asha.NewSpace(
+		asha.LogUniform("lr", 1e-4, 1),
+		asha.Uniform("dropout", 0, 0.8),
+		asha.Choice("batch", 32, 64, 128, 256),
+	)
+
+	tuner := asha.New(space, train, asha.ASHA{
+		Eta:         4,
+		MinResource: 1,   // 1 epoch at the bottom rung
+		MaxResource: 256, // full training
+	},
+		asha.WithWorkers(8),
+		asha.WithMaxJobs(2000),
+		asha.WithSeed(7),
+	)
+
+	result, err := tuner.Run(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("best loss:   %.4f (at resource %.0f)\n", result.BestLoss, result.BestResource)
+	fmt.Printf("best config: lr=%.4g dropout=%.3f batch=%.0f\n",
+		result.BestConfig["lr"], result.BestConfig["dropout"], result.BestConfig["batch"])
+	fmt.Printf("jobs=%d trials=%d total-resource=%.0f elapsed=%s\n",
+		result.CompletedJobs, result.Trials, result.TotalResource, result.Elapsed.Round(1000000))
+	fmt.Println("\nincumbent trajectory (first improvements):")
+	for i, p := range result.History {
+		if i >= 8 {
+			fmt.Printf("  ... %d more improvements\n", len(result.History)-8)
+			break
+		}
+		fmt.Printf("  t=%.3fs loss=%.4f\n", p.Seconds, p.Loss)
+	}
+}

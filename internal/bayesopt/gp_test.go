@@ -1,0 +1,133 @@
+package bayesopt
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xrand"
+)
+
+func TestGPInterpolatesTrainingPoints(t *testing.T) {
+	gp := NewGP(0.3, 0.001)
+	x := [][]float64{{0.1}, {0.5}, {0.9}}
+	y := []float64{1, 3, 2}
+	if err := gp.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		mu, sigma := gp.Predict(x[i])
+		if math.Abs(mu-y[i]) > 0.05 {
+			t.Fatalf("mu(%v) = %v, want ~%v", x[i], mu, y[i])
+		}
+		if sigma < 0 {
+			t.Fatalf("negative posterior sd %v", sigma)
+		}
+	}
+}
+
+func TestGPUncertaintyGrowsAwayFromData(t *testing.T) {
+	gp := NewGP(0.2, 0.01)
+	if err := gp.Fit([][]float64{{0.5}}, []float64{1}); err != nil {
+		t.Fatal(err)
+	}
+	_, near := gp.Predict([]float64{0.5})
+	_, far := gp.Predict([]float64{0.0})
+	if far <= near {
+		t.Fatalf("posterior sd near data %v should be smaller than far %v", near, far)
+	}
+}
+
+func TestGPMeanRevertsFarFromData(t *testing.T) {
+	gp := NewGP(0.1, 0.01)
+	if err := gp.Fit([][]float64{{0.0}, {0.05}}, []float64{5, 5.1}); err != nil {
+		t.Fatal(err)
+	}
+	mu, _ := gp.Predict([]float64{1.0})
+	// Far from data the posterior reverts to the (standardized) mean.
+	if math.Abs(mu-5.05) > 0.2 {
+		t.Fatalf("far-field mean %v, want near the data mean 5.05", mu)
+	}
+}
+
+func TestGPFitRejectsEmptyAndMismatched(t *testing.T) {
+	gp := NewGP(0.3, 0.01)
+	if err := gp.Fit(nil, nil); err == nil {
+		t.Fatal("expected error for empty fit")
+	}
+	if err := gp.Fit([][]float64{{0}}, []float64{1, 2}); err == nil {
+		t.Fatal("expected error for length mismatch")
+	}
+}
+
+func TestGPHandlesDuplicatePoints(t *testing.T) {
+	// Duplicate inputs make the kernel singular without jitter/noise.
+	gp := NewGP(0.3, 0.01)
+	x := [][]float64{{0.5}, {0.5}, {0.5}}
+	y := []float64{1, 1.1, 0.9}
+	if err := gp.Fit(x, y); err != nil {
+		t.Fatalf("duplicate points should be absorbed by noise/jitter: %v", err)
+	}
+	mu, _ := gp.Predict([]float64{0.5})
+	if math.Abs(mu-1.0) > 0.1 {
+		t.Fatalf("duplicate-point posterior mean %v, want ~1.0", mu)
+	}
+}
+
+func TestGPPredictBeforeFit(t *testing.T) {
+	gp := NewGP(0.3, 0.01)
+	mu, sigma := gp.Predict([]float64{0.5})
+	if math.IsNaN(mu) || math.IsNaN(sigma) {
+		t.Fatal("unfit GP should return finite defaults")
+	}
+}
+
+func TestGPRecoversSmoothFunctionProperty(t *testing.T) {
+	rng := xrand.New(1)
+	f := func(uint8) bool {
+		// Fit y = sin(2 pi x) on a grid; prediction error at midpoints
+		// must be small.
+		n := 15
+		x := make([][]float64, n)
+		y := make([]float64, n)
+		for i := 0; i < n; i++ {
+			xi := float64(i) / float64(n-1)
+			x[i] = []float64{xi}
+			y[i] = math.Sin(2 * math.Pi * xi)
+		}
+		gp := NewGP(0.15, 0.01)
+		if err := gp.Fit(x, y); err != nil {
+			return false
+		}
+		for k := 0; k < 5; k++ {
+			xt := rng.Float64()
+			mu, _ := gp.Predict([]float64{xt})
+			if math.Abs(mu-math.Sin(2*math.Pi*xt)) > 0.15 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExpectedImprovement(t *testing.T) {
+	// EI is zero-ish when the prediction is far above the best.
+	if ei := ExpectedImprovement(10, 0.1, 0); ei > 1e-6 {
+		t.Fatalf("EI for a hopeless point = %v", ei)
+	}
+	// EI approaches best - mu when sigma -> 0 and mu < best.
+	if ei := ExpectedImprovement(0.2, 0, 1.0); math.Abs(ei-0.8) > 1e-12 {
+		t.Fatalf("deterministic EI = %v, want 0.8", ei)
+	}
+	// Higher sigma gives higher EI at the same mean.
+	if ExpectedImprovement(1, 2, 0.5) <= ExpectedImprovement(1, 0.5, 0.5) {
+		t.Fatal("EI should increase with uncertainty")
+	}
+	// EI is non-negative.
+	if ExpectedImprovement(5, 1, 0) < 0 {
+		t.Fatal("EI must be non-negative")
+	}
+}

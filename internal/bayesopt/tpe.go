@@ -1,0 +1,159 @@
+package bayesopt
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/searchspace"
+	"repro/internal/xrand"
+)
+
+// TPE is a Tree-structured Parzen Estimator sampler in the style BOHB
+// uses: observations are split into a "good" and a "bad" set at the
+// gamma quantile of loss, per-dimension Gaussian kernel density
+// estimators are fit to each set in the encoded unit cube, and candidates
+// drawn from the good density are ranked by the density ratio l(x)/g(x).
+type TPE struct {
+	Space *searchspace.Space
+	// Gamma is the quantile splitting good from bad observations
+	// (BOHB's default 0.15).
+	Gamma float64
+	// MinPoints is the minimum number of observations before the model
+	// is used; below it the sampler falls back to uniform random
+	// (BOHB uses dim+2).
+	MinPoints int
+	// Candidates is the number of samples drawn from the good KDE and
+	// scored (BOHB's default is 24).
+	Candidates int
+	// BandwidthFloor avoids degenerate kernels.
+	BandwidthFloor float64
+}
+
+// NewTPE constructs a TPE sampler with BOHB-like defaults.
+func NewTPE(space *searchspace.Space) *TPE {
+	return &TPE{
+		Space:          space,
+		Gamma:          0.15,
+		MinPoints:      space.Dim() + 2,
+		Candidates:     24,
+		BandwidthFloor: 0.03,
+	}
+}
+
+// Point is an encoded observation for the sampler.
+type Point struct {
+	X    []float64
+	Loss float64
+}
+
+// kde is a per-dimension product of 1-D Gaussian mixtures.
+type kde struct {
+	centers [][]float64 // [point][dim]
+	bw      []float64   // per-dim bandwidth
+}
+
+func fitKDE(pts [][]float64, dim int, floor float64) *kde {
+	k := &kde{centers: pts, bw: make([]float64, dim)}
+	n := float64(len(pts))
+	for d := 0; d < dim; d++ {
+		// Scott's rule bandwidth on this dimension.
+		mean := 0.0
+		for _, p := range pts {
+			mean += p[d]
+		}
+		mean /= n
+		variance := 0.0
+		for _, p := range pts {
+			diff := p[d] - mean
+			variance += diff * diff
+		}
+		sd := math.Sqrt(variance / math.Max(1, n-1))
+		bw := 1.06 * sd * math.Pow(n, -0.2)
+		if bw < floor {
+			bw = floor
+		}
+		k.bw[d] = bw
+	}
+	return k
+}
+
+// logDensity returns the log mixture density at x (up to shared
+// constants, which cancel in the ratio).
+func (k *kde) logDensity(x []float64) float64 {
+	if len(k.centers) == 0 {
+		return 0
+	}
+	total := 0.0
+	for _, c := range k.centers {
+		le := 0.0
+		for d := range x {
+			z := (x[d] - c[d]) / k.bw[d]
+			le += -0.5*z*z - math.Log(k.bw[d])
+		}
+		total += math.Exp(le)
+	}
+	return math.Log(total / float64(len(k.centers)))
+}
+
+// sample draws one point from the mixture: pick a random center, add
+// kernel noise, clamp to the unit cube.
+func (k *kde) sample(rng *xrand.RNG, dim int) []float64 {
+	x := make([]float64, dim)
+	c := k.centers[rng.IntN(len(k.centers))]
+	for d := 0; d < dim; d++ {
+		v := c[d] + rng.Normal(0, k.bw[d])
+		if v < 0 {
+			v = 0
+		}
+		if v > 1 {
+			v = 1
+		}
+		x[d] = v
+	}
+	return x
+}
+
+// Sample proposes a configuration given the observations. With too few
+// observations it samples uniformly at random.
+func (t *TPE) Sample(rng *xrand.RNG, obs []Point) searchspace.Config {
+	if len(obs) < t.MinPoints {
+		return t.Space.Sample(rng)
+	}
+	sorted := make([]Point, len(obs))
+	copy(sorted, obs)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Loss < sorted[j].Loss })
+	nGood := int(math.Ceil(t.Gamma * float64(len(sorted))))
+	if nGood < 2 {
+		nGood = 2
+	}
+	if nGood >= len(sorted) {
+		return t.Space.Sample(rng)
+	}
+	dim := t.Space.Dim()
+	goodPts := make([][]float64, 0, nGood)
+	badPts := make([][]float64, 0, len(sorted)-nGood)
+	for i, p := range sorted {
+		if i < nGood {
+			goodPts = append(goodPts, p.X)
+		} else {
+			badPts = append(badPts, p.X)
+		}
+	}
+	good := fitKDE(goodPts, dim, t.BandwidthFloor)
+	bad := fitKDE(badPts, dim, t.BandwidthFloor)
+
+	bestScore := math.Inf(-1)
+	var bestX []float64
+	for c := 0; c < t.Candidates; c++ {
+		x := good.sample(rng, dim)
+		score := good.logDensity(x) - bad.logDensity(x)
+		if score > bestScore {
+			bestScore = score
+			bestX = x
+		}
+	}
+	if bestX == nil {
+		return t.Space.Sample(rng)
+	}
+	return t.Space.Decode(bestX)
+}

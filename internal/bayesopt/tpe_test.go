@@ -1,0 +1,101 @@
+package bayesopt
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/searchspace"
+	"repro/internal/xrand"
+)
+
+func tpeSpace() *searchspace.Space {
+	return searchspace.New(
+		searchspace.Param{Name: "a", Type: searchspace.Uniform, Lo: 0, Hi: 1},
+		searchspace.Param{Name: "b", Type: searchspace.Uniform, Lo: 0, Hi: 1},
+	)
+}
+
+func TestTPEFallsBackToRandomWithFewPoints(t *testing.T) {
+	space := tpeSpace()
+	tpe := NewTPE(space)
+	rng := xrand.New(1)
+	cfg := tpe.Sample(rng, nil)
+	if !space.Contains(cfg) {
+		t.Fatal("fallback sample outside the space")
+	}
+	few := []Point{{X: []float64{0.5, 0.5}, Loss: 1}}
+	if cfg := tpe.Sample(rng, few); !space.Contains(cfg) {
+		t.Fatal("fallback sample outside the space with few points")
+	}
+}
+
+func TestTPESamplesNearGoodRegion(t *testing.T) {
+	// Loss = distance to (0.2, 0.8): good observations cluster there, so
+	// TPE proposals should land much closer to it than uniform sampling
+	// would (expected uniform distance ~0.54).
+	space := tpeSpace()
+	tpe := NewTPE(space)
+	rng := xrand.New(2)
+	var obs []Point
+	for i := 0; i < 200; i++ {
+		x := []float64{rng.Float64(), rng.Float64()}
+		loss := math.Hypot(x[0]-0.2, x[1]-0.8)
+		obs = append(obs, Point{X: x, Loss: loss})
+	}
+	total := 0.0
+	n := 50
+	for i := 0; i < n; i++ {
+		cfg := tpe.Sample(rng, obs)
+		if !space.Contains(cfg) {
+			t.Fatal("TPE proposal outside the space")
+		}
+		total += math.Hypot(cfg["a"]-0.2, cfg["b"]-0.8)
+	}
+	if avg := total / float64(n); avg > 0.35 {
+		t.Fatalf("TPE proposals average distance %v from the optimum; model is not steering", avg)
+	}
+}
+
+func TestTPEProposalsAlwaysLegal(t *testing.T) {
+	space := searchspace.New(
+		searchspace.Param{Name: "lr", Type: searchspace.LogUniform, Lo: 1e-5, Hi: 10},
+		searchspace.Param{Name: "batch", Type: searchspace.Choice, Choices: []float64{32, 64, 128}},
+		searchspace.Param{Name: "layers", Type: searchspace.IntUniform, Lo: 1, Hi: 6},
+	)
+	tpe := NewTPE(space)
+	rng := xrand.New(3)
+	var obs []Point
+	for i := 0; i < 100; i++ {
+		cfg := space.Sample(rng)
+		obs = append(obs, Point{X: space.Encode(cfg), Loss: rng.Float64()})
+	}
+	for i := 0; i < 100; i++ {
+		if cfg := tpe.Sample(rng, obs); !space.Contains(cfg) {
+			t.Fatalf("illegal TPE proposal: %v", cfg)
+		}
+	}
+}
+
+func TestKDEDensityHigherAtCenters(t *testing.T) {
+	pts := [][]float64{{0.3, 0.3}, {0.31, 0.29}, {0.29, 0.31}}
+	k := fitKDE(pts, 2, 0.03)
+	at := k.logDensity([]float64{0.3, 0.3})
+	away := k.logDensity([]float64{0.9, 0.9})
+	if at <= away {
+		t.Fatalf("KDE density at centers (%v) not above far field (%v)", at, away)
+	}
+}
+
+func TestKDESampleStaysInUnitCube(t *testing.T) {
+	pts := [][]float64{{0.01, 0.99}}
+	k := fitKDE(pts, 2, 0.2)
+	rng := xrand.New(4)
+	for i := 0; i < 200; i++ {
+		x := k.sample(rng, 2)
+		for _, v := range x {
+			if v < 0 || v > 1 {
+				t.Fatalf("KDE sample out of cube: %v", x)
+			}
+		}
+	}
+}

@@ -1,0 +1,344 @@
+// Package cluster is a discrete-event simulator of a parallel worker
+// pool running a hyperparameter tuning scheduler over a surrogate
+// workload. It reproduces the distributed conditions the paper studies —
+// many workers, straggler variance in training times, and dropped jobs —
+// on a virtual clock, so 500-worker multi-week experiments (Section 4.3)
+// run in milliseconds.
+//
+// Stragglers and drops follow Appendix A.1 exactly: each job's duration
+// is multiplied by (1 + |z|) with z ~ N(0, StragglerSD), and jobs are
+// dropped at each time unit with probability DropProb (simulated in
+// continuous time as an exponential drop clock with rate -ln(1-p)).
+package cluster
+
+import (
+	"container/heap"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/searchspace"
+	"repro/internal/workload"
+	"repro/internal/xrand"
+)
+
+// Options configures a simulated run.
+type Options struct {
+	// Workers is the number of parallel workers (>= 1).
+	Workers int
+	// StragglerSD is the standard deviation of the straggler
+	// multiplier's normal; 0 disables stragglers.
+	StragglerSD float64
+	// DropProb is the per-time-unit job drop probability; 0 disables
+	// drops.
+	DropProb float64
+	// MaxTime stops the run at this virtual time; events beyond it are
+	// discarded. 0 means no time limit.
+	MaxTime float64
+	// MaxJobs stops issuing work after this many jobs. 0 means no
+	// limit.
+	MaxJobs int
+	// Seed drives straggler and drop randomness.
+	Seed uint64
+	// StopAtFirstR ends the run as soon as any configuration has been
+	// trained to the benchmark's maximum resource (used by the Figure 8
+	// time-to-first-R experiment).
+	StopAtFirstR bool
+	// Evaluator optionally overrides the test metric recorded for the
+	// incumbent (e.g. evaluating the incumbent's configuration at full
+	// resource, as Appendix A.2's offline validation does for
+	// model-based incumbents). When nil, the incumbent's noiseless loss
+	// at its observed resource is recorded.
+	Evaluator func(cfg searchspace.Config) float64
+	// RecordTrace keeps a per-job event log (start, end, rung,
+	// resources, outcome) on the returned run — the raw material for
+	// Figure 2-style chronological job charts. Off by default because
+	// large simulations produce hundreds of thousands of jobs.
+	RecordTrace bool
+}
+
+// JobEvent is one traced job execution.
+type JobEvent struct {
+	TrialID  int
+	Rung     int
+	Start    float64
+	End      float64
+	From, To float64 // cumulative resource before/after
+	Failed   bool
+}
+
+// event is a scheduled job completion (or failure).
+type event struct {
+	time   float64
+	job    core.Job
+	loss   float64
+	truth  float64
+	failed bool
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int            { return len(h) }
+func (h eventHeap) Less(i, j int) bool  { return h[i].time < h[j].time }
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Sim drives one scheduler over one benchmark.
+type Sim struct {
+	sched core.Scheduler
+	bench *workload.Benchmark
+	opt   Options
+	rng   *xrand.RNG
+
+	trials map[int]*workload.Trial
+	// preJob holds each running trial's state before its in-flight job,
+	// for failure rollback and for PBT inherits from running donors.
+	preJob map[int]workload.TrialState
+	events eventHeap
+	busy   int
+	now    float64
+	issued int
+	run    *metrics.Run
+	trace  []JobEvent
+	starts map[int]startInfo // trialID -> in-flight job info
+	// dropRate is the continuous-time drop hazard.
+	dropRate float64
+}
+
+type startInfo struct {
+	start float64
+	from  float64
+}
+
+// New builds a simulator. Options are validated with panics; simulator
+// setups are static in the experiment harness.
+func New(sched core.Scheduler, bench *workload.Benchmark, opt Options) *Sim {
+	if opt.Workers < 1 {
+		panic("cluster: need at least one worker")
+	}
+	s := &Sim{
+		sched:  sched,
+		bench:  bench,
+		opt:    opt,
+		rng:    xrand.New(opt.Seed ^ 0xC10C_0000_0000_0001),
+		trials: make(map[int]*workload.Trial),
+		preJob: make(map[int]workload.TrialState),
+		starts: make(map[int]startInfo),
+		run:    &metrics.Run{FirstRTime: math.Inf(1)},
+	}
+	if opt.DropProb > 0 {
+		s.dropRate = -math.Log(1 - opt.DropProb)
+	}
+	return s
+}
+
+// Run executes the simulation to completion and returns the run record.
+func Run(sched core.Scheduler, bench *workload.Benchmark, opt Options) *metrics.Run {
+	return New(sched, bench, opt).Run()
+}
+
+// Run drives the event loop until the time/job budget is exhausted or
+// the scheduler is done and all jobs have drained.
+func (s *Sim) Run() *metrics.Run {
+	s.fillWorkers()
+	for len(s.events) > 0 {
+		ev := heap.Pop(&s.events).(event)
+		if s.opt.MaxTime > 0 && ev.time > s.opt.MaxTime {
+			// The run's clock ends; in-flight work past the horizon is
+			// discarded.
+			s.now = s.opt.MaxTime
+			break
+		}
+		s.now = ev.time
+		s.busy--
+		s.complete(ev)
+		if s.opt.StopAtFirstR && !math.IsInf(s.run.FirstRTime, 1) {
+			break
+		}
+		s.fillWorkers()
+	}
+	// Jobs still in flight when the clock stops never finished: rewind
+	// their launch-time state mutations so final accounting only sees
+	// completed work.
+	for id, st := range s.preJob {
+		s.trials[id].Restore(st)
+		delete(s.preJob, id)
+	}
+	s.run.EndTime = s.now
+	s.run.Trials = len(s.trials)
+	for _, t := range s.trials {
+		s.run.TotalResource += t.Resource()
+		if t.Resource() >= s.bench.MaxResource()-1e-9 {
+			s.run.ConfigsToR++
+		}
+	}
+	return s.run
+}
+
+// budgetExhausted reports whether no further jobs may be issued.
+func (s *Sim) budgetExhausted() bool {
+	if s.opt.MaxTime > 0 && s.now >= s.opt.MaxTime {
+		return true
+	}
+	if s.opt.MaxJobs > 0 && s.issued >= s.opt.MaxJobs {
+		return true
+	}
+	return false
+}
+
+// fillWorkers hands jobs to every free worker until the scheduler
+// declines or budgets run out.
+func (s *Sim) fillWorkers() {
+	for s.busy < s.opt.Workers && !s.budgetExhausted() && !s.sched.Done() {
+		job, ok := s.sched.Next()
+		if !ok {
+			return // synchronous barrier: workers idle
+		}
+		s.launch(job)
+	}
+}
+
+// launch applies the job's state transitions (inherit, config swap,
+// training) immediately and schedules its completion event at the
+// straggler-adjusted finish time.
+func (s *Sim) launch(job core.Job) {
+	s.issued++
+	s.run.IssuedJobs++
+	t := s.trials[job.TrialID]
+	if t == nil {
+		t = s.bench.NewTrial(job.TrialID, job.Config)
+		s.trials[job.TrialID] = t
+	}
+	if job.InheritFrom >= 0 {
+		if donor := s.trials[job.InheritFrom]; donor != nil {
+			// A running donor's in-flight progress is not observable;
+			// inherit its last checkpoint instead.
+			if st, running := s.preJob[job.InheritFrom]; running {
+				t.Restore(st)
+			} else {
+				t.InheritFrom(donor)
+			}
+		}
+	}
+	if !sameConfig(t.Config(), job.Config) {
+		t.SetConfig(job.Config)
+	}
+	pre := t.Checkpoint()
+	s.preJob[job.TrialID] = pre
+	if s.opt.RecordTrace {
+		s.starts[job.TrialID] = startInfo{start: s.now, from: t.Resource()}
+	}
+
+	dr := job.TargetResource - t.Resource()
+	if dr < 0 {
+		dr = 0
+	}
+	loss := t.Train(dr)
+	duration := dr * t.CostPerUnit()
+	if s.opt.StragglerSD > 0 {
+		duration *= 1 + s.rng.HalfNormalAbs(s.opt.StragglerSD)
+	}
+	if duration <= 0 {
+		duration = 1e-9
+	}
+	ev := event{
+		time:   s.now + duration,
+		job:    job,
+		loss:   loss,
+		truth:  t.TrueLoss(),
+		failed: false,
+	}
+	if s.dropRate > 0 {
+		if dropAt := s.rng.Exponential(1 / s.dropRate); dropAt < duration {
+			ev.time = s.now + dropAt
+			ev.failed = true
+		}
+	}
+	s.busy++
+	heap.Push(&s.events, ev)
+}
+
+// complete reports a finished event to the scheduler and records the
+// incumbent.
+func (s *Sim) complete(ev event) {
+	t := s.trials[ev.job.TrialID]
+	if s.opt.RecordTrace {
+		si := s.starts[ev.job.TrialID]
+		delete(s.starts, ev.job.TrialID)
+		s.trace = append(s.trace, JobEvent{
+			TrialID: ev.job.TrialID,
+			Rung:    ev.job.Rung,
+			Start:   si.start,
+			End:     ev.time,
+			From:    si.from,
+			To:      ev.job.TargetResource,
+			Failed:  ev.failed,
+		})
+	}
+	if ev.failed {
+		// All progress from the dropped job is lost.
+		t.Restore(s.preJob[ev.job.TrialID])
+		delete(s.preJob, ev.job.TrialID)
+		s.run.FailedJobs++
+		s.sched.Report(core.Result{
+			TrialID:  ev.job.TrialID,
+			Rung:     ev.job.Rung,
+			Config:   ev.job.Config,
+			Loss:     math.NaN(),
+			TrueLoss: math.NaN(),
+			Resource: 0,
+			Failed:   true,
+			Time:     s.now,
+		})
+		return
+	}
+	delete(s.preJob, ev.job.TrialID)
+	s.run.CompletedJobs++
+	if t.Resource() >= s.bench.MaxResource()-1e-9 && s.now < s.run.FirstRTime {
+		s.run.FirstRTime = s.now
+	}
+	s.sched.Report(core.Result{
+		TrialID:  ev.job.TrialID,
+		Rung:     ev.job.Rung,
+		Config:   ev.job.Config,
+		Loss:     ev.loss,
+		TrueLoss: ev.truth,
+		Resource: t.Resource(),
+		Failed:   false,
+		Time:     s.now,
+	})
+	if best, ok := s.sched.Best(); ok {
+		test := best.TrueLoss
+		if s.opt.Evaluator != nil {
+			test = s.opt.Evaluator(best.Config)
+		}
+		s.run.Record(s.now, best.Loss, test)
+	}
+}
+
+func sameConfig(a, b searchspace.Config) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// TrialsForTest exposes the simulator's trial map for diagnostics and
+// calibration tooling.
+func (s *Sim) TrialsForTest() map[int]*workload.Trial { return s.trials }
+
+// Trace returns the per-job event log recorded when
+// Options.RecordTrace is set, in completion order.
+func (s *Sim) Trace() []JobEvent { return s.trace }

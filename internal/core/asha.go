@@ -1,0 +1,264 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/searchspace"
+	"repro/internal/xrand"
+)
+
+// ASHAConfig parameterizes the Asynchronous Successive Halving Algorithm
+// (Algorithm 2 of the paper).
+type ASHAConfig struct {
+	Space *searchspace.Space
+	RNG   *xrand.RNG
+	// Eta is the reduction factor (eta >= 2).
+	Eta int
+	// MinResource is r, the minimum resource.
+	MinResource float64
+	// MaxResource is R, the maximum resource per configuration.
+	MaxResource float64
+	// EarlyStopRate is s, the minimum early-stopping rate: rung 0 trains
+	// to r * eta^s. s=0 is the most aggressive setting.
+	EarlyStopRate int
+	// InfiniteHorizon removes the R cap (Section 3.3): configurations
+	// keep being promoted to ever-larger resources. MaxResource is then
+	// ignored for promotion decisions but still bounds a single job via
+	// RungCap if set.
+	InfiniteHorizon bool
+	// RungCap optionally bounds the number of rungs in the infinite
+	// horizon setting (0 = unbounded). It exists so simulations
+	// terminate; the algorithm itself needs no such cap.
+	RungCap int
+}
+
+func (c *ASHAConfig) validate() error {
+	if c.Space == nil {
+		return fmt.Errorf("core: ASHA requires a search space")
+	}
+	if c.RNG == nil {
+		return fmt.Errorf("core: ASHA requires an RNG")
+	}
+	if c.Eta < 2 {
+		return fmt.Errorf("core: ASHA requires eta >= 2, got %d", c.Eta)
+	}
+	if c.MinResource <= 0 {
+		return fmt.Errorf("core: ASHA requires a positive minimum resource")
+	}
+	if !c.InfiniteHorizon && c.MaxResource < c.MinResource {
+		return fmt.Errorf("core: ASHA requires R >= r")
+	}
+	if c.EarlyStopRate < 0 {
+		return fmt.Errorf("core: ASHA requires s >= 0")
+	}
+	return nil
+}
+
+// ashaRung is the bookkeeping for one rung: completed observations in a
+// top-k tracker, plus a min-heap of the entries not yet promoted out of
+// the rung. Both structures give O(log n) operations, which matters in
+// the 500-worker regime where the bottom rung accumulates ~10^5
+// entries.
+type ashaRung struct {
+	all        *topKTracker
+	unpromoted entryHeap // min-heap of entries not yet promoted
+	recorded   map[int]bool
+	promoted   map[int]bool
+}
+
+func newASHARung() *ashaRung {
+	return &ashaRung{
+		all:        newTopKTracker(),
+		unpromoted: entryHeap{max: false},
+		recorded:   make(map[int]bool),
+		promoted:   make(map[int]bool),
+	}
+}
+
+// insert records a completed observation.
+func (r *ashaRung) insert(e entry) {
+	r.all.Add(e)
+	r.unpromoted.Push(e)
+}
+
+// size returns the number of completed observations in the rung.
+func (r *ashaRung) size() int { return r.all.Len() }
+
+// promotable returns the best unpromoted trial if it ranks within the
+// top k of the rung, or (-1, false). The best unpromoted entry is
+// promotable exactly when it is at or below the k-th smallest entry
+// overall (all entries strictly better than it are already promoted).
+func (r *ashaRung) promotable(k int) (int, bool) {
+	if k <= 0 {
+		return -1, false
+	}
+	r.all.Rebalance(k)
+	top, ok := r.unpromoted.Peek()
+	if !ok {
+		return -1, false
+	}
+	thr, ok := r.all.Threshold()
+	if !ok {
+		return -1, false
+	}
+	if entryLess(thr, top) {
+		return -1, false // best unpromoted entry ranks outside the top k
+	}
+	return top.trialID, true
+}
+
+// markPromoted removes the rung's best unpromoted entry (which must be
+// the trial just returned by promotable) and flags it.
+func (r *ashaRung) markPromoted(trialID int) {
+	e, ok := r.unpromoted.Pop()
+	if !ok || e.trialID != trialID {
+		panic("core: markPromoted out of order with promotable")
+	}
+	r.promoted[trialID] = true
+}
+
+// ASHA implements Algorithm 2. Whenever a worker asks for a job, it
+// promotes a configuration in the top 1/eta of some rung if one exists
+// (scanning from the highest rung down), and otherwise adds a fresh
+// random configuration to the bottom rung.
+type ASHA struct {
+	cfg      ASHAConfig
+	topRung  int // highest rung index (promotion target); -1 if unbounded
+	rungs    []*ashaRung
+	retry    []Job
+	trials   map[int]searchspace.Config
+	nextID   int
+	inc      incumbent
+	launched int // total jobs issued, for introspection
+	// sampleHook, when non-nil, replaces uniform sampling of new
+	// bottom-rung configurations (ModelASHA's TPE plugs in here).
+	sampleHook func() searchspace.Config
+}
+
+// NewASHA constructs an ASHA scheduler. It panics on invalid
+// configuration (configurations are static in practice).
+func NewASHA(cfg ASHAConfig) *ASHA {
+	if err := cfg.validate(); err != nil {
+		panic(err)
+	}
+	a := &ASHA{cfg: cfg, trials: make(map[int]searchspace.Config)}
+	if cfg.InfiniteHorizon {
+		a.topRung = -1
+		if cfg.RungCap > 0 {
+			a.topRung = cfg.RungCap
+		}
+	} else {
+		a.topRung = MaxRung(cfg.MinResource, cfg.MaxResource, cfg.Eta) - cfg.EarlyStopRate
+		if a.topRung < 0 {
+			a.topRung = 0
+		}
+	}
+	a.rungs = append(a.rungs, newASHARung())
+	return a
+}
+
+// rungResource returns the cumulative resource of rung k: r * eta^(s+k),
+// capped at R in the finite horizon.
+func (a *ASHA) rungResource(k int) float64 {
+	res := a.cfg.MinResource * math.Pow(float64(a.cfg.Eta), float64(a.cfg.EarlyStopRate+k))
+	if !a.cfg.InfiniteHorizon && res > a.cfg.MaxResource {
+		res = a.cfg.MaxResource
+	}
+	return res
+}
+
+// Next implements the get_job procedure of Algorithm 2.
+func (a *ASHA) Next() (Job, bool) {
+	if len(a.retry) > 0 {
+		job := a.retry[0]
+		a.retry = a.retry[1:]
+		a.launched++
+		return job, true
+	}
+	// Check for a promotable configuration, top rung first.
+	for k := len(a.rungs) - 1; k >= 0; k-- {
+		if a.topRung >= 0 && k >= a.topRung {
+			continue // rung k's survivors are already at max resource
+		}
+		rung := a.rungs[k]
+		id, ok := rung.promotable(rung.size() / a.cfg.Eta)
+		if !ok {
+			continue
+		}
+		rung.markPromoted(id)
+		a.ensureRung(k + 1)
+		a.launched++
+		return Job{
+			TrialID:        id,
+			Config:         a.trials[id],
+			Rung:           k + 1,
+			TargetResource: a.rungResource(k + 1),
+			InheritFrom:    -1,
+		}, true
+	}
+	// No promotion possible: grow the bottom rung.
+	id := a.nextID
+	a.nextID++
+	var cfg searchspace.Config
+	if a.sampleHook != nil {
+		cfg = a.sampleHook()
+	} else {
+		cfg = a.cfg.Space.Sample(a.cfg.RNG)
+	}
+	a.trials[id] = cfg
+	a.launched++
+	return Job{TrialID: id, Config: cfg, Rung: 0, TargetResource: a.rungResource(0), InheritFrom: -1}, true
+}
+
+func (a *ASHA) ensureRung(k int) {
+	for len(a.rungs) <= k {
+		a.rungs = append(a.rungs, newASHARung())
+	}
+}
+
+// Report records a completed observation in its rung. Failed (dropped)
+// jobs are retried: the configuration's training state was rolled back
+// by the executor, so the identical job is simply re-queued.
+func (a *ASHA) Report(res Result) {
+	if res.Failed {
+		a.retry = append(a.retry, Job{
+			TrialID:        res.TrialID,
+			Config:         a.trials[res.TrialID],
+			Rung:           res.Rung,
+			TargetResource: a.rungResource(res.Rung),
+			InheritFrom:    -1,
+		})
+		return
+	}
+	a.ensureRung(res.Rung)
+	rung := a.rungs[res.Rung]
+	if !rung.recorded[res.TrialID] {
+		rung.recorded[res.TrialID] = true
+		rung.insert(entry{trialID: res.TrialID, loss: res.Loss})
+	}
+	// Section 3.3: ASHA uses intermediate losses to determine the
+	// current best configuration.
+	a.inc.observe(res)
+}
+
+// Best returns the incumbent by lowest intermediate validation loss.
+func (a *ASHA) Best() (Best, bool) { return a.inc.get() }
+
+// Done always reports false: ASHA grows its bracket incrementally and is
+// stopped by the executor's budget.
+func (a *ASHA) Done() bool { return false }
+
+// RungSizes returns the number of completed entries per rung, lowest
+// first — the live counterpart of Figure 2's "each rung should have about
+// 1/eta of the configurations of the rung below it".
+func (a *ASHA) RungSizes() []int {
+	out := make([]int, len(a.rungs))
+	for i, r := range a.rungs {
+		out[i] = r.size()
+	}
+	return out
+}
+
+// Launched returns the total number of jobs issued.
+func (a *ASHA) Launched() int { return a.launched }

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+func newTestModelASHA(frac float64) *ModelASHA {
+	return NewModelASHA(ModelASHAConfig{
+		Space:          smallSpace(),
+		RNG:            xrand.New(1),
+		Eta:            4,
+		MinResource:    1,
+		MaxResource:    64,
+		RandomFraction: frac,
+	})
+}
+
+// TestModelASHAKeepsPromotionSemantics: the model only changes sampling;
+// the promotion rule must be plain ASHA.
+func TestModelASHAKeepsPromotionSemantics(t *testing.T) {
+	m := newTestModelASHA(0.3)
+	losses := []float64{0.9, 0.5, 0.7, 0.6}
+	ids := make([]int, 4)
+	for i := 0; i < 4; i++ {
+		job, _ := m.Next()
+		ids[i] = job.TrialID
+		m.Report(Result{TrialID: job.TrialID, Rung: 0, Config: job.Config, Loss: losses[i], Resource: 1})
+	}
+	job, ok := m.Next()
+	if !ok || job.Rung != 1 || job.TrialID != ids[1] {
+		t.Fatalf("expected promotion of trial %d, got %+v", ids[1], job)
+	}
+}
+
+// TestModelASHASteersSampling: on a smooth objective the late samples
+// should concentrate near the optimum relative to the early ones.
+func TestModelASHASteersSampling(t *testing.T) {
+	m := newTestModelASHA(0.15)
+	var early, late []float64
+	for i := 0; i < 1200; i++ {
+		job, _ := m.Next()
+		l := quadLoss(job.Config)
+		if job.Rung == 0 {
+			if i < 150 {
+				early = append(early, l)
+			} else if i > 800 {
+				late = append(late, l)
+			}
+		}
+		m.Report(Result{TrialID: job.TrialID, Rung: job.Rung, Config: job.Config, Loss: l, Resource: job.TargetResource})
+	}
+	if len(early) == 0 || len(late) == 0 {
+		t.Fatal("sampling phases empty")
+	}
+	if mean(late) >= mean(early) {
+		t.Fatalf("model did not steer: early mean %v, late mean %v", mean(early), mean(late))
+	}
+}
+
+// TestModelASHABeatsPlainASHAOnSmoothObjective: with identical budgets,
+// the model-based variant should find a better configuration on a
+// smooth landscape — the ablation motivating the extension.
+func TestModelASHABeatsPlainASHAOnSmoothObjective(t *testing.T) {
+	run := func(s Scheduler) float64 {
+		best := math.Inf(1)
+		for i := 0; i < 1500; i++ {
+			job, _ := s.Next()
+			l := quadLoss(job.Config)
+			if job.TargetResource >= 64 && l < best {
+				best = l
+			}
+			s.Report(Result{TrialID: job.TrialID, Rung: job.Rung, Config: job.Config, Loss: l, Resource: job.TargetResource})
+		}
+		return best
+	}
+	plain := run(NewASHA(ASHAConfig{Space: smallSpace(), RNG: xrand.New(5), Eta: 4, MinResource: 1, MaxResource: 64}))
+	model := run(newTestModelASHA(0.25))
+	if model >= plain {
+		t.Fatalf("model-based ASHA (%v) did not beat plain ASHA (%v)", model, plain)
+	}
+}
+
+func TestModelASHAFallsBackToRandomEarly(t *testing.T) {
+	m := newTestModelASHA(0.0) // even with no random fraction...
+	// ...the first samples must still be drawn (uniformly) because the
+	// model has no observations yet.
+	for i := 0; i < 3; i++ {
+		job, ok := m.Next()
+		if !ok || job.Config == nil {
+			t.Fatal("no configuration before the model is fit")
+		}
+		m.Report(Result{TrialID: job.TrialID, Rung: 0, Config: job.Config, Loss: 0.5, Resource: 1})
+	}
+}
+
+func TestModelASHAFailedJobsIgnoredByModel(t *testing.T) {
+	m := newTestModelASHA(0.5)
+	job, _ := m.Next()
+	m.Report(Result{TrialID: job.TrialID, Rung: 0, Config: job.Config, Failed: true})
+	if len(m.bestObs) != 0 {
+		t.Fatal("failed result leaked into the sampler's observations")
+	}
+	retry, ok := m.Next()
+	if !ok || retry.TrialID != job.TrialID {
+		t.Fatal("failed job not retried")
+	}
+}

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"repro/internal/bayesopt"
+	"repro/internal/searchspace"
+	"repro/internal/xrand"
+)
+
+// BOHBConfig parameterizes BOHB (Falkner et al. 2018) as the paper runs
+// it: synchronous SHA for early stopping — "BOHB uses SHA to perform
+// early-stopping and differs only in how configurations are sampled"
+// (Section 4.1) — with a TPE-style model proposing new configurations
+// once enough observations exist.
+type BOHBConfig struct {
+	Space         *searchspace.Space
+	RNG           *xrand.RNG
+	N             int
+	Eta           int
+	MinResource   float64
+	MaxResource   float64
+	EarlyStopRate int
+	// RandomFraction is the probability a configuration is sampled
+	// uniformly at random regardless of the model (BOHB's default 1/3),
+	// preserving theoretical guarantees.
+	RandomFraction float64
+	// AllowNewBrackets matches SHAConfig.AllowNewBrackets.
+	AllowNewBrackets bool
+}
+
+// BOHB wraps synchronous SHA, replacing uniform sampling of new bracket
+// configurations with TPE proposals fit to the observations at the
+// largest resource that has enough of them.
+type BOHB struct {
+	*SHA
+	tpe *bayesopt.TPE
+	rng *xrand.RNG
+	// frac is the random fraction.
+	frac  float64
+	space *searchspace.Space
+}
+
+// NewBOHB constructs a BOHB scheduler. It panics on invalid
+// configuration.
+func NewBOHB(cfg BOHBConfig) *BOHB {
+	if cfg.RandomFraction == 0 {
+		cfg.RandomFraction = 1.0 / 3
+	}
+	b := &BOHB{
+		tpe:   bayesopt.NewTPE(cfg.Space),
+		rng:   cfg.RNG,
+		frac:  cfg.RandomFraction,
+		space: cfg.Space,
+	}
+	sha := NewSHA(SHAConfig{
+		Space:            cfg.Space,
+		RNG:              cfg.RNG,
+		N:                cfg.N,
+		Eta:              cfg.Eta,
+		MinResource:      cfg.MinResource,
+		MaxResource:      cfg.MaxResource,
+		EarlyStopRate:    cfg.EarlyStopRate,
+		AllowNewBrackets: cfg.AllowNewBrackets,
+	})
+	sha.sampler = b.sample
+	b.SHA = sha
+	// The first bracket was sampled by NewSHA before the hook was
+	// installed; that matches BOHB, whose first bracket is random
+	// anyway (no observations exist yet).
+	return b
+}
+
+// sample proposes a configuration: uniformly at random with probability
+// RandomFraction, otherwise from a TPE fit to the observations at the
+// highest resource level with at least dim+2 of them.
+func (b *BOHB) sample() searchspace.Config {
+	if b.rng.Bernoulli(b.frac) {
+		return b.space.Sample(b.rng)
+	}
+	obs := b.SHA.Observations()
+	// Group by resource level, keep the highest level with enough
+	// points (BOHB fits its model on the largest budget possible).
+	byRes := make(map[float64][]bayesopt.Point)
+	for _, o := range obs {
+		byRes[o.Resource] = append(byRes[o.Resource], bayesopt.Point{X: b.space.Encode(o.Config), Loss: o.Loss})
+	}
+	minPts := b.space.Dim() + 2
+	bestRes := -1.0
+	for res, pts := range byRes {
+		if len(pts) >= minPts && res > bestRes {
+			bestRes = res
+		}
+	}
+	if bestRes < 0 {
+		return b.space.Sample(b.rng)
+	}
+	return b.tpe.Sample(b.rng, byRes[bestRes])
+}

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/searchspace"
+	"repro/internal/xrand"
+)
+
+func smallSpace() *searchspace.Space {
+	return searchspace.New(
+		searchspace.Param{Name: "x", Type: searchspace.Uniform, Lo: 0, Hi: 1},
+		searchspace.Param{Name: "y", Type: searchspace.LogUniform, Lo: 1e-3, Hi: 1},
+	)
+}
+
+func TestMaxRungExactPowers(t *testing.T) {
+	if got := MaxRung(1, 9, 3); got != 2 {
+		t.Fatalf("MaxRung(1,9,3) = %d, want 2", got)
+	}
+	if got := MaxRung(1, 256, 4); got != 4 {
+		t.Fatalf("MaxRung(1,256,4) = %d, want 4", got)
+	}
+	if got := MaxRung(1, 1, 4); got != 0 {
+		t.Fatalf("MaxRung(1,1,4) = %d, want 0", got)
+	}
+	// Non-exact ratio floors.
+	if got := MaxRung(1, 10, 3); got != 2 {
+		t.Fatalf("MaxRung(1,10,3) = %d, want 2", got)
+	}
+}
+
+// TestBracketLayoutFigure1 checks the exact promotion-scheme table of
+// Figure 1: n=9, r=1, R=9, eta=3 across brackets s=0,1,2.
+func TestBracketLayoutFigure1(t *testing.T) {
+	type row struct {
+		n int
+		r float64
+	}
+	want := map[int][]row{
+		0: {{9, 1}, {3, 3}, {1, 9}},
+		1: {{9, 3}, {3, 9}},
+		2: {{9, 9}},
+	}
+	for s, rows := range want {
+		layout := BracketLayout(9, 1, 9, 3, s)
+		if len(layout) != len(rows) {
+			t.Fatalf("bracket %d: %d rungs, want %d", s, len(layout), len(rows))
+		}
+		for i, r := range rows {
+			if layout[i].N != r.n || layout[i].Resource != r.r {
+				t.Fatalf("bracket %d rung %d: got (n=%d, r=%v), want (n=%d, r=%v)",
+					s, i, layout[i].N, layout[i].Resource, r.n, r.r)
+			}
+		}
+	}
+}
+
+// TestBracketBudgetsFigure1 checks the "total budget" column: each rung
+// of a bracket costs the same n_i * r_i.
+func TestBracketBudgetsFigure1(t *testing.T) {
+	wantTotal := map[int]float64{0: 27, 1: 54, 2: 81}
+	for s, want := range wantTotal {
+		layout := BracketLayout(9, 1, 9, 3, s)
+		if got := TotalBudget(layout); got != want {
+			t.Fatalf("bracket %d total budget = %v, want %v", s, got, want)
+		}
+	}
+}
+
+// TestHyperbandBracketSizes checks the Appendix A.3 sizing: with eta=4
+// and R/r=256 the brackets hold 256, 80, 27, 10, 5 configurations.
+func TestHyperbandBracketSizes(t *testing.T) {
+	want := []int{256, 80, 27, 10, 5}
+	for s, n := range want {
+		if got := HyperbandBracketSize(1, 256, 4, s); got != n {
+			t.Fatalf("bracket %d size = %d, want %d", s, got, n)
+		}
+	}
+}
+
+func TestTopK(t *testing.T) {
+	entries := []entry{{1, 0.5}, {2, 0.1}, {3, 0.9}, {4, 0.1}}
+	got := topK(entries, 2)
+	// Tie between 2 and 4 at 0.1 breaks by ID.
+	if len(got) != 2 || got[0] != 2 || got[1] != 4 {
+		t.Fatalf("topK = %v", got)
+	}
+	if topK(entries, 0) != nil {
+		t.Fatal("topK(0) should be nil")
+	}
+	if got := topK(entries, 99); len(got) != 4 {
+		t.Fatal("topK should clamp k to the entry count")
+	}
+}
+
+func TestIncumbentTracksMinimum(t *testing.T) {
+	var inc incumbent
+	if _, ok := inc.get(); ok {
+		t.Fatal("fresh incumbent should be unset")
+	}
+	inc.observe(Result{TrialID: 1, Loss: 0.5, TrueLoss: 0.48})
+	inc.observe(Result{TrialID: 2, Loss: 0.7, TrueLoss: 0.69})
+	inc.observe(Result{TrialID: 3, Loss: 0.3, TrueLoss: 0.31})
+	b, ok := inc.get()
+	if !ok || b.TrialID != 3 || b.Loss != 0.3 {
+		t.Fatalf("incumbent = %+v", b)
+	}
+	// Failures and NaNs are ignored.
+	inc.observe(Result{TrialID: 4, Loss: 0.1, Failed: true})
+	inc.observe(Result{TrialID: 5, Loss: math.NaN()})
+	if b, _ := inc.get(); b.TrialID != 3 {
+		t.Fatal("incumbent accepted invalid results")
+	}
+}
+
+func TestRandomSearchTrainsToR(t *testing.T) {
+	rs := NewRandomSearch(RandomSearchConfig{Space: smallSpace(), RNG: xrand.New(1), MaxResource: 100})
+	seen := map[int]bool{}
+	for i := 0; i < 20; i++ {
+		job, ok := rs.Next()
+		if !ok {
+			t.Fatal("random search refused to produce work")
+		}
+		if job.TargetResource != 100 {
+			t.Fatalf("job resource %v, want full R", job.TargetResource)
+		}
+		if seen[job.TrialID] {
+			t.Fatal("random search repeated a trial ID")
+		}
+		seen[job.TrialID] = true
+		rs.Report(Result{TrialID: job.TrialID, Config: job.Config, Loss: float64(20 - i), Resource: 100})
+	}
+	b, ok := rs.Best()
+	if !ok || b.Loss != 1 {
+		t.Fatalf("best = %+v", b)
+	}
+	if rs.Done() {
+		t.Fatal("random search is never done")
+	}
+}
+
+func TestRandomSearchRetriesFailures(t *testing.T) {
+	rs := NewRandomSearch(RandomSearchConfig{Space: smallSpace(), RNG: xrand.New(2), MaxResource: 10})
+	job, _ := rs.Next()
+	rs.Report(Result{TrialID: job.TrialID, Failed: true})
+	retry, ok := rs.Next()
+	if !ok || retry.TrialID != job.TrialID {
+		t.Fatalf("expected retry of trial %d, got %+v", job.TrialID, retry)
+	}
+}

@@ -1,0 +1,253 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/searchspace"
+	"repro/internal/xrand"
+)
+
+func newTestPBT(pop int, spawn bool) *PBT {
+	return NewPBT(PBTConfig{
+		Space:            smallSpace(),
+		RNG:              xrand.New(1),
+		Population:       pop,
+		Step:             10,
+		MaxResource:      100,
+		TruncationFrac:   0.2,
+		MaxLag:           20,
+		SpawnPopulations: spawn,
+	})
+}
+
+func TestPBTStartsWholePopulation(t *testing.T) {
+	p := newTestPBT(5, false)
+	ids := map[int]bool{}
+	for i := 0; i < 5; i++ {
+		job, ok := p.Next()
+		if !ok {
+			t.Fatalf("stalled at member %d", i)
+		}
+		if job.Rung != 0 || job.TargetResource != 10 || job.InheritFrom != -1 {
+			t.Fatalf("unexpected first-step job %+v", job)
+		}
+		ids[job.TrialID] = true
+	}
+	if len(ids) != 5 {
+		t.Fatal("duplicate members issued")
+	}
+}
+
+func TestPBTLagBoundStallsWithoutSpawning(t *testing.T) {
+	p := newTestPBT(3, false)
+	// Run member 0 ahead while the others never report: the lag bound
+	// (MaxLag = 20 = 2 steps) must stop it.
+	var jobs []Job
+	for {
+		job, ok := p.Next()
+		if !ok {
+			break
+		}
+		jobs = append(jobs, job)
+	}
+	if len(jobs) != 3 {
+		t.Fatalf("issued %d jobs, want 3", len(jobs))
+	}
+	// Complete only the first member's step; it may take one more step
+	// (to resource 20 = 0 + MaxLag) but not a third.
+	first := jobs[0]
+	p.Report(Result{TrialID: first.TrialID, Config: first.Config, Loss: 0.5, Resource: 10})
+	job, ok := p.Next()
+	if !ok || job.TrialID != first.TrialID || job.TargetResource != 20 {
+		t.Fatalf("expected second step for member %d, got %+v ok=%v", first.TrialID, job, ok)
+	}
+	p.Report(Result{TrialID: job.TrialID, Config: job.Config, Loss: 0.4, Resource: 20})
+	if job, ok := p.Next(); ok {
+		t.Fatalf("lag bound violated: issued %+v", job)
+	}
+}
+
+func TestPBTSpawnsPopulationsWhenStalled(t *testing.T) {
+	p := newTestPBT(3, true)
+	for i := 0; i < 3; i++ {
+		p.Next()
+	}
+	// All members running: a fourth request must spawn a new population.
+	job, ok := p.Next()
+	if !ok {
+		t.Fatal("SpawnPopulations did not keep the worker busy")
+	}
+	if job.TrialID < 3 {
+		t.Fatalf("expected a fresh member, got trial %d", job.TrialID)
+	}
+	if len(p.pops) != 2 {
+		t.Fatalf("expected 2 populations, got %d", len(p.pops))
+	}
+}
+
+// TestPBTExploitCopiesFromTop: a bottom-fraction member inherits from a
+// top member and gets a perturbed or resampled configuration.
+func TestPBTExploitCopiesFromTop(t *testing.T) {
+	p := NewPBT(PBTConfig{
+		Space:          smallSpace(),
+		RNG:            xrand.New(3),
+		Population:     5,
+		Step:           10,
+		MaxResource:    100,
+		TruncationFrac: 0.2,
+		MaxLag:         0, // no lag bound for this test
+	})
+	var jobs []Job
+	for i := 0; i < 5; i++ {
+		job, _ := p.Next()
+		jobs = append(jobs, job)
+	}
+	// Member 0 is the best (loss 0.1); member 4 is the worst (0.9).
+	for i, job := range jobs {
+		loss := 0.1 + 0.2*float64(i)
+		p.Report(Result{TrialID: job.TrialID, Config: job.Config, Loss: loss, Resource: 10})
+	}
+	// Next jobs: the worst member, when its turn comes, must inherit
+	// from the best (top 20% of 5 = 1 member).
+	sawExploit := false
+	for i := 0; i < 5; i++ {
+		job, ok := p.Next()
+		if !ok {
+			t.Fatal("stalled")
+		}
+		if job.InheritFrom >= 0 {
+			if job.InheritFrom != jobs[0].TrialID {
+				t.Fatalf("inherited from trial %d, want the best trial %d", job.InheritFrom, jobs[0].TrialID)
+			}
+			sawExploit = true
+		}
+		p.Report(Result{TrialID: job.TrialID, Config: job.Config, Loss: 0.5, Resource: job.TargetResource})
+	}
+	if !sawExploit {
+		t.Fatal("bottom member never exploited the top member")
+	}
+}
+
+func TestPBTTopMemberNeverExploits(t *testing.T) {
+	p := NewPBT(PBTConfig{
+		Space:          smallSpace(),
+		RNG:            xrand.New(4),
+		Population:     4,
+		Step:           10,
+		MaxResource:    100,
+		TruncationFrac: 0.25,
+	})
+	var jobs []Job
+	for i := 0; i < 4; i++ {
+		job, _ := p.Next()
+		jobs = append(jobs, job)
+	}
+	bestID := jobs[2].TrialID
+	for i, job := range jobs {
+		loss := 0.9
+		if job.TrialID == bestID {
+			loss = 0.1
+		}
+		_ = i
+		p.Report(Result{TrialID: job.TrialID, Config: job.Config, Loss: loss, Resource: 10})
+	}
+	for i := 0; i < 4; i++ {
+		job, _ := p.Next()
+		if job.TrialID == bestID && job.InheritFrom >= 0 {
+			t.Fatal("the best member exploited someone")
+		}
+		p.Report(Result{TrialID: job.TrialID, Config: job.Config, Loss: 0.5, Resource: job.TargetResource})
+	}
+}
+
+func TestPBTFrozenParamsNeverChange(t *testing.T) {
+	space := searchspace.New(
+		searchspace.Param{Name: "arch", Type: searchspace.Choice, Choices: []float64{1, 2, 3}},
+		searchspace.Param{Name: "lr", Type: searchspace.LogUniform, Lo: 1e-4, Hi: 1},
+	)
+	p := NewPBT(PBTConfig{
+		Space:          space,
+		RNG:            xrand.New(5),
+		Population:     4,
+		Step:           10,
+		MaxResource:    200,
+		TruncationFrac: 0.25,
+		FrozenParams:   []string{"arch"},
+	})
+	arch := map[int]float64{}
+	rng := xrand.New(6)
+	for i := 0; i < 200; i++ {
+		job, ok := p.Next()
+		if !ok {
+			break
+		}
+		if prev, seen := arch[job.TrialID]; seen {
+			if job.Config["arch"] != prev && job.InheritFrom < 0 {
+				t.Fatalf("frozen parameter changed for trial %d without exploit", job.TrialID)
+			}
+		}
+		arch[job.TrialID] = job.Config["arch"]
+		p.Report(Result{TrialID: job.TrialID, Config: job.Config, Loss: rng.Float64(), Resource: job.TargetResource})
+	}
+}
+
+func TestPBTPerturbedConfigsStayLegal(t *testing.T) {
+	p := newTestPBT(6, false)
+	rng := xrand.New(7)
+	for i := 0; i < 300; i++ {
+		job, ok := p.Next()
+		if !ok {
+			break
+		}
+		if !p.cfg.Space.Contains(job.Config) {
+			t.Fatalf("illegal configuration issued: %v", job.Config)
+		}
+		p.Report(Result{TrialID: job.TrialID, Config: job.Config, Loss: rng.Float64(), Resource: job.TargetResource})
+	}
+}
+
+func TestPBTDoneWhenAllTrained(t *testing.T) {
+	p := NewPBT(PBTConfig{
+		Space:          smallSpace(),
+		RNG:            xrand.New(8),
+		Population:     2,
+		Step:           50,
+		MaxResource:    100,
+		TruncationFrac: 0.5,
+	})
+	rng := xrand.New(9)
+	for i := 0; i < 100 && !p.Done(); i++ {
+		job, ok := p.Next()
+		if !ok {
+			t.Fatal("stalled before completion")
+		}
+		p.Report(Result{TrialID: job.TrialID, Config: job.Config, Loss: rng.Float64(), Resource: job.TargetResource})
+	}
+	if !p.Done() {
+		t.Fatal("PBT never finished")
+	}
+	if _, ok := p.Next(); ok {
+		t.Fatal("Done scheduler still issues work")
+	}
+}
+
+func TestPBTValidation(t *testing.T) {
+	bad := []PBTConfig{
+		{RNG: xrand.New(1), Population: 4, Step: 1, MaxResource: 10, TruncationFrac: 0.2},
+		{Space: smallSpace(), Population: 4, Step: 1, MaxResource: 10, TruncationFrac: 0.2},
+		{Space: smallSpace(), RNG: xrand.New(1), Population: 1, Step: 1, MaxResource: 10, TruncationFrac: 0.2},
+		{Space: smallSpace(), RNG: xrand.New(1), Population: 4, Step: 0, MaxResource: 10, TruncationFrac: 0.2},
+		{Space: smallSpace(), RNG: xrand.New(1), Population: 4, Step: 20, MaxResource: 10, TruncationFrac: 0.2},
+		{Space: smallSpace(), RNG: xrand.New(1), Population: 4, Step: 1, MaxResource: 10, TruncationFrac: 0.9},
+	}
+	for i, cfg := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d: expected panic", i)
+				}
+			}()
+			NewPBT(cfg)
+		}()
+	}
+}

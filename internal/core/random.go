@@ -1,0 +1,74 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/searchspace"
+	"repro/internal/xrand"
+)
+
+// RandomSearchConfig parameterizes the random-search baseline: every
+// configuration is trained to the full resource R.
+type RandomSearchConfig struct {
+	Space       *searchspace.Space
+	RNG         *xrand.RNG
+	MaxResource float64
+}
+
+// RandomSearch trains uniformly sampled configurations to completion, in
+// an embarrassingly parallel fashion.
+type RandomSearch struct {
+	cfg    RandomSearchConfig
+	trials map[int]searchspace.Config
+	retry  []Job
+	nextID int
+	inc    incumbent
+}
+
+// NewRandomSearch constructs the baseline. It panics on invalid
+// configuration.
+func NewRandomSearch(cfg RandomSearchConfig) *RandomSearch {
+	if cfg.Space == nil || cfg.RNG == nil {
+		panic(fmt.Errorf("core: random search requires a space and an RNG"))
+	}
+	if cfg.MaxResource <= 0 {
+		panic(fmt.Errorf("core: random search requires a positive max resource"))
+	}
+	return &RandomSearch{cfg: cfg, trials: make(map[int]searchspace.Config)}
+}
+
+// Next returns a job training a fresh configuration to R.
+func (r *RandomSearch) Next() (Job, bool) {
+	if len(r.retry) > 0 {
+		job := r.retry[0]
+		r.retry = r.retry[1:]
+		return job, true
+	}
+	id := r.nextID
+	r.nextID++
+	cfg := r.cfg.Space.Sample(r.cfg.RNG)
+	r.trials[id] = cfg
+	return Job{TrialID: id, Config: cfg, Rung: 0, TargetResource: r.cfg.MaxResource, InheritFrom: -1}, true
+}
+
+// Report updates the incumbent; failed jobs are retried.
+func (r *RandomSearch) Report(res Result) {
+	if res.Failed {
+		r.retry = append(r.retry, Job{
+			TrialID:        res.TrialID,
+			Config:         r.trials[res.TrialID],
+			Rung:           0,
+			TargetResource: r.cfg.MaxResource,
+			InheritFrom:    -1,
+		})
+		return
+	}
+	r.inc.observe(res)
+}
+
+// Best returns the best fully-trained configuration so far.
+func (r *RandomSearch) Best() (Best, bool) { return r.inc.get() }
+
+// Done always reports false; random search is stopped by the executor's
+// budget.
+func (r *RandomSearch) Done() bool { return false }

@@ -1,0 +1,132 @@
+package core
+
+// entryLess is the total order used by all rung bookkeeping: ascending
+// loss, ties broken by trial ID for determinism.
+func entryLess(a, b entry) bool {
+	if a.loss != b.loss {
+		return a.loss < b.loss
+	}
+	return a.trialID < b.trialID
+}
+
+// entryHeap is a binary heap of entries. When max is false the root is
+// the smallest entry under entryLess; when max is true, the largest.
+type entryHeap struct {
+	max   bool
+	items []entry
+}
+
+func (h *entryHeap) Len() int { return len(h.items) }
+
+func (h *entryHeap) before(a, b entry) bool {
+	if h.max {
+		return entryLess(b, a)
+	}
+	return entryLess(a, b)
+}
+
+// Peek returns the root without removing it; ok=false when empty.
+func (h *entryHeap) Peek() (entry, bool) {
+	if len(h.items) == 0 {
+		return entry{}, false
+	}
+	return h.items[0], true
+}
+
+// Push inserts an entry.
+func (h *entryHeap) Push(e entry) {
+	h.items = append(h.items, e)
+	i := len(h.items) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.before(h.items[i], h.items[parent]) {
+			break
+		}
+		h.items[i], h.items[parent] = h.items[parent], h.items[i]
+		i = parent
+	}
+}
+
+// Pop removes and returns the root; ok=false when empty.
+func (h *entryHeap) Pop() (entry, bool) {
+	n := len(h.items)
+	if n == 0 {
+		return entry{}, false
+	}
+	root := h.items[0]
+	h.items[0] = h.items[n-1]
+	h.items = h.items[:n-1]
+	h.siftDown(0)
+	return root, true
+}
+
+func (h *entryHeap) siftDown(i int) {
+	n := len(h.items)
+	for {
+		l, r := 2*i+1, 2*i+2
+		best := i
+		if l < n && h.before(h.items[l], h.items[best]) {
+			best = l
+		}
+		if r < n && h.before(h.items[r], h.items[best]) {
+			best = r
+		}
+		if best == i {
+			return
+		}
+		h.items[i], h.items[best] = h.items[best], h.items[i]
+		i = best
+	}
+}
+
+// topKTracker maintains the multiset of rung entries partitioned into
+// the k smallest ("lower", a max-heap) and the rest ("upper", a
+// min-heap), supporting O(log n) insertion and O(log n) adjustment as k
+// grows. It answers "is e among the k smallest?" via the lower heap's
+// root. This keeps ASHA's get_job O(log n) even when a rung holds
+// hundreds of thousands of entries (the 500-worker regime).
+type topKTracker struct {
+	lower entryHeap // max-heap: the k smallest entries
+	upper entryHeap // min-heap: everything else
+}
+
+func newTopKTracker() *topKTracker {
+	return &topKTracker{lower: entryHeap{max: true}, upper: entryHeap{max: false}}
+}
+
+// Add inserts an entry, preserving the partition property for the
+// current lower size.
+func (t *topKTracker) Add(e entry) {
+	if low, ok := t.lower.Peek(); ok && entryLess(e, low) {
+		// e belongs among the k smallest; displace the current maximum
+		// of the lower heap to keep |lower| unchanged.
+		displaced, _ := t.lower.Pop()
+		t.lower.Push(e)
+		t.upper.Push(displaced)
+		return
+	}
+	t.upper.Push(e)
+}
+
+// Rebalance adjusts the partition so |lower| = min(k, total).
+func (t *topKTracker) Rebalance(k int) {
+	total := t.lower.Len() + t.upper.Len()
+	if k > total {
+		k = total
+	}
+	for t.lower.Len() < k {
+		e, _ := t.upper.Pop()
+		t.lower.Push(e)
+	}
+	for t.lower.Len() > k {
+		e, _ := t.lower.Pop()
+		t.upper.Push(e)
+	}
+}
+
+// Threshold returns the largest entry among the k smallest (the
+// promotion threshold); ok=false when the lower heap is empty.
+func (t *topKTracker) Threshold() (entry, bool) { return t.lower.Peek() }
+
+// Len returns the total number of tracked entries.
+func (t *topKTracker) Len() int { return t.lower.Len() + t.upper.Len() }

@@ -1,0 +1,231 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+func newTestSHA(n, eta int, r, R float64, s int, allowNew bool) *SHA {
+	return NewSHA(SHAConfig{
+		Space:            smallSpace(),
+		RNG:              xrand.New(1),
+		N:                n,
+		Eta:              eta,
+		MinResource:      r,
+		MaxResource:      R,
+		EarlyStopRate:    s,
+		AllowNewBrackets: allowNew,
+	})
+}
+
+// drainRung issues and completes every pending job of the current rung,
+// assigning losses from the given function of issue order.
+func drainRung(t *testing.T, s *SHA, lossFn func(i int) float64) []int {
+	t.Helper()
+	var jobs []Job
+	for {
+		job, ok := s.Next()
+		if !ok {
+			break
+		}
+		jobs = append(jobs, job)
+	}
+	ids := make([]int, len(jobs))
+	for i, job := range jobs {
+		ids[i] = job.TrialID
+		s.Report(Result{TrialID: job.TrialID, Rung: job.Rung, Config: job.Config, Loss: lossFn(i), Resource: job.TargetResource})
+	}
+	return ids
+}
+
+// TestSHARungBarrier: no rung-1 job may be issued until every rung-0 job
+// completes — the synchronization Section 3.1 identifies as SHA's
+// weakness.
+func TestSHARungBarrier(t *testing.T) {
+	s := newTestSHA(9, 3, 1, 9, 0, false)
+	var jobs []Job
+	for {
+		job, ok := s.Next()
+		if !ok {
+			break
+		}
+		if job.Rung != 0 {
+			t.Fatalf("rung-%d job before rung 0 completed", job.Rung)
+		}
+		jobs = append(jobs, job)
+	}
+	if len(jobs) != 9 {
+		t.Fatalf("issued %d rung-0 jobs, want 9", len(jobs))
+	}
+	// Complete all but one: still barred.
+	for i := 0; i < 8; i++ {
+		s.Report(Result{TrialID: jobs[i].TrialID, Rung: 0, Config: jobs[i].Config, Loss: float64(i), Resource: 1})
+	}
+	if _, ok := s.Next(); ok {
+		t.Fatal("SHA issued work before the rung barrier cleared")
+	}
+	// The straggler finishes: rung 1 opens with the top 3.
+	s.Report(Result{TrialID: jobs[8].TrialID, Rung: 0, Config: jobs[8].Config, Loss: 8, Resource: 1})
+	job, ok := s.Next()
+	if !ok || job.Rung != 1 || job.TargetResource != 3 {
+		t.Fatalf("expected rung-1 job, got %+v ok=%v", job, ok)
+	}
+}
+
+// TestSHAPromotesTopFraction: after rung 0 completes, exactly the top
+// n/eta survive.
+func TestSHAPromotesTopFraction(t *testing.T) {
+	s := newTestSHA(9, 3, 1, 9, 0, false)
+	ids := drainRung(t, s, func(i int) float64 { return float64(i) })
+	// Survivors should be the first three issued (losses 0, 1, 2).
+	want := map[int]bool{ids[0]: true, ids[1]: true, ids[2]: true}
+	for i := 0; i < 3; i++ {
+		job, ok := s.Next()
+		if !ok || job.Rung != 1 {
+			t.Fatalf("expected rung-1 job, got %+v", job)
+		}
+		if !want[job.TrialID] {
+			t.Fatalf("trial %d promoted but not in top 3", job.TrialID)
+		}
+	}
+	if _, ok := s.Next(); ok {
+		t.Fatal("more than n/eta promotions")
+	}
+}
+
+// TestSHACompletesBracket: a full bracket runs rungs 9 -> 3 -> 1 and is
+// then Done.
+func TestSHACompletesBracket(t *testing.T) {
+	s := newTestSHA(9, 3, 1, 9, 0, false)
+	counts := []int{}
+	for !s.Done() {
+		ids := drainRung(t, s, func(i int) float64 { return float64(i) })
+		if len(ids) == 0 {
+			t.Fatal("SHA stalled before completing the bracket")
+		}
+		counts = append(counts, len(ids))
+	}
+	if len(counts) != 3 || counts[0] != 9 || counts[1] != 3 || counts[2] != 1 {
+		t.Fatalf("rung job counts %v, want [9 3 1]", counts)
+	}
+}
+
+func TestSHAIncumbentByRungVsByBracket(t *testing.T) {
+	// By rung: incumbent appears after the first rung-0 completion.
+	byRung := newTestSHA(9, 3, 1, 9, 0, false)
+	job, _ := byRung.Next()
+	byRung.Report(Result{TrialID: job.TrialID, Rung: 0, Config: job.Config, Loss: 0.5, Resource: 1})
+	if _, ok := byRung.Best(); !ok {
+		t.Fatal("by-rung SHA should have an incumbent after one result")
+	}
+
+	// By bracket: nothing until the bracket completes.
+	byBracket := NewSHA(SHAConfig{
+		Space: smallSpace(), RNG: xrand.New(2),
+		N: 9, Eta: 3, MinResource: 1, MaxResource: 9,
+		IncumbentByBracket: true,
+	})
+	for !byBracket.Done() {
+		if _, ok := byBracket.Best(); ok {
+			t.Fatal("by-bracket SHA reported an incumbent mid-bracket")
+		}
+		drainRung(t, byBracket, func(i int) float64 { return float64(i) })
+	}
+	if _, ok := byBracket.Best(); !ok {
+		t.Fatal("by-bracket SHA has no incumbent after bracket completion")
+	}
+}
+
+// TestSHAAllowNewBrackets: with the Falkner et al. parallelization, idle
+// capacity starts another bracket instead of stalling.
+func TestSHAAllowNewBrackets(t *testing.T) {
+	s := newTestSHA(4, 2, 1, 4, 0, true)
+	// Issue the whole first bracket's rung 0 plus more: the scheduler
+	// must keep producing jobs (from a second bracket) instead of
+	// returning false.
+	seen := map[int]bool{}
+	for i := 0; i < 10; i++ {
+		job, ok := s.Next()
+		if !ok {
+			t.Fatalf("AllowNewBrackets scheduler stalled at job %d", i)
+		}
+		if seen[job.TrialID] {
+			t.Fatalf("job repeated for trial %d", job.TrialID)
+		}
+		seen[job.TrialID] = true
+	}
+	if len(s.brackets) < 2 {
+		t.Fatalf("expected at least 2 brackets, got %d", len(s.brackets))
+	}
+	if s.Done() {
+		t.Fatal("AllowNewBrackets scheduler must never be Done")
+	}
+}
+
+// TestSHAFailedJobBlocksRung: a dropped job is re-queued and the rung
+// barrier waits for its retry — the straggler/drop sensitivity of
+// Appendix A.1.
+func TestSHAFailedJobBlocksRung(t *testing.T) {
+	s := newTestSHA(4, 2, 1, 4, 0, false)
+	var jobs []Job
+	for {
+		job, ok := s.Next()
+		if !ok {
+			break
+		}
+		jobs = append(jobs, job)
+	}
+	for _, job := range jobs[:3] {
+		s.Report(Result{TrialID: job.TrialID, Rung: 0, Config: job.Config, Loss: 0.5, Resource: 1})
+	}
+	s.Report(Result{TrialID: jobs[3].TrialID, Rung: 0, Config: jobs[3].Config, Failed: true})
+	retry, ok := s.Next()
+	if !ok || retry.TrialID != jobs[3].TrialID || retry.Rung != 0 {
+		t.Fatalf("expected retry of the dropped job, got %+v", retry)
+	}
+	// Barrier still holds until the retry completes.
+	if _, ok := s.Next(); ok {
+		t.Fatal("rung advanced with a dropped job outstanding")
+	}
+	s.Report(Result{TrialID: retry.TrialID, Rung: 0, Config: retry.Config, Loss: 0.1, Resource: 1})
+	job, ok := s.Next()
+	if !ok || job.Rung != 1 {
+		t.Fatalf("rung did not advance after retry: %+v", job)
+	}
+}
+
+func TestSHAObservationsExposed(t *testing.T) {
+	s := newTestSHA(4, 2, 1, 4, 0, false)
+	drainRung(t, s, func(i int) float64 { return float64(i) })
+	obs := s.Observations()
+	if len(obs) != 4 {
+		t.Fatalf("got %d observations, want 4", len(obs))
+	}
+	for _, o := range obs {
+		if o.Resource != 1 || o.Config == nil {
+			t.Fatalf("malformed observation %+v", o)
+		}
+	}
+}
+
+func TestSHAConfigValidation(t *testing.T) {
+	bad := []SHAConfig{
+		{RNG: xrand.New(1), N: 4, Eta: 2, MinResource: 1, MaxResource: 4},
+		{Space: smallSpace(), N: 4, Eta: 2, MinResource: 1, MaxResource: 4},
+		{Space: smallSpace(), RNG: xrand.New(1), N: 0, Eta: 2, MinResource: 1, MaxResource: 4},
+		{Space: smallSpace(), RNG: xrand.New(1), N: 4, Eta: 1, MinResource: 1, MaxResource: 4},
+		{Space: smallSpace(), RNG: xrand.New(1), N: 4, Eta: 2, MinResource: 4, MaxResource: 1},
+		{Space: smallSpace(), RNG: xrand.New(1), N: 4, Eta: 2, MinResource: 1, MaxResource: 4, EarlyStopRate: -1},
+	}
+	for i, cfg := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d: expected panic", i)
+				}
+			}()
+			NewSHA(cfg)
+		}()
+	}
+}

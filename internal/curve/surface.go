@@ -1,0 +1,111 @@
+package curve
+
+import (
+	"math"
+
+	"repro/internal/xrand"
+)
+
+// Surface is a smooth pseudo-random response surface over the unit cube.
+// Each benchmark draws one Surface from its own seed and uses it to map
+// encoded hyperparameter vectors to a quality score in [0, 1]; the
+// benchmark then calibrates quality into loss asymptotes, convergence
+// rates and costs.
+//
+// The surface is a weighted sum of per-dimension unimodal wells plus
+// low-order pairwise interactions and a bounded high-frequency ripple.
+// This gives the properties real tuning response surfaces show: a few
+// parameters matter a lot, parameters interact, the top of the quality
+// range is sparsely populated, and nearby configurations score similarly.
+type Surface struct {
+	dim     int
+	opt     []float64 // per-dimension optimum location in [0,1]
+	weight  []float64 // per-dimension importance, sums to 1
+	power   []float64 // per-dimension well sharpness (>= 1)
+	pairs   []pairTerm
+	rippleA float64
+	rippleF []float64
+	rippleP []float64
+}
+
+type pairTerm struct {
+	i, j int
+	coef float64
+}
+
+// NewSurface draws a response surface of the given dimension from rng.
+func NewSurface(rng *xrand.RNG, dim int) *Surface {
+	if dim <= 0 {
+		panic("curve: surface dimension must be positive")
+	}
+	s := &Surface{dim: dim}
+	s.opt = make([]float64, dim)
+	s.weight = make([]float64, dim)
+	s.power = make([]float64, dim)
+	total := 0.0
+	for i := 0; i < dim; i++ {
+		s.opt[i] = rng.Uniform(0.15, 0.85)
+		// Importance follows a heavy-ish tail so a few dimensions
+		// dominate, as in real hyperparameter spaces.
+		w := math.Exp(rng.Normal(0, 1))
+		s.weight[i] = w
+		total += w
+		s.power[i] = rng.Uniform(1.0, 2.5)
+	}
+	for i := range s.weight {
+		s.weight[i] /= total
+	}
+	// A handful of pairwise interactions.
+	npairs := dim / 2
+	for p := 0; p < npairs; p++ {
+		s.pairs = append(s.pairs, pairTerm{
+			i:    rng.IntN(dim),
+			j:    rng.IntN(dim),
+			coef: rng.Uniform(-0.15, 0.15),
+		})
+	}
+	s.rippleA = rng.Uniform(0.01, 0.04)
+	s.rippleF = make([]float64, dim)
+	s.rippleP = make([]float64, dim)
+	for i := 0; i < dim; i++ {
+		s.rippleF[i] = rng.Uniform(2, 6)
+		s.rippleP[i] = rng.Uniform(0, 2*math.Pi)
+	}
+	return s
+}
+
+// Dim returns the surface's input dimension.
+func (s *Surface) Dim() int { return s.dim }
+
+// Quality maps a unit-cube point to a score in [0, 1]; higher is better.
+func (s *Surface) Quality(x []float64) float64 {
+	if len(x) != s.dim {
+		panic("curve: Quality dimension mismatch")
+	}
+	q := 0.0
+	for i, xi := range x {
+		d := math.Abs(xi - s.opt[i])
+		// Normalize so the worst corner of the well scores 0.
+		span := math.Max(s.opt[i], 1-s.opt[i])
+		if span <= 0 {
+			span = 1
+		}
+		well := 1 - math.Pow(d/span, s.power[i])
+		q += s.weight[i] * well
+	}
+	for _, pt := range s.pairs {
+		q += pt.coef * (x[pt.i] - 0.5) * (x[pt.j] - 0.5)
+	}
+	ripple := 0.0
+	for i, xi := range x {
+		ripple += math.Sin(s.rippleF[i]*xi*2*math.Pi + s.rippleP[i])
+	}
+	q += s.rippleA * ripple / float64(s.dim)
+	if q < 0 {
+		return 0
+	}
+	if q > 1 {
+		return 1
+	}
+	return q
+}

@@ -1,0 +1,206 @@
+// Package exec runs a tuning scheduler on real parallel hardware: a pool
+// of goroutine workers pulls jobs from the scheduler and trains actual
+// user-supplied objectives, with the same asynchronous contract the
+// cluster simulator uses. This is the execution path the public API's
+// Tuner employs.
+package exec
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/searchspace"
+)
+
+// Objective is a user training function. It must advance training of
+// the given configuration from cumulative resource `from` to `to`,
+// resuming from state (nil on first call), and return the validation
+// loss at `to` plus the state to resume from later. Implementations must
+// be safe for concurrent invocation on distinct trials.
+type Objective func(ctx context.Context, cfg searchspace.Config, from, to float64, state interface{}) (loss float64, newState interface{}, err error)
+
+// Options configures an execution run.
+type Options struct {
+	// Workers is the number of concurrent training goroutines (>= 1).
+	Workers int
+	// MaxJobs stops the run after this many completed jobs (0 = no
+	// limit; the context then bounds the run).
+	MaxJobs int
+	// MaxDuration stops the run after this wall-clock duration
+	// (0 = no limit).
+	MaxDuration time.Duration
+	// OnResult, if set, is invoked after every completed job with the
+	// scheduler's current incumbent. It runs under the executor's lock;
+	// keep it fast.
+	OnResult func(res core.Result, best core.Best, ok bool)
+}
+
+// trialState is the executor-side record of one trial.
+type trialState struct {
+	resource float64
+	state    interface{}
+	config   searchspace.Config
+}
+
+// Run drives the scheduler with a goroutine worker pool until the
+// context is cancelled, budgets are exhausted, or the scheduler is done.
+// A nil error is returned on budget/normal termination; objective errors
+// abort the run.
+func Run(ctx context.Context, sched core.Scheduler, obj Objective, opt Options) (*metrics.Run, error) {
+	if opt.Workers < 1 {
+		return nil, fmt.Errorf("exec: need at least one worker")
+	}
+	if opt.MaxDuration > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opt.MaxDuration)
+		defer cancel()
+	}
+
+	e := &engine{
+		sched:  sched,
+		obj:    obj,
+		opt:    opt,
+		trials: make(map[int]*trialState),
+		run:    &metrics.Run{FirstRTime: math.Inf(1)},
+		start:  time.Now(),
+	}
+	e.cond = sync.NewCond(&e.mu)
+
+	// Wake blocked workers when the context ends.
+	stopWatch := make(chan struct{})
+	go func() {
+		select {
+		case <-ctx.Done():
+		case <-stopWatch:
+		}
+		e.mu.Lock()
+		e.stopped = true
+		e.cond.Broadcast()
+		e.mu.Unlock()
+	}()
+	defer close(stopWatch)
+
+	var wg sync.WaitGroup
+	for w := 0; w < opt.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			e.workerLoop(ctx)
+		}()
+	}
+	wg.Wait()
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.run.EndTime = time.Since(e.start).Seconds()
+	e.run.Trials = len(e.trials)
+	for _, t := range e.trials {
+		e.run.TotalResource += t.resource
+	}
+	if e.err != nil && ctx.Err() == nil {
+		return e.run, e.err
+	}
+	return e.run, nil
+}
+
+type engine struct {
+	sched core.Scheduler
+	obj   Objective
+	opt   Options
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	trials  map[int]*trialState
+	running int
+	issued  int
+	stopped bool
+	err     error
+	run     *metrics.Run
+	start   time.Time
+}
+
+func (e *engine) workerLoop(ctx context.Context) {
+	for {
+		e.mu.Lock()
+		var job core.Job
+		var ok bool
+		for {
+			if e.stopped || e.err != nil || ctx.Err() != nil ||
+				(e.opt.MaxJobs > 0 && e.issued >= e.opt.MaxJobs) || e.sched.Done() {
+				e.mu.Unlock()
+				return
+			}
+			job, ok = e.sched.Next()
+			if ok {
+				break
+			}
+			if e.running == 0 {
+				// Nothing running and nothing schedulable: the run has
+				// drained (e.g. a one-bracket scheduler finished).
+				e.mu.Unlock()
+				e.cond.Broadcast()
+				return
+			}
+			e.cond.Wait() // synchronous barrier: wait for a completion
+		}
+		e.issued++
+		e.running++
+		t := e.trials[job.TrialID]
+		if t == nil {
+			t = &trialState{config: job.Config.Clone()}
+			e.trials[job.TrialID] = t
+		}
+		if job.InheritFrom >= 0 {
+			if donor := e.trials[job.InheritFrom]; donor != nil {
+				t.resource = donor.resource
+				t.state = donor.state
+			}
+		}
+		t.config = job.Config.Clone()
+		from, to := t.resource, job.TargetResource
+		state := t.state
+		e.mu.Unlock()
+
+		loss, newState, err := e.obj(ctx, job.Config, from, to, state)
+
+		e.mu.Lock()
+		e.running--
+		if err != nil {
+			if ctx.Err() == nil {
+				e.err = fmt.Errorf("exec: objective failed for trial %d: %w", job.TrialID, err)
+			}
+			e.cond.Broadcast()
+			e.mu.Unlock()
+			return
+		}
+		t.resource = to
+		t.state = newState
+		now := time.Since(e.start).Seconds()
+		res := core.Result{
+			TrialID:  job.TrialID,
+			Rung:     job.Rung,
+			Config:   job.Config,
+			Loss:     loss,
+			TrueLoss: loss,
+			Resource: to,
+			Time:     now,
+		}
+		e.sched.Report(res)
+		e.run.CompletedJobs++
+		e.run.IssuedJobs++
+		best, ok := e.sched.Best()
+		if ok {
+			e.run.Record(now, best.Loss, best.TrueLoss)
+		}
+		if e.opt.OnResult != nil {
+			e.opt.OnResult(res, best, ok)
+		}
+		e.cond.Broadcast()
+		e.mu.Unlock()
+	}
+}

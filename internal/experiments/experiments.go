@@ -1,0 +1,324 @@
+// Package experiments reproduces every table and figure in the paper's
+// evaluation (see DESIGN.md for the per-experiment index). Each
+// experiment is a named runner that assembles workloads, schedulers and
+// the cluster simulator, executes the paper's protocol, and renders the
+// resulting series/tables as text — the textual equivalent of the
+// paper's plots.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/plot"
+	"repro/internal/searchspace"
+	"repro/internal/workload"
+	"repro/internal/xrand"
+)
+
+// Options tunes an experiment run.
+type Options struct {
+	// Trials overrides the paper's number of repetitions (5 or 10);
+	// 0 keeps the paper's value.
+	Trials int
+	// Scale in (0, 1] shrinks time budgets and repetition counts
+	// proportionally for quick smoke runs; 0 means 1 (full scale).
+	Scale float64
+	// Seed offsets all randomness; 0 uses the default.
+	Seed uint64
+}
+
+func (o Options) scale() float64 {
+	if o.Scale <= 0 || o.Scale > 1 {
+		return 1
+	}
+	return o.Scale
+}
+
+func (o Options) trials(paper int) int {
+	if o.Trials > 0 {
+		return o.Trials
+	}
+	n := int(float64(paper)*o.scale() + 0.5)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+func (o Options) seed() uint64 { return o.Seed*0x9e37 + 0xE0 }
+
+// Result is a rendered experiment.
+type Result struct {
+	ID     string
+	Title  string
+	Output string
+}
+
+// runner is one experiment implementation.
+type runner struct {
+	id    string
+	title string
+	run   func(opt Options) string
+}
+
+// registry holds every experiment in presentation order.
+var registry []runner
+
+func register(id, title string, run func(opt Options) string) {
+	registry = append(registry, runner{id: id, title: title, run: run})
+}
+
+// IDs returns all experiment identifiers in presentation order.
+func IDs() []string {
+	out := make([]string, len(registry))
+	for i, r := range registry {
+		out[i] = r.id
+	}
+	return out
+}
+
+// Title returns the human-readable title for an experiment id.
+func Title(id string) (string, bool) {
+	for _, r := range registry {
+		if r.id == id {
+			return r.title, true
+		}
+	}
+	return "", false
+}
+
+// Run executes the experiment with the given id.
+func Run(id string, opt Options) (*Result, error) {
+	for _, r := range registry {
+		if r.id == id {
+			return &Result{ID: r.id, Title: r.title, Output: r.run(opt)}, nil
+		}
+	}
+	return nil, fmt.Errorf("experiments: unknown experiment %q (known: %s)", id, strings.Join(IDs(), ", "))
+}
+
+// searcherSpec names a tuning method and how to build it for a
+// benchmark and per-trial seed.
+type searcherSpec struct {
+	name string
+	make func(bench *workload.Benchmark, seed uint64) core.Scheduler
+	// evaluator optionally overrides the recorded test metric (used for
+	// Fabolas' predicted-loss incumbent; see Appendix A.2).
+	evaluator func(bench *workload.Benchmark) func(cfg searchspace.Config) float64
+}
+
+// comparison is a shared driver: run every searcher on a benchmark for
+// several trials and aggregate the incumbent test-loss series.
+type comparison struct {
+	bench    *workload.Benchmark
+	workers  int
+	maxTime  float64
+	trials   int
+	gridN    int
+	seedBase uint64
+	straggle float64
+	dropProb float64
+}
+
+func (c comparison) run(specs []searcherSpec) (names []string, agg map[string]*metrics.AggSeries) {
+	grid := metrics.Grid(c.maxTime, c.gridN)
+	agg = make(map[string]*metrics.AggSeries, len(specs))
+	for si, spec := range specs {
+		runs := make([]*metrics.Run, 0, c.trials)
+		for trial := 0; trial < c.trials; trial++ {
+			seed := c.seedBase + uint64(si)*1000 + uint64(trial)
+			bench := c.bench.WithNoiseSeed(seed)
+			sched := spec.make(bench, seed)
+			opt := cluster.Options{
+				Workers:     c.workers,
+				MaxTime:     c.maxTime,
+				Seed:        seed,
+				StragglerSD: c.straggle,
+				DropProb:    c.dropProb,
+			}
+			if spec.evaluator != nil {
+				opt.Evaluator = spec.evaluator(bench)
+			}
+			runs = append(runs, cluster.Run(sched, bench, opt))
+		}
+		agg[spec.name] = metrics.Aggregate(runs, grid)
+		names = append(names, spec.name)
+	}
+	return names, agg
+}
+
+// renderComparison renders a comparison result as a table plus a
+// milestone summary (time to reach the given target loss).
+func renderComparison(title, timeLabel string, names []string, agg map[string]*metrics.AggSeries, milestones []float64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n%s\n", title, strings.Repeat("-", len(title)))
+	var series []plot.Series
+	for _, n := range names {
+		s := agg[n]
+		if s == nil {
+			continue
+		}
+		series = append(series, plot.Series{Name: n, X: s.Times, Y: s.Mean})
+	}
+	b.WriteString(plot.Render(series, plot.Options{Width: 68, Height: 16, XLabel: timeLabel, YLabel: "mean incumbent test loss"}))
+	b.WriteString("\n")
+	if err := metrics.WriteTable(&b, timeLabel, names, agg); err != nil {
+		fmt.Fprintf(&b, "render error: %v\n", err)
+	}
+	if len(milestones) > 0 {
+		fmt.Fprintf(&b, "\nMean final loss and time-to-target (by mean series):\n")
+		for _, name := range names {
+			s := agg[name]
+			final := s.Mean[len(s.Mean)-1]
+			fmt.Fprintf(&b, "  %-18s final=%8.4f", name, final)
+			for _, m := range milestones {
+				t := timeToTarget(s, m)
+				if t < 0 {
+					fmt.Fprintf(&b, "  t(<=%g)=never", m)
+				} else {
+					fmt.Fprintf(&b, "  t(<=%g)=%.0f", m, t)
+				}
+			}
+			fmt.Fprintln(&b)
+		}
+	}
+	return b.String()
+}
+
+// timeToTarget returns the first grid time at which the mean series is
+// at or below target, or -1.
+func timeToTarget(s *metrics.AggSeries, target float64) float64 {
+	for i, v := range s.Mean {
+		if !isNaN(v) && v <= target {
+			return s.Times[i]
+		}
+	}
+	return -1
+}
+
+func isNaN(v float64) bool { return v != v }
+
+// Standard searcher constructors shared by several figures. All follow
+// the Appendix A.3 settings: n=256, eta=4, s=0, r=R/256 for the CIFAR
+// benchmarks.
+
+func specASHA(eta int, rDiv float64, s int) searcherSpec {
+	return searcherSpec{
+		name: "ASHA",
+		make: func(bench *workload.Benchmark, seed uint64) core.Scheduler {
+			return core.NewASHA(core.ASHAConfig{
+				Space:         bench.Space(),
+				RNG:           xrand.New(seed ^ 0xA54A),
+				Eta:           eta,
+				MinResource:   bench.MaxResource() / rDiv,
+				MaxResource:   bench.MaxResource(),
+				EarlyStopRate: s,
+			})
+		},
+	}
+}
+
+func specSHA(n, eta int, rDiv float64, s int) searcherSpec {
+	return searcherSpec{
+		name: "SHA",
+		make: func(bench *workload.Benchmark, seed uint64) core.Scheduler {
+			return core.NewSHA(core.SHAConfig{
+				Space:            bench.Space(),
+				RNG:              xrand.New(seed ^ 0x54A0),
+				N:                n,
+				Eta:              eta,
+				MinResource:      bench.MaxResource() / rDiv,
+				MaxResource:      bench.MaxResource(),
+				EarlyStopRate:    s,
+				AllowNewBrackets: true,
+			})
+		},
+	}
+}
+
+func specBOHB(n, eta int, rDiv float64, s int) searcherSpec {
+	return searcherSpec{
+		name: "BOHB",
+		make: func(bench *workload.Benchmark, seed uint64) core.Scheduler {
+			return core.NewBOHB(core.BOHBConfig{
+				Space:            bench.Space(),
+				RNG:              xrand.New(seed ^ 0xB0B),
+				N:                n,
+				Eta:              eta,
+				MinResource:      bench.MaxResource() / rDiv,
+				MaxResource:      bench.MaxResource(),
+				EarlyStopRate:    s,
+				AllowNewBrackets: true,
+			})
+		},
+	}
+}
+
+func specRandom() searcherSpec {
+	return searcherSpec{
+		name: "Random",
+		make: func(bench *workload.Benchmark, seed uint64) core.Scheduler {
+			return core.NewRandomSearch(core.RandomSearchConfig{
+				Space:       bench.Space(),
+				RNG:         xrand.New(seed ^ 0x4A4D),
+				MaxResource: bench.MaxResource(),
+			})
+		},
+	}
+}
+
+func specHyperband(name string, eta int, rDiv float64, mode core.IncumbentMode) searcherSpec {
+	return searcherSpec{
+		name: name,
+		make: func(bench *workload.Benchmark, seed uint64) core.Scheduler {
+			return core.NewHyperband(core.HyperbandConfig{
+				Space:         bench.Space(),
+				RNG:           xrand.New(seed ^ 0x88B),
+				Eta:           eta,
+				MinResource:   bench.MaxResource() / rDiv,
+				MaxResource:   bench.MaxResource(),
+				MaxBracket:    -1,
+				IncumbentMode: mode,
+			})
+		},
+	}
+}
+
+func specAsyncHyperband(eta int, rDiv float64, maxBracket int) searcherSpec {
+	return searcherSpec{
+		name: "Hyperband (async)",
+		make: func(bench *workload.Benchmark, seed uint64) core.Scheduler {
+			return core.NewAsyncHyperband(core.AsyncHyperbandConfig{
+				Space:       bench.Space(),
+				RNG:         xrand.New(seed ^ 0xA8B),
+				Eta:         eta,
+				MinResource: bench.MaxResource() / rDiv,
+				MaxResource: bench.MaxResource(),
+				MaxBracket:  maxBracket,
+			})
+		},
+	}
+}
+
+func specPBT(pop int, step float64, frozen []string) searcherSpec {
+	return searcherSpec{
+		name: "PBT",
+		make: func(bench *workload.Benchmark, seed uint64) core.Scheduler {
+			return core.NewPBT(core.PBTConfig{
+				Space:            bench.Space(),
+				RNG:              xrand.New(seed ^ 0x9B7),
+				Population:       pop,
+				Step:             step,
+				MaxResource:      bench.MaxResource(),
+				TruncationFrac:   0.2,
+				MaxLag:           2 * step,
+				FrozenParams:     frozen,
+				SpawnPopulations: true,
+			})
+		},
+	}
+}

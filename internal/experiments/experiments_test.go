@@ -1,0 +1,185 @@
+package experiments
+
+import (
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// smoke runs an experiment at a tiny scale and returns its output.
+func smoke(t *testing.T, id string, opt Options) string {
+	t.Helper()
+	res, err := Run(id, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ID != id || res.Output == "" {
+		t.Fatalf("empty result for %s", id)
+	}
+	return res.Output
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
+		"tab1", "tab2", "tab3", "speedup", "mispromote"}
+	have := map[string]bool{}
+	for _, id := range IDs() {
+		have[id] = true
+	}
+	for _, id := range want {
+		if !have[id] {
+			t.Fatalf("experiment %s missing from registry", id)
+		}
+		if _, ok := Title(id); !ok {
+			t.Fatalf("experiment %s has no title", id)
+		}
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	if _, err := Run("nope", Options{}); err == nil {
+		t.Fatal("expected error for unknown experiment")
+	}
+}
+
+func TestFig1ExactTable(t *testing.T) {
+	out := smoke(t, "fig1", Options{})
+	// Spot-check the Figure 1 values: bracket 0 rungs (9,1), (3,3),
+	// (1,9) with total budget 27; bracket 2 total budget 81.
+	for _, want := range []string{"27", "54", "81"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("fig1 missing budget %s:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig2TracesDiffer(t *testing.T) {
+	out := smoke(t, "fig2", Options{})
+	if !strings.Contains(out, "8@r2(9)") {
+		t.Fatalf("configuration 8 should reach rung 2 in both traces:\n%s", out)
+	}
+	// The synchronous trace runs all nine rung-0 jobs first; the
+	// asynchronous one promotes configuration 1 after three completions.
+	sync := out[strings.Index(out, "Synchronous"):]
+	async := out[strings.Index(out, "Asynchronous"):]
+	if !strings.Contains(async, "1@r0(1) 2@r0(1) 3@r0(1) 1@r1(3)") {
+		t.Fatalf("ASHA should promote config 1 after three rung-0 results:\n%s", async)
+	}
+	if !strings.Contains(sync, "9@r0(1) 8@r1(3)") {
+		t.Fatalf("SHA should finish rung 0 before promoting:\n%s", sync)
+	}
+}
+
+func TestFig4SmokeShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration smoke test")
+	}
+	out := smoke(t, "fig4", Options{Trials: 1, Scale: 0.2})
+	for _, name := range []string{"ASHA", "PBT", "SHA", "BOHB"} {
+		if !strings.Contains(out, name) {
+			t.Fatalf("fig4 missing searcher %s", name)
+		}
+	}
+	if !strings.Contains(out, "cifar10-cuda-convnet") || !strings.Contains(out, "cifar10-small-cnn") {
+		t.Fatal("fig4 missing a benchmark")
+	}
+}
+
+func TestFig6SmokeShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration smoke test")
+	}
+	out := smoke(t, "fig6", Options{Trials: 2, Scale: 0.5})
+	if !strings.Contains(out, "PBT") || !strings.Contains(out, "ASHA") {
+		t.Fatal("fig6 missing searchers")
+	}
+}
+
+func TestFig7ASHABeatsSHAUnderStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration smoke test")
+	}
+	// At high straggler variance ASHA must train at least as many
+	// configurations to R as synchronous SHA (Appendix A.1's claim).
+	bench := simBenchmark()
+	_ = bench
+	out := smoke(t, "fig7", Options{Trials: 3, Scale: 0.5})
+	lines := strings.Split(out, "\n")
+	checked := 0
+	for _, line := range lines {
+		fields := strings.Fields(line)
+		if len(fields) == 3 && strings.Contains(line, ".") && !strings.Contains(line, "prob") && !strings.Contains(line, "std") {
+			drop, err1 := strconv.ParseFloat(fields[0], 64)
+			ashaV, err2 := strconv.ParseFloat(fields[1], 64)
+			shaV, err3 := strconv.ParseFloat(fields[2], 64)
+			if err1 != nil || err2 != nil || err3 != nil {
+				continue
+			}
+			_ = drop
+			checked++
+			if ashaV < shaV-6 {
+				t.Fatalf("ASHA (%v) far below SHA (%v) in fig7 row %q", ashaV, shaV, line)
+			}
+		}
+	}
+	if checked < 8 {
+		t.Fatalf("parsed only %d fig7 rows:\n%s", checked, out)
+	}
+}
+
+func TestMispromotionsSqrtScaling(t *testing.T) {
+	rngOut := smoke(t, "mispromote", Options{})
+	if !strings.Contains(rngOut, "mis/sqrt(n)") {
+		t.Fatal("mispromote output malformed")
+	}
+}
+
+func TestSpeedupClaimHolds(t *testing.T) {
+	out := smoke(t, "speedup", Options{})
+	if strings.Contains(out, "false") {
+		t.Fatalf("a bracket geometry violated the 2x time(R) bound:\n%s", out)
+	}
+	if !strings.Contains(out, "1.00 x time(R)") {
+		t.Fatalf("checkpointed simulation should hit 1 x time(R):\n%s", out)
+	}
+}
+
+func TestTablesMatchPaper(t *testing.T) {
+	tab1 := smoke(t, "tab1", Options{})
+	for _, param := range []string{"batch size", "# of layers", "# of filters", "learning rate"} {
+		if !strings.Contains(tab1, param) {
+			t.Fatalf("tab1 missing %q", param)
+		}
+	}
+	tab2 := smoke(t, "tab2", Options{})
+	if !strings.Contains(tab2, "# of hidden nodes") || !strings.Contains(tab2, "clip gradients") {
+		t.Fatal("tab2 missing Table 2 parameters")
+	}
+	tab3 := smoke(t, "tab3", Options{})
+	if !strings.Contains(tab3, "dropout (dropconnect)") || !strings.Contains(tab3, "weight decay") {
+		t.Fatal("tab3 missing Table 3 parameters")
+	}
+}
+
+func TestOptionsScaling(t *testing.T) {
+	o := Options{}
+	if o.scale() != 1 || o.trials(10) != 10 {
+		t.Fatal("default options should be full scale")
+	}
+	o = Options{Scale: 0.5}
+	if o.trials(10) != 5 {
+		t.Fatalf("scaled trials = %d", o.trials(10))
+	}
+	o = Options{Trials: 3, Scale: 0.5}
+	if o.trials(10) != 3 {
+		t.Fatal("explicit trials should win")
+	}
+	o = Options{Scale: 0.01}
+	if o.trials(5) != 1 {
+		t.Fatal("trials should never drop below 1")
+	}
+	if math.IsNaN(o.scale()) {
+		t.Fatal("scale NaN")
+	}
+}

@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/searchspace"
+	"repro/internal/xrand"
+)
+
+func init() {
+	register("fig1", "Figure 1: SHA promotion scheme (n=9, r=1, R=9, eta=3)", runFig1)
+	register("fig2", "Figure 2: chronological job traces, synchronous SHA vs ASHA", runFig2)
+}
+
+// runFig1 regenerates the promotion-scheme table of Figure 1 (right):
+// rung sizes, per-configuration resources and total budget per bracket.
+func runFig1(_ Options) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s %-6s %-4s %-6s %-12s\n", "bracket", "rung", "n_i", "r_i", "total budget")
+	for s := 0; s <= 2; s++ {
+		layout := core.BracketLayout(9, 1, 9, 3, s)
+		for i, rung := range layout {
+			label := ""
+			if i == 0 {
+				label = fmt.Sprintf("%d", s)
+			}
+			budget := ""
+			if i == len(layout)-1 {
+				budget = fmt.Sprintf("%.0f", core.TotalBudget(layout))
+			}
+			fmt.Fprintf(&b, "%-8s %-6d %-4d %-6.0f %-12s\n", label, rung.Index, rung.N, rung.Resource, budget)
+		}
+	}
+	return b.String()
+}
+
+// fig2Losses are the rung-0 ranks used in Figure 2: configurations 1, 6
+// and 8 (1-indexed) are the top three, with 8 the best.
+var fig2Losses = []float64{0.30, 0.80, 0.70, 0.75, 0.85, 0.25, 0.90, 0.10, 0.60}
+
+// runFig2 replays the single-worker chronological job sequences of both
+// promotion schemes on the Figure 1 bracket. For SHA the nine rung-0
+// jobs must all finish before any rung-1 job; ASHA interleaves
+// promotions as soon as configurations are promotable.
+func runFig2(_ Options) string {
+	var b strings.Builder
+	space := searchspace.New(searchspace.Param{Name: "x", Type: searchspace.Uniform, Lo: 0, Hi: 1})
+
+	b.WriteString("Chronological jobs (config#@rung, budget = cumulative resource):\n\n")
+	b.WriteString("Successive Halving (Synchronous):\n  ")
+	sha := core.NewSHA(core.SHAConfig{
+		Space: space, RNG: xrand.New(1),
+		N: 9, Eta: 3, MinResource: 1, MaxResource: 9,
+	})
+	b.WriteString(traceJobs(sha, 13))
+
+	b.WriteString("\nSuccessive Halving (Asynchronous):\n  ")
+	asha := core.NewASHA(core.ASHAConfig{
+		Space: space, RNG: xrand.New(1),
+		Eta: 3, MinResource: 1, MaxResource: 9,
+	})
+	b.WriteString(traceJobs(asha, 13))
+	b.WriteString("\nASHA promotes to a rung as soon as a configuration is in its top 1/3,\nwhile SHA completes each rung before starting the next.\n")
+	return b.String()
+}
+
+// traceJobs drives a scheduler with one worker and the fixed Figure 2
+// losses, returning the job sequence rendered as "cfg@rung(budget)".
+func traceJobs(sched core.Scheduler, jobs int) string {
+	var parts []string
+	arrival := 0
+	ids := map[int]int{} // trialID -> 1-indexed configuration number
+	lossOf := map[int]float64{}
+	for j := 0; j < jobs; j++ {
+		job, ok := sched.Next()
+		if !ok {
+			parts = append(parts, "(stall)")
+			break
+		}
+		if _, seen := ids[job.TrialID]; !seen {
+			ids[job.TrialID] = arrival + 1
+			lossOf[job.TrialID] = fig2Losses[arrival%len(fig2Losses)]
+			arrival++
+		}
+		parts = append(parts, fmt.Sprintf("%d@r%d(%.0f)", ids[job.TrialID], job.Rung, job.TargetResource))
+		sched.Report(core.Result{
+			TrialID:  job.TrialID,
+			Rung:     job.Rung,
+			Config:   job.Config,
+			Loss:     lossOf[job.TrialID],
+			TrueLoss: lossOf[job.TrialID],
+			Resource: job.TargetResource,
+		})
+	}
+	return strings.Join(parts, " ") + "\n"
+}

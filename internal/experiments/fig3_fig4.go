@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+func init() {
+	register("fig3", "Figure 3: sequential experiments (1 worker) on CIFAR-10 benchmarks", runFig3)
+	register("fig4", "Figure 4: limited-scale distributed experiments (25 workers)", runFig4)
+}
+
+// cifarSpecsSequential is the searcher lineup of Figure 3: SHA,
+// Hyperband, Random, PBT, ASHA, asynchronous Hyperband and BOHB, all
+// with the Appendix A.3 settings (n=256, eta=4, s=0, r=R/256; PBT
+// population 25 adapting every 1000 iterations).
+func cifarSpecs(frozen []string, includeSequentialOnly bool) []searcherSpec {
+	specs := []searcherSpec{
+		specSHA(256, 4, 256, 0),
+	}
+	if includeSequentialOnly {
+		specs = append(specs,
+			specHyperband("Hyperband", 4, 256, core.ByRung),
+			specRandom(),
+		)
+	}
+	specs = append(specs,
+		specPBT(25, 1000, frozen),
+		specASHA(4, 256, 0),
+	)
+	if includeSequentialOnly {
+		specs = append(specs, specAsyncHyperband(4, 256, 4))
+	}
+	specs = append(specs, specBOHB(256, 4, 256, 0))
+	return specs
+}
+
+func runFig3(opt Options) string {
+	trials := opt.trials(10)
+	maxTime := 2500 * opt.scale()
+	var b strings.Builder
+	for _, bench := range []*workload.Benchmark{workload.CudaConvnet(), workload.SmallCNNCIFAR()} {
+		frozen := []string(nil)
+		if bench.Name() == "cifar10-small-cnn" {
+			frozen = workload.ArchParams()
+		}
+		c := comparison{
+			bench:    bench,
+			workers:  1,
+			maxTime:  maxTime,
+			trials:   trials,
+			gridN:    10,
+			seedBase: opt.seed() + 0xF3,
+		}
+		names, agg := c.run(cifarSpecs(frozen, true))
+		b.WriteString(renderComparison(
+			"Figure 3 / "+bench.Name()+" (1 worker, mean test error across trials)",
+			"minutes", names, agg, []float64{0.23, 0.21}))
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+func runFig4(opt Options) string {
+	trials := opt.trials(5)
+	maxTime := 150 * opt.scale()
+	var b strings.Builder
+	for _, bench := range []*workload.Benchmark{workload.CudaConvnet(), workload.SmallCNNCIFAR()} {
+		frozen := []string(nil)
+		if bench.Name() == "cifar10-small-cnn" {
+			frozen = workload.ArchParams()
+		}
+		// Figure 4 lineup: ASHA, PBT, SHA, BOHB.
+		specs := []searcherSpec{
+			specASHA(4, 256, 0),
+			specPBT(25, 1000, frozen),
+			specSHA(256, 4, 256, 0),
+			specBOHB(256, 4, 256, 0),
+		}
+		c := comparison{
+			bench:    bench,
+			workers:  25,
+			maxTime:  maxTime,
+			trials:   trials,
+			gridN:    15,
+			seedBase: opt.seed() + 0xF4,
+		}
+		names, agg := c.run(specs)
+		b.WriteString(renderComparison(
+			"Figure 4 / "+bench.Name()+" (25 workers, mean test error across trials)",
+			"minutes", names, agg, []float64{0.23, 0.21}))
+		b.WriteString("\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+	"repro/internal/xrand"
+)
+
+func init() {
+	register("fig5", "Figure 5: large-scale PTB LSTM with 500 workers (ASHA vs async Hyperband vs Vizier)", runFig5)
+	register("fig6", "Figure 6: modern DropConnect LSTM with 16 workers (ASHA vs PBT)", runFig6)
+}
+
+// runFig5 reproduces Section 4.3: each tuner gets 500 workers and
+// 6 x time(R); ASHA uses eta=4, r=R/64, s=0; asynchronous Hyperband
+// loops brackets s=0..3; Vizier trains every proposal to completion
+// (no early stopping) with perplexities capped at 1000 for its model.
+func runFig5(opt Options) string {
+	trials := opt.trials(5)
+	bench := workload.PTBLSTM()
+	maxTime := 6 * bench.MeanTimeR() * opt.scale()
+	specs := []searcherSpec{
+		specASHA(4, 64, 0),
+		specAsyncHyperband(4, 64, 3),
+		{
+			name: "Vizier",
+			make: func(bench *workload.Benchmark, seed uint64) core.Scheduler {
+				return core.NewVizier(core.VizierConfig{
+					Space:           bench.Space(),
+					RNG:             xrand.New(seed ^ 0x717A),
+					MaxResource:     bench.MaxResource(),
+					LossCap:         1000,
+					MaxObservations: 150,
+					RefitEvery:      50,
+					Candidates:      128,
+				})
+			},
+		},
+	}
+	c := comparison{
+		bench:    bench,
+		workers:  500,
+		maxTime:  maxTime,
+		trials:   trials,
+		gridN:    24,
+		seedBase: opt.seed() + 0xF5,
+	}
+	names, agg := c.run(specs)
+	var b strings.Builder
+	b.WriteString(renderComparison(
+		"Figure 5 / LSTM on PTB (500 workers; time unit = time(R); mean perplexity)",
+		"x time(R)", names, agg, []float64{80, 78}))
+	return b.String()
+}
+
+// runFig6 reproduces Section 4.3.1: ASHA (eta=4, r=1 epoch, R=256
+// epochs, s=0) vs PBT (population 20, exploit/explore every 8 epochs) on
+// the DropConnect LSTM task with 16 workers.
+func runFig6(opt Options) string {
+	trials := opt.trials(5)
+	bench := workload.DropConnectLSTM()
+	maxTime := 1400 * opt.scale()
+	specs := []searcherSpec{
+		specPBT(20, 8, nil),
+		specASHA(4, 256, 0),
+	}
+	c := comparison{
+		bench:    bench,
+		workers:  16,
+		maxTime:  maxTime,
+		trials:   trials,
+		gridN:    14,
+		seedBase: opt.seed() + 0xF6,
+	}
+	names, agg := c.run(specs)
+	var b strings.Builder
+	b.WriteString(renderComparison(
+		"Figure 6 / LSTM with DropConnect on PTB (16 workers, mean validation perplexity)",
+		"minutes", names, agg, []float64{62, 61}))
+	return b.String()
+}

@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/searchspace"
+	"repro/internal/stats"
+	"repro/internal/workload"
+	"repro/internal/xrand"
+)
+
+func init() {
+	register("fig7", "Figure 7 (A.1): configurations trained to R in 2000 time units vs stragglers/drops", runFig7)
+	register("fig8", "Figure 8 (A.1): time until the first configuration trained to R vs stragglers/drops", runFig8)
+}
+
+// simBenchmark builds the Appendix A.1 simulated workload: "the expected
+// training time for each job is the same as the allocated resource", so
+// time(R) = R = 256 with no configuration-dependent cost spread.
+func simBenchmark() *workload.Benchmark {
+	space := searchspace.New(
+		searchspace.Param{Name: "u", Type: searchspace.Uniform, Lo: 0, Hi: 1},
+		searchspace.Param{Name: "v", Type: searchspace.Uniform, Lo: 0, Hi: 1},
+	)
+	return workload.NewBenchmark("a1-simulated", space, 256, 256, 0xA1A1, workload.Calibration{
+		InitialLoss: 1,
+		BestLoss:    0,
+		WorstLoss:   1,
+		Hardness:    1,
+		RateLo:      3,
+		RateHi:      6,
+		NoiseSD:     0.01,
+	})
+}
+
+// a1Schedulers builds the Appendix A.1 pair: SHA and ASHA with eta=4,
+// r=1, R=256, n=256, s=0.
+func a1Schedulers(bench *workload.Benchmark, seed uint64) map[string]core.Scheduler {
+	return map[string]core.Scheduler{
+		"ASHA": core.NewASHA(core.ASHAConfig{
+			Space: bench.Space(), RNG: xrand.New(seed ^ 0xA),
+			Eta: 4, MinResource: 1, MaxResource: 256,
+		}),
+		"SHA": core.NewSHA(core.SHAConfig{
+			Space: bench.Space(), RNG: xrand.New(seed ^ 0x5),
+			N: 256, Eta: 4, MinResource: 1, MaxResource: 256,
+			AllowNewBrackets: true,
+		}),
+	}
+}
+
+// a1Grid runs the straggler/drop grid. metric extracts the per-run
+// quantity that is averaged over repetitions.
+func a1Grid(opt Options, stds, drops []float64, sims int, maxTime float64, stopAtFirstR bool,
+	metric func(run *clusterRun) float64) string {
+	var b strings.Builder
+	bench := simBenchmark()
+	workers := 25
+	for _, std := range stds {
+		fmt.Fprintf(&b, "train std: %.2f\n", std)
+		fmt.Fprintf(&b, "  %-12s %12s %12s\n", "drop prob", "ASHA", "SHA")
+		for _, drop := range drops {
+			vals := map[string][]float64{}
+			for sim := 0; sim < sims; sim++ {
+				seed := opt.seed() + uint64(sim)*131 + uint64(std*1000) + uint64(drop*1e6)
+				for name, sched := range a1Schedulers(bench, seed) {
+					run := cluster.Run(sched, bench.WithNoiseSeed(seed), cluster.Options{
+						Workers:      workers,
+						MaxTime:      maxTime,
+						Seed:         seed,
+						StragglerSD:  std,
+						DropProb:     drop,
+						StopAtFirstR: stopAtFirstR,
+					})
+					vals[name] = append(vals[name], metric(&clusterRun{run.ConfigsToR, run.FirstRTime, maxTime}))
+				}
+			}
+			fmt.Fprintf(&b, "  %-12.4f %12.2f %12.2f\n", drop, stats.Mean(vals["ASHA"]), stats.Mean(vals["SHA"]))
+		}
+	}
+	return b.String()
+}
+
+// clusterRun is the slice of run statistics the A.1 metrics need.
+type clusterRun struct {
+	configsToR int
+	firstRTime float64
+	maxTime    float64
+}
+
+// runFig7 measures the number of configurations trained to R within
+// 2000 time units (25 simulations per cell in the paper).
+func runFig7(opt Options) string {
+	sims := opt.trials(25)
+	maxTime := 2000 * opt.scale()
+	stds := []float64{0.10, 0.24, 0.56, 1.33}
+	drops := []float64{0, 0.0025, 0.005, 0.0075, 0.01}
+	header := "Figure 7: mean # configurations trained for R within 2000 time units\n\n"
+	return header + a1Grid(opt, stds, drops, sims, maxTime, false,
+		func(run *clusterRun) float64 { return float64(run.configsToR) })
+}
+
+// runFig8 measures the time until the first configuration is trained to
+// R (capped at the 2000-unit horizon).
+func runFig8(opt Options) string {
+	sims := opt.trials(25)
+	maxTime := 2000 * opt.scale()
+	stds := []float64{0, 0.33, 0.67, 1.0, 1.33, 1.67}
+	drops := []float64{0, 0.001, 0.002, 0.003}
+	header := "Figure 8: mean time until first configuration trained for R\n\n"
+	return header + a1Grid(opt, stds, drops, sims, maxTime, true,
+		func(run *clusterRun) float64 {
+			if math.IsInf(run.firstRTime, 1) {
+				return run.maxTime
+			}
+			return run.firstRTime
+		})
+}

@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/searchspace"
+	"repro/internal/workload"
+	"repro/internal/xrand"
+)
+
+func init() {
+	register("fig9", "Figure 9 (A.2): Hyperband (by rung / by bracket) vs Fabolas vs Random", runFig9)
+}
+
+// fullTrainEvaluator implements the offline validation step of Klein et
+// al.'s evaluation framework, which Appendix A.2 adopts: the incumbent
+// configuration's test error is measured after training it for the full
+// resource, regardless of the budget the searcher evaluated it with.
+func fullTrainEvaluator(bench *workload.Benchmark) func(cfg searchspace.Config) float64 {
+	return func(cfg searchspace.Config) float64 {
+		return bench.ParamsFor(cfg).ExpectedLossAt(bench.MaxResource())
+	}
+}
+
+// specFabolas builds the Fabolas-like comparator; its incumbent is the
+// configuration with the lowest predicted full-fidelity loss.
+func specFabolas() searcherSpec {
+	return searcherSpec{
+		name: "Fabolas",
+		make: func(bench *workload.Benchmark, seed uint64) core.Scheduler {
+			return core.NewFabolas(core.FabolasConfig{
+				Space:           bench.Space(),
+				RNG:             xrand.New(seed ^ 0xFAB),
+				MaxResource:     bench.MaxResource(),
+				MaxObservations: 120,
+			})
+		},
+	}
+}
+
+// runFig9 reproduces Appendix A.2 on all four tasks: SVM on vehicle, SVM
+// on MNIST, the cuda-convnet CIFAR-10 benchmark and the small-CNN SVHN
+// benchmark, comparing Hyperband with by-rung vs by-bracket incumbent
+// accounting against Fabolas and random search (eta=4, 1 worker).
+func runFig9(opt Options) string {
+	trials := opt.trials(10)
+	type task struct {
+		bench   *workload.Benchmark
+		maxTime float64
+		targets []float64
+	}
+	tasks := []task{
+		{workload.SVMVehicle(), 800, []float64{0.15, 0.12}},
+		{workload.SVMMNIST(), 800, []float64{0.05, 0.03}},
+		{workload.CudaConvnet(), 2500, []float64{0.25, 0.21}},
+		{workload.SmallCNNSVHN(), 2500, []float64{0.05, 0.03}},
+	}
+	specs := []searcherSpec{
+		specHyperband("HB (by rung)", 4, 256, core.ByRung),
+		specHyperband("HB (by bracket)", 4, 256, core.ByBracket),
+		specFabolas(),
+		specRandom(),
+	}
+	// Klein et al.'s offline validation applies to every searcher.
+	for i := range specs {
+		specs[i].evaluator = fullTrainEvaluator
+	}
+	var b strings.Builder
+	for _, tk := range tasks {
+		c := comparison{
+			bench:    tk.bench,
+			workers:  1,
+			maxTime:  tk.maxTime * opt.scale(),
+			trials:   trials,
+			gridN:    20,
+			seedBase: opt.seed() + 0xF9,
+		}
+		names, agg := c.run(specs)
+		b.WriteString(renderComparison(
+			"Figure 9 / "+tk.bench.Name()+" (1 worker, mean test error across trials)",
+			"minutes", names, agg, tk.targets))
+		b.WriteString("\n")
+	}
+	return b.String()
+}

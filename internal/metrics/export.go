@@ -1,0 +1,105 @@
+package metrics
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteRunCSV exports one run's incumbent series as CSV with columns
+// time, val_loss, test_loss.
+func (r *Run) WriteRunCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"time", "val_loss", "test_loss"}); err != nil {
+		return err
+	}
+	for _, p := range r.Series {
+		rec := []string{
+			strconv.FormatFloat(p.Time, 'g', -1, 64),
+			strconv.FormatFloat(p.ValLoss, 'g', -1, 64),
+			strconv.FormatFloat(p.TestLoss, 'g', -1, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteAggCSV exports named aggregate series on a shared grid as CSV:
+// one time column followed by <name>_mean, <name>_min, <name>_max per
+// series.
+func WriteAggCSV(w io.Writer, names []string, agg map[string]*AggSeries) error {
+	if len(names) == 0 {
+		return nil
+	}
+	first := agg[names[0]]
+	if first == nil {
+		return fmt.Errorf("metrics: series %q missing", names[0])
+	}
+	cw := csv.NewWriter(w)
+	header := []string{"time"}
+	for _, n := range names {
+		header = append(header, n+"_mean", n+"_min", n+"_max")
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for i, t := range first.Times {
+		rec := []string{strconv.FormatFloat(t, 'g', -1, 64)}
+		for _, n := range names {
+			s := agg[n]
+			if s == nil || i >= len(s.Mean) {
+				rec = append(rec, "", "", "")
+				continue
+			}
+			rec = append(rec,
+				strconv.FormatFloat(s.Mean[i], 'g', -1, 64),
+				strconv.FormatFloat(s.Min[i], 'g', -1, 64),
+				strconv.FormatFloat(s.Max[i], 'g', -1, 64))
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// runJSON is the stable JSON shape of a Run.
+type runJSON struct {
+	Series        []Point `json:"series"`
+	CompletedJobs int     `json:"completed_jobs"`
+	FailedJobs    int     `json:"failed_jobs"`
+	IssuedJobs    int     `json:"issued_jobs"`
+	ConfigsToR    int     `json:"configs_to_r"`
+	FirstRTime    float64 `json:"first_r_time"`
+	TotalResource float64 `json:"total_resource"`
+	Trials        int     `json:"trials"`
+	EndTime       float64 `json:"end_time"`
+}
+
+// WriteRunJSON exports the run record as JSON. Infinite FirstRTime is
+// encoded as -1 (JSON has no infinity).
+func (r *Run) WriteRunJSON(w io.Writer) error {
+	first := r.FirstRTime
+	if first > 1e308 {
+		first = -1
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(runJSON{
+		Series:        r.Series,
+		CompletedJobs: r.CompletedJobs,
+		FailedJobs:    r.FailedJobs,
+		IssuedJobs:    r.IssuedJobs,
+		ConfigsToR:    r.ConfigsToR,
+		FirstRTime:    first,
+		TotalResource: r.TotalResource,
+		Trials:        r.Trials,
+		EndTime:       r.EndTime,
+	})
+}

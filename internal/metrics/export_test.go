@@ -1,0 +1,98 @@
+package metrics
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+func exportRun() *Run {
+	r := &Run{CompletedJobs: 3, IssuedJobs: 4, FailedJobs: 1, ConfigsToR: 2, Trials: 3, TotalResource: 12, EndTime: 30}
+	r.FirstRTime = 10
+	r.Record(1, 0.9, 0.91)
+	r.Record(2, 0.5, 0.52)
+	r.Record(3, 0.4, 0.40)
+	return r
+}
+
+func TestWriteRunCSVRoundTrips(t *testing.T) {
+	var b strings.Builder
+	if err := exportRun().WriteRunCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(strings.NewReader(b.String())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 4 {
+		t.Fatalf("want header + 3 rows, got %d", len(recs))
+	}
+	if recs[0][0] != "time" || recs[0][2] != "test_loss" {
+		t.Fatalf("bad header %v", recs[0])
+	}
+	if recs[2][1] != "0.5" {
+		t.Fatalf("bad value %v", recs[2])
+	}
+}
+
+func TestWriteAggCSV(t *testing.T) {
+	r1 := &Run{}
+	r1.Record(0, 1, 1)
+	r2 := &Run{}
+	r2.Record(0, 3, 3)
+	agg := map[string]*AggSeries{"ASHA": Aggregate([]*Run{r1, r2}, []float64{0, 10})}
+	var b strings.Builder
+	if err := WriteAggCSV(&b, []string{"ASHA"}, agg); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(strings.NewReader(b.String())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("want header + 2 rows, got %d", len(recs))
+	}
+	if recs[0][1] != "ASHA_mean" || recs[1][1] != "2" || recs[1][2] != "1" || recs[1][3] != "3" {
+		t.Fatalf("bad agg rows: %v", recs)
+	}
+}
+
+func TestWriteAggCSVMissingSeries(t *testing.T) {
+	var b strings.Builder
+	if err := WriteAggCSV(&b, []string{"ghost"}, map[string]*AggSeries{}); err == nil {
+		t.Fatal("expected error for missing series")
+	}
+	if err := WriteAggCSV(&b, nil, nil); err != nil {
+		t.Fatal("empty export should be a no-op")
+	}
+}
+
+func TestWriteRunJSON(t *testing.T) {
+	var b strings.Builder
+	if err := exportRun().WriteRunJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]interface{}
+	if err := json.Unmarshal([]byte(b.String()), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded["completed_jobs"].(float64) != 3 {
+		t.Fatalf("bad json: %v", decoded)
+	}
+	if decoded["first_r_time"].(float64) != 10 {
+		t.Fatalf("bad first_r_time: %v", decoded)
+	}
+}
+
+func TestWriteRunJSONInfinity(t *testing.T) {
+	r := &Run{FirstRTime: math.Inf(1)}
+	var b strings.Builder
+	if err := r.WriteRunJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `"first_r_time": -1`) {
+		t.Fatalf("infinite FirstRTime not encoded as -1:\n%s", b.String())
+	}
+}

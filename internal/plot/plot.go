@@ -1,0 +1,181 @@
+// Package plot renders time series as ASCII line charts — the textual
+// equivalent of the paper's figures, so `ashaexp` output can be read
+// the way the evaluation section is.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named line on a chart.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// Options controls chart geometry.
+type Options struct {
+	Width  int // plot area columns (default 64)
+	Height int // plot area rows (default 16)
+	// YLabel and XLabel annotate the axes.
+	YLabel, XLabel string
+	// YMin/YMax clip the vertical range; when both are zero the range
+	// is computed from the data (ignoring NaNs), padded slightly.
+	YMin, YMax float64
+	// LogY plots the y axis logarithmically (requires positive values).
+	LogY bool
+}
+
+// markers assigns one rune per series, in order.
+var markers = []rune{'*', '+', 'o', 'x', '#', '@', '%', '~'}
+
+// Render draws the series into a text chart with axes, a legend and
+// NaN-safe interpolation. Series may have different x grids.
+func Render(series []Series, opt Options) string {
+	if opt.Width <= 0 {
+		opt.Width = 64
+	}
+	if opt.Height <= 0 {
+		opt.Height = 16
+	}
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	any := false
+	for _, s := range series {
+		for i := range s.X {
+			y := s.Y[i]
+			if math.IsNaN(y) || math.IsInf(y, 0) {
+				continue
+			}
+			if opt.LogY && y <= 0 {
+				continue
+			}
+			any = true
+			xmin = math.Min(xmin, s.X[i])
+			xmax = math.Max(xmax, s.X[i])
+			ymin = math.Min(ymin, y)
+			ymax = math.Max(ymax, y)
+		}
+	}
+	if !any {
+		return "(no data)\n"
+	}
+	if opt.YMin != 0 || opt.YMax != 0 {
+		ymin, ymax = opt.YMin, opt.YMax
+	} else {
+		pad := (ymax - ymin) * 0.05
+		if pad == 0 {
+			pad = math.Abs(ymax) * 0.05
+			if pad == 0 {
+				pad = 1
+			}
+		}
+		ymin -= pad
+		ymax += pad
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+
+	yCoord := func(y float64) (int, bool) {
+		if math.IsNaN(y) || math.IsInf(y, 0) {
+			return 0, false
+		}
+		lo, hi, v := ymin, ymax, y
+		if opt.LogY {
+			if y <= 0 || ymin <= 0 {
+				return 0, false
+			}
+			lo, hi, v = math.Log(ymin), math.Log(ymax), math.Log(y)
+		}
+		if v < lo || v > hi {
+			return 0, false
+		}
+		frac := (v - lo) / (hi - lo)
+		row := opt.Height - 1 - int(math.Round(frac*float64(opt.Height-1)))
+		if row < 0 {
+			row = 0
+		}
+		if row >= opt.Height {
+			row = opt.Height - 1
+		}
+		return row, true
+	}
+
+	grid := make([][]rune, opt.Height)
+	for r := range grid {
+		grid[r] = make([]rune, opt.Width)
+		for c := range grid[r] {
+			grid[r][c] = ' '
+		}
+	}
+	for si, s := range series {
+		marker := markers[si%len(markers)]
+		for col := 0; col < opt.Width; col++ {
+			x := xmin + (xmax-xmin)*float64(col)/float64(opt.Width-1)
+			y := sampleAt(s, x)
+			if row, ok := yCoord(y); ok {
+				if grid[row][col] == ' ' {
+					grid[row][col] = marker
+				}
+			}
+		}
+	}
+
+	var b strings.Builder
+	if opt.YLabel != "" {
+		fmt.Fprintf(&b, "%s\n", opt.YLabel)
+	}
+	labelEvery := opt.Height / 4
+	if labelEvery < 1 {
+		labelEvery = 1
+	}
+	for r := 0; r < opt.Height; r++ {
+		if r%labelEvery == 0 || r == opt.Height-1 {
+			fmt.Fprintf(&b, "%10.3f |", yAt(r, opt, ymin, ymax))
+		} else {
+			fmt.Fprintf(&b, "%10s |", "")
+		}
+		b.WriteString(string(grid[r]))
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "%10s +%s\n", "", strings.Repeat("-", opt.Width))
+	fmt.Fprintf(&b, "%10s  %-*.3g%*.3g\n", "", opt.Width/2, xmin, opt.Width-opt.Width/2, xmax)
+	if opt.XLabel != "" {
+		fmt.Fprintf(&b, "%10s  %s\n", "", opt.XLabel)
+	}
+	for si, s := range series {
+		fmt.Fprintf(&b, "  %c %s", markers[si%len(markers)], s.Name)
+		if si != len(series)-1 {
+			b.WriteString("   ")
+		}
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+// yAt returns the y value represented by chart row r.
+func yAt(r int, opt Options, ymin, ymax float64) float64 {
+	frac := float64(opt.Height-1-r) / float64(opt.Height-1)
+	if opt.LogY {
+		return math.Exp(math.Log(ymin) + frac*(math.Log(ymax)-math.Log(ymin)))
+	}
+	return ymin + frac*(ymax-ymin)
+}
+
+// sampleAt evaluates a series at x as a step function (last value at or
+// before x), returning NaN before the first point.
+func sampleAt(s Series, x float64) float64 {
+	best := math.NaN()
+	for i := range s.X {
+		if s.X[i] <= x && !math.IsNaN(s.Y[i]) {
+			best = s.Y[i]
+		}
+		if s.X[i] > x {
+			break
+		}
+	}
+	return best
+}

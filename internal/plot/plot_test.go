@@ -1,0 +1,114 @@
+package plot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func lin(n int, f func(i int) float64) ([]float64, []float64) {
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x[i] = float64(i)
+		y[i] = f(i)
+	}
+	return x, y
+}
+
+func TestRenderBasicChart(t *testing.T) {
+	x, y := lin(20, func(i int) float64 { return 10 - float64(i)*0.4 })
+	out := Render([]Series{{Name: "ASHA", X: x, Y: y}}, Options{Width: 40, Height: 10, XLabel: "minutes", YLabel: "error"})
+	if !strings.Contains(out, "ASHA") || !strings.Contains(out, "minutes") || !strings.Contains(out, "error") {
+		t.Fatalf("chart missing labels:\n%s", out)
+	}
+	if !strings.Contains(out, "*") {
+		t.Fatalf("chart has no data markers:\n%s", out)
+	}
+	lines := strings.Split(out, "\n")
+	// Decreasing series: the marker should appear near the top-left and
+	// bottom-right.
+	var firstRow, lastRow int = -1, -1
+	for r, line := range lines {
+		idx := strings.IndexRune(line, '*')
+		if idx < 0 {
+			continue
+		}
+		if firstRow == -1 {
+			firstRow = r
+		}
+		lastRow = r
+	}
+	if firstRow == -1 || lastRow <= firstRow {
+		t.Fatalf("marker placement wrong (first %d last %d):\n%s", firstRow, lastRow, out)
+	}
+}
+
+func TestRenderMultipleSeriesDistinctMarkers(t *testing.T) {
+	x1, y1 := lin(10, func(i int) float64 { return float64(i) })
+	x2, y2 := lin(10, func(i int) float64 { return 9 - float64(i) })
+	out := Render([]Series{{Name: "up", X: x1, Y: y1}, {Name: "down", X: x2, Y: y2}}, Options{Width: 30, Height: 8})
+	if !strings.Contains(out, "*") || !strings.Contains(out, "+") {
+		t.Fatalf("expected two marker styles:\n%s", out)
+	}
+	if !strings.Contains(out, "up") || !strings.Contains(out, "down") {
+		t.Fatal("legend missing series names")
+	}
+}
+
+func TestRenderHandlesNaN(t *testing.T) {
+	x := []float64{0, 1, 2, 3}
+	y := []float64{math.NaN(), math.NaN(), 5, 4}
+	out := Render([]Series{{Name: "late", X: x, Y: y}}, Options{Width: 20, Height: 6})
+	if strings.Contains(out, "NaN") {
+		t.Fatal("NaN leaked into the chart")
+	}
+	if !strings.Contains(out, "*") {
+		t.Fatal("valid points not drawn")
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	out := Render([]Series{{Name: "none", X: []float64{0}, Y: []float64{math.NaN()}}}, Options{})
+	if !strings.Contains(out, "no data") {
+		t.Fatalf("empty chart should say so, got:\n%s", out)
+	}
+}
+
+func TestRenderLogScale(t *testing.T) {
+	x, y := lin(10, func(i int) float64 { return math.Pow(10, float64(i)/3) })
+	out := Render([]Series{{Name: "exp", X: x, Y: y}}, Options{Width: 30, Height: 9, LogY: true})
+	if !strings.Contains(out, "*") {
+		t.Fatalf("log chart empty:\n%s", out)
+	}
+}
+
+func TestRenderConstantSeries(t *testing.T) {
+	x, y := lin(5, func(i int) float64 { return 3 })
+	out := Render([]Series{{Name: "flat", X: x, Y: y}}, Options{Width: 20, Height: 5})
+	if !strings.Contains(out, "*") {
+		t.Fatalf("constant series not drawn:\n%s", out)
+	}
+}
+
+func TestSampleAtStepSemantics(t *testing.T) {
+	s := Series{X: []float64{1, 2, 3}, Y: []float64{10, 20, 30}}
+	if !math.IsNaN(sampleAt(s, 0.5)) {
+		t.Fatal("before first point should be NaN")
+	}
+	if v := sampleAt(s, 2.5); v != 20 {
+		t.Fatalf("step sample = %v, want 20", v)
+	}
+	if v := sampleAt(s, 99); v != 30 {
+		t.Fatalf("tail sample = %v, want 30", v)
+	}
+}
+
+func TestRenderClipsToExplicitRange(t *testing.T) {
+	x, y := lin(10, func(i int) float64 { return float64(i) })
+	out := Render([]Series{{Name: "s", X: x, Y: y}}, Options{Width: 20, Height: 5, YMin: 2, YMax: 4})
+	// Values outside [2,4] are clipped silently; chart must still draw.
+	if !strings.Contains(out, "*") {
+		t.Fatalf("clipped chart empty:\n%s", out)
+	}
+}

@@ -1,0 +1,385 @@
+// Package searchspace defines hyperparameter search spaces: typed
+// parameters (uniform, log-uniform, integer, ordered choice), random
+// sampling, PBT-style perturbation, and the unit-cube vector encoding
+// consumed by the Gaussian-process samplers.
+//
+// Every hyperparameter appearing in the paper's search spaces
+// (Tables 1-3 and the cuda-convnet space of Li et al. 2017) is numeric,
+// so a configuration is represented as a map from parameter name to
+// float64 value.
+package searchspace
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/xrand"
+)
+
+// Type enumerates the supported parameter distributions.
+type Type int
+
+const (
+	// Uniform samples uniformly on [Lo, Hi].
+	Uniform Type = iota
+	// LogUniform samples so that log(value) is uniform on [log Lo, log Hi].
+	LogUniform
+	// IntUniform samples an integer uniformly on {Lo, ..., Hi}.
+	IntUniform
+	// Choice samples uniformly from an ordered finite set of values.
+	Choice
+)
+
+// String returns the human-readable name of the parameter type, matching
+// the "Type" column of the paper's search-space tables.
+func (t Type) String() string {
+	switch t {
+	case Uniform:
+		return "continuous"
+	case LogUniform:
+		return "continuous log"
+	case IntUniform:
+		return "discrete"
+	case Choice:
+		return "choice"
+	default:
+		return fmt.Sprintf("Type(%d)", int(t))
+	}
+}
+
+// Param describes one hyperparameter.
+type Param struct {
+	Name    string
+	Type    Type
+	Lo, Hi  float64   // bounds for Uniform, LogUniform, IntUniform
+	Choices []float64 // values for Choice, in ascending order
+}
+
+// Validate reports an error if the parameter is malformed.
+func (p Param) Validate() error {
+	if p.Name == "" {
+		return fmt.Errorf("searchspace: parameter with empty name")
+	}
+	switch p.Type {
+	case Uniform, IntUniform:
+		if p.Hi < p.Lo {
+			return fmt.Errorf("searchspace: %s: hi %v < lo %v", p.Name, p.Hi, p.Lo)
+		}
+	case LogUniform:
+		if p.Lo <= 0 || p.Hi <= 0 {
+			return fmt.Errorf("searchspace: %s: log-uniform requires positive bounds", p.Name)
+		}
+		if p.Hi < p.Lo {
+			return fmt.Errorf("searchspace: %s: hi %v < lo %v", p.Name, p.Hi, p.Lo)
+		}
+	case Choice:
+		if len(p.Choices) == 0 {
+			return fmt.Errorf("searchspace: %s: choice with no values", p.Name)
+		}
+		if !sort.Float64sAreSorted(p.Choices) {
+			return fmt.Errorf("searchspace: %s: choices must be ascending", p.Name)
+		}
+	default:
+		return fmt.Errorf("searchspace: %s: unknown type %d", p.Name, int(p.Type))
+	}
+	return nil
+}
+
+// Sample draws a value from the parameter's distribution.
+func (p Param) Sample(rng *xrand.RNG) float64 {
+	switch p.Type {
+	case Uniform:
+		return rng.Uniform(p.Lo, p.Hi)
+	case LogUniform:
+		return rng.LogUniform(p.Lo, p.Hi)
+	case IntUniform:
+		return float64(rng.UniformInt(int(p.Lo), int(p.Hi)))
+	case Choice:
+		return p.Choices[rng.IntN(len(p.Choices))]
+	default:
+		panic("searchspace: unknown parameter type")
+	}
+}
+
+// Encode maps a value into [0, 1] for GP modelling: linearly for Uniform
+// and IntUniform, logarithmically for LogUniform, and by index for Choice.
+func (p Param) Encode(v float64) float64 {
+	switch p.Type {
+	case Uniform, IntUniform:
+		if p.Hi == p.Lo {
+			return 0.5
+		}
+		return clamp01((v - p.Lo) / (p.Hi - p.Lo))
+	case LogUniform:
+		llo, lhi := math.Log(p.Lo), math.Log(p.Hi)
+		if lhi == llo {
+			return 0.5
+		}
+		return clamp01((math.Log(v) - llo) / (lhi - llo))
+	case Choice:
+		if len(p.Choices) == 1 {
+			return 0.5
+		}
+		return float64(p.indexOf(v)) / float64(len(p.Choices)-1)
+	default:
+		panic("searchspace: unknown parameter type")
+	}
+}
+
+// Decode is the inverse of Encode, mapping u in [0, 1] back to a valid
+// parameter value (rounding for IntUniform and Choice).
+func (p Param) Decode(u float64) float64 {
+	u = clamp01(u)
+	switch p.Type {
+	case Uniform:
+		return clampF(p.Lo+u*(p.Hi-p.Lo), p.Lo, p.Hi)
+	case LogUniform:
+		llo, lhi := math.Log(p.Lo), math.Log(p.Hi)
+		// Clamp: exp(log(lo)) can round below lo.
+		return clampF(math.Exp(llo+u*(lhi-llo)), p.Lo, p.Hi)
+	case IntUniform:
+		return math.Round(p.Lo + u*(p.Hi-p.Lo))
+	case Choice:
+		idx := int(math.Round(u * float64(len(p.Choices)-1)))
+		return p.Choices[idx]
+	default:
+		panic("searchspace: unknown parameter type")
+	}
+}
+
+// Perturb applies a PBT-style multiplicative perturbation: continuous
+// parameters are multiplied by factor (clipped to bounds); discrete and
+// choice parameters move to the adjacent value in the direction of the
+// factor, per Appendix A.3 ("discrete hyperparameters are perturbed to
+// two adjacent choices").
+func (p Param) Perturb(v, factor float64) float64 {
+	switch p.Type {
+	case Uniform:
+		return clampF(v*factor, p.Lo, p.Hi)
+	case LogUniform:
+		return clampF(v*factor, p.Lo, p.Hi)
+	case IntUniform:
+		step := 1.0
+		if factor < 1 {
+			step = -1
+		}
+		return clampF(math.Round(v)+step, p.Lo, p.Hi)
+	case Choice:
+		idx := p.indexOf(v)
+		if factor >= 1 {
+			idx++
+		} else {
+			idx--
+		}
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(p.Choices) {
+			idx = len(p.Choices) - 1
+		}
+		return p.Choices[idx]
+	default:
+		panic("searchspace: unknown parameter type")
+	}
+}
+
+// indexOf returns the index of the choice closest to v.
+func (p Param) indexOf(v float64) int {
+	best, bd := 0, math.Inf(1)
+	for i, c := range p.Choices {
+		if d := math.Abs(c - v); d < bd {
+			bd, best = d, i
+		}
+	}
+	return best
+}
+
+// Contains reports whether v is a legal value for the parameter.
+func (p Param) Contains(v float64) bool {
+	switch p.Type {
+	case Uniform, LogUniform:
+		return v >= p.Lo && v <= p.Hi
+	case IntUniform:
+		return v >= p.Lo && v <= p.Hi && v == math.Round(v)
+	case Choice:
+		for _, c := range p.Choices {
+			if c == v {
+				return true
+			}
+		}
+		return false
+	default:
+		return false
+	}
+}
+
+// Config is a concrete hyperparameter assignment.
+type Config map[string]float64
+
+// Clone returns a deep copy of the configuration.
+func (c Config) Clone() Config {
+	out := make(Config, len(c))
+	for k, v := range c {
+		out[k] = v
+	}
+	return out
+}
+
+// Space is an ordered collection of parameters.
+type Space struct {
+	params []Param
+	index  map[string]int
+}
+
+// New builds a Space from params. It panics if any parameter is invalid
+// or duplicated; spaces are package-level constants in practice, so a
+// malformed space is a programming error.
+func New(params ...Param) *Space {
+	s := &Space{index: make(map[string]int, len(params))}
+	for _, p := range params {
+		if err := p.Validate(); err != nil {
+			panic(err)
+		}
+		if _, dup := s.index[p.Name]; dup {
+			panic(fmt.Sprintf("searchspace: duplicate parameter %q", p.Name))
+		}
+		s.index[p.Name] = len(s.params)
+		s.params = append(s.params, p)
+	}
+	return s
+}
+
+// Params returns the parameters in definition order.
+func (s *Space) Params() []Param { return s.params }
+
+// Dim returns the number of parameters.
+func (s *Space) Dim() int { return len(s.params) }
+
+// Param returns the parameter with the given name.
+func (s *Space) Param(name string) (Param, bool) {
+	i, ok := s.index[name]
+	if !ok {
+		return Param{}, false
+	}
+	return s.params[i], true
+}
+
+// SampleEncoded fills buf (length Dim) with the encoded coordinates of
+// a configuration drawn uniformly from the space, without allocating a
+// Config. The distribution matches Encode(Sample(rng)) exactly.
+func (s *Space) SampleEncoded(rng *xrand.RNG, buf []float64) {
+	if len(buf) != len(s.params) {
+		panic("searchspace: SampleEncoded buffer has wrong length")
+	}
+	for i, p := range s.params {
+		switch p.Type {
+		case Uniform, LogUniform:
+			buf[i] = rng.Float64()
+		case IntUniform:
+			buf[i] = p.Encode(float64(rng.UniformInt(int(p.Lo), int(p.Hi))))
+		case Choice:
+			if len(p.Choices) == 1 {
+				buf[i] = 0.5
+			} else {
+				buf[i] = float64(rng.IntN(len(p.Choices))) / float64(len(p.Choices)-1)
+			}
+		}
+	}
+}
+
+// Sample draws a configuration uniformly from the space.
+func (s *Space) Sample(rng *xrand.RNG) Config {
+	c := make(Config, len(s.params))
+	for _, p := range s.params {
+		c[p.Name] = p.Sample(rng)
+	}
+	return c
+}
+
+// Encode maps a configuration to a point in the unit cube, in parameter
+// definition order.
+func (s *Space) Encode(c Config) []float64 {
+	x := make([]float64, len(s.params))
+	for i, p := range s.params {
+		x[i] = p.Encode(c[p.Name])
+	}
+	return x
+}
+
+// Decode maps a unit-cube point back to a configuration.
+func (s *Space) Decode(x []float64) Config {
+	if len(x) != len(s.params) {
+		panic(fmt.Sprintf("searchspace: Decode expected %d dims, got %d", len(s.params), len(x)))
+	}
+	c := make(Config, len(s.params))
+	for i, p := range s.params {
+		c[p.Name] = p.Decode(x[i])
+	}
+	return c
+}
+
+// Contains reports whether every parameter value in c is legal and every
+// parameter of the space is present.
+func (s *Space) Contains(c Config) bool {
+	if len(c) != len(s.params) {
+		return false
+	}
+	for _, p := range s.params {
+		v, ok := c[p.Name]
+		if !ok || !p.Contains(v) {
+			return false
+		}
+	}
+	return true
+}
+
+// Table renders the space in the layout of the paper's search-space
+// tables (hyperparameter, type, values).
+func (s *Space) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-24s %-16s %s\n", "Hyperparameter", "Type", "Values")
+	for _, p := range s.params {
+		var vals string
+		switch p.Type {
+		case Choice:
+			parts := make([]string, len(p.Choices))
+			for i, c := range p.Choices {
+				parts[i] = trimFloat(c)
+			}
+			vals = "{" + strings.Join(parts, ", ") + "}"
+		default:
+			vals = "[" + trimFloat(p.Lo) + ", " + trimFloat(p.Hi) + "]"
+		}
+		fmt.Fprintf(&b, "%-24s %-16s %s\n", p.Name, p.Type.String(), vals)
+	}
+	return b.String()
+}
+
+func trimFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e7 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+func clamp01(u float64) float64 {
+	if u < 0 {
+		return 0
+	}
+	if u > 1 {
+		return 1
+	}
+	return u
+}
+
+func clampF(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,177 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xrand"
+)
+
+func TestMeanAndVariance(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); m != 5 {
+		t.Fatalf("mean = %v, want 5", m)
+	}
+	if v := Variance(xs); math.Abs(v-32.0/7) > 1e-12 {
+		t.Fatalf("variance = %v, want %v", v, 32.0/7)
+	}
+}
+
+func TestMeanEmpty(t *testing.T) {
+	if !math.IsNaN(Mean(nil)) {
+		t.Fatal("mean of empty slice should be NaN")
+	}
+}
+
+func TestQuantileOrderStatistics(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	if q := Quantile(xs, 0); q != 1 {
+		t.Fatalf("q0 = %v", q)
+	}
+	if q := Quantile(xs, 1); q != 3 {
+		t.Fatalf("q1 = %v", q)
+	}
+	if q := Quantile(xs, 0.5); q != 2 {
+		t.Fatalf("median = %v", q)
+	}
+}
+
+func TestQuantileInterpolates(t *testing.T) {
+	xs := []float64{0, 10}
+	if q := Quantile(xs, 0.25); math.Abs(q-2.5) > 1e-12 {
+		t.Fatalf("q25 = %v, want 2.5", q)
+	}
+}
+
+func TestQuantileMonotoneProperty(t *testing.T) {
+	rng := xrand.New(1)
+	f := func(n uint8) bool {
+		m := int(n%50) + 2
+		xs := make([]float64, m)
+		for i := range xs {
+			xs[i] = rng.Normal(0, 10)
+		}
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0; q += 0.1 {
+			v := Quantile(xs, q)
+			if v < prev-1e-12 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Min != 1 || s.Max != 5 || s.Med != 3 {
+		t.Fatalf("bad summary: %+v", s)
+	}
+	if s.Q25 != 2 || s.Q75 != 4 {
+		t.Fatalf("bad quartiles: %+v", s)
+	}
+}
+
+func TestECDF(t *testing.T) {
+	e := NewECDF([]float64{1, 2, 2, 3})
+	cases := []struct{ x, want float64 }{
+		{0.5, 0}, {1, 0.25}, {2, 0.75}, {2.5, 0.75}, {3, 1}, {10, 1},
+	}
+	for _, c := range cases {
+		if got := e.At(c.x); got != c.want {
+			t.Fatalf("ECDF(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}
+
+func TestECDFIsMonotoneProperty(t *testing.T) {
+	rng := xrand.New(2)
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = rng.Normal(0, 1)
+	}
+	e := NewECDF(xs)
+	prev := -1.0
+	for x := -4.0; x <= 4.0; x += 0.05 {
+		v := e.At(x)
+		if v < prev {
+			t.Fatalf("ECDF decreased at %v", x)
+		}
+		prev = v
+	}
+}
+
+func TestDKWBound(t *testing.T) {
+	// Known value: n=100, delta=0.05 -> sqrt(ln(40)/200).
+	want := math.Sqrt(math.Log(2/0.05) / 200)
+	if got := DKWBound(100, 0.05); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("DKW = %v, want %v", got, want)
+	}
+	if !math.IsNaN(DKWBound(0, 0.05)) || !math.IsNaN(DKWBound(10, 0)) {
+		t.Fatal("invalid inputs should yield NaN")
+	}
+}
+
+func TestDKWShrinksWithN(t *testing.T) {
+	if DKWBound(1000, 0.1) >= DKWBound(100, 0.1) {
+		t.Fatal("DKW bound should shrink with n")
+	}
+}
+
+func TestDKWHoldsEmpirically(t *testing.T) {
+	// For uniform samples, sup |F_n - F| should respect the bound in
+	// at least 95% of repetitions at delta = 0.05.
+	rng := xrand.New(3)
+	n := 200
+	viol := 0
+	reps := 200
+	for rep := 0; rep < reps; rep++ {
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.Float64()
+		}
+		sort.Float64s(xs)
+		sup := 0.0
+		for i, x := range xs {
+			hi := math.Abs(float64(i+1)/float64(n) - x)
+			lo := math.Abs(float64(i)/float64(n) - x)
+			sup = math.Max(sup, math.Max(hi, lo))
+		}
+		if sup > DKWBound(n, 0.05) {
+			viol++
+		}
+	}
+	if frac := float64(viol) / float64(reps); frac > 0.08 {
+		t.Fatalf("DKW bound violated in %.1f%% of repetitions", 100*frac)
+	}
+}
+
+func TestArgMin(t *testing.T) {
+	if i := ArgMin([]float64{3, 1, 2}); i != 1 {
+		t.Fatalf("ArgMin = %d", i)
+	}
+	if i := ArgMin(nil); i != -1 {
+		t.Fatalf("ArgMin(nil) = %d", i)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if Clamp(5, 0, 1) != 1 || Clamp(-5, 0, 1) != 0 || Clamp(0.5, 0, 1) != 0.5 {
+		t.Fatal("Clamp misbehaves")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	if Min([]float64{2, -1, 5}) != -1 || Max([]float64{2, -1, 5}) != 5 {
+		t.Fatal("Min/Max wrong")
+	}
+	if !math.IsInf(Min(nil), 1) || !math.IsInf(Max(nil), -1) {
+		t.Fatal("empty Min/Max should be infinities")
+	}
+}

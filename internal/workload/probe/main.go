@@ -1,0 +1,57 @@
+// Command probe prints calibration diagnostics for every surrogate
+// benchmark: the diverging fraction, the best reachable asymptote, and
+// the probability mass below the loss thresholds the paper's figures
+// hinge on. Used when tuning workload.Calibration constants; the
+// resulting bands are locked in by calibration_test.go.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/workload"
+	"repro/internal/xrand"
+)
+
+func probe(b *workload.Benchmark, thresholds []float64) {
+	rng := xrand.New(999)
+	n := 50000
+	var asym []float64
+	div := 0
+	for i := 0; i < n; i++ {
+		cfg := b.Space().Sample(rng)
+		p := b.ParamsFor(cfg)
+		if p.Diverges {
+			div++
+			continue
+		}
+		asym = append(asym, p.Asymptote)
+	}
+	fmt.Printf("%-22s div=%.2f%% ", b.Name(), 100*float64(div)/float64(n))
+	min := asym[0]
+	for _, a := range asym {
+		if a < min {
+			min = a
+		}
+	}
+	fmt.Printf("min=%.4f ", min)
+	for _, th := range thresholds {
+		c := 0
+		for _, a := range asym {
+			if a <= th {
+				c++
+			}
+		}
+		fmt.Printf("P(<=%.3g)=%.3f%% ", th, 100*float64(c)/float64(n))
+	}
+	fmt.Println()
+}
+
+func main() {
+	probe(workload.CudaConvnet(), []float64{0.19, 0.21, 0.25, 0.30})
+	probe(workload.SmallCNNCIFAR(), []float64{0.20, 0.21, 0.23, 0.26})
+	probe(workload.SmallCNNSVHN(), []float64{0.03, 0.05, 0.10})
+	probe(workload.PTBLSTM(), []float64{77, 78, 80, 90})
+	probe(workload.DropConnectLSTM(), []float64{60.5, 61, 62, 65})
+	probe(workload.SVMVehicle(), []float64{0.11, 0.12, 0.15})
+	probe(workload.SVMMNIST(), []float64{0.02, 0.03, 0.10})
+}

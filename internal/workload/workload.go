@@ -1,0 +1,333 @@
+// Package workload defines the benchmark tasks used throughout the
+// paper's evaluation as surrogate workloads: each benchmark couples a
+// hyperparameter search space (transcribed from the paper) with a
+// calibrated response surface that maps configurations to learning-curve
+// parameters (see internal/curve and DESIGN.md, "Substitutions").
+package workload
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"math"
+	"sort"
+
+	"repro/internal/curve"
+	"repro/internal/searchspace"
+	"repro/internal/xrand"
+)
+
+// Benchmark is a tuning task: a search space plus a mapping from
+// configurations to (surrogate) training dynamics.
+type Benchmark struct {
+	name  string
+	space *searchspace.Space
+	// R is the maximum resource per configuration (iterations, epochs,
+	// or training examples, depending on the benchmark).
+	maxResource float64
+	// timeR is the mean wall-clock time (in the benchmark's time unit,
+	// minutes for all paper tasks) to train one configuration for R.
+	timeR float64
+
+	seed    uint64
+	root    *xrand.RNG
+	quality *curve.Surface // config -> asymptote quality
+	speed   *curve.Surface // config -> convergence-rate factor
+	// qcdf holds sorted quality scores of a fixed Monte-Carlo sample,
+	// used to convert raw quality into a percentile.
+	qcdf []float64
+
+	cal Calibration
+}
+
+// Calibration maps surface quality scores into concrete learning-curve
+// parameters for one benchmark.
+type Calibration struct {
+	// InitialLoss is the loss of an untrained model (random guessing).
+	InitialLoss float64
+	// BestLoss and WorstLoss bound the asymptote range. A configuration
+	// at quality percentile u (its rank among random configurations)
+	// converges to
+	//   BestLoss + (WorstLoss-BestLoss) * (1-u)^(1/Hardness),
+	// so P(asymptote <= BestLoss + span*t) = t^Hardness: larger
+	// Hardness makes good configurations rarer. The percentile is
+	// estimated once per benchmark from a fixed Monte-Carlo sample, so
+	// the map is deterministic.
+	BestLoss, WorstLoss float64
+	// Hardness > 0 controls the density of good configurations (see
+	// BestLoss). Values are calibrated per benchmark against the
+	// paper's figures in calibration_test.go.
+	Hardness float64
+	// RateLo and RateHi bound kappa, the number of exponential time
+	// constants a configuration completes over the full resource R:
+	// rate per resource unit = kappa / R.
+	RateLo, RateHi float64
+	// RateCouple in [0, 1] is the fraction of the convergence-rate
+	// signal driven by the configuration's quality percentile rather
+	// than by the independent speed surface. Real tuning curves show
+	// this coupling — configurations that end better usually also learn
+	// faster — and early stopping relies on it: low-rung losses must
+	// carry signal about final quality. Zero leaves rate and quality
+	// independent.
+	RateCouple float64
+	// NoiseSD is the validation-observation noise.
+	NoiseSD float64
+	// CostSpread returns a positive multiplier on training time for a
+	// configuration (1 = average). nil means constant cost.
+	CostSpread func(cfg searchspace.Config) float64
+	// CostQuality couples training cost to configuration quality: the
+	// returned multiplier is applied on top of CostSpread, as a function
+	// of the quality percentile u. Real spaces often show this coupling
+	// (the best language models in Table 2's space are the largest and
+	// slowest ones). The caller should normalize f so that the mean over
+	// u ~ U(0,1) is 1. nil disables the coupling.
+	CostQuality func(u float64) float64
+	// Diverges marks configurations whose training blows up; they head
+	// toward DivergeLevel instead of their asymptote. nil means no
+	// configuration diverges.
+	Diverges     func(cfg searchspace.Config) bool
+	DivergeLevel float64
+	// Idiosyncrasy adds deterministic config-level variation to the
+	// asymptote (uniform on +/- Idiosyncrasy), modelling the fine-scale
+	// ruggedness of real loss landscapes: infinitesimally close
+	// configurations do not have infinitesimally close outcomes, which
+	// bounds how far local refinement (GP jitter proposals, PBT
+	// perturbation chains) can dig below the noise floor. Zero disables
+	// it.
+	Idiosyncrasy float64
+	// Plasticity models optimization path dependence: when a trial's
+	// hyperparameters change mid-training (PBT's exploit/explore), the
+	// achievable asymptote degrades by
+	//   Plasticity * (resource consumed / R) * (WorstLoss - BestLoss)
+	// per switch, accumulating over switches. Weights trained far into
+	// one configuration's trajectory cannot fully realize another's
+	// from-scratch quality (e.g. burnt-in learning-rate schedules).
+	// Zero disables the effect.
+	Plasticity float64
+}
+
+// NewBenchmark assembles a surrogate benchmark. Exported for tests and
+// for users defining custom surrogate tasks through the public API.
+func NewBenchmark(name string, space *searchspace.Space, maxResource, timeR float64, seed uint64, cal Calibration) *Benchmark {
+	root := xrand.New(seed)
+	b := &Benchmark{
+		name:        name,
+		space:       space,
+		maxResource: maxResource,
+		timeR:       timeR,
+		seed:        seed,
+		root:        root,
+		quality:     curve.NewSurface(root.Split("quality-surface"), space.Dim()),
+		speed:       curve.NewSurface(root.Split("speed-surface"), space.Dim()),
+		cal:         cal,
+	}
+	// Fixed-seed Monte-Carlo estimate of the quality distribution; the
+	// asymptote map is a pure function of it. The sample is large so the
+	// tail of the asymptote distribution keeps its power-law shape out
+	// to the ~10^5 configurations the large-scale experiments draw.
+	cdfRNG := xrand.New(seed ^ 0xCDF_0000_0000_0001)
+	const cdfSamples = 1 << 17
+	b.qcdf = make([]float64, cdfSamples)
+	buf := make([]float64, space.Dim())
+	for i := range b.qcdf {
+		space.SampleEncoded(cdfRNG, buf)
+		b.qcdf[i] = b.quality.Quality(buf)
+	}
+	sort.Float64s(b.qcdf)
+	return b
+}
+
+// percentile converts a raw quality score into its rank u in [0, 1]
+// against the benchmark's sampled quality distribution. The map is
+// strictly increasing in q — it interpolates linearly between sampled
+// quantiles and extrapolates beyond them toward q = 0 and q = 1 — so
+// distinct configurations get distinct asymptotes rather than being
+// quantized into Monte-Carlo buckets.
+func (b *Benchmark) percentile(q float64) float64 {
+	n := len(b.qcdf)
+	nf := float64(n + 1)
+	idx := sort.SearchFloat64s(b.qcdf, q)
+	var u float64
+	switch {
+	case idx == 0:
+		// Below the sampled minimum: interpolate down to q = 0.
+		lo := b.qcdf[0]
+		frac := 1.0
+		if lo > 1e-12 {
+			frac = q / lo
+		}
+		u = frac * 0.5 / nf
+	case idx == n:
+		// Above the sampled maximum: interpolate up to q = 1, where the
+		// asymptote reaches BestLoss exactly.
+		hi := b.qcdf[n-1]
+		span := 1 - hi
+		frac := 1.0
+		if span > 1e-12 {
+			frac = (q - hi) / span
+			if frac > 1 {
+				frac = 1
+			}
+		}
+		u = (float64(n) - 0.5 + frac*1.5) / nf
+	default:
+		a, c := b.qcdf[idx-1], b.qcdf[idx]
+		frac := 0.5
+		if c > a {
+			frac = (q - a) / (c - a)
+		}
+		u = (float64(idx-1) + 0.5 + frac) / nf
+	}
+	if u < 0 {
+		return 0
+	}
+	if u > 1 {
+		return 1
+	}
+	return u
+}
+
+// Name returns the benchmark's identifier.
+func (b *Benchmark) Name() string { return b.name }
+
+// Space returns the benchmark's hyperparameter search space.
+func (b *Benchmark) Space() *searchspace.Space { return b.space }
+
+// MaxResource returns R, the maximum resource per configuration.
+func (b *Benchmark) MaxResource() float64 { return b.maxResource }
+
+// MeanTimeR returns the calibrated mean wall-clock time to train a
+// configuration for the full resource R.
+func (b *Benchmark) MeanTimeR() float64 { return b.timeR }
+
+// Quality returns the benchmark's quality score in [0,1] for cfg.
+// Exposed for tests and calibration tooling.
+func (b *Benchmark) Quality(cfg searchspace.Config) float64 {
+	return b.quality.Quality(b.space.Encode(cfg))
+}
+
+// ParamsFor deterministically maps a configuration to its learning-curve
+// parameters.
+func (b *Benchmark) ParamsFor(cfg searchspace.Config) curve.Params {
+	x := b.space.Encode(cfg)
+	q := b.quality.Quality(x)
+	u := b.percentile(q)
+	asym := b.cal.BestLoss + (b.cal.WorstLoss-b.cal.BestLoss)*math.Pow(1-u, 1/b.cal.Hardness)
+	mix := (1-b.cal.RateCouple)*b.speed.Quality(x) + b.cal.RateCouple*u
+	kappa := b.cal.RateLo + (b.cal.RateHi-b.cal.RateLo)*mix
+	cost := b.timeR / b.maxResource
+	if b.cal.CostSpread != nil {
+		cost *= b.cal.CostSpread(cfg)
+	}
+	if b.cal.CostQuality != nil {
+		cost *= b.cal.CostQuality(u)
+	}
+	if b.cal.Idiosyncrasy > 0 {
+		asym += (hash01(x) - 0.5) * 2 * b.cal.Idiosyncrasy
+	}
+	p := curve.Params{
+		Initial:     b.cal.InitialLoss,
+		Asymptote:   asym,
+		Rate:        kappa / b.maxResource,
+		NoiseSD:     b.cal.NoiseSD,
+		CostPerUnit: cost,
+	}
+	if b.cal.Diverges != nil && b.cal.Diverges(cfg) {
+		p.Diverges = true
+		p.DivergeLevel = b.cal.DivergeLevel
+	}
+	return p
+}
+
+// Trial is one configuration's stateful training run.
+type Trial struct {
+	ID      int
+	bench   *Benchmark
+	cfg     searchspace.Config
+	trainer *curve.Trainer
+	// handicap is the accumulated plasticity penalty on the asymptote
+	// from mid-training configuration switches.
+	handicap float64
+}
+
+// NewTrial creates a trial for cfg. The trial id seeds the observation
+// noise stream so repeated experiments are reproducible.
+func (b *Benchmark) NewTrial(id int, cfg searchspace.Config) *Trial {
+	return &Trial{
+		ID:      id,
+		bench:   b,
+		cfg:     cfg.Clone(),
+		trainer: curve.NewTrainer(b.ParamsFor(cfg), b.root.SplitIndex("trial-noise", id)),
+	}
+}
+
+// Config returns the trial's current configuration.
+func (t *Trial) Config() searchspace.Config { return t.cfg }
+
+// Train advances the trial by dr resource units and returns the observed
+// validation loss.
+func (t *Trial) Train(dr float64) float64 { return t.trainer.Train(dr) }
+
+// TrueLoss returns the noiseless current loss (the harness's "test"
+// metric).
+func (t *Trial) TrueLoss() float64 { return t.trainer.TrueLoss() }
+
+// Resource returns the cumulative resource trained.
+func (t *Trial) Resource() float64 { return t.trainer.Resource() }
+
+// CostPerUnit returns the wall-clock time per resource unit for the
+// trial's current configuration.
+func (t *Trial) CostPerUnit() float64 { return t.trainer.Params().CostPerUnit }
+
+// TrialState is a full trial checkpoint: the learning-curve state plus
+// the accumulated plasticity handicap.
+type TrialState struct {
+	Curve    curve.State
+	Handicap float64
+}
+
+// Checkpoint captures the training state for failure recovery.
+func (t *Trial) Checkpoint() TrialState {
+	return TrialState{Curve: t.trainer.Checkpoint(), Handicap: t.handicap}
+}
+
+// Restore rewinds to a checkpoint.
+func (t *Trial) Restore(s TrialState) {
+	t.trainer.Restore(s.Curve)
+	t.handicap = s.Handicap
+}
+
+// SetConfig swaps the trial's hyperparameters while keeping its trained
+// state, as PBT's explore step does after inheriting weights. Under a
+// benchmark with non-zero Plasticity, each mid-training switch degrades
+// the achievable asymptote in proportion to the resource already
+// consumed (see Calibration.Plasticity).
+func (t *Trial) SetConfig(cfg searchspace.Config) {
+	cal := t.bench.cal
+	if cal.Plasticity > 0 && t.trainer.Resource() > 0 {
+		t.handicap += cal.Plasticity * (t.trainer.Resource() / t.bench.maxResource) *
+			(cal.WorstLoss - cal.BestLoss)
+	}
+	t.cfg = cfg.Clone()
+	p := t.bench.ParamsFor(cfg)
+	p.Asymptote += t.handicap
+	t.trainer.SetParams(p)
+}
+
+// InheritFrom copies src's training state ("weights") into t, as PBT's
+// exploit step does. The donor's accumulated plasticity handicap travels
+// with its weights.
+func (t *Trial) InheritFrom(src *Trial) {
+	t.trainer.InheritFrom(src.trainer)
+	t.handicap = src.handicap
+}
+
+// hash01 deterministically maps an encoded configuration to [0, 1).
+func hash01(x []float64) float64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, v := range x {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+		_, _ = h.Write(buf[:])
+	}
+	return float64(h.Sum64()>>11) / float64(1<<53)
+}

@@ -1,0 +1,182 @@
+package asha
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/xrand"
+)
+
+// Objective is a user training function. The Tuner calls it with the
+// hyperparameter configuration, the cumulative resource already trained
+// (from), the cumulative resource to reach (to), and the state returned
+// by the previous call for this trial (nil on the first call). It
+// returns the validation loss at `to` (lower is better) and the state
+// needed to resume later. Objectives must be safe for concurrent calls
+// on distinct trials.
+type Objective func(ctx context.Context, cfg Config, from, to float64, state interface{}) (loss float64, newState interface{}, err error)
+
+// Option configures a Tuner.
+type Option func(*Tuner)
+
+// WithWorkers sets the number of concurrent training goroutines
+// (default 1).
+func WithWorkers(n int) Option { return func(t *Tuner) { t.workers = n } }
+
+// WithSeed seeds the tuner's randomness (default 1).
+func WithSeed(seed uint64) Option { return func(t *Tuner) { t.seed = seed } }
+
+// WithMaxJobs stops the run after this many training jobs.
+func WithMaxJobs(n int) Option { return func(t *Tuner) { t.maxJobs = n } }
+
+// WithMaxDuration stops the run after this wall-clock duration.
+func WithMaxDuration(d time.Duration) Option { return func(t *Tuner) { t.maxDuration = d } }
+
+// WithProgress installs a callback invoked after every completed job
+// with the current incumbent. It runs on the executor's critical path;
+// keep it fast.
+func WithProgress(fn func(p Progress)) Option { return func(t *Tuner) { t.onProgress = fn } }
+
+// Progress is a live snapshot handed to the WithProgress callback.
+type Progress struct {
+	// Completed is the number of finished training jobs.
+	Completed int
+	// TrialID, Rung, Loss and Resource describe the job that just
+	// finished.
+	TrialID  int
+	Rung     int
+	Loss     float64
+	Resource float64
+	// BestConfig and BestLoss describe the incumbent (valid when
+	// HasBest).
+	HasBest    bool
+	BestConfig Config
+	BestLoss   float64
+}
+
+// Tuner runs a tuning algorithm over an objective on a goroutine worker
+// pool.
+type Tuner struct {
+	space       *Space
+	objective   Objective
+	algorithm   Algorithm
+	workers     int
+	seed        uint64
+	maxJobs     int
+	maxDuration time.Duration
+	onProgress  func(Progress)
+}
+
+// New assembles a Tuner. The algorithm is one of the option structs in
+// this package (ASHA, SHA, Hyperband, AsyncHyperband, RandomSearch,
+// PBT, BOHB, GPOptimizer).
+func New(space *Space, objective Objective, algorithm Algorithm, opts ...Option) *Tuner {
+	t := &Tuner{
+		space:     space,
+		objective: objective,
+		algorithm: algorithm,
+		workers:   1,
+		seed:      1,
+	}
+	for _, o := range opts {
+		o(t)
+	}
+	return t
+}
+
+// Result is the outcome of a tuning run.
+type Result struct {
+	// BestConfig is the incumbent configuration and BestLoss its
+	// observed validation loss at BestResource.
+	BestConfig   Config
+	BestLoss     float64
+	BestResource float64
+	// CompletedJobs counts finished training jobs; Trials counts
+	// distinct configurations started; TotalResource sums training
+	// resource across trials.
+	CompletedJobs int
+	Trials        int
+	TotalResource float64
+	// Elapsed is the wall-clock duration of the run.
+	Elapsed time.Duration
+	// History is the incumbent loss trajectory: (seconds since start,
+	// incumbent loss) after each improvement.
+	History []HistoryPoint
+}
+
+// HistoryPoint is one incumbent improvement.
+type HistoryPoint struct {
+	Seconds float64
+	Loss    float64
+}
+
+// Run executes the tuning run until the context is cancelled, a budget
+// (WithMaxJobs / WithMaxDuration) is exhausted, or the algorithm
+// finishes. It returns the best configuration found.
+func (t *Tuner) Run(ctx context.Context) (*Result, error) {
+	if t.space == nil || t.space.Dim() == 0 {
+		return nil, fmt.Errorf("asha: tuner requires a non-empty search space")
+	}
+	if t.objective == nil {
+		return nil, fmt.Errorf("asha: tuner requires an objective")
+	}
+	if t.algorithm == nil {
+		return nil, fmt.Errorf("asha: tuner requires an algorithm")
+	}
+	if t.workers < 1 {
+		return nil, fmt.Errorf("asha: tuner requires at least one worker")
+	}
+	if t.maxJobs == 0 && t.maxDuration == 0 && ctx.Done() == nil {
+		return nil, fmt.Errorf("asha: unbounded run; set WithMaxJobs, WithMaxDuration, or a cancellable context")
+	}
+	sched := t.algorithm.newScheduler(t.space, xrand.New(t.seed))
+	opt := exec.Options{
+		Workers:     t.workers,
+		MaxJobs:     t.maxJobs,
+		MaxDuration: t.maxDuration,
+	}
+	if t.onProgress != nil {
+		completed := 0
+		opt.OnResult = func(res core.Result, best core.Best, ok bool) {
+			completed++
+			p := Progress{
+				Completed: completed,
+				TrialID:   res.TrialID,
+				Rung:      res.Rung,
+				Loss:      res.Loss,
+				Resource:  res.Resource,
+				HasBest:   ok,
+			}
+			if ok {
+				p.BestConfig = best.Config
+				p.BestLoss = best.Loss
+			}
+			t.onProgress(p)
+		}
+	}
+	start := time.Now()
+	run, err := exec.Run(ctx, sched, exec.Objective(t.objective), opt)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		CompletedJobs: run.CompletedJobs,
+		Trials:        run.Trials,
+		TotalResource: run.TotalResource,
+		Elapsed:       time.Since(start),
+	}
+	for _, p := range run.Series {
+		res.History = append(res.History, HistoryPoint{Seconds: p.Time, Loss: p.ValLoss})
+	}
+	if best, ok := sched.Best(); ok {
+		res.BestConfig = best.Config.Clone()
+		res.BestLoss = best.Loss
+		res.BestResource = best.Resource
+	} else {
+		return nil, fmt.Errorf("asha: run completed no trials (budget too small?)")
+	}
+	return res, nil
+}
