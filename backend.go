@@ -1,0 +1,108 @@
+package asha
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/backend"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/exec"
+)
+
+// Backend selects the execution substrate a Tuner runs on. The same
+// algorithm configuration runs unchanged on any backend — schedulers
+// only ever see the shared engine's Next/Report contract. Implementations
+// are the option structs below (GoroutinePool, Subprocess, Simulation);
+// the zero Tuner uses GoroutinePool.
+type Backend interface {
+	// build assembles the internal backend for one run. sched is the
+	// scheduler the engine will drive; the returned options carry
+	// backend-specific budgets (e.g. the simulator's virtual-time limit).
+	build(ctx context.Context, t *Tuner, sched core.Scheduler) (backend.Backend, backend.Options, error)
+}
+
+// WithBackend selects the execution backend (default GoroutinePool).
+func WithBackend(b Backend) Option { return func(t *Tuner) { t.backend = b } }
+
+// GoroutinePool runs the objective on a pool of in-process goroutine
+// workers — the default backend, suited to objectives written in Go that
+// are cheap enough to share one OS process.
+type GoroutinePool struct{}
+
+func (GoroutinePool) build(ctx context.Context, t *Tuner, _ core.Scheduler) (backend.Backend, backend.Options, error) {
+	if t.objective == nil {
+		return nil, backend.Options{}, fmt.Errorf("asha: the goroutine backend requires an objective")
+	}
+	return exec.NewPool(ctx, exec.Objective(t.objective), t.workers), backend.Options{}, nil
+}
+
+// Subprocess runs every training job in an isolated OS worker process
+// speaking a small JSON protocol on stdin/stdout — true parallelism
+// beyond the Go scheduler and crash isolation: a worker that dies loses
+// only its in-flight job, which the scheduler retries on a fresh
+// process. The worker program typically calls ServeWorker with its
+// training objective; training state must be JSON-serializable because
+// it round-trips through the parent for checkpoint/resume and PBT
+// inherits.
+type Subprocess struct {
+	// Command is the worker executable; Args its arguments.
+	Command string
+	Args    []string
+	// Env entries ("KEY=VALUE") are appended to the parent's environment.
+	Env []string
+}
+
+func (s Subprocess) build(ctx context.Context, t *Tuner, _ core.Scheduler) (backend.Backend, backend.Options, error) {
+	if s.Command == "" {
+		return nil, backend.Options{}, fmt.Errorf("asha: the subprocess backend requires a worker command")
+	}
+	b, err := exec.NewSubprocess(ctx, s.Command, s.Args, s.Env, t.workers)
+	return b, backend.Options{}, err
+}
+
+// Simulation runs the tuning algorithm against a calibrated surrogate
+// benchmark on the discrete-event cluster simulator: thousands of
+// simulated worker-hours complete in milliseconds of wall-clock time,
+// with optional straggler and job-drop injection (Appendix A.1). The
+// Tuner's objective is ignored — the benchmark's surrogate learning
+// curves stand in for training — and result times are in virtual
+// benchmark time units.
+type Simulation struct {
+	// Benchmark is the surrogate workload (see NamedBenchmark). The
+	// Tuner's space should be Benchmark.Space().
+	Benchmark *Benchmark
+	// StragglerSD, when > 0, multiplies each job's duration by 1+|z|,
+	// z ~ N(0, StragglerSD).
+	StragglerSD float64
+	// DropProb is the per-time-unit probability a job is dropped.
+	DropProb float64
+	// MaxSimTime stops the run at this virtual time (0 = no limit).
+	MaxSimTime float64
+}
+
+func (s Simulation) build(_ context.Context, t *Tuner, sched core.Scheduler) (backend.Backend, backend.Options, error) {
+	if s.Benchmark == nil {
+		return nil, backend.Options{}, fmt.Errorf("asha: the simulation backend requires a benchmark")
+	}
+	sim := cluster.New(sched, s.Benchmark, cluster.Options{
+		Workers:     t.workers,
+		StragglerSD: s.StragglerSD,
+		DropProb:    s.DropProb,
+		MaxTime:     s.MaxSimTime,
+		Seed:        t.seed,
+	})
+	opt := backend.Options{
+		MaxTime:     s.MaxSimTime,
+		MaxResource: s.Benchmark.MaxResource(),
+	}
+	return sim, opt, nil
+}
+
+// TrialIDFromContext reports the scheduler-assigned trial ID of the job
+// an objective invocation is training, when called from inside an
+// objective. Use it to key per-trial resources: checkpoint directories,
+// log streams, deterministic noise.
+func TrialIDFromContext(ctx context.Context) (int, bool) {
+	return exec.TrialIDFromContext(ctx)
+}

@@ -1,0 +1,243 @@
+package asha
+
+// Backend tests: the parity guard for the execution-layer unification
+// (the same scheduler + seed must make identical promotion decisions on
+// the goroutine and simulated backends), plus end-to-end coverage that
+// one unchanged ASHA configuration runs on all three backends via
+// WithBackend. The subprocess backend re-executes this test binary as
+// its worker (see TestMain in worker_main_test.go).
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/exec"
+	"repro/internal/workload"
+	"repro/internal/xrand"
+)
+
+// jobRecord is one completed job as seen through WithProgress.
+type jobRecord struct {
+	TrialID  int
+	Rung     int
+	Loss     float64
+	Resource float64
+}
+
+// runRecorded runs one single-worker tuning run and records the exact
+// completion sequence. One worker makes both backends sequential and
+// deterministic, so the sequences are comparable event for event.
+func runRecorded(t *testing.T, bench *workload.Benchmark, obj Objective, b Backend, maxJobs int) ([]jobRecord, *Result) {
+	t.Helper()
+	var seq []jobRecord
+	tuner := New(bench.Space(), obj, ASHA{
+		Eta:         4,
+		MinResource: bench.MaxResource() / 256,
+		MaxResource: bench.MaxResource(),
+	},
+		WithBackend(b),
+		WithWorkers(1),
+		WithSeed(7),
+		WithMaxJobs(maxJobs),
+		WithProgress(func(p Progress) {
+			seq = append(seq, jobRecord{TrialID: p.TrialID, Rung: p.Rung, Loss: p.Loss, Resource: p.Resource})
+		}),
+	)
+	res, err := tuner.Run(context.Background())
+	if err != nil {
+		t.Fatalf("run failed: %v", err)
+	}
+	return seq, res
+}
+
+// TestBackendParityPromotionDecisions is the guard for the execution
+// unification refactor: an identical ASHA configuration and seed must
+// produce identical promotion decisions — the same trials trained at the
+// same rungs with the same losses, in the same order — whether jobs run
+// on real goroutine workers or inside the discrete-event simulator.
+// BenchmarkObjective keys trial noise by the scheduler-assigned trial ID
+// (TrialIDFromContext), exactly as the simulator does, so even the noisy
+// observed losses must agree bit for bit.
+func TestBackendParityPromotionDecisions(t *testing.T) {
+	const maxJobs = 300
+	bench := workload.CudaConvnet()
+	simSeq, simRes := runRecorded(t, bench, nil, Simulation{Benchmark: bench}, maxJobs)
+	gorSeq, gorRes := runRecorded(t, bench, BenchmarkObjective(bench), GoroutinePool{}, maxJobs)
+
+	if len(simSeq) != len(gorSeq) {
+		t.Fatalf("backends completed different job counts: sim %d vs goroutine %d", len(simSeq), len(gorSeq))
+	}
+	for i := range simSeq {
+		if simSeq[i] != gorSeq[i] {
+			t.Fatalf("job %d diverged:\n  sim       %+v\n  goroutine %+v", i, simSeq[i], gorSeq[i])
+		}
+	}
+
+	// Same jobs implies the same rung contents; cross-check the rung
+	// membership explicitly (trial sets per rung).
+	simRungs := rungContents(simSeq)
+	gorRungs := rungContents(gorSeq)
+	if fmt.Sprint(simRungs) != fmt.Sprint(gorRungs) {
+		t.Fatalf("rung contents diverged:\n  sim       %v\n  goroutine %v", simRungs, gorRungs)
+	}
+
+	if simRes.BestLoss != gorRes.BestLoss {
+		t.Fatalf("incumbents diverged: sim %v vs goroutine %v", simRes.BestLoss, gorRes.BestLoss)
+	}
+	if simRes.Trials != gorRes.Trials || simRes.TotalResource != gorRes.TotalResource {
+		t.Fatalf("accounting diverged: sim (%d, %v) vs goroutine (%d, %v)",
+			simRes.Trials, simRes.TotalResource, gorRes.Trials, gorRes.TotalResource)
+	}
+}
+
+// rungContents maps rung -> sorted trial IDs that completed a job there.
+func rungContents(seq []jobRecord) map[int][]int {
+	rungs := make(map[int]map[int]bool)
+	for _, r := range seq {
+		if rungs[r.Rung] == nil {
+			rungs[r.Rung] = make(map[int]bool)
+		}
+		rungs[r.Rung][r.TrialID] = true
+	}
+	out := make(map[int][]int, len(rungs))
+	for k, set := range rungs {
+		for id := range set {
+			out[k] = insertSorted(out[k], id)
+		}
+	}
+	return out
+}
+
+func insertSorted(xs []int, v int) []int {
+	i := 0
+	for i < len(xs) && xs[i] < v {
+		i++
+	}
+	xs = append(xs, 0)
+	copy(xs[i+1:], xs[i:])
+	xs[i] = v
+	return xs
+}
+
+// TestSameConfigRunsOnAllBackends is the acceptance check for the
+// pluggable-backend API: one unchanged asha.ASHA configuration runs on
+// the goroutine pool, the subprocess pool, and the simulator purely by
+// swapping WithBackend.
+func TestSameConfigRunsOnAllBackends(t *testing.T) {
+	bench := workload.CudaConvnet()
+	algo := ASHA{Eta: 4, MinResource: bench.MaxResource() / 256, MaxResource: bench.MaxResource()}
+	backends := map[string]Backend{
+		"goroutine":  GoroutinePool{},
+		"subprocess": workerBackend(t),
+		"simulation": Simulation{Benchmark: bench},
+	}
+	for name, be := range backends {
+		t.Run(name, func(t *testing.T) {
+			obj := BenchmarkObjective(bench)
+			if name == "subprocess" {
+				obj = nil // the worker process computes losses itself
+			}
+			if name == "simulation" {
+				obj = nil // the simulator trains surrogate trials itself
+			}
+			tuner := New(bench.Space(), obj, algo,
+				WithBackend(be), WithWorkers(4), WithSeed(3), WithMaxJobs(120))
+			res, err := tuner.Run(context.Background())
+			if err != nil {
+				t.Fatalf("%s backend failed: %v", name, err)
+			}
+			if res.CompletedJobs == 0 || res.Trials == 0 {
+				t.Fatalf("%s backend did no work: %+v", name, res)
+			}
+			if res.BestLoss <= 0 || res.BestLoss > 3 {
+				t.Fatalf("%s backend found implausible incumbent %v", name, res.BestLoss)
+			}
+		})
+	}
+}
+
+// TestSubprocessCancelKillsInFlightWorkers guards the cancellation
+// path: with workers stuck in a 30-second job, WithMaxDuration must end
+// the run by killing the worker processes instead of waiting for their
+// results.
+func TestSubprocessCancelKillsInFlightWorkers(t *testing.T) {
+	be := workerBackend(t).(Subprocess)
+	be.Env = append(be.Env, "ASHA_TEST_WORKER_SLEEP_MS=30000")
+	tuner := New(NewSpace(Uniform("x", 0, 1)), nil,
+		RandomSearch{MaxResource: 1},
+		WithBackend(be), WithWorkers(2), WithMaxDuration(200*time.Millisecond))
+	start := time.Now()
+	_, err := tuner.Run(context.Background())
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("cancelled run took %v; workers were waited for instead of killed", elapsed)
+	}
+	// No trial ever completes, so the run reports no incumbent — but it
+	// must do so promptly and without a backend error.
+	if err == nil || !strings.Contains(err.Error(), "no trials") {
+		t.Fatalf("expected the no-trials error, got %v", err)
+	}
+}
+
+// TestBenchmarkObjectiveInheritClones guards PBT semantics on real
+// backends: when a job inherits a donor's state (different trial ID),
+// the objective must rebuild from the donor's checkpoint instead of
+// aliasing its live trial, so donor and heir train independently.
+func TestBenchmarkObjectiveInheritClones(t *testing.T) {
+	bench := workload.CudaConvnet()
+	obj := BenchmarkObjective(bench)
+	cfg := bench.Space().Sample(xrand.New(99))
+	ctx1 := exec.WithTrialID(context.Background(), 1)
+	_, state1, err := obj(ctx1, cfg, 0, 100, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	donor := state1.(*benchState)
+	donorResource := donor.trial.Resource()
+
+	// Trial 2 inherits trial 1's state (PBT exploit): must get its own
+	// trial object at the donor's training position.
+	ctx2 := exec.WithTrialID(context.Background(), 2)
+	_, state2, err := obj(ctx2, cfg, 100, 200, state1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	heir := state2.(*benchState)
+	if heir.trial == donor.trial {
+		t.Fatal("heir aliases the donor's live trial")
+	}
+	if heir.trial.ID != 2 {
+		t.Fatalf("heir kept donor identity %d", heir.trial.ID)
+	}
+	if heir.trial.Resource() != 200 {
+		t.Fatalf("heir trained to %v, want 200", heir.trial.Resource())
+	}
+	if donor.trial.Resource() != donorResource {
+		t.Fatalf("training the heir advanced the donor: %v -> %v", donorResource, donor.trial.Resource())
+	}
+}
+
+// TestSubprocessStateRoundTrips drives ASHA over real OS worker
+// processes and verifies checkpoint state survives the JSON round trip:
+// the worker objective records the resume point in its state and fails
+// loudly on mismatch (see workerObjective in worker_main_test.go).
+func TestSubprocessStateRoundTrips(t *testing.T) {
+	tuner := New(NewSpace(
+		Uniform("x", 0, 1),
+		Uniform("y", 0, 1),
+	), nil, ASHA{Eta: 2, MinResource: 1, MaxResource: 16},
+		WithBackend(workerBackend(t)),
+		WithWorkers(3),
+		WithSeed(5),
+		WithMaxJobs(80),
+	)
+	res, err := tuner.Run(context.Background())
+	if err != nil {
+		t.Fatalf("subprocess run failed: %v", err)
+	}
+	if res.CompletedJobs != 80 {
+		t.Fatalf("completed %d jobs, want 80", res.CompletedJobs)
+	}
+}

@@ -2,7 +2,7 @@ package asha
 
 // This file is the benchmark harness required by the reproduction: one
 // testing.B benchmark per table and figure of the paper's evaluation
-// (see DESIGN.md for the per-experiment index), plus ablation benches
+// (see EXPERIMENTS.md for the per-experiment index), plus ablation benches
 // for the design choices DESIGN.md calls out and micro-benchmarks of
 // the scheduler hot path.
 //

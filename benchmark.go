@@ -1,0 +1,125 @@
+package asha
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync/atomic"
+
+	"repro/internal/workload"
+)
+
+// Benchmark is a surrogate tuning task from the paper's evaluation: a
+// hyperparameter search space coupled with a calibrated response surface
+// that maps configurations to learning curves. Benchmarks drive the
+// Simulation backend and can stand in for a real objective on any
+// backend via BenchmarkObjective.
+type Benchmark = workload.Benchmark
+
+// namedBenchmarks indexes the paper's surrogate workloads by CLI-friendly
+// name.
+var namedBenchmarks = map[string]func() *Benchmark{
+	"cuda-convnet":     workload.CudaConvnet,
+	"cifar-cnn":        workload.SmallCNNCIFAR,
+	"svhn-cnn":         workload.SmallCNNSVHN,
+	"ptb-lstm":         workload.PTBLSTM,
+	"dropconnect-lstm": workload.DropConnectLSTM,
+	"svm-vehicle":      workload.SVMVehicle,
+	"svm-mnist":        workload.SVMMNIST,
+}
+
+// BenchmarkNames lists the built-in surrogate benchmarks, sorted.
+func BenchmarkNames() []string {
+	names := make([]string, 0, len(namedBenchmarks))
+	for n := range namedBenchmarks {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// NamedBenchmark returns one of the paper's surrogate benchmarks by
+// name (see BenchmarkNames).
+func NamedBenchmark(name string) (*Benchmark, error) {
+	mk, ok := namedBenchmarks[name]
+	if !ok {
+		return nil, fmt.Errorf("asha: unknown benchmark %q (have %v)", name, BenchmarkNames())
+	}
+	return mk(), nil
+}
+
+// BenchmarkObjective adapts a surrogate benchmark into an Objective, so
+// the same workload can run on the goroutine or subprocess backend that
+// the Simulation backend trains natively. Trial noise streams are keyed
+// by the scheduler-assigned trial ID (via TrialIDFromContext), so a
+// fixed-seed run produces identical losses on the simulated and
+// goroutine backends — the property the backend-parity tests rely on.
+// A PBT inherit hands the donor's state in under a different trial ID;
+// the objective then rebuilds a trial of its own from the donor's
+// *checkpoint* — the immutable snapshot taken when the donor's last job
+// completed — mirroring the simulator's use of pre-job checkpoints.
+// The donor's live trial is never touched, so concurrent donor training
+// cannot race with an heir's exploit. The returned state is not
+// JSON-serializable; use the Simulation backend rather than Subprocess
+// for surrogate workloads.
+func BenchmarkObjective(b *Benchmark) Objective {
+	var anon atomic.Int64 // fallback IDs for executors without trial IDs
+	return func(ctx context.Context, cfg Config, from, to float64, state interface{}) (float64, interface{}, error) {
+		s, _ := state.(*benchState)
+		id, hasID := TrialIDFromContext(ctx)
+		if !hasID {
+			id = -int(anon.Add(1))
+		}
+		var t *workload.Trial
+		switch {
+		case s == nil:
+			t = b.NewTrial(id, cfg)
+		case s.id == id:
+			// The same trial's next job: a trial has at most one job in
+			// flight, so reusing the live object is race-free.
+			t = s.trial
+		default:
+			// Inherited donor state (PBT's exploit step): rebuild from
+			// the donor's immutable checkpoint under this job's own
+			// identity (and noise stream), as the simulator does.
+			t = b.NewTrial(id, s.cfg)
+			t.Restore(s.checkpoint)
+		}
+		if !configsEqual(t.Config(), cfg) {
+			t.SetConfig(cfg)
+		}
+		dr := to - t.Resource()
+		if dr < 0 {
+			dr = 0
+		}
+		loss := t.Train(dr)
+		return loss, &benchState{
+			trial:      t,
+			id:         id,
+			cfg:        t.Config().Clone(),
+			checkpoint: t.Checkpoint(),
+		}, nil
+	}
+}
+
+// benchState is the objective state of one surrogate trial: the live
+// trial (reused only by that same trial's next job) plus an immutable
+// checkpoint that inheritors copy from without touching the live object.
+type benchState struct {
+	trial      *workload.Trial
+	id         int
+	cfg        Config
+	checkpoint workload.TrialState
+}
+
+func configsEqual(a, b Config) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}

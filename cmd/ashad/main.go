@@ -1,0 +1,347 @@
+// Command ashad runs a manifest of named tuning experiments
+// concurrently on a shared global worker budget and streams their
+// progress — the multi-experiment counterpart of cmd/ashatune, built on
+// asha.Manager's fair-share scheduler.
+//
+// Usage:
+//
+//	ashad -manifest experiments.json [-workers 16] [-progress 200]
+//	ashad -example              # print a sample manifest and exit
+//
+// The manifest is JSON:
+//
+//	{
+//	  "workers": 8,
+//	  "experiments": [
+//	    {
+//	      "name": "cifar-asha",
+//	      "algorithm": "asha",
+//	      "eta": 4,
+//	      "maxJobs": 2000,
+//	      "seed": 1,
+//	      "objective": "benchmark",
+//	      "benchmark": "cifar-cnn"
+//	    },
+//	    {
+//	      "name": "synthetic-bohb",
+//	      "algorithm": "bohb",
+//	      "maxJobs": 1500,
+//	      "objective": "synthetic",
+//	      "minResource": 1,
+//	      "maxResource": 256,
+//	      "space": [
+//	        {"name": "lr", "type": "loguniform", "lo": 1e-5, "hi": 1},
+//	        {"name": "width", "type": "choice", "choices": [64, 128, 256, 512]}
+//	      ]
+//	    }
+//	  ]
+//	}
+//
+// Objectives: "benchmark" tunes one of the paper's calibrated surrogate
+// workloads (field "benchmark"; the experiment inherits the benchmark's
+// search space and resource range unless overridden); "synthetic" tunes
+// a fast deterministic multimodal test function over the given space.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"os"
+	"sort"
+	"strings"
+
+	asha "repro"
+)
+
+// manifest is the top-level experiment file.
+type manifest struct {
+	// Workers is the shared global worker budget (default 8).
+	Workers     int       `json:"workers"`
+	Experiments []expSpec `json:"experiments"`
+}
+
+// expSpec is one experiment entry.
+type expSpec struct {
+	Name      string      `json:"name"`
+	Algorithm string      `json:"algorithm"` // asha|sha|hyperband|async-hyperband|random|pbt|bohb|gp|model-asha
+	Objective string      `json:"objective"` // benchmark|synthetic
+	Benchmark string      `json:"benchmark,omitempty"`
+	Space     []paramSpec `json:"space,omitempty"`
+	MaxJobs   int         `json:"maxJobs"`
+	Seed      uint64      `json:"seed,omitempty"`
+
+	// Algorithm knobs (defaults in brackets).
+	Eta           int     `json:"eta,omitempty"`           // [4]
+	MinResource   float64 `json:"minResource,omitempty"`   // [1, or R/256 for benchmarks]
+	MaxResource   float64 `json:"maxResource,omitempty"`   // [256, or the benchmark's R]
+	EarlyStopRate int     `json:"earlyStopRate,omitempty"` // [0]
+	N             int     `json:"n,omitempty"`             // SHA/BOHB bracket size [256]
+	Population    int     `json:"population,omitempty"`    // PBT [20]
+	Step          float64 `json:"step,omitempty"`          // PBT [R/32]
+}
+
+// paramSpec declares one hyperparameter.
+type paramSpec struct {
+	Name    string    `json:"name"`
+	Type    string    `json:"type"` // uniform|loguniform|int|choice
+	Lo      float64   `json:"lo,omitempty"`
+	Hi      float64   `json:"hi,omitempty"`
+	Choices []float64 `json:"choices,omitempty"`
+}
+
+const exampleManifest = `{
+  "workers": 8,
+  "experiments": [
+    {
+      "name": "cifar-asha",
+      "algorithm": "asha",
+      "maxJobs": 2000,
+      "objective": "benchmark",
+      "benchmark": "cifar-cnn"
+    },
+    {
+      "name": "convnet-hyperband",
+      "algorithm": "async-hyperband",
+      "maxJobs": 2000,
+      "objective": "benchmark",
+      "benchmark": "cuda-convnet"
+    },
+    {
+      "name": "synthetic-bohb",
+      "algorithm": "bohb",
+      "maxJobs": 1500,
+      "objective": "synthetic",
+      "minResource": 1,
+      "maxResource": 256,
+      "space": [
+        {"name": "lr", "type": "loguniform", "lo": 1e-5, "hi": 1},
+        {"name": "weight decay", "type": "loguniform", "lo": 1e-8, "hi": 0.01},
+        {"name": "width", "type": "choice", "choices": [64, 128, 256, 512, 1024]},
+        {"name": "warmup", "type": "uniform", "lo": 0, "hi": 0.5}
+      ]
+    }
+  ]
+}
+`
+
+func buildSpace(specs []paramSpec) (*asha.Space, error) {
+	var params []asha.Param
+	for _, p := range specs {
+		switch p.Type {
+		case "uniform":
+			params = append(params, asha.Uniform(p.Name, p.Lo, p.Hi))
+		case "loguniform":
+			params = append(params, asha.LogUniform(p.Name, p.Lo, p.Hi))
+		case "int":
+			params = append(params, asha.Int(p.Name, int(p.Lo), int(p.Hi)))
+		case "choice":
+			params = append(params, asha.Choice(p.Name, p.Choices...))
+		default:
+			return nil, fmt.Errorf("parameter %q has unknown type %q", p.Name, p.Type)
+		}
+	}
+	return asha.NewSpace(params...), nil
+}
+
+func buildAlgorithm(s expSpec) (asha.Algorithm, error) {
+	eta := s.Eta
+	if eta == 0 {
+		eta = 4
+	}
+	r, R := s.MinResource, s.MaxResource
+	switch s.Algorithm {
+	case "asha":
+		return asha.ASHA{Eta: eta, MinResource: r, MaxResource: R, EarlyStopRate: s.EarlyStopRate}, nil
+	case "sha":
+		n := s.N
+		if n == 0 {
+			n = 256
+		}
+		return asha.SHA{N: n, Eta: eta, MinResource: r, MaxResource: R, EarlyStopRate: s.EarlyStopRate}, nil
+	case "hyperband":
+		return asha.Hyperband{Eta: eta, MinResource: r, MaxResource: R}, nil
+	case "async-hyperband":
+		return asha.AsyncHyperband{Eta: eta, MinResource: r, MaxResource: R}, nil
+	case "random":
+		return asha.RandomSearch{MaxResource: R}, nil
+	case "pbt":
+		pop := s.Population
+		if pop == 0 {
+			pop = 20
+		}
+		step := s.Step
+		if step == 0 {
+			step = R / 32
+		}
+		return asha.PBT{Population: pop, Step: step, MaxResource: R}, nil
+	case "bohb":
+		n := s.N
+		if n == 0 {
+			n = 256
+		}
+		return asha.BOHB{N: n, Eta: eta, MinResource: r, MaxResource: R, EarlyStopRate: s.EarlyStopRate}, nil
+	case "gp":
+		return asha.GPOptimizer{MaxResource: R}, nil
+	case "model-asha":
+		return asha.ModelASHA{Eta: eta, MinResource: r, MaxResource: R, EarlyStopRate: s.EarlyStopRate}, nil
+	default:
+		return nil, fmt.Errorf("unknown algorithm %q", s.Algorithm)
+	}
+}
+
+// syntheticObjective is a fast deterministic multimodal test function:
+// the loss floor depends on the configuration's distance to a fixed
+// optimum in the space's normalized encoding, and training decays the
+// loss toward that floor over the resource range. State is the current
+// loss (a float64), so it runs on every backend.
+func syntheticObjective(space *asha.Space, maxResource float64) asha.Objective {
+	return func(_ context.Context, cfg asha.Config, from, to float64, state interface{}) (float64, interface{}, error) {
+		x := space.Encode(cfg)
+		floor := 0.05
+		for i, v := range x {
+			target := 0.5 + 0.35*math.Sin(float64(i+1))
+			floor += 0.4 * math.Abs(v-target) / float64(len(x))
+		}
+		loss := 3.0
+		if s, ok := state.(float64); ok {
+			loss = s
+		}
+		loss = floor + (loss-floor)*math.Exp(-8*(to-from)/maxResource)
+		return loss, loss, nil
+	}
+}
+
+// buildExperiment lowers one manifest entry into a Manager experiment.
+func buildExperiment(s expSpec) (asha.Experiment, error) {
+	none := asha.Experiment{}
+	var space *asha.Space
+	var objective asha.Objective
+
+	switch s.Objective {
+	case "benchmark":
+		bench, err := asha.NamedBenchmark(s.Benchmark)
+		if err != nil {
+			return none, err
+		}
+		space = bench.Space()
+		if s.MaxResource == 0 {
+			s.MaxResource = bench.MaxResource()
+		}
+		if s.MinResource == 0 {
+			s.MinResource = bench.MaxResource() / 256
+		}
+		objective = asha.BenchmarkObjective(bench)
+	case "synthetic":
+		if len(s.Space) == 0 {
+			return none, fmt.Errorf("a synthetic objective needs a space")
+		}
+		if s.MaxResource == 0 {
+			s.MaxResource = 256
+		}
+		if s.MinResource == 0 {
+			s.MinResource = 1
+		}
+		var err error
+		if space, err = buildSpace(s.Space); err != nil {
+			return none, err
+		}
+		objective = syntheticObjective(space, s.MaxResource)
+	default:
+		return none, fmt.Errorf("unknown objective %q (want benchmark or synthetic)", s.Objective)
+	}
+	if len(s.Space) > 0 && s.Objective == "benchmark" {
+		return none, fmt.Errorf("benchmark experiments use the benchmark's own space; drop the space field")
+	}
+
+	algo, err := buildAlgorithm(s)
+	if err != nil {
+		return none, err
+	}
+	return asha.Experiment{
+		Name:      s.Name,
+		Space:     space,
+		Objective: objective,
+		Algorithm: algo,
+		Seed:      s.Seed,
+		MaxJobs:   s.MaxJobs,
+	}, nil
+}
+
+func main() {
+	var (
+		manifestPath = flag.String("manifest", "", "path to the experiment manifest (JSON)")
+		workers      = flag.Int("workers", 0, "override the manifest's shared worker budget")
+		progressEach = flag.Int("progress", 200, "stream a progress line every N completed jobs per experiment (0 = off)")
+		example      = flag.Bool("example", false, "print a sample manifest and exit")
+	)
+	flag.Parse()
+
+	if *example {
+		fmt.Print(exampleManifest)
+		return
+	}
+	if *manifestPath == "" {
+		fmt.Fprintln(os.Stderr, "ashad: pass -manifest <file> (see -example)")
+		os.Exit(2)
+	}
+	raw, err := os.ReadFile(*manifestPath)
+	if err != nil {
+		log.Fatalf("ashad: %v", err)
+	}
+	var mf manifest
+	dec := json.NewDecoder(strings.NewReader(string(raw)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&mf); err != nil {
+		log.Fatalf("ashad: parsing %s: %v", *manifestPath, err)
+	}
+	if *workers > 0 {
+		mf.Workers = *workers
+	}
+	if mf.Workers == 0 {
+		mf.Workers = 8
+	}
+
+	opts := []asha.ManagerOption{asha.WithManagerWorkers(mf.Workers)}
+	if *progressEach > 0 {
+		every := *progressEach
+		opts = append(opts, asha.WithManagerProgress(func(p asha.ExperimentProgress) {
+			if p.Completed%every == 0 && p.HasBest {
+				fmt.Printf("  [%-20s] %6d jobs  incumbent %.4f\n", p.Experiment, p.Completed, p.BestLoss)
+			}
+		}))
+	}
+	mgr := asha.NewManager(opts...)
+	for _, s := range mf.Experiments {
+		e, err := buildExperiment(s)
+		if err != nil {
+			log.Fatalf("ashad: experiment %q: %v", s.Name, err)
+		}
+		if err := mgr.Add(e); err != nil {
+			log.Fatalf("ashad: %v", err)
+		}
+	}
+
+	fmt.Printf("ashad: running %d experiments on %d shared workers\n", len(mf.Experiments), mf.Workers)
+	results, err := mgr.Run(context.Background())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ashad: %v\n", err)
+	}
+
+	names := make([]string, 0, len(results))
+	for n := range results {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fmt.Printf("\n%-22s %10s %8s %12s %10s\n", "experiment", "best loss", "jobs", "resource", "configs")
+	for _, n := range names {
+		r := results[n]
+		fmt.Printf("%-22s %10.4f %8d %12.0f %10d\n", n, r.BestLoss, r.CompletedJobs, r.TotalResource, r.Trials)
+	}
+	if err != nil {
+		os.Exit(1)
+	}
+}

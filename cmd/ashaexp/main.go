@@ -1,5 +1,5 @@
 // Command ashaexp regenerates the paper's tables and figures (see
-// DESIGN.md for the per-experiment index).
+// EXPERIMENTS.md for the per-experiment index).
 //
 // Usage:
 //

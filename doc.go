@@ -25,6 +25,20 @@
 // toResource, state) and must resume training from its last checkpoint
 // state — exactly the run_then_return_val_loss contract of the paper.
 //
+// Execution is pluggable: WithBackend swaps where jobs run without
+// touching the algorithm configuration. GoroutinePool (the default)
+// trains in-process; Subprocess isolates every job in an OS worker
+// process speaking a JSON protocol (see ServeWorker); Simulation
+// replays the paper's distributed conditions — hundreds of workers,
+// stragglers, dropped jobs — on a discrete-event virtual clock over a
+// calibrated surrogate benchmark (see NamedBenchmark). All backends are
+// driven by one engine, so promotion decisions are identical across
+// them for a fixed seed and a deterministic objective.
+//
+// Manager runs many named tuning experiments concurrently on a shared
+// global worker budget with fair-share scheduling; cmd/ashad is its
+// command-line front end, driven by a JSON manifest.
+//
 // The repository also contains the paper's full experimental harness:
 // every table and figure of the evaluation section can be regenerated
 // with cmd/ashaexp (see DESIGN.md and EXPERIMENTS.md).

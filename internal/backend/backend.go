@@ -1,0 +1,232 @@
+// Package backend defines the pluggable execution layer that separates
+// *what* to run (a core.Scheduler deciding jobs and promotions) from
+// *where* to run it (a Backend executing training jobs). One
+// single-threaded engine, Drive, owns the scheduler, the trial
+// bookkeeping common to every substrate, and the metrics/result path;
+// backends only execute jobs and deliver completions.
+//
+// Three backends implement the interface today:
+//
+//   - internal/exec.Pool        — a goroutine worker pool calling an
+//     in-process Go objective (the default for the public Tuner);
+//   - internal/exec.Subprocess  — a pool of OS worker processes speaking
+//     a JSON line protocol over stdin/stdout, giving crash isolation and
+//     true parallelism for real workloads;
+//   - internal/cluster.Sim      — the paper's discrete-event cluster
+//     simulator on a virtual clock.
+//
+// Because every backend is driven by the same engine, simulated and real
+// runs share one result-ingestion and metrics path, and promotion
+// decisions depend only on the scheduler and the completion order the
+// backend produces — the property the backend-parity tests pin down.
+package backend
+
+import (
+	"context"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/searchspace"
+)
+
+// Completion reports one finished training job back to the engine.
+type Completion struct {
+	// Job is the job handed to Launch.
+	Job core.Job
+	// Loss is the observed validation loss at Resource; TrueLoss is the
+	// noiseless loss when the backend knows it (real backends set it
+	// equal to Loss).
+	Loss     float64
+	TrueLoss float64
+	// Resource is the cumulative resource the trial reached.
+	Resource float64
+	// Time is the completion time on the backend's clock, in the
+	// backend's time unit (wall-clock seconds for real backends, virtual
+	// time for the simulator).
+	Time float64
+	// Failed marks a dropped job: the backend rolled the trial back and
+	// the scheduler may retry it. Loss is meaningless.
+	Failed bool
+	// Err is a fatal objective error; it aborts the run.
+	Err error
+}
+
+// Stats is the backend's end-of-run trial accounting.
+type Stats struct {
+	// Trials is the number of distinct configurations started.
+	Trials int
+	// TotalResource sums the training resource retained across trials.
+	TotalResource float64
+	// ConfigsToR counts trials trained to the backend's known maximum
+	// resource (0 when the backend has no such notion).
+	ConfigsToR int
+}
+
+// Backend executes training jobs on some substrate. Implementations are
+// not required to be safe for concurrent use: the engine calls every
+// method from a single goroutine.
+type Backend interface {
+	// Capacity is the number of jobs the backend runs concurrently. The
+	// engine never has more than Capacity jobs in flight.
+	Capacity() int
+	// Launch starts a job. The backend owns trial state: it resolves the
+	// trial's current resource, checkpoint state and any InheritFrom
+	// donor. Exactly one Completion must eventually be produced per
+	// Launch.
+	Launch(job core.Job)
+	// Await blocks until at least one launched job finishes and returns
+	// every completion available without further waiting (real backends
+	// batch; the simulator returns events one at a time to preserve
+	// virtual-clock ordering). An empty, error-free batch means the
+	// backend can complete nothing more (e.g. the simulated clock
+	// expired) and the run must stop. A context error stops the run
+	// cleanly.
+	Await(ctx context.Context) ([]Completion, error)
+	// Now is the current time on the backend's clock.
+	Now() float64
+	// Close stops the backend: it must release workers and roll back any
+	// in-flight trial state so Stats only sees completed work. Close is
+	// called exactly once, before Stats.
+	Close() error
+	// Stats returns the final trial accounting.
+	Stats() Stats
+}
+
+// Options bound and observe an engine run.
+type Options struct {
+	// MaxJobs stops issuing work after this many launched jobs
+	// (0 = no limit).
+	MaxJobs int
+	// MaxTime stops issuing work once the backend clock reaches this
+	// value (0 = no limit). In-flight work past the horizon is discarded
+	// by the backend.
+	MaxTime float64
+	// MaxResource, when > 0, enables FirstRTime accounting: the run
+	// records the first completion whose trial reached MaxResource.
+	MaxResource float64
+	// StopAtFirstR ends the run as soon as any trial reaches MaxResource.
+	StopAtFirstR bool
+	// Evaluator optionally overrides the test metric recorded for the
+	// incumbent (Appendix A.2 offline validation). Nil records the
+	// incumbent's noiseless loss.
+	Evaluator func(cfg searchspace.Config) float64
+	// OnResult, if set, is invoked after every successful completion with
+	// the scheduler's current incumbent. It runs on the engine goroutine.
+	OnResult func(res core.Result, best core.Best, ok bool)
+}
+
+// Drive runs sched on b until the context is cancelled, budgets are
+// exhausted, the scheduler finishes, or the backend can complete nothing
+// more. It is the single execution engine shared by all backends: fill
+// free capacity from the scheduler, await a batch of completions, ingest
+// the batch (one pass, no per-result locking), repeat. The returned run
+// is always non-nil.
+func Drive(ctx context.Context, sched core.Scheduler, b Backend, opt Options) (*metrics.Run, error) {
+	run := &metrics.Run{FirstRTime: math.Inf(1)}
+	inflight := 0
+	budgetExhausted := func() bool {
+		if opt.MaxJobs > 0 && run.IssuedJobs >= opt.MaxJobs {
+			return true
+		}
+		if opt.MaxTime > 0 && b.Now() >= opt.MaxTime {
+			return true
+		}
+		return false
+	}
+	var firstErr error
+loop:
+	for {
+		// Fill every free slot until the scheduler declines (synchronous
+		// barrier), budgets run out, or capacity is reached.
+		for inflight < b.Capacity() && ctx.Err() == nil && !budgetExhausted() && !sched.Done() {
+			job, ok := sched.Next()
+			if !ok {
+				break
+			}
+			b.Launch(job)
+			run.IssuedJobs++
+			inflight++
+		}
+		if inflight == 0 {
+			break // nothing running, nothing schedulable: drained
+		}
+		batch, err := b.Await(ctx)
+		if err != nil {
+			if ctx.Err() == nil {
+				firstErr = err
+			}
+			break
+		}
+		if len(batch) == 0 {
+			break // backend clock expired
+		}
+		for _, c := range batch {
+			inflight--
+			if c.Err != nil {
+				if ctx.Err() == nil {
+					firstErr = c.Err
+				}
+				break loop
+			}
+			ingest(sched, run, opt, c)
+		}
+		if opt.StopAtFirstR && !math.IsInf(run.FirstRTime, 1) {
+			break
+		}
+	}
+	closeErr := b.Close()
+	if firstErr == nil && closeErr != nil && ctx.Err() == nil {
+		firstErr = closeErr
+	}
+	st := b.Stats()
+	run.EndTime = b.Now()
+	run.Trials = st.Trials
+	run.TotalResource = st.TotalResource
+	run.ConfigsToR = st.ConfigsToR
+	return run, firstErr
+}
+
+// ingest delivers one completion to the scheduler and records metrics —
+// the single result path shared by simulated and real runs.
+func ingest(sched core.Scheduler, run *metrics.Run, opt Options, c Completion) {
+	if c.Failed {
+		run.FailedJobs++
+		sched.Report(core.Result{
+			TrialID:  c.Job.TrialID,
+			Rung:     c.Job.Rung,
+			Config:   c.Job.Config,
+			Loss:     math.NaN(),
+			TrueLoss: math.NaN(),
+			Resource: 0,
+			Failed:   true,
+			Time:     c.Time,
+		})
+		return
+	}
+	run.CompletedJobs++
+	if opt.MaxResource > 0 && c.Resource >= opt.MaxResource-1e-9 && c.Time < run.FirstRTime {
+		run.FirstRTime = c.Time
+	}
+	res := core.Result{
+		TrialID:  c.Job.TrialID,
+		Rung:     c.Job.Rung,
+		Config:   c.Job.Config,
+		Loss:     c.Loss,
+		TrueLoss: c.TrueLoss,
+		Resource: c.Resource,
+		Time:     c.Time,
+	}
+	sched.Report(res)
+	best, ok := sched.Best()
+	if ok {
+		test := best.TrueLoss
+		if opt.Evaluator != nil {
+			test = opt.Evaluator(best.Config)
+		}
+		run.Record(c.Time, best.Loss, test)
+	}
+	if opt.OnResult != nil {
+		opt.OnResult(res, best, ok)
+	}
+}

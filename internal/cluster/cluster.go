@@ -5,6 +5,13 @@
 // on a virtual clock, so 500-worker multi-week experiments (Section 4.3)
 // run in milliseconds.
 //
+// The simulator implements backend.Backend: it is driven by the same
+// engine (backend.Drive) as the real goroutine-pool and subprocess
+// backends, so simulated and real runs share one scheduler-interleaving,
+// result-ingestion and metrics path. Only job execution differs — here a
+// surrogate workload.Trial trains instantly and completion events fire
+// on a virtual clock.
+//
 // Stragglers and drops follow Appendix A.1 exactly: each job's duration
 // is multiplied by (1 + |z|) with z ~ N(0, StragglerSD), and jobs are
 // dropped at each time unit with probability DropProb (simulated in
@@ -13,8 +20,10 @@ package cluster
 
 import (
 	"container/heap"
+	"context"
 	"math"
 
+	"repro/internal/backend"
 	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/searchspace"
@@ -90,7 +99,8 @@ func (h *eventHeap) Pop() interface{} {
 	return x
 }
 
-// Sim drives one scheduler over one benchmark.
+// Sim is the discrete-event simulation backend for one scheduler over
+// one benchmark.
 type Sim struct {
 	sched core.Scheduler
 	bench *workload.Benchmark
@@ -102,14 +112,12 @@ type Sim struct {
 	// for failure rollback and for PBT inherits from running donors.
 	preJob map[int]workload.TrialState
 	events eventHeap
-	busy   int
 	now    float64
-	issued int
-	run    *metrics.Run
 	trace  []JobEvent
 	starts map[int]startInfo // trialID -> in-flight job info
 	// dropRate is the continuous-time drop hazard.
 	dropRate float64
+	closed   bool
 }
 
 type startInfo struct {
@@ -131,7 +139,6 @@ func New(sched core.Scheduler, bench *workload.Benchmark, opt Options) *Sim {
 		trials: make(map[int]*workload.Trial),
 		preJob: make(map[int]workload.TrialState),
 		starts: make(map[int]startInfo),
-		run:    &metrics.Run{FirstRTime: math.Inf(1)},
 	}
 	if opt.DropProb > 0 {
 		s.dropRate = -math.Log(1 - opt.DropProb)
@@ -144,73 +151,28 @@ func Run(sched core.Scheduler, bench *workload.Benchmark, opt Options) *metrics.
 	return New(sched, bench, opt).Run()
 }
 
-// Run drives the event loop until the time/job budget is exhausted or
-// the scheduler is done and all jobs have drained.
+// Run drives the shared engine over this simulation backend until the
+// time/job budget is exhausted or the scheduler is done and all jobs
+// have drained. Simulation produces no errors, so only the run record is
+// returned.
 func (s *Sim) Run() *metrics.Run {
-	s.fillWorkers()
-	for len(s.events) > 0 {
-		ev := heap.Pop(&s.events).(event)
-		if s.opt.MaxTime > 0 && ev.time > s.opt.MaxTime {
-			// The run's clock ends; in-flight work past the horizon is
-			// discarded.
-			s.now = s.opt.MaxTime
-			break
-		}
-		s.now = ev.time
-		s.busy--
-		s.complete(ev)
-		if s.opt.StopAtFirstR && !math.IsInf(s.run.FirstRTime, 1) {
-			break
-		}
-		s.fillWorkers()
-	}
-	// Jobs still in flight when the clock stops never finished: rewind
-	// their launch-time state mutations so final accounting only sees
-	// completed work.
-	for id, st := range s.preJob {
-		s.trials[id].Restore(st)
-		delete(s.preJob, id)
-	}
-	s.run.EndTime = s.now
-	s.run.Trials = len(s.trials)
-	for _, t := range s.trials {
-		s.run.TotalResource += t.Resource()
-		if t.Resource() >= s.bench.MaxResource()-1e-9 {
-			s.run.ConfigsToR++
-		}
-	}
-	return s.run
+	run, _ := backend.Drive(context.Background(), s.sched, s, backend.Options{
+		MaxJobs:      s.opt.MaxJobs,
+		MaxTime:      s.opt.MaxTime,
+		MaxResource:  s.bench.MaxResource(),
+		StopAtFirstR: s.opt.StopAtFirstR,
+		Evaluator:    s.opt.Evaluator,
+	})
+	return run
 }
 
-// budgetExhausted reports whether no further jobs may be issued.
-func (s *Sim) budgetExhausted() bool {
-	if s.opt.MaxTime > 0 && s.now >= s.opt.MaxTime {
-		return true
-	}
-	if s.opt.MaxJobs > 0 && s.issued >= s.opt.MaxJobs {
-		return true
-	}
-	return false
-}
+// Capacity implements backend.Backend.
+func (s *Sim) Capacity() int { return s.opt.Workers }
 
-// fillWorkers hands jobs to every free worker until the scheduler
-// declines or budgets run out.
-func (s *Sim) fillWorkers() {
-	for s.busy < s.opt.Workers && !s.budgetExhausted() && !s.sched.Done() {
-		job, ok := s.sched.Next()
-		if !ok {
-			return // synchronous barrier: workers idle
-		}
-		s.launch(job)
-	}
-}
-
-// launch applies the job's state transitions (inherit, config swap,
+// Launch applies the job's state transitions (inherit, config swap,
 // training) immediately and schedules its completion event at the
 // straggler-adjusted finish time.
-func (s *Sim) launch(job core.Job) {
-	s.issued++
-	s.run.IssuedJobs++
+func (s *Sim) Launch(job core.Job) {
 	t := s.trials[job.TrialID]
 	if t == nil {
 		t = s.bench.NewTrial(job.TrialID, job.Config)
@@ -261,13 +223,35 @@ func (s *Sim) launch(job core.Job) {
 			ev.failed = true
 		}
 	}
-	s.busy++
 	heap.Push(&s.events, ev)
 }
 
-// complete reports a finished event to the scheduler and records the
-// incumbent.
-func (s *Sim) complete(ev event) {
+// Await pops the earliest completion event and advances the virtual
+// clock. It returns exactly one completion per call so the engine refills
+// workers between events, preserving discrete-event ordering. An empty
+// batch means the clock passed MaxTime: in-flight work past the horizon
+// is discarded (and rolled back in Close).
+func (s *Sim) Await(ctx context.Context) ([]backend.Completion, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if len(s.events) == 0 {
+		return nil, nil
+	}
+	ev := heap.Pop(&s.events).(event)
+	if s.opt.MaxTime > 0 && ev.time > s.opt.MaxTime {
+		// The run's clock ends; the popped event (and everything behind
+		// it) never finished.
+		s.now = s.opt.MaxTime
+		return nil, nil
+	}
+	s.now = ev.time
+	return []backend.Completion{s.complete(ev)}, nil
+}
+
+// complete converts a finished event into a Completion, maintaining the
+// trace and rolling back dropped jobs.
+func (s *Sim) complete(ev event) backend.Completion {
 	t := s.trials[ev.job.TrialID]
 	if s.opt.RecordTrace {
 		si := s.starts[ev.job.TrialID]
@@ -286,41 +270,45 @@ func (s *Sim) complete(ev event) {
 		// All progress from the dropped job is lost.
 		t.Restore(s.preJob[ev.job.TrialID])
 		delete(s.preJob, ev.job.TrialID)
-		s.run.FailedJobs++
-		s.sched.Report(core.Result{
-			TrialID:  ev.job.TrialID,
-			Rung:     ev.job.Rung,
-			Config:   ev.job.Config,
-			Loss:     math.NaN(),
-			TrueLoss: math.NaN(),
-			Resource: 0,
-			Failed:   true,
-			Time:     s.now,
-		})
-		return
+		return backend.Completion{Job: ev.job, Time: s.now, Failed: true}
 	}
 	delete(s.preJob, ev.job.TrialID)
-	s.run.CompletedJobs++
-	if t.Resource() >= s.bench.MaxResource()-1e-9 && s.now < s.run.FirstRTime {
-		s.run.FirstRTime = s.now
-	}
-	s.sched.Report(core.Result{
-		TrialID:  ev.job.TrialID,
-		Rung:     ev.job.Rung,
-		Config:   ev.job.Config,
+	return backend.Completion{
+		Job:      ev.job,
 		Loss:     ev.loss,
 		TrueLoss: ev.truth,
 		Resource: t.Resource(),
-		Failed:   false,
 		Time:     s.now,
-	})
-	if best, ok := s.sched.Best(); ok {
-		test := best.TrueLoss
-		if s.opt.Evaluator != nil {
-			test = s.opt.Evaluator(best.Config)
-		}
-		s.run.Record(s.now, best.Loss, test)
 	}
+}
+
+// Now implements backend.Backend on the virtual clock.
+func (s *Sim) Now() float64 { return s.now }
+
+// Close rolls back trials whose jobs were still in flight when the clock
+// stopped, so final accounting only sees completed work.
+func (s *Sim) Close() error {
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	for id, st := range s.preJob {
+		s.trials[id].Restore(st)
+		delete(s.preJob, id)
+	}
+	return nil
+}
+
+// Stats implements backend.Backend.
+func (s *Sim) Stats() backend.Stats {
+	st := backend.Stats{Trials: len(s.trials)}
+	for _, t := range s.trials {
+		st.TotalResource += t.Resource()
+		if t.Resource() >= s.bench.MaxResource()-1e-9 {
+			st.ConfigsToR++
+		}
+	}
+	return st
 }
 
 func sameConfig(a, b searchspace.Config) bool {

@@ -1,17 +1,19 @@
-// Package exec runs a tuning scheduler on real parallel hardware: a pool
-// of goroutine workers pulls jobs from the scheduler and trains actual
-// user-supplied objectives, with the same asynchronous contract the
-// cluster simulator uses. This is the execution path the public API's
-// Tuner employs.
+// Package exec provides the real-hardware execution backends: a pool of
+// goroutine workers training in-process Go objectives (Pool), and a pool
+// of OS worker processes speaking a JSON line protocol (Subprocess, in
+// subprocess.go). Both implement backend.Backend and are driven by the
+// shared engine in internal/backend, so they use the exact same
+// scheduler and metrics path as the discrete-event cluster simulator.
 package exec
 
 import (
 	"context"
 	"fmt"
-	"math"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/backend"
 	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/searchspace"
@@ -24,33 +26,44 @@ import (
 // be safe for concurrent invocation on distinct trials.
 type Objective func(ctx context.Context, cfg searchspace.Config, from, to float64, state interface{}) (loss float64, newState interface{}, err error)
 
-// Options configures an execution run.
+// trialIDKey carries the job's trial ID into objective invocations.
+type trialIDKey struct{}
+
+// WithTrialID returns a context carrying the trial ID, as the pool and
+// subprocess backends install before each objective call.
+func WithTrialID(ctx context.Context, id int) context.Context {
+	return context.WithValue(ctx, trialIDKey{}, id)
+}
+
+// TrialIDFromContext extracts the trial ID installed by the executing
+// backend. Objectives can use it to key per-trial resources (checkpoint
+// paths, deterministic noise streams).
+func TrialIDFromContext(ctx context.Context) (int, bool) {
+	id, ok := ctx.Value(trialIDKey{}).(int)
+	return id, ok
+}
+
+// Options configures an execution run through the compatibility wrapper
+// Run.
 type Options struct {
 	// Workers is the number of concurrent training goroutines (>= 1).
 	Workers int
-	// MaxJobs stops the run after this many completed jobs (0 = no
-	// limit; the context then bounds the run).
+	// MaxJobs stops the run after this many issued jobs (0 = no limit;
+	// the context then bounds the run).
 	MaxJobs int
 	// MaxDuration stops the run after this wall-clock duration
 	// (0 = no limit).
 	MaxDuration time.Duration
 	// OnResult, if set, is invoked after every completed job with the
-	// scheduler's current incumbent. It runs under the executor's lock;
-	// keep it fast.
+	// scheduler's current incumbent. It runs on the engine goroutine.
 	OnResult func(res core.Result, best core.Best, ok bool)
 }
 
-// trialState is the executor-side record of one trial.
-type trialState struct {
-	resource float64
-	state    interface{}
-	config   searchspace.Config
-}
-
-// Run drives the scheduler with a goroutine worker pool until the
+// Run drives the scheduler over a goroutine worker pool until the
 // context is cancelled, budgets are exhausted, or the scheduler is done.
 // A nil error is returned on budget/normal termination; objective errors
-// abort the run.
+// abort the run. It is a thin wrapper over backend.Drive with a Pool
+// backend.
 func Run(ctx context.Context, sched core.Scheduler, obj Objective, opt Options) (*metrics.Run, error) {
 	if opt.Workers < 1 {
 		return nil, fmt.Errorf("exec: need at least one worker")
@@ -60,147 +73,181 @@ func Run(ctx context.Context, sched core.Scheduler, obj Objective, opt Options) 
 		ctx, cancel = context.WithTimeout(ctx, opt.MaxDuration)
 		defer cancel()
 	}
+	pool := NewPool(ctx, obj, opt.Workers)
+	return backend.Drive(ctx, sched, pool, backend.Options{
+		MaxJobs:  opt.MaxJobs,
+		OnResult: opt.OnResult,
+	})
+}
 
-	e := &engine{
-		sched:  sched,
-		obj:    obj,
-		opt:    opt,
-		trials: make(map[int]*trialState),
-		run:    &metrics.Run{FirstRTime: math.Inf(1)},
-		start:  time.Now(),
+// poolTask is one job dispatched to a worker goroutine with its trial
+// state resolved.
+type poolTask struct {
+	job      core.Job
+	from, to float64
+	state    interface{}
+}
+
+// poolResult is a worker's raw answer, applied to the trial table by the
+// engine goroutine when the batch is drained.
+type poolResult struct {
+	job   core.Job
+	loss  float64
+	state interface{}
+	err   error
+}
+
+// poolTrial is the pool-side record of one trial.
+type poolTrial struct {
+	resource float64
+	state    interface{}
+	config   searchspace.Config
+}
+
+// Pool is the goroutine worker-pool backend. All trial bookkeeping is
+// owned by the engine goroutine: workers only execute objectives and
+// send raw results over a channel, which the engine drains in batches —
+// there is no shared mutable state and no per-result lock.
+type Pool struct {
+	obj     Objective
+	workers int
+	ctx     context.Context
+	tasks   chan poolTask
+	results chan poolResult
+	trials  map[int]*poolTrial
+	start   time.Time
+	wg      sync.WaitGroup
+	stopped atomic.Bool
+	closed  bool
+}
+
+// NewPool starts workers goroutines executing obj. The context is passed
+// through to every objective invocation.
+func NewPool(ctx context.Context, obj Objective, workers int) *Pool {
+	if workers < 1 {
+		panic("exec: pool needs at least one worker")
 	}
-	e.cond = sync.NewCond(&e.mu)
-
-	// Wake blocked workers when the context ends.
-	stopWatch := make(chan struct{})
-	go func() {
-		select {
-		case <-ctx.Done():
-		case <-stopWatch:
-		}
-		e.mu.Lock()
-		e.stopped = true
-		e.cond.Broadcast()
-		e.mu.Unlock()
-	}()
-	defer close(stopWatch)
-
-	var wg sync.WaitGroup
-	for w := 0; w < opt.Workers; w++ {
-		wg.Add(1)
+	p := &Pool{
+		obj:     obj,
+		workers: workers,
+		ctx:     ctx,
+		// Buffers sized to capacity: with at most `workers` jobs in
+		// flight, neither Launch nor a worker's result send can block.
+		tasks:   make(chan poolTask, workers),
+		results: make(chan poolResult, workers),
+		trials:  make(map[int]*poolTrial),
+		start:   time.Now(),
+	}
+	p.wg.Add(workers)
+	for w := 0; w < workers; w++ {
 		go func() {
-			defer wg.Done()
-			e.workerLoop(ctx)
+			defer p.wg.Done()
+			p.workerLoop()
 		}()
 	}
-	wg.Wait()
-
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	e.run.EndTime = time.Since(e.start).Seconds()
-	e.run.Trials = len(e.trials)
-	for _, t := range e.trials {
-		e.run.TotalResource += t.resource
-	}
-	if e.err != nil && ctx.Err() == nil {
-		return e.run, e.err
-	}
-	return e.run, nil
+	return p
 }
 
-type engine struct {
-	sched core.Scheduler
-	obj   Objective
-	opt   Options
-
-	mu      sync.Mutex
-	cond    *sync.Cond
-	trials  map[int]*trialState
-	running int
-	issued  int
-	stopped bool
-	err     error
-	run     *metrics.Run
-	start   time.Time
+func (p *Pool) workerLoop() {
+	for task := range p.tasks {
+		if p.stopped.Load() {
+			continue // drain queued tasks without running them
+		}
+		ctx := WithTrialID(p.ctx, task.job.TrialID)
+		loss, newState, err := p.obj(ctx, task.job.Config, task.from, task.to, task.state)
+		p.results <- poolResult{job: task.job, loss: loss, state: newState, err: err}
+	}
 }
 
-func (e *engine) workerLoop(ctx context.Context) {
+// Capacity implements backend.Backend.
+func (p *Pool) Capacity() int { return p.workers }
+
+// Launch resolves the job's trial state (resource, checkpoint, inherit)
+// and hands it to a worker. Called only from the engine goroutine.
+func (p *Pool) Launch(job core.Job) {
+	t := p.trials[job.TrialID]
+	if t == nil {
+		t = &poolTrial{config: job.Config.Clone()}
+		p.trials[job.TrialID] = t
+	}
+	if job.InheritFrom >= 0 {
+		if donor := p.trials[job.InheritFrom]; donor != nil {
+			t.resource = donor.resource
+			t.state = donor.state
+		}
+	}
+	t.config = job.Config.Clone()
+	p.tasks <- poolTask{job: job, from: t.resource, to: job.TargetResource, state: t.state}
+}
+
+// Await blocks for one result then drains every other pending result, so
+// the engine ingests completions in batches.
+func (p *Pool) Await(ctx context.Context) ([]backend.Completion, error) {
+	var batch []backend.Completion
+	select {
+	case r := <-p.results:
+		batch = append(batch, p.apply(r))
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
 	for {
-		e.mu.Lock()
-		var job core.Job
-		var ok bool
-		for {
-			if e.stopped || e.err != nil || ctx.Err() != nil ||
-				(e.opt.MaxJobs > 0 && e.issued >= e.opt.MaxJobs) || e.sched.Done() {
-				e.mu.Unlock()
-				return
-			}
-			job, ok = e.sched.Next()
-			if ok {
-				break
-			}
-			if e.running == 0 {
-				// Nothing running and nothing schedulable: the run has
-				// drained (e.g. a one-bracket scheduler finished).
-				e.mu.Unlock()
-				e.cond.Broadcast()
-				return
-			}
-			e.cond.Wait() // synchronous barrier: wait for a completion
+		select {
+		case r := <-p.results:
+			batch = append(batch, p.apply(r))
+		default:
+			return batch, nil
 		}
-		e.issued++
-		e.running++
-		t := e.trials[job.TrialID]
-		if t == nil {
-			t = &trialState{config: job.Config.Clone()}
-			e.trials[job.TrialID] = t
-		}
-		if job.InheritFrom >= 0 {
-			if donor := e.trials[job.InheritFrom]; donor != nil {
-				t.resource = donor.resource
-				t.state = donor.state
-			}
-		}
-		t.config = job.Config.Clone()
-		from, to := t.resource, job.TargetResource
-		state := t.state
-		e.mu.Unlock()
-
-		loss, newState, err := e.obj(ctx, job.Config, from, to, state)
-
-		e.mu.Lock()
-		e.running--
-		if err != nil {
-			if ctx.Err() == nil {
-				e.err = fmt.Errorf("exec: objective failed for trial %d: %w", job.TrialID, err)
-			}
-			e.cond.Broadcast()
-			e.mu.Unlock()
-			return
-		}
-		t.resource = to
-		t.state = newState
-		now := time.Since(e.start).Seconds()
-		res := core.Result{
-			TrialID:  job.TrialID,
-			Rung:     job.Rung,
-			Config:   job.Config,
-			Loss:     loss,
-			TrueLoss: loss,
-			Resource: to,
-			Time:     now,
-		}
-		e.sched.Report(res)
-		e.run.CompletedJobs++
-		e.run.IssuedJobs++
-		best, ok := e.sched.Best()
-		if ok {
-			e.run.Record(now, best.Loss, best.TrueLoss)
-		}
-		if e.opt.OnResult != nil {
-			e.opt.OnResult(res, best, ok)
-		}
-		e.cond.Broadcast()
-		e.mu.Unlock()
 	}
+}
+
+// apply commits a worker result to the trial table and converts it to a
+// Completion. Runs on the engine goroutine.
+func (p *Pool) apply(r poolResult) backend.Completion {
+	c := backend.Completion{Job: r.job, Time: p.Now()}
+	if r.err != nil {
+		c.Err = fmt.Errorf("exec: objective failed for trial %d: %w", r.job.TrialID, r.err)
+		return c
+	}
+	t := p.trials[r.job.TrialID]
+	t.resource = r.job.TargetResource
+	t.state = r.state
+	c.Loss = r.loss
+	c.TrueLoss = r.loss
+	c.Resource = t.resource
+	return c
+}
+
+// Now implements backend.Backend on the wall clock.
+func (p *Pool) Now() float64 { return time.Since(p.start).Seconds() }
+
+// Close stops dispatch, waits for in-flight objectives to return, and
+// commits their results to the trial accounting (without reporting them
+// to the scheduler — the run is over).
+func (p *Pool) Close() error {
+	if p.closed {
+		return nil
+	}
+	p.closed = true
+	p.stopped.Store(true)
+	close(p.tasks)
+	p.wg.Wait()
+	for {
+		select {
+		case r := <-p.results:
+			if r.err == nil {
+				p.apply(r)
+			}
+		default:
+			return nil
+		}
+	}
+}
+
+// Stats implements backend.Backend.
+func (p *Pool) Stats() backend.Stats {
+	st := backend.Stats{Trials: len(p.trials)}
+	for _, t := range p.trials {
+		st.TotalResource += t.resource
+	}
+	return st
 }

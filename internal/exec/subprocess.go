@@ -1,0 +1,385 @@
+package exec
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"time"
+
+	"repro/internal/backend"
+	"repro/internal/core"
+	"repro/internal/searchspace"
+)
+
+// The subprocess wire protocol is JSON Lines over stdin/stdout: the
+// parent writes one Request per line and the worker answers with one
+// Response per line, in order. Training state round-trips through the
+// worker as opaque JSON, so the parent can checkpoint, resume and
+// inherit it without understanding it. A worker that exits or breaks the
+// protocol mid-job yields a Failed completion (the scheduler retries the
+// job) and is relaunched.
+
+// Request asks a worker process to advance one trial's training.
+type Request struct {
+	// ID sequences requests per worker; responses echo it.
+	ID int `json:"id"`
+	// Trial identifies the configuration's stateful training run.
+	Trial  int                `json:"trial"`
+	Config searchspace.Config `json:"config"`
+	// From and To are cumulative resources: resume at From, train to To.
+	From float64 `json:"from"`
+	To   float64 `json:"to"`
+	// State is the worker-produced checkpoint from the trial's previous
+	// job (absent on the first).
+	State json.RawMessage `json:"state,omitempty"`
+}
+
+// Response reports one finished training job.
+type Response struct {
+	ID   int     `json:"id"`
+	Loss float64 `json:"loss"`
+	// State is the checkpoint to resume this trial from later.
+	State json.RawMessage `json:"state,omitempty"`
+	// Error aborts the whole run (a training bug, not a crash).
+	Error string `json:"error,omitempty"`
+}
+
+// Serve implements the worker side of the protocol: it decodes requests
+// from r, invokes obj (with the trial ID available via
+// TrialIDFromContext and JSON-decoded state), and encodes responses to
+// w. It returns when r reaches EOF. Training state must be
+// JSON-serializable; it is handed to obj as decoded JSON (numbers are
+// float64, objects are map[string]interface{}).
+func Serve(ctx context.Context, r io.Reader, w io.Writer, obj Objective) error {
+	dec := json.NewDecoder(bufio.NewReader(r))
+	enc := json.NewEncoder(w)
+	// Worker-side trial state cache: if the parent omits state (it has
+	// none yet) the objective still gets nil, but decoded state always
+	// takes precedence so inherits work.
+	for {
+		var req Request
+		if err := dec.Decode(&req); err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			return fmt.Errorf("exec: worker failed to decode request: %w", err)
+		}
+		var state interface{}
+		if len(req.State) > 0 {
+			if err := json.Unmarshal(req.State, &state); err != nil {
+				return fmt.Errorf("exec: worker failed to decode state: %w", err)
+			}
+		}
+		resp := Response{ID: req.ID}
+		loss, newState, err := obj(WithTrialID(ctx, req.Trial), req.Config, req.From, req.To, state)
+		if err != nil {
+			resp.Error = err.Error()
+		} else {
+			resp.Loss = loss
+			if newState != nil {
+				raw, merr := json.Marshal(newState)
+				if merr != nil {
+					resp.Error = fmt.Sprintf("state not JSON-serializable: %v", merr)
+				} else {
+					resp.State = raw
+				}
+			}
+		}
+		if err := enc.Encode(&resp); err != nil {
+			return fmt.Errorf("exec: worker failed to encode response: %w", err)
+		}
+	}
+}
+
+// procTrial is the parent-side record of one trial: its training state
+// is an opaque JSON checkpoint produced by a worker.
+type procTrial struct {
+	resource float64
+	state    json.RawMessage
+}
+
+// procWorker is one managed worker process.
+type procWorker struct {
+	cmd    *exec.Cmd
+	stdin  io.WriteCloser
+	enc    *json.Encoder
+	dec    *json.Decoder
+	nextID int
+}
+
+// procResult is a raw worker answer delivered to the engine goroutine.
+type procResult struct {
+	job     core.Job
+	resp    Response
+	crashed bool // worker died or broke protocol; job is retryable
+	worker  *procWorker
+}
+
+// Subprocess is the process-pool backend: each training job runs in an
+// isolated OS worker process speaking the JSON protocol, giving true
+// parallelism (no shared Go scheduler) and crash isolation — a worker
+// that dies loses only its in-flight job, which is reported Failed and
+// retried by the scheduler on a freshly launched worker.
+type Subprocess struct {
+	ctx     context.Context
+	command string
+	args    []string
+	env     []string
+	workers int
+
+	idle    chan *procWorker
+	results chan procResult
+	trials  map[int]*procTrial
+	start   time.Time
+	all     []*procWorker // every process ever spawned, for cancel-kill
+	live    int           // worker seats in existence (idle + busy)
+	closed  bool
+}
+
+// NewSubprocess launches workers copies of command speaking the JSON
+// protocol on stdin/stdout. Worker stderr is inherited from the parent.
+// env, when non-nil, is appended to the parent's environment.
+func NewSubprocess(ctx context.Context, command string, args, env []string, workers int) (*Subprocess, error) {
+	if workers < 1 {
+		return nil, fmt.Errorf("exec: subprocess backend needs at least one worker")
+	}
+	s := &Subprocess{
+		ctx:     ctx,
+		command: command,
+		args:    args,
+		env:     env,
+		workers: workers,
+		idle:    make(chan *procWorker, workers),
+		results: make(chan procResult, workers),
+		trials:  make(map[int]*procTrial),
+		start:   time.Now(),
+	}
+	for i := 0; i < workers; i++ {
+		w, err := s.spawn()
+		if err != nil {
+			_ = s.Close()
+			return nil, err
+		}
+		s.idle <- w
+		s.live++
+	}
+	return s, nil
+}
+
+func (s *Subprocess) spawn() (*procWorker, error) {
+	cmd := exec.Command(s.command, s.args...)
+	if s.env != nil {
+		cmd.Env = append(cmd.Environ(), s.env...)
+	}
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		return nil, fmt.Errorf("exec: subprocess stdin: %w", err)
+	}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, fmt.Errorf("exec: subprocess stdout: %w", err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("exec: launching worker %q: %w", s.command, err)
+	}
+	w := &procWorker{
+		cmd:   cmd,
+		stdin: stdin,
+		enc:   json.NewEncoder(stdin),
+		dec:   json.NewDecoder(bufio.NewReader(stdout)),
+	}
+	s.all = append(s.all, w)
+	return w, nil
+}
+
+// Capacity implements backend.Backend.
+func (s *Subprocess) Capacity() int { return s.workers }
+
+// Launch resolves the job's trial state and hands it to an idle worker.
+// The engine guarantees at most Capacity jobs in flight, so an idle
+// worker is always available without blocking.
+func (s *Subprocess) Launch(job core.Job) {
+	t := s.trials[job.TrialID]
+	if t == nil {
+		t = &procTrial{}
+		s.trials[job.TrialID] = t
+	}
+	if job.InheritFrom >= 0 {
+		if donor := s.trials[job.InheritFrom]; donor != nil {
+			t.resource = donor.resource
+			t.state = donor.state
+		}
+	}
+	w := <-s.idle
+	w.nextID++
+	req := Request{
+		ID:     w.nextID,
+		Trial:  job.TrialID,
+		Config: job.Config,
+		From:   t.resource,
+		To:     job.TargetResource,
+		State:  t.state,
+	}
+	go func() {
+		r := procResult{job: job, worker: w}
+		if err := w.enc.Encode(&req); err != nil {
+			r.crashed = true
+		} else if err := w.dec.Decode(&r.resp); err != nil || r.resp.ID != req.ID {
+			r.crashed = true
+		}
+		s.results <- r
+	}()
+}
+
+// Await blocks for one result then drains every other pending result.
+func (s *Subprocess) Await(ctx context.Context) ([]backend.Completion, error) {
+	var batch []backend.Completion
+	select {
+	case r := <-s.results:
+		batch = append(batch, s.apply(r))
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	for {
+		select {
+		case r := <-s.results:
+			batch = append(batch, s.apply(r))
+		default:
+			return batch, nil
+		}
+	}
+}
+
+// apply commits a worker result to the trial table, recycling or
+// replacing the worker. Runs on the engine goroutine.
+func (s *Subprocess) apply(r procResult) backend.Completion {
+	c := backend.Completion{Job: r.job, Time: s.Now()}
+	switch {
+	case r.crashed:
+		// The worker died or broke protocol mid-job: the trial keeps its
+		// last committed checkpoint, the job is reported Failed (the
+		// scheduler retries it), and the seat is refilled with a fresh
+		// process.
+		c.Failed = true
+		r.worker.kill()
+		if w, err := s.spawn(); err == nil {
+			s.idle <- w
+		} else {
+			s.live--
+			c.Failed = false
+			c.Err = fmt.Errorf("exec: relaunching crashed worker: %w", err)
+		}
+	case r.resp.Error != "":
+		s.idle <- r.worker
+		c.Err = fmt.Errorf("exec: objective failed for trial %d: %s", r.job.TrialID, r.resp.Error)
+	default:
+		s.idle <- r.worker
+		t := s.trials[r.job.TrialID]
+		t.resource = r.job.TargetResource
+		t.state = r.resp.State
+		c.Loss = r.resp.Loss
+		c.TrueLoss = r.resp.Loss
+		c.Resource = t.resource
+	}
+	return c
+}
+
+// Now implements backend.Backend on the wall clock.
+func (s *Subprocess) Now() float64 { return time.Since(s.start).Seconds() }
+
+// Close shuts every worker down by closing its stdin (EOF ends Serve)
+// and waits for the processes to exit. When the run's context is
+// already cancelled the in-flight jobs are not waited for: every worker
+// process is killed, so cancellation and WithMaxDuration take effect
+// even mid-job.
+func (s *Subprocess) Close() error {
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if s.ctx.Err() != nil {
+		// Reader goroutines of killed workers deliver crashed results
+		// into the buffered channel and exit; the results are dropped.
+		// Reaping is synchronous so no zombies outlive Close.
+		for _, w := range s.all {
+			_ = w.stdin.Close()
+			if w.cmd.Process != nil {
+				_ = w.cmd.Process.Kill()
+			}
+		}
+		for _, w := range s.all {
+			w.reap()
+		}
+		return nil
+	}
+	// Workers still executing a job deliver their pending result before
+	// their seat returns to idle; collect all seats first so no process
+	// is shut down mid-request.
+	for seats := 0; seats < s.live; {
+		select {
+		case w := <-s.idle:
+			w.shutdown()
+			seats++
+		case r := <-s.results:
+			if !r.crashed && r.resp.Error == "" {
+				if t := s.trials[r.job.TrialID]; t != nil {
+					t.resource = r.job.TargetResource
+					t.state = r.resp.State
+				}
+			}
+			r.worker.shutdown()
+			seats++
+		}
+	}
+	return nil
+}
+
+// Stats implements backend.Backend.
+func (s *Subprocess) Stats() backend.Stats {
+	st := backend.Stats{Trials: len(s.trials)}
+	for _, t := range s.trials {
+		st.TotalResource += t.resource
+	}
+	return st
+}
+
+func (w *procWorker) shutdown() {
+	_ = w.stdin.Close()
+	if w.cmd.Process != nil {
+		done := make(chan struct{})
+		go func() { _ = w.cmd.Wait(); close(done) }()
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			_ = w.cmd.Process.Kill()
+			<-done
+		}
+	}
+}
+
+func (w *procWorker) kill() {
+	_ = w.stdin.Close()
+	if w.cmd.Process != nil {
+		_ = w.cmd.Process.Kill()
+		go func() { _ = w.cmd.Wait() }()
+	}
+}
+
+// reap waits (bounded) for a killed worker to be collected. A Wait
+// already in flight from kill() makes this return immediately.
+func (w *procWorker) reap() {
+	if w.cmd.Process == nil {
+		return
+	}
+	done := make(chan struct{})
+	go func() { _ = w.cmd.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+	}
+}

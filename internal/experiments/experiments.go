@@ -1,5 +1,5 @@
 // Package experiments reproduces every table and figure in the paper's
-// evaluation (see DESIGN.md for the per-experiment index). Each
+// evaluation (see EXPERIMENTS.md for the per-experiment index). Each
 // experiment is a named runner that assembles workloads, schedulers and
 // the cluster simulator, executes the paper's protocol, and renders the
 // resulting series/tables as text — the textual equivalent of the

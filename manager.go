@@ -1,0 +1,415 @@
+package asha
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/xrand"
+)
+
+// Experiment describes one named tuning experiment for a Manager: its
+// own search space, objective, algorithm, seed and job budget. Distinct
+// experiments are fully independent — only the worker budget is shared.
+type Experiment struct {
+	// Name identifies the experiment in progress events and results.
+	Name      string
+	Space     *Space
+	Objective Objective
+	Algorithm Algorithm
+	// Seed seeds the experiment's sampling randomness (default 1).
+	Seed uint64
+	// MaxJobs bounds the experiment's issued training jobs. Required
+	// unless the Run context is cancellable.
+	MaxJobs int
+}
+
+// ExperimentProgress is a live snapshot handed to WithManagerProgress:
+// the regular Progress plus which experiment it belongs to.
+type ExperimentProgress struct {
+	Experiment string
+	Progress
+}
+
+// ManagerOption configures a Manager.
+type ManagerOption func(*Manager)
+
+// WithManagerWorkers sets the shared global worker budget (default 1):
+// the total number of training jobs in flight across all experiments.
+func WithManagerWorkers(n int) ManagerOption { return func(m *Manager) { m.workers = n } }
+
+// WithManagerProgress installs a callback invoked after every completed
+// job of any experiment. It runs on the manager's dispatch goroutine;
+// keep it fast.
+func WithManagerProgress(fn func(p ExperimentProgress)) ManagerOption {
+	return func(m *Manager) { m.onProgress = fn }
+}
+
+// Manager runs many named tuning experiments concurrently against one
+// shared global worker budget. Free workers are assigned fair-share:
+// each slot goes to the runnable experiment with the fewest jobs in
+// flight, so a wide experiment cannot starve a narrow one. All
+// experiment and trial bookkeeping is owned by the single dispatch
+// goroutine; workers only execute objectives and deliver raw results
+// over a channel, which the dispatcher drains in batches — one critical
+// section per batch rather than a lock acquisition per result.
+type Manager struct {
+	workers     int
+	onProgress  func(ExperimentProgress)
+	experiments []Experiment
+	names       map[string]bool
+}
+
+// NewManager assembles a Manager; add experiments with Add.
+func NewManager(opts ...ManagerOption) *Manager {
+	m := &Manager{workers: 1, names: make(map[string]bool)}
+	for _, o := range opts {
+		o(m)
+	}
+	return m
+}
+
+// Add registers an experiment. Names must be unique and non-empty, and
+// every experiment needs a space, an objective and an algorithm.
+func (m *Manager) Add(e Experiment) error {
+	if e.Name == "" {
+		return fmt.Errorf("asha: experiment needs a name")
+	}
+	if m.names[e.Name] {
+		return fmt.Errorf("asha: duplicate experiment name %q", e.Name)
+	}
+	if e.Space == nil || e.Space.Dim() == 0 {
+		return fmt.Errorf("asha: experiment %q needs a non-empty search space", e.Name)
+	}
+	if e.Objective == nil {
+		return fmt.Errorf("asha: experiment %q needs an objective", e.Name)
+	}
+	if e.Algorithm == nil {
+		return fmt.Errorf("asha: experiment %q needs an algorithm", e.Name)
+	}
+	if e.Seed == 0 {
+		e.Seed = 1
+	}
+	m.names[e.Name] = true
+	m.experiments = append(m.experiments, e)
+	return nil
+}
+
+// mgrTrial is the manager-side record of one trial of one experiment.
+type mgrTrial struct {
+	resource float64
+	state    interface{}
+}
+
+// mgrExp is the live state of one experiment.
+type mgrExp struct {
+	spec      Experiment
+	sched     core.Scheduler
+	trials    map[int]*mgrTrial
+	issued    int
+	completed int
+	running   int
+	barrier   bool // scheduler declined while jobs were in flight
+	done      bool
+	failed    error
+	history   []HistoryPoint
+}
+
+// exhausted reports whether the experiment may issue no further jobs.
+func (e *mgrExp) exhausted() bool {
+	return e.spec.MaxJobs > 0 && e.issued >= e.spec.MaxJobs
+}
+
+// mgrResult is a worker's raw answer for one job of one experiment.
+type mgrResult struct {
+	exp   *mgrExp
+	job   core.Job
+	loss  float64
+	state interface{}
+	err   error
+}
+
+// mgrRun is the transient state of one Manager.Run call.
+type mgrRun struct {
+	m       *Manager
+	ctx     context.Context
+	exps    []*mgrExp
+	tasks   chan func()
+	results chan mgrResult
+	start   time.Time
+}
+
+// Run executes every added experiment to completion of its budget (or
+// scheduler) and returns per-experiment results keyed by name. A failed
+// experiment (objective error) is finalized with its error and excluded
+// from the map without stopping the others; the joined errors are
+// returned alongside the successful results. Cancelling the context
+// stops all experiments cleanly.
+func (m *Manager) Run(ctx context.Context) (map[string]*Result, error) {
+	if len(m.experiments) == 0 {
+		return nil, fmt.Errorf("asha: manager has no experiments")
+	}
+	if m.workers < 1 {
+		return nil, fmt.Errorf("asha: manager requires at least one worker")
+	}
+	for _, e := range m.experiments {
+		if e.MaxJobs == 0 && ctx.Done() == nil {
+			return nil, fmt.Errorf("asha: experiment %q is unbounded; set MaxJobs or pass a cancellable context", e.Name)
+		}
+	}
+
+	r := &mgrRun{
+		m:   m,
+		ctx: ctx,
+		// Buffers sized to the worker budget: at most workers jobs are in
+		// flight, so neither dispatch nor a result send ever blocks.
+		tasks:   make(chan func(), m.workers),
+		results: make(chan mgrResult, m.workers),
+		start:   time.Now(),
+	}
+	for _, spec := range m.experiments {
+		r.exps = append(r.exps, &mgrExp{
+			spec:   spec,
+			sched:  spec.Algorithm.newScheduler(spec.Space, xrand.New(spec.Seed)),
+			trials: make(map[int]*mgrTrial),
+		})
+	}
+	poolDone := make(chan struct{})
+	for w := 0; w < m.workers; w++ {
+		go func() {
+			for task := range r.tasks {
+				task()
+			}
+			poolDone <- struct{}{}
+		}()
+	}
+
+	inflight := 0
+	stopped := false
+	for {
+		if !stopped {
+			inflight += r.fill(ctx, m.workers-inflight)
+		}
+		live := false
+		for _, e := range r.exps {
+			if !e.done {
+				live = true
+				break
+			}
+		}
+		if (!live || stopped) && inflight == 0 {
+			break
+		}
+		if !live && inflight > 0 {
+			// Only stray jobs of failed experiments remain; collect them.
+			stopped = true
+		}
+		if inflight == 0 {
+			// Every live experiment is at a barrier with nothing running:
+			// their schedulers are drained.
+			for _, e := range r.exps {
+				e.done = true
+			}
+			break
+		}
+		if stopped {
+			inflight -= r.ingest([]mgrResult{<-r.results})
+			continue
+		}
+		select {
+		case res := <-r.results:
+			// Batched ingestion: everything already delivered is applied
+			// in one pass on this goroutine — no per-result locking.
+			batch := []mgrResult{res}
+			batch = r.drainInto(batch)
+			inflight -= r.ingest(batch)
+		case <-ctx.Done():
+			stopped = true
+		}
+	}
+
+	close(r.tasks)
+	for w := 0; w < m.workers; w++ {
+		<-poolDone
+	}
+
+	out := make(map[string]*Result, len(r.exps))
+	var errs []error
+	for _, e := range r.exps {
+		if e.failed != nil {
+			errs = append(errs, fmt.Errorf("experiment %q: %w", e.spec.Name, e.failed))
+			continue
+		}
+		if res := r.result(e); res != nil {
+			out[e.spec.Name] = res
+		}
+	}
+	return out, errors.Join(errs...)
+}
+
+// drainInto appends every result already sitting in the channel.
+func (r *mgrRun) drainInto(batch []mgrResult) []mgrResult {
+	for {
+		select {
+		case res := <-r.results:
+			batch = append(batch, res)
+		default:
+			return batch
+		}
+	}
+}
+
+// fill assigns up to free worker slots fair-share: each slot goes to the
+// runnable experiment with the fewest jobs in flight (ties: fewest
+// issued, then registration order). Returns the number of jobs launched.
+func (r *mgrRun) fill(ctx context.Context, free int) int {
+	launched := 0
+	for free > 0 && ctx.Err() == nil {
+		var pick *mgrExp
+		for _, e := range r.exps {
+			if e.done {
+				continue
+			}
+			if e.exhausted() || e.sched.Done() {
+				if e.running == 0 {
+					e.done = true
+				}
+				continue
+			}
+			if e.barrier {
+				continue
+			}
+			if pick == nil || e.running < pick.running ||
+				(e.running == pick.running && e.issued < pick.issued) {
+				pick = e
+			}
+		}
+		if pick == nil {
+			return launched
+		}
+		job, ok := pick.sched.Next()
+		if !ok {
+			if pick.running == 0 {
+				pick.done = true // drained: barrier with nothing in flight
+			} else {
+				pick.barrier = true // retry after this experiment's next completion
+			}
+			continue
+		}
+		r.launch(ctx, pick, job)
+		free--
+		launched++
+	}
+	return launched
+}
+
+// launch resolves the job's trial state and hands a closure to the pool.
+func (r *mgrRun) launch(ctx context.Context, e *mgrExp, job core.Job) {
+	t := e.trials[job.TrialID]
+	if t == nil {
+		t = &mgrTrial{}
+		e.trials[job.TrialID] = t
+	}
+	if job.InheritFrom >= 0 {
+		if donor := e.trials[job.InheritFrom]; donor != nil {
+			t.resource = donor.resource
+			t.state = donor.state
+		}
+	}
+	e.issued++
+	e.running++
+	from, state := t.resource, t.state
+	obj := e.spec.Objective
+	results := r.results
+	exp := e
+	r.tasks <- func() {
+		jctx := exec.WithTrialID(ctx, job.TrialID)
+		loss, newState, err := obj(jctx, job.Config, from, job.TargetResource, state)
+		results <- mgrResult{exp: exp, job: job, loss: loss, state: newState, err: err}
+	}
+}
+
+// ingest applies one batch of worker results to manager state. It runs
+// on the dispatch goroutine — the only goroutine touching experiment and
+// trial state — so a whole batch costs one pass with no locking. Returns
+// the number of results consumed.
+func (r *mgrRun) ingest(batch []mgrResult) int {
+	for _, res := range batch {
+		e := res.exp
+		e.running--
+		if e.failed != nil {
+			continue // stray result of an already-failed experiment
+		}
+		if res.err != nil {
+			if r.ctx.Err() == nil {
+				e.failed = fmt.Errorf("objective failed for trial %d: %w", res.job.TrialID, res.err)
+				e.done = true
+			}
+			continue
+		}
+		t := e.trials[res.job.TrialID]
+		t.resource = res.job.TargetResource
+		t.state = res.state
+		e.completed++
+		e.barrier = false // a completion may unblock a synchronous rung
+		now := time.Since(r.start).Seconds()
+		e.sched.Report(core.Result{
+			TrialID:  res.job.TrialID,
+			Rung:     res.job.Rung,
+			Config:   res.job.Config,
+			Loss:     res.loss,
+			TrueLoss: res.loss,
+			Resource: res.job.TargetResource,
+			Time:     now,
+		})
+		best, ok := e.sched.Best()
+		if ok {
+			if n := len(e.history); n == 0 || best.Loss < e.history[n-1].Loss {
+				e.history = append(e.history, HistoryPoint{Seconds: now, Loss: best.Loss})
+			}
+		}
+		if r.m.onProgress != nil {
+			p := ExperimentProgress{Experiment: e.spec.Name}
+			p.Completed = e.completed
+			p.TrialID = res.job.TrialID
+			p.Rung = res.job.Rung
+			p.Loss = res.loss
+			p.Resource = res.job.TargetResource
+			p.HasBest = ok
+			if ok {
+				p.BestConfig = best.Config
+				p.BestLoss = best.Loss
+			}
+			r.m.onProgress(p)
+		}
+		if (e.exhausted() || e.sched.Done()) && e.running == 0 {
+			e.done = true
+		}
+	}
+	return len(batch)
+}
+
+// result builds the public Result for a finished experiment, or nil if
+// it never completed a trial.
+func (r *mgrRun) result(e *mgrExp) *Result {
+	best, ok := e.sched.Best()
+	if !ok {
+		return nil
+	}
+	res := &Result{
+		BestConfig:    best.Config.Clone(),
+		BestLoss:      best.Loss,
+		BestResource:  best.Resource,
+		CompletedJobs: e.completed,
+		Trials:        len(e.trials),
+		Elapsed:       time.Since(r.start),
+		History:       e.history,
+	}
+	for _, t := range e.trials {
+		res.TotalResource += t.resource
+	}
+	return res
+}

@@ -1,0 +1,197 @@
+package asha
+
+import (
+	"context"
+	"errors"
+	"math"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func managerSpace() *Space {
+	return NewSpace(Uniform("x", 0, 1), Uniform("y", 0, 1))
+}
+
+func managerObjective(delay time.Duration) Objective {
+	return func(_ context.Context, cfg Config, from, to float64, state interface{}) (float64, interface{}, error) {
+		if delay > 0 {
+			time.Sleep(delay)
+		}
+		floor := math.Hypot(cfg["x"]-0.7, cfg["y"]-0.2)
+		loss := floor + math.Exp(-to/8)
+		return loss, loss, nil
+	}
+}
+
+func TestManagerRunsExperimentsToBudget(t *testing.T) {
+	m := NewManager(WithManagerWorkers(4))
+	algos := map[string]Algorithm{
+		"asha":   ASHA{Eta: 3, MinResource: 1, MaxResource: 27},
+		"random": RandomSearch{MaxResource: 27},
+		"sha":    SHA{N: 9, Eta: 3, MinResource: 1, MaxResource: 27},
+	}
+	for name, algo := range algos {
+		if err := m.Add(Experiment{
+			Name: name, Space: managerSpace(), Objective: managerObjective(0),
+			Algorithm: algo, Seed: 2, MaxJobs: 60,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	results, err := m.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("got %d results, want 3", len(results))
+	}
+	for name, res := range results {
+		if res.CompletedJobs != 60 {
+			t.Fatalf("%s completed %d jobs, want 60", name, res.CompletedJobs)
+		}
+		if res.BestLoss > 1 {
+			t.Fatalf("%s found only %v", name, res.BestLoss)
+		}
+	}
+}
+
+func TestManagerFairShare(t *testing.T) {
+	// Two equal experiments share four workers. Fair-share assigns free
+	// slots to the experiment with the fewest in flight, so neither can
+	// starve: each must own roughly half of the early completions.
+	const perExp = 120
+	var mu [2]int64
+	m := NewManager(WithManagerWorkers(4))
+	var order []string
+	m2 := WithManagerProgress(func(p ExperimentProgress) {
+		order = append(order, p.Experiment)
+	})
+	m2(m)
+	for i, name := range []string{"a", "b"} {
+		i := i
+		obj := func(ctx context.Context, cfg Config, from, to float64, state interface{}) (float64, interface{}, error) {
+			atomic.AddInt64(&mu[i], 1)
+			time.Sleep(200 * time.Microsecond)
+			return 1 / (1 + to), to, nil
+		}
+		if err := m.Add(Experiment{
+			Name: name, Space: managerSpace(), Objective: obj,
+			Algorithm: RandomSearch{MaxResource: 4}, Seed: uint64(i + 1), MaxJobs: perExp,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := m.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2*perExp {
+		t.Fatalf("saw %d completions, want %d", len(order), 2*perExp)
+	}
+	half := order[:perExp]
+	counts := map[string]int{}
+	for _, n := range half {
+		counts[n]++
+	}
+	for _, name := range []string{"a", "b"} {
+		if counts[name] < perExp/4 {
+			t.Fatalf("experiment %q starved: only %d of the first %d completions (counts=%v)",
+				name, counts[name], perExp, counts)
+		}
+	}
+}
+
+func TestManagerFailureIsolation(t *testing.T) {
+	// One experiment's objective blows up; the others must finish their
+	// budgets and the error must name the culprit.
+	boom := errors.New("boom")
+	var calls int64
+	m := NewManager(WithManagerWorkers(3))
+	if err := m.Add(Experiment{
+		Name: "bad", Space: managerSpace(),
+		Objective: func(context.Context, Config, float64, float64, interface{}) (float64, interface{}, error) {
+			if atomic.AddInt64(&calls, 1) > 5 {
+				return 0, nil, boom
+			}
+			return 1, nil, nil
+		},
+		Algorithm: RandomSearch{MaxResource: 4}, MaxJobs: 100,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Add(Experiment{
+		Name: "good", Space: managerSpace(), Objective: managerObjective(0),
+		Algorithm: RandomSearch{MaxResource: 4}, MaxJobs: 40,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	results, err := m.Run(context.Background())
+	if err == nil || !errors.Is(err, boom) || !strings.Contains(err.Error(), `"bad"`) {
+		t.Fatalf("expected a named error wrapping boom, got %v", err)
+	}
+	if _, ok := results["bad"]; ok {
+		t.Fatal("failed experiment leaked into results")
+	}
+	good, ok := results["good"]
+	if !ok {
+		t.Fatal("healthy experiment missing from results")
+	}
+	if good.CompletedJobs != 40 {
+		t.Fatalf("healthy experiment completed %d jobs, want 40", good.CompletedJobs)
+	}
+}
+
+func TestManagerContextCancelStops(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var completed int64
+	m := NewManager(WithManagerWorkers(2), WithManagerProgress(func(p ExperimentProgress) {
+		if atomic.AddInt64(&completed, 1) >= 10 {
+			cancel()
+		}
+	}))
+	if err := m.Add(Experiment{
+		Name: "open-ended", Space: managerSpace(), Objective: managerObjective(time.Millisecond),
+		Algorithm: ASHA{Eta: 2, MinResource: 1, MaxResource: 64},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	var runErr error
+	go func() {
+		defer close(done)
+		_, runErr = m.Run(ctx)
+	}()
+	select {
+	case <-done:
+		if runErr != nil {
+			t.Fatalf("cancel should end the run cleanly, got %v", runErr)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("manager did not stop after cancellation")
+	}
+}
+
+func TestManagerValidation(t *testing.T) {
+	m := NewManager()
+	if err := m.Add(Experiment{Name: "", Space: managerSpace(), Objective: managerObjective(0), Algorithm: RandomSearch{MaxResource: 1}}); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	ok := Experiment{Name: "dup", Space: managerSpace(), Objective: managerObjective(0), Algorithm: RandomSearch{MaxResource: 1}, MaxJobs: 1}
+	if err := m.Add(ok); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Add(ok); err == nil {
+		t.Fatal("duplicate name accepted")
+	}
+	if err := m.Add(Experiment{Name: "nospace", Objective: managerObjective(0), Algorithm: RandomSearch{MaxResource: 1}}); err == nil {
+		t.Fatal("nil space accepted")
+	}
+	unbounded := NewManager()
+	if err := unbounded.Add(Experiment{Name: "e", Space: managerSpace(), Objective: managerObjective(0), Algorithm: ASHA{Eta: 2, MinResource: 1, MaxResource: 4}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := unbounded.Run(context.Background()); err == nil {
+		t.Fatal("unbounded manager run accepted")
+	}
+}

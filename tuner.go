@@ -5,8 +5,8 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/backend"
 	"repro/internal/core"
-	"repro/internal/exec"
 	"repro/internal/xrand"
 )
 
@@ -57,12 +57,13 @@ type Progress struct {
 	BestLoss   float64
 }
 
-// Tuner runs a tuning algorithm over an objective on a goroutine worker
-// pool.
+// Tuner runs a tuning algorithm over an objective on a pluggable
+// execution backend (goroutine pool by default; see WithBackend).
 type Tuner struct {
 	space       *Space
 	objective   Objective
 	algorithm   Algorithm
+	backend     Backend
 	workers     int
 	seed        uint64
 	maxJobs     int
@@ -78,6 +79,7 @@ func New(space *Space, objective Objective, algorithm Algorithm, opts ...Option)
 		space:     space,
 		objective: objective,
 		algorithm: algorithm,
+		backend:   GoroutinePool{},
 		workers:   1,
 		seed:      1,
 	}
@@ -120,23 +122,26 @@ func (t *Tuner) Run(ctx context.Context) (*Result, error) {
 	if t.space == nil || t.space.Dim() == 0 {
 		return nil, fmt.Errorf("asha: tuner requires a non-empty search space")
 	}
-	if t.objective == nil {
-		return nil, fmt.Errorf("asha: tuner requires an objective")
-	}
 	if t.algorithm == nil {
 		return nil, fmt.Errorf("asha: tuner requires an algorithm")
 	}
 	if t.workers < 1 {
 		return nil, fmt.Errorf("asha: tuner requires at least one worker")
 	}
-	if t.maxJobs == 0 && t.maxDuration == 0 && ctx.Done() == nil {
-		return nil, fmt.Errorf("asha: unbounded run; set WithMaxJobs, WithMaxDuration, or a cancellable context")
-	}
 	sched := t.algorithm.newScheduler(t.space, xrand.New(t.seed))
-	opt := exec.Options{
-		Workers:     t.workers,
-		MaxJobs:     t.maxJobs,
-		MaxDuration: t.maxDuration,
+	if t.maxDuration > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, t.maxDuration)
+		defer cancel()
+	}
+	be, opt, err := t.backend.build(ctx, t, sched)
+	if err != nil {
+		return nil, err
+	}
+	opt.MaxJobs = t.maxJobs
+	if opt.MaxJobs == 0 && opt.MaxTime == 0 && ctx.Done() == nil {
+		_ = be.Close()
+		return nil, fmt.Errorf("asha: unbounded run; set WithMaxJobs, WithMaxDuration, or a cancellable context")
 	}
 	if t.onProgress != nil {
 		completed := 0
@@ -158,7 +163,7 @@ func (t *Tuner) Run(ctx context.Context) (*Result, error) {
 		}
 	}
 	start := time.Now()
-	run, err := exec.Run(ctx, sched, exec.Objective(t.objective), opt)
+	run, err := backend.Drive(ctx, sched, be, opt)
 	if err != nil {
 		return nil, err
 	}

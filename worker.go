@@ -1,0 +1,27 @@
+package asha
+
+import (
+	"context"
+	"os"
+
+	"repro/internal/exec"
+)
+
+// ServeWorker implements the worker side of the Subprocess backend's
+// JSON protocol on stdin/stdout: it reads training requests, invokes obj
+// for each, and writes responses until stdin closes. A worker executable
+// is typically nothing more than
+//
+//	func main() {
+//		if err := asha.ServeWorker(context.Background(), objective); err != nil {
+//			log.Fatal(err)
+//		}
+//	}
+//
+// Objective state must be JSON-serializable: it round-trips through the
+// parent process between jobs (numbers come back as float64, objects as
+// map[string]interface{}). The trial ID is available inside obj via
+// TrialIDFromContext.
+func ServeWorker(ctx context.Context, obj Objective) error {
+	return exec.Serve(ctx, os.Stdin, os.Stdout, exec.Objective(obj))
+}
