@@ -188,7 +188,7 @@ func TestSubprocessCancelKillsInFlightWorkers(t *testing.T) {
 func TestBenchmarkObjectiveInheritClones(t *testing.T) {
 	bench := workload.CudaConvnet()
 	obj := BenchmarkObjective(bench)
-	cfg := bench.Space().Sample(xrand.New(99))
+	cfg := bench.Space().Sample(xrand.New(99)).Map()
 	ctx1 := exec.WithTrialID(context.Background(), 1)
 	_, state1, err := obj(ctx1, cfg, 0, 100, nil)
 	if err != nil {

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"sync/atomic"
 
+	"repro/internal/searchspace"
 	"repro/internal/workload"
 )
 
@@ -70,10 +71,13 @@ func BenchmarkObjective(b *Benchmark) Objective {
 		if !hasID {
 			id = -int(anon.Add(1))
 		}
+		// The objective boundary is name-keyed; align the map with the
+		// benchmark's space once per call.
+		vcfg := b.Space().FromMap(cfg)
 		var t *workload.Trial
 		switch {
 		case s == nil:
-			t = b.NewTrial(id, cfg)
+			t = b.NewTrial(id, vcfg)
 		case s.id == id:
 			// The same trial's next job: a trial has at most one job in
 			// flight, so reusing the live object is race-free.
@@ -85,8 +89,8 @@ func BenchmarkObjective(b *Benchmark) Objective {
 			t = b.NewTrial(id, s.cfg)
 			t.Restore(s.checkpoint)
 		}
-		if !configsEqual(t.Config(), cfg) {
-			t.SetConfig(cfg)
+		if !t.Config().Equal(vcfg) {
+			t.SetConfig(vcfg)
 		}
 		dr := to - t.Resource()
 		if dr < 0 {
@@ -108,18 +112,6 @@ func BenchmarkObjective(b *Benchmark) Objective {
 type benchState struct {
 	trial      *workload.Trial
 	id         int
-	cfg        Config
+	cfg        searchspace.Config
 	checkpoint workload.TrialState
-}
-
-func configsEqual(a, b Config) bool {
-	if len(a) != len(b) {
-		return false
-	}
-	for k, v := range a {
-		if b[k] != v {
-			return false
-		}
-	}
-	return true
 }

@@ -200,7 +200,7 @@ func buildAlgorithm(s expSpec) (asha.Algorithm, error) {
 // loss (a float64), so it runs on every backend.
 func syntheticObjective(space *asha.Space, maxResource float64) asha.Objective {
 	return func(_ context.Context, cfg asha.Config, from, to float64, state interface{}) (float64, interface{}, error) {
-		x := space.Encode(cfg)
+		x := space.Encode(space.FromMap(cfg))
 		floor := 0.05
 		for i, v := range x {
 			target := 0.5 + 0.35*math.Sin(float64(i+1))

@@ -77,11 +77,12 @@ type Backend interface {
 	Launch(job core.Job)
 	// Await blocks until at least one launched job finishes and returns
 	// every completion available without further waiting (real backends
-	// batch; the simulator returns events one at a time to preserve
-	// virtual-clock ordering). An empty, error-free batch means the
-	// backend can complete nothing more (e.g. the simulated clock
-	// expired) and the run must stop. A context error stops the run
-	// cleanly.
+	// drain their result channel; the simulator returns all events
+	// sharing the next virtual-clock instant, preserving event ordering
+	// across distinct times). The returned slice may be reused by the
+	// next Await call. An empty, error-free batch means the backend can
+	// complete nothing more (e.g. the simulated clock expired) and the
+	// run must stop. A context error stops the run cleanly.
 	Await(ctx context.Context) ([]Completion, error)
 	// Now is the current time on the backend's clock.
 	Now() float64

@@ -49,7 +49,7 @@ func TestTPESamplesNearGoodRegion(t *testing.T) {
 		if !space.Contains(cfg) {
 			t.Fatal("TPE proposal outside the space")
 		}
-		total += math.Hypot(cfg["a"]-0.2, cfg["b"]-0.8)
+		total += math.Hypot(cfg.Get("a")-0.2, cfg.Get("b")-0.8)
 	}
 	if avg := total / float64(n); avg > 0.35 {
 		t.Fatalf("TPE proposals average distance %v from the optimum; model is not steering", avg)

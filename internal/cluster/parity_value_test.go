@@ -1,0 +1,9 @@
+package cluster_test
+
+import "repro/internal/searchspace"
+
+// configValue reads one named parameter from a job's configuration. It
+// is the only line of the parity harness that depends on the Config
+// representation, so the golden decision stream survives representation
+// changes unmodified.
+func configValue(c searchspace.Config, name string) float64 { return c.Get(name) }

@@ -59,20 +59,20 @@ func (c *ASHAConfig) validate() error {
 // top-k tracker, plus a min-heap of the entries not yet promoted out of
 // the rung. Both structures give O(log n) operations, which matters in
 // the 500-worker regime where the bottom rung accumulates ~10^5
-// entries.
+// entries. recorded is a struct{}-valued set: with ~10^5 entries in the
+// bottom rung the former map[int]bool spent a byte per entry on a value
+// nobody read.
 type ashaRung struct {
 	all        *topKTracker
 	unpromoted entryHeap // min-heap of entries not yet promoted
-	recorded   map[int]bool
-	promoted   map[int]bool
+	recorded   map[int]struct{}
 }
 
 func newASHARung() *ashaRung {
 	return &ashaRung{
 		all:        newTopKTracker(),
 		unpromoted: entryHeap{max: false},
-		recorded:   make(map[int]bool),
-		promoted:   make(map[int]bool),
+		recorded:   make(map[int]struct{}),
 	}
 }
 
@@ -109,25 +109,40 @@ func (r *ashaRung) promotable(k int) (int, bool) {
 }
 
 // markPromoted removes the rung's best unpromoted entry (which must be
-// the trial just returned by promotable) and flags it.
+// the trial just returned by promotable). Promotion state is exactly
+// "no longer in the unpromoted heap"; the former promoted map duplicated
+// that bit at a map entry per promoted trial.
 func (r *ashaRung) markPromoted(trialID int) {
 	e, ok := r.unpromoted.Pop()
 	if !ok || e.trialID != trialID {
 		panic("core: markPromoted out of order with promotable")
 	}
-	r.promoted[trialID] = true
 }
 
 // ASHA implements Algorithm 2. Whenever a worker asks for a job, it
 // promotes a configuration in the top 1/eta of some rung if one exists
 // (scanning from the highest rung down), and otherwise adds a fresh
 // random configuration to the bottom rung.
+//
+// The get_job/report pair is the operation a 500-worker cluster performs
+// ~10^5 times per run, so its state is laid out to stay allocation-free:
+// trials live in a slice indexed by the (sequentially allocated) trial
+// ID, configurations come from a slab arena, rung resources are a
+// precomputed table instead of per-call math.Pow, and the retry queue is
+// a head-indexed ring rather than a re-sliced slice.
 type ASHA struct {
-	cfg      ASHAConfig
-	topRung  int // highest rung index (promotion target); -1 if unbounded
-	rungs    []*ashaRung
-	retry    []Job
-	trials   map[int]searchspace.Config
+	cfg     ASHAConfig
+	topRung int // highest rung index (promotion target); -1 if unbounded
+	rungs   []*ashaRung
+	// retry is a head-indexed queue: popping advances retryHead instead
+	// of re-slicing, which would pin the backing array's consumed prefix
+	// (each dead Job holding its Config alive) for the life of the run.
+	retry     []Job
+	retryHead int
+	trials    []searchspace.Config // indexed by trial ID
+	arena     *searchspace.Arena
+	// rungRes caches rungResource(k); rung k's resource never changes.
+	rungRes  []float64
 	nextID   int
 	inc      incumbent
 	launched int // total jobs issued, for introspection
@@ -142,7 +157,7 @@ func NewASHA(cfg ASHAConfig) *ASHA {
 	if err := cfg.validate(); err != nil {
 		panic(err)
 	}
-	a := &ASHA{cfg: cfg, trials: make(map[int]searchspace.Config)}
+	a := &ASHA{cfg: cfg, arena: cfg.Space.NewArena()}
 	if cfg.InfiniteHorizon {
 		a.topRung = -1
 		if cfg.RungCap > 0 {
@@ -159,20 +174,40 @@ func NewASHA(cfg ASHAConfig) *ASHA {
 }
 
 // rungResource returns the cumulative resource of rung k: r * eta^(s+k),
-// capped at R in the finite horizon.
+// capped at R in the finite horizon. Values are computed once per rung
+// and memoized; the former per-call math.Pow sat directly on the get_job
+// path.
 func (a *ASHA) rungResource(k int) float64 {
-	res := a.cfg.MinResource * math.Pow(float64(a.cfg.Eta), float64(a.cfg.EarlyStopRate+k))
-	if !a.cfg.InfiniteHorizon && res > a.cfg.MaxResource {
-		res = a.cfg.MaxResource
+	for len(a.rungRes) <= k {
+		i := len(a.rungRes)
+		res := a.cfg.MinResource * math.Pow(float64(a.cfg.Eta), float64(a.cfg.EarlyStopRate+i))
+		if !a.cfg.InfiniteHorizon && res > a.cfg.MaxResource {
+			res = a.cfg.MaxResource
+		}
+		a.rungRes = append(a.rungRes, res)
 	}
-	return res
+	return a.rungRes[k]
+}
+
+// popRetry removes the oldest queued retry, compacting the ring once it
+// empties so the backing array (and the Jobs' configs) can be collected.
+func (a *ASHA) popRetry() (Job, bool) {
+	if a.retryHead >= len(a.retry) {
+		return Job{}, false
+	}
+	job := a.retry[a.retryHead]
+	a.retry[a.retryHead] = Job{} // release the config reference
+	a.retryHead++
+	if a.retryHead == len(a.retry) {
+		a.retry = a.retry[:0]
+		a.retryHead = 0
+	}
+	return job, true
 }
 
 // Next implements the get_job procedure of Algorithm 2.
 func (a *ASHA) Next() (Job, bool) {
-	if len(a.retry) > 0 {
-		job := a.retry[0]
-		a.retry = a.retry[1:]
+	if job, ok := a.popRetry(); ok {
 		a.launched++
 		return job, true
 	}
@@ -204,9 +239,9 @@ func (a *ASHA) Next() (Job, bool) {
 	if a.sampleHook != nil {
 		cfg = a.sampleHook()
 	} else {
-		cfg = a.cfg.Space.Sample(a.cfg.RNG)
+		cfg = a.arena.Sample(a.cfg.RNG)
 	}
-	a.trials[id] = cfg
+	a.trials = append(a.trials, cfg)
 	a.launched++
 	return Job{TrialID: id, Config: cfg, Rung: 0, TargetResource: a.rungResource(0), InheritFrom: -1}, true
 }
@@ -233,8 +268,8 @@ func (a *ASHA) Report(res Result) {
 	}
 	a.ensureRung(res.Rung)
 	rung := a.rungs[res.Rung]
-	if !rung.recorded[res.TrialID] {
-		rung.recorded[res.TrialID] = true
+	if _, dup := rung.recorded[res.TrialID]; !dup {
+		rung.recorded[res.TrialID] = struct{}{}
 		rung.insert(entry{trialID: res.TrialID, loss: res.Loss})
 	}
 	// Section 3.3: ASHA uses intermediate losses to determine the

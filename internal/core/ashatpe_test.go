@@ -89,7 +89,7 @@ func TestModelASHAFallsBackToRandomEarly(t *testing.T) {
 	// model has no observations yet.
 	for i := 0; i < 3; i++ {
 		job, ok := m.Next()
-		if !ok || job.Config == nil {
+		if !ok || job.Config.IsZero() {
 			t.Fatal("no configuration before the model is fit")
 		}
 		m.Report(Result{TrialID: job.TrialID, Rung: 0, Config: job.Config, Loss: 0.5, Resource: 1})

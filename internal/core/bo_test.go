@@ -4,14 +4,15 @@ import (
 	"math"
 	"testing"
 
+	"repro/internal/searchspace"
 	"repro/internal/xrand"
 )
 
 // quadLoss is a smooth synthetic objective on the test space: distance
 // of (x, log y) from an optimum.
-func quadLoss(cfg map[string]float64) float64 {
-	x := cfg["x"]
-	y := math.Log(cfg["y"]) / math.Log(1e3) // normalize log [1e-3, 1] to [-1, 0]
+func quadLoss(cfg searchspace.Config) float64 {
+	x := cfg.Get("x")
+	y := math.Log(cfg.Get("y")) / math.Log(1e3) // normalize log [1e-3, 1] to [-1, 0]
 	return math.Hypot(x-0.3, y+0.4)
 }
 

@@ -188,7 +188,7 @@ func (f *Fabolas) propose() (searchspace.Config, float64) {
 			}
 		}
 	}
-	if bestCand.cfg == nil {
+	if bestCand.cfg.IsZero() {
 		return f.cfg.Space.Sample(f.cfg.RNG), f.cfg.Fidelities[len(f.cfg.Fidelities)-1]
 	}
 	return bestCand.cfg, bestCand.fidelity

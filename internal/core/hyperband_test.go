@@ -184,7 +184,7 @@ func TestAsyncHyperbandRoutesResultsToOwningBracket(t *testing.T) {
 		job, _ := ah.Next()
 		if job.Rung > 0 {
 			promotions++
-			if job.Config == nil {
+			if job.Config.IsZero() {
 				t.Fatal("promotion lost its configuration: result routed to wrong bracket")
 			}
 		}

@@ -89,6 +89,7 @@ type PBT struct {
 	pops   []*pbtPopulation
 	byID   map[int]*pbtMember
 	frozen map[string]bool
+	arena  *searchspace.Arena
 	nextID int
 	inc    incumbent
 }
@@ -104,7 +105,7 @@ func NewPBT(cfg PBTConfig) *PBT {
 	if cfg.ResampleProb == 0 {
 		cfg.ResampleProb = 0.25
 	}
-	p := &PBT{cfg: cfg, byID: make(map[int]*pbtMember), frozen: make(map[string]bool)}
+	p := &PBT{cfg: cfg, byID: make(map[int]*pbtMember), frozen: make(map[string]bool), arena: cfg.Space.NewArena()}
 	for _, name := range cfg.FrozenParams {
 		p.frozen[name] = true
 	}
@@ -115,7 +116,7 @@ func NewPBT(cfg PBTConfig) *PBT {
 func (p *PBT) addPopulation() *pbtPopulation {
 	pop := &pbtPopulation{}
 	for i := 0; i < p.cfg.Population; i++ {
-		m := &pbtMember{trialID: p.nextID, cfg: p.cfg.Space.Sample(p.cfg.RNG)}
+		m := &pbtMember{trialID: p.nextID, cfg: p.arena.Sample(p.cfg.RNG)}
 		p.nextID++
 		p.byID[m.trialID] = m
 		pop.members = append(pop.members, m)
@@ -223,19 +224,21 @@ func (p *PBT) exploit(pop *pbtPopulation, m *pbtMember) *pbtMember {
 }
 
 // explore perturbs each non-architectural hyperparameter by a random
-// factor, or resamples it with probability ResampleProb.
+// factor, or resamples it with probability ResampleProb. Parameters are
+// visited in space definition order, exactly as the map representation
+// iterated Params(), so the RNG stream is unchanged.
 func (p *PBT) explore(cfg searchspace.Config) searchspace.Config {
-	out := cfg.Clone()
-	for _, param := range p.cfg.Space.Params() {
+	out := p.arena.Clone(cfg)
+	for i, param := range p.cfg.Space.Params() {
 		if p.frozen[param.Name] {
 			continue
 		}
 		if p.cfg.RNG.Bernoulli(p.cfg.ResampleProb) {
-			out[param.Name] = param.Sample(p.cfg.RNG)
+			out.SetAt(i, param.Sample(p.cfg.RNG))
 			continue
 		}
 		factor := p.cfg.PerturbFactors[p.cfg.RNG.IntN(2)]
-		out[param.Name] = param.Perturb(out[param.Name], factor)
+		out.SetAt(i, param.Perturb(out.At(i), factor))
 	}
 	return out
 }

@@ -182,11 +182,11 @@ func TestPBTFrozenParamsNeverChange(t *testing.T) {
 			break
 		}
 		if prev, seen := arch[job.TrialID]; seen {
-			if job.Config["arch"] != prev && job.InheritFrom < 0 {
+			if job.Config.Get("arch") != prev && job.InheritFrom < 0 {
 				t.Fatalf("frozen parameter changed for trial %d without exploit", job.TrialID)
 			}
 		}
-		arch[job.TrialID] = job.Config["arch"]
+		arch[job.TrialID] = job.Config.Get("arch")
 		p.Report(Result{TrialID: job.TrialID, Config: job.Config, Loss: rng.Float64(), Resource: job.TargetResource})
 	}
 }

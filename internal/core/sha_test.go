@@ -203,7 +203,7 @@ func TestSHAObservationsExposed(t *testing.T) {
 		t.Fatalf("got %d observations, want 4", len(obs))
 	}
 	for _, o := range obs {
-		if o.Resource != 1 || o.Config == nil {
+		if o.Resource != 1 || o.Config.IsZero() {
 			t.Fatalf("malformed observation %+v", o)
 		}
 	}

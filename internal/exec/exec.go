@@ -24,7 +24,12 @@ import (
 // resuming from state (nil on first call), and return the validation
 // loss at `to` plus the state to resume from later. Implementations must
 // be safe for concurrent invocation on distinct trials.
-type Objective func(ctx context.Context, cfg searchspace.Config, from, to float64, state interface{}) (loss float64, newState interface{}, err error)
+//
+// Objectives receive the name-keyed map view of the configuration: the
+// scheduler hot path runs on dense vectors, and the map copy is made
+// once per training job at this boundary, where the training itself
+// dominates by orders of magnitude.
+type Objective func(ctx context.Context, cfg map[string]float64, from, to float64, state interface{}) (loss float64, newState interface{}, err error)
 
 // trialIDKey carries the job's trial ID into objective invocations.
 type trialIDKey struct{}
@@ -154,7 +159,9 @@ func (p *Pool) workerLoop() {
 			continue // drain queued tasks without running them
 		}
 		ctx := WithTrialID(p.ctx, task.job.TrialID)
-		loss, newState, err := p.obj(ctx, task.job.Config, task.from, task.to, task.state)
+		// The name-keyed copy is made on the worker goroutine, keeping
+		// the engine goroutine's dispatch path allocation-free.
+		loss, newState, err := p.obj(ctx, task.job.Config.Map(), task.from, task.to, task.state)
 		p.results <- poolResult{job: task.job, loss: loss, state: newState, err: err}
 	}
 }

@@ -23,7 +23,7 @@ func execSpace() *searchspace.Space {
 
 // quadObjective is a fast synthetic objective whose loss improves with
 // resource toward a configuration-dependent floor.
-func quadObjective(_ context.Context, cfg searchspace.Config, from, to float64, state interface{}) (float64, interface{}, error) {
+func quadObjective(_ context.Context, cfg map[string]float64, from, to float64, state interface{}) (float64, interface{}, error) {
 	floor := math.Hypot(cfg["x"]-0.7, cfg["y"]-0.2)
 	loss := floor + math.Exp(-to/8)
 	return loss, loss, nil
@@ -58,7 +58,7 @@ func TestExecRunsASHAConcurrently(t *testing.T) {
 
 func TestExecParallelismActuallyHappens(t *testing.T) {
 	var inFlight, peak int64
-	obj := func(ctx context.Context, cfg searchspace.Config, from, to float64, state interface{}) (float64, interface{}, error) {
+	obj := func(ctx context.Context, cfg map[string]float64, from, to float64, state interface{}) (float64, interface{}, error) {
 		cur := atomic.AddInt64(&inFlight, 1)
 		for {
 			old := atomic.LoadInt64(&peak)
@@ -81,7 +81,7 @@ func TestExecParallelismActuallyHappens(t *testing.T) {
 
 func TestExecObjectiveErrorAborts(t *testing.T) {
 	boom := errors.New("boom")
-	obj := func(ctx context.Context, cfg searchspace.Config, from, to float64, state interface{}) (float64, interface{}, error) {
+	obj := func(ctx context.Context, cfg map[string]float64, from, to float64, state interface{}) (float64, interface{}, error) {
 		return 0, nil, boom
 	}
 	sched := core.NewRandomSearch(core.RandomSearchConfig{Space: execSpace(), RNG: xrand.New(3), MaxResource: 1})
@@ -94,7 +94,7 @@ func TestExecObjectiveErrorAborts(t *testing.T) {
 func TestExecContextCancelStops(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	var calls int64
-	obj := func(ctx context.Context, cfg searchspace.Config, from, to float64, state interface{}) (float64, interface{}, error) {
+	obj := func(ctx context.Context, cfg map[string]float64, from, to float64, state interface{}) (float64, interface{}, error) {
 		if atomic.AddInt64(&calls, 1) > 10 {
 			cancel()
 		}
@@ -118,7 +118,7 @@ func TestExecContextCancelStops(t *testing.T) {
 }
 
 func TestExecMaxDurationStops(t *testing.T) {
-	obj := func(ctx context.Context, cfg searchspace.Config, from, to float64, state interface{}) (float64, interface{}, error) {
+	obj := func(ctx context.Context, cfg map[string]float64, from, to float64, state interface{}) (float64, interface{}, error) {
 		time.Sleep(time.Millisecond)
 		return 1, nil, nil
 	}
@@ -167,7 +167,7 @@ func TestExecStateThreadsThroughSteps(t *testing.T) {
 	// the cumulative resource and verify from==state.
 	var mu sync.Mutex
 	violations := 0
-	obj := func(ctx context.Context, cfg searchspace.Config, from, to float64, state interface{}) (float64, interface{}, error) {
+	obj := func(ctx context.Context, cfg map[string]float64, from, to float64, state interface{}) (float64, interface{}, error) {
 		if state == nil {
 			if from != 0 {
 				mu.Lock()
@@ -229,7 +229,7 @@ func TestExecPBTInheritCopiesState(t *testing.T) {
 	})
 	var mu sync.Mutex
 	inherits := 0
-	obj := func(ctx context.Context, cfg searchspace.Config, from, to float64, state interface{}) (float64, interface{}, error) {
+	obj := func(ctx context.Context, cfg map[string]float64, from, to float64, state interface{}) (float64, interface{}, error) {
 		// State is the donor's cumulative resource; a fresh member has
 		// nil state and from == 0; an heir starts from the donor's
 		// position, so from > 0 with matching state.

@@ -12,7 +12,6 @@ import (
 
 	"repro/internal/backend"
 	"repro/internal/core"
-	"repro/internal/searchspace"
 )
 
 // The subprocess wire protocol is JSON Lines over stdin/stdout: the
@@ -28,8 +27,11 @@ type Request struct {
 	// ID sequences requests per worker; responses echo it.
 	ID int `json:"id"`
 	// Trial identifies the configuration's stateful training run.
-	Trial  int                `json:"trial"`
-	Config searchspace.Config `json:"config"`
+	Trial int `json:"trial"`
+	// Config is the name-keyed wire form of the configuration: the
+	// protocol stays name-keyed so workers never need the parent's
+	// parameter-index table.
+	Config map[string]float64 `json:"config"`
 	// From and To are cumulative resources: resume at From, train to To.
 	From float64 `json:"from"`
 	To   float64 `json:"to"`
@@ -220,7 +222,7 @@ func (s *Subprocess) Launch(job core.Job) {
 	req := Request{
 		ID:     w.nextID,
 		Trial:  job.TrialID,
-		Config: job.Config,
+		Config: job.Config.Map(),
 		From:   t.resource,
 		To:     job.TargetResource,
 		State:  t.state,

@@ -1,0 +1,85 @@
+package exec
+
+// Round-trip tests for the subprocess JSON boundary: the scheduler hot
+// path runs on vector-backed configurations, but the wire protocol must
+// stay name-keyed so worker processes never need the parent's
+// parameter-index table.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/searchspace"
+	"repro/internal/xrand"
+)
+
+func wireSpace() *searchspace.Space {
+	return searchspace.New(
+		searchspace.Param{Name: "lr", Type: searchspace.LogUniform, Lo: 1e-4, Hi: 1},
+		searchspace.Param{Name: "momentum", Type: searchspace.Uniform, Lo: 0, Hi: 1},
+		searchspace.Param{Name: "layers", Type: searchspace.IntUniform, Lo: 1, Hi: 8},
+	)
+}
+
+// TestRequestConfigStaysNameKeyed pins the wire format: a Request's
+// config marshals as a JSON object keyed by parameter name, with values
+// bit-identical to the vector representation.
+func TestRequestConfigStaysNameKeyed(t *testing.T) {
+	space := wireSpace()
+	cfg := space.Sample(xrand.New(7))
+	req := Request{ID: 3, Trial: 9, Config: cfg.Map(), From: 1, To: 4}
+	blob, err := json.Marshal(&req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(blob), `"lr":`) {
+		t.Fatalf("wire request lost name keys: %s", blob)
+	}
+	var back Request
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !cfg.Equal(space.FromMap(back.Config)) {
+		t.Fatalf("config round trip: got %v, want %v", back.Config, cfg)
+	}
+}
+
+// TestServeRoundTripsVectorConfig drives the worker side of the protocol
+// in-memory: the objective must observe exactly the values the parent's
+// vector config held, and the response must carry the loss back.
+func TestServeRoundTripsVectorConfig(t *testing.T) {
+	space := wireSpace()
+	cfg := space.Sample(xrand.New(11))
+
+	var in bytes.Buffer
+	enc := json.NewEncoder(&in)
+	for id := 1; id <= 2; id++ {
+		if err := enc.Encode(Request{ID: id, Trial: id, Config: cfg.Map(), From: 0, To: 2}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var out bytes.Buffer
+	obj := func(_ context.Context, got map[string]float64, from, to float64, state interface{}) (float64, interface{}, error) {
+		if !cfg.Equal(space.FromMap(got)) {
+			t.Errorf("objective saw %v, want %v", got, cfg)
+		}
+		return got["lr"] + got["momentum"], nil, nil
+	}
+	if err := Serve(context.Background(), &in, &out, obj); err != nil {
+		t.Fatal(err)
+	}
+	dec := json.NewDecoder(&out)
+	want := cfg.Get("lr") + cfg.Get("momentum")
+	for id := 1; id <= 2; id++ {
+		var resp Response
+		if err := dec.Decode(&resp); err != nil {
+			t.Fatal(err)
+		}
+		if resp.ID != id || resp.Error != "" || resp.Loss != want {
+			t.Fatalf("response %d: %+v, want loss %v", id, resp, want)
+		}
+	}
+}

@@ -5,11 +5,16 @@
 //
 // Every hyperparameter appearing in the paper's search spaces
 // (Tables 1-3 and the cuda-convnet space of Li et al. 2017) is numeric,
-// so a configuration is represented as a map from parameter name to
-// float64 value.
+// so a configuration is represented as a dense []float64 vector in
+// parameter definition order, sharing its Space's name<->index table.
+// The vector representation keeps the scheduler->engine->simulator hot
+// path free of per-parameter map allocation and string hashing; the
+// name-keyed view survives at the JSON wire boundary (see MarshalJSON)
+// and through the map-compatible accessors Get/Set/Lookup/Each.
 package searchspace
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"sort"
@@ -215,39 +220,223 @@ func (p Param) Contains(v float64) bool {
 	}
 }
 
-// Config is a concrete hyperparameter assignment.
-type Config map[string]float64
+// nameTable is a shared, immutable name<->index mapping. A Space owns
+// one; configurations decoded from foreign name-keyed data (the
+// subprocess JSON boundary, hand-built test fixtures) synthesize their
+// own. Tables are never mutated after construction, so Configs can share
+// them freely across goroutines.
+type nameTable struct {
+	names []string
+	index map[string]int
+}
 
-// Clone returns a deep copy of the configuration.
+func newNameTable(names []string) *nameTable {
+	t := &nameTable{names: names, index: make(map[string]int, len(names))}
+	for i, n := range names {
+		t.index[n] = i
+	}
+	return t
+}
+
+// Config is a concrete hyperparameter assignment: a dense value vector
+// in table order. The zero Config is empty. Config is a small value type
+// (copying it copies the slice header, not the values); use Clone for an
+// independent copy. Configs produced by the same Space share one name
+// table, so equality checks and encoding skip name lookups entirely.
+type Config struct {
+	table *nameTable
+	vals  []float64
+}
+
+// Len returns the number of parameters in the configuration.
+func (c Config) Len() int { return len(c.vals) }
+
+// IsZero reports whether the configuration is the empty zero value.
+func (c Config) IsZero() bool { return c.table == nil }
+
+// Get returns the named parameter's value, or 0 when absent — the same
+// semantics as indexing the former map representation.
+func (c Config) Get(name string) float64 {
+	v, _ := c.Lookup(name)
+	return v
+}
+
+// Lookup returns the named parameter's value and whether it is present.
+func (c Config) Lookup(name string) (float64, bool) {
+	if c.table == nil {
+		return 0, false
+	}
+	i, ok := c.table.index[name]
+	if !ok || i >= len(c.vals) {
+		return 0, false
+	}
+	return c.vals[i], true
+}
+
+// Set assigns the named parameter. It panics on a name the
+// configuration's table does not contain: a Config's parameter set is
+// fixed by its Space (unlike the former map, which silently grew).
+func (c Config) Set(name string, v float64) {
+	i, ok := c.table.index[name]
+	if !ok || i >= len(c.vals) {
+		panic(fmt.Sprintf("searchspace: Set of unknown parameter %q", name))
+	}
+	c.vals[i] = v
+}
+
+// At returns the value at table index i.
+func (c Config) At(i int) float64 { return c.vals[i] }
+
+// SetAt assigns the value at table index i.
+func (c Config) SetAt(i int, v float64) { c.vals[i] = v }
+
+// Each calls fn for every (name, value) pair in table order — the
+// deterministic replacement for ranging over the former map.
+func (c Config) Each(fn func(name string, v float64)) {
+	for i, v := range c.vals {
+		fn(c.table.names[i], v)
+	}
+}
+
+// Clone returns a deep copy of the configuration (values copied, name
+// table shared).
 func (c Config) Clone() Config {
-	out := make(Config, len(c))
-	for k, v := range c {
-		out[k] = v
+	if c.table == nil {
+		return Config{}
+	}
+	out := Config{table: c.table, vals: make([]float64, len(c.vals))}
+	copy(out.vals, c.vals)
+	return out
+}
+
+// Equal reports whether the two configurations assign identical values
+// to an identical set of parameter names. Configurations from the same
+// Space compare without any name lookup.
+func (c Config) Equal(o Config) bool {
+	if len(c.vals) != len(o.vals) {
+		return false
+	}
+	if c.table == o.table {
+		for i, v := range c.vals {
+			if o.vals[i] != v {
+				return false
+			}
+		}
+		return true
+	}
+	for i, v := range c.vals {
+		ov, ok := o.Lookup(c.table.names[i])
+		if !ok || ov != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Map returns a name-keyed copy of the configuration — the
+// compatibility representation handed to public objectives and the
+// subprocess wire protocol.
+func (c Config) Map() map[string]float64 {
+	out := make(map[string]float64, len(c.vals))
+	for i, v := range c.vals {
+		out[c.table.names[i]] = v
 	}
 	return out
+}
+
+// FromMap builds a standalone configuration from a name-keyed map. The
+// synthesized table orders names lexicographically so the result is
+// deterministic. Prefer Space.FromMap when the owning space is known —
+// it aligns the vector with the space's table.
+func FromMap(m map[string]float64) Config {
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	c := Config{table: newNameTable(names), vals: make([]float64, len(names))}
+	for i, n := range names {
+		c.vals[i] = m[n]
+	}
+	return c
+}
+
+// MarshalJSON encodes the configuration as a name-keyed JSON object in
+// table order, keeping the subprocess wire protocol name-keyed.
+func (c Config) MarshalJSON() ([]byte, error) {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, v := range c.vals {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		nb, err := json.Marshal(c.table.names[i])
+		if err != nil {
+			return nil, err
+		}
+		b.Write(nb)
+		b.WriteByte(':')
+		vb, err := json.Marshal(v)
+		if err != nil {
+			return nil, err
+		}
+		b.Write(vb)
+	}
+	b.WriteByte('}')
+	return []byte(b.String()), nil
+}
+
+// UnmarshalJSON decodes a name-keyed JSON object into a standalone
+// configuration (see FromMap).
+func (c *Config) UnmarshalJSON(data []byte) error {
+	var m map[string]float64
+	if err := json.Unmarshal(data, &m); err != nil {
+		return err
+	}
+	*c = FromMap(m)
+	return nil
+}
+
+// String renders the configuration as a name-keyed literal in table
+// order.
+func (c Config) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, v := range c.vals {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s: %g", c.table.names[i], v)
+	}
+	b.WriteByte('}')
+	return b.String()
 }
 
 // Space is an ordered collection of parameters.
 type Space struct {
 	params []Param
-	index  map[string]int
+	table  *nameTable
 }
 
 // New builds a Space from params. It panics if any parameter is invalid
 // or duplicated; spaces are package-level constants in practice, so a
 // malformed space is a programming error.
 func New(params ...Param) *Space {
-	s := &Space{index: make(map[string]int, len(params))}
+	names := make([]string, 0, len(params))
+	seen := make(map[string]bool, len(params))
+	s := &Space{}
 	for _, p := range params {
 		if err := p.Validate(); err != nil {
 			panic(err)
 		}
-		if _, dup := s.index[p.Name]; dup {
+		if seen[p.Name] {
 			panic(fmt.Sprintf("searchspace: duplicate parameter %q", p.Name))
 		}
-		s.index[p.Name] = len(s.params)
+		seen[p.Name] = true
+		names = append(names, p.Name)
 		s.params = append(s.params, p)
 	}
+	s.table = newNameTable(names)
 	return s
 }
 
@@ -259,12 +448,43 @@ func (s *Space) Dim() int { return len(s.params) }
 
 // Param returns the parameter with the given name.
 func (s *Space) Param(name string) (Param, bool) {
-	i, ok := s.index[name]
+	i, ok := s.table.index[name]
 	if !ok {
 		return Param{}, false
 	}
 	return s.params[i], true
 }
+
+// IndexOf returns the table index of the named parameter, or -1. Hot
+// paths resolve indices once and use Config.At thereafter.
+func (s *Space) IndexOf(name string) int {
+	i, ok := s.table.index[name]
+	if !ok {
+		return -1
+	}
+	return i
+}
+
+// NewConfig returns a zero-valued configuration owned by the space.
+func (s *Space) NewConfig() Config {
+	return Config{table: s.table, vals: make([]float64, len(s.params))}
+}
+
+// FromMap builds a space-aligned configuration from a name-keyed map.
+// Names outside the space are ignored; missing names default to 0.
+func (s *Space) FromMap(m map[string]float64) Config {
+	c := s.NewConfig()
+	for n, v := range m {
+		if i, ok := s.table.index[n]; ok {
+			c.vals[i] = v
+		}
+	}
+	return c
+}
+
+// owns reports whether c shares the space's name table (vector aligned
+// with s.params).
+func (s *Space) owns(c Config) bool { return c.table == s.table }
 
 // SampleEncoded fills buf (length Dim) with the encoded coordinates of
 // a configuration drawn uniformly from the space, without allocating a
@@ -289,23 +509,45 @@ func (s *Space) SampleEncoded(rng *xrand.RNG, buf []float64) {
 	}
 }
 
-// Sample draws a configuration uniformly from the space.
+// Sample draws a configuration uniformly from the space. The parameter
+// order (and therefore the RNG consumption order) matches the space's
+// definition order, exactly as the former map representation sampled.
 func (s *Space) Sample(rng *xrand.RNG) Config {
-	c := make(Config, len(s.params))
-	for _, p := range s.params {
-		c[p.Name] = p.Sample(rng)
-	}
+	c := Config{table: s.table, vals: make([]float64, len(s.params))}
+	s.sampleInto(rng, c.vals)
 	return c
+}
+
+func (s *Space) sampleInto(rng *xrand.RNG, vals []float64) {
+	for i := range s.params {
+		vals[i] = s.params[i].Sample(rng)
+	}
 }
 
 // Encode maps a configuration to a point in the unit cube, in parameter
 // definition order.
 func (s *Space) Encode(c Config) []float64 {
 	x := make([]float64, len(s.params))
-	for i, p := range s.params {
-		x[i] = p.Encode(c[p.Name])
-	}
+	s.EncodeInto(c, x)
 	return x
+}
+
+// EncodeInto writes the unit-cube encoding of c into x (length Dim),
+// avoiding the allocation of Encode on hot paths. Space-owned
+// configurations encode by index with no name lookups.
+func (s *Space) EncodeInto(c Config, x []float64) {
+	if len(x) != len(s.params) {
+		panic(fmt.Sprintf("searchspace: EncodeInto expected %d dims, got %d", len(s.params), len(x)))
+	}
+	if s.owns(c) && c.Len() == len(s.params) {
+		for i := range s.params {
+			x[i] = s.params[i].Encode(c.vals[i])
+		}
+		return
+	}
+	for i, p := range s.params {
+		x[i] = p.Encode(c.Get(p.Name))
+	}
 }
 
 // Decode maps a unit-cube point back to a configuration.
@@ -313,9 +555,9 @@ func (s *Space) Decode(x []float64) Config {
 	if len(x) != len(s.params) {
 		panic(fmt.Sprintf("searchspace: Decode expected %d dims, got %d", len(s.params), len(x)))
 	}
-	c := make(Config, len(s.params))
+	c := Config{table: s.table, vals: make([]float64, len(s.params))}
 	for i, p := range s.params {
-		c[p.Name] = p.Decode(x[i])
+		c.vals[i] = p.Decode(x[i])
 	}
 	return c
 }
@@ -323,16 +565,75 @@ func (s *Space) Decode(x []float64) Config {
 // Contains reports whether every parameter value in c is legal and every
 // parameter of the space is present.
 func (s *Space) Contains(c Config) bool {
-	if len(c) != len(s.params) {
+	if c.Len() != len(s.params) {
 		return false
 	}
+	if s.owns(c) {
+		for i, p := range s.params {
+			if !p.Contains(c.vals[i]) {
+				return false
+			}
+		}
+		return true
+	}
 	for _, p := range s.params {
-		v, ok := c[p.Name]
+		v, ok := c.Lookup(p.Name)
 		if !ok || !p.Contains(v) {
 			return false
 		}
 	}
 	return true
+}
+
+// Arena bulk-allocates configuration vectors in slabs so samplers that
+// create one trial per get_job call (ASHA's bottom rung grows by ~10^5
+// configurations in the 500-worker regime) amortize their allocation to
+// ~1/256 of a make per configuration. Configurations drawn from an
+// arena live as long as any of them is referenced; schedulers own one
+// arena and keep every sampled trial anyway, so nothing is pinned that
+// would otherwise be freed. An Arena is not safe for concurrent use.
+type Arena struct {
+	space *Space
+	slab  []float64
+}
+
+// arenaSlabConfigs is the number of configurations per slab.
+const arenaSlabConfigs = 256
+
+// NewArena returns an empty arena for the space.
+func (s *Space) NewArena() *Arena { return &Arena{space: s} }
+
+// take carves one config-sized vector off the current slab.
+func (a *Arena) take() []float64 {
+	dim := len(a.space.params)
+	if dim == 0 {
+		return nil
+	}
+	if len(a.slab) < dim {
+		a.slab = make([]float64, dim*arenaSlabConfigs)
+	}
+	vals := a.slab[:dim:dim]
+	a.slab = a.slab[dim:]
+	return vals
+}
+
+// Sample draws a configuration uniformly from the space, backed by the
+// arena. The RNG stream is identical to Space.Sample.
+func (a *Arena) Sample(rng *xrand.RNG) Config {
+	c := Config{table: a.space.table, vals: a.take()}
+	a.space.sampleInto(rng, c.vals)
+	return c
+}
+
+// Clone copies cfg into arena-backed storage (for schedulers that retain
+// a modified copy per trial, e.g. PBT's explore step).
+func (a *Arena) Clone(cfg Config) Config {
+	if !a.space.owns(cfg) || cfg.Len() != len(a.space.params) {
+		return cfg.Clone()
+	}
+	c := Config{table: a.space.table, vals: a.take()}
+	copy(c.vals, cfg.vals)
+	return c
 }
 
 // Table renders the space in the layout of the paper's search-space

@@ -1,6 +1,7 @@
 package searchspace
 
 import (
+	"encoding/json"
 	"math"
 	"strings"
 	"testing"
@@ -54,7 +55,7 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 		cfg := s.Sample(rng)
 		back := s.Decode(s.Encode(cfg))
 		for _, p := range s.Params() {
-			a, b := cfg[p.Name], back[p.Name]
+			a, b := cfg.Get(p.Name), back.Get(p.Name)
 			switch p.Type {
 			case LogUniform:
 				if math.Abs(math.Log(a)-math.Log(b)) > 1e-9 {
@@ -94,7 +95,7 @@ func TestPerturbStaysLegalProperty(t *testing.T) {
 			factor = 1.2
 		}
 		for _, p := range s.Params() {
-			if !p.Contains(p.Perturb(cfg[p.Name], factor)) {
+			if !p.Contains(p.Perturb(cfg.Get(p.Name), factor)) {
 				return false
 			}
 		}
@@ -200,10 +201,10 @@ func TestNewPanicsOnDuplicate(t *testing.T) {
 }
 
 func TestConfigClone(t *testing.T) {
-	c := Config{"a": 1}
+	c := FromMap(map[string]float64{"a": 1})
 	d := c.Clone()
-	d["a"] = 2
-	if c["a"] != 1 {
+	d.Set("a", 2)
+	if c.Get("a") != 1 {
 		t.Fatal("Clone is shallow")
 	}
 }
@@ -211,18 +212,18 @@ func TestConfigClone(t *testing.T) {
 func TestContainsRejectsWrongShape(t *testing.T) {
 	s := testSpace()
 	rng := xrand.New(8)
-	cfg := s.Sample(rng)
-	delete(cfg, "lr")
-	if s.Contains(cfg) {
+	m := s.Sample(rng).Map()
+	delete(m, "lr")
+	if s.Contains(FromMap(m)) {
 		t.Fatal("Contains accepted missing parameter")
 	}
-	cfg = s.Sample(rng)
-	cfg["lr"] = 1e9 // out of bounds
+	cfg := s.Sample(rng)
+	cfg.Set("lr", 1e9) // out of bounds
 	if s.Contains(cfg) {
 		t.Fatal("Contains accepted out-of-bounds value")
 	}
 	cfg = s.Sample(rng)
-	cfg["batch"] = 100 // not a choice
+	cfg.Set("batch", 100) // not a choice
 	if s.Contains(cfg) {
 		t.Fatal("Contains accepted illegal choice")
 	}
@@ -280,4 +281,164 @@ func TestSampleEncodedBufferValidation(t *testing.T) {
 		}
 	}()
 	testSpace().SampleEncoded(xrand.New(1), make([]float64, 1))
+}
+
+// ---------------------------------------------------------------------
+// Vector-config compatibility layer.
+
+func TestConfigAccessors(t *testing.T) {
+	s := testSpace()
+	cfg := s.Sample(xrand.New(30))
+	if cfg.Len() != s.Dim() {
+		t.Fatalf("Len = %d, want %d", cfg.Len(), s.Dim())
+	}
+	if cfg.IsZero() {
+		t.Fatal("sampled config is zero")
+	}
+	if (Config{}).IsZero() == false {
+		t.Fatal("zero config not IsZero")
+	}
+	// Get/Lookup/At agree, in param order.
+	for i, p := range s.Params() {
+		if cfg.Get(p.Name) != cfg.At(i) {
+			t.Fatalf("%s: Get %v != At %v", p.Name, cfg.Get(p.Name), cfg.At(i))
+		}
+		v, ok := cfg.Lookup(p.Name)
+		if !ok || v != cfg.At(i) {
+			t.Fatalf("%s: Lookup mismatch", p.Name)
+		}
+	}
+	if _, ok := cfg.Lookup("ghost"); ok {
+		t.Fatal("Lookup found a ghost parameter")
+	}
+	if cfg.Get("ghost") != 0 {
+		t.Fatal("Get of missing parameter should be 0 (map semantics)")
+	}
+	// Set by name and by index.
+	cfg.Set("momentum", 0.25)
+	if cfg.Get("momentum") != 0.25 {
+		t.Fatal("Set by name failed")
+	}
+	cfg.SetAt(1, 0.75)
+	if cfg.Get("momentum") != 0.75 {
+		t.Fatal("SetAt failed")
+	}
+	// Each iterates in definition order.
+	var names []string
+	cfg.Each(func(name string, v float64) { names = append(names, name) })
+	for i, p := range s.Params() {
+		if names[i] != p.Name {
+			t.Fatalf("Each order: got %v", names)
+		}
+	}
+}
+
+func TestConfigSetUnknownPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for Set of unknown name")
+		}
+	}()
+	testSpace().Sample(xrand.New(1)).Set("ghost", 1)
+}
+
+func TestConfigEqual(t *testing.T) {
+	s := testSpace()
+	a := s.Sample(xrand.New(31))
+	b := a.Clone()
+	if !a.Equal(b) || !b.Equal(a) {
+		t.Fatal("clone not Equal")
+	}
+	b.Set("momentum", b.Get("momentum")/2+0.001)
+	if a.Equal(b) {
+		t.Fatal("Equal ignored a changed value")
+	}
+	// Foreign-table config with identical name/value pairs is Equal.
+	c := FromMap(a.Map())
+	if !a.Equal(c) || !c.Equal(a) {
+		t.Fatal("map-round-tripped config not Equal")
+	}
+	if a.Equal(Config{}) || !(Config{}).Equal(Config{}) {
+		t.Fatal("zero-config equality wrong")
+	}
+}
+
+func TestConfigMapRoundTrip(t *testing.T) {
+	s := testSpace()
+	cfg := s.Sample(xrand.New(32))
+	m := cfg.Map()
+	if len(m) != s.Dim() {
+		t.Fatalf("Map has %d entries, want %d", len(m), s.Dim())
+	}
+	back := s.FromMap(m)
+	if !cfg.Equal(back) {
+		t.Fatalf("FromMap(Map()) = %v, want %v", back, cfg)
+	}
+	// Space.FromMap ignores foreign names and zero-fills missing ones.
+	partial := s.FromMap(map[string]float64{"lr": 0.5, "ghost": 9})
+	if partial.Get("lr") != 0.5 || partial.Get("momentum") != 0 {
+		t.Fatal("Space.FromMap alignment wrong")
+	}
+}
+
+func TestConfigJSONRoundTrip(t *testing.T) {
+	s := testSpace()
+	cfg := s.Sample(xrand.New(33))
+	blob, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The wire form must be a name-keyed object (subprocess protocol).
+	var asMap map[string]float64
+	if err := json.Unmarshal(blob, &asMap); err != nil {
+		t.Fatalf("wire form is not a name-keyed object: %v\n%s", err, blob)
+	}
+	for _, p := range s.Params() {
+		if asMap[p.Name] != cfg.Get(p.Name) {
+			t.Fatalf("wire value for %s = %v, want %v", p.Name, asMap[p.Name], cfg.Get(p.Name))
+		}
+	}
+	var back Config
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !cfg.Equal(back) {
+		t.Fatalf("JSON round trip: %v != %v", back, cfg)
+	}
+}
+
+func TestArenaSampleMatchesSpaceSample(t *testing.T) {
+	// Arena-backed sampling must consume the RNG identically to
+	// Space.Sample — this is what keeps scheduler decisions bit-identical
+	// to the seed implementation.
+	s := testSpace()
+	rngA, rngB := xrand.New(40), xrand.New(40)
+	arena := s.NewArena()
+	for i := 0; i < 1000; i++ {
+		a := s.Sample(rngA)
+		b := arena.Sample(rngB)
+		if !a.Equal(b) {
+			t.Fatalf("draw %d: arena %v != space %v", i, b, a)
+		}
+	}
+}
+
+func TestArenaConfigsAreIndependent(t *testing.T) {
+	s := testSpace()
+	rng := xrand.New(41)
+	arena := s.NewArena()
+	cfgs := make([]Config, 600) // spans multiple slabs
+	for i := range cfgs {
+		cfgs[i] = arena.Sample(rng)
+	}
+	// Writing one arena config must not disturb its neighbors.
+	snapshot := cfgs[1].Clone()
+	cfgs[0].SetAt(0, -123)
+	cfgs[2].SetAt(s.Dim()-1, -456)
+	if !cfgs[1].Equal(snapshot) {
+		t.Fatal("arena slabs alias between configurations")
+	}
+	if got := arena.Clone(cfgs[3]); !got.Equal(cfgs[3]) {
+		t.Fatal("arena Clone mismatch")
+	}
 }

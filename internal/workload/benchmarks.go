@@ -2,6 +2,7 @@ package workload
 
 import (
 	"math"
+	"sync"
 
 	"repro/internal/searchspace"
 	"repro/internal/xrand"
@@ -95,12 +96,19 @@ func ArchParams() []string {
 // smallCNNCost models per-iteration compute: deeper and wider networks
 // with larger batches cost more per SGD iteration. The spread is
 // calibrated to Section 4.2's report for benchmark 2: mean time(R) of
-// 30 minutes with a standard deviation of 27 minutes.
-func smallCNNCost(cfg searchspace.Config) float64 {
-	layers := cfg["# of layers"]
-	filters := cfg["# of filters"]
-	batch := cfg["batch size"]
-	return (layers / 3) * math.Pow(filters/40, 1.6) * math.Pow(batch/256, 0.85)
+// 30 minutes with a standard deviation of 27 minutes. Parameter indices
+// are resolved once so the per-job cost lookup stays allocation- and
+// hash-free.
+func smallCNNCost(space *searchspace.Space) func(cfg searchspace.Config) float64 {
+	iLayers := space.IndexOf("# of layers")
+	iFilters := space.IndexOf("# of filters")
+	iBatch := space.IndexOf("batch size")
+	return func(cfg searchspace.Config) float64 {
+		layers := cfg.At(iLayers)
+		filters := cfg.At(iFilters)
+		batch := cfg.At(iBatch)
+		return (layers / 3) * math.Pow(filters/40, 1.6) * math.Pow(batch/256, 0.85)
+	}
 }
 
 func smallCNN(name string, seed uint64, best, worst, hardness float64) *Benchmark {
@@ -115,7 +123,7 @@ func smallCNN(name string, seed uint64, best, worst, hardness float64) *Benchmar
 		RateCouple:  0.5,
 		NoiseSD:     0.004,
 		Plasticity:  0.004,
-		CostSpread:  normalizeCost(space, seed, smallCNNCost),
+		CostSpread:  normalizeCost(space, seed, smallCNNCost(space)),
 	})
 }
 
@@ -149,16 +157,24 @@ func PTBLSTMSpace() *searchspace.Space {
 // ptbDiverges marks unstable configurations: large learning rates with
 // weak gradient clipping blow up, producing the orders-of-magnitude
 // perplexities Section 4.3 reports as hampering model-based methods.
-func ptbDiverges(cfg searchspace.Config) bool {
-	// learning rate in log [0.01, 100]: > ~10 is the unstable regime.
-	// clip gradients in [1, 10]: < 4 fails to contain it.
-	return cfg["learning rate"] > 10 && cfg["clip gradients"] < 4
+func ptbDiverges(space *searchspace.Space) func(cfg searchspace.Config) bool {
+	iLR := space.IndexOf("learning rate")
+	iClip := space.IndexOf("clip gradients")
+	return func(cfg searchspace.Config) bool {
+		// learning rate in log [0.01, 100]: > ~10 is the unstable regime.
+		// clip gradients in [1, 10]: < 4 fails to contain it.
+		return cfg.At(iLR) > 10 && cfg.At(iClip) < 4
+	}
 }
 
-func ptbCost(cfg searchspace.Config) float64 {
-	h := cfg["# of hidden nodes"]
-	b := cfg["batch size"]
-	return math.Pow(h/850, 1.3) * math.Pow(45/b, 0.25)
+func ptbCost(space *searchspace.Space) func(cfg searchspace.Config) float64 {
+	iHidden := space.IndexOf("# of hidden nodes")
+	iBatch := space.IndexOf("batch size")
+	return func(cfg searchspace.Config) float64 {
+		h := cfg.At(iHidden)
+		b := cfg.At(iBatch)
+		return math.Pow(h/850, 1.3) * math.Pow(45/b, 0.25)
+	}
 }
 
 // PTBLSTM is the Section 4.3 large-scale benchmark: a one-layer LSTM on
@@ -177,11 +193,11 @@ func PTBLSTM() *Benchmark {
 		RateCouple:   0.75,
 		NoiseSD:      0.3,
 		Idiosyncrasy: 0.6,
-		CostSpread:   normalizeCost(space, seedPTBLSTM, ptbCost),
+		CostSpread:   normalizeCost(space, seedPTBLSTM, ptbCost(space)),
 		// Better configurations are bigger, slower models: mean 1 over
 		// u ~ U(0,1), rising to ~1.9x for the best configurations.
 		CostQuality:  func(u float64) float64 { return 0.55 + 1.35*u*u },
-		Diverges:     ptbDiverges,
+		Diverges:     ptbDiverges(space),
 		DivergeLevel: 50000,
 	})
 }
@@ -202,10 +218,14 @@ func DropConnectSpace() *searchspace.Space {
 	)
 }
 
-func dropConnectCost(cfg searchspace.Config) float64 {
-	b := cfg["batch size"]
-	ts := cfg["time steps"]
-	return math.Pow(20/b, 0.5) * math.Pow(ts/70, 0.3)
+func dropConnectCost(space *searchspace.Space) func(cfg searchspace.Config) float64 {
+	iBatch := space.IndexOf("batch size")
+	iSteps := space.IndexOf("time steps")
+	return func(cfg searchspace.Config) float64 {
+		b := cfg.At(iBatch)
+		ts := cfg.At(iSteps)
+		return math.Pow(20/b, 0.5) * math.Pow(ts/70, 0.3)
+	}
 }
 
 // DropConnectLSTM is the Section 4.3.1 benchmark: tuning the
@@ -225,7 +245,7 @@ func DropConnectLSTM() *Benchmark {
 		RateCouple:  0.5,
 		NoiseSD:     0.25,
 		Plasticity:  0.006,
-		CostSpread:  normalizeCost(space, seedDropConnectLSTM, dropConnectCost),
+		CostSpread:  normalizeCost(space, seedDropConnectLSTM, dropConnectCost(space)),
 	})
 }
 
@@ -268,9 +288,26 @@ func SVMMNIST() *Benchmark {
 	})
 }
 
+// costMeanCache memoizes normalizeCost's Monte-Carlo mean. The mean
+// depends on the seed AND the (space, cost function) pair, so the key
+// includes the space fingerprint: two call sites reusing a seed with
+// different spaces must not alias. (The raw function itself is not
+// hashable; within one space+seed the benchmarks pair it uniquely.)
+var costMeanCache sync.Map // costMeanKey -> float64
+
+type costMeanKey struct {
+	seed uint64
+	fp   uint64
+}
+
 // normalizeCost wraps a raw cost-multiplier function so its mean over the
 // search space is 1, by Monte-Carlo with a fixed seed (deterministic).
 func normalizeCost(space *searchspace.Space, seed uint64, raw func(searchspace.Config) float64) func(searchspace.Config) float64 {
+	key := costMeanKey{seed: seed, fp: spaceFingerprint(space)}
+	if cached, ok := costMeanCache.Load(key); ok {
+		mean := cached.(float64)
+		return func(cfg searchspace.Config) float64 { return raw(cfg) / mean }
+	}
 	rng := xrand.New(seed ^ 0xC057_0000_0000_0001)
 	const samples = 4096
 	total := 0.0
@@ -278,5 +315,6 @@ func normalizeCost(space *searchspace.Space, seed uint64, raw func(searchspace.C
 		total += raw(space.Sample(rng))
 	}
 	mean := total / samples
+	costMeanCache.Store(key, mean)
 	return func(cfg searchspace.Config) float64 { return raw(cfg) / mean }
 }

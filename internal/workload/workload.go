@@ -6,10 +6,9 @@
 package workload
 
 import (
-	"encoding/binary"
-	"hash/fnv"
 	"math"
 	"sort"
+	"sync"
 
 	"repro/internal/curve"
 	"repro/internal/searchspace"
@@ -105,6 +104,37 @@ type Calibration struct {
 	Plasticity float64
 }
 
+// qcdfCache memoizes the Monte-Carlo quality distribution per
+// (benchmark name, seed, dimension). The distribution is a pure function
+// of the key, so benchmarks constructed repeatedly — every experiment
+// repetition builds a fresh one — share a single immutable sorted slice
+// instead of redoing 2^17 surface evaluations each time.
+var qcdfCache sync.Map // qcdfKey -> []float64
+
+type qcdfKey struct {
+	name string
+	seed uint64
+	dim  int
+	fp   uint64 // space fingerprint, so same-named custom spaces differ
+}
+
+// spaceFingerprint hashes the space's parameter definitions (FNV-1a over
+// names, types and bounds) so the memoization caches cannot confuse two
+// spaces that share a benchmark name or seed.
+func spaceFingerprint(space *searchspace.Space) uint64 {
+	h := xrand.NewFNV64()
+	for _, p := range space.Params() {
+		h.String(p.Name)
+		h.Uint64(uint64(p.Type))
+		h.Uint64(math.Float64bits(p.Lo))
+		h.Uint64(math.Float64bits(p.Hi))
+		for _, c := range p.Choices {
+			h.Uint64(math.Float64bits(c))
+		}
+	}
+	return h.Sum()
+}
+
 // NewBenchmark assembles a surrogate benchmark. Exported for tests and
 // for users defining custom surrogate tasks through the public API.
 func NewBenchmark(name string, space *searchspace.Space, maxResource, timeR float64, seed uint64, cal Calibration) *Benchmark {
@@ -124,6 +154,11 @@ func NewBenchmark(name string, space *searchspace.Space, maxResource, timeR floa
 	// asymptote map is a pure function of it. The sample is large so the
 	// tail of the asymptote distribution keeps its power-law shape out
 	// to the ~10^5 configurations the large-scale experiments draw.
+	key := qcdfKey{name: name, seed: seed, dim: space.Dim(), fp: spaceFingerprint(space)}
+	if cached, ok := qcdfCache.Load(key); ok {
+		b.qcdf = cached.([]float64)
+		return b
+	}
 	cdfRNG := xrand.New(seed ^ 0xCDF_0000_0000_0001)
 	const cdfSamples = 1 << 17
 	b.qcdf = make([]float64, cdfSamples)
@@ -133,6 +168,7 @@ func NewBenchmark(name string, space *searchspace.Space, maxResource, timeR floa
 		b.qcdf[i] = b.quality.Quality(buf)
 	}
 	sort.Float64s(b.qcdf)
+	qcdfCache.Store(key, b.qcdf)
 	return b
 }
 
@@ -206,9 +242,17 @@ func (b *Benchmark) Quality(cfg searchspace.Config) float64 {
 }
 
 // ParamsFor deterministically maps a configuration to its learning-curve
-// parameters.
+// parameters. It runs once per trial creation and config switch, so the
+// encoding buffer lives on the stack for every paper space (dim <= 16).
 func (b *Benchmark) ParamsFor(cfg searchspace.Config) curve.Params {
-	x := b.space.Encode(cfg)
+	var xbuf [16]float64
+	var x []float64
+	if d := b.space.Dim(); d <= len(xbuf) {
+		x = xbuf[:d]
+	} else {
+		x = make([]float64, d)
+	}
+	b.space.EncodeInto(cfg, x)
 	q := b.quality.Quality(x)
 	u := b.percentile(q)
 	asym := b.cal.BestLoss + (b.cal.WorstLoss-b.cal.BestLoss)*math.Pow(1-u, 1/b.cal.Hardness)
@@ -321,13 +365,13 @@ func (t *Trial) InheritFrom(src *Trial) {
 	t.handicap = src.handicap
 }
 
-// hash01 deterministically maps an encoded configuration to [0, 1).
+// hash01 deterministically maps an encoded configuration to [0, 1):
+// FNV-1a 64 over the little-endian float bits (allocation-free — this
+// sits on the per-trial path).
 func hash01(x []float64) float64 {
-	h := fnv.New64a()
-	var buf [8]byte
+	h := xrand.NewFNV64()
 	for _, v := range x {
-		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
-		_, _ = h.Write(buf[:])
+		h.Uint64(math.Float64bits(v))
 	}
-	return float64(h.Sum64()>>11) / float64(1<<53)
+	return float64(h.Sum()>>11) / float64(1<<53)
 }

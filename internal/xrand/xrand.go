@@ -9,14 +9,18 @@
 package xrand
 
 import (
-	"hash/fnv"
 	"math"
 	"math/rand/v2"
 )
 
 // RNG is a deterministic random number generator. It wraps math/rand/v2's
 // PCG generator and adds the distributions used across the repository.
+// The PCG state and Rand wrapper are embedded by value — one allocation
+// per RNG instead of three, which matters because the simulator derives
+// a fresh noise RNG for every trial. An RNG must therefore not be copied
+// (its Rand points at the embedded PCG); use Split to derive children.
 type RNG struct {
+	pcg rand.PCG
 	src *rand.Rand
 	// seed material retained so the RNG can be split by name.
 	s1, s2 uint64
@@ -28,7 +32,56 @@ func New(seed uint64) *RNG {
 }
 
 func newFrom(s1, s2 uint64) *RNG {
-	return &RNG{src: rand.New(rand.NewPCG(s1, s2)), s1: s1, s2: s2}
+	r := &RNG{s1: s1, s2: s2}
+	r.pcg = *rand.NewPCG(s1, s2)
+	r.src = rand.New(&r.pcg)
+	return r
+}
+
+// FNV64 is an incremental FNV-1a 64 hash. It produces byte-for-byte the
+// same digests as hash/fnv with none of the hash.Hash allocation —
+// several of its call sites (RNG splits, per-trial config hashing) sit
+// on the simulator's hot path. The zero value is NOT ready for use;
+// start from NewFNV64.
+type FNV64 uint64
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// NewFNV64 returns the FNV-1a offset basis.
+func NewFNV64() FNV64 { return fnvOffset64 }
+
+// String folds the bytes of s into the hash.
+func (h *FNV64) String(s string) {
+	hv := uint64(*h)
+	for i := 0; i < len(s); i++ {
+		hv ^= uint64(s[i])
+		hv *= fnvPrime64
+	}
+	*h = FNV64(hv)
+}
+
+// Uint64 folds v into the hash in little-endian byte order (matching
+// hash/fnv fed the same bytes via binary.LittleEndian).
+func (h *FNV64) Uint64(v uint64) {
+	hv := uint64(*h)
+	for b := 0; b < 8; b++ {
+		hv ^= v >> (8 * b) & 0xff
+		hv *= fnvPrime64
+	}
+	*h = FNV64(hv)
+}
+
+// Sum returns the current digest.
+func (h FNV64) Sum() uint64 { return uint64(h) }
+
+// hashName is FNV-1a 64 over the name alone.
+func hashName(name string) uint64 {
+	h := NewFNV64()
+	h.String(name)
+	return h.Sum()
 }
 
 // Split derives an independent RNG from this one, keyed by name.
@@ -36,18 +89,18 @@ func newFrom(s1, s2 uint64) *RNG {
 // same seed always produce identical children for the same name, and the
 // parent's stream is not advanced.
 func (r *RNG) Split(name string) *RNG {
-	h := fnv.New64a()
-	// fnv never returns an error.
-	_, _ = h.Write([]byte(name))
-	hv := h.Sum64()
+	hv := hashName(name)
 	return newFrom(r.s1^hv, r.s2^mix(hv))
 }
 
 // SplitIndex derives an independent RNG keyed by an integer index, for
-// per-trial and per-configuration streams.
+// per-trial and per-configuration streams. The seed arithmetic is
+// identical to Split(name) followed by the index mix, without
+// materializing the intermediate RNG.
 func (r *RNG) SplitIndex(name string, i int) *RNG {
-	child := r.Split(name)
-	return newFrom(child.s1^mix(uint64(i)+1), child.s2^mix(uint64(i)*0x9e3779b9+7))
+	hv := hashName(name)
+	s1, s2 := r.s1^hv, r.s2^mix(hv)
+	return newFrom(s1^mix(uint64(i)+1), s2^mix(uint64(i)*0x9e3779b9+7))
 }
 
 // mix is the SplitMix64 finalizer; it decorrelates nearby integer keys.

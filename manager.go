@@ -327,7 +327,7 @@ func (r *mgrRun) launch(ctx context.Context, e *mgrExp, job core.Job) {
 	exp := e
 	r.tasks <- func() {
 		jctx := exec.WithTrialID(ctx, job.TrialID)
-		loss, newState, err := obj(jctx, job.Config, from, job.TargetResource, state)
+		loss, newState, err := obj(jctx, job.Config.Map(), from, job.TargetResource, state)
 		results <- mgrResult{exp: exp, job: job, loss: loss, state: newState, err: err}
 	}
 }
@@ -380,7 +380,7 @@ func (r *mgrRun) ingest(batch []mgrResult) int {
 			p.Resource = res.job.TargetResource
 			p.HasBest = ok
 			if ok {
-				p.BestConfig = best.Config
+				p.BestConfig = best.Config.Map()
 				p.BestLoss = best.Loss
 			}
 			r.m.onProgress(p)
@@ -400,7 +400,7 @@ func (r *mgrRun) result(e *mgrExp) *Result {
 		return nil
 	}
 	res := &Result{
-		BestConfig:    best.Config.Clone(),
+		BestConfig:    best.Config.Map(),
 		BestLoss:      best.Loss,
 		BestResource:  best.Resource,
 		CompletedJobs: e.completed,

@@ -3,8 +3,11 @@ package asha
 import "repro/internal/searchspace"
 
 // Config is a concrete hyperparameter assignment: parameter name to
-// numeric value.
-type Config = searchspace.Config
+// numeric value. It is the public, name-keyed compatibility view;
+// internally configurations are dense vectors (searchspace.Config) and
+// are converted to this map form only at the objective and wire
+// boundaries, where real training dwarfs the copy.
+type Config = map[string]float64
 
 // Param describes one hyperparameter of a search space.
 type Param = searchspace.Param

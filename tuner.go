@@ -156,7 +156,7 @@ func (t *Tuner) Run(ctx context.Context) (*Result, error) {
 				HasBest:   ok,
 			}
 			if ok {
-				p.BestConfig = best.Config
+				p.BestConfig = best.Config.Map()
 				p.BestLoss = best.Loss
 			}
 			t.onProgress(p)
@@ -177,7 +177,7 @@ func (t *Tuner) Run(ctx context.Context) (*Result, error) {
 		res.History = append(res.History, HistoryPoint{Seconds: p.Time, Loss: p.ValLoss})
 	}
 	if best, ok := sched.Best(); ok {
-		res.BestConfig = best.Config.Clone()
+		res.BestConfig = best.Config.Map()
 		res.BestLoss = best.Loss
 		res.BestResource = best.Resource
 	} else {
