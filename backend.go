@@ -3,11 +3,13 @@ package asha
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"repro/internal/backend"
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/exec"
+	"repro/internal/remote"
 )
 
 // Backend selects the execution substrate a Tuner runs on. The same
@@ -59,6 +61,67 @@ func (s Subprocess) build(ctx context.Context, t *Tuner, _ core.Scheduler) (back
 	}
 	b, err := exec.NewSubprocess(ctx, s.Command, s.Args, s.Env, t.workers)
 	return b, backend.Options{}, err
+}
+
+// Remote runs training jobs on a distributed fleet of network workers:
+// the tuning process embeds an HTTP job-lease server, and workers —
+// separate processes, possibly on other machines — connect to it, lease
+// jobs, heartbeat, and stream results back (see ServeRemoteWorker and
+// cmd/ashaworker). The fleet is elastic: workers may join at any point
+// of the run and immediately receive queued jobs, and a worker that
+// crashes or drops off the network has its lease expire and its
+// in-flight job retried on a surviving worker through the scheduler's
+// usual retry path. The Tuner's objective is ignored — workers bring
+// their own.
+type Remote struct {
+	// Listen is the TCP address the embedded lease server binds
+	// (default "127.0.0.1:0"; use ":port" to accept remote workers).
+	Listen string
+	// Token, when non-empty, is a shared worker-auth secret every
+	// worker must present.
+	Token string
+	// LeaseTTL is how long a leased job survives without a worker
+	// heartbeat before it is requeued (default 15s).
+	LeaseTTL time.Duration
+	// MaxLeases caps concurrently leased jobs; 0 means the Tuner's
+	// WithWorkers value.
+	MaxLeases int
+	// OnListen, if set, is called with the server's base URL (e.g.
+	// "http://127.0.0.1:8700") before the run starts — use it to learn
+	// a dynamically bound port or to spawn workers.
+	OnListen func(url string)
+}
+
+func (r Remote) build(_ context.Context, t *Tuner, _ core.Scheduler) (backend.Backend, backend.Options, error) {
+	srv, capacity, err := r.newServer(t.workers)
+	if err != nil {
+		return nil, backend.Options{}, err
+	}
+	return remote.NewBackend(srv, capacity), backend.Options{}, nil
+}
+
+// newServer starts the embedded lease server for one run — the single
+// construction path shared by the Tuner backend and the Manager's
+// fleet mode — and announces it via OnListen. defaultCapacity fills
+// MaxLeases when unset.
+func (r Remote) newServer(defaultCapacity int) (*remote.Server, int, error) {
+	capacity := r.MaxLeases
+	if capacity == 0 {
+		capacity = defaultCapacity
+	}
+	srv, err := remote.NewServer(remote.Options{
+		Listen:    r.Listen,
+		Token:     r.Token,
+		LeaseTTL:  r.LeaseTTL,
+		MaxLeases: capacity,
+	})
+	if err != nil {
+		return nil, 0, fmt.Errorf("asha: starting remote lease server: %w", err)
+	}
+	if r.OnListen != nil {
+		r.OnListen(srv.URL())
+	}
+	return srv, capacity, nil
 }
 
 // Simulation runs the tuning algorithm against a calibrated surrogate

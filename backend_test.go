@@ -1,16 +1,19 @@
 package asha
 
-// Backend tests: the parity guard for the execution-layer unification
+// Backend tests: the parity guards for the execution-layer unification
 // (the same scheduler + seed must make identical promotion decisions on
-// the goroutine and simulated backends), plus end-to-end coverage that
-// one unchanged ASHA configuration runs on all three backends via
-// WithBackend. The subprocess backend re-executes this test binary as
-// its worker (see TestMain in worker_main_test.go).
+// the goroutine, simulated and remote backends), plus end-to-end
+// coverage that one unchanged ASHA configuration runs on every backend
+// via WithBackend. The subprocess backend re-executes this test binary
+// as its worker (see TestMain in worker_main_test.go); the remote
+// backend serves in-process worker agents over real loopback HTTP.
 
 import (
 	"context"
 	"fmt"
+	"math"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -120,6 +123,180 @@ func insertSorted(xs []int, v int) []int {
 	copy(xs[i+1:], xs[i:])
 	xs[i] = v
 	return xs
+}
+
+// remoteParityObjective is deterministic, depends only on its inputs,
+// and keeps JSON-friendly state (the current loss as a float64), so it
+// produces bit-identical losses whether it runs in-process or on the
+// other side of a JSON-over-HTTP round trip.
+func remoteParityObjective(_ context.Context, cfg Config, from, to float64, state interface{}) (float64, interface{}, error) {
+	loss := 3.0
+	if s, ok := state.(float64); ok {
+		loss = s
+	}
+	floor := 0.05 + 0.3*math.Abs(math.Log10(cfg["lr"])+2) + 0.2*math.Abs(cfg["momentum"]-0.7)
+	loss = floor + (loss-floor)*math.Exp(-0.1*(to-from))
+	return loss, loss, nil
+}
+
+// runRecordedRemoteParity runs one single-worker ASHA run on the given
+// backend and records the exact completion sequence, as runRecorded
+// does, but over a plain search space with remoteParityObjective.
+func runRecordedRemoteParity(t *testing.T, b Backend, obj Objective, maxJobs int) ([]jobRecord, *Result) {
+	t.Helper()
+	space := NewSpace(
+		LogUniform("lr", 1e-4, 1),
+		Uniform("momentum", 0, 1),
+		Choice("width", 64, 128, 256, 512),
+	)
+	var seq []jobRecord
+	tuner := New(space, obj, ASHA{Eta: 2, MinResource: 1, MaxResource: 64},
+		WithBackend(b),
+		WithWorkers(1),
+		WithSeed(11),
+		WithMaxJobs(maxJobs),
+		WithProgress(func(p Progress) {
+			seq = append(seq, jobRecord{TrialID: p.TrialID, Rung: p.Rung, Loss: p.Loss, Resource: p.Resource})
+		}),
+	)
+	res, err := tuner.Run(context.Background())
+	if err != nil {
+		t.Fatalf("run failed: %v", err)
+	}
+	return seq, res
+}
+
+// TestRemoteBackendParityPromotionDecisions extends the backend-parity
+// guard to the distributed path: the same ASHA configuration and seed
+// must make bit-identical promotion decisions whether jobs run on an
+// in-process goroutine pool or travel to a worker over loopback HTTP —
+// leases, JSON checkpoints and all.
+func TestRemoteBackendParityPromotionDecisions(t *testing.T) {
+	const maxJobs = 200
+	gorSeq, gorRes := runRecordedRemoteParity(t, GoroutinePool{}, remoteParityObjective, maxJobs)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	agentErr := make(chan error, 1)
+	rem := Remote{OnListen: func(url string) {
+		go func() {
+			agentErr <- ServeRemoteWorker(ctx, RemoteWorker{
+				Server: url, Name: "parity", Slots: 1, Objective: remoteParityObjective,
+			})
+		}()
+	}}
+	remSeq, remRes := runRecordedRemoteParity(t, rem, nil, maxJobs)
+
+	if len(remSeq) != len(gorSeq) {
+		t.Fatalf("backends completed different job counts: remote %d vs goroutine %d", len(remSeq), len(gorSeq))
+	}
+	for i := range remSeq {
+		if remSeq[i] != gorSeq[i] {
+			t.Fatalf("job %d diverged:\n  remote    %+v\n  goroutine %+v", i, remSeq[i], gorSeq[i])
+		}
+	}
+	if remRes.BestLoss != gorRes.BestLoss {
+		t.Fatalf("incumbents diverged: remote %v vs goroutine %v", remRes.BestLoss, gorRes.BestLoss)
+	}
+	if remRes.Trials != gorRes.Trials || remRes.TotalResource != gorRes.TotalResource {
+		t.Fatalf("accounting diverged: remote (%d, %v) vs goroutine (%d, %v)",
+			remRes.Trials, remRes.TotalResource, gorRes.Trials, gorRes.TotalResource)
+	}
+	if err := <-agentErr; err != nil {
+		t.Fatalf("worker agent: %v", err)
+	}
+}
+
+// TestRemoteWorkerKilledMidJobRetriesOnLateJoiner is the public-API
+// crash-tolerance test: worker A leases a job and dies mid-training
+// (its heartbeats stop, so the lease expires); worker B joins only
+// after the run is already underway and must execute A's job exactly
+// once along with the rest of the budget.
+func TestRemoteWorkerKilledMidJobRetriesOnLateJoiner(t *testing.T) {
+	const maxJobs = 30
+	victimLeased := make(chan struct{})
+	var victimOnce sync.Once
+	var victimMu sync.Mutex
+	var victimTrial int
+	var victimTo float64
+
+	actxA, cancelA := context.WithCancel(context.Background())
+	defer cancelA()
+	// Worker A records the job it leased, then hangs until it is killed.
+	objA := func(ctx context.Context, cfg Config, from, to float64, state interface{}) (float64, interface{}, error) {
+		id, _ := TrialIDFromContext(ctx)
+		victimMu.Lock()
+		victimTrial, victimTo = id, to
+		victimMu.Unlock()
+		victimOnce.Do(func() { close(victimLeased) })
+		<-ctx.Done()
+		return 0, nil, ctx.Err()
+	}
+
+	bctx, cancelB := context.WithCancel(context.Background())
+	defer cancelB()
+	var execMu sync.Mutex
+	executed := make(map[string]int)
+	objB := func(ctx context.Context, cfg Config, from, to float64, state interface{}) (float64, interface{}, error) {
+		id, _ := TrialIDFromContext(ctx)
+		execMu.Lock()
+		executed[fmt.Sprintf("%d@%g", id, to)]++
+		execMu.Unlock()
+		return remoteParityObjective(ctx, cfg, from, to, state)
+	}
+
+	bDone := make(chan error, 1)
+	rem := Remote{
+		LeaseTTL: 250 * time.Millisecond,
+		Token:    "fleet-secret",
+		OnListen: func(url string) {
+			go func() {
+				_ = ServeRemoteWorker(actxA, RemoteWorker{
+					Server: url, Token: "fleet-secret", Name: "doomed", Slots: 1, Objective: objA,
+				})
+			}()
+			go func() {
+				// B joins only once A's lease has already expired — well
+				// into the run — so the retried job is waiting in the
+				// queue when it connects and the whole remaining budget
+				// (retry included) lands on it.
+				<-victimLeased
+				cancelA()
+				time.Sleep(600 * time.Millisecond) // > LeaseTTL + sweep interval
+				bDone <- ServeRemoteWorker(bctx, RemoteWorker{
+					Server: url, Token: "fleet-secret", Name: "survivor", Slots: 2, Objective: objB,
+				})
+			}()
+		},
+	}
+	space := NewSpace(LogUniform("lr", 1e-4, 1), Uniform("momentum", 0, 1))
+	tuner := New(space, nil, ASHA{Eta: 2, MinResource: 1, MaxResource: 16},
+		WithBackend(rem), WithWorkers(2), WithSeed(5), WithMaxJobs(maxJobs))
+	res, err := tuner.Run(context.Background())
+	if err != nil {
+		t.Fatalf("fleet run failed: %v", err)
+	}
+	// One of the issued jobs was lost with worker A and retried: every
+	// other launch completed.
+	if res.CompletedJobs != maxJobs-1 {
+		t.Fatalf("completed %d jobs, want %d (budget minus the one lost lease)", res.CompletedJobs, maxJobs-1)
+	}
+	if err := <-bDone; err != nil {
+		t.Fatalf("survivor agent: %v", err)
+	}
+	victimMu.Lock()
+	victim := fmt.Sprintf("%d@%g", victimTrial, victimTo)
+	victimMu.Unlock()
+	execMu.Lock()
+	defer execMu.Unlock()
+	for key, n := range executed {
+		if n != 1 {
+			t.Fatalf("job %s executed %d times on the survivor, want once", key, n)
+		}
+	}
+	if executed[victim] != 1 {
+		t.Fatalf("killed worker's job %s never retried on the survivor: %v", victim, executed)
+	}
 }
 
 // TestSameConfigRunsOnAllBackends is the acceptance check for the

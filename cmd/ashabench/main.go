@@ -25,6 +25,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -34,9 +35,13 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/backend"
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/exec"
 	"repro/internal/experiments"
+	"repro/internal/remote"
+	"repro/internal/searchspace"
 	"repro/internal/workload"
 	"repro/internal/xrand"
 )
@@ -140,6 +145,56 @@ func benches(quick bool) []bench {
 					jobs += int64(run.CompletedJobs)
 				}
 				return jobs
+			},
+		},
+		{
+			// One training job's full distributed round trip — lease
+			// grant, JSON checkpoint transport, report — over real
+			// loopback HTTP with an in-process 8-slot worker agent
+			// driving the shared engine (the Remote backend's hot path).
+			name: "remote-loopback-throughput",
+			ops:  scale(2000),
+			run: func(ops int) int64 {
+				space := searchspace.New(
+					searchspace.Param{Name: "lr", Type: searchspace.LogUniform, Lo: 1e-4, Hi: 1},
+					searchspace.Param{Name: "momentum", Type: searchspace.Uniform, Lo: 0, Hi: 1},
+				)
+				sched := core.NewASHA(core.ASHAConfig{
+					Space: space, RNG: xrand.New(9), Eta: 4, MinResource: 1, MaxResource: 256,
+				})
+				srv, err := remote.NewServer(remote.Options{})
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "ashabench: remote server: %v\n", err)
+					os.Exit(2)
+				}
+				obj := func(_ context.Context, cfg map[string]float64, from, to float64, state interface{}) (float64, interface{}, error) {
+					loss := 3.0
+					if s, ok := state.(float64); ok {
+						loss = s
+					}
+					floor := 0.1 + 0.2*cfg["momentum"]
+					loss = floor + (loss-floor)*0.8
+					return loss, loss, nil
+				}
+				ctx, cancel := context.WithCancel(context.Background())
+				defer cancel()
+				agentDone := make(chan struct{})
+				go func() {
+					defer close(agentDone)
+					_ = remote.ServeAgent(ctx, remote.AgentOptions{
+						Server: srv.URL(), Slots: 8,
+						Resolve: func(string) (exec.Objective, error) { return obj, nil },
+					})
+				}()
+				run, err := backend.Drive(ctx, sched, remote.NewBackend(srv, 8),
+					backend.Options{MaxJobs: ops})
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "ashabench: remote loopback run: %v\n", err)
+					os.Exit(2)
+				}
+				cancel()
+				<-agentDone
+				return int64(run.CompletedJobs)
 			},
 		},
 		{

@@ -41,6 +41,24 @@
 // workloads (field "benchmark"; the experiment inherits the benchmark's
 // search space and resource range unless overridden); "synthetic" tunes
 // a fast deterministic multimodal test function over the given space.
+//
+// A manifest with a "remote" block serves the experiments to a
+// distributed worker fleet instead of running them in-process: ashad
+// embeds the HTTP job-lease server and workers (cmd/ashaworker, or any
+// program calling asha.ServeRemoteWorker) connect, lease jobs and
+// stream results back. Objectives then run worker-side — jobs carry
+// their experiment's name so workers route them (ashaworker's
+// -experiments flag):
+//
+//	{
+//	  "workers": 8,
+//	  "remote": {"listen": "127.0.0.1:8700", "token": "secret"},
+//	  "experiments": [...]
+//	}
+//
+// SIGINT/SIGTERM shut the run down gracefully: scheduling stops, the
+// partial per-experiment incumbents are printed, and (in remote mode)
+// connected workers are told the run is over.
 package main
 
 import (
@@ -51,17 +69,35 @@ import (
 	"log"
 	"math"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
+	"syscall"
+	"time"
 
 	asha "repro"
 )
 
 // manifest is the top-level experiment file.
 type manifest struct {
-	// Workers is the shared global worker budget (default 8).
-	Workers     int       `json:"workers"`
-	Experiments []expSpec `json:"experiments"`
+	// Workers is the shared global worker budget (default 8). In remote
+	// mode it is the fleet's concurrent-lease cap.
+	Workers int `json:"workers"`
+	// Remote, when present, serves jobs to a worker fleet.
+	Remote      *remoteSpec `json:"remote,omitempty"`
+	Experiments []expSpec   `json:"experiments"`
+}
+
+// remoteSpec configures the embedded job-lease server.
+type remoteSpec struct {
+	// Listen is the TCP address to serve on (e.g. ":8700").
+	Listen string `json:"listen"`
+	// Token is the shared worker-auth secret (optional).
+	Token string `json:"token,omitempty"`
+	// LeaseTTLMillis is the lease TTL in milliseconds (default 15000).
+	LeaseTTLMillis int `json:"leaseTTLms,omitempty"`
+	// MaxLeases caps concurrently leased jobs (default: workers).
+	MaxLeases int `json:"maxLeases,omitempty"`
 }
 
 // expSpec is one experiment entry.
@@ -306,6 +342,17 @@ func main() {
 	}
 
 	opts := []asha.ManagerOption{asha.WithManagerWorkers(mf.Workers)}
+	if mf.Remote != nil {
+		opts = append(opts, asha.WithManagerRemote(asha.Remote{
+			Listen:    mf.Remote.Listen,
+			Token:     mf.Remote.Token,
+			LeaseTTL:  time.Duration(mf.Remote.LeaseTTLMillis) * time.Millisecond,
+			MaxLeases: mf.Remote.MaxLeases,
+			OnListen: func(url string) {
+				fmt.Printf("ashad: serving the worker fleet at %s\n", url)
+			},
+		}))
+	}
 	if *progressEach > 0 {
 		every := *progressEach
 		opts = append(opts, asha.WithManagerProgress(func(p asha.ExperimentProgress) {
@@ -325,10 +372,19 @@ func main() {
 		}
 	}
 
+	// SIGINT/SIGTERM cancel the run context: scheduling stops, in-flight
+	// jobs drain, and the partial incumbents below still print instead
+	// of the process dying mid-write.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
 	fmt.Printf("ashad: running %d experiments on %d shared workers\n", len(mf.Experiments), mf.Workers)
-	results, err := mgr.Run(context.Background())
+	results, err := mgr.Run(ctx)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "ashad: %v\n", err)
+	}
+	if ctx.Err() != nil {
+		fmt.Println("\nashad: interrupted — reporting partial results")
 	}
 
 	names := make([]string, 0, len(results))

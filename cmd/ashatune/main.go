@@ -16,6 +16,8 @@ import (
 	"log"
 	"math"
 	"os"
+	"os/signal"
+	"syscall"
 
 	asha "repro"
 )
@@ -95,10 +97,18 @@ func main() {
 		}),
 	)
 
+	// SIGINT/SIGTERM cancel the run context for a graceful shutdown:
+	// in-flight jobs drain and the partial best still prints below.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
 	fmt.Printf("tuning with %s on %d workers (%d-job budget)...\n", *algoName, *workers, *jobs)
-	res, err := tuner.Run(context.Background())
+	res, err := tuner.Run(ctx)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if ctx.Err() != nil {
+		fmt.Println("\ninterrupted — reporting the partial best")
 	}
 	fmt.Printf("\nbest loss %.4f at resource %.0f after %d jobs / %d configurations (%.0f resource units, %s)\n",
 		res.BestLoss, res.BestResource, res.CompletedJobs, res.Trials, res.TotalResource, res.Elapsed.Round(1e6))

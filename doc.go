@@ -28,16 +28,22 @@
 // Execution is pluggable: WithBackend swaps where jobs run without
 // touching the algorithm configuration. GoroutinePool (the default)
 // trains in-process; Subprocess isolates every job in an OS worker
-// process speaking a JSON protocol (see ServeWorker); Simulation
-// replays the paper's distributed conditions — hundreds of workers,
-// stragglers, dropped jobs — on a discrete-event virtual clock over a
-// calibrated surrogate benchmark (see NamedBenchmark). All backends are
-// driven by one engine, so promotion decisions are identical across
-// them for a fixed seed and a deterministic objective.
+// process speaking a JSON protocol (see ServeWorker); Remote serves
+// jobs to an elastic distributed fleet over an embedded HTTP job-lease
+// server — workers join at any time via ServeRemoteWorker or
+// cmd/ashaworker, and a worker lost mid-job has its lease expire and
+// the job retried on a survivor; Simulation replays the paper's
+// distributed conditions — hundreds of workers, stragglers, dropped
+// jobs — on a discrete-event virtual clock over a calibrated surrogate
+// benchmark (see NamedBenchmark). All backends are driven by one
+// engine, so promotion decisions are identical across them for a fixed
+// seed and a deterministic objective.
 //
 // Manager runs many named tuning experiments concurrently on a shared
 // global worker budget with fair-share scheduling; cmd/ashad is its
-// command-line front end, driven by a JSON manifest.
+// command-line front end, driven by a JSON manifest. With
+// WithManagerRemote the manager serves all of its experiments to one
+// worker fleet.
 //
 // The repository also contains the paper's full experimental harness:
 // every table and figure of the evaluation section can be regenerated

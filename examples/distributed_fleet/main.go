@@ -1,0 +1,107 @@
+// Command distributed_fleet walks through the Remote backend: the
+// tuning process embeds an HTTP job-lease server, and an elastic fleet
+// of workers — here two agents inside this same process, speaking the
+// real protocol over loopback HTTP — leases jobs, heartbeats, and
+// streams results back.
+//
+// The second worker joins only after the run is underway, which is the
+// paper's operating regime: ASHA's promotion decisions stay sound while
+// workers come and go, because a worker is nothing but a lease-holder.
+// Killing a worker mid-job (try it with the two-process variant below)
+// expires its lease and retries the job on a surviving worker.
+//
+// The same fleet runs across real processes and machines:
+//
+//	# terminal 1 — the tuning process (or use cmd/ashad with a
+//	# "remote" manifest block)
+//	tuner := asha.New(space, nil, algo,
+//	        asha.WithBackend(asha.Remote{Listen: ":8700", Token: "secret"}), ...)
+//
+//	# terminal 2..N — workers, joining and leaving at will
+//	ashaworker -server http://host:8700 -token secret -benchmark cifar-cnn
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"math"
+	"time"
+
+	asha "repro"
+)
+
+// objective is an iterative trainer with JSON-serializable state (the
+// current loss): a trial's next job may be leased by a different
+// worker, so checkpoints must survive the wire.
+func objective(_ context.Context, cfg asha.Config, from, to float64, state interface{}) (float64, interface{}, error) {
+	loss := 3.0
+	if s, ok := state.(float64); ok {
+		loss = s
+	}
+	floor := 0.05 + 0.4*math.Abs(math.Log10(cfg["lr"])+2.5) + 0.3*math.Abs(cfg["momentum"]-0.9)
+	loss = floor + (loss-floor)*math.Exp(-0.08*(to-from))
+	return loss, loss, nil
+}
+
+func main() {
+	space := asha.NewSpace(
+		asha.LogUniform("lr", 1e-5, 1),
+		asha.Uniform("momentum", 0, 1),
+	)
+
+	ctx := context.Background()
+	jobsByWorker := make(chan string, 4096)
+	spawn := func(name string, slots int) {
+		counted := func(ctx context.Context, cfg asha.Config, from, to float64, state interface{}) (float64, interface{}, error) {
+			jobsByWorker <- name
+			return objective(ctx, cfg, from, to, state)
+		}
+		go func() {
+			if err := asha.ServeRemoteWorker(ctx, asha.RemoteWorker{
+				Server: serverURL, Token: "fleet-demo", Name: name, Slots: slots, Objective: counted,
+			}); err != nil {
+				log.Printf("worker %s: %v", name, err)
+			}
+		}()
+	}
+
+	tuner := asha.New(space, nil,
+		asha.ASHA{Eta: 4, MinResource: 1, MaxResource: 256},
+		asha.WithBackend(asha.Remote{
+			Token: "fleet-demo",
+			OnListen: func(url string) {
+				serverURL = url
+				fmt.Printf("lease server up at %s\n", url)
+				// One worker is there from the start; the second joins
+				// mid-run and immediately receives queued jobs.
+				spawn("early-bird", 2)
+				time.AfterFunc(50*time.Millisecond, func() { spawn("latecomer", 2) })
+			},
+		}),
+		asha.WithWorkers(4),
+		asha.WithSeed(7),
+		asha.WithMaxJobs(2000),
+	)
+	res, err := tuner.Run(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	counts := map[string]int{}
+	for {
+		select {
+		case w := <-jobsByWorker:
+			counts[w]++
+		default:
+			fmt.Printf("fleet trained %d jobs / %d configurations: %v\n",
+				res.CompletedJobs, res.Trials, counts)
+			fmt.Printf("best loss %.4f at lr=%.4g momentum=%.3f\n",
+				res.BestLoss, res.BestConfig["lr"], res.BestConfig["momentum"])
+			return
+		}
+	}
+}
+
+// serverURL is filled by OnListen before any worker spawns.
+var serverURL string

@@ -5,13 +5,16 @@
 // bookkeeping common to every substrate, and the metrics/result path;
 // backends only execute jobs and deliver completions.
 //
-// Three backends implement the interface today:
+// Four backends implement the interface today:
 //
 //   - internal/exec.Pool        — a goroutine worker pool calling an
 //     in-process Go objective (the default for the public Tuner);
 //   - internal/exec.Subprocess  — a pool of OS worker processes speaking
 //     a JSON line protocol over stdin/stdout, giving crash isolation and
 //     true parallelism for real workloads;
+//   - internal/remote.Backend   — a distributed fleet of elastic network
+//     workers leasing jobs from an embedded HTTP server, with
+//     crash-tolerant retry via lease expiry;
 //   - internal/cluster.Sim      — the paper's discrete-event cluster
 //     simulator on a virtual clock.
 //

@@ -21,9 +21,22 @@ import (
 // inherit it without understanding it. A worker that exits or breaks the
 // protocol mid-job yields a Failed completion (the scheduler retries the
 // job) and is relaunched.
+//
+// The same Request/Response pair is the job payload of the distributed
+// lease protocol in internal/remote, so every execution substrate
+// shares one name-keyed, versioned job encoding.
+
+// WireVersion is the version of the JSON job wire shared by the
+// subprocess and remote protocols. Both sides of a connection must
+// speak the same version: a worker rejects any request carrying a
+// different one instead of silently misinterpreting fields.
+const WireVersion = 1
 
 // Request asks a worker process to advance one trial's training.
 type Request struct {
+	// Version is the wire protocol version (WireVersion). Workers
+	// reject requests whose version does not match their own.
+	Version int `json:"v"`
 	// ID sequences requests per worker; responses echo it.
 	ID int `json:"id"`
 	// Trial identifies the configuration's stateful training run.
@@ -42,12 +55,50 @@ type Request struct {
 
 // Response reports one finished training job.
 type Response struct {
-	ID   int     `json:"id"`
-	Loss float64 `json:"loss"`
+	// Version echoes the wire protocol version the worker speaks.
+	Version int     `json:"v"`
+	ID      int     `json:"id"`
+	Loss    float64 `json:"loss"`
 	// State is the checkpoint to resume this trial from later.
 	State json.RawMessage `json:"state,omitempty"`
 	// Error aborts the whole run (a training bug, not a crash).
 	Error string `json:"error,omitempty"`
+}
+
+// RunJob executes one wire request against obj and builds its response:
+// decode the checkpoint state, invoke the objective (with the trial ID
+// installed in the context), re-encode the new state. Protocol-level
+// failures — a wire-version mismatch or undecodable state — are
+// returned as errors, and the transport decides what they mean (the
+// subprocess worker exits, so the parent sees a crash and retries; the
+// remote agent reports them as fatal job errors). Objective errors
+// travel inside the Response.
+func RunJob(ctx context.Context, obj Objective, req Request) (Response, error) {
+	if req.Version != WireVersion {
+		return Response{}, fmt.Errorf("exec: peer speaks wire version %d, worker speaks %d", req.Version, WireVersion)
+	}
+	var state interface{}
+	if len(req.State) > 0 {
+		if err := json.Unmarshal(req.State, &state); err != nil {
+			return Response{}, fmt.Errorf("exec: worker failed to decode state: %w", err)
+		}
+	}
+	resp := Response{Version: WireVersion, ID: req.ID}
+	loss, newState, err := obj(WithTrialID(ctx, req.Trial), req.Config, req.From, req.To, state)
+	if err != nil {
+		resp.Error = err.Error()
+		return resp, nil
+	}
+	resp.Loss = loss
+	if newState != nil {
+		raw, merr := json.Marshal(newState)
+		if merr != nil {
+			resp.Error = fmt.Sprintf("state not JSON-serializable: %v", merr)
+		} else {
+			resp.State = raw
+		}
+	}
+	return resp, nil
 }
 
 // Serve implements the worker side of the protocol: it decodes requests
@@ -59,9 +110,6 @@ type Response struct {
 func Serve(ctx context.Context, r io.Reader, w io.Writer, obj Objective) error {
 	dec := json.NewDecoder(bufio.NewReader(r))
 	enc := json.NewEncoder(w)
-	// Worker-side trial state cache: if the parent omits state (it has
-	// none yet) the objective still gets nil, but decoded state always
-	// takes precedence so inherits work.
 	for {
 		var req Request
 		if err := dec.Decode(&req); err != nil {
@@ -70,26 +118,14 @@ func Serve(ctx context.Context, r io.Reader, w io.Writer, obj Objective) error {
 			}
 			return fmt.Errorf("exec: worker failed to decode request: %w", err)
 		}
-		var state interface{}
-		if len(req.State) > 0 {
-			if err := json.Unmarshal(req.State, &state); err != nil {
-				return fmt.Errorf("exec: worker failed to decode state: %w", err)
-			}
-		}
-		resp := Response{ID: req.ID}
-		loss, newState, err := obj(WithTrialID(ctx, req.Trial), req.Config, req.From, req.To, state)
+		resp, err := RunJob(ctx, obj, req)
 		if err != nil {
-			resp.Error = err.Error()
-		} else {
-			resp.Loss = loss
-			if newState != nil {
-				raw, merr := json.Marshal(newState)
-				if merr != nil {
-					resp.Error = fmt.Sprintf("state not JSON-serializable: %v", merr)
-				} else {
-					resp.State = raw
-				}
-			}
+			// Answer with the worker's own version before exiting, so a
+			// version-skewed parent sees a deterministic protocol error
+			// and aborts — a silent exit would read as a crash and spin
+			// the relaunch/retry loop forever.
+			_ = enc.Encode(&Response{Version: WireVersion, ID: req.ID, Error: err.Error()})
+			return err
 		}
 		if err := enc.Encode(&resp); err != nil {
 			return fmt.Errorf("exec: worker failed to encode response: %w", err)
@@ -115,10 +151,11 @@ type procWorker struct {
 
 // procResult is a raw worker answer delivered to the engine goroutine.
 type procResult struct {
-	job     core.Job
-	resp    Response
-	crashed bool // worker died or broke protocol; job is retryable
-	worker  *procWorker
+	job        core.Job
+	resp       Response
+	crashed    bool // worker died or broke protocol; job is retryable
+	badVersion bool // worker answered with a mismatched wire version; fatal
+	worker     *procWorker
 }
 
 // Subprocess is the process-pool backend: each training job runs in an
@@ -220,12 +257,13 @@ func (s *Subprocess) Launch(job core.Job) {
 	w := <-s.idle
 	w.nextID++
 	req := Request{
-		ID:     w.nextID,
-		Trial:  job.TrialID,
-		Config: job.Config.Map(),
-		From:   t.resource,
-		To:     job.TargetResource,
-		State:  t.state,
+		Version: WireVersion,
+		ID:      w.nextID,
+		Trial:   job.TrialID,
+		Config:  job.Config.Map(),
+		From:    t.resource,
+		To:      job.TargetResource,
+		State:   t.state,
 	}
 	go func() {
 		r := procResult{job: job, worker: w}
@@ -233,6 +271,11 @@ func (s *Subprocess) Launch(job core.Job) {
 			r.crashed = true
 		} else if err := w.dec.Decode(&r.resp); err != nil || r.resp.ID != req.ID {
 			r.crashed = true
+		} else if r.resp.Version != WireVersion {
+			// A coherent answer with the wrong version is a deterministic
+			// protocol mismatch, not a crash: retrying would relaunch the
+			// same binary and loop forever, so it aborts the run instead.
+			r.badVersion = true
 		}
 		s.results <- r
 	}()
@@ -276,6 +319,9 @@ func (s *Subprocess) apply(r procResult) backend.Completion {
 			c.Failed = false
 			c.Err = fmt.Errorf("exec: relaunching crashed worker: %w", err)
 		}
+	case r.badVersion:
+		s.idle <- r.worker
+		c.Err = fmt.Errorf("exec: worker speaks wire version %d, parent speaks %d", r.resp.Version, WireVersion)
 	case r.resp.Error != "":
 		s.idle <- r.worker
 		c.Err = fmt.Errorf("exec: objective failed for trial %d: %s", r.job.TrialID, r.resp.Error)
@@ -328,7 +374,7 @@ func (s *Subprocess) Close() error {
 			w.shutdown()
 			seats++
 		case r := <-s.results:
-			if !r.crashed && r.resp.Error == "" {
+			if !r.crashed && !r.badVersion && r.resp.Error == "" {
 				if t := s.trials[r.job.TrialID]; t != nil {
 					t.resource = r.job.TargetResource
 					t.state = r.resp.State

@@ -1,0 +1,384 @@
+package remote
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"repro/internal/exec"
+)
+
+// AgentOptions configures one worker agent.
+type AgentOptions struct {
+	// Server is the lease server's base URL, e.g. "http://tuner:8700".
+	Server string
+	// Token is the shared worker-auth secret (must match the server's).
+	Token string
+	// Name is an optional human-readable worker name.
+	Name string
+	// Slots is the number of jobs the worker runs concurrently
+	// (default 1).
+	Slots int
+	// Resolve maps a job's experiment name to the objective that trains
+	// it. Single-experiment fleets ignore the name.
+	Resolve func(experiment string) (exec.Objective, error)
+	// Experiments, when non-empty, restricts leases to jobs of the
+	// named experiments. A worker whose Resolve only knows some of a
+	// fleet's experiments must set this so it never receives — and so
+	// never fatally fails — jobs it cannot train.
+	Experiments []string
+	// RegisterTimeout bounds how long the agent keeps retrying an
+	// unreachable server (default 30s) — both the initial registration
+	// while the server is still coming up, and lease polls during a
+	// network partition before the agent concludes the run is over.
+	RegisterTimeout time.Duration
+}
+
+// agent is one connected worker: Slots lease loops sharing a
+// registration and a heartbeat goroutine.
+type agent struct {
+	o      AgentOptions
+	client *http.Client
+	// regMu single-flights (re-)registration; worker and ttl are read
+	// under mu by the slot and heartbeat goroutines.
+	regMu  sync.Mutex
+	worker string
+	ttl    time.Duration
+	// runOver is set when any slot is told the run is over, so sibling
+	// slots stuck retrying a now-gone server stop immediately instead
+	// of waiting out the partition-tolerance window.
+	runOver atomic.Bool
+
+	mu sync.Mutex
+	// held maps each in-flight lease to its job's cancel function, so a
+	// lease the server reports expired can abort its (now pointless)
+	// training run and free the slot.
+	held map[uint64]context.CancelFunc
+}
+
+// ServeAgent connects to a lease server and executes jobs until the
+// context is cancelled or the server reports the run is over. Workers
+// are elastic: an agent may connect mid-run and immediately receives
+// queued jobs. It heartbeats its in-flight leases; if the agent dies
+// instead, the server expires its leases and requeues the jobs.
+func ServeAgent(ctx context.Context, o AgentOptions) error {
+	if o.Server == "" {
+		return fmt.Errorf("remote: agent needs a server URL")
+	}
+	if o.Resolve == nil {
+		return fmt.Errorf("remote: agent needs an objective resolver")
+	}
+	if o.Slots < 1 {
+		o.Slots = 1
+	}
+	if o.RegisterTimeout <= 0 {
+		o.RegisterTimeout = 30 * time.Second
+	}
+	a := &agent{
+		o:      o,
+		client: &http.Client{},
+		held:   make(map[uint64]context.CancelFunc),
+	}
+	if err := a.register(ctx, ""); err != nil {
+		return err
+	}
+
+	hbStop := make(chan struct{})
+	hbDone := make(chan struct{})
+	go a.heartbeatLoop(ctx, hbStop, hbDone)
+
+	errs := make(chan error, o.Slots)
+	for i := 0; i < o.Slots; i++ {
+		go func() { errs <- a.slotLoop(ctx) }()
+	}
+	var firstErr error
+	for i := 0; i < o.Slots; i++ {
+		if err := <-errs; err != nil && firstErr == nil {
+			firstErr = err
+			// A deterministic rejection in one slot (bad token, version
+			// skew) dooms them all: stop the siblings too.
+			a.runOver.Store(true)
+		}
+	}
+	close(hbStop)
+	<-hbDone
+	if firstErr != nil {
+		return firstErr
+	}
+	return ctx.Err()
+}
+
+// workerID returns the current registration's worker ID.
+func (a *agent) workerID() string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.worker
+}
+
+// leaseTTL returns the lease TTL of the current registration.
+func (a *agent) leaseTTL() time.Duration {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.ttl
+}
+
+// register announces the worker, retrying with backoff so a worker may
+// be started before (or independently of) the tuning process. staleID
+// is the registration being replaced ("" initially): when concurrent
+// slots hit a server restart, only the first one re-registers and the
+// rest see the refreshed ID and return immediately.
+func (a *agent) register(ctx context.Context, staleID string) error {
+	a.regMu.Lock()
+	defer a.regMu.Unlock()
+	if a.workerID() != staleID {
+		return nil // another slot already refreshed the registration
+	}
+	deadline := time.Now().Add(a.o.RegisterTimeout)
+	var lastErr error
+	for {
+		var resp registerResp
+		status, err := a.post(ctx, "/v1/register",
+			registerReq{Version: ProtocolVersion, Token: a.o.Token, Name: a.o.Name}, &resp, 5*time.Second)
+		if err == nil {
+			ttl := time.Duration(resp.LeaseTTLMillis) * time.Millisecond
+			if ttl <= 0 {
+				ttl = 15 * time.Second
+			}
+			a.mu.Lock()
+			a.worker = resp.WorkerID
+			a.ttl = ttl
+			a.mu.Unlock()
+			return nil
+		}
+		if status >= 400 && status < 500 {
+			// A deterministic rejection (bad token, version mismatch):
+			// retrying the same credentials cannot succeed, so surface it
+			// immediately instead of after the full retry window.
+			return fmt.Errorf("remote: agent rejected by %s: %w", a.o.Server, err)
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("remote: agent failed to register with %s: %w", a.o.Server, lastErr)
+		}
+		select {
+		case <-time.After(250 * time.Millisecond):
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+// slotLoop is one worker slot: long-poll for a lease, execute, report.
+// A non-nil return is a deterministic rejection worth surfacing; nil
+// means the run ended (or the context was cancelled).
+func (a *agent) slotLoop(ctx context.Context) error {
+	var failingSince time.Time
+	refusals := 0
+	for ctx.Err() == nil && !a.runOver.Load() {
+		wid := a.workerID()
+		var lr leaseResp
+		status, err := a.post(ctx, "/v1/lease",
+			leaseReq{Version: ProtocolVersion, Token: a.o.Token, WorkerID: wid,
+				WaitMillis: 15000, Experiments: a.o.Experiments},
+			&lr, 25*time.Second)
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil
+			}
+			switch {
+			case status == http.StatusGone:
+				// The server restarted and lost this worker's identity:
+				// register again (single-flight) and resume leasing.
+				if rerr := a.register(ctx, wid); rerr != nil {
+					return rerr
+				}
+				continue
+			case status >= 400 && status < 500:
+				// Deterministic rejection (bad token, version skew):
+				// retrying cannot succeed.
+				return err
+			}
+			// Two kinds of unreachable: the host actively refusing the
+			// connection means the tuning process exited (a graceful
+			// shutdown answers Done, a dead process cannot), so exit
+			// cleanly after a couple of confirmations; a timeout or
+			// dropped connection may be a transient partition, so keep
+			// retrying for the same window registration tolerates before
+			// concluding the fleet is gone.
+			if errors.Is(err, syscall.ECONNREFUSED) {
+				refusals++
+				if refusals >= 4 {
+					return nil
+				}
+			} else {
+				refusals = 0
+			}
+			if failingSince.IsZero() {
+				failingSince = time.Now()
+			}
+			if time.Since(failingSince) > a.o.RegisterTimeout {
+				return nil
+			}
+			select {
+			case <-time.After(500 * time.Millisecond):
+			case <-ctx.Done():
+				return nil
+			}
+			continue
+		}
+		failingSince = time.Time{}
+		refusals = 0
+		if lr.Done {
+			a.runOver.Store(true)
+			return nil
+		}
+		if lr.Grant == nil {
+			continue // long-poll timed out; poll again
+		}
+		a.run(ctx, lr.Grant)
+	}
+	return nil
+}
+
+// run executes one leased job and reports its result. The job gets its
+// own cancellable context: if the server expires the lease mid-job (the
+// heartbeat answer lists it), training is cancelled — its report would
+// be rejected anyway, and the slot is better spent leasing live work.
+func (a *agent) run(ctx context.Context, g *leaseGrant) {
+	jobCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	a.mu.Lock()
+	a.held[g.LeaseID] = cancel
+	a.mu.Unlock()
+	defer func() {
+		a.mu.Lock()
+		delete(a.held, g.LeaseID)
+		a.mu.Unlock()
+	}()
+
+	var resp exec.Response
+	obj, err := a.o.Resolve(g.Experiment)
+	if err == nil {
+		resp, err = exec.RunJob(jobCtx, obj, g.Job)
+	}
+	if jobCtx.Err() != nil && ctx.Err() == nil {
+		// The lease was forfeited while training: the server has already
+		// requeued the job, so there is nothing worth reporting.
+		return
+	}
+	if err != nil {
+		// A protocol-level failure (unresolvable experiment, undecodable
+		// state) is deterministic: report it as a fatal job error so the
+		// run surfaces it instead of retrying forever.
+		resp = exec.Response{Version: exec.WireVersion, ID: g.Job.ID, Error: err.Error()}
+	}
+
+	// Report with a short retry: if the server stays unreachable the
+	// lease expires and the job is requeued elsewhere, which is safe.
+	for attempt := 0; attempt < 3 && ctx.Err() == nil; attempt++ {
+		var rr reportResp
+		status, err := a.post(ctx, "/v1/report",
+			reportReq{Version: ProtocolVersion, Token: a.o.Token, WorkerID: a.workerID(), LeaseID: g.LeaseID, Response: resp},
+			&rr, 5*time.Second)
+		if err == nil {
+			return // accepted or (harmlessly) rejected as expired
+		}
+		if status >= 400 && status < 500 {
+			return // deterministic rejection; the lease will expire
+		}
+		select {
+		case <-time.After(200 * time.Millisecond):
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
+// heartbeatLoop extends the leases this worker holds at TTL/3 cadence.
+func (a *agent) heartbeatLoop(ctx context.Context, stop, done chan struct{}) {
+	defer close(done)
+	interval := a.leaseTTL() / 3
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+			a.mu.Lock()
+			leases := make([]uint64, 0, len(a.held))
+			for id := range a.held {
+				leases = append(leases, id)
+			}
+			a.mu.Unlock()
+			if len(leases) == 0 {
+				continue
+			}
+			var hr heartbeatResp
+			// Transport errors are ignored: a missed heartbeat only
+			// narrows the lease's remaining TTL.
+			if _, err := a.post(ctx, "/v1/heartbeat",
+				heartbeatReq{Version: ProtocolVersion, Token: a.o.Token, WorkerID: a.workerID(), Leases: leases},
+				&hr, 5*time.Second); err != nil {
+				continue
+			}
+			// Leases the server reports expired are already requeued
+			// elsewhere: cancel their jobs so the slots free up.
+			a.mu.Lock()
+			for _, id := range hr.Expired {
+				if cancel := a.held[id]; cancel != nil {
+					cancel()
+				}
+			}
+			a.mu.Unlock()
+		}
+	}
+}
+
+// post sends one JSON request and decodes the JSON reply. Non-2xx
+// statuses decode the server's error message into the returned error.
+func (a *agent) post(ctx context.Context, path string, in, out interface{}, timeout time.Duration) (int, error) {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return 0, err
+	}
+	rctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(rctx, http.MethodPost, a.o.Server+path, bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := a.client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var we wireError
+		_ = json.NewDecoder(resp.Body).Decode(&we)
+		if we.Error == "" {
+			we.Error = resp.Status
+		}
+		return resp.StatusCode, fmt.Errorf("remote: %s: %s", path, we.Error)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return resp.StatusCode, fmt.Errorf("remote: %s: decoding reply: %w", path, err)
+	}
+	return resp.StatusCode, nil
+}

@@ -1,0 +1,155 @@
+package remote
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"repro/internal/backend"
+	"repro/internal/core"
+)
+
+// trialState is the server-side record of one trial: its last committed
+// cumulative resource and checkpoint. State only commits on success, so
+// a job lost to a lease expiry resumes from the previous checkpoint —
+// the same rollback semantics as a subprocess crash.
+type trialState struct {
+	resource float64
+	state    json.RawMessage
+}
+
+// result is one settled job delivered to the engine goroutine.
+type result struct {
+	job core.Job
+	out Outcome
+}
+
+// Backend drives the shared execution engine over a worker fleet
+// connected to an embedded lease server. The engine calls every method
+// from a single goroutine; job outcomes arrive asynchronously from the
+// server's HTTP handler and sweeper goroutines over a buffered channel.
+type Backend struct {
+	srv      *Server
+	capacity int
+	trials   map[int]*trialState
+	results  chan result
+	start    time.Time
+	closed   bool
+}
+
+// NewBackend wraps a lease server as a backend.Backend with the given
+// concurrent-job capacity. The backend owns the server: Close shuts it
+// down.
+func NewBackend(srv *Server, capacity int) *Backend {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Backend{
+		srv:      srv,
+		capacity: capacity,
+		trials:   make(map[int]*trialState),
+		// Room for every in-flight job plus the Failed flushes Close
+		// produces, so a done callback can never block an HTTP handler.
+		results: make(chan result, 2*capacity+4),
+		start:   time.Now(),
+	}
+}
+
+// Server returns the embedded lease server (for its URL and stats).
+func (b *Backend) Server() *Server { return b.srv }
+
+// Capacity implements backend.Backend: the maximum number of leased
+// (or queued) jobs in flight. Worker elasticity happens below this cap —
+// jobs queue until a worker leases them, however late it joins.
+func (b *Backend) Capacity() int { return b.capacity }
+
+// Launch resolves the job's trial state and submits it to the fleet.
+func (b *Backend) Launch(job core.Job) {
+	t := b.trials[job.TrialID]
+	if t == nil {
+		t = &trialState{}
+		b.trials[job.TrialID] = t
+	}
+	if job.InheritFrom >= 0 {
+		if donor := b.trials[job.InheritFrom]; donor != nil {
+			t.resource = donor.resource
+			t.state = donor.state
+		}
+	}
+	results := b.results
+	b.srv.Submit(JobPayload{
+		Trial:  job.TrialID,
+		Config: job.Config.Map(),
+		From:   t.resource,
+		To:     job.TargetResource,
+		State:  t.state,
+	}, func(out Outcome) {
+		results <- result{job: job, out: out}
+	})
+}
+
+// Await blocks for one settled job then drains every other pending one.
+func (b *Backend) Await(ctx context.Context) ([]backend.Completion, error) {
+	var batch []backend.Completion
+	select {
+	case r := <-b.results:
+		batch = append(batch, b.apply(r))
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	for {
+		select {
+		case r := <-b.results:
+			batch = append(batch, b.apply(r))
+		default:
+			return batch, nil
+		}
+	}
+}
+
+// apply commits a settled job to the trial table. Runs on the engine
+// goroutine.
+func (b *Backend) apply(r result) backend.Completion {
+	c := backend.Completion{Job: r.job, Time: b.Now()}
+	switch {
+	case r.out.Failed:
+		// Lease expired (worker died or went silent): the trial keeps its
+		// last committed checkpoint and the scheduler retries the job on
+		// whichever worker leases it next.
+		c.Failed = true
+	case r.out.Err != "":
+		c.Err = fmt.Errorf("remote: objective failed for trial %d: %s", r.job.TrialID, r.out.Err)
+	default:
+		t := b.trials[r.job.TrialID]
+		t.resource = r.job.TargetResource
+		t.state = r.out.State
+		c.Loss = r.out.Loss
+		c.TrueLoss = r.out.Loss
+		c.Resource = t.resource
+	}
+	return c
+}
+
+// Now implements backend.Backend on the wall clock.
+func (b *Backend) Now() float64 { return time.Since(b.start).Seconds() }
+
+// Close shuts the lease server down: connected workers are told the run
+// is over on their next poll, and unsettled jobs are flushed as Failed
+// (uncommitted, so Stats only sees completed work).
+func (b *Backend) Close() error {
+	if b.closed {
+		return nil
+	}
+	b.closed = true
+	return b.srv.Close()
+}
+
+// Stats implements backend.Backend.
+func (b *Backend) Stats() backend.Stats {
+	st := backend.Stats{Trials: len(b.trials)}
+	for _, t := range b.trials {
+		st.TotalResource += t.resource
+	}
+	return st
+}

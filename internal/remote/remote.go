@@ -1,0 +1,550 @@
+// Package remote implements the distributed execution subsystem: an
+// HTTP job-lease server embedded in the tuning process (Server), a
+// worker agent that connects to it over the network (ServeAgent, in
+// agent.go), and a backend.Backend adapter driving the shared engine
+// over a fleet (Backend, in backend.go).
+//
+// The protocol is four JSON POST endpoints:
+//
+//	/v1/register  — a worker announces itself and learns its lease TTL
+//	/v1/lease     — long-poll for a job; the grant carries a lease ID
+//	              	and the job payload (an internal/exec.Request, so the
+//	              	wire reuses the subprocess protocol's name-keyed,
+//	              	versioned job encoding)
+//	/v1/report    — deliver a finished job's exec.Response under its lease
+//	/v1/heartbeat — extend the leases a worker still holds
+//
+// Workers are elastic: they may register at any time — including long
+// after the run started — and immediately lease queued jobs. Failure
+// handling is lease-based: a worker that crashes, hangs, or drops off
+// the network stops heartbeating, its lease expires, and the sweeper
+// reports the job as Failed so the scheduler requeues it through the
+// same retry path used for subprocess crashes. A report arriving after
+// its lease expired is rejected (accepted=false), so a requeued job can
+// never be double-counted.
+package remote
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/exec"
+)
+
+// ProtocolVersion is the lease protocol's wire version — the same
+// version as the job payload it transports.
+const ProtocolVersion = exec.WireVersion
+
+// JobPayload is one training job submitted to the fleet.
+type JobPayload struct {
+	// Experiment routes the job to the right objective on workers
+	// serving several (empty for single-experiment runs).
+	Experiment string
+	// Trial identifies the configuration's stateful training run.
+	Trial int
+	// Config is the name-keyed hyperparameter assignment.
+	Config map[string]float64
+	// From and To are cumulative resources: resume at From, train to To.
+	From, To float64
+	// State is the trial's last committed checkpoint (nil on the first
+	// job).
+	State json.RawMessage
+}
+
+// Outcome is the single, exactly-once answer to one submitted job.
+type Outcome struct {
+	// Loss and State report a successful job.
+	Loss  float64
+	State json.RawMessage
+	// Failed marks a lost job — the lease expired or the server shut
+	// down before a worker answered. The job made no progress and may
+	// be retried.
+	Failed bool
+	// Err is a fatal objective error reported by a worker; it aborts
+	// the run.
+	Err string
+}
+
+// Options configures a Server.
+type Options struct {
+	// Listen is the TCP address to serve on (default "127.0.0.1:0").
+	Listen string
+	// Token, when non-empty, is a shared secret every worker request
+	// must present.
+	Token string
+	// LeaseTTL is how long a granted lease stays valid without a
+	// heartbeat (default 15s).
+	LeaseTTL time.Duration
+	// MaxLeases caps the number of concurrently leased jobs
+	// (0 = unlimited; callers usually bound in-flight work themselves).
+	MaxLeases int
+}
+
+// task is one submitted job: queued, then leased, then answered exactly
+// once — by a worker's report, by lease expiry, or by server shutdown.
+// Whichever path removes the task from the server's tables owns its
+// done callback.
+type task struct {
+	payload  JobPayload
+	done     func(Outcome)
+	leaseID  uint64
+	worker   string
+	deadline time.Time
+}
+
+// Server is the embedded HTTP job-lease server.
+type Server struct {
+	opts Options
+	ln   net.Listener
+	hs   *http.Server
+
+	mu         sync.Mutex
+	wake       chan struct{} // closed and replaced on every state change
+	pending    []*task
+	leases     map[uint64]*task
+	nextLease  uint64
+	nextWorker int
+	workers    map[string]string // worker ID -> advertised name
+	expired    int
+	closed     bool
+
+	sweepStop chan struct{}
+	sweepDone chan struct{}
+}
+
+// NewServer starts a job-lease server listening on opts.Listen.
+func NewServer(opts Options) (*Server, error) {
+	if opts.Listen == "" {
+		opts.Listen = "127.0.0.1:0"
+	}
+	if opts.LeaseTTL <= 0 {
+		opts.LeaseTTL = 15 * time.Second
+	}
+	ln, err := net.Listen("tcp", opts.Listen)
+	if err != nil {
+		return nil, fmt.Errorf("remote: listen on %s: %w", opts.Listen, err)
+	}
+	s := &Server{
+		opts:      opts,
+		ln:        ln,
+		wake:      make(chan struct{}),
+		leases:    make(map[uint64]*task),
+		workers:   make(map[string]string),
+		sweepStop: make(chan struct{}),
+		sweepDone: make(chan struct{}),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/register", s.handleRegister)
+	mux.HandleFunc("/v1/lease", s.handleLease)
+	mux.HandleFunc("/v1/report", s.handleReport)
+	mux.HandleFunc("/v1/heartbeat", s.handleHeartbeat)
+	s.hs = &http.Server{Handler: mux}
+	go func() { _ = s.hs.Serve(ln) }()
+	go s.sweep()
+	return s, nil
+}
+
+// URL is the server's base URL ("http://host:port"), for workers.
+func (s *Server) URL() string { return "http://" + s.ln.Addr().String() }
+
+// Submit queues one job for the fleet. done is invoked exactly once —
+// from an HTTP handler or sweeper goroutine — with the job's outcome.
+func (s *Server) Submit(p JobPayload, done func(Outcome)) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		done(Outcome{Failed: true})
+		return
+	}
+	s.pending = append(s.pending, &task{payload: p, done: done})
+	s.wakeLocked()
+	s.mu.Unlock()
+}
+
+// ExpiredLeases reports how many leases have expired and been requeued
+// over the server's lifetime.
+func (s *Server) ExpiredLeases() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.expired
+}
+
+// Workers reports how many workers have registered over the server's
+// lifetime.
+func (s *Server) Workers() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.workers)
+}
+
+// closeGrace is how long a closed server keeps answering HTTP after
+// Close: workers whose poll or report lands just after shutdown get an
+// authoritative "the run is over" (Done / accepted=false) instead of a
+// connection error they would treat as a possible network partition
+// and retry against for the full partition-tolerance window.
+const closeGrace = 3 * time.Second
+
+// Close shuts the server down: long-polling workers are told the run is
+// over, and every job still pending or leased is answered Failed so the
+// caller's accounting drains. Close returns without waiting for the
+// listener teardown (see closeGrace) and is idempotent.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	orphans := make([]*task, 0, len(s.pending)+len(s.leases))
+	orphans = append(orphans, s.pending...)
+	s.pending = nil
+	for id, t := range s.leases {
+		orphans = append(orphans, t)
+		delete(s.leases, id)
+	}
+	s.wakeLocked()
+	s.mu.Unlock()
+
+	close(s.sweepStop)
+	<-s.sweepDone
+	go func() {
+		time.Sleep(closeGrace)
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		if err := s.hs.Shutdown(ctx); err != nil {
+			_ = s.hs.Close()
+		}
+	}()
+	for _, t := range orphans {
+		t.done(Outcome{Failed: true})
+	}
+	return nil
+}
+
+// wakeLocked broadcasts a state change to every long-polling lease
+// handler. Callers must hold s.mu.
+func (s *Server) wakeLocked() {
+	close(s.wake)
+	s.wake = make(chan struct{})
+}
+
+// sweep is the heartbeat sweeper: it expires leases whose workers went
+// silent and reports their jobs Failed, feeding the scheduler's retry
+// path exactly as a subprocess crash does.
+func (s *Server) sweep() {
+	defer close(s.sweepDone)
+	interval := s.opts.LeaseTTL / 4
+	if interval < 5*time.Millisecond {
+		interval = 5 * time.Millisecond
+	}
+	if interval > time.Second {
+		interval = time.Second
+	}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.sweepStop:
+			return
+		case now := <-tick.C:
+			var dead []*task
+			s.mu.Lock()
+			for id, t := range s.leases {
+				if now.After(t.deadline) {
+					delete(s.leases, id)
+					dead = append(dead, t)
+				}
+			}
+			s.expired += len(dead)
+			if len(dead) > 0 && len(s.pending) > 0 {
+				// Freed lease slots may unblock pollers waiting on the
+				// MaxLeases cap.
+				s.wakeLocked()
+			}
+			s.mu.Unlock()
+			for _, t := range dead {
+				t.done(Outcome{Failed: true})
+			}
+		}
+	}
+}
+
+// --- wire messages ---
+
+type wireError struct {
+	Error string `json:"error"`
+}
+
+type registerReq struct {
+	Version int    `json:"v"`
+	Token   string `json:"token,omitempty"`
+	Name    string `json:"name,omitempty"`
+}
+
+type registerResp struct {
+	Version        int    `json:"v"`
+	WorkerID       string `json:"worker"`
+	LeaseTTLMillis int64  `json:"leaseTTLms"`
+}
+
+type leaseReq struct {
+	Version    int    `json:"v"`
+	Token      string `json:"token,omitempty"`
+	WorkerID   string `json:"worker"`
+	WaitMillis int64  `json:"waitMs,omitempty"`
+	// Experiments, when non-empty, restricts the grant to jobs of the
+	// named experiments — a partially-configured worker never receives
+	// (and so never fails) jobs it has no objective for.
+	Experiments []string `json:"experiments,omitempty"`
+}
+
+// leaseGrant hands one job to a worker: the lease envelope plus the job
+// payload in the shared subprocess wire encoding.
+type leaseGrant struct {
+	LeaseID    uint64       `json:"lease"`
+	Experiment string       `json:"experiment,omitempty"`
+	Job        exec.Request `json:"job"`
+}
+
+type leaseResp struct {
+	Version int         `json:"v"`
+	Grant   *leaseGrant `json:"grant,omitempty"`
+	// Done tells the worker the run is over and it should exit.
+	Done bool `json:"done,omitempty"`
+}
+
+type reportReq struct {
+	Version  int           `json:"v"`
+	Token    string        `json:"token,omitempty"`
+	WorkerID string        `json:"worker"`
+	LeaseID  uint64        `json:"lease"`
+	Response exec.Response `json:"response"`
+}
+
+type reportResp struct {
+	Version int `json:"v"`
+	// Accepted is false when the lease had already expired: the job was
+	// requeued and this result is discarded to keep delivery exactly-once.
+	Accepted bool `json:"accepted"`
+}
+
+type heartbeatReq struct {
+	Version  int      `json:"v"`
+	Token    string   `json:"token,omitempty"`
+	WorkerID string   `json:"worker"`
+	Leases   []uint64 `json:"leases,omitempty"`
+}
+
+type heartbeatResp struct {
+	Version int `json:"v"`
+	// Expired lists leases the worker no longer holds; their jobs have
+	// been requeued and any eventual report will be rejected.
+	Expired []uint64 `json:"expired,omitempty"`
+}
+
+// --- HTTP handlers ---
+
+// decode parses a request body, enforcing method, version and token.
+// It writes the error response itself and returns false on rejection.
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, version *int, token *string, v interface{}) bool {
+	if r.Method != http.MethodPost {
+		s.reject(w, http.StatusMethodNotAllowed, "POST only")
+		return false
+	}
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		s.reject(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
+		return false
+	}
+	if *version != ProtocolVersion {
+		s.reject(w, http.StatusBadRequest,
+			fmt.Sprintf("protocol version %d not supported (server speaks %d)", *version, ProtocolVersion))
+		return false
+	}
+	if s.opts.Token != "" && *token != s.opts.Token {
+		s.reject(w, http.StatusUnauthorized, "bad or missing worker token")
+		return false
+	}
+	return true
+}
+
+func (s *Server) reject(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(wireError{Error: msg})
+}
+
+func (s *Server) reply(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req registerReq
+	if !s.decode(w, r, &req.Version, &req.Token, &req) {
+		return
+	}
+	s.mu.Lock()
+	s.nextWorker++
+	id := fmt.Sprintf("w%d", s.nextWorker)
+	s.workers[id] = req.Name
+	s.mu.Unlock()
+	s.reply(w, registerResp{
+		Version:        ProtocolVersion,
+		WorkerID:       id,
+		LeaseTTLMillis: s.opts.LeaseTTL.Milliseconds(),
+	})
+}
+
+func (s *Server) handleLease(w http.ResponseWriter, r *http.Request) {
+	var req leaseReq
+	if !s.decode(w, r, &req.Version, &req.Token, &req) {
+		return
+	}
+	wait := time.Duration(req.WaitMillis) * time.Millisecond
+	if wait > 30*time.Second {
+		wait = 30 * time.Second
+	}
+	deadline := time.Now().Add(wait)
+	for {
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			s.reply(w, leaseResp{Version: ProtocolVersion, Done: true})
+			return
+		}
+		if _, known := s.workers[req.WorkerID]; !known {
+			s.mu.Unlock()
+			s.reject(w, http.StatusGone, "unknown worker; register again")
+			return
+		}
+		if idx := s.matchLocked(req.Experiments); idx >= 0 &&
+			(s.opts.MaxLeases == 0 || len(s.leases) < s.opts.MaxLeases) {
+			t := s.pending[idx]
+			copy(s.pending[idx:], s.pending[idx+1:])
+			s.pending[len(s.pending)-1] = nil // release the task reference
+			s.pending = s.pending[:len(s.pending)-1]
+			s.nextLease++
+			t.leaseID = s.nextLease
+			t.worker = req.WorkerID
+			t.deadline = time.Now().Add(s.opts.LeaseTTL)
+			s.leases[t.leaseID] = t
+			grant := &leaseGrant{
+				LeaseID:    t.leaseID,
+				Experiment: t.payload.Experiment,
+				Job: exec.Request{
+					Version: exec.WireVersion,
+					ID:      int(t.leaseID),
+					Trial:   t.payload.Trial,
+					Config:  t.payload.Config,
+					From:    t.payload.From,
+					To:      t.payload.To,
+					State:   t.payload.State,
+				},
+			}
+			s.mu.Unlock()
+			s.reply(w, leaseResp{Version: ProtocolVersion, Grant: grant})
+			return
+		}
+		wake := s.wake
+		s.mu.Unlock()
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			s.reply(w, leaseResp{Version: ProtocolVersion})
+			return
+		}
+		timer := time.NewTimer(remaining)
+		select {
+		case <-wake:
+			timer.Stop()
+		case <-timer.C:
+		case <-r.Context().Done():
+			timer.Stop()
+			return
+		}
+	}
+}
+
+// matchLocked returns the index of the oldest pending job the worker's
+// experiment restriction allows (empty = any), or -1. Callers hold s.mu.
+func (s *Server) matchLocked(experiments []string) int {
+	for i, t := range s.pending {
+		if len(experiments) == 0 {
+			return i
+		}
+		for _, e := range experiments {
+			if t.payload.Experiment == e {
+				return i
+			}
+		}
+	}
+	return -1
+}
+
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	var req reportReq
+	if !s.decode(w, r, &req.Version, &req.Token, &req) {
+		return
+	}
+	s.mu.Lock()
+	t, ok := s.leases[req.LeaseID]
+	if ok && t.worker != req.WorkerID {
+		ok = false // a worker may only settle its own lease
+		t = nil
+	}
+	if ok && req.Response.ID != int(req.LeaseID) {
+		// The grant stamped Job.ID with the lease ID; a response paired
+		// with the wrong lease must not commit a loss and checkpoint to
+		// the wrong trial (the remote twin of the subprocess parent's
+		// resp.ID check). Left leased, the job expires and retries.
+		ok = false
+		t = nil
+	}
+	if ok {
+		delete(s.leases, req.LeaseID)
+		if len(s.pending) > 0 {
+			// The freed lease slot may unblock a poller waiting on the
+			// MaxLeases cap.
+			s.wakeLocked()
+		}
+	}
+	s.mu.Unlock()
+	if !ok {
+		// The lease expired (or never existed): the job has already been
+		// requeued, so this late result is dropped — never double-counted.
+		s.reply(w, reportResp{Version: ProtocolVersion, Accepted: false})
+		return
+	}
+	var out Outcome
+	if req.Response.Error != "" {
+		out.Err = req.Response.Error
+	} else {
+		out.Loss = req.Response.Loss
+		out.State = req.Response.State
+	}
+	t.done(out)
+	s.reply(w, reportResp{Version: ProtocolVersion, Accepted: true})
+}
+
+func (s *Server) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var req heartbeatReq
+	if !s.decode(w, r, &req.Version, &req.Token, &req) {
+		return
+	}
+	resp := heartbeatResp{Version: ProtocolVersion}
+	now := time.Now()
+	s.mu.Lock()
+	for _, id := range req.Leases {
+		if t, ok := s.leases[id]; ok && t.worker == req.WorkerID {
+			t.deadline = now.Add(s.opts.LeaseTTL)
+		} else {
+			resp.Expired = append(resp.Expired, id)
+		}
+	}
+	s.mu.Unlock()
+	s.reply(w, resp)
+}

@@ -1,0 +1,430 @@
+package remote
+
+// Tests for the lease protocol's failure model: auth and version
+// rejection at the door, lease expiry feeding the scheduler retry path
+// exactly once, late reports dropped, and worker elasticity (agents
+// joining after jobs were queued).
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/backend"
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/searchspace"
+	"repro/internal/xrand"
+)
+
+func testSpace() *searchspace.Space {
+	return searchspace.New(
+		searchspace.Param{Name: "lr", Type: searchspace.LogUniform, Lo: 1e-4, Hi: 1},
+		searchspace.Param{Name: "momentum", Type: searchspace.Uniform, Lo: 0, Hi: 1},
+	)
+}
+
+// pureObjective is deterministic and keeps JSON-friendly state (the
+// current loss), so trials may migrate between workers freely.
+func pureObjective(_ context.Context, cfg map[string]float64, from, to float64, state interface{}) (float64, interface{}, error) {
+	loss := 3.0
+	if s, ok := state.(float64); ok {
+		loss = s
+	}
+	floor := 0.1 + cfg["momentum"]*0.2
+	decay := 1.0
+	for i := 0; i < int(to-from); i++ {
+		decay *= 0.9
+	}
+	loss = floor + (loss-floor)*decay
+	return loss, loss, nil
+}
+
+// rawPost is a minimal wire client for impersonating misbehaving or
+// doomed workers.
+func rawPost(t *testing.T, base, path string, body interface{}) (int, map[string]interface{}) {
+	t.Helper()
+	blob, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+path, "application/json", bytes.NewReader(blob))
+	if err != nil {
+		t.Fatalf("POST %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	out := make(map[string]interface{})
+	_ = json.NewDecoder(resp.Body).Decode(&out)
+	return resp.StatusCode, out
+}
+
+func TestRejectsBadTokenAndVersion(t *testing.T) {
+	srv, err := NewServer(Options{Token: "secret"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	status, _ := rawPost(t, srv.URL(), "/v1/register", map[string]interface{}{"v": ProtocolVersion, "token": "wrong"})
+	if status != http.StatusUnauthorized {
+		t.Fatalf("bad token: got status %d, want 401", status)
+	}
+	status, body := rawPost(t, srv.URL(), "/v1/register", map[string]interface{}{"v": ProtocolVersion + 7, "token": "secret"})
+	if status != http.StatusBadRequest {
+		t.Fatalf("bad version: got status %d, want 400", status)
+	}
+	if body["error"] == nil {
+		t.Fatalf("version rejection carried no error message: %v", body)
+	}
+	status, body = rawPost(t, srv.URL(), "/v1/register", map[string]interface{}{"v": ProtocolVersion, "token": "secret"})
+	if status != http.StatusOK || body["worker"] == "" {
+		t.Fatalf("valid registration refused: %d %v", status, body)
+	}
+}
+
+func TestUnknownWorkerMustReregister(t *testing.T) {
+	srv, err := NewServer(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	status, _ := rawPost(t, srv.URL(), "/v1/lease", map[string]interface{}{"v": ProtocolVersion, "worker": "ghost"})
+	if status != http.StatusGone {
+		t.Fatalf("unknown worker lease: got status %d, want 410", status)
+	}
+}
+
+// TestLeaseExpiryRequeuesExactlyOnce pins the crash-tolerance contract
+// at the protocol level: a worker that leases a job and goes silent has
+// the job settle Failed exactly once after the TTL, and the dead
+// worker's eventual late report is rejected instead of double-counting.
+func TestLeaseExpiryRequeuesExactlyOnce(t *testing.T) {
+	srv, err := NewServer(Options{LeaseTTL: 120 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	outcomes := make(chan Outcome, 4)
+	srv.Submit(JobPayload{Trial: 1, Config: map[string]float64{"x": 1}, From: 0, To: 4},
+		func(o Outcome) { outcomes <- o })
+
+	_, reg := rawPost(t, srv.URL(), "/v1/register", map[string]interface{}{"v": ProtocolVersion, "name": "doomed"})
+	worker := reg["worker"].(string)
+	status, lease := rawPost(t, srv.URL(), "/v1/lease",
+		map[string]interface{}{"v": ProtocolVersion, "worker": worker, "waitMs": 2000})
+	if status != http.StatusOK || lease["grant"] == nil {
+		t.Fatalf("doomed worker got no lease: %d %v", status, lease)
+	}
+	leaseID := lease["grant"].(map[string]interface{})["lease"].(float64)
+
+	// The worker goes silent: no heartbeat, no report. The sweeper must
+	// settle the job Failed once the TTL passes.
+	select {
+	case o := <-outcomes:
+		if !o.Failed {
+			t.Fatalf("job settled without the worker reporting: %+v", o)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("expired lease never settled the job")
+	}
+	if n := srv.ExpiredLeases(); n != 1 {
+		t.Fatalf("expired lease count = %d, want 1", n)
+	}
+
+	// A late report under the expired lease must be rejected.
+	status, rep := rawPost(t, srv.URL(), "/v1/report", map[string]interface{}{
+		"v": ProtocolVersion, "worker": worker, "lease": leaseID,
+		"response": map[string]interface{}{"v": ProtocolVersion, "id": int(leaseID), "loss": 0.5},
+	})
+	if status != http.StatusOK || rep["accepted"] != false {
+		t.Fatalf("late report was not rejected: %d %v", status, rep)
+	}
+	select {
+	case o := <-outcomes:
+		t.Fatalf("job settled twice: %+v", o)
+	case <-time.After(200 * time.Millisecond):
+	}
+}
+
+// TestDriveRetriesKilledWorkersJobOnSurvivor drives a real ASHA run over
+// the remote backend while one worker leases a job and dies and a
+// surviving agent joins only after the run has started: the lost job
+// must be retried exactly once, every job must complete, and no job may
+// execute twice.
+func TestDriveRetriesKilledWorkersJobOnSurvivor(t *testing.T) {
+	const maxJobs = 40
+	srv, err := NewServer(Options{LeaseTTL: 150 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	be := NewBackend(srv, 2)
+	space := testSpace()
+	sched := core.NewASHA(core.ASHAConfig{
+		Space: space, RNG: xrand.New(3), Eta: 2, MinResource: 1, MaxResource: 16,
+	})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	// The doomed worker: leases one job, then goes silent forever.
+	doomed := make(chan struct{})
+	var doomedTrial int
+	var doomedTo float64
+	go func() {
+		defer close(doomed)
+		_, reg := rawPost(t, srv.URL(), "/v1/register", map[string]interface{}{"v": ProtocolVersion, "name": "doomed"})
+		worker, _ := reg["worker"].(string)
+		if worker == "" {
+			return
+		}
+		_, lease := rawPost(t, srv.URL(), "/v1/lease",
+			map[string]interface{}{"v": ProtocolVersion, "worker": worker, "waitMs": 5000})
+		if g, ok := lease["grant"].(map[string]interface{}); ok {
+			job := g["job"].(map[string]interface{})
+			doomedTrial = int(job["trial"].(float64))
+			doomedTo = job["to"].(float64)
+		}
+	}()
+
+	// The survivor joins only after the doomed worker's lease has
+	// already expired — well into the run — so the retried job is
+	// waiting in the queue by the time it connects, and the whole job
+	// budget (including the retry) lands on it. It records every job it
+	// executes.
+	var mu sync.Mutex
+	executed := make(map[string]int)
+	agentDone := make(chan error, 1)
+	go func() {
+		<-doomed
+		for srv.ExpiredLeases() == 0 && ctx.Err() == nil {
+			time.Sleep(10 * time.Millisecond)
+		}
+		obj := func(ctx context.Context, cfg map[string]float64, from, to float64, state interface{}) (float64, interface{}, error) {
+			id, _ := exec.TrialIDFromContext(ctx)
+			mu.Lock()
+			executed[fmt.Sprintf("%d@%g", id, to)]++
+			mu.Unlock()
+			return pureObjective(ctx, cfg, from, to, state)
+		}
+		agentDone <- ServeAgent(ctx, AgentOptions{
+			Server: srv.URL(), Name: "survivor", Slots: 2,
+			Resolve: func(string) (exec.Objective, error) { return obj, nil },
+		})
+	}()
+
+	run, err := backend.Drive(ctx, sched, be, backend.Options{MaxJobs: maxJobs})
+	if err != nil {
+		t.Fatalf("drive failed: %v", err)
+	}
+	if run.FailedJobs != 1 {
+		t.Fatalf("failed jobs = %d, want exactly the doomed worker's lease", run.FailedJobs)
+	}
+	if run.CompletedJobs != maxJobs-1 {
+		// maxJobs issued includes the one failed launch; every other
+		// launch must have completed.
+		t.Fatalf("completed %d of %d issued jobs", run.CompletedJobs, maxJobs)
+	}
+	if n := srv.ExpiredLeases(); n != 1 {
+		t.Fatalf("expired leases = %d, want 1", n)
+	}
+
+	<-doomed
+	mu.Lock()
+	defer mu.Unlock()
+	for key, n := range executed {
+		if n != 1 {
+			t.Fatalf("job %s executed %d times, want exactly once", key, n)
+		}
+	}
+	victim := fmt.Sprintf("%d@%g", doomedTrial, doomedTo)
+	if executed[victim] != 1 {
+		t.Fatalf("the killed worker's job %s was not retried on the survivor (executed %v)", victim, executed)
+	}
+	if err := <-agentDone; err != nil {
+		t.Fatalf("survivor agent: %v", err)
+	}
+}
+
+// TestElasticWorkersJoinQueuedRun proves jobs queue while no worker
+// exists and flow the moment one connects.
+func TestElasticWorkersJoinQueuedRun(t *testing.T) {
+	srv, err := NewServer(Options{LeaseTTL: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	outcomes := make(chan Outcome, 8)
+	for i := 0; i < 4; i++ {
+		srv.Submit(JobPayload{Trial: i, Config: map[string]float64{"momentum": 0.5}, From: 0, To: 2},
+			func(o Outcome) { outcomes <- o })
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	agentDone := make(chan error, 1)
+	time.AfterFunc(100*time.Millisecond, func() {
+		agentDone <- ServeAgent(ctx, AgentOptions{
+			Server: srv.URL(), Slots: 2,
+			// Short server-loss tolerance so the post-Close exit below is
+			// prompt even if a poll lands after the listener is gone.
+			RegisterTimeout: 2 * time.Second,
+			Resolve:         func(string) (exec.Objective, error) { return pureObjective, nil },
+		})
+	})
+	for i := 0; i < 4; i++ {
+		select {
+		case o := <-outcomes:
+			if o.Failed || o.Err != "" {
+				t.Fatalf("queued job failed: %+v", o)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("queued jobs never reached the late worker")
+		}
+	}
+	_ = srv.Close()
+	select {
+	case err := <-agentDone:
+		if err != nil {
+			t.Fatalf("agent exit: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("agent did not exit after server close")
+	}
+}
+
+// TestLeaseRespectsExperimentRestriction proves a partially-configured
+// worker never receives jobs of experiments it cannot train: the grant
+// skips past queued jobs of other experiments.
+func TestLeaseRespectsExperimentRestriction(t *testing.T) {
+	srv, err := NewServer(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	outcomes := make(chan Outcome, 2)
+	srv.Submit(JobPayload{Experiment: "alpha", Trial: 1}, func(o Outcome) { outcomes <- o })
+	srv.Submit(JobPayload{Experiment: "beta", Trial: 2}, func(o Outcome) { outcomes <- o })
+
+	_, reg := rawPost(t, srv.URL(), "/v1/register", map[string]interface{}{"v": ProtocolVersion, "name": "beta-only"})
+	worker := reg["worker"].(string)
+	status, lease := rawPost(t, srv.URL(), "/v1/lease", map[string]interface{}{
+		"v": ProtocolVersion, "worker": worker, "waitMs": 2000, "experiments": []string{"beta"},
+	})
+	grant, ok := lease["grant"].(map[string]interface{})
+	if status != http.StatusOK || !ok {
+		t.Fatalf("restricted worker got no lease: %d %v", status, lease)
+	}
+	if exp := grant["experiment"]; exp != "beta" {
+		t.Fatalf("restricted worker leased experiment %v, want beta (queued behind alpha)", exp)
+	}
+	// A restriction matching nothing long-polls empty rather than
+	// handing over an untrainable job.
+	status, lease = rawPost(t, srv.URL(), "/v1/lease", map[string]interface{}{
+		"v": ProtocolVersion, "worker": worker, "waitMs": 50, "experiments": []string{"beta"},
+	})
+	if status != http.StatusOK || lease["grant"] != nil {
+		t.Fatalf("restricted worker was handed an alpha job: %d %v", status, lease)
+	}
+}
+
+// TestReportWithMispairedIDRejected is the remote twin of the
+// subprocess parent's resp.ID check: a response paired with the wrong
+// lease must not commit to the wrong trial — the lease stays live and
+// expires into a retry instead.
+func TestReportWithMispairedIDRejected(t *testing.T) {
+	srv, err := NewServer(Options{LeaseTTL: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	outcomes := make(chan Outcome, 1)
+	srv.Submit(JobPayload{Trial: 1, To: 2}, func(o Outcome) { outcomes <- o })
+	_, reg := rawPost(t, srv.URL(), "/v1/register", map[string]interface{}{"v": ProtocolVersion})
+	worker := reg["worker"].(string)
+	_, lease := rawPost(t, srv.URL(), "/v1/lease",
+		map[string]interface{}{"v": ProtocolVersion, "worker": worker, "waitMs": 2000})
+	leaseID := lease["grant"].(map[string]interface{})["lease"].(float64)
+
+	status, rep := rawPost(t, srv.URL(), "/v1/report", map[string]interface{}{
+		"v": ProtocolVersion, "worker": worker, "lease": leaseID,
+		"response": map[string]interface{}{"v": ProtocolVersion, "id": int(leaseID) + 7, "loss": 0.1},
+	})
+	if status != http.StatusOK || rep["accepted"] != false {
+		t.Fatalf("mispaired report was accepted: %d %v", status, rep)
+	}
+	select {
+	case o := <-outcomes:
+		t.Fatalf("mispaired report settled the job: %+v", o)
+	case <-time.After(100 * time.Millisecond):
+	}
+	// The correctly-paired report still lands.
+	status, rep = rawPost(t, srv.URL(), "/v1/report", map[string]interface{}{
+		"v": ProtocolVersion, "worker": worker, "lease": leaseID,
+		"response": map[string]interface{}{"v": ProtocolVersion, "id": int(leaseID), "loss": 0.1},
+	})
+	if status != http.StatusOK || rep["accepted"] != true {
+		t.Fatalf("correct report rejected: %d %v", status, rep)
+	}
+	if o := <-outcomes; o.Failed || o.Err != "" || o.Loss != 0.1 {
+		t.Fatalf("job settled wrong: %+v", o)
+	}
+}
+
+// TestAgentFailsFastOnBadToken proves a deterministic rejection is
+// surfaced immediately instead of after the full 30s retry window.
+func TestAgentFailsFastOnBadToken(t *testing.T) {
+	srv, err := NewServer(Options{Token: "right"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	start := time.Now()
+	err = ServeAgent(context.Background(), AgentOptions{
+		Server: srv.URL(), Token: "wrong",
+		Resolve: func(string) (exec.Objective, error) { return pureObjective, nil },
+	})
+	if err == nil {
+		t.Fatal("agent with a bad token registered")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("bad-token rejection took %v; should fail fast", elapsed)
+	}
+}
+
+// TestCloseFlushesOutstandingJobs guards the drain contract Close
+// promises to the manager: queued and leased jobs settle Failed.
+func TestCloseFlushesOutstandingJobs(t *testing.T) {
+	srv, err := NewServer(Options{LeaseTTL: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	outcomes := make(chan Outcome, 4)
+	for i := 0; i < 3; i++ {
+		srv.Submit(JobPayload{Trial: i}, func(o Outcome) { outcomes <- o })
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		select {
+		case o := <-outcomes:
+			if !o.Failed {
+				t.Fatalf("flushed job settled as %+v, want Failed", o)
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatal("Close did not flush outstanding jobs")
+		}
+	}
+	// Submitting after Close settles immediately.
+	srv.Submit(JobPayload{Trial: 9}, func(o Outcome) { outcomes <- o })
+	if o := <-outcomes; !o.Failed {
+		t.Fatalf("post-close submit settled as %+v, want Failed", o)
+	}
+}

@@ -2,12 +2,15 @@ package asha
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/exec"
+	"repro/internal/remote"
 	"repro/internal/xrand"
 )
 
@@ -48,6 +51,19 @@ func WithManagerProgress(fn func(p ExperimentProgress)) ManagerOption {
 	return func(m *Manager) { m.onProgress = fn }
 }
 
+// WithManagerRemote serves every experiment's training jobs to a
+// distributed worker fleet instead of the in-process pool: the manager
+// embeds one HTTP job-lease server (see the Remote backend), jobs carry
+// their experiment's name so a worker can route them to the right
+// objective (RemoteWorker.Objectives), and the shared worker budget
+// bounds the fleet's concurrently leased jobs. Experiment objectives
+// run worker-side and may be nil in the Experiment specs. A job lost to
+// a worker crash or lease expiry is reported Failed to its experiment's
+// scheduler, which requeues it.
+func WithManagerRemote(r Remote) ManagerOption {
+	return func(m *Manager) { m.remote = &r }
+}
+
 // Manager runs many named tuning experiments concurrently against one
 // shared global worker budget. Free workers are assigned fair-share:
 // each slot goes to the runnable experiment with the fewest jobs in
@@ -59,6 +75,7 @@ func WithManagerProgress(fn func(p ExperimentProgress)) ManagerOption {
 type Manager struct {
 	workers     int
 	onProgress  func(ExperimentProgress)
+	remote      *Remote
 	experiments []Experiment
 	names       map[string]bool
 }
@@ -84,7 +101,7 @@ func (m *Manager) Add(e Experiment) error {
 	if e.Space == nil || e.Space.Dim() == 0 {
 		return fmt.Errorf("asha: experiment %q needs a non-empty search space", e.Name)
 	}
-	if e.Objective == nil {
+	if e.Objective == nil && m.remote == nil {
 		return fmt.Errorf("asha: experiment %q needs an objective", e.Name)
 	}
 	if e.Algorithm == nil {
@@ -129,7 +146,10 @@ type mgrResult struct {
 	job   core.Job
 	loss  float64
 	state interface{}
-	err   error
+	// failed marks a retryable loss of the job (a remote worker died or
+	// its lease expired): the scheduler is told and requeues it.
+	failed bool
+	err    error
 }
 
 // mgrRun is the transient state of one Manager.Run call.
@@ -139,6 +159,7 @@ type mgrRun struct {
 	exps    []*mgrExp
 	tasks   chan func()
 	results chan mgrResult
+	fleet   *remote.Server // non-nil when jobs go to a remote fleet
 	start   time.Time
 }
 
@@ -164,9 +185,8 @@ func (m *Manager) Run(ctx context.Context) (map[string]*Result, error) {
 	r := &mgrRun{
 		m:   m,
 		ctx: ctx,
-		// Buffers sized to the worker budget: at most workers jobs are in
-		// flight, so neither dispatch nor a result send ever blocks.
-		tasks:   make(chan func(), m.workers),
+		// Buffer sized to the worker budget: at most workers jobs are in
+		// flight, so a result send never blocks.
 		results: make(chan mgrResult, m.workers),
 		start:   time.Now(),
 	}
@@ -178,13 +198,26 @@ func (m *Manager) Run(ctx context.Context) (map[string]*Result, error) {
 		})
 	}
 	poolDone := make(chan struct{})
-	for w := 0; w < m.workers; w++ {
-		go func() {
-			for task := range r.tasks {
-				task()
-			}
-			poolDone <- struct{}{}
-		}()
+	if m.remote != nil {
+		// Fleet mode: one embedded lease server executes every
+		// experiment's jobs on remote workers; no local pool is started.
+		srv, _, err := m.remote.newServer(m.workers)
+		if err != nil {
+			return nil, err
+		}
+		defer srv.Close()
+		r.fleet = srv
+	} else {
+		// Task buffer sized like results: dispatch never blocks.
+		r.tasks = make(chan func(), m.workers)
+		for w := 0; w < m.workers; w++ {
+			go func() {
+				for task := range r.tasks {
+					task()
+				}
+				poolDone <- struct{}{}
+			}()
+		}
 	}
 
 	inflight := 0
@@ -228,12 +261,20 @@ func (m *Manager) Run(ctx context.Context) (map[string]*Result, error) {
 			inflight -= r.ingest(batch)
 		case <-ctx.Done():
 			stopped = true
+			if r.fleet != nil {
+				// Flush the fleet: queued and leased jobs settle as failed
+				// results immediately, so the in-flight drain below cannot
+				// wait on workers that will never answer.
+				_ = r.fleet.Close()
+			}
 		}
 	}
 
-	close(r.tasks)
-	for w := 0; w < m.workers; w++ {
-		<-poolDone
+	if r.fleet == nil {
+		close(r.tasks)
+		for w := 0; w < m.workers; w++ {
+			<-poolDone
+		}
 	}
 
 	out := make(map[string]*Result, len(r.exps))
@@ -322,9 +363,38 @@ func (r *mgrRun) launch(ctx context.Context, e *mgrExp, job core.Job) {
 	e.issued++
 	e.running++
 	from, state := t.resource, t.state
-	obj := e.spec.Objective
 	results := r.results
 	exp := e
+	if r.fleet != nil {
+		// Fleet mode: the job travels to whichever worker leases it, with
+		// its experiment's name for objective routing and its checkpoint
+		// as the JSON the worker produced last time.
+		raw, _ := state.(json.RawMessage)
+		r.fleet.Submit(remote.JobPayload{
+			Experiment: e.spec.Name,
+			Trial:      job.TrialID,
+			Config:     job.Config.Map(),
+			From:       from,
+			To:         job.TargetResource,
+			State:      raw,
+		}, func(out remote.Outcome) {
+			res := mgrResult{exp: exp, job: job}
+			switch {
+			case out.Failed:
+				res.failed = true
+			case out.Err != "":
+				res.err = errors.New(out.Err)
+			default:
+				res.loss = out.Loss
+				if len(out.State) > 0 {
+					res.state = out.State
+				}
+			}
+			results <- res
+		})
+		return
+	}
+	obj := e.spec.Objective
 	r.tasks <- func() {
 		jctx := exec.WithTrialID(ctx, job.TrialID)
 		loss, newState, err := obj(jctx, job.Config.Map(), from, job.TargetResource, state)
@@ -342,6 +412,27 @@ func (r *mgrRun) ingest(batch []mgrResult) int {
 		e.running--
 		if e.failed != nil {
 			continue // stray result of an already-failed experiment
+		}
+		if res.failed {
+			// A remote worker died or its lease expired: the trial keeps
+			// its last committed checkpoint, and the scheduler requeues
+			// the job for whichever worker leases it next.
+			if r.ctx.Err() == nil {
+				e.barrier = false
+				e.sched.Report(core.Result{
+					TrialID:  res.job.TrialID,
+					Rung:     res.job.Rung,
+					Config:   res.job.Config,
+					Loss:     math.NaN(),
+					TrueLoss: math.NaN(),
+					Failed:   true,
+					Time:     time.Since(r.start).Seconds(),
+				})
+			}
+			if (e.exhausted() || e.sched.Done()) && e.running == 0 {
+				e.done = true
+			}
+			continue
 		}
 		if res.err != nil {
 			if r.ctx.Err() == nil {

@@ -195,3 +195,56 @@ func TestManagerValidation(t *testing.T) {
 		t.Fatal("unbounded manager run accepted")
 	}
 }
+
+// TestManagerRemoteFleet runs two named experiments over a worker fleet
+// connected to the manager's embedded lease server: jobs carry their
+// experiment's name, and each worker routes them to the matching
+// objective via RemoteWorker.Objectives. One worker is present from the
+// start; a second joins mid-run (the fleet is elastic).
+func TestManagerRemoteFleet(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	workers := func(url string) {
+		w := RemoteWorker{
+			Server: url, Token: "mgr-secret", Slots: 2,
+			Objectives: map[string]Objective{
+				"alpha": managerObjective(0),
+				"beta":  managerObjective(0),
+			},
+		}
+		go func() { _ = ServeRemoteWorker(ctx, w) }()
+		go func() {
+			time.Sleep(50 * time.Millisecond)
+			_ = ServeRemoteWorker(ctx, w)
+		}()
+	}
+	m := NewManager(
+		WithManagerWorkers(4),
+		WithManagerRemote(Remote{Token: "mgr-secret", OnListen: workers}),
+	)
+	for _, name := range []string{"alpha", "beta"} {
+		// Objectives are nil: in fleet mode they run worker-side.
+		if err := m.Add(Experiment{
+			Name: name, Space: managerSpace(),
+			Algorithm: ASHA{Eta: 3, MinResource: 1, MaxResource: 27},
+			Seed:      4, MaxJobs: 50,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	results, err := m.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("got %d results, want 2", len(results))
+	}
+	for name, res := range results {
+		if res.CompletedJobs != 50 {
+			t.Fatalf("%s completed %d jobs, want 50", name, res.CompletedJobs)
+		}
+		if res.BestLoss > 1 {
+			t.Fatalf("%s found only %v", name, res.BestLoss)
+		}
+	}
+}
