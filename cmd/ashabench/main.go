@@ -25,6 +25,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
@@ -33,6 +34,7 @@ import (
 	"path/filepath"
 	"runtime"
 	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/backend"
@@ -42,6 +44,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/remote"
 	"repro/internal/searchspace"
+	"repro/internal/state"
 	"repro/internal/workload"
 	"repro/internal/xrand"
 )
@@ -198,6 +201,80 @@ func benches(quick bool) []bench {
 			},
 		},
 		{
+			// Write-ahead journal append rate to a real file (no fsync):
+			// one issue + one report record per training job. Journaling
+			// sits on the engine's per-job path, never the scheduler's
+			// get_job path, so this bounds the overhead a durable run adds
+			// per job — it must stay orders of magnitude below any real
+			// training time and must not perturb asha-scheduler-throughput,
+			// which runs without a journal.
+			name: "journal-append-throughput",
+			ops:  scale(200000),
+			run: func(ops int) int64 {
+				dir, err := os.MkdirTemp("", "ashabench-journal-")
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "ashabench: journal dir: %v\n", err)
+					os.Exit(2)
+				}
+				defer os.RemoveAll(dir)
+				j, err := state.Create(filepath.Join(dir, "bench.journal"), state.Meta{
+					Experiment: "bench", Algo: "asha.ASHA", Seed: 1, Params: []string{"lr", "momentum", "width"},
+				})
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "ashabench: journal create: %v\n", err)
+					os.Exit(2)
+				}
+				cfg := map[string]float64{"lr": 0.003, "momentum": 0.9, "width": 256}
+				for i := 0; i < ops/2; i++ {
+					if err := j.AppendIssue(state.Issue{
+						Trial: i, Rung: 0, Target: 1, Inherit: -1, Kind: state.KindSample, Config: cfg,
+					}); err != nil {
+						fmt.Fprintf(os.Stderr, "ashabench: journal append: %v\n", err)
+						os.Exit(2)
+					}
+					if err := j.AppendReport(state.Report{
+						Trial: i, Rung: 0, Loss: 0.5, TrueLoss: 0.5, Resource: 1, Time: float64(i),
+					}); err != nil {
+						fmt.Fprintf(os.Stderr, "ashabench: journal append: %v\n", err)
+						os.Exit(2)
+					}
+				}
+				if err := j.Close(); err != nil {
+					fmt.Fprintf(os.Stderr, "ashabench: journal close: %v\n", err)
+					os.Exit(2)
+				}
+				return int64(ops) // jobs/sec reports records/sec
+			},
+		},
+		{
+			// Crash-recovery speed: Recover + Replay of a 20k-job journal
+			// into a freshly built scheduler — the work a resumed tuner
+			// performs before its first new job.
+			name: "resume-replay",
+			ops:  scale(10),
+			run: func(ops int) int64 {
+				data := resumeReplayJournal()
+				var jobs int64
+				for i := 0; i < ops; i++ {
+					rec, err := state.Recover(data)
+					if err != nil {
+						fmt.Fprintf(os.Stderr, "ashabench: recover: %v\n", err)
+						os.Exit(2)
+					}
+					sched := core.NewASHA(core.ASHAConfig{
+						Space: replaySpace(), RNG: xrand.New(31), Eta: 4, MinResource: 1, MaxResource: 256,
+					})
+					rs, err := backend.Replay(rec, sched, backend.Options{})
+					if err != nil {
+						fmt.Fprintf(os.Stderr, "ashabench: replay: %v\n", err)
+						os.Exit(2)
+					}
+					jobs += int64(rs.Run.CompletedJobs)
+				}
+				return jobs
+			},
+		},
+		{
 			name: "fig1-promotion-table",
 			ops:  scale(50),
 			run:  experimentRunner("fig1"),
@@ -215,6 +292,54 @@ func benches(quick bool) []bench {
 	}
 	return list
 }
+
+func replaySpace() *searchspace.Space {
+	return searchspace.New(
+		searchspace.Param{Name: "lr", Type: searchspace.LogUniform, Lo: 1e-5, Hi: 1},
+		searchspace.Param{Name: "momentum", Type: searchspace.Uniform, Lo: 0, Hi: 1},
+	)
+}
+
+// resumeReplayJournal builds (once) the 20k-job journal image the
+// resume-replay benchmark recovers, by driving a real ASHA scheduler and
+// journaling its decision stream — so Replay's validation path sees
+// exactly what a production journal holds.
+var resumeReplayJournal = sync.OnceValue(func() []byte {
+	const n = 20000
+	sched := core.NewASHA(core.ASHAConfig{
+		Space: replaySpace(), RNG: xrand.New(31), Eta: 4, MinResource: 1, MaxResource: 256,
+	})
+	var buf bytes.Buffer
+	j, err := state.NewWriter(&buf, state.Meta{Experiment: "bench", Seed: 31})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ashabench: replay journal: %v\n", err)
+		os.Exit(2)
+	}
+	rng := xrand.New(32)
+	for i := 0; i < n; i++ {
+		job, _ := sched.Next()
+		if err := j.AppendIssue(state.Issue{
+			Trial: job.TrialID, Rung: job.Rung, Target: job.TargetResource,
+			Inherit: job.InheritFrom, Config: job.Config.Map(),
+		}); err != nil {
+			fmt.Fprintf(os.Stderr, "ashabench: replay journal: %v\n", err)
+			os.Exit(2)
+		}
+		loss := rng.Float64()
+		if err := j.AppendReport(state.Report{
+			Trial: job.TrialID, Rung: job.Rung, Loss: loss, TrueLoss: loss,
+			Resource: job.TargetResource, Time: float64(i),
+		}); err != nil {
+			fmt.Fprintf(os.Stderr, "ashabench: replay journal: %v\n", err)
+			os.Exit(2)
+		}
+		sched.Report(core.Result{
+			TrialID: job.TrialID, Rung: job.Rung, Config: job.Config,
+			Loss: loss, TrueLoss: loss, Resource: job.TargetResource, Time: float64(i),
+		})
+	}
+	return buf.Bytes()
+})
 
 func experimentRunner(id string) func(int) int64 {
 	return func(ops int) int64 {
@@ -237,6 +362,7 @@ func experimentRunner(id string) func(int) int64 {
 func warmup() {
 	workload.PTBLSTM()
 	workload.CudaConvnet()
+	resumeReplayJournal() // the resume-replay benchmark's fixed journal image
 	for _, id := range []string{"fig1", "fig2", "speedup"} {
 		if _, err := experiments.Run(id, experiments.Options{}); err != nil {
 			fmt.Fprintf(os.Stderr, "ashabench: warmup %s: %v\n", id, err)

@@ -5,8 +5,16 @@
 //
 // Usage:
 //
-//	ashad -manifest experiments.json [-workers 16] [-progress 200]
+//	ashad -manifest experiments.json [-workers 16] [-progress 200] [-state-dir dir]
 //	ashad -example              # print a sample manifest and exit
+//
+// With -state-dir every experiment is journaled (one append-only
+// <name>.journal per experiment): rerunning the same command after a
+// kill — even SIGKILL — resumes every experiment exactly where it died,
+// relaunching its in-flight jobs and keeping all completed work. In
+// remote mode, leases from the dead process are gone: reconnected
+// workers lease the requeued jobs afresh and stale reports are
+// rejected, so each job still counts exactly once.
 //
 // The manifest is JSON:
 //
@@ -312,6 +320,7 @@ func main() {
 		manifestPath = flag.String("manifest", "", "path to the experiment manifest (JSON)")
 		workers      = flag.Int("workers", 0, "override the manifest's shared worker budget")
 		progressEach = flag.Int("progress", 200, "stream a progress line every N completed jobs per experiment (0 = off)")
+		stateDir     = flag.String("state-dir", "", "journal every experiment in this directory and resume on restart")
 		example      = flag.Bool("example", false, "print a sample manifest and exit")
 	)
 	flag.Parse()
@@ -342,6 +351,9 @@ func main() {
 	}
 
 	opts := []asha.ManagerOption{asha.WithManagerWorkers(mf.Workers)}
+	if *stateDir != "" {
+		opts = append(opts, asha.WithManagerStateDir(*stateDir))
+	}
 	if mf.Remote != nil {
 		opts = append(opts, asha.WithManagerRemote(asha.Remote{
 			Listen:    mf.Remote.Listen,
@@ -379,7 +391,15 @@ func main() {
 	defer stopSignals()
 
 	fmt.Printf("ashad: running %d experiments on %d shared workers\n", len(mf.Experiments), mf.Workers)
-	results, err := mgr.Run(ctx)
+	var results map[string]*asha.Result
+	if *stateDir != "" {
+		// Resume-on-restart: every experiment with a journal in -state-dir
+		// continues where it died; the rest start fresh.
+		fmt.Printf("ashad: durable state in %s (kill and rerun to resume)\n", *stateDir)
+		results, err = mgr.Resume(ctx)
+	} else {
+		results, err = mgr.Run(ctx)
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "ashad: %v\n", err)
 	}

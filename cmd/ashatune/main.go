@@ -6,7 +6,12 @@
 // Usage:
 //
 //	ashatune [-algo asha|sha|hyperband|async-hyperband|random|pbt|bohb|gp]
-//	         [-workers 8] [-jobs 5000] [-seed 1] [-eta 4]
+//	         [-workers 8] [-jobs 5000] [-seed 1] [-eta 4] [-state-dir dir]
+//
+// With -state-dir the run is journaled: every scheduler decision is
+// written ahead to an append-only journal in the directory, and
+// rerunning the same command after a kill (even SIGKILL) resumes the
+// run exactly where it died instead of starting over.
 package main
 
 import (
@@ -69,6 +74,7 @@ func main() {
 		jobs     = flag.Int("jobs", 5000, "training-job budget")
 		seed     = flag.Uint64("seed", 1, "random seed")
 		eta      = flag.Int("eta", 4, "reduction factor for halving-based algorithms")
+		stateDir = flag.String("state-dir", "", "journal the run in this directory and resume it on restart")
 	)
 	flag.Parse()
 
@@ -85,7 +91,7 @@ func main() {
 	)
 
 	improvements := 0
-	tuner := asha.New(space, objective, algo,
+	opts := []asha.Option{
 		asha.WithWorkers(*workers),
 		asha.WithMaxJobs(*jobs),
 		asha.WithSeed(*seed),
@@ -95,7 +101,11 @@ func main() {
 			}
 			_ = improvements
 		}),
-	)
+	}
+	if *stateDir != "" {
+		opts = append(opts, asha.WithStateDir(*stateDir))
+	}
+	tuner := asha.New(space, objective, algo, opts...)
 
 	// SIGINT/SIGTERM cancel the run context for a graceful shutdown:
 	// in-flight jobs drain and the partial best still prints below.
@@ -103,7 +113,15 @@ func main() {
 	defer stopSignals()
 
 	fmt.Printf("tuning with %s on %d workers (%d-job budget)...\n", *algoName, *workers, *jobs)
-	res, err := tuner.Run(ctx)
+	var res *asha.Result
+	if *stateDir != "" {
+		// Resume-on-restart: continue the journal in -state-dir if one
+		// exists (a previous invocation was killed), else start fresh.
+		fmt.Printf("durable state in %s (kill and rerun to resume)\n", *stateDir)
+		res, err = tuner.Resume(ctx)
+	} else {
+		res, err = tuner.Run(ctx)
+	}
 	if err != nil {
 		log.Fatal(err)
 	}

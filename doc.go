@@ -45,6 +45,14 @@
 // WithManagerRemote the manager serves all of its experiments to one
 // worker fleet.
 //
+// Runs are durable with WithStateDir (WithManagerStateDir for
+// managers): every scheduler decision is written ahead to an
+// append-only journal with periodic snapshots of trial checkpoints,
+// and Tuner.Resume / Manager.Resume continue a killed run exactly
+// where it died — completed work is replayed, not re-run, and the
+// resumed run makes bit-identical promotion decisions to an
+// uninterrupted one at the same seed.
+//
 // The repository also contains the paper's full experimental harness:
 // every table and figure of the evaluation section can be regenerated
 // with cmd/ashaexp (see DESIGN.md and EXPERIMENTS.md).

@@ -26,11 +26,13 @@ package backend
 
 import (
 	"context"
+	"encoding/json"
 	"math"
 
 	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/searchspace"
+	"repro/internal/state"
 )
 
 // Completion reports one finished training job back to the engine.
@@ -97,6 +99,26 @@ type Backend interface {
 	Stats() Stats
 }
 
+// TrialCheckpointer is the optional durability surface of a backend:
+// backends that keep JSON-serializable trial checkpoints (the goroutine
+// pool, the subprocess pool, the remote fleet) expose them for journal
+// snapshots and accept them back on resume. The simulator does not
+// implement it — surrogate trials have no state worth persisting.
+// Both methods are called from the engine goroutine only.
+type TrialCheckpointer interface {
+	// SnapshotTrials streams every trial's last committed cumulative
+	// resource and checkpoint to fn. State may be nil when a trial's
+	// checkpoint is not serializable; the trial then restarts from zero
+	// on resume, like a crashed worker's.
+	SnapshotTrials(fn func(trial int, resource float64, state json.RawMessage))
+	// RestoreTrial seeds one trial's committed state before any Launch.
+	RestoreTrial(trial int, resource float64, state json.RawMessage)
+}
+
+// DefaultSnapshotEvery is the default completion count between journal
+// snapshots.
+const DefaultSnapshotEvery = 64
+
 // Options bound and observe an engine run.
 type Options struct {
 	// MaxJobs stops issuing work after this many launched jobs
@@ -118,6 +140,23 @@ type Options struct {
 	// OnResult, if set, is invoked after every successful completion with
 	// the scheduler's current incumbent. It runs on the engine goroutine.
 	OnResult func(res core.Result, best core.Best, ok bool)
+	// Journal, when non-nil, receives a write-ahead record of every
+	// scheduler decision: each issued job is journaled before it is
+	// launched, each result before it is reported to the scheduler, and
+	// the backend's trial table is snapshotted every SnapshotEvery
+	// completions plus once at a clean end of run. A journal append
+	// failure aborts the run — continuing would leave scheduler state the
+	// journal cannot replay.
+	Journal *state.Journal
+	// SnapshotEvery is the completion count between journal snapshots
+	// (default DefaultSnapshotEvery; ignored without Journal).
+	SnapshotEvery int
+	// Resume, when non-nil, continues a journaled run reconstructed by
+	// Replay: the restored counters seed the returned metrics, the
+	// backend's trial table is restored before any launch, journaled
+	// in-flight jobs are relaunched without new issue records, and the
+	// run clock continues from the journal's maximum time.
+	Resume *ResumeState
 }
 
 // Drive runs sched on b until the context is cancelled, budgets are
@@ -128,12 +167,34 @@ type Options struct {
 // is always non-nil.
 func Drive(ctx context.Context, sched core.Scheduler, b Backend, opt Options) (*metrics.Run, error) {
 	run := &metrics.Run{FirstRTime: math.Inf(1)}
+	jw := newJournalWriter(opt.Journal, opt.SnapshotEvery)
+	if opt.Journal != nil {
+		// Backends holding in-memory state objects (the goroutine pool)
+		// must encode checkpoints at commit time rather than at snapshot
+		// time, when a worker may still be mutating them.
+		if cp, ok := b.(interface{ EnableCheckpointSnapshots() }); ok {
+			cp.EnableCheckpointSnapshots()
+		}
+	}
+	var relaunch []core.Job
+	var clockOff float64
+	if opt.Resume != nil {
+		run = opt.Resume.Run
+		relaunch = append(relaunch, opt.Resume.Relaunch...)
+		clockOff = opt.Resume.TimeOffset
+		jw.prime(opt.Resume)
+		if tc, ok := b.(TrialCheckpointer); ok {
+			for _, t := range opt.Resume.Trials {
+				tc.RestoreTrial(t.Trial, t.Resource, t.State)
+			}
+		}
+	}
 	inflight := 0
 	budgetExhausted := func() bool {
 		if opt.MaxJobs > 0 && run.IssuedJobs >= opt.MaxJobs {
 			return true
 		}
-		if opt.MaxTime > 0 && b.Now() >= opt.MaxTime {
+		if opt.MaxTime > 0 && b.Now()+clockOff >= opt.MaxTime {
 			return true
 		}
 		return false
@@ -142,11 +203,31 @@ func Drive(ctx context.Context, sched core.Scheduler, b Backend, opt Options) (*
 loop:
 	for {
 		// Fill every free slot until the scheduler declines (synchronous
-		// barrier), budgets run out, or capacity is reached.
-		for inflight < b.Capacity() && ctx.Err() == nil && !budgetExhausted() && !sched.Done() {
+		// barrier), budgets run out, or capacity is reached. Journaled
+		// in-flight jobs from a resumed run go first: they were already
+		// issued (and counted, and journaled) before the crash, so they
+		// relaunch without new issue records — a second crash and resume
+		// still sees exactly one issue per attempt.
+		for inflight < b.Capacity() && ctx.Err() == nil {
+			if len(relaunch) > 0 {
+				job := relaunch[0]
+				relaunch = relaunch[1:]
+				b.Launch(job)
+				inflight++
+				continue
+			}
+			if budgetExhausted() || sched.Done() {
+				break
+			}
 			job, ok := sched.Next()
 			if !ok {
 				break
+			}
+			// Write-ahead: a job whose issue record is not durable must
+			// never launch, or recovery could double-issue it.
+			if err := jw.issue(job); err != nil {
+				firstErr = err
+				break loop
 			}
 			b.Launch(job)
 			run.IssuedJobs++
@@ -173,7 +254,19 @@ loop:
 				}
 				break loop
 			}
+			c.Time += clockOff
+			// Write-ahead: the journal is always a superset of scheduler
+			// state, so replay can only over-approximate — never lose — a
+			// delivered result.
+			if err := jw.report(c); err != nil {
+				firstErr = err
+				break loop
+			}
 			ingest(sched, run, opt, c)
+		}
+		if err := jw.maybeSnapshot(run, b, b.Now()+clockOff); err != nil {
+			firstErr = err
+			break
 		}
 		if opt.StopAtFirstR && !math.IsInf(run.FirstRTime, 1) {
 			break
@@ -183,8 +276,15 @@ loop:
 	if firstErr == nil && closeErr != nil && ctx.Err() == nil {
 		firstErr = closeErr
 	}
+	// A clean end gets a final snapshot (after Close, which commits any
+	// in-flight results to the backend's trial table).
+	if firstErr == nil && ctx.Err() == nil {
+		if err := jw.finalSnapshot(run, b, b.Now()+clockOff); err != nil {
+			firstErr = err
+		}
+	}
 	st := b.Stats()
-	run.EndTime = b.Now()
+	run.EndTime = b.Now() + clockOff
 	run.Trials = st.Trials
 	run.TotalResource = st.TotalResource
 	run.ConfigsToR = st.ConfigsToR

@@ -8,6 +8,7 @@ package exec
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -102,11 +103,16 @@ type poolResult struct {
 	err   error
 }
 
-// poolTrial is the pool-side record of one trial.
+// poolTrial is the pool-side record of one trial. stateJSON is the
+// checkpoint's journal encoding, computed at commit time on the engine
+// goroutine when checkpoint snapshots are enabled: encoding at snapshot
+// time instead would read a live state object that an objective may
+// still be mutating from a worker goroutine.
 type poolTrial struct {
-	resource float64
-	state    interface{}
-	config   searchspace.Config
+	resource  float64
+	state     interface{}
+	stateJSON json.RawMessage
+	config    searchspace.Config
 }
 
 // Pool is the goroutine worker-pool backend. All trial bookkeeping is
@@ -124,7 +130,15 @@ type Pool struct {
 	wg      sync.WaitGroup
 	stopped atomic.Bool
 	closed  bool
+	// checkpoint enables commit-time JSON encoding of trial states for
+	// journal snapshots (set by the engine when the run is journaled).
+	checkpoint bool
 }
+
+// EnableCheckpointSnapshots turns on commit-time encoding of trial
+// checkpoints. The engine calls it before any Launch when the run has a
+// journal; unjournaled runs skip the per-completion marshal entirely.
+func (p *Pool) EnableCheckpointSnapshots() { p.checkpoint = true }
 
 // NewPool starts workers goroutines executing obj. The context is passed
 // through to every objective invocation.
@@ -181,6 +195,7 @@ func (p *Pool) Launch(job core.Job) {
 		if donor := p.trials[job.InheritFrom]; donor != nil {
 			t.resource = donor.resource
 			t.state = donor.state
+			t.stateJSON = donor.stateJSON
 		}
 	}
 	t.config = job.Config.Clone()
@@ -218,6 +233,19 @@ func (p *Pool) apply(r poolResult) backend.Completion {
 	t := p.trials[r.job.TrialID]
 	t.resource = r.job.TargetResource
 	t.state = r.state
+	if p.checkpoint {
+		// Commit-time encoding: the worker that produced r.state has
+		// finished and no new job of this trial can be running, so the
+		// marshal cannot race a concurrent mutation. A state that does
+		// not marshal is kept without a checkpoint (the trial restarts
+		// from zero on resume, like a crashed worker's).
+		t.stateJSON = nil
+		if r.state != nil {
+			if blob, err := json.Marshal(r.state); err == nil {
+				t.stateJSON = blob
+			}
+		}
+	}
 	c.Loss = r.loss
 	c.TrueLoss = r.loss
 	c.Resource = t.resource
@@ -257,4 +285,28 @@ func (p *Pool) Stats() backend.Stats {
 		st.TotalResource += t.resource
 	}
 	return st
+}
+
+// SnapshotTrials implements backend.TrialCheckpointer, streaming the
+// commit-time encodings (see EnableCheckpointSnapshots).
+func (p *Pool) SnapshotTrials(fn func(trial int, resource float64, state json.RawMessage)) {
+	for id, t := range p.trials {
+		fn(id, t.resource, t.stateJSON)
+	}
+}
+
+// RestoreTrial implements backend.TrialCheckpointer. The checkpoint is
+// handed back to the objective as decoded JSON (numbers are float64,
+// objects are map[string]interface{}) — the same representation
+// subprocess and remote objectives already receive, so objectives used
+// with resume must accept it.
+func (p *Pool) RestoreTrial(trial int, resource float64, state json.RawMessage) {
+	t := &poolTrial{resource: resource, stateJSON: state}
+	if len(state) > 0 {
+		var v interface{}
+		if err := json.Unmarshal(state, &v); err == nil {
+			t.state = v
+		}
+	}
+	p.trials[trial] = t
 }

@@ -396,6 +396,19 @@ func (s *Subprocess) Stats() backend.Stats {
 	return st
 }
 
+// SnapshotTrials implements backend.TrialCheckpointer: subprocess
+// checkpoints are already the opaque JSON the wire carries.
+func (s *Subprocess) SnapshotTrials(fn func(trial int, resource float64, state json.RawMessage)) {
+	for id, t := range s.trials {
+		fn(id, t.resource, t.state)
+	}
+}
+
+// RestoreTrial implements backend.TrialCheckpointer.
+func (s *Subprocess) RestoreTrial(trial int, resource float64, state json.RawMessage) {
+	s.trials[trial] = &procTrial{resource: resource, state: state}
+}
+
 func (w *procWorker) shutdown() {
 	_ = w.stdin.Close()
 	if w.cmd.Process != nil {

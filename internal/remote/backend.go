@@ -153,3 +153,21 @@ func (b *Backend) Stats() backend.Stats {
 	}
 	return st
 }
+
+// SnapshotTrials implements backend.TrialCheckpointer: fleet checkpoints
+// are already the opaque JSON workers report.
+func (b *Backend) SnapshotTrials(fn func(trial int, resource float64, state json.RawMessage)) {
+	for id, t := range b.trials {
+		fn(id, t.resource, t.state)
+	}
+}
+
+// RestoreTrial implements backend.TrialCheckpointer. On resume the lease
+// server starts empty: journaled in-flight jobs are resubmitted and
+// leased afresh, while any worker still holding a lease from the
+// previous process finds it expired — its heartbeat cancels the orphaned
+// job and a late report is rejected, so the retried job is delivered
+// exactly once.
+func (b *Backend) RestoreTrial(trial int, resource float64, state json.RawMessage) {
+	b.trials[trial] = &trialState{resource: resource, state: state}
+}

@@ -1,0 +1,164 @@
+package state
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// syncer is the optional durability hook of a journal's writer. *os.File
+// implements it; fault-injection tests implement it to simulate fsync
+// failures.
+type syncer interface {
+	Sync() error
+}
+
+// Journal is a write-ahead appender. Records are written one per line
+// with a single Write call each, so a crash can tear at most the final
+// line — which Recover discards as the recovery point. A failed append
+// (error, short write, or failed sync) is sticky: every later append
+// returns the same error, forcing the caller to abort instead of
+// continuing with a hole in the log.
+//
+// Appends are serialized by an internal mutex, but the write-ahead
+// ordering contract is the caller's: append the issue before launching,
+// append the report before delivering it to the scheduler.
+type Journal struct {
+	mu      sync.Mutex
+	w       io.Writer
+	f       *os.File
+	err     error
+	records int
+
+	// SyncEach, when set before use, syncs the underlying writer after
+	// every append, making records durable against machine crashes, not
+	// just process crashes. Off by default: the per-record Write already
+	// survives process death, and fsync-per-record costs ~1ms on most
+	// filesystems.
+	SyncEach bool
+}
+
+// Create creates (or truncates) the journal file at path and writes its
+// meta head record.
+func Create(path string, meta Meta) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("state: create journal: %w", err)
+	}
+	j := &Journal{w: f, f: f}
+	if err := j.Append(Record{V: Version, Meta: &meta}); err != nil {
+		_ = f.Close()
+		return nil, err
+	}
+	return j, nil
+}
+
+// NewWriter starts a journal on an arbitrary writer (an in-memory buffer
+// in tests, a fault-injecting writer in crash tests) and writes its meta
+// head record. If w implements Sync() error it is used for SyncEach.
+func NewWriter(w io.Writer, meta Meta) (*Journal, error) {
+	j := &Journal{w: w}
+	if err := j.Append(Record{V: Version, Meta: &meta}); err != nil {
+		return nil, err
+	}
+	return j, nil
+}
+
+// ReopenWriter continues a journal on a writer that already holds its
+// committed prefix — the in-memory twin of RecoverFile's append mode,
+// used by crash-resume tests. records is the number of records already
+// committed, reported by Records().
+func ReopenWriter(w io.Writer, records int) *Journal {
+	return &Journal{w: w, records: records}
+}
+
+// Append writes one record. The first error is sticky.
+func (j *Journal) Append(rec Record) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return j.err
+	}
+	if err := rec.Validate(); err != nil {
+		// A malformed record is a caller bug, not a journal failure: report
+		// it without poisoning the journal.
+		return err
+	}
+	line, err := json.Marshal(&rec)
+	if err != nil {
+		j.err = fmt.Errorf("state: journal encode: %w", err)
+		return j.err
+	}
+	line = append(line, '\n')
+	n, err := j.w.Write(line)
+	if err == nil && n < len(line) {
+		err = io.ErrShortWrite
+	}
+	if err != nil {
+		j.err = fmt.Errorf("state: journal append: %w", err)
+		return j.err
+	}
+	if j.SyncEach {
+		if s, ok := j.w.(syncer); ok {
+			if err := s.Sync(); err != nil {
+				j.err = fmt.Errorf("state: journal sync: %w", err)
+				return j.err
+			}
+		}
+	}
+	j.records++
+	return nil
+}
+
+// AppendIssue, AppendReport and AppendSnapshot wrap Append for the three
+// body record types.
+func (j *Journal) AppendIssue(is Issue) error {
+	return j.Append(Record{V: Version, Issue: &is})
+}
+
+func (j *Journal) AppendReport(rep Report) error {
+	return j.Append(Record{V: Version, Report: &rep})
+}
+
+func (j *Journal) AppendSnapshot(snap Snapshot) error {
+	return j.Append(Record{V: Version, Snap: &snap})
+}
+
+// Err returns the journal's sticky error, if any.
+func (j *Journal) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+// Records returns the number of records successfully appended (including
+// the meta record, and including records replayed from disk when the
+// journal was opened by RecoverFile).
+func (j *Journal) Records() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.records
+}
+
+// Close syncs and closes the underlying file, if any. It returns the
+// sticky append error in preference to a close error, so callers that
+// only check Close still observe append failures.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	var closeErr error
+	if j.f != nil {
+		if err := j.f.Sync(); err != nil && j.err == nil {
+			j.err = fmt.Errorf("state: journal sync on close: %w", err)
+		}
+		closeErr = j.f.Close()
+		j.f = nil
+		j.w = nil
+	}
+	if j.err != nil {
+		return j.err
+	}
+	return closeErr
+}

@@ -1,0 +1,112 @@
+package state
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+)
+
+// ErrNoMeta is returned by Recover when the journal has no committed
+// meta head record — an empty file, or a file torn before the first
+// line completed. There is nothing to resume from.
+var ErrNoMeta = errors.New("state: journal has no committed meta record")
+
+// Recovered is the committed prefix of a journal.
+type Recovered struct {
+	// Meta is the head record.
+	Meta Meta
+	// Records are the committed body records, in append order.
+	Records []Record
+	// CleanOffset is the byte offset just past the last committed record
+	// — the recovery point. Appends must resume here.
+	CleanOffset int64
+	// Truncated reports that a torn or undecodable tail (or mid-file
+	// corruption) was discarded at CleanOffset.
+	Truncated bool
+}
+
+// Recover scans a journal image and returns its committed prefix. A
+// committed record is a '\n'-terminated line that decodes into a valid
+// Record; the scan stops at the first violation — a torn final write, a
+// corrupt line, a record of an unknown version — and everything from
+// that point on is discarded. The write-ahead ordering makes this safe:
+// a record that never committed corresponds to an action (launch or
+// scheduler report) that never happened.
+//
+// Recover never panics on arbitrary input (fuzzed in fuzz_test.go); the
+// only error it returns is ErrNoMeta, when not even the head record
+// committed.
+func Recover(data []byte) (*Recovered, error) {
+	rec := &Recovered{}
+	off := 0
+	sawMeta := false
+	for off < len(data) {
+		nl := bytes.IndexByte(data[off:], '\n')
+		if nl < 0 {
+			rec.Truncated = true // torn tail: the final write never completed
+			break
+		}
+		line := data[off : off+nl]
+		var r Record
+		if err := json.Unmarshal(line, &r); err != nil {
+			rec.Truncated = true
+			break
+		}
+		if err := r.Validate(); err != nil {
+			rec.Truncated = true
+			break
+		}
+		if !sawMeta {
+			if r.Meta == nil {
+				// A journal must open with its meta record; anything else is
+				// not a journal this reader can resume.
+				return nil, ErrNoMeta
+			}
+			rec.Meta = *r.Meta
+			sawMeta = true
+		} else {
+			if r.Meta != nil {
+				// A second meta record mid-file means two runs were
+				// interleaved into one file; nothing after it is trustworthy.
+				rec.Truncated = true
+				break
+			}
+			rec.Records = append(rec.Records, r)
+		}
+		off += nl + 1
+		rec.CleanOffset = int64(off)
+	}
+	if !sawMeta {
+		return nil, ErrNoMeta
+	}
+	return rec, nil
+}
+
+// RecoverFile recovers the journal at path, truncates any torn tail so
+// the file ends exactly at the recovery point, and reopens it for
+// appending. The returned Journal continues the same file; the returned
+// Recovered prefix is what the caller replays before appending.
+func RecoverFile(path string) (*Recovered, *Journal, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("state: read journal: %w", err)
+	}
+	rec, err := Recover(data)
+	if err != nil {
+		return nil, nil, fmt.Errorf("state: %s: %w", path, err)
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("state: reopen journal: %w", err)
+	}
+	if rec.Truncated {
+		if err := f.Truncate(rec.CleanOffset); err != nil {
+			_ = f.Close()
+			return nil, nil, fmt.Errorf("state: truncate torn journal tail: %w", err)
+		}
+	}
+	j := &Journal{w: f, f: f, records: 1 + len(rec.Records)}
+	return rec, j, nil
+}

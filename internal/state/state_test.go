@@ -1,0 +1,426 @@
+package state
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func testMeta() Meta {
+	return Meta{Experiment: "exp", Algo: "asha.ASHA", Seed: 7, Params: []string{"lr", "momentum"}}
+}
+
+func sampleRecords() []Record {
+	return []Record{
+		{V: Version, Issue: &Issue{Trial: 0, Rung: 0, Target: 1, Inherit: -1, Kind: KindSample,
+			Config: map[string]float64{"lr": 0.01, "momentum": 0.9}}},
+		{V: Version, Report: &Report{Trial: 0, Rung: 0, Loss: 0.5, TrueLoss: 0.5, Resource: 1, Time: 1.25}},
+		{V: Version, Issue: &Issue{Trial: 0, Rung: 1, Target: 4, Inherit: -1, Kind: KindPromote,
+			Config: map[string]float64{"lr": 0.01, "momentum": 0.9}}},
+		{V: Version, Report: &Report{Trial: 0, Rung: 1, Failed: true, Time: 2.5}},
+		{V: Version, Snap: &Snapshot{Issued: 2, Completed: 1, Failed: 1, Time: 2.5,
+			Trials: []TrialSnap{{Trial: 0, Resource: 1, State: json.RawMessage(`{"loss":0.5}`)}}}},
+	}
+}
+
+func buildJournal(t *testing.T, recs []Record) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	j, err := NewWriter(&buf, testMeta())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		if err := j.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	want := sampleRecords()
+	data := buildJournal(t, want)
+	rec, err := Recover(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Truncated {
+		t.Fatal("clean journal reported truncated")
+	}
+	if rec.CleanOffset != int64(len(data)) {
+		t.Fatalf("clean offset %d, want %d", rec.CleanOffset, len(data))
+	}
+	if rec.Meta.Experiment != "exp" || rec.Meta.Seed != 7 || len(rec.Meta.Params) != 2 {
+		t.Fatalf("meta did not round-trip: %+v", rec.Meta)
+	}
+	if len(rec.Records) != len(want) {
+		t.Fatalf("got %d records, want %d", len(rec.Records), len(want))
+	}
+	for i := range want {
+		g, _ := json.Marshal(&rec.Records[i])
+		w, _ := json.Marshal(&want[i])
+		if !bytes.Equal(g, w) {
+			t.Errorf("record %d: got %s, want %s", i, g, w)
+		}
+	}
+}
+
+func TestRecoverTornTail(t *testing.T) {
+	data := buildJournal(t, sampleRecords())
+	// Cut mid-way through the final line: the torn record is discarded
+	// and the clean offset lands on the previous record boundary.
+	cut := data[:len(data)-7]
+	rec, err := Recover(cut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec.Truncated {
+		t.Fatal("torn tail not reported")
+	}
+	if len(rec.Records) != len(sampleRecords())-1 {
+		t.Fatalf("got %d committed records, want %d", len(rec.Records), len(sampleRecords())-1)
+	}
+	if rec.CleanOffset >= int64(len(cut)) || cut[rec.CleanOffset-1] != '\n' {
+		t.Fatalf("clean offset %d is not a record boundary", rec.CleanOffset)
+	}
+}
+
+func TestRecoverCorruptMiddleStopsThere(t *testing.T) {
+	data := buildJournal(t, sampleRecords())
+	lines := bytes.SplitAfter(data, []byte("\n"))
+	// Corrupt the third line; later intact lines must be discarded too —
+	// they depend on state the corrupt record may have changed.
+	lines[2] = []byte("{\"v\":1,GARBAGE}\n")
+	corrupt := bytes.Join(lines, nil)
+	rec, err := Recover(corrupt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec.Truncated {
+		t.Fatal("corruption not reported")
+	}
+	if len(rec.Records) != 1 {
+		t.Fatalf("got %d records, want 1 (everything after the corrupt line discarded)", len(rec.Records))
+	}
+}
+
+func TestRecoverRejectsHeadlessJournals(t *testing.T) {
+	for _, data := range [][]byte{
+		nil,
+		[]byte(""),
+		[]byte("{\"v\":1,\"issue\""), // torn before any record committed
+		buildJournal(t, nil)[5:],     // head line damaged
+		[]byte("{\"v\":1,\"issue\":{\"trial\":1,\"rung\":0,\"target\":1,\"inherit\":-1}}\n"), // first record is not a meta
+		[]byte("{\"v\":99,\"meta\":{\"experiment\":\"x\",\"seed\":1}}\n"),                    // future version
+	} {
+		if _, err := Recover(data); !errors.Is(err, ErrNoMeta) {
+			t.Errorf("Recover(%q) err = %v, want ErrNoMeta", data, err)
+		}
+	}
+}
+
+func TestRecoverStopsAtUnknownVersionRecord(t *testing.T) {
+	data := buildJournal(t, sampleRecords()[:2])
+	data = append(data, []byte("{\"v\":2,\"report\":{\"trial\":9,\"rung\":0}}\n")...)
+	rec, err := Recover(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec.Truncated || len(rec.Records) != 2 {
+		t.Fatalf("future-version record not treated as recovery point: truncated=%v records=%d", rec.Truncated, len(rec.Records))
+	}
+}
+
+func TestRecoverFileTruncatesAndAppends(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "exp.journal")
+	j, err := Create(path, testMeta())
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := sampleRecords()
+	for _, r := range recs[:3] {
+		if err := j.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash mid-write: a torn final line.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"v":1,"report":{"tri`); err != nil {
+		t.Fatal(err)
+	}
+	_ = f.Close()
+
+	rec, j2, err := RecoverFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec.Truncated || len(rec.Records) != 3 {
+		t.Fatalf("recovery: truncated=%v records=%d, want true/3", rec.Truncated, len(rec.Records))
+	}
+	// Appending must continue exactly at the recovery point.
+	if err := j2.Append(recs[3]); err != nil {
+		t.Fatal(err)
+	}
+	if err := j2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final, err := Recover(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Truncated || len(final.Records) != 4 {
+		t.Fatalf("after truncate+append: truncated=%v records=%d, want false/4", final.Truncated, len(final.Records))
+	}
+}
+
+// brokenWriter accepts budget bytes, then fails — optionally tearing the
+// final write short first, like a full disk or a killed process would.
+type brokenWriter struct {
+	buf    bytes.Buffer
+	budget int
+}
+
+func (w *brokenWriter) Write(p []byte) (int, error) {
+	remain := w.budget - w.buf.Len()
+	if remain <= 0 {
+		return 0, errors.New("injected write failure")
+	}
+	if len(p) > remain {
+		w.buf.Write(p[:remain])
+		return remain, errors.New("injected write failure")
+	}
+	w.buf.Write(p)
+	return len(p), nil
+}
+
+func TestJournalWriteFailureIsStickyAndRecoverable(t *testing.T) {
+	clean := buildJournal(t, sampleRecords())
+	// Fail mid-way through the third body record (a short write).
+	w := &brokenWriter{budget: len(clean) - 50}
+	j, err := NewWriter(w, testMeta())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var appendErr error
+	wrote := 0
+	for _, r := range sampleRecords() {
+		if appendErr = j.Append(r); appendErr != nil {
+			break
+		}
+		wrote++
+	}
+	if appendErr == nil {
+		t.Fatal("append never failed despite the broken writer")
+	}
+	if wrote == len(sampleRecords()) {
+		t.Fatal("all records reported written")
+	}
+	// Sticky: later appends refuse without touching the writer.
+	before := w.buf.Len()
+	if err := j.Append(sampleRecords()[0]); err == nil {
+		t.Fatal("append after failure succeeded")
+	}
+	if w.buf.Len() != before {
+		t.Fatal("append after failure wrote bytes")
+	}
+	if err := j.Err(); err == nil {
+		t.Fatal("Err() lost the sticky error")
+	}
+	// The torn image recovers to exactly the records whose appends
+	// succeeded: the failed record never half-commits.
+	rec, err := Recover(w.buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Records) != wrote {
+		t.Fatalf("recovered %d records, want %d (the successfully appended ones)", len(rec.Records), wrote)
+	}
+}
+
+// shortWriter returns n < len(p) with a nil error — a buggy writer the
+// journal must still detect.
+type shortWriter struct {
+	buf   bytes.Buffer
+	after int
+}
+
+func (w *shortWriter) Write(p []byte) (int, error) {
+	if w.buf.Len()+len(p) > w.after {
+		n := w.after - w.buf.Len()
+		if n < 0 {
+			n = 0
+		}
+		w.buf.Write(p[:n])
+		return n, nil
+	}
+	w.buf.Write(p)
+	return len(p), nil
+}
+
+func TestJournalDetectsSilentShortWrite(t *testing.T) {
+	w := &shortWriter{after: 120} // meta (~92 bytes) fits; the first issue record tears
+	j, err := NewWriter(w, testMeta())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last error
+	for _, r := range sampleRecords() {
+		if last = j.Append(r); last != nil {
+			break
+		}
+	}
+	if last == nil || !strings.Contains(last.Error(), "short write") {
+		t.Fatalf("short write undetected: %v", last)
+	}
+}
+
+// syncFailWriter fails on Sync after a set number of successes.
+type syncFailWriter struct {
+	bytes.Buffer
+	okSyncs int
+	syncs   int
+}
+
+func (w *syncFailWriter) Sync() error {
+	w.syncs++
+	if w.syncs > w.okSyncs {
+		return errors.New("injected fsync failure")
+	}
+	return nil
+}
+
+func TestJournalSyncFailureIsSticky(t *testing.T) {
+	w := &syncFailWriter{okSyncs: 2}
+	j := &Journal{w: w, SyncEach: true}
+	var last error
+	n := 0
+	for _, r := range append([]Record{{V: Version, Meta: &Meta{Experiment: "x", Seed: 1}}}, sampleRecords()...) {
+		if last = j.Append(r); last != nil {
+			break
+		}
+		n++
+	}
+	if last == nil || !strings.Contains(last.Error(), "sync") {
+		t.Fatalf("fsync failure undetected after %d appends: %v", n, last)
+	}
+	if n != 2 {
+		t.Fatalf("%d appends survived, want 2 (the successful syncs)", n)
+	}
+	if err := j.Append(sampleRecords()[0]); err == nil {
+		t.Fatal("append after sync failure succeeded")
+	}
+}
+
+func TestAppendRejectsMalformedRecordWithoutPoisoning(t *testing.T) {
+	var buf bytes.Buffer
+	j, err := NewWriter(&buf, testMeta())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(Record{V: Version}); err == nil {
+		t.Fatal("empty record accepted")
+	}
+	if err := j.Append(Record{V: Version, Issue: &Issue{}, Report: &Report{}}); err == nil {
+		t.Fatal("double-payload record accepted")
+	}
+	if err := j.Append(sampleRecords()[0]); err != nil {
+		t.Fatalf("journal poisoned by caller error: %v", err)
+	}
+}
+
+func TestJournalRecordsCount(t *testing.T) {
+	var buf bytes.Buffer
+	j, err := NewWriter(&buf, testMeta())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range sampleRecords() {
+		if err := j.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := j.Records(); got != 1+len(sampleRecords()) {
+		t.Fatalf("Records() = %d, want %d", got, 1+len(sampleRecords()))
+	}
+}
+
+func TestCreateTruncatesPreviousJournal(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "exp.journal")
+	for run := 0; run < 2; run++ {
+		j, err := Create(path, testMeta())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range sampleRecords()[:run+1] {
+			if err := j.Append(r); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := j.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	data, _ := os.ReadFile(path)
+	rec, err := Recover(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Records) != 2 {
+		t.Fatalf("second Create did not truncate: %d records", len(rec.Records))
+	}
+}
+
+func TestReportNonFiniteLossesRoundTripBitExact(t *testing.T) {
+	for _, v := range []float64{math.NaN(), math.Inf(1), math.Inf(-1), 0.25} {
+		var rep Report
+		rep.SetLosses(v, -v)
+		blob, err := json.Marshal(Record{V: Version, Report: &rep})
+		if err != nil {
+			t.Fatalf("loss %v: %v", v, err)
+		}
+		var back Record
+		if err := json.Unmarshal(blob, &back); err != nil {
+			t.Fatal(err)
+		}
+		loss, trueLoss := back.Report.Losses()
+		if math.Float64bits(loss) != math.Float64bits(v) || math.Float64bits(trueLoss) != math.Float64bits(-v) {
+			t.Errorf("loss %v did not round trip bit-exact: got %v/%v", v, loss, trueLoss)
+		}
+	}
+}
+
+func TestRecordValidate(t *testing.T) {
+	cases := []struct {
+		rec Record
+		ok  bool
+	}{
+		{Record{V: Version, Meta: &Meta{}}, true},
+		{Record{V: Version, Issue: &Issue{}}, true},
+		{Record{V: Version}, false},
+		{Record{V: Version + 1, Issue: &Issue{}}, false},
+		{Record{V: Version, Issue: &Issue{}, Snap: &Snapshot{}}, false},
+	}
+	for i, c := range cases {
+		if err := c.rec.Validate(); (err == nil) != c.ok {
+			t.Errorf("case %d: Validate() = %v, want ok=%v", i, err, c.ok)
+		}
+	}
+}

@@ -6,11 +6,16 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"os"
+	"path/filepath"
+	"sort"
 	"time"
 
+	"repro/internal/backend"
 	"repro/internal/core"
 	"repro/internal/exec"
 	"repro/internal/remote"
+	"repro/internal/state"
 	"repro/internal/xrand"
 )
 
@@ -51,6 +56,15 @@ func WithManagerProgress(fn func(p ExperimentProgress)) ManagerOption {
 	return func(m *Manager) { m.onProgress = fn }
 }
 
+// WithManagerStateDir makes every experiment durable: each gets its own
+// append-only journal (<name>.journal) in dir, written ahead of every
+// scheduler decision, with periodic snapshots of its trial checkpoints.
+// Run starts fresh journals (truncating previous ones); Resume replays
+// existing journals and continues every experiment where it left off.
+func WithManagerStateDir(dir string) ManagerOption {
+	return func(m *Manager) { m.stateDir = dir }
+}
+
 // WithManagerRemote serves every experiment's training jobs to a
 // distributed worker fleet instead of the in-process pool: the manager
 // embeds one HTTP job-lease server (see the Remote backend), jobs carry
@@ -76,6 +90,7 @@ type Manager struct {
 	workers     int
 	onProgress  func(ExperimentProgress)
 	remote      *Remote
+	stateDir    string
 	experiments []Experiment
 	names       map[string]bool
 }
@@ -116,9 +131,14 @@ func (m *Manager) Add(e Experiment) error {
 }
 
 // mgrTrial is the manager-side record of one trial of one experiment.
+// stateJSON is the checkpoint's journal encoding, computed at commit
+// time on the dispatch goroutine (journaled runs only): encoding at
+// snapshot time instead would read a live state object that an
+// objective may still be mutating from a worker goroutine.
 type mgrTrial struct {
-	resource float64
-	state    interface{}
+	resource  float64
+	state     interface{}
+	stateJSON json.RawMessage
 }
 
 // mgrExp is the live state of one experiment.
@@ -133,6 +153,13 @@ type mgrExp struct {
 	done      bool
 	failed    error
 	history   []HistoryPoint
+
+	// Durable-state fields (nil/zero without WithManagerStateDir).
+	journal  *state.Journal
+	jseen    map[int64]struct{} // (trial, rung) pairs issued, for retry annotation
+	relaunch []core.Job         // journaled in-flight jobs to re-run first on resume
+	snapGap  int                // completions since the last snapshot
+	clockOff float64            // journal's max recorded time; the resumed clock continues it
 }
 
 // exhausted reports whether the experiment may issue no further jobs.
@@ -168,8 +195,27 @@ type mgrRun struct {
 // experiment (objective error) is finalized with its error and excluded
 // from the map without stopping the others; the joined errors are
 // returned alongside the successful results. Cancelling the context
-// stops all experiments cleanly.
+// stops all experiments cleanly. With WithManagerStateDir every
+// experiment is journaled from scratch, truncating previous journals.
 func (m *Manager) Run(ctx context.Context) (map[string]*Result, error) {
+	return m.run(ctx, false)
+}
+
+// Resume continues journaled experiments from the manager's state
+// directory: every added experiment whose journal exists is replayed to
+// the exact scheduler state it died with (completed work is not re-run,
+// in-flight jobs are relaunched, trial checkpoints restore from the
+// latest snapshot), and experiments without a journal start fresh. The
+// manager must be configured with the same experiments — same names,
+// spaces, algorithms, seeds — which Resume verifies per journal. In
+// fleet mode the lease table restarts empty: journaled in-flight jobs
+// are requeued for whichever workers connect, and stale reports from
+// pre-restart leases are rejected, keeping delivery exactly-once.
+func (m *Manager) Resume(ctx context.Context) (map[string]*Result, error) {
+	return m.run(ctx, true)
+}
+
+func (m *Manager) run(ctx context.Context, resume bool) (map[string]*Result, error) {
 	if len(m.experiments) == 0 {
 		return nil, fmt.Errorf("asha: manager has no experiments")
 	}
@@ -197,12 +243,22 @@ func (m *Manager) Run(ctx context.Context) (map[string]*Result, error) {
 			trials: make(map[int]*mgrTrial),
 		})
 	}
+	if m.stateDir != "" {
+		if err := m.openJournals(r.exps, resume); err != nil {
+			return nil, err
+		}
+	}
 	poolDone := make(chan struct{})
 	if m.remote != nil {
 		// Fleet mode: one embedded lease server executes every
 		// experiment's jobs on remote workers; no local pool is started.
 		srv, _, err := m.remote.newServer(m.workers)
 		if err != nil {
+			for _, e := range r.exps {
+				if e.journal != nil {
+					_ = e.journal.Close()
+				}
+			}
 			return nil, err
 		}
 		defer srv.Close()
@@ -277,6 +333,22 @@ func (m *Manager) Run(ctx context.Context) (map[string]*Result, error) {
 		}
 	}
 
+	// Seal the journals: experiments that ended cleanly get a final
+	// snapshot; every journal is synced and closed.
+	for _, e := range r.exps {
+		if e.journal == nil {
+			continue
+		}
+		if e.failed == nil && ctx.Err() == nil {
+			if err := r.snapshotExp(e, time.Since(r.start).Seconds()+e.clockOff, true); err != nil {
+				e.failed = err
+			}
+		}
+		if err := e.journal.Close(); err != nil && e.failed == nil {
+			e.failed = fmt.Errorf("state journal: %w", err)
+		}
+	}
+
 	out := make(map[string]*Result, len(r.exps))
 	var errs []error
 	for _, e := range r.exps {
@@ -305,7 +377,10 @@ func (r *mgrRun) drainInto(batch []mgrResult) []mgrResult {
 
 // fill assigns up to free worker slots fair-share: each slot goes to the
 // runnable experiment with the fewest jobs in flight (ties: fewest
-// issued, then registration order). Returns the number of jobs launched.
+// issued, then registration order). Journaled in-flight jobs of a
+// resumed experiment go first and bypass the budget check — they were
+// issued (and counted, and journaled) before the crash. Returns the
+// number of jobs launched.
 func (r *mgrRun) fill(ctx context.Context, free int) int {
 	launched := 0
 	for free > 0 && ctx.Err() == nil {
@@ -314,14 +389,16 @@ func (r *mgrRun) fill(ctx context.Context, free int) int {
 			if e.done {
 				continue
 			}
-			if e.exhausted() || e.sched.Done() {
-				if e.running == 0 {
-					e.done = true
+			if len(e.relaunch) == 0 {
+				if e.exhausted() || e.sched.Done() {
+					if e.running == 0 {
+						e.done = true
+					}
+					continue
 				}
-				continue
-			}
-			if e.barrier {
-				continue
+				if e.barrier {
+					continue
+				}
 			}
 			if pick == nil || e.running < pick.running ||
 				(e.running == pick.running && e.issued < pick.issued) {
@@ -331,24 +408,45 @@ func (r *mgrRun) fill(ctx context.Context, free int) int {
 		if pick == nil {
 			return launched
 		}
-		job, ok := pick.sched.Next()
-		if !ok {
-			if pick.running == 0 {
-				pick.done = true // drained: barrier with nothing in flight
-			} else {
-				pick.barrier = true // retry after this experiment's next completion
+		var job core.Job
+		fresh := true
+		if len(pick.relaunch) > 0 {
+			job = pick.relaunch[0]
+			pick.relaunch = pick.relaunch[1:]
+			fresh = false
+		} else {
+			var ok bool
+			job, ok = pick.sched.Next()
+			if !ok {
+				if pick.running == 0 {
+					pick.done = true // drained: barrier with nothing in flight
+				} else {
+					pick.barrier = true // retry after this experiment's next completion
+				}
+				continue
 			}
+		}
+		if !r.launch(ctx, pick, job, fresh) {
 			continue
 		}
-		r.launch(ctx, pick, job)
 		free--
 		launched++
 	}
 	return launched
 }
 
-// launch resolves the job's trial state and hands a closure to the pool.
-func (r *mgrRun) launch(ctx context.Context, e *mgrExp, job core.Job) {
+// launch journals the decision (write-ahead, fresh jobs only), resolves
+// the job's trial state and hands a closure to the pool. It returns
+// false when the journal refused the record — the experiment fails
+// rather than run work the journal cannot replay.
+func (r *mgrRun) launch(ctx context.Context, e *mgrExp, job core.Job, fresh bool) bool {
+	if fresh && e.journal != nil {
+		if err := r.journalIssue(e, job); err != nil {
+			e.failed = err
+			e.done = true
+			return false
+		}
+	}
 	t := e.trials[job.TrialID]
 	if t == nil {
 		t = &mgrTrial{}
@@ -358,9 +456,12 @@ func (r *mgrRun) launch(ctx context.Context, e *mgrExp, job core.Job) {
 		if donor := e.trials[job.InheritFrom]; donor != nil {
 			t.resource = donor.resource
 			t.state = donor.state
+			t.stateJSON = donor.stateJSON
 		}
 	}
-	e.issued++
+	if fresh {
+		e.issued++
+	}
 	e.running++
 	from, state := t.resource, t.state
 	results := r.results
@@ -392,7 +493,7 @@ func (r *mgrRun) launch(ctx context.Context, e *mgrExp, job core.Job) {
 			}
 			results <- res
 		})
-		return
+		return true
 	}
 	obj := e.spec.Objective
 	r.tasks <- func() {
@@ -400,6 +501,7 @@ func (r *mgrRun) launch(ctx context.Context, e *mgrExp, job core.Job) {
 		loss, newState, err := obj(jctx, job.Config.Map(), from, job.TargetResource, state)
 		results <- mgrResult{exp: exp, job: job, loss: loss, state: newState, err: err}
 	}
+	return true
 }
 
 // ingest applies one batch of worker results to manager state. It runs
@@ -418,6 +520,16 @@ func (r *mgrRun) ingest(batch []mgrResult) int {
 			// its last committed checkpoint, and the scheduler requeues
 			// the job for whichever worker leases it next.
 			if r.ctx.Err() == nil {
+				now := time.Since(r.start).Seconds() + e.clockOff
+				if e.journal != nil {
+					if err := e.journal.AppendReport(state.Report{
+						Trial: res.job.TrialID, Rung: res.job.Rung, Failed: true, Time: now,
+					}); err != nil {
+						e.failed = err
+						e.done = true
+						continue
+					}
+				}
 				e.barrier = false
 				e.sched.Report(core.Result{
 					TrialID:  res.job.TrialID,
@@ -426,7 +538,7 @@ func (r *mgrRun) ingest(batch []mgrResult) int {
 					Loss:     math.NaN(),
 					TrueLoss: math.NaN(),
 					Failed:   true,
-					Time:     time.Since(r.start).Seconds(),
+					Time:     now,
 				})
 			}
 			if (e.exhausted() || e.sched.Done()) && e.running == 0 {
@@ -441,12 +553,33 @@ func (r *mgrRun) ingest(batch []mgrResult) int {
 			}
 			continue
 		}
+		now := time.Since(r.start).Seconds() + e.clockOff
+		if e.journal != nil {
+			// Write-ahead of the scheduler delivery, so the journal is
+			// always a superset of scheduler state. Non-finite losses
+			// travel through the bit-exact fallback fields.
+			rep := state.Report{Trial: res.job.TrialID, Rung: res.job.Rung,
+				Resource: res.job.TargetResource, Time: now}
+			rep.SetLosses(res.loss, res.loss)
+			if err := e.journal.AppendReport(rep); err != nil {
+				e.failed = err
+				e.done = true
+				continue
+			}
+		}
 		t := e.trials[res.job.TrialID]
 		t.resource = res.job.TargetResource
 		t.state = res.state
+		if e.journal != nil {
+			// Commit-time encoding: the worker that produced res.state has
+			// finished, and no new job of this trial can be running, so the
+			// marshal cannot race a concurrent mutation. (A PBT donor whose
+			// state object is shared by reference with a live inheritor is
+			// the user-contract hazard tuner objectives already carry.)
+			t.stateJSON = rawCheckpoint(res.state)
+		}
 		e.completed++
 		e.barrier = false // a completion may unblock a synchronous rung
-		now := time.Since(r.start).Seconds()
 		e.sched.Report(core.Result{
 			TrialID:  res.job.TrialID,
 			Rung:     res.job.Rung,
@@ -476,11 +609,221 @@ func (r *mgrRun) ingest(batch []mgrResult) int {
 			}
 			r.m.onProgress(p)
 		}
+		if e.journal != nil {
+			// Adaptive cadence: at least DefaultSnapshotEvery completions
+			// AND a quarter of the trial table between snapshots, keeping
+			// total snapshot volume linear in the report volume.
+			e.snapGap++
+			if e.snapGap >= backend.DefaultSnapshotEvery && 4*e.snapGap >= len(e.trials) {
+				e.snapGap = 0
+				if err := r.snapshotExp(e, now, false); err != nil {
+					e.failed = err
+					e.done = true
+					continue
+				}
+			}
+		}
 		if (e.exhausted() || e.sched.Done()) && e.running == 0 {
 			e.done = true
 		}
 	}
 	return len(batch)
+}
+
+// journalIssue appends one issue record, annotated with its decision
+// kind, write-ahead of the job's dispatch.
+func (r *mgrRun) journalIssue(e *mgrExp, job core.Job) error {
+	return e.journal.AppendIssue(backend.AnnotateIssue(e.jseen, job))
+}
+
+// snapshotExp journals a snapshot of the experiment's counters and trial
+// table. Checkpoints were encoded at commit time (mgrTrial.stateJSON);
+// a state that did not marshal is recorded without a checkpoint and
+// restarts from zero on resume.
+func (r *mgrRun) snapshotExp(e *mgrExp, now float64, final bool) error {
+	snap := state.Snapshot{Issued: e.issued, Completed: e.completed, Time: now, Final: final}
+	ids := make([]int, 0, len(e.trials))
+	for id := range e.trials {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		t := e.trials[id]
+		snap.Trials = append(snap.Trials, state.TrialSnap{
+			Trial:    id,
+			Resource: t.resource,
+			State:    t.stateJSON,
+		})
+	}
+	return e.journal.AppendSnapshot(snap)
+}
+
+// rawCheckpoint converts a trial's in-memory state to the journal's
+// opaque JSON form.
+func rawCheckpoint(v interface{}) json.RawMessage {
+	switch s := v.(type) {
+	case nil:
+		return nil
+	case json.RawMessage:
+		return s
+	default:
+		blob, err := json.Marshal(v)
+		if err != nil {
+			return nil
+		}
+		return blob
+	}
+}
+
+// journalFileName maps an experiment name to its journal file,
+// sanitizing characters that do not belong in a single path component.
+func journalFileName(name string) string {
+	out := make([]rune, 0, len(name))
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '.', r == '_', r == '-':
+			out = append(out, r)
+		default:
+			out = append(out, '_')
+		}
+	}
+	return string(out) + ".journal"
+}
+
+// openJournals creates (or, on resume, recovers and replays) one journal
+// per experiment. On any error every journal opened so far is closed and
+// nothing runs.
+func (m *Manager) openJournals(exps []*mgrExp, resume bool) (err error) {
+	if err := os.MkdirAll(m.stateDir, 0o755); err != nil {
+		return fmt.Errorf("asha: state dir: %w", err)
+	}
+	defer func() {
+		if err != nil {
+			for _, e := range exps {
+				if e.journal != nil {
+					_ = e.journal.Close()
+					e.journal = nil
+				}
+			}
+		}
+	}()
+	// Sanitization can collapse distinct experiment names ("exp/1" and
+	// "exp_1") onto one file; two journals sharing a file would silently
+	// corrupt each other, so refuse up front.
+	files := make(map[string]string, len(exps))
+	for _, e := range exps {
+		name := journalFileName(e.spec.Name)
+		if prev, dup := files[name]; dup {
+			return fmt.Errorf("asha: experiments %q and %q map to the same journal file %s; rename one", prev, e.spec.Name, name)
+		}
+		files[name] = e.spec.Name
+	}
+	for _, e := range exps {
+		e.jseen = make(map[int64]struct{})
+		path := filepath.Join(m.stateDir, journalFileName(e.spec.Name))
+		meta := state.Meta{
+			Experiment: e.spec.Name,
+			Algo:       fmt.Sprintf("%T", e.spec.Algorithm),
+			Seed:       e.spec.Seed,
+			Params:     spaceParamNames(e.spec.Space),
+		}
+		if resume {
+			if _, statErr := os.Stat(path); statErr == nil {
+				rec, journal, recErr := state.RecoverFile(path)
+				if recErr != nil {
+					return recErr
+				}
+				if metaErr := checkJournalMeta(rec.Meta, meta); metaErr != nil {
+					_ = journal.Close()
+					return fmt.Errorf("experiment %q: %w", e.spec.Name, metaErr)
+				}
+				if repErr := m.replayExperiment(e, rec); repErr != nil {
+					_ = journal.Close()
+					return fmt.Errorf("experiment %q: %w", e.spec.Name, repErr)
+				}
+				e.journal = journal
+				continue
+			}
+		}
+		journal, createErr := state.Create(path, meta)
+		if createErr != nil {
+			return createErr
+		}
+		e.journal = journal
+	}
+	return nil
+}
+
+// replayExperiment feeds a recovered journal through the experiment's
+// freshly built scheduler — the manager twin of backend.Replay, sharing
+// backend.ReplayStream's validation/pairing loop while keeping the
+// manager's own ingestion bookkeeping (issued/completed counters,
+// history, trial table) so the resumed experiment is bit-identical to
+// the one that died.
+func (m *Manager) replayExperiment(e *mgrExp, rec *state.Recovered) error {
+	res, err := backend.ReplayStream(rec.Records, e.sched, backend.ReplayHooks{
+		Issue: func(job core.Job) {
+			e.issued++
+			e.jseen[backend.SeenKey(job.TrialID, job.Rung)] = struct{}{}
+		},
+		Report: func(job core.Job, rep *state.Report) {
+			if rep.Failed {
+				e.sched.Report(core.Result{
+					TrialID:  job.TrialID,
+					Rung:     job.Rung,
+					Config:   job.Config,
+					Loss:     math.NaN(),
+					TrueLoss: math.NaN(),
+					Failed:   true,
+					Time:     rep.Time,
+				})
+				return
+			}
+			e.completed++
+			loss, trueLoss := rep.Losses()
+			e.sched.Report(core.Result{
+				TrialID:  job.TrialID,
+				Rung:     job.Rung,
+				Config:   job.Config,
+				Loss:     loss,
+				TrueLoss: trueLoss,
+				Resource: rep.Resource,
+				Time:     rep.Time,
+			})
+			if best, ok := e.sched.Best(); ok {
+				if n := len(e.history); n == 0 || best.Loss < e.history[n-1].Loss {
+					e.history = append(e.history, HistoryPoint{Seconds: rep.Time, Loss: best.Loss})
+				}
+			}
+		},
+	})
+	if err != nil {
+		return err
+	}
+	// Trial checkpoints restore from the latest snapshot; trials that
+	// progressed after it roll back to it (or to scratch), exactly as
+	// after a worker crash. Fleet experiments keep the raw JSON (it
+	// travels back to workers verbatim); in-process experiments get the
+	// decoded form their objectives already accept from subprocess-style
+	// resume.
+	for _, ts := range res.Trials {
+		t := &mgrTrial{resource: ts.Resource, stateJSON: ts.State}
+		if len(ts.State) > 0 {
+			if m.remote != nil {
+				t.state = json.RawMessage(ts.State)
+			} else {
+				var v interface{}
+				if err := json.Unmarshal(ts.State, &v); err == nil {
+					t.state = v
+				}
+			}
+		}
+		e.trials[ts.Trial] = t
+	}
+	e.relaunch = res.Inflight
+	e.clockOff = res.MaxTime
+	return nil
 }
 
 // result builds the public Result for a finished experiment, or nil if

@@ -3,10 +3,13 @@ package asha
 import (
 	"context"
 	"fmt"
+	"os"
+	"path/filepath"
 	"time"
 
 	"repro/internal/backend"
 	"repro/internal/core"
+	"repro/internal/state"
 	"repro/internal/xrand"
 )
 
@@ -34,6 +37,13 @@ func WithMaxJobs(n int) Option { return func(t *Tuner) { t.maxJobs = n } }
 
 // WithMaxDuration stops the run after this wall-clock duration.
 func WithMaxDuration(d time.Duration) Option { return func(t *Tuner) { t.maxDuration = d } }
+
+// WithStateDir makes the run durable: every scheduler decision is
+// written ahead to an append-only journal in dir (plus periodic
+// snapshots of trial checkpoints), and a killed run can be continued
+// with Resume. Run always starts a fresh journal, truncating any
+// previous one in dir; use Resume for crash-restart semantics.
+func WithStateDir(dir string) Option { return func(t *Tuner) { t.stateDir = dir } }
 
 // WithProgress installs a callback invoked after every completed job
 // with the current incumbent. It runs on the executor's critical path;
@@ -69,6 +79,7 @@ type Tuner struct {
 	maxJobs     int
 	maxDuration time.Duration
 	onProgress  func(Progress)
+	stateDir    string
 }
 
 // New assembles a Tuner. The algorithm is one of the option structs in
@@ -117,8 +128,21 @@ type HistoryPoint struct {
 
 // Run executes the tuning run until the context is cancelled, a budget
 // (WithMaxJobs / WithMaxDuration) is exhausted, or the algorithm
-// finishes. It returns the best configuration found.
-func (t *Tuner) Run(ctx context.Context) (*Result, error) {
+// finishes. It returns the best configuration found. With WithStateDir
+// it journals the run from scratch, truncating any previous journal.
+func (t *Tuner) Run(ctx context.Context) (*Result, error) { return t.run(ctx, false) }
+
+// Resume continues a journaled run from its state directory
+// (WithStateDir is required for resume to have any effect; without a
+// journal on disk Resume behaves exactly like Run). The Tuner must be
+// configured identically to the interrupted run — same space, algorithm,
+// seed and budgets — which Resume verifies against the journal before
+// replaying it: the scheduler is rebuilt to the exact state it died
+// with, completed work is not re-run, in-flight jobs are relaunched, and
+// trial checkpoints are restored from the latest journal snapshot.
+func (t *Tuner) Resume(ctx context.Context) (*Result, error) { return t.run(ctx, true) }
+
+func (t *Tuner) run(ctx context.Context, resume bool) (result *Result, err error) {
 	if t.space == nil || t.space.Dim() == 0 {
 		return nil, fmt.Errorf("asha: tuner requires a non-empty search space")
 	}
@@ -143,8 +167,30 @@ func (t *Tuner) Run(ctx context.Context) (*Result, error) {
 		_ = be.Close()
 		return nil, fmt.Errorf("asha: unbounded run; set WithMaxJobs, WithMaxDuration, or a cancellable context")
 	}
+	if t.stateDir != "" {
+		journal, rs, serr := t.openState(sched, opt, resume)
+		if serr != nil {
+			_ = be.Close()
+			return nil, serr
+		}
+		// A failed close means the journal tail (including the final
+		// snapshot) may never have reached disk: the run's durability
+		// promise is broken, so surface it instead of a clean result.
+		defer func() {
+			if cerr := journal.Close(); cerr != nil && err == nil {
+				result, err = nil, fmt.Errorf("asha: state journal: %w", cerr)
+			}
+		}()
+		opt.Journal = journal
+		opt.Resume = rs
+	}
 	if t.onProgress != nil {
+		// Progress resumes its job count where the journal left off;
+		// replayed completions never re-fire the callback.
 		completed := 0
+		if opt.Resume != nil {
+			completed = opt.Resume.Run.CompletedJobs
+		}
 		opt.OnResult = func(res core.Result, best core.Best, ok bool) {
 			completed++
 			p := Progress{
@@ -184,4 +230,81 @@ func (t *Tuner) Run(ctx context.Context) (*Result, error) {
 		return nil, fmt.Errorf("asha: run completed no trials (budget too small?)")
 	}
 	return res, nil
+}
+
+// tunerJournalName is the journal file a single Tuner keeps in its state
+// directory (Manager experiments use <name>.journal instead).
+const tunerJournalName = "tuner.journal"
+
+// openState opens the run's journal: fresh (truncating) for Run, or
+// recovered and replayed into sched for Resume. A Resume without an
+// existing journal falls through to a fresh start, which gives CLIs
+// resume-on-restart semantics with a single call.
+func (t *Tuner) openState(sched core.Scheduler, opt backend.Options, resume bool) (*state.Journal, *backend.ResumeState, error) {
+	if err := os.MkdirAll(t.stateDir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("asha: state dir: %w", err)
+	}
+	path := filepath.Join(t.stateDir, tunerJournalName)
+	meta := state.Meta{
+		Experiment: "tuner",
+		Algo:       fmt.Sprintf("%T", t.algorithm),
+		Seed:       t.seed,
+		Params:     spaceParamNames(t.space),
+	}
+	if resume {
+		if _, err := os.Stat(path); err == nil {
+			rec, journal, err := state.RecoverFile(path)
+			if err != nil {
+				return nil, nil, err
+			}
+			if err := checkJournalMeta(rec.Meta, meta); err != nil {
+				_ = journal.Close()
+				return nil, nil, err
+			}
+			// Replay without OnResult: progress callbacks must not re-fire
+			// for work that completed before the crash.
+			ropt := opt
+			ropt.OnResult = nil
+			rs, err := backend.Replay(rec, sched, ropt)
+			if err != nil {
+				_ = journal.Close()
+				return nil, nil, err
+			}
+			return journal, rs, nil
+		}
+	}
+	journal, err := state.Create(path, meta)
+	return journal, nil, err
+}
+
+func spaceParamNames(space *Space) []string {
+	names := make([]string, 0, space.Dim())
+	for _, p := range space.Params() {
+		names = append(names, p.Name)
+	}
+	return names
+}
+
+// checkJournalMeta refuses to resume a journal written under a different
+// experiment identity — the scheduler replay would diverge on the first
+// record, but the identity check gives an actionable error first.
+func checkJournalMeta(got, want state.Meta) error {
+	if got.Experiment != want.Experiment {
+		return fmt.Errorf("asha: journal belongs to experiment %q, not %q", got.Experiment, want.Experiment)
+	}
+	if got.Seed != want.Seed {
+		return fmt.Errorf("asha: journal was written with seed %d, tuner is configured with seed %d", got.Seed, want.Seed)
+	}
+	if got.Algo != want.Algo {
+		return fmt.Errorf("asha: journal was written by algorithm %s, tuner is configured with %s", got.Algo, want.Algo)
+	}
+	if len(got.Params) != len(want.Params) {
+		return fmt.Errorf("asha: journal space has %d parameters, tuner space has %d", len(got.Params), len(want.Params))
+	}
+	for i := range got.Params {
+		if got.Params[i] != want.Params[i] {
+			return fmt.Errorf("asha: journal space parameter %d is %q, tuner space has %q", i, got.Params[i], want.Params[i])
+		}
+	}
+	return nil
 }

@@ -1,0 +1,263 @@
+package asha
+
+import (
+	"context"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// resumeObjective is deterministic and memoryless: the loss at `to`
+// depends only on the configuration and `to`, so a resumed trial rolled
+// back to an older checkpoint reproduces bit-identical losses.
+func resumeObjective(_ context.Context, cfg Config, _, to float64, _ interface{}) (float64, interface{}, error) {
+	floor := 0.1*math.Abs(math.Log10(cfg["lr"])+2) + 0.2*math.Abs(cfg["momentum"]-0.3)
+	loss := floor + (2-floor)*math.Exp(-0.03*to)
+	return loss, loss, nil
+}
+
+func resumeTuner(dir string, jobs int, opts ...Option) *Tuner {
+	base := []Option{
+		WithWorkers(1),
+		WithSeed(21),
+		WithMaxJobs(jobs),
+		WithStateDir(dir),
+	}
+	return New(testSpace(), resumeObjective, ASHA{Eta: 4, MinResource: 1, MaxResource: 256},
+		append(base, opts...)...)
+}
+
+func TestTunerResumeMatchesUninterruptedRun(t *testing.T) {
+	const jobs = 250
+	// Uninterrupted reference run (journaled, same seed).
+	ref, err := resumeTuner(t.TempDir(), jobs).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Killed run: cancel mid-flight, then resume with a fresh Tuner (a
+	// new process would build exactly this).
+	dir := t.TempDir()
+	ctx, kill := context.WithCancel(context.Background())
+	killed := resumeTuner(dir, jobs, WithProgress(func(p Progress) {
+		if p.Completed == 90 {
+			kill()
+		}
+	}))
+	if _, err := killed.Run(ctx); err != nil {
+		t.Fatalf("killed run: %v", err)
+	}
+	kill()
+	res, err := resumeTuner(dir, jobs).Resume(context.Background())
+	if err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+
+	if res.CompletedJobs != ref.CompletedJobs {
+		t.Errorf("resumed run completed %d jobs, uninterrupted %d", res.CompletedJobs, ref.CompletedJobs)
+	}
+	if math.Float64bits(res.BestLoss) != math.Float64bits(ref.BestLoss) {
+		t.Errorf("resumed best loss %x, uninterrupted %x", math.Float64bits(res.BestLoss), math.Float64bits(ref.BestLoss))
+	}
+	for name, v := range ref.BestConfig {
+		if got := res.BestConfig[name]; math.Float64bits(got) != math.Float64bits(v) {
+			t.Errorf("resumed best %s = %x, uninterrupted %x", name, math.Float64bits(got), math.Float64bits(v))
+		}
+	}
+}
+
+func TestTunerResumeWithoutJournalStartsFresh(t *testing.T) {
+	res, err := resumeTuner(t.TempDir(), 80).Resume(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CompletedJobs != 80 {
+		t.Fatalf("fresh Resume completed %d jobs, want 80", res.CompletedJobs)
+	}
+}
+
+func TestTunerResumeOfFinishedRunReturnsFinalResult(t *testing.T) {
+	dir := t.TempDir()
+	ref, err := resumeTuner(dir, 60).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := resumeTuner(dir, 60).Resume(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CompletedJobs != ref.CompletedJobs ||
+		math.Float64bits(res.BestLoss) != math.Float64bits(ref.BestLoss) {
+		t.Fatalf("resume of a finished run: got %d jobs best %v, want %d jobs best %v",
+			res.CompletedJobs, res.BestLoss, ref.CompletedJobs, ref.BestLoss)
+	}
+}
+
+func TestTunerResumeRejectsMismatchedConfiguration(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := resumeTuner(dir, 40).Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// Wrong seed.
+	_, err := New(testSpace(), resumeObjective, ASHA{Eta: 4, MinResource: 1, MaxResource: 256},
+		WithWorkers(1), WithSeed(99), WithMaxJobs(40), WithStateDir(dir)).Resume(context.Background())
+	if err == nil || !strings.Contains(err.Error(), "seed") {
+		t.Fatalf("mismatched seed accepted: %v", err)
+	}
+	// Wrong algorithm.
+	_, err = New(testSpace(), resumeObjective, RandomSearch{MaxResource: 256},
+		WithWorkers(1), WithSeed(21), WithMaxJobs(40), WithStateDir(dir)).Resume(context.Background())
+	if err == nil || !strings.Contains(err.Error(), "algorithm") {
+		t.Fatalf("mismatched algorithm accepted: %v", err)
+	}
+	// Wrong space.
+	_, err = New(NewSpace(Uniform("other", 0, 1)), resumeObjective, ASHA{Eta: 4, MinResource: 1, MaxResource: 256},
+		WithWorkers(1), WithSeed(21), WithMaxJobs(40), WithStateDir(dir)).Resume(context.Background())
+	if err == nil {
+		t.Fatal("mismatched space accepted")
+	}
+}
+
+func TestTunerRunTruncatesPreviousJournal(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := resumeTuner(dir, 40).Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	first, err := os.Stat(filepath.Join(dir, "tuner.journal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := resumeTuner(dir, 10).Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	second, err := os.Stat(filepath.Join(dir, "tuner.journal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Size() >= first.Size() {
+		t.Fatalf("Run did not start a fresh journal: %d -> %d bytes", first.Size(), second.Size())
+	}
+}
+
+func managerForResume(dir string, jobs int, opts ...ManagerOption) *Manager {
+	m := NewManager(append([]ManagerOption{
+		WithManagerWorkers(1),
+		WithManagerStateDir(dir),
+	}, opts...)...)
+	for i, name := range []string{"exp-a", "exp-b"} {
+		if err := m.Add(Experiment{
+			Name:      name,
+			Space:     testSpace(),
+			Objective: resumeObjective,
+			Algorithm: ASHA{Eta: 4, MinResource: 1, MaxResource: 256},
+			Seed:      uint64(31 + i),
+			MaxJobs:   jobs,
+		}); err != nil {
+			panic(err)
+		}
+	}
+	return m
+}
+
+func TestManagerResumeMatchesUninterruptedRun(t *testing.T) {
+	const jobs = 120
+	ref, err := managerForResume(t.TempDir(), jobs).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ref) != 2 {
+		t.Fatalf("reference run finished %d experiments, want 2", len(ref))
+	}
+
+	dir := t.TempDir()
+	ctx, kill := context.WithCancel(context.Background())
+	total := 0
+	killedMgr := managerForResume(dir, jobs, WithManagerProgress(func(p ExperimentProgress) {
+		total++
+		if total == 70 {
+			kill()
+		}
+	}))
+	if _, err := killedMgr.Run(ctx); err != nil {
+		t.Fatalf("killed run: %v", err)
+	}
+	kill()
+	res, err := managerForResume(dir, jobs).Resume(context.Background())
+	if err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	for name, want := range ref {
+		got := res[name]
+		if got == nil {
+			t.Errorf("experiment %q missing after resume", name)
+			continue
+		}
+		if got.CompletedJobs != want.CompletedJobs {
+			t.Errorf("%s: resumed %d jobs, uninterrupted %d", name, got.CompletedJobs, want.CompletedJobs)
+		}
+		if math.Float64bits(got.BestLoss) != math.Float64bits(want.BestLoss) {
+			t.Errorf("%s: resumed best %x, uninterrupted %x", name,
+				math.Float64bits(got.BestLoss), math.Float64bits(want.BestLoss))
+		}
+	}
+}
+
+// divergingObjective reports +Inf for some configurations — a diverged
+// training run. The journal must carry it (bit-exact) instead of
+// refusing to encode it and killing the durable run.
+func divergingObjective(_ context.Context, cfg Config, _, to float64, _ interface{}) (float64, interface{}, error) {
+	if cfg["momentum"] > 0.8 {
+		return math.Inf(1), nil, nil
+	}
+	return resumeObjective(context.Background(), cfg, 0, to, nil)
+}
+
+func TestTunerJournalSurvivesNonFiniteLosses(t *testing.T) {
+	dir := t.TempDir()
+	run := func() *Result {
+		res, err := New(testSpace(), divergingObjective, ASHA{Eta: 4, MinResource: 1, MaxResource: 256},
+			WithWorkers(1), WithSeed(21), WithMaxJobs(200), WithStateDir(dir)).Resume(context.Background())
+		if err != nil {
+			t.Fatalf("durable run with diverging objective: %v", err)
+		}
+		return res
+	}
+	first := run()
+	if first.CompletedJobs != 200 {
+		t.Fatalf("completed %d jobs, want 200", first.CompletedJobs)
+	}
+	// Resume of the finished journal replays the Inf losses bit-exact.
+	again := run()
+	if math.Float64bits(again.BestLoss) != math.Float64bits(first.BestLoss) {
+		t.Fatalf("replayed best %v, want %v", again.BestLoss, first.BestLoss)
+	}
+}
+
+func TestManagerRejectsCollidingJournalFileNames(t *testing.T) {
+	m := NewManager(WithManagerWorkers(1), WithManagerStateDir(t.TempDir()))
+	for _, name := range []string{"exp/1", "exp_1"} {
+		if err := m.Add(Experiment{
+			Name: name, Space: testSpace(), Objective: resumeObjective,
+			Algorithm: ASHA{Eta: 4, MinResource: 1, MaxResource: 256}, MaxJobs: 10,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := m.Run(context.Background()); err == nil || !strings.Contains(err.Error(), "same journal file") {
+		t.Fatalf("colliding journal file names accepted: %v", err)
+	}
+}
+
+func TestManagerResumeWithoutJournalsStartsFresh(t *testing.T) {
+	res, err := managerForResume(t.TempDir(), 40).Resume(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, r := range res {
+		if r.CompletedJobs != 40 {
+			t.Errorf("%s: completed %d jobs, want 40", name, r.CompletedJobs)
+		}
+	}
+}
