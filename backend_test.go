@@ -207,6 +207,56 @@ func TestRemoteBackendParityPromotionDecisions(t *testing.T) {
 	}
 }
 
+// TestBatchedRemoteBackendParityPromotionDecisions extends the remote
+// parity guard to the batched protocol: with BatchSize>1 and Prefetch>1
+// every job and result still travels the LeaseBatch/ReportBatch wire
+// (single-worker capacity keeps the decision stream sequential), and
+// the promotion decisions must stay bit-identical to the in-process
+// goroutine pool — batching amortizes round trips, it must never
+// reorder or alter what the scheduler sees.
+func TestBatchedRemoteBackendParityPromotionDecisions(t *testing.T) {
+	const maxJobs = 200
+	gorSeq, gorRes := runRecordedRemoteParity(t, GoroutinePool{}, remoteParityObjective, maxJobs)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	agentErr := make(chan error, 1)
+	rem := Remote{
+		BatchSize:     4,
+		Prefetch:      4,
+		FlushInterval: 5 * time.Millisecond,
+		OnListen: func(url string) {
+			go func() {
+				agentErr <- ServeRemoteWorker(ctx, RemoteWorker{
+					Server: url, Name: "batched-parity", Slots: 1,
+					// Batch/Prefetch/FlushInterval adopt the server's advert.
+					Objective: remoteParityObjective,
+				})
+			}()
+		},
+	}
+	remSeq, remRes := runRecordedRemoteParity(t, rem, nil, maxJobs)
+
+	if len(remSeq) != len(gorSeq) {
+		t.Fatalf("backends completed different job counts: batched remote %d vs goroutine %d", len(remSeq), len(gorSeq))
+	}
+	for i := range remSeq {
+		if remSeq[i] != gorSeq[i] {
+			t.Fatalf("job %d diverged:\n  batched remote %+v\n  goroutine      %+v", i, remSeq[i], gorSeq[i])
+		}
+	}
+	if remRes.BestLoss != gorRes.BestLoss {
+		t.Fatalf("incumbents diverged: batched remote %v vs goroutine %v", remRes.BestLoss, gorRes.BestLoss)
+	}
+	if remRes.Trials != gorRes.Trials || remRes.TotalResource != gorRes.TotalResource {
+		t.Fatalf("accounting diverged: batched remote (%d, %v) vs goroutine (%d, %v)",
+			remRes.Trials, remRes.TotalResource, gorRes.Trials, gorRes.TotalResource)
+	}
+	if err := <-agentErr; err != nil {
+		t.Fatalf("worker agent: %v", err)
+	}
+}
+
 // TestRemoteWorkerKilledMidJobRetriesOnLateJoiner is the public-API
 // crash-tolerance test: worker A leases a job and dies mid-training
 // (its heartbeats stop, so the lease expires); worker B joins only

@@ -201,6 +201,64 @@ func benches(quick bool) []bench {
 			},
 		},
 		{
+			// The same distributed round trip with the batched protocol:
+			// LeaseBatch grants of 128, a 4-slot agent prefetching 256
+			// jobs ahead, and ReportBatch flushes — the amortization
+			// that lifts the fleet wire from one job per HTTP round
+			// trip (remote-loopback-throughput, ~84µs/job) to
+			// encode-limited batch throughput. The op count is sized
+			// past the startup transient (connection setup, heap
+			// growth) so the number reflects the pipeline's steady
+			// state. The acceptance bar is ≥5x the committed
+			// remote-loopback-throughput jobs/sec baseline.
+			name: "batched-lease-throughput",
+			ops:  scale(100000),
+			run: func(ops int) int64 {
+				space := searchspace.New(
+					searchspace.Param{Name: "lr", Type: searchspace.LogUniform, Lo: 1e-4, Hi: 1},
+					searchspace.Param{Name: "momentum", Type: searchspace.Uniform, Lo: 0, Hi: 1},
+				)
+				sched := core.NewASHA(core.ASHAConfig{
+					Space: space, RNG: xrand.New(9), Eta: 4, MinResource: 1, MaxResource: 256,
+				})
+				srv, err := remote.NewServer(remote.Options{
+					BatchSize: 128, Prefetch: 256, FlushInterval: 5 * time.Millisecond,
+				})
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "ashabench: remote server: %v\n", err)
+					os.Exit(2)
+				}
+				obj := func(_ context.Context, cfg map[string]float64, from, to float64, state interface{}) (float64, interface{}, error) {
+					loss := 3.0
+					if s, ok := state.(float64); ok {
+						loss = s
+					}
+					floor := 0.1 + 0.2*cfg["momentum"]
+					loss = floor + (loss-floor)*0.8
+					return loss, loss, nil
+				}
+				ctx, cancel := context.WithCancel(context.Background())
+				defer cancel()
+				agentDone := make(chan struct{})
+				go func() {
+					defer close(agentDone)
+					_ = remote.ServeAgent(ctx, remote.AgentOptions{
+						Server: srv.URL(), Slots: 4,
+						Resolve: func(string) (exec.Objective, error) { return obj, nil },
+					})
+				}()
+				run, err := backend.Drive(ctx, sched, remote.NewBackend(srv, 512),
+					backend.Options{MaxJobs: ops})
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "ashabench: batched loopback run: %v\n", err)
+					os.Exit(2)
+				}
+				cancel()
+				<-agentDone
+				return int64(run.CompletedJobs)
+			},
+		},
+		{
 			// Write-ahead journal append rate to a real file (no fsync):
 			// one issue + one report record per training job. Journaling
 			// sits on the engine's per-job path, never the scheduler's

@@ -60,9 +60,17 @@
 //
 //	{
 //	  "workers": 8,
-//	  "remote": {"listen": "127.0.0.1:8700", "token": "secret"},
+//	  "remote": {"listen": "127.0.0.1:8700", "token": "secret",
+//	             "batchSize": 16, "prefetch": 8},
 //	  "experiments": [...]
 //	}
+//
+// batchSize/prefetch/flushMs set the fleet-wide batching defaults every
+// worker adopts at registration: jobs granted per lease poll, local
+// lookahead queue depth, and report-flush deadline. High-throughput
+// fleets should raise batchSize and prefetch so one HTTP round trip
+// moves many jobs (see DESIGN.md, "Batched leasing & worker
+// pipelining").
 //
 // SIGINT/SIGTERM shut the run down gracefully: scheduling stops, the
 // partial per-experiment incumbents are printed, and (in remote mode)
@@ -106,6 +114,16 @@ type remoteSpec struct {
 	LeaseTTLMillis int `json:"leaseTTLms,omitempty"`
 	// MaxLeases caps concurrently leased jobs (default: workers).
 	MaxLeases int `json:"maxLeases,omitempty"`
+	// BatchSize caps jobs granted per worker lease poll and sets the
+	// fleet-wide default lease/report batch size (default 1).
+	BatchSize int `json:"batchSize,omitempty"`
+	// Prefetch is the fleet-wide default worker lookahead: jobs each
+	// worker keeps leased in its local queue ahead of its training
+	// slots (default 0).
+	Prefetch int `json:"prefetch,omitempty"`
+	// FlushMillis is the fleet-wide default report-flush deadline in
+	// milliseconds (default 25).
+	FlushMillis int `json:"flushMs,omitempty"`
 }
 
 // expSpec is one experiment entry.
@@ -356,10 +374,13 @@ func main() {
 	}
 	if mf.Remote != nil {
 		opts = append(opts, asha.WithManagerRemote(asha.Remote{
-			Listen:    mf.Remote.Listen,
-			Token:     mf.Remote.Token,
-			LeaseTTL:  time.Duration(mf.Remote.LeaseTTLMillis) * time.Millisecond,
-			MaxLeases: mf.Remote.MaxLeases,
+			Listen:        mf.Remote.Listen,
+			Token:         mf.Remote.Token,
+			LeaseTTL:      time.Duration(mf.Remote.LeaseTTLMillis) * time.Millisecond,
+			MaxLeases:     mf.Remote.MaxLeases,
+			BatchSize:     mf.Remote.BatchSize,
+			Prefetch:      mf.Remote.Prefetch,
+			FlushInterval: time.Duration(mf.Remote.FlushMillis) * time.Millisecond,
 			OnListen: func(url string) {
 				fmt.Printf("ashad: serving the worker fleet at %s\n", url)
 			},

@@ -16,6 +16,13 @@
 //	ashaworker -server http://tuner:8700 -benchmark cifar-cnn [-slots 4]
 //	ashaworker -server http://tuner:8700 -token secret \
 //	           -experiments "cifar-asha=cifar-cnn,lstm-hb=ptb-lstm"
+//	ashaworker -server http://tuner:8700 -benchmark cifar-cnn \
+//	           -slots 4 -batch 16 -prefetch 8   # pipelined batching
+//
+// -batch, -prefetch and -flush control the lease/report batching
+// pipeline; left at 0 the worker adopts the fleet-wide defaults the
+// server advertises at registration (asha.Remote{BatchSize, Prefetch,
+// FlushInterval}, or ashad's "remote" manifest block).
 package main
 
 import (
@@ -85,6 +92,9 @@ func main() {
 		token       = flag.String("token", "", "shared worker-auth token")
 		name        = flag.String("name", "", "worker name reported to the server")
 		slots       = flag.Int("slots", 1, "concurrent training jobs")
+		batch       = flag.Int("batch", 0, "jobs per lease poll and report flush (0 = server default)")
+		prefetch    = flag.Int("prefetch", 0, "local job-queue lookahead depth (0 = server default, <0 = none)")
+		flush       = flag.Duration("flush", 0, "report-flush deadline, e.g. 25ms (0 = server default, <0 = immediate)")
 		benchName   = flag.String("benchmark", "", "default surrogate benchmark objective (see -list)")
 		experiments = flag.String("experiments", "", "per-experiment objectives as name=benchmark[,name=benchmark...]")
 		list        = flag.Bool("list", false, "list built-in benchmarks and exit")
@@ -101,7 +111,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "ashaworker: pass -server <url>")
 		os.Exit(2)
 	}
-	w := asha.RemoteWorker{Server: *server, Token: *token, Name: *name, Slots: *slots}
+	w := asha.RemoteWorker{
+		Server: *server, Token: *token, Name: *name, Slots: *slots,
+		Batch: *batch, Prefetch: *prefetch, FlushInterval: *flush,
+	}
 	if *benchName != "" {
 		bench, err := asha.NamedBenchmark(*benchName)
 		if err != nil {

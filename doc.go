@@ -31,8 +31,11 @@
 // process speaking a JSON protocol (see ServeWorker); Remote serves
 // jobs to an elastic distributed fleet over an embedded HTTP job-lease
 // server — workers join at any time via ServeRemoteWorker or
-// cmd/ashaworker, and a worker lost mid-job has its lease expire and
-// the job retried on a survivor; Simulation replays the paper's
+// cmd/ashaworker, a worker lost mid-job has its lease expire and the
+// job retried on a survivor, and short-job fleets batch the wire with
+// Remote{BatchSize, Prefetch, FlushInterval} (many jobs per HTTP round
+// trip, pipelined worker-side, per-job leases intact); Simulation
+// replays the paper's
 // distributed conditions — hundreds of workers, stragglers, dropped
 // jobs — on a discrete-event virtual clock over a calibrated surrogate
 // benchmark (see NamedBenchmark). All backends are driven by one

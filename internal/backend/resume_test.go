@@ -209,6 +209,108 @@ func TestDriveJournalFsyncFailureAborts(t *testing.T) {
 	}
 }
 
+// TestRemoteResumeWithHalfFlushedReportBatch kills the tuner while a
+// batching worker holds a half-flushed report batch: jobs that have
+// completed worker-side but whose ReportBatch has not been delivered
+// (the flush deadline is far away) are, from the journal's point of
+// view, issued-unreported — so a resumed run must relaunch exactly
+// those, reject anything the dead server's worker still tries to
+// deliver, and settle every issued attempt exactly once across the
+// combined journal.
+func TestRemoteResumeWithHalfFlushedReportBatch(t *testing.T) {
+	const jobs = 80
+	space := paritySpace()
+	// A small per-job delay spreads completions out, so at any kill
+	// instant the worker's report buffer is mid-fill: the one-second
+	// flush deadline guarantees buffered completions have not been
+	// delivered when the cancel lands ~50ms after the kill decision.
+	slowObjective := func(ctx context.Context, cfg map[string]float64, from, to float64, st interface{}) (float64, interface{}, error) {
+		time.Sleep(2 * time.Millisecond)
+		return parityObjective(ctx, cfg, from, to, st)
+	}
+	newAgent := func(url string) (context.CancelFunc, chan struct{}) {
+		ctx, stop := context.WithCancel(context.Background())
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			_ = remote.ServeAgent(ctx, remote.AgentOptions{
+				Server: url, Slots: 2, Batch: 8, Prefetch: 4, FlushInterval: time.Second,
+				Resolve: func(string) (exec.Objective, error) { return slowObjective, nil },
+			})
+		}()
+		return stop, done
+	}
+
+	srv1, err := remote.NewServer(remote.Options{BatchSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stopAgent1, agent1Done := newAgent(srv1.URL())
+
+	var buf bytes.Buffer
+	journal, err := state.NewWriter(&buf, state.Meta{Experiment: "parity", Seed: paritySeed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runCtx, kill := context.WithCancel(context.Background())
+	var completed atomic.Int32
+	sched := parityScheduler(space)
+	// Capacity exceeds the agent's Slots+Prefetch so its prefetch queue
+	// never runs dry: the idle-flush trigger stays quiet and completed
+	// responses genuinely accumulate in the report buffer.
+	_, err = backend.Drive(runCtx, sched, remote.NewBackend(srv1, 8), backend.Options{
+		MaxJobs: jobs, Journal: journal, SnapshotEvery: 8,
+		OnResult: func(core.Result, core.Best, bool) {
+			if completed.Add(1) == 24 {
+				go func() {
+					time.Sleep(50 * time.Millisecond)
+					kill()
+				}()
+			}
+		},
+	})
+	if err != nil {
+		t.Fatalf("killed run returned error: %v", err)
+	}
+	kill()
+	stopAgent1()
+	<-agent1Done
+
+	rec, err := state.Recover(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched2 := parityScheduler(space)
+	rs, err := backend.Replay(rec, sched2, backend.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Relaunch) == 0 {
+		t.Fatal("kill left no issued-unreported jobs; the half-flushed batch never existed")
+	}
+
+	// Resume against a brand-new server with a fresh batching fleet.
+	srv2, err := remote.NewServer(remote.Options{BatchSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stopAgent2, agent2Done := newAgent(srv2.URL())
+	defer stopAgent2()
+	journal2 := state.ReopenWriter(&buf, 1+len(rec.Records))
+	run, err := backend.Drive(context.Background(), sched2, remote.NewBackend(srv2, 8), backend.Options{
+		MaxJobs: jobs, Journal: journal2, SnapshotEvery: 8, Resume: rs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stopAgent2()
+	<-agent2Done
+	if run.IssuedJobs != jobs {
+		t.Fatalf("resumed run issued %d jobs, want %d", run.IssuedJobs, jobs)
+	}
+	assertExactlyOnce(t, tallyJournal(t, buf.Bytes()), jobs)
+}
+
 // TestRemoteResumeExactlyOnce kills a distributed run (tuner side) with
 // jobs leased to a live worker, then resumes against a brand-new lease
 // server: journaled in-flight jobs requeue for the new fleet, the old

@@ -1,0 +1,364 @@
+package core
+
+// Cross-scheduler invariant suite: every scheduler, whatever its
+// promotion scheme, is driven through randomized job streams — random
+// completion order, random losses, injected failures with retries — and
+// checked against the contract the execution engine relies on:
+//
+//  1. Exactly-once issue: a (trial, rung, target) attempt is issued at
+//     most once, plus once per reported failure of that attempt. Jobs
+//     that inherit another trial's state (PBT's exploit) start a new
+//     lineage for their trial — exploit may legitimately roll a member
+//     back to its donor's training position — and the invariant holds
+//     within each lineage.
+//  2. Monotone resources: a trial's issued target resources never
+//     decrease within a lineage.
+//  3. Promotion caps. Synchronous successive halving promotes at rung
+//     barriers, so the distinct trials issued at rung k never exceed
+//     ⌈n/eta⌉ where n is the number of distinct trials that
+//     successfully completed rung k-1 (summed across brackets;
+//     per-bracket floors only tighten this). Asynchronous variants
+//     deliberately over-promote relative to that aggregate — a trial
+//     promoted while it was in the top 1/eta stays promoted as the
+//     rung grows under it (Algorithm 2's trade) — so for them the
+//     check moves to decision time: every promotion to rung k must
+//     rank within the top ⌊n/eta⌋ of rung k-1's successful entries
+//     (ties by trial ID) at the moment it is issued.
+//  4. Termination: once Done reports true, Next must decline work; and
+//     a scheduler that declines work while nothing is in flight must
+//     be Done — anything else deadlocks its executor.
+//
+// The suite is table-driven: a new scheduler inherits every check by
+// adding one constructor entry.
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/searchspace"
+	"repro/internal/xrand"
+)
+
+func invariantSpace() *searchspace.Space {
+	return searchspace.New(
+		searchspace.Param{Name: "lr", Type: searchspace.LogUniform, Lo: 1e-4, Hi: 1},
+		searchspace.Param{Name: "momentum", Type: searchspace.Uniform, Lo: 0, Hi: 1},
+	)
+}
+
+// invariantCase is one scheduler under test.
+type invariantCase struct {
+	name string
+	make func(space *searchspace.Space, rng *xrand.RNG) Scheduler
+	// maxJobs bounds the randomized stream (model-based schedulers pay
+	// a per-decision fit cost, so they get shorter streams).
+	maxJobs int
+	// eta > 0 enables a promotion check: the scheduler is a
+	// successive-halving family member whose Job.Rung is a promotion
+	// rung. Schedulers using Rung as a step index (PBT) or always 0
+	// (random, GP comparators) skip both checks.
+	eta int
+	// asyncRank selects the decision-time rank check (asynchronous
+	// promotion) instead of the aggregate ⌈n/eta⌉ cap (synchronous
+	// rung barriers).
+	asyncRank bool
+}
+
+func invariantCases() []invariantCase {
+	return []invariantCase{
+		{
+			name: "asha",
+			make: func(space *searchspace.Space, rng *xrand.RNG) Scheduler {
+				return NewASHA(ASHAConfig{Space: space, RNG: rng, Eta: 3, MinResource: 1, MaxResource: 81})
+			},
+			maxJobs: 400, eta: 3, asyncRank: true,
+		},
+		{
+			name: "asha-infinite",
+			make: func(space *searchspace.Space, rng *xrand.RNG) Scheduler {
+				return NewASHA(ASHAConfig{Space: space, RNG: rng, Eta: 4, MinResource: 1,
+					MaxResource: 256, InfiniteHorizon: true})
+			},
+			maxJobs: 400, eta: 4, asyncRank: true,
+		},
+		{
+			name: "sha",
+			make: func(space *searchspace.Space, rng *xrand.RNG) Scheduler {
+				return NewSHA(SHAConfig{Space: space, RNG: rng, N: 27, Eta: 3, MinResource: 1,
+					MaxResource: 27, AllowNewBrackets: true})
+			},
+			maxJobs: 400, eta: 3,
+		},
+		{
+			name: "hyperband",
+			make: func(space *searchspace.Space, rng *xrand.RNG) Scheduler {
+				return NewHyperband(HyperbandConfig{Space: space, RNG: rng, Eta: 3,
+					MinResource: 1, MaxResource: 27, MaxBracket: -1})
+			},
+			maxJobs: 400, eta: 3,
+		},
+		{
+			name: "async-hyperband",
+			make: func(space *searchspace.Space, rng *xrand.RNG) Scheduler {
+				return NewAsyncHyperband(AsyncHyperbandConfig{Space: space, RNG: rng, Eta: 3,
+					MinResource: 1, MaxResource: 27, MaxBracket: -1})
+			},
+			maxJobs: 400, eta: 3, asyncRank: true,
+		},
+		{
+			name: "model-asha",
+			make: func(space *searchspace.Space, rng *xrand.RNG) Scheduler {
+				return NewModelASHA(ModelASHAConfig{Space: space, RNG: rng, Eta: 3,
+					MinResource: 1, MaxResource: 27})
+			},
+			maxJobs: 200, eta: 3, asyncRank: true,
+		},
+		{
+			name: "bohb",
+			make: func(space *searchspace.Space, rng *xrand.RNG) Scheduler {
+				return NewBOHB(BOHBConfig{Space: space, RNG: rng, N: 27, Eta: 3, MinResource: 1,
+					MaxResource: 27, AllowNewBrackets: true})
+			},
+			maxJobs: 200, eta: 3,
+		},
+		{
+			name: "random",
+			make: func(space *searchspace.Space, rng *xrand.RNG) Scheduler {
+				return NewRandomSearch(RandomSearchConfig{Space: space, RNG: rng, MaxResource: 16})
+			},
+			maxJobs: 300,
+		},
+		{
+			name: "pbt",
+			make: func(space *searchspace.Space, rng *xrand.RNG) Scheduler {
+				return NewPBT(PBTConfig{Space: space, RNG: rng, Population: 8, Step: 1,
+					MaxResource: 8, TruncationFrac: 0.25, MaxLag: 2, SpawnPopulations: true})
+			},
+			maxJobs: 400,
+		},
+		{
+			name: "vizier",
+			make: func(space *searchspace.Space, rng *xrand.RNG) Scheduler {
+				return NewVizier(VizierConfig{Space: space, RNG: rng, MaxResource: 16})
+			},
+			maxJobs: 80,
+		},
+		{
+			name: "fabolas",
+			make: func(space *searchspace.Space, rng *xrand.RNG) Scheduler {
+				return NewFabolas(FabolasConfig{Space: space, RNG: rng, MaxResource: 16})
+			},
+			maxJobs: 80,
+		},
+	}
+}
+
+// issueKey identifies one training attempt: trial, lineage generation
+// (bumped when the trial inherits another's state), promotion rung and
+// target resource.
+type issueKey struct {
+	trial, gen, rung int
+	target           float64
+}
+
+// rungLevel identifies one promotion rung across brackets: brackets
+// with different early-stopping rates share rung indexes but never the
+// (index, resource) pair, so the successful entries recorded at a
+// rungLevel are exactly one bracket's rung contents.
+type rungLevel struct {
+	rung     int
+	resource float64
+}
+
+// driveInvariants runs one randomized stream against sched, asserting
+// the issue-time invariants inline and returning the rung tallies for
+// the end-of-run promotion check.
+func driveInvariants(t *testing.T, sched Scheduler, c invariantCase, seed uint64, failProb float64) (issuedRung, completedRung map[int]map[int]bool) {
+	t.Helper()
+	const capacity = 8
+	rng := xrand.New(seed)
+	issues := make(map[issueKey]int)
+	failures := make(map[issueKey]int)
+	gen := make(map[int]int)
+	lastTarget := make(map[int]float64)
+	issuedRung = make(map[int]map[int]bool)
+	completedRung = make(map[int]map[int]bool)
+	// successes records every successful observation per rung level;
+	// lastSuccess is each trial's most recent one — the observation an
+	// asynchronous promotion decision is made on.
+	successes := make(map[rungLevel]map[int]float64)
+	lastSuccess := make(map[int]lastObs)
+	key := func(job Job) issueKey {
+		return issueKey{trial: job.TrialID, gen: gen[job.TrialID], rung: job.Rung, target: job.TargetResource}
+	}
+
+	var inflight []Job
+	issued := 0
+	clock := 0.0
+	for {
+		if sched.Done() {
+			if job, ok := sched.Next(); ok {
+				t.Fatalf("scheduler issued a job after Done: %+v", job)
+			}
+			break
+		}
+		for len(inflight) < capacity && issued < maxJobsOf(c) && !sched.Done() {
+			job, ok := sched.Next()
+			if !ok {
+				break
+			}
+			if job.TargetResource <= 0 {
+				t.Fatalf("issued job with non-positive target: %+v", job)
+			}
+			if job.InheritFrom >= 0 {
+				// A new lineage: the trial adopts its donor's training
+				// position, so its resource clock legitimately restarts.
+				gen[job.TrialID]++
+				delete(lastTarget, job.TrialID)
+			}
+			if last, seen := lastTarget[job.TrialID]; seen && job.TargetResource < last-1e-9 {
+				t.Fatalf("trial %d target resource decreased %v -> %v without an inherit",
+					job.TrialID, last, job.TargetResource)
+			}
+			lastTarget[job.TrialID] = job.TargetResource
+			k := key(job)
+			issues[k]++
+			if issues[k] > 1+failures[k] {
+				t.Fatalf("attempt %+v issued %d times with only %d failures — not exactly-once",
+					k, issues[k], failures[k])
+			}
+			if c.asyncRank && job.Rung > 0 && !issuedRung[job.Rung][job.TrialID] {
+				assertPromotionRank(t, successes, lastSuccess[job.TrialID], job, c.eta)
+			}
+			if issuedRung[job.Rung] == nil {
+				issuedRung[job.Rung] = make(map[int]bool)
+			}
+			issuedRung[job.Rung][job.TrialID] = true
+			inflight = append(inflight, job)
+			issued++
+		}
+		if len(inflight) == 0 {
+			if issued >= maxJobsOf(c) {
+				break
+			}
+			if !sched.Done() {
+				t.Fatalf("scheduler declined work with nothing in flight and Done()==false after %d jobs — its executor would deadlock", issued)
+			}
+			continue
+		}
+		// Settle one random in-flight job: the completion order a real
+		// cluster produces is arbitrary, so the invariants must hold for
+		// any of them.
+		i := rng.IntN(len(inflight))
+		job := inflight[i]
+		inflight[i] = inflight[len(inflight)-1]
+		inflight = inflight[:len(inflight)-1]
+		clock++
+		if rng.Float64() < failProb {
+			failures[key(job)]++
+			sched.Report(Result{
+				TrialID: job.TrialID, Rung: job.Rung, Config: job.Config,
+				Loss: math.NaN(), TrueLoss: math.NaN(), Resource: 0, Failed: true, Time: clock,
+			})
+			continue
+		}
+		if completedRung[job.Rung] == nil {
+			completedRung[job.Rung] = make(map[int]bool)
+		}
+		completedRung[job.Rung][job.TrialID] = true
+		loss := rng.Float64()
+		level := rungLevel{rung: job.Rung, resource: job.TargetResource}
+		if successes[level] == nil {
+			successes[level] = make(map[int]float64)
+		}
+		successes[level][job.TrialID] = loss
+		lastSuccess[job.TrialID] = lastObs{level: level, loss: loss}
+		sched.Report(Result{
+			TrialID: job.TrialID, Rung: job.Rung, Config: job.Config,
+			Loss: loss, TrueLoss: loss, Resource: job.TargetResource, Time: clock,
+		})
+	}
+	if issued == 0 {
+		t.Fatal("scheduler issued no jobs")
+	}
+	return issuedRung, completedRung
+}
+
+func maxJobsOf(c invariantCase) int { return c.maxJobs }
+
+// lastObs is a trial's most recent successful observation.
+type lastObs struct {
+	level rungLevel
+	loss  float64
+}
+
+// assertPromotionRank checks one asynchronous promotion at decision
+// time: the promoted trial's latest success must sit at the rung below,
+// and must rank within the top ⌊n/eta⌋ of that rung level's successful
+// entries (ascending loss, ties by trial ID — the order the rung heaps
+// use) at the moment the promotion is issued.
+func assertPromotionRank(t *testing.T, successes map[rungLevel]map[int]float64, last lastObs, job Job, eta int) {
+	t.Helper()
+	if successes[last.level] == nil {
+		t.Fatalf("trial %d promoted to rung %d without any recorded success", job.TrialID, job.Rung)
+	}
+	if last.level.rung != job.Rung-1 {
+		t.Fatalf("trial %d promoted to rung %d from a rung-%d success", job.TrialID, job.Rung, last.level.rung)
+	}
+	peers := successes[last.level]
+	rank := 1
+	for id, loss := range peers {
+		if id == job.TrialID {
+			continue
+		}
+		if loss < last.loss || (loss == last.loss && id < job.TrialID) {
+			rank++
+		}
+	}
+	if limit := len(peers) / eta; rank > limit {
+		t.Fatalf("trial %d promoted to rung %d at rank %d of %d entries (top ⌊n/eta⌋ = %d)",
+			job.TrialID, job.Rung, rank, len(peers), limit)
+	}
+}
+
+// assertPromotionCaps checks that rung k never holds more distinct
+// trials than ⌈n_{k-1}/eta⌉ allows, where n_{k-1} counts distinct
+// trials that successfully completed rung k-1.
+func assertPromotionCaps(t *testing.T, issuedRung, completedRung map[int]map[int]bool, eta int) {
+	t.Helper()
+	for rung, trials := range issuedRung {
+		if rung == 0 {
+			continue
+		}
+		n := len(completedRung[rung-1])
+		cap := int(math.Ceil(float64(n) / float64(eta)))
+		if len(trials) > cap {
+			t.Errorf("rung %d holds %d distinct trials; %d completions of rung %d cap it at %d",
+				rung, len(trials), n, rung-1, cap)
+		}
+	}
+}
+
+func TestSchedulerInvariants(t *testing.T) {
+	space := invariantSpace()
+	for _, tc := range invariantCases() {
+		for _, cfg := range []struct {
+			seed     uint64
+			failProb float64
+		}{
+			{seed: 1, failProb: 0},    // clean stream
+			{seed: 2, failProb: 0.12}, // failures force the retry path
+			{seed: 3, failProb: 0.3},  // heavy failure load
+		} {
+			name := fmt.Sprintf("%s/seed=%d,fail=%v", tc.name, cfg.seed, cfg.failProb)
+			t.Run(name, func(t *testing.T) {
+				sched := tc.make(space, xrand.New(cfg.seed))
+				issuedRung, completedRung := driveInvariants(t, sched, tc, cfg.seed*101, cfg.failProb)
+				if tc.eta > 0 && !tc.asyncRank {
+					assertPromotionCaps(t, issuedRung, completedRung, tc.eta)
+				}
+			})
+		}
+	}
+}

@@ -26,6 +26,26 @@ type AgentOptions struct {
 	// Slots is the number of jobs the worker runs concurrently
 	// (default 1).
 	Slots int
+	// Batch is the number of jobs requested per lease poll and the
+	// report-flush size: up to Batch completed responses travel in one
+	// /v1/report request. 0 adopts the server-advertised fleet default;
+	// values below 1 are clamped to 1 (one job per round trip, the
+	// pre-batching behavior).
+	Batch int
+	// Prefetch is the depth of the local job queue: jobs leased ahead
+	// of the ones the slots are training, so objective execution
+	// overlaps the next lease poll. Each prefetched job holds its own
+	// lease and is heartbeated while it waits. 0 adopts the
+	// server-advertised fleet default; negative forces no lookahead.
+	Prefetch int
+	// FlushInterval bounds how long a completed response may wait in
+	// the report buffer for batch-mates before the buffer is flushed
+	// anyway. (The buffer also flushes early when it reaches Batch
+	// entries or when the agent has no job left in flight — a starving
+	// tuner never waits on a timer for results that are already done.)
+	// 0 adopts the server-advertised fleet default; negative flushes
+	// every response immediately.
+	FlushInterval time.Duration
 	// Resolve maps a job's experiment name to the objective that trains
 	// it. Single-experiment fleets ignore the name.
 	Resolve func(experiment string) (exec.Objective, error)
@@ -41,33 +61,83 @@ type AgentOptions struct {
 	RegisterTimeout time.Duration
 }
 
-// agent is one connected worker: Slots lease loops sharing a
-// registration and a heartbeat goroutine.
+// heldLease tracks one lease this worker currently owns, from grant to
+// settled report: queued (cancel nil, done false), running (cancel
+// set), or completed-awaiting-flush (done true). All states are
+// heartbeated — a prefetched job waiting in the local queue must not
+// expire under the worker holding it. Pipeline stages pass the pointer
+// along and settle by pointer identity, never by re-looking-up the
+// lease ID: after a server restart a fresh registration may be granted
+// a lease number a stale pre-restart entry also used, and ID-keyed
+// settlement would cross the two.
+type heldLease struct {
+	cancel  context.CancelFunc
+	expired bool // the lease is gone (server said so, or it predates a re-registration)
+	done    bool // completed, sitting in the report buffer
+}
+
+// queuedGrant is one leased job in the local prefetch queue.
+type queuedGrant struct {
+	grant LeaseGrant
+	h     *heldLease
+}
+
+// pendingReport is one completed response awaiting a report flush.
+type pendingReport struct {
+	entry ReportEntry
+	h     *heldLease
+}
+
+// agent is one connected worker running the prefetch pipeline: a
+// fetcher goroutine keeps the local job queue topped up with batched
+// lease polls, Slots executor goroutines drain it, and a reporter
+// goroutine flushes completed responses in batches — so objective
+// execution, the next lease poll, and result delivery all overlap
+// instead of serializing one HTTP round trip per job.
 type agent struct {
 	o      AgentOptions
 	client *http.Client
 	// regMu single-flights (re-)registration; worker and ttl are read
-	// under mu by the slot and heartbeat goroutines.
+	// under mu by the pipeline goroutines.
 	regMu  sync.Mutex
 	worker string
 	ttl    time.Duration
-	// runOver is set when any slot is told the run is over, so sibling
-	// slots stuck retrying a now-gone server stop immediately instead
-	// of waiting out the partition-tolerance window.
+	// Resolved batching parameters (option > server-advertised > default).
+	batch    int
+	prefetch int
+	flushInt time.Duration
+	// Server-advertised defaults, recorded at registration. A server
+	// that advertises no batch size at all predates the batched
+	// protocol: legacy makes the agent speak the single-job wire it
+	// understands (one job per poll, one response per report).
+	advBatch    int
+	advPrefetch int
+	advFlush    time.Duration
+	legacy      bool
+	// runOver is set when the server reports the run is over or a
+	// deterministic rejection dooms the worker, so every pipeline stage
+	// unwinds instead of waiting out the partition-tolerance window.
 	runOver atomic.Bool
 
-	mu sync.Mutex
-	// held maps each in-flight lease to its job's cancel function, so a
-	// lease the server reports expired can abort its (now pointless)
-	// training run and free the slot.
-	held map[uint64]context.CancelFunc
+	jobs    chan queuedGrant   // fetcher -> slots (buffered to Slots+Prefetch)
+	reports chan pendingReport // slots -> reporter
+	kick    chan struct{}      // wakes the fetcher when lease capacity frees
+
+	mu   sync.Mutex
+	held map[uint64]*heldLease
+	// active counts held leases still owed work (queued or running;
+	// not yet done), maintained incrementally — the pipeline consults
+	// it on every transition, so iterating held would be O(capacity)
+	// per job.
+	active int
 }
 
 // ServeAgent connects to a lease server and executes jobs until the
 // context is cancelled or the server reports the run is over. Workers
 // are elastic: an agent may connect mid-run and immediately receives
-// queued jobs. It heartbeats its in-flight leases; if the agent dies
-// instead, the server expires its leases and requeues the jobs.
+// queued jobs. It heartbeats its in-flight leases (queued, running, and
+// completed-unflushed alike); if the agent dies instead, the server
+// expires its leases and requeues the jobs.
 func ServeAgent(ctx context.Context, o AgentOptions) error {
 	if o.Server == "" {
 		return fmt.Errorf("remote: agent needs a server URL")
@@ -84,35 +154,91 @@ func ServeAgent(ctx context.Context, o AgentOptions) error {
 	a := &agent{
 		o:      o,
 		client: &http.Client{},
-		held:   make(map[uint64]context.CancelFunc),
+		held:   make(map[uint64]*heldLease),
+		kick:   make(chan struct{}, 1),
 	}
 	if err := a.register(ctx, ""); err != nil {
 		return err
 	}
+	a.resolveBatching()
+	// The fetcher never leases beyond Slots+Prefetch unsettled jobs, so
+	// these buffers make every pipeline send non-blocking in the steady
+	// state (the reports buffer adds slack for a flush mid-retry).
+	capacity := a.o.Slots + a.prefetch
+	a.jobs = make(chan queuedGrant, capacity)
+	a.reports = make(chan pendingReport, capacity+a.batch)
 
 	hbStop := make(chan struct{})
 	hbDone := make(chan struct{})
 	go a.heartbeatLoop(ctx, hbStop, hbDone)
+	repDone := make(chan struct{})
+	go func() {
+		defer close(repDone)
+		a.reportLoop(ctx)
+	}()
+	var slots sync.WaitGroup
+	for i := 0; i < a.o.Slots; i++ {
+		slots.Add(1)
+		go func() {
+			defer slots.Done()
+			a.slotLoop(ctx)
+		}()
+	}
 
-	errs := make(chan error, o.Slots)
-	for i := 0; i < o.Slots; i++ {
-		go func() { errs <- a.slotLoop(ctx) }()
-	}
-	var firstErr error
-	for i := 0; i < o.Slots; i++ {
-		if err := <-errs; err != nil && firstErr == nil {
-			firstErr = err
-			// A deterministic rejection in one slot (bad token, version
-			// skew) dooms them all: stop the siblings too.
-			a.runOver.Store(true)
-		}
-	}
+	err := a.fetchLoop(ctx) // closes a.jobs on return
+	// However the fetcher ended — run over, deterministic rejection, a
+	// dead server, a cancelled context — the pipeline is over: the
+	// slots must drop queued jobs (their leases die with the run, and
+	// with real objectives a queue of prefetched jobs is hours of
+	// wasted training), not execute them.
+	a.runOver.Store(true)
+	slots.Wait()
+	close(a.reports)
+	<-repDone
 	close(hbStop)
 	<-hbDone
-	if firstErr != nil {
-		return firstErr
+	if err != nil {
+		return err
 	}
 	return ctx.Err()
+}
+
+// resolveBatching fixes the pipeline's batch, prefetch and flush
+// parameters: an explicit option wins, else the server-advertised fleet
+// default, else the conservative pre-batching behavior (one job per
+// poll, no lookahead).
+func (a *agent) resolveBatching() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.legacy {
+		// A pre-batching server would silently ignore ReportBatch
+		// deliveries (and answer polls with single grants whatever we
+		// ask for): run the pipeline in single-job mode so every
+		// message stays within the wire the server speaks.
+		a.batch, a.prefetch, a.flushInt = 1, 0, 0
+		return
+	}
+	a.batch = a.o.Batch
+	if a.batch == 0 {
+		a.batch = a.advBatch
+	}
+	if a.batch < 1 {
+		a.batch = 1
+	}
+	a.prefetch = a.o.Prefetch
+	if a.prefetch == 0 {
+		a.prefetch = a.advPrefetch
+	}
+	if a.prefetch < 0 {
+		a.prefetch = 0
+	}
+	a.flushInt = a.o.FlushInterval
+	if a.flushInt == 0 {
+		a.flushInt = a.advFlush
+	}
+	if a.flushInt <= 0 {
+		a.flushInt = 0 // negative (or unadvertised zero): flush immediately
+	}
 }
 
 // workerID returns the current registration's worker ID.
@@ -129,16 +255,56 @@ func (a *agent) leaseTTL() time.Duration {
 	return a.ttl
 }
 
+// legacyServer reports whether the current registration is with a
+// pre-batching server (no batch advert).
+func (a *agent) legacyServer() bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.legacy
+}
+
+// activeLeases reports the leases still owed work — queued or running.
+// Completed jobs awaiting a report flush keep their lease (and its
+// heartbeat) but no longer occupy pipeline capacity.
+func (a *agent) activeLeases() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.active
+}
+
+// release drops a settled (or forfeited) lease and wakes the fetcher:
+// its capacity slot is free again. Settlement is by pointer identity —
+// if the table maps the ID to a different (newer) entry, this entry
+// was already superseded and its accounting already settled.
+func (a *agent) release(id uint64, h *heldLease) {
+	a.mu.Lock()
+	if a.held[id] == h {
+		if !h.done {
+			a.active--
+		}
+		delete(a.held, id)
+	}
+	a.mu.Unlock()
+	a.kickFetch()
+}
+
+func (a *agent) kickFetch() {
+	select {
+	case a.kick <- struct{}{}:
+	default:
+	}
+}
+
 // register announces the worker, retrying with backoff so a worker may
 // be started before (or independently of) the tuning process. staleID
-// is the registration being replaced ("" initially): when concurrent
-// slots hit a server restart, only the first one re-registers and the
-// rest see the refreshed ID and return immediately.
+// is the registration being replaced ("" initially): when a server
+// restart is noticed, only the first caller re-registers and the rest
+// see the refreshed ID and return immediately.
 func (a *agent) register(ctx context.Context, staleID string) error {
 	a.regMu.Lock()
 	defer a.regMu.Unlock()
 	if a.workerID() != staleID {
-		return nil // another slot already refreshed the registration
+		return nil // another caller already refreshed the registration
 	}
 	deadline := time.Now().Add(a.o.RegisterTimeout)
 	var lastErr error
@@ -152,8 +318,26 @@ func (a *agent) register(ctx context.Context, staleID string) error {
 				ttl = 15 * time.Second
 			}
 			a.mu.Lock()
+			if staleID != "" {
+				// The server restarted: every lease this worker holds
+				// belongs to the previous server generation. Expire them
+				// all — queued jobs drop on dequeue, running jobs are
+				// cancelled, buffered reports are filtered at flush — so
+				// no stale job or result can ever settle a fresh lease
+				// that happens to reuse the same number.
+				for _, h := range a.held {
+					h.expired = true
+					if h.cancel != nil {
+						h.cancel()
+					}
+				}
+			}
 			a.worker = resp.WorkerID
 			a.ttl = ttl
+			a.advBatch = resp.BatchSize
+			a.advPrefetch = resp.Prefetch
+			a.advFlush = time.Duration(resp.FlushMillis) * time.Millisecond
+			a.legacy = resp.BatchSize == 0
 			a.mu.Unlock()
 			return nil
 		}
@@ -178,19 +362,62 @@ func (a *agent) register(ctx context.Context, staleID string) error {
 	}
 }
 
-// slotLoop is one worker slot: long-poll for a lease, execute, report.
-// A non-nil return is a deterministic rejection worth surfacing; nil
-// means the run ended (or the context was cancelled).
-func (a *agent) slotLoop(ctx context.Context) error {
+// fetchLoop is the pipeline's lease stage: it long-polls /v1/lease for
+// up to Batch jobs at a time whenever the pipeline has free capacity
+// (Slots+Prefetch unsettled jobs), registers each grant's lease, and
+// queues the jobs for the executor slots — so while the slots train,
+// the next batch is already on the wire. A non-nil return is a
+// deterministic rejection worth surfacing; nil means the run ended (or
+// the context was cancelled). Closes a.jobs on return.
+func (a *agent) fetchLoop(ctx context.Context) error {
+	defer close(a.jobs)
+	capacity := a.o.Slots + a.prefetch
+	// The low-watermark refill: polling the moment one slot frees would
+	// degenerate the pipeline back to one-job round trips once primed,
+	// so the fetcher waits until a worthwhile chunk of capacity is free
+	// and every poll moves many jobs. The watermark is capped at
+	// Prefetch — never the slots' share of capacity — so the prefetch
+	// queue keeps the slots training while the poll is on the wire;
+	// waiting for a full Batch of capacity would drain the slots idle
+	// whenever Batch >= Slots+Prefetch.
+	threshold := a.batch
+	if threshold > a.prefetch {
+		threshold = a.prefetch
+	}
+	if threshold < 1 {
+		threshold = 1
+	}
 	var failingSince time.Time
 	refusals := 0
 	for ctx.Err() == nil && !a.runOver.Load() {
+		free := capacity - a.activeLeases()
+		if free < threshold {
+			select {
+			case <-a.kick:
+			case <-ctx.Done():
+			}
+			continue
+		}
+		max := free
+		if max > a.batch {
+			max = a.batch
+		}
 		wid := a.workerID()
-		var lr leaseResp
+		// The reply decodes as a union of the LeaseBatch shape and the
+		// legacy single-grant shape: a pre-batching server ignores the
+		// unknown "max" field and answers {"grant": ...}, and dropping
+		// that grant on the floor would lease-expire and requeue the
+		// same job forever — a silent livelock, not the fail-fast the
+		// versioning promises. Folding it into the batch keeps a
+		// new worker fully functional against an old tuner.
+		var lb struct {
+			LeaseBatch
+			Grant *LeaseGrant `json:"grant"`
+		}
 		status, err := a.post(ctx, "/v1/lease",
 			leaseReq{Version: ProtocolVersion, Token: a.o.Token, WorkerID: wid,
-				WaitMillis: 15000, Experiments: a.o.Experiments},
-			&lr, 25*time.Second)
+				WaitMillis: 15000, Max: max, Experiments: a.o.Experiments},
+			&lb, 25*time.Second)
 		if err != nil {
 			if ctx.Err() != nil {
 				return nil
@@ -238,33 +465,82 @@ func (a *agent) slotLoop(ctx context.Context) error {
 		}
 		failingSince = time.Time{}
 		refusals = 0
-		if lr.Done {
+		if lb.Done {
 			a.runOver.Store(true)
 			return nil
 		}
-		if lr.Grant == nil {
-			continue // long-poll timed out; poll again
+		if lb.Grant != nil && len(lb.Grants) == 0 {
+			lb.Grants = []LeaseGrant{*lb.Grant}
 		}
-		a.run(ctx, lr.Grant)
+		granted := make(map[uint64]bool, len(lb.Grants))
+		for i := range lb.Grants {
+			g := lb.Grants[i]
+			if granted[g.LeaseID] {
+				// A healthy server never grants one lease twice in a
+				// reply (the strict decoder contract); drop the duplicate
+				// rather than run the job twice.
+				continue
+			}
+			granted[g.LeaseID] = true
+			h := &heldLease{}
+			a.mu.Lock()
+			if old := a.held[g.LeaseID]; old != nil {
+				// A stale entry under the same number (a pre-restart
+				// lease): settle its accounting now — its queued job or
+				// buffered report will be dropped by the pointer check.
+				old.expired = true
+				if old.cancel != nil {
+					old.cancel()
+				}
+				if !old.done {
+					a.active--
+				}
+			}
+			a.held[g.LeaseID] = h
+			a.active++
+			a.mu.Unlock()
+			select {
+			case a.jobs <- queuedGrant{grant: g, h: h}:
+			case <-ctx.Done():
+				return nil
+			}
+		}
 	}
 	return nil
 }
 
-// run executes one leased job and reports its result. The job gets its
-// own cancellable context: if the server expires the lease mid-job (the
-// heartbeat answer lists it), training is cancelled — its report would
-// be rejected anyway, and the slot is better spent leasing live work.
-func (a *agent) run(ctx context.Context, g *leaseGrant) {
-	jobCtx, cancel := context.WithCancel(ctx)
-	defer cancel()
+// slotLoop is one executor slot: it drains the local job queue until
+// the fetcher closes it.
+func (a *agent) slotLoop(ctx context.Context) {
+	for q := range a.jobs {
+		if ctx.Err() != nil || a.runOver.Load() {
+			a.release(q.grant.LeaseID, q.h)
+			continue
+		}
+		a.runOne(ctx, q)
+	}
+}
+
+// runOne executes one leased job and hands its response to the
+// reporter. The job gets its own cancellable context: if the server
+// expires the lease mid-job (the heartbeat answer lists it), training
+// is cancelled — its report would be rejected anyway, and the slot is
+// better spent on live work.
+func (a *agent) runOne(ctx context.Context, q queuedGrant) {
+	g, h := q.grant, q.h
 	a.mu.Lock()
-	a.held[g.LeaseID] = cancel
-	a.mu.Unlock()
-	defer func() {
-		a.mu.Lock()
-		delete(a.held, g.LeaseID)
+	if h.expired {
+		// The lease expired while the job sat in the prefetch queue
+		// (heartbeat said so, or it predates a re-registration): the
+		// server has already requeued it elsewhere.
 		a.mu.Unlock()
-	}()
+		a.release(g.LeaseID, h)
+		return
+	}
+	jobCtx, cancel := context.WithCancel(ctx)
+	h.cancel = cancel
+	a.mu.Unlock()
+	defer cancel()
 
 	var resp exec.Response
 	obj, err := a.o.Resolve(g.Experiment)
@@ -274,6 +550,7 @@ func (a *agent) run(ctx context.Context, g *leaseGrant) {
 	if jobCtx.Err() != nil && ctx.Err() == nil {
 		// The lease was forfeited while training: the server has already
 		// requeued the job, so there is nothing worth reporting.
+		a.release(g.LeaseID, h)
 		return
 	}
 	if err != nil {
@@ -282,29 +559,141 @@ func (a *agent) run(ctx context.Context, g *leaseGrant) {
 		// run surfaces it instead of retrying forever.
 		resp = exec.Response{Version: exec.WireVersion, ID: g.Job.ID, Error: err.Error()}
 	}
+	a.mu.Lock()
+	h.cancel = nil
+	h.done = true
+	if a.held[g.LeaseID] == h {
+		a.active--
+	}
+	a.mu.Unlock()
+	// A completed job frees pipeline capacity even before its report
+	// flushes — the fetcher can lease its replacement immediately.
+	a.kickFetch()
+	select {
+	case a.reports <- pendingReport{entry: ReportEntry{LeaseID: g.LeaseID, Response: resp}, h: h}:
+	case <-ctx.Done():
+	}
+}
 
-	// Report with a short retry: if the server stays unreachable the
-	// lease expires and the job is requeued elsewhere, which is safe.
-	for attempt := 0; attempt < 3 && ctx.Err() == nil; attempt++ {
-		var rr reportResp
-		status, err := a.post(ctx, "/v1/report",
-			reportReq{Version: ProtocolVersion, Token: a.o.Token, WorkerID: a.workerID(), LeaseID: g.LeaseID, Response: resp},
-			&rr, 5*time.Second)
-		if err == nil {
-			return // accepted or (harmlessly) rejected as expired
+// reportLoop is the pipeline's delivery stage: it buffers completed
+// responses and flushes them as one ReportBatch when the buffer reaches
+// Batch entries, when the agent has nothing left in flight (a starving
+// tuner should not wait on a timer for results that are already done),
+// or when the oldest buffered response has waited FlushInterval.
+func (a *agent) reportLoop(ctx context.Context) {
+	var pending []pendingReport
+	var timer *time.Timer
+	var timerC <-chan time.Time
+	stopTimer := func() {
+		if timer != nil {
+			timer.Stop()
+			timer = nil
+			timerC = nil
 		}
-		if status >= 400 && status < 500 {
-			return // deterministic rejection; the lease will expire
-		}
+	}
+	for {
 		select {
-		case <-time.After(200 * time.Millisecond):
+		case e, ok := <-a.reports:
+			if !ok {
+				// Pipeline shut down: deliver what is buffered while the
+				// leases are still warm (unless the run is already over —
+				// the server has settled everything as Failed by then).
+				if len(pending) > 0 && ctx.Err() == nil && !a.runOver.Load() {
+					a.flushReports(ctx, pending)
+				}
+				stopTimer()
+				return
+			}
+			pending = append(pending, e)
+			if len(pending) >= a.batch || a.flushInt == 0 || a.activeLeases() == 0 {
+				pending = a.flushReports(ctx, pending)
+				stopTimer()
+			} else if timerC == nil {
+				timer = time.NewTimer(a.flushInt)
+				timerC = timer.C
+			}
+		case <-timerC:
+			timer = nil
+			timerC = nil
+			if len(pending) > 0 {
+				pending = a.flushReports(ctx, pending)
+			}
 		case <-ctx.Done():
+			stopTimer()
+			// Drain without delivering: the context owns the shutdown.
+			for range a.reports {
+			}
 			return
 		}
 	}
 }
 
-// heartbeatLoop extends the leases this worker holds at TTL/3 cadence.
+// flushReports delivers one ReportBatch with a short retry: if the
+// server stays unreachable the leases expire and the jobs requeue
+// elsewhere, which is safe. Rejected entries (leases that expired
+// mid-flight) need no handling here — the server has already requeued
+// those jobs, and only those. Returns the emptied buffer for reuse.
+func (a *agent) flushReports(ctx context.Context, pending []pendingReport) []pendingReport {
+	if len(pending) == 0 {
+		return pending[:0]
+	}
+	// Deliver only entries whose leases this worker still holds under
+	// the current registration: an entry that expired (or predates a
+	// re-registration) was already requeued server-side, and its lease
+	// number may since have been reissued to a different job — posting
+	// it could settle the wrong lease.
+	a.mu.Lock()
+	entries := make([]ReportEntry, 0, len(pending))
+	for _, p := range pending {
+		if !p.h.expired && a.held[p.entry.LeaseID] == p.h {
+			entries = append(entries, p.entry)
+		}
+	}
+	a.mu.Unlock()
+	wid := a.workerID()
+	deliver := func(req, reply interface{}) {
+		for attempt := 0; attempt < 3 && ctx.Err() == nil; attempt++ {
+			status, err := a.post(ctx, "/v1/report", req, reply, 10*time.Second)
+			if err == nil {
+				return // every entry settled: accepted, or harmlessly rejected as expired
+			}
+			if status >= 400 && status < 500 {
+				return // deterministic rejection; the leases will expire into retries
+			}
+			select {
+			case <-time.After(200 * time.Millisecond):
+			case <-ctx.Done():
+			}
+		}
+	}
+	switch {
+	case len(entries) == 0:
+		// Everything in the buffer was stale; nothing to deliver.
+	case a.legacyServer():
+		// A pre-batching server would drop a ReportBatch on the floor
+		// (unknown field, lease 0): deliver each response in the
+		// single-report shape it speaks. The pipeline runs with
+		// batch=1 in legacy mode, so this loop is one entry long.
+		for _, e := range entries {
+			var rr reportResp
+			deliver(reportReq{Version: ProtocolVersion, Token: a.o.Token, WorkerID: wid,
+				LeaseID: e.LeaseID, Response: e.Response}, &rr)
+		}
+	default:
+		var rr ReportBatchResult
+		deliver(ReportBatch{Version: ProtocolVersion, Token: a.o.Token, WorkerID: wid, Reports: entries}, &rr)
+	}
+	// Delivered or not, these leases are no longer this worker's to
+	// heartbeat: delivered results are settled, and undelivered ones
+	// must expire so the server requeues their jobs.
+	for _, p := range pending {
+		a.release(p.entry.LeaseID, p.h)
+	}
+	return pending[:0]
+}
+
+// heartbeatLoop extends every lease this worker holds — queued,
+// running, and completed-unflushed — at TTL/3 cadence.
 func (a *agent) heartbeatLoop(ctx context.Context, stop, done chan struct{}) {
 	defer close(done)
 	interval := a.leaseTTL() / 3
@@ -338,11 +727,15 @@ func (a *agent) heartbeatLoop(ctx context.Context, stop, done chan struct{}) {
 				continue
 			}
 			// Leases the server reports expired are already requeued
-			// elsewhere: cancel their jobs so the slots free up.
+			// elsewhere: cancel their running jobs so the slots free up,
+			// and mark queued ones so the slots skip them on dequeue.
 			a.mu.Lock()
 			for _, id := range hr.Expired {
-				if cancel := a.held[id]; cancel != nil {
-					cancel()
+				if h := a.held[id]; h != nil {
+					h.expired = true
+					if h.cancel != nil {
+						h.cancel()
+					}
 				}
 			}
 			a.mu.Unlock()

@@ -1,0 +1,453 @@
+package remote
+
+// Tests for the batched lease/report protocol: multi-grant polls capped
+// by the server's BatchSize, batched reports settled with per-entry
+// acceptance (a lease that expires mid-flight rejects only its own
+// entry), duplicate batches rejected at the door, and a full engine
+// drive over a prefetching, batching agent with nothing lost.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/backend"
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/xrand"
+)
+
+// TestLeaseBatchGrantsUpToBatchSize proves one poll can move many jobs
+// and that the server's BatchSize caps a greedier worker.
+func TestLeaseBatchGrantsUpToBatchSize(t *testing.T) {
+	srv, err := NewServer(Options{BatchSize: 3, LeaseTTL: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	outcomes := make(chan Outcome, 8)
+	for i := 0; i < 5; i++ {
+		srv.Submit(JobPayload{Trial: i, To: 2}, func(o Outcome) { outcomes <- o })
+	}
+	_, reg := rawPost(t, srv.URL(), "/v1/register", map[string]interface{}{"v": ProtocolVersion, "name": "batcher"})
+	if got := reg["batch"]; got != float64(3) {
+		t.Fatalf("registration advertised batch %v, want 3", got)
+	}
+	worker := reg["worker"].(string)
+
+	// Asking for 8 yields min(8, BatchSize)=3 grants in one reply.
+	status, lease := rawPost(t, srv.URL(), "/v1/lease",
+		map[string]interface{}{"v": ProtocolVersion, "worker": worker, "waitMs": 2000, "max": 8})
+	if status != http.StatusOK {
+		t.Fatalf("batched lease refused: %d %v", status, lease)
+	}
+	grants, ok := lease["grants"].([]interface{})
+	if !ok || len(grants) != 3 {
+		t.Fatalf("batched poll granted %v, want 3 grants", lease)
+	}
+	if lease["grant"] != nil {
+		t.Fatalf("batched reply also carried a legacy single grant: %v", lease)
+	}
+	if n := srv.BatchedGrants(); n != 3 {
+		t.Fatalf("BatchedGrants = %d, want 3", n)
+	}
+
+	// A legacy poll (no max) still gets the single-grant shape.
+	status, lease = rawPost(t, srv.URL(), "/v1/lease",
+		map[string]interface{}{"v": ProtocolVersion, "worker": worker, "waitMs": 2000})
+	if status != http.StatusOK || lease["grant"] == nil || lease["grants"] != nil {
+		t.Fatalf("legacy poll got %v, want a single grant", lease)
+	}
+}
+
+// TestBatchReportExpiredLeaseRejectsOnlyThatEntry is the regression
+// test for the lease-expiry sweep racing a batched report on the same
+// lease: a batch whose first job's lease expired mid-flight must reject
+// only that entry (accepted=false for it), settle the rest, and never
+// double-settle the expired job.
+func TestBatchReportExpiredLeaseRejectsOnlyThatEntry(t *testing.T) {
+	srv, err := NewServer(Options{LeaseTTL: 150 * time.Millisecond, BatchSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	outcomes := make(chan Outcome, 4)
+	for i := 0; i < 2; i++ {
+		srv.Submit(JobPayload{Trial: i, To: 2}, func(o Outcome) { outcomes <- o })
+	}
+	_, reg := rawPost(t, srv.URL(), "/v1/register", map[string]interface{}{"v": ProtocolVersion, "name": "half-dead"})
+	worker := reg["worker"].(string)
+	status, lease := rawPost(t, srv.URL(), "/v1/lease",
+		map[string]interface{}{"v": ProtocolVersion, "worker": worker, "waitMs": 2000, "max": 2})
+	grants, _ := lease["grants"].([]interface{})
+	if status != http.StatusOK || len(grants) != 2 {
+		t.Fatalf("worker did not lease both jobs: %d %v", status, lease)
+	}
+	lease0 := uint64(grants[0].(map[string]interface{})["lease"].(float64))
+	lease1 := uint64(grants[1].(map[string]interface{})["lease"].(float64))
+
+	// Heartbeat only the second lease until the first expires: the
+	// sweeper settles job 0 as Failed (requeued) while job 1 stays live.
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.ExpiredLeases() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("first lease never expired")
+		}
+		rawPost(t, srv.URL(), "/v1/heartbeat",
+			map[string]interface{}{"v": ProtocolVersion, "worker": worker, "leases": []uint64{lease1}})
+		time.Sleep(20 * time.Millisecond)
+	}
+	select {
+	case o := <-outcomes:
+		if !o.Failed {
+			t.Fatalf("expired lease settled as %+v, want Failed", o)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("expired lease never settled its job")
+	}
+
+	// The worker, unaware, reports both jobs in one batch.
+	status, rep := rawPost(t, srv.URL(), "/v1/report", map[string]interface{}{
+		"v": ProtocolVersion, "worker": worker, "reports": []map[string]interface{}{
+			{"lease": lease0, "response": map[string]interface{}{"v": ProtocolVersion, "id": lease0, "loss": 0.5}},
+			{"lease": lease1, "response": map[string]interface{}{"v": ProtocolVersion, "id": lease1, "loss": 0.25}},
+		},
+	})
+	if status != http.StatusOK {
+		t.Fatalf("batched report refused outright: %d %v", status, rep)
+	}
+	accepted, _ := rep["accepted"].([]interface{})
+	if len(accepted) != 2 || accepted[0] != false || accepted[1] != true {
+		t.Fatalf("per-entry acceptance = %v, want [false true]", accepted)
+	}
+	// Job 1 settles exactly once, with its loss; job 0 never settles a
+	// second time.
+	select {
+	case o := <-outcomes:
+		if o.Failed || o.Err != "" || o.Loss != 0.25 {
+			t.Fatalf("live entry settled wrong: %+v", o)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("accepted entry never settled its job")
+	}
+	select {
+	case o := <-outcomes:
+		t.Fatalf("expired entry settled twice: %+v", o)
+	case <-time.After(200 * time.Millisecond):
+	}
+	if n := srv.BatchedReports(); n != 2 {
+		t.Fatalf("BatchedReports = %d, want 2", n)
+	}
+}
+
+// TestBatchReportRejectsMalformedBatches pins the strict-decoder
+// behavior at the HTTP door: duplicated lease entries and empty batches
+// are rejected whole with a 400, settling nothing.
+func TestBatchReportRejectsMalformedBatches(t *testing.T) {
+	srv, err := NewServer(Options{LeaseTTL: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	outcomes := make(chan Outcome, 1)
+	srv.Submit(JobPayload{Trial: 1, To: 2}, func(o Outcome) { outcomes <- o })
+	_, reg := rawPost(t, srv.URL(), "/v1/register", map[string]interface{}{"v": ProtocolVersion})
+	worker := reg["worker"].(string)
+	_, lease := rawPost(t, srv.URL(), "/v1/lease",
+		map[string]interface{}{"v": ProtocolVersion, "worker": worker, "waitMs": 2000, "max": 1})
+	grants := lease["grants"].([]interface{})
+	id := uint64(grants[0].(map[string]interface{})["lease"].(float64))
+
+	entry := map[string]interface{}{"lease": id, "response": map[string]interface{}{"v": ProtocolVersion, "id": id, "loss": 0.5}}
+	status, _ := rawPost(t, srv.URL(), "/v1/report", map[string]interface{}{
+		"v": ProtocolVersion, "worker": worker, "reports": []map[string]interface{}{entry, entry},
+	})
+	if status != http.StatusBadRequest {
+		t.Fatalf("duplicated batch got status %d, want 400", status)
+	}
+	status, _ = rawPost(t, srv.URL(), "/v1/report", map[string]interface{}{
+		"v": ProtocolVersion, "worker": worker, "reports": []map[string]interface{}{},
+	})
+	if status != http.StatusBadRequest {
+		t.Fatalf("empty batch got status %d, want 400", status)
+	}
+	select {
+	case o := <-outcomes:
+		t.Fatalf("malformed batch settled a job: %+v", o)
+	case <-time.After(100 * time.Millisecond):
+	}
+	// The job is still leased and a well-formed batch settles it.
+	status, rep := rawPost(t, srv.URL(), "/v1/report", map[string]interface{}{
+		"v": ProtocolVersion, "worker": worker, "reports": []map[string]interface{}{entry},
+	})
+	accepted, _ := rep["accepted"].([]interface{})
+	if status != http.StatusOK || len(accepted) != 1 || accepted[0] != true {
+		t.Fatalf("well-formed batch after rejections failed: %d %v", status, rep)
+	}
+	if o := <-outcomes; o.Failed || o.Loss != 0.5 {
+		t.Fatalf("job settled wrong: %+v", o)
+	}
+}
+
+// TestAgentFallsBackToLegacyServer pins the new-worker/old-tuner
+// direction of mixed-version fleets: a pre-batching server advertises
+// no batch size, ignores the poll's "max" field, replies with
+// single-grant leases, and understands only single-response reports. A
+// batching-configured agent must detect that at registration and fall
+// back to the single-job wire — dropping grants or POSTing ReportBatch
+// shapes the server ignores would lease-expire and requeue every job
+// forever.
+func TestAgentFallsBackToLegacyServer(t *testing.T) {
+	const jobs = 6
+	type legacyState struct {
+		mu       sync.Mutex
+		leased   int
+		settled  map[uint64]float64
+		batchReq int
+	}
+	st := &legacyState{settled: make(map[uint64]float64)}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/register", func(w http.ResponseWriter, r *http.Request) {
+		// PR 3 reply shape: no batch/prefetch/flush advert.
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write([]byte(`{"v":1,"worker":"w1","leaseTTLms":60000}`))
+	})
+	mux.HandleFunc("/v1/lease", func(w http.ResponseWriter, r *http.Request) {
+		st.mu.Lock()
+		defer st.mu.Unlock()
+		w.Header().Set("Content-Type", "application/json")
+		if st.leased >= jobs {
+			_, _ = w.Write([]byte(`{"v":1,"done":true}`))
+			return
+		}
+		st.leased++
+		// Legacy single-grant reply, "max" ignored.
+		fmt.Fprintf(w, `{"v":1,"grant":{"lease":%d,"job":{"v":1,"id":%d,"trial":%d,"config":{"momentum":0.5},"from":0,"to":2}}}`,
+			st.leased, st.leased, st.leased)
+	})
+	mux.HandleFunc("/v1/report", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			LeaseID  uint64          `json:"lease"`
+			Response exec.Response   `json:"response"`
+			Reports  json.RawMessage `json:"reports"`
+		}
+		_ = json.NewDecoder(r.Body).Decode(&req)
+		st.mu.Lock()
+		defer st.mu.Unlock()
+		w.Header().Set("Content-Type", "application/json")
+		if req.Reports != nil {
+			// A real PR 3 server would silently misparse this; the stub
+			// records it so the test fails loudly instead.
+			st.batchReq++
+			_, _ = w.Write([]byte(`{"v":1,"accepted":false}`))
+			return
+		}
+		st.settled[req.LeaseID] = req.Response.Loss
+		_, _ = w.Write([]byte(`{"v":1,"accepted":true}`))
+	})
+	mux.HandleFunc("/v1/heartbeat", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write([]byte(`{"v":1}`))
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := &http.Server{Handler: mux}
+	go func() { _ = hs.Serve(ln) }()
+	defer hs.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	err = ServeAgent(ctx, AgentOptions{
+		Server: "http://" + ln.Addr().String(),
+		Slots:  2, Batch: 8, Prefetch: 4, FlushInterval: time.Second,
+		Resolve: func(string) (exec.Objective, error) { return pureObjective, nil },
+	})
+	if err != nil {
+		t.Fatalf("agent against legacy server: %v", err)
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.batchReq != 0 {
+		t.Fatalf("agent sent %d ReportBatch requests to a pre-batching server", st.batchReq)
+	}
+	if len(st.settled) != jobs {
+		t.Fatalf("legacy server settled %d of %d jobs: %v", len(st.settled), jobs, st.settled)
+	}
+}
+
+// TestReregistrationPurgesStalePrefetchedWork pins the server-restart
+// semantics of the prefetch pipeline: when a poll answers 410 (the
+// server lost this worker's identity — it restarted), every lease the
+// agent still holds belongs to the dead server generation. Queued
+// prefetched jobs must be dropped, not executed, and their buffered
+// reports must never be posted — a restarted server may reissue the
+// same lease numbers to different jobs.
+func TestReregistrationPurgesStalePrefetchedWork(t *testing.T) {
+	type stubState struct {
+		mu        sync.Mutex
+		polls     int
+		reported  []uint64
+		restarted bool
+	}
+	st := &stubState{}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/register", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write([]byte(`{"v":1,"worker":"w1","leaseTTLms":60000,"batch":3,"prefetch":4,"flushMs":20}`))
+	})
+	mux.HandleFunc("/v1/lease", func(w http.ResponseWriter, r *http.Request) {
+		st.mu.Lock()
+		defer st.mu.Unlock()
+		st.polls++
+		w.Header().Set("Content-Type", "application/json")
+		switch {
+		case st.polls == 1:
+			// One batch of three jobs: one will run, two will sit in the
+			// prefetch queue when the "restart" hits.
+			_, _ = w.Write([]byte(`{"v":1,"grants":[` +
+				`{"lease":1,"job":{"v":1,"id":1,"trial":1,"config":{"momentum":0.5},"from":0,"to":2}},` +
+				`{"lease":2,"job":{"v":1,"id":2,"trial":2,"config":{"momentum":0.5},"from":0,"to":2}},` +
+				`{"lease":3,"job":{"v":1,"id":3,"trial":3,"config":{"momentum":0.5},"from":0,"to":2}}]}`))
+		case !st.restarted:
+			st.restarted = true
+			w.WriteHeader(http.StatusGone)
+			_, _ = w.Write([]byte(`{"error":"unknown worker; register again"}`))
+		default:
+			_, _ = w.Write([]byte(`{"v":1,"done":true}`))
+		}
+	})
+	mux.HandleFunc("/v1/report", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Reports []ReportEntry `json:"reports"`
+			LeaseID uint64        `json:"lease"`
+		}
+		_ = json.NewDecoder(r.Body).Decode(&req)
+		st.mu.Lock()
+		restarted := st.restarted
+		for _, e := range req.Reports {
+			if restarted {
+				st.reported = append(st.reported, e.LeaseID)
+			}
+		}
+		if req.Reports == nil && restarted {
+			st.reported = append(st.reported, req.LeaseID)
+		}
+		st.mu.Unlock()
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write([]byte(`{"v":1,"accepted":[true,true,true]}`))
+	})
+	mux.HandleFunc("/v1/heartbeat", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write([]byte(`{"v":1}`))
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := &http.Server{Handler: mux}
+	go func() { _ = hs.Serve(ln) }()
+	defer hs.Close()
+
+	var execMu sync.Mutex
+	executed := make(map[int]int)
+	// Trial 1 finishes quickly; its completion frees enough capacity for
+	// the next poll, which answers 410. Any later trial that reaches the
+	// objective blocks until its job context is cancelled — so a stale
+	// job the purge misses would run its full (5s) course, execute its
+	// successor, and fail the assertions below.
+	obj := func(ctx context.Context, cfg map[string]float64, from, to float64, state interface{}) (float64, interface{}, error) {
+		id, _ := exec.TrialIDFromContext(ctx)
+		execMu.Lock()
+		executed[id]++
+		execMu.Unlock()
+		if id == 1 {
+			time.Sleep(50 * time.Millisecond)
+			return pureObjective(ctx, cfg, from, to, state)
+		}
+		select {
+		case <-ctx.Done():
+			return 0, nil, ctx.Err()
+		case <-time.After(5 * time.Second):
+			return pureObjective(ctx, cfg, from, to, state)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	err = ServeAgent(ctx, AgentOptions{
+		Server: "http://" + ln.Addr().String(),
+		Slots:  1, Batch: 3, Prefetch: 4, FlushInterval: 20 * time.Millisecond,
+		Resolve: func(string) (exec.Objective, error) { return obj, nil },
+	})
+	if err != nil {
+		t.Fatalf("agent: %v", err)
+	}
+	execMu.Lock()
+	defer execMu.Unlock()
+	// Trial 2 may have been dequeued by the slot just before the restart
+	// was noticed — the purge must then cancel it (it blocks until
+	// cancelled). Trial 3 was still in the prefetch queue and must be
+	// dropped on dequeue, never executed.
+	if executed[3] != 0 {
+		t.Fatalf("stale queued job executed after re-registration: %v", executed)
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	// No stale lease may be reported after the restart: the numbers
+	// could since belong to different jobs.
+	for _, id := range st.reported {
+		t.Errorf("stale lease %d reported after re-registration", id)
+	}
+}
+
+// TestDriveWithBatchedPrefetchingAgent drives a real ASHA run through
+// the full pipeline — batched grants, prefetch queue, batched report
+// flushes — and checks nothing is lost, duplicated, or failed, and that
+// the batch paths actually carried the traffic.
+func TestDriveWithBatchedPrefetchingAgent(t *testing.T) {
+	const maxJobs = 120
+	srv, err := NewServer(Options{LeaseTTL: 10 * time.Second, BatchSize: 4, Prefetch: 8,
+		FlushInterval: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	be := NewBackend(srv, 12)
+	space := testSpace()
+	sched := core.NewASHA(core.ASHAConfig{
+		Space: space, RNG: xrand.New(17), Eta: 2, MinResource: 1, MaxResource: 16,
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	agentDone := make(chan error, 1)
+	go func() {
+		agentDone <- ServeAgent(ctx, AgentOptions{
+			Server: srv.URL(), Slots: 2, // Batch/Prefetch/Flush adopt the server's advert
+			Resolve: func(string) (exec.Objective, error) { return pureObjective, nil },
+		})
+	}()
+	run, err := backend.Drive(ctx, sched, be, backend.Options{MaxJobs: maxJobs})
+	if err != nil {
+		t.Fatalf("drive failed: %v", err)
+	}
+	if run.CompletedJobs != maxJobs || run.FailedJobs != 0 {
+		t.Fatalf("completed %d / failed %d of %d jobs", run.CompletedJobs, run.FailedJobs, maxJobs)
+	}
+	if n := srv.ExpiredLeases(); n != 0 {
+		t.Fatalf("%d leases expired during a healthy batched run", n)
+	}
+	if n := srv.BatchedGrants(); n == 0 {
+		t.Fatal("no jobs traveled through batched grants")
+	}
+	if n := srv.BatchedReports(); n == 0 {
+		t.Fatal("no results traveled through batched reports")
+	}
+	if err := <-agentDone; err != nil {
+		t.Fatalf("agent: %v", err)
+	}
+}

@@ -7,11 +7,16 @@
 // The protocol is four JSON POST endpoints:
 //
 //	/v1/register  — a worker announces itself and learns its lease TTL
-//	/v1/lease     — long-poll for a job; the grant carries a lease ID
+//	              	and the fleet's batching defaults
+//	/v1/lease     — long-poll for jobs; each grant carries a lease ID
 //	              	and the job payload (an internal/exec.Request, so the
 //	              	wire reuses the subprocess protocol's name-keyed,
-//	              	versioned job encoding)
-//	/v1/report    — deliver a finished job's exec.Response under its lease
+//	              	versioned job encoding). A poll asking for Max jobs
+//	              	is answered with a LeaseBatch of up to
+//	              	min(Max, BatchSize) grants in one round trip.
+//	/v1/report    — deliver finished jobs' exec.Responses under their
+//	              	leases, singly or as a ReportBatch settled with
+//	              	per-entry acceptance
 //	/v1/heartbeat — extend the leases a worker still holds
 //
 // Workers are elastic: they may register at any time — including long
@@ -70,6 +75,11 @@ type Outcome struct {
 	Err string
 }
 
+// DefaultFlushInterval is the report-flush deadline advertised to
+// workers when Options.FlushInterval is zero: the longest a completed
+// result may wait in a worker's report buffer for batch-mates.
+const DefaultFlushInterval = 25 * time.Millisecond
+
 // Options configures a Server.
 type Options struct {
 	// Listen is the TCP address to serve on (default "127.0.0.1:0").
@@ -83,6 +93,19 @@ type Options struct {
 	// MaxLeases caps the number of concurrently leased jobs
 	// (0 = unlimited; callers usually bound in-flight work themselves).
 	MaxLeases int
+	// BatchSize caps the jobs granted per lease poll and is advertised
+	// to workers at registration as the fleet-wide default lease/report
+	// batch size (default 1: one job per round trip, the pre-batching
+	// behavior). Workers may ask for less; they never receive more.
+	BatchSize int
+	// Prefetch is advertised to workers at registration as the default
+	// depth of their local job queue: jobs leased ahead of the ones
+	// their slots are training, overlapping execution with the next
+	// lease poll (default 0: no lookahead).
+	Prefetch int
+	// FlushInterval is advertised to workers at registration as the
+	// default report-flush deadline (default DefaultFlushInterval).
+	FlushInterval time.Duration
 }
 
 // task is one submitted job: queued, then leased, then answered exactly
@@ -112,6 +135,12 @@ type Server struct {
 	workers    map[string]string // worker ID -> advertised name
 	expired    int
 	closed     bool
+	// batchedGrants counts jobs granted through LeaseBatch replies and
+	// batchedReports counts entries settled (accepted or rejected)
+	// through ReportBatch requests — the observability hooks the batch
+	// parity tests assert against.
+	batchedGrants  int
+	batchedReports int
 
 	sweepStop chan struct{}
 	sweepDone chan struct{}
@@ -125,14 +154,29 @@ func NewServer(opts Options) (*Server, error) {
 	if opts.LeaseTTL <= 0 {
 		opts.LeaseTTL = 15 * time.Second
 	}
+	if opts.BatchSize < 1 {
+		opts.BatchSize = 1
+	}
+	if opts.Prefetch < 0 {
+		opts.Prefetch = 0
+	}
+	if opts.FlushInterval <= 0 {
+		opts.FlushInterval = DefaultFlushInterval
+	}
 	ln, err := net.Listen("tcp", opts.Listen)
 	if err != nil {
 		return nil, fmt.Errorf("remote: listen on %s: %w", opts.Listen, err)
 	}
 	s := &Server{
-		opts:      opts,
-		ln:        ln,
-		wake:      make(chan struct{}),
+		opts: opts,
+		ln:   ln,
+		wake: make(chan struct{}),
+		// Lease IDs start at the server's start second shifted into the
+		// high bits (exact in a JSON float64 until year ~2242, with 2^20
+		// IDs per start second): two server generations never share
+		// lease IDs, so a worker's stale pre-restart report can never
+		// collide with — and settle — a fresh lease of the same number.
+		nextLease: uint64(time.Now().Unix()) << 20,
 		leases:    make(map[uint64]*task),
 		workers:   make(map[string]string),
 		sweepStop: make(chan struct{}),
@@ -180,6 +224,23 @@ func (s *Server) Workers() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return len(s.workers)
+}
+
+// BatchedGrants reports how many jobs have been granted through
+// batched (LeaseBatch) lease replies over the server's lifetime.
+func (s *Server) BatchedGrants() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.batchedGrants
+}
+
+// BatchedReports reports how many report entries have been settled —
+// accepted or rejected — through batched (ReportBatch) report requests
+// over the server's lifetime.
+func (s *Server) BatchedReports() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.batchedReports
 }
 
 // closeGrace is how long a closed server keeps answering HTTP after
@@ -290,6 +351,13 @@ type registerResp struct {
 	Version        int    `json:"v"`
 	WorkerID       string `json:"worker"`
 	LeaseTTLMillis int64  `json:"leaseTTLms"`
+	// BatchSize, Prefetch and FlushMillis advertise the fleet-wide
+	// batching defaults configured on the server (see Options); a
+	// worker without explicit local settings adopts them, so one knob
+	// at the tuner tunes the whole fleet.
+	BatchSize   int   `json:"batch,omitempty"`
+	Prefetch    int   `json:"prefetch,omitempty"`
+	FlushMillis int64 `json:"flushMs,omitempty"`
 }
 
 type leaseReq struct {
@@ -297,27 +365,31 @@ type leaseReq struct {
 	Token      string `json:"token,omitempty"`
 	WorkerID   string `json:"worker"`
 	WaitMillis int64  `json:"waitMs,omitempty"`
+	// Max is the largest number of jobs the worker wants in one reply.
+	// 0 — the field absent, a pre-batching worker — selects the legacy
+	// single-grant reply shape; >= 1 selects the LeaseBatch reply,
+	// carrying up to min(Max, server BatchSize) jobs.
+	Max int `json:"max,omitempty"`
 	// Experiments, when non-empty, restricts the grant to jobs of the
 	// named experiments — a partially-configured worker never receives
 	// (and so never fails) jobs it has no objective for.
 	Experiments []string `json:"experiments,omitempty"`
 }
 
-// leaseGrant hands one job to a worker: the lease envelope plus the job
-// payload in the shared subprocess wire encoding.
-type leaseGrant struct {
-	LeaseID    uint64       `json:"lease"`
-	Experiment string       `json:"experiment,omitempty"`
-	Job        exec.Request `json:"job"`
-}
-
+// leaseResp is the legacy single-grant reply shape, kept for
+// pre-batching workers (leaseReq.Max == 0). Batched polls are answered
+// with a LeaseBatch (wire.go).
 type leaseResp struct {
 	Version int         `json:"v"`
-	Grant   *leaseGrant `json:"grant,omitempty"`
+	Grant   *LeaseGrant `json:"grant,omitempty"`
 	// Done tells the worker the run is over and it should exit.
 	Done bool `json:"done,omitempty"`
 }
 
+// reportReq is the legacy single-response report shape, kept for
+// pre-batching workers. Batched deliveries POST a ReportBatch (wire.go)
+// to the same endpoint; the handler distinguishes them by the presence
+// of the "reports" field.
 type reportReq struct {
 	Version  int           `json:"v"`
 	Token    string        `json:"token,omitempty"`
@@ -360,12 +432,19 @@ func (s *Server) decode(w http.ResponseWriter, r *http.Request, version *int, to
 		s.reject(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
 		return false
 	}
-	if *version != ProtocolVersion {
+	return s.check(w, *version, *token)
+}
+
+// check enforces the wire version and worker token of an already-decoded
+// request. It writes the error response itself and returns false on
+// rejection.
+func (s *Server) check(w http.ResponseWriter, version int, token string) bool {
+	if version != ProtocolVersion {
 		s.reject(w, http.StatusBadRequest,
-			fmt.Sprintf("protocol version %d not supported (server speaks %d)", *version, ProtocolVersion))
+			fmt.Sprintf("protocol version %d not supported (server speaks %d)", version, ProtocolVersion))
 		return false
 	}
-	if s.opts.Token != "" && *token != s.opts.Token {
+	if s.opts.Token != "" && token != s.opts.Token {
 		s.reject(w, http.StatusUnauthorized, "bad or missing worker token")
 		return false
 	}
@@ -397,6 +476,9 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 		Version:        ProtocolVersion,
 		WorkerID:       id,
 		LeaseTTLMillis: s.opts.LeaseTTL.Milliseconds(),
+		BatchSize:      s.opts.BatchSize,
+		Prefetch:       s.opts.Prefetch,
+		FlushMillis:    s.opts.FlushInterval.Milliseconds(),
 	})
 }
 
@@ -409,12 +491,27 @@ func (s *Server) handleLease(w http.ResponseWriter, r *http.Request) {
 	if wait > 30*time.Second {
 		wait = 30 * time.Second
 	}
+	// A request naming Max selects the batched reply shape and receives
+	// up to min(Max, BatchSize) jobs; a pre-batching request (Max == 0)
+	// keeps the legacy single-grant shape.
+	batched := req.Max > 0
+	max := req.Max
+	if max > s.opts.BatchSize {
+		max = s.opts.BatchSize
+	}
+	if max < 1 {
+		max = 1
+	}
 	deadline := time.Now().Add(wait)
 	for {
 		s.mu.Lock()
 		if s.closed {
 			s.mu.Unlock()
-			s.reply(w, leaseResp{Version: ProtocolVersion, Done: true})
+			if batched {
+				s.reply(w, LeaseBatch{Version: ProtocolVersion, Done: true})
+			} else {
+				s.reply(w, leaseResp{Version: ProtocolVersion, Done: true})
+			}
 			return
 		}
 		if _, known := s.workers[req.WorkerID]; !known {
@@ -422,39 +519,39 @@ func (s *Server) handleLease(w http.ResponseWriter, r *http.Request) {
 			s.reject(w, http.StatusGone, "unknown worker; register again")
 			return
 		}
-		if idx := s.matchLocked(req.Experiments); idx >= 0 &&
-			(s.opts.MaxLeases == 0 || len(s.leases) < s.opts.MaxLeases) {
-			t := s.pending[idx]
-			copy(s.pending[idx:], s.pending[idx+1:])
-			s.pending[len(s.pending)-1] = nil // release the task reference
-			s.pending = s.pending[:len(s.pending)-1]
-			s.nextLease++
-			t.leaseID = s.nextLease
-			t.worker = req.WorkerID
-			t.deadline = time.Now().Add(s.opts.LeaseTTL)
-			s.leases[t.leaseID] = t
-			grant := &leaseGrant{
-				LeaseID:    t.leaseID,
-				Experiment: t.payload.Experiment,
-				Job: exec.Request{
-					Version: exec.WireVersion,
-					ID:      int(t.leaseID),
-					Trial:   t.payload.Trial,
-					Config:  t.payload.Config,
-					From:    t.payload.From,
-					To:      t.payload.To,
-					State:   t.payload.State,
-				},
+		var grants []LeaseGrant
+		now := time.Now()
+		for len(grants) < max {
+			if s.opts.MaxLeases != 0 && len(s.leases) >= s.opts.MaxLeases {
+				break
+			}
+			idx := s.matchLocked(req.Experiments)
+			if idx < 0 {
+				break
+			}
+			grants = append(grants, s.grantLocked(idx, req.WorkerID, now))
+		}
+		if len(grants) > 0 {
+			if batched {
+				s.batchedGrants += len(grants)
 			}
 			s.mu.Unlock()
-			s.reply(w, leaseResp{Version: ProtocolVersion, Grant: grant})
+			if batched {
+				s.reply(w, LeaseBatch{Version: ProtocolVersion, Grants: grants})
+			} else {
+				s.reply(w, leaseResp{Version: ProtocolVersion, Grant: &grants[0]})
+			}
 			return
 		}
 		wake := s.wake
 		s.mu.Unlock()
 		remaining := time.Until(deadline)
 		if remaining <= 0 {
-			s.reply(w, leaseResp{Version: ProtocolVersion})
+			if batched {
+				s.reply(w, LeaseBatch{Version: ProtocolVersion})
+			} else {
+				s.reply(w, leaseResp{Version: ProtocolVersion})
+			}
 			return
 		}
 		timer := time.NewTimer(remaining)
@@ -466,6 +563,33 @@ func (s *Server) handleLease(w http.ResponseWriter, r *http.Request) {
 			timer.Stop()
 			return
 		}
+	}
+}
+
+// grantLocked leases pending[idx] to the worker and returns its grant.
+// Callers hold s.mu.
+func (s *Server) grantLocked(idx int, worker string, now time.Time) LeaseGrant {
+	t := s.pending[idx]
+	copy(s.pending[idx:], s.pending[idx+1:])
+	s.pending[len(s.pending)-1] = nil // release the task reference
+	s.pending = s.pending[:len(s.pending)-1]
+	s.nextLease++
+	t.leaseID = s.nextLease
+	t.worker = worker
+	t.deadline = now.Add(s.opts.LeaseTTL)
+	s.leases[t.leaseID] = t
+	return LeaseGrant{
+		LeaseID:    t.leaseID,
+		Experiment: t.payload.Experiment,
+		Job: exec.Request{
+			Version: exec.WireVersion,
+			ID:      int(t.leaseID),
+			Trial:   t.payload.Trial,
+			Config:  t.payload.Config,
+			From:    t.payload.From,
+			To:      t.payload.To,
+			State:   t.payload.State,
+		},
 	}
 }
 
@@ -485,9 +609,36 @@ func (s *Server) matchLocked(experiments []string) int {
 	return -1
 }
 
+// reportWire is the union of /v1/report's two delivery shapes, decoded
+// in one pass: the presence of the "reports" field selects the batched
+// path, so pre-batching workers keep working unchanged and a genuine
+// version skew still fails fast on the "v" check rather than on shape.
+type reportWire struct {
+	reportReq
+	Reports []ReportEntry `json:"reports"`
+}
+
 func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
-	var req reportReq
-	if !s.decode(w, r, &req.Version, &req.Token, &req) {
+	if r.Method != http.MethodPost {
+		s.reject(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var wire reportWire
+	if err := json.NewDecoder(r.Body).Decode(&wire); err != nil {
+		s.reject(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
+		return
+	}
+	if wire.Reports != nil {
+		s.handleReportBatch(w, ReportBatch{
+			Version:  wire.Version,
+			Token:    wire.Token,
+			WorkerID: wire.WorkerID,
+			Reports:  wire.Reports,
+		})
+		return
+	}
+	req := wire.reportReq
+	if !s.check(w, req.Version, req.Token) {
 		return
 	}
 	s.mu.Lock()
@@ -528,6 +679,62 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 	}
 	t.done(out)
 	s.reply(w, reportResp{Version: ProtocolVersion, Accepted: true})
+}
+
+// handleReportBatch settles a batch of responses in one pass under one
+// lock. Entries are validated independently — a lease that expired
+// mid-flight (its job already requeued by the sweeper) rejects only its
+// own entry, never the whole batch — and the settled tasks' done
+// callbacks run back to back, so the engine's Await drains the whole
+// request as one completion batch: one HTTP request, one scheduler
+// wakeup.
+func (s *Server) handleReportBatch(w http.ResponseWriter, rb ReportBatch) {
+	if err := rb.validate(); err != nil {
+		s.reject(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if s.opts.Token != "" && rb.Token != s.opts.Token {
+		s.reject(w, http.StatusUnauthorized, "bad or missing worker token")
+		return
+	}
+	accepted := make([]bool, len(rb.Reports))
+	settled := make([]*task, len(rb.Reports))
+	s.mu.Lock()
+	freed := 0
+	for i, e := range rb.Reports {
+		t, ok := s.leases[e.LeaseID]
+		if !ok || t.worker != rb.WorkerID || e.Response.ID != int(e.LeaseID) {
+			// Expired (already requeued), another worker's lease, or a
+			// mispaired response ID: this entry is rejected — and a
+			// still-live mispaired lease is left to expire into a retry,
+			// exactly as on the single-response path.
+			continue
+		}
+		delete(s.leases, e.LeaseID)
+		accepted[i] = true
+		settled[i] = t
+		freed++
+	}
+	s.batchedReports += len(rb.Reports)
+	if freed > 0 && len(s.pending) > 0 {
+		// Freed lease slots may unblock pollers waiting on MaxLeases.
+		s.wakeLocked()
+	}
+	s.mu.Unlock()
+	for i, t := range settled {
+		if t == nil {
+			continue
+		}
+		var out Outcome
+		if resp := rb.Reports[i].Response; resp.Error != "" {
+			out.Err = resp.Error
+		} else {
+			out.Loss = resp.Loss
+			out.State = resp.State
+		}
+		t.done(out)
+	}
+	s.reply(w, ReportBatchResult{Version: ProtocolVersion, Accepted: accepted})
 }
 
 func (s *Server) handleHeartbeat(w http.ResponseWriter, r *http.Request) {

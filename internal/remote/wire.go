@@ -1,0 +1,128 @@
+package remote
+
+// The batched lease wire. PR 3's protocol moved one job per long-poll
+// round trip and one result per HTTP request, which caps fleet
+// throughput at the HTTP round-trip rate (~12k jobs/sec over loopback)
+// while the scheduler core sustains ~1M decisions/sec. LeaseBatch and
+// ReportBatch amortize that round trip: one /v1/lease poll may grant up
+// to the worker's requested batch of jobs, and one /v1/report request
+// may settle a batch of responses — each job still under its own lease
+// ID, so expiry and exactly-once semantics are per job, unchanged.
+//
+// The messages are versioned with the same "v" field as the job payload
+// they carry (the exec wire's name-keyed config encoding); a version
+// mismatch aborts at the door, and the pre-batching single-job shapes
+// remain accepted on the same endpoints, so a mixed-version fleet fails
+// fast on a real version skew instead of failing silently on a shape
+// skew. The strict decoders below are the protocol's hardening surface
+// (see fuzz_test.go): arbitrary bytes never panic, truncated or
+// duplicated batch payloads are rejected cleanly, and every message
+// that decodes re-encodes to the identical bytes.
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/exec"
+)
+
+// LeaseGrant hands one leased job to a worker: the lease envelope plus
+// the job payload in the shared subprocess wire encoding.
+type LeaseGrant struct {
+	LeaseID    uint64       `json:"lease"`
+	Experiment string       `json:"experiment,omitempty"`
+	Job        exec.Request `json:"job"`
+}
+
+// LeaseBatch is the versioned reply to a batched lease poll (a leaseReq
+// with Max >= 1): up to Max jobs, each under its own lease. An empty
+// Grants means the long poll timed out with nothing to hand out; Done
+// tells the worker the run is over.
+type LeaseBatch struct {
+	Version int          `json:"v"`
+	Grants  []LeaseGrant `json:"grants,omitempty"`
+	Done    bool         `json:"done,omitempty"`
+}
+
+// ReportEntry pairs one finished job's response with the lease it was
+// executed under.
+type ReportEntry struct {
+	LeaseID  uint64        `json:"lease"`
+	Response exec.Response `json:"response"`
+}
+
+// ReportBatch delivers a batch of finished jobs in one /v1/report
+// request. Entries are settled independently: a lease that expired
+// mid-flight rejects only its own entry, never the whole batch.
+type ReportBatch struct {
+	Version  int           `json:"v"`
+	Token    string        `json:"token,omitempty"`
+	WorkerID string        `json:"worker"`
+	Reports  []ReportEntry `json:"reports"`
+}
+
+// ReportBatchResult answers a ReportBatch with per-entry acceptance,
+// aligned index-for-index with the request's Reports. A false entry
+// means that job's lease had already expired (or was never granted):
+// the job was requeued server-side and the result discarded, keeping
+// delivery exactly-once per job.
+type ReportBatchResult struct {
+	Version  int    `json:"v"`
+	Accepted []bool `json:"accepted"`
+}
+
+// DecodeLeaseBatch parses and validates one LeaseBatch: the JSON must
+// decode, the version must match, and no lease ID may appear twice —
+// a duplicated grant would make one worker run the same job twice.
+func DecodeLeaseBatch(data []byte) (LeaseBatch, error) {
+	var lb LeaseBatch
+	if err := json.Unmarshal(data, &lb); err != nil {
+		return LeaseBatch{}, fmt.Errorf("remote: lease batch: %w", err)
+	}
+	if lb.Version != ProtocolVersion {
+		return LeaseBatch{}, fmt.Errorf("remote: lease batch speaks version %d, this side speaks %d", lb.Version, ProtocolVersion)
+	}
+	seen := make(map[uint64]struct{}, len(lb.Grants))
+	for i, g := range lb.Grants {
+		if _, dup := seen[g.LeaseID]; dup {
+			return LeaseBatch{}, fmt.Errorf("remote: lease batch grants lease %d twice (entry %d)", g.LeaseID, i)
+		}
+		seen[g.LeaseID] = struct{}{}
+	}
+	return lb, nil
+}
+
+// DecodeReportBatch parses and validates one ReportBatch: the JSON must
+// decode, the version must match, the batch must be non-empty, and no
+// lease ID may appear twice — a duplicated entry could settle one lease
+// with two different results.
+func DecodeReportBatch(data []byte) (ReportBatch, error) {
+	var rb ReportBatch
+	if err := json.Unmarshal(data, &rb); err != nil {
+		return ReportBatch{}, fmt.Errorf("remote: report batch: %w", err)
+	}
+	if err := rb.validate(); err != nil {
+		return ReportBatch{}, err
+	}
+	return rb, nil
+}
+
+// validate applies the structural checks to an already-decoded batch
+// (the server's report handler decodes the body once for both delivery
+// shapes and validates in place rather than re-parsing).
+func (rb *ReportBatch) validate() error {
+	if rb.Version != ProtocolVersion {
+		return fmt.Errorf("remote: report batch speaks version %d, this side speaks %d", rb.Version, ProtocolVersion)
+	}
+	if len(rb.Reports) == 0 {
+		return fmt.Errorf("remote: report batch carries no reports")
+	}
+	seen := make(map[uint64]struct{}, len(rb.Reports))
+	for i, e := range rb.Reports {
+		if _, dup := seen[e.LeaseID]; dup {
+			return fmt.Errorf("remote: report batch settles lease %d twice (entry %d)", e.LeaseID, i)
+		}
+		seen[e.LeaseID] = struct{}{}
+	}
+	return nil
+}
