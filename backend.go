@@ -3,6 +3,7 @@ package asha
 import (
 	"context"
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/backend"
@@ -109,6 +110,26 @@ type Remote struct {
 	// "http://127.0.0.1:8700") before the run starts — use it to learn
 	// a dynamically bound port or to spawn workers.
 	OnListen func(url string)
+	// Metrics enables GET /metrics on the embedded server: engine and
+	// lease counters — granted/expired leases, batch sizes, rung
+	// occupancy, incumbent loss — in Prometheus text format. The scrape
+	// reads lock-free counters and never touches the grant path's lock.
+	Metrics bool
+	// Events enables GET /v1/events: a streaming NDJSON feed of
+	// run-lifecycle events (trial issued/completed/promoted/failed,
+	// rung advances, new incumbents) from a bounded ring buffer. Slow
+	// consumers are skipped forward with an explicit "dropped" record
+	// instead of ever blocking the run.
+	Events bool
+	// EventBuffer is the event ring capacity (default 1024; ignored
+	// without Events).
+	EventBuffer int
+	// AdminToken, when non-empty, enables the token-scoped /v1/admin
+	// API driven by cmd/ashactl: pause/resume/abort the run, adjust the
+	// worker budget, drain the fleet. Deliberately a separate secret
+	// from the worker Token — operators and workers hold different
+	// credentials.
+	AdminToken string
 }
 
 func (r Remote) build(_ context.Context, t *Tuner, _ core.Scheduler) (backend.Backend, backend.Options, error) {
@@ -136,6 +157,10 @@ func (r Remote) newServer(defaultCapacity int) (*remote.Server, int, error) {
 		BatchSize:     r.BatchSize,
 		Prefetch:      r.Prefetch,
 		FlushInterval: r.FlushInterval,
+		Metrics:       r.Metrics,
+		Events:        r.Events,
+		EventBuffer:   r.EventBuffer,
+		AdminToken:    r.AdminToken,
 	})
 	if err != nil {
 		return nil, 0, fmt.Errorf("asha: starting remote lease server: %w", err)
@@ -190,4 +215,69 @@ func (s Simulation) build(_ context.Context, t *Tuner, sched core.Scheduler) (ba
 // log streams, deterministic noise.
 func TrialIDFromContext(ctx context.Context) (int, bool) {
 	return exec.TrialIDFromContext(ctx)
+}
+
+// tunerControl is the single-experiment ControlPlane a Tuner attaches
+// to its embedded lease server: pause/resume/abort map onto the
+// scheduler's live-control gate, and status combines the gate's state
+// with the backend's running tally. A Tuner run has exactly one,
+// unnamed experiment, so any non-empty experiment name is refused.
+type tunerControl struct {
+	gate *core.Gate
+	be   *remote.Backend
+
+	mu     sync.Mutex
+	budget int
+}
+
+func (c *tunerControl) checkExperiment(name string) error {
+	if name != "" {
+		return fmt.Errorf("asha: single-experiment run has no experiment %q", name)
+	}
+	return nil
+}
+
+func (c *tunerControl) Status() (remote.Status, error) {
+	exp := c.be.LiveStatus()
+	exp.State = c.gate.State()
+	c.mu.Lock()
+	budget := c.budget
+	c.mu.Unlock()
+	return remote.Status{Experiments: []remote.ExpStatus{exp}, Workers: budget}, nil
+}
+
+func (c *tunerControl) Pause(name string) error {
+	if err := c.checkExperiment(name); err != nil {
+		return err
+	}
+	c.gate.Pause()
+	return nil
+}
+
+func (c *tunerControl) Resume(name string) error {
+	if err := c.checkExperiment(name); err != nil {
+		return err
+	}
+	c.gate.Resume()
+	return nil
+}
+
+func (c *tunerControl) Abort(name string) error {
+	if err := c.checkExperiment(name); err != nil {
+		return err
+	}
+	c.gate.Abort()
+	return nil
+}
+
+// SetWorkers records the new budget for status reporting; the actual
+// throttle is the server's lease cap, which the admin handler adjusts
+// alongside this call. The engine's in-flight cap stays at the run's
+// configured capacity — lowering the lease cap below it idles the
+// excess, which is the operational intent of "fewer workers".
+func (c *tunerControl) SetWorkers(n int) error {
+	c.mu.Lock()
+	c.budget = n
+	c.mu.Unlock()
+	return nil
 }

@@ -299,6 +299,7 @@ func TestRemoteWorkerKilledMidJobRetriesOnLateJoiner(t *testing.T) {
 	rem := Remote{
 		LeaseTTL: 250 * time.Millisecond,
 		Token:    "fleet-secret",
+		Metrics:  true,
 		OnListen: func(url string) {
 			go func() {
 				_ = ServeRemoteWorker(actxA, RemoteWorker{
@@ -312,7 +313,10 @@ func TestRemoteWorkerKilledMidJobRetriesOnLateJoiner(t *testing.T) {
 				// (retry included) lands on it.
 				<-victimLeased
 				cancelA()
-				time.Sleep(600 * time.Millisecond) // > LeaseTTL + sweep interval
+				// Join only after A's lease has actually expired: poll the
+				// server's own expiry counter instead of sleeping past an
+				// assumed TTL + sweep interval.
+				waitForExpiredLease(url, bctx.Done())
 				bDone <- ServeRemoteWorker(bctx, RemoteWorker{
 					Server: url, Token: "fleet-secret", Name: "survivor", Slots: 2, Objective: objB,
 				})

@@ -221,8 +221,12 @@ func benches(quick bool) []bench {
 				sched := core.NewASHA(core.ASHAConfig{
 					Space: space, RNG: xrand.New(9), Eta: 4, MinResource: 1, MaxResource: 256,
 				})
+				// Metrics on: the counter path is atomics-only, and running
+				// the hot benchmark with the scrape surface enabled keeps
+				// the "observability is free" claim regression-gated.
 				srv, err := remote.NewServer(remote.Options{
 					BatchSize: 128, Prefetch: 256, FlushInterval: 5 * time.Millisecond,
+					Metrics: true,
 				})
 				if err != nil {
 					fmt.Fprintf(os.Stderr, "ashabench: remote server: %v\n", err)

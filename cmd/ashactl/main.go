@@ -1,0 +1,401 @@
+// Command ashactl operates a live tuning run from the outside: it talks
+// to the observability-and-operations plane an embedded lease server
+// exposes when configured with Metrics/Events/AdminToken (asha.Remote,
+// or ashad's manifest "remote" block).
+//
+// Usage:
+//
+//	ashactl -server http://host:port -token SECRET <command> [args]
+//
+// Commands:
+//
+//	status               full run status: experiments, counters, drain state
+//	top [-n N] [-i DUR]  compact per-experiment table, refreshed every -i
+//	pause [experiment]   stop issuing jobs (all experiments when omitted)
+//	resume [experiment]  lift a pause
+//	abort [experiment]   end the run; queued jobs are canceled, the
+//	                     incumbent so far is kept
+//	workers N            set the shared worker budget / lease cap
+//	drain [on|off]       tell polling workers the run is over (on) so the
+//	                     fleet scales to zero; off lets a new fleet rejoin
+//	tail [experiment]    stream live run events (NDJSON from /v1/events)
+//	metrics              raw Prometheus scrape of /metrics
+//
+// -token carries the admin secret (AdminToken server-side) — a separate
+// credential from the worker token. Pause freezes both the scheduler's
+// grants and the server's queued jobs; in-flight jobs finish and report
+// normally, so a paused run holds its exact state until resume.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"sort"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/remote"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("ashactl", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		server  = fs.String("server", "http://127.0.0.1:8700", "base URL of the tuning run's embedded server")
+		token   = fs.String("token", "", "admin token (the server's AdminToken)")
+		timeout = fs.Duration("timeout", 10*time.Second, "per-request timeout (tail streams are exempt)")
+	)
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: ashactl -server URL -token SECRET <status|top|pause|resume|abort|workers|drain|tail|metrics> [args]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() == 0 {
+		fs.Usage()
+		return 2
+	}
+	c := &client{base: strings.TrimRight(*server, "/"), token: *token, hc: &http.Client{Timeout: *timeout}}
+	cmd, rest := fs.Arg(0), fs.Args()[1:]
+	if err := dispatch(ctx, c, cmd, rest, stdout); err != nil {
+		fmt.Fprintf(stderr, "ashactl: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+func dispatch(ctx context.Context, c *client, cmd string, args []string, stdout io.Writer) error {
+	experimentArg := func() string {
+		if len(args) > 0 {
+			return args[0]
+		}
+		return ""
+	}
+	switch cmd {
+	case "status":
+		st, err := c.status(ctx)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(stdout, formatStatus(st))
+		return nil
+	case "top":
+		return c.top(ctx, args, stdout)
+	case "pause", "resume", "abort":
+		var resp struct {
+			OK       bool `json:"ok"`
+			Canceled int  `json:"canceled"`
+		}
+		if err := c.admin(ctx, cmd, map[string]string{"experiment": experimentArg()}, &resp); err != nil {
+			return err
+		}
+		target := experimentArg()
+		if target == "" {
+			target = "all experiments"
+		}
+		switch cmd {
+		case "abort":
+			fmt.Fprintf(stdout, "aborted %s (%d queued jobs canceled)\n", target, resp.Canceled)
+		default:
+			fmt.Fprintf(stdout, "%sd %s\n", cmd, target)
+		}
+		return nil
+	case "workers":
+		if len(args) != 1 {
+			return fmt.Errorf("usage: workers N")
+		}
+		n, err := strconv.Atoi(args[0])
+		if err != nil {
+			return fmt.Errorf("workers: %q is not a number", args[0])
+		}
+		var resp struct {
+			OK bool `json:"ok"`
+		}
+		if err := c.admin(ctx, "workers", map[string]int{"workers": n}, &resp); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "worker budget set to %d\n", n)
+		return nil
+	case "drain":
+		on := true
+		if len(args) > 0 {
+			switch args[0] {
+			case "on":
+			case "off":
+				on = false
+			default:
+				return fmt.Errorf("usage: drain [on|off]")
+			}
+		}
+		var resp struct {
+			OK bool `json:"ok"`
+		}
+		if err := c.admin(ctx, "drain", map[string]bool{"drain": on}, &resp); err != nil {
+			return err
+		}
+		if on {
+			fmt.Fprintln(stdout, "draining: workers will exit on their next poll; queued jobs stay queued")
+		} else {
+			fmt.Fprintln(stdout, "drain lifted: new workers will be granted jobs again")
+		}
+		return nil
+	case "tail":
+		return c.tail(ctx, experimentArg(), stdout)
+	case "metrics":
+		text, err := c.metrics(ctx)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(stdout, text)
+		return nil
+	default:
+		return fmt.Errorf("unknown command %q (want status, top, pause, resume, abort, workers, drain, tail, or metrics)", cmd)
+	}
+}
+
+// client speaks the admin and observability endpoints.
+type client struct {
+	base  string
+	token string
+	hc    *http.Client
+}
+
+func (c *client) admin(ctx context.Context, cmd string, body, out interface{}) error {
+	blob, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/admin/"+cmd, bytes.NewReader(blob))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Authorization", "Bearer "+c.token)
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	payload, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		var we struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(payload, &we) == nil && we.Error != "" {
+			return fmt.Errorf("%s: %s", cmd, we.Error)
+		}
+		return fmt.Errorf("%s: server answered %s", cmd, resp.Status)
+	}
+	return json.Unmarshal(payload, out)
+}
+
+func (c *client) status(ctx context.Context) (remote.AdminStatus, error) {
+	var st remote.AdminStatus
+	err := c.admin(ctx, "status", struct{}{}, &st)
+	return st, err
+}
+
+func (c *client) metrics(ctx context.Context) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/metrics", nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("metrics: server answered %s", resp.Status)
+	}
+	blob, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+	return string(blob), err
+}
+
+// tail streams /v1/events, printing one formatted line per event until
+// the stream ends (run over) or ctx is cancelled (^C).
+func (c *client) tail(ctx context.Context, experiment string, stdout io.Writer) error {
+	url := c.base + "/v1/events"
+	if experiment != "" {
+		url += "?experiment=" + experiment
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	// Streams outlive any sane request timeout: use a bare client and
+	// rely on ctx for cancellation.
+	resp, err := (&http.Client{}).Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("tail: server answered %s", resp.Status)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		e, err := obs.DecodeEvent(line)
+		if err != nil {
+			continue // skip records from a newer server rather than dying
+		}
+		fmt.Fprintln(stdout, formatEvent(e))
+	}
+	if err := sc.Err(); err != nil && ctx.Err() == nil {
+		return err
+	}
+	return nil
+}
+
+// top renders a compact refreshing table; -n bounds the refresh count
+// (0 = until interrupted), -i sets the interval.
+func (c *client) top(ctx context.Context, args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("top", flag.ContinueOnError)
+	count := fs.Int("n", 0, "number of refreshes (0 = until interrupted)")
+	interval := fs.Duration("i", 2*time.Second, "refresh interval")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	for i := 0; ; i++ {
+		st, err := c.status(ctx)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(stdout, formatTop(st))
+		if *count > 0 && i+1 >= *count {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-time.After(*interval):
+		}
+	}
+}
+
+// --- pure formatters (golden-tested) ---
+
+// expName renders the single-experiment run's empty name readably.
+func expName(name string) string {
+	if name == "" {
+		return "(run)"
+	}
+	return name
+}
+
+func formatStatus(st remote.AdminStatus) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "draining: %v   lease cap: %d   worker budget: %d\n", st.Draining, st.LeaseCap, st.Workers)
+	if len(st.Paused) > 0 {
+		names := make([]string, len(st.Paused))
+		for i, p := range st.Paused {
+			names[i] = expName(p)
+		}
+		fmt.Fprintf(&b, "paused queues: %s\n", strings.Join(names, ", "))
+	}
+	c := st.Counters
+	fmt.Fprintf(&b, "jobs: %d submitted, %d pending, %d leased, %d canceled\n",
+		c.Submitted, c.Pending, c.Leased, c.Canceled)
+	fmt.Fprintf(&b, "leases: %d granted, %d expired; reports: %d accepted, %d rejected\n",
+		c.Granted, c.Expired, c.Accepted, c.Rejected)
+	fmt.Fprintf(&b, "fleet: %d workers registered, %d events dropped\n", c.Registered, c.EventsDropped)
+	if st.ControlError != "" {
+		fmt.Fprintf(&b, "control plane unavailable: %s\n", st.ControlError)
+	}
+	if len(st.Experiments) > 0 {
+		fmt.Fprintf(&b, "\n%-20s %-8s %7s %7s %6s %5s %10s  %s\n",
+			"experiment", "state", "issued", "done", "fail", "run", "best", "rungs")
+		for _, e := range sortedExperiments(st.Experiments) {
+			best := "-"
+			if e.HasBest {
+				best = strconv.FormatFloat(e.BestLoss, 'g', 6, 64)
+			}
+			rungs := make([]string, len(e.RungCompleted))
+			for i, n := range e.RungCompleted {
+				rungs[i] = strconv.Itoa(n)
+			}
+			fmt.Fprintf(&b, "%-20s %-8s %7d %7d %6d %5d %10s  %s\n",
+				expName(e.Experiment), e.State, e.Issued, e.Completed, e.Failed, e.Running,
+				best, strings.Join(rungs, "/"))
+		}
+	}
+	return b.String()
+}
+
+func formatTop(st remote.AdminStatus) string {
+	var b strings.Builder
+	c := st.Counters
+	fmt.Fprintf(&b, "budget %d | pending %d leased %d | granted %d expired %d accepted %d\n",
+		st.Workers, c.Pending, c.Leased, c.Granted, c.Expired, c.Accepted)
+	for _, e := range sortedExperiments(st.Experiments) {
+		best := "-"
+		if e.HasBest {
+			best = strconv.FormatFloat(e.BestLoss, 'g', 4, 64)
+		}
+		fmt.Fprintf(&b, "%-20s %-8s run %-4d done %-6d best %s\n",
+			expName(e.Experiment), e.State, e.Running, e.Completed, best)
+	}
+	return b.String()
+}
+
+// sortedExperiments orders by most running, then name, so the busiest
+// experiments surface first in top.
+func sortedExperiments(exps []remote.ExpStatus) []remote.ExpStatus {
+	out := append([]remote.ExpStatus(nil), exps...)
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Running != out[j].Running {
+			return out[i].Running > out[j].Running
+		}
+		return out[i].Experiment < out[j].Experiment
+	})
+	return out
+}
+
+func formatEvent(e obs.Event) string {
+	ts := time.UnixMilli(e.TimeMs).UTC().Format("15:04:05.000")
+	exp := expName(e.Experiment)
+	switch e.Type {
+	case obs.EventIssued:
+		return fmt.Sprintf("%s %-16s issued    trial %-5d rung %d  to r=%g", ts, exp, e.Trial, e.Rung, e.Resource)
+	case obs.EventCompleted:
+		return fmt.Sprintf("%s %-16s completed trial %-5d rung %d  loss %.6g at r=%g", ts, exp, e.Trial, e.Rung, e.Loss, e.Resource)
+	case obs.EventFailed:
+		return fmt.Sprintf("%s %-16s FAILED    trial %-5d rung %d  (will retry)", ts, exp, e.Trial, e.Rung)
+	case obs.EventPromoted:
+		return fmt.Sprintf("%s %-16s promoted  trial %-5d to rung %d", ts, exp, e.Trial, e.Rung)
+	case obs.EventRungAdvance:
+		return fmt.Sprintf("%s %-16s rung %d reached", ts, exp, e.Rung)
+	case obs.EventIncumbent:
+		return fmt.Sprintf("%s %-16s new incumbent: trial %-5d loss %.6g at r=%g", ts, exp, e.Trial, e.Loss, e.Resource)
+	case obs.EventDropped:
+		return fmt.Sprintf("%s (stream)         %d events dropped (slow consumer)", ts, e.Count)
+	default:
+		return fmt.Sprintf("%s %-16s %s trial %-5d", ts, exp, e.Type, e.Trial)
+	}
+}

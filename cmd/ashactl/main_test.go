@@ -1,0 +1,226 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/remote"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("%s mismatch:\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+	}
+}
+
+// TestFormatEventGolden pins the exact tail output for every event type:
+// the stream is an operator-facing (and script-facing) surface, so
+// format drift should be a deliberate, reviewed change.
+func TestFormatEventGolden(t *testing.T) {
+	base := time.Date(2026, 8, 7, 12, 30, 45, 123e6, time.UTC).UnixMilli()
+	events := []obs.Event{
+		{Seq: 1, TimeMs: base, Type: obs.EventIssued, Experiment: "cifar-asha", Trial: 17, Rung: 0, Resource: 1},
+		{Seq: 2, TimeMs: base + 100, Type: obs.EventCompleted, Experiment: "cifar-asha", Trial: 17, Rung: 0, Loss: 0.4375, Resource: 1},
+		{Seq: 3, TimeMs: base + 200, Type: obs.EventPromoted, Experiment: "cifar-asha", Trial: 17, Rung: 1},
+		{Seq: 4, TimeMs: base + 300, Type: obs.EventRungAdvance, Experiment: "cifar-asha", Rung: 1},
+		{Seq: 5, TimeMs: base + 400, Type: obs.EventIncumbent, Experiment: "cifar-asha", Trial: 17, Loss: 0.25, Resource: 4},
+		{Seq: 6, TimeMs: base + 500, Type: obs.EventFailed, Experiment: "synthetic-bohb", Trial: 3, Rung: 2},
+		{Seq: 7, TimeMs: base + 600, Type: obs.EventIssued, Trial: 8, Rung: 0, Resource: 2},
+		{Seq: 8, TimeMs: base + 700, Type: obs.EventDropped, Count: 512},
+		{Seq: 9, TimeMs: base + 800, Type: "future_event", Experiment: "cifar-asha", Trial: 4},
+	}
+	var b strings.Builder
+	for _, e := range events {
+		b.WriteString(formatEvent(e))
+		b.WriteByte('\n')
+	}
+	checkGolden(t, "tail.golden", b.String())
+}
+
+// TestFormatStatusGolden pins the status and top renderings.
+func TestFormatStatusGolden(t *testing.T) {
+	st := remote.AdminStatus{
+		OK:       true,
+		Draining: false,
+		LeaseCap: 8,
+		Workers:  8,
+		Paused:   []string{"synthetic-bohb"},
+		Counters: remote.CounterSnapshot{
+			Submitted: 120, Granted: 118, Expired: 3, Accepted: 100,
+			Rejected: 2, Canceled: 0, Pending: 2, Leased: 15,
+			Registered: 4, EventsDropped: 0,
+		},
+		Experiments: []remote.ExpStatus{
+			{Experiment: "synthetic-bohb", State: "paused", Issued: 40, Completed: 35, Failed: 1, Running: 4,
+				BestLoss: 0.31, HasBest: true, RungCompleted: []int{30, 5}},
+			{Experiment: "cifar-asha", State: "running", Issued: 80, Completed: 65, Failed: 2, Running: 11,
+				BestLoss: 0.125, HasBest: true, RungCompleted: []int{48, 12, 5}},
+			{Experiment: "warmup", State: "done", Issued: 5, Completed: 5},
+		},
+	}
+	checkGolden(t, "status.golden", formatStatus(st))
+	checkGolden(t, "top.golden", formatTop(st))
+}
+
+// fakeControl records control-plane calls and serves a fixed status.
+type fakeControl struct {
+	mu    sync.Mutex
+	calls []string
+}
+
+func (f *fakeControl) record(s string) {
+	f.mu.Lock()
+	f.calls = append(f.calls, s)
+	f.mu.Unlock()
+}
+
+func (f *fakeControl) recorded() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]string(nil), f.calls...)
+}
+
+func (f *fakeControl) Status() (remote.Status, error) {
+	f.record("status")
+	return remote.Status{
+		Workers: 4,
+		Experiments: []remote.ExpStatus{
+			{Experiment: "exp-a", State: "running", Issued: 10, Completed: 7, Running: 3},
+		},
+	}, nil
+}
+func (f *fakeControl) Pause(e string) error   { f.record("pause:" + e); return nil }
+func (f *fakeControl) Resume(e string) error  { f.record("resume:" + e); return nil }
+func (f *fakeControl) Abort(e string) error   { f.record("abort:" + e); return nil }
+func (f *fakeControl) SetWorkers(n int) error { f.record(fmt.Sprintf("workers:%d", n)); return nil }
+
+// TestCommandsAgainstLiveServer drives the real CLI entry point against
+// a real server: every command round-trips HTTP, auth, and JSON.
+func TestCommandsAgainstLiveServer(t *testing.T) {
+	srv, err := remote.NewServer(remote.Options{
+		Metrics:    true,
+		Events:     true,
+		AdminToken: "ctl-secret",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	fake := &fakeControl{}
+	srv.SetControl(fake)
+
+	ctl := func(t *testing.T, args ...string) string {
+		t.Helper()
+		var out, errb bytes.Buffer
+		code := run(context.Background(), append([]string{"-server", srv.URL(), "-token", "ctl-secret"}, args...), &out, &errb)
+		if code != 0 {
+			t.Fatalf("ashactl %v exited %d: %s", args, code, errb.String())
+		}
+		return out.String()
+	}
+
+	if got := ctl(t, "status"); !strings.Contains(got, "exp-a") || !strings.Contains(got, "worker budget: 4") {
+		t.Errorf("status output missing expected fields:\n%s", got)
+	}
+	if got := ctl(t, "top", "-n", "1"); !strings.Contains(got, "exp-a") {
+		t.Errorf("top output missing experiment:\n%s", got)
+	}
+	ctl(t, "pause", "exp-a")
+	ctl(t, "resume", "exp-a")
+	ctl(t, "workers", "9")
+	if got := srv.MaxLeases(); got != 9 {
+		t.Errorf("workers command: lease cap = %d, want 9", got)
+	}
+	ctl(t, "drain")
+	if !srv.Draining() {
+		t.Error("drain command did not set the server draining")
+	}
+	ctl(t, "drain", "off")
+	if srv.Draining() {
+		t.Error("drain off did not lift the drain")
+	}
+	if got := ctl(t, "abort"); !strings.Contains(got, "aborted all experiments") {
+		t.Errorf("abort output: %q", got)
+	}
+	if got := ctl(t, "metrics"); !strings.Contains(got, "asha_leases_granted_total") {
+		t.Errorf("metrics scrape missing counter family:\n%s", got)
+	}
+
+	want := []string{"pause:exp-a", "resume:exp-a", "workers:9", "abort:"}
+	calls := fake.recorded()
+	for _, w := range want {
+		found := false
+		for _, c := range calls {
+			if c == w {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("control plane never saw %q (saw %v)", w, calls)
+		}
+	}
+
+	// Wrong token: every admin command must be refused.
+	var out, errb bytes.Buffer
+	if code := run(context.Background(), []string{"-server", srv.URL(), "-token", "wrong", "status"}, &out, &errb); code == 0 {
+		t.Error("status with a bad token succeeded")
+	}
+}
+
+// TestTailStreamsEvents runs the tail command against a live event bus
+// and checks the stream ends cleanly when the run (bus) closes.
+func TestTailStreamsEvents(t *testing.T) {
+	srv, err := remote.NewServer(remote.Options{Events: true, AdminToken: "ctl-secret"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	done := make(chan string, 1)
+	go func() {
+		var out, errb bytes.Buffer
+		run(context.Background(), []string{"-server", srv.URL(), "-token", "ctl-secret", "tail"}, &out, &errb)
+		done <- out.String()
+	}()
+	// A subscriber starts at the bus's current tail, and we cannot
+	// observe when the stream's subscription lands — so keep publishing
+	// for a while; the local HTTP attach takes only a few of these
+	// intervals.
+	bus := srv.EventBus()
+	for i := 0; i < 30; i++ {
+		bus.Publish(obs.Event{Type: obs.EventCompleted, Experiment: "exp-a", Trial: 1, Loss: 0.5, Resource: 2})
+		time.Sleep(10 * time.Millisecond)
+	}
+	srv.Close() // closes the bus, ending the stream cleanly
+	out := <-done
+	if !strings.Contains(out, "completed trial 1") {
+		t.Fatalf("tail never printed a completion event; output:\n%q", out)
+	}
+}

@@ -124,6 +124,17 @@ type remoteSpec struct {
 	// FlushMillis is the fleet-wide default report-flush deadline in
 	// milliseconds (default 25).
 	FlushMillis int `json:"flushMs,omitempty"`
+	// Metrics enables GET /metrics (Prometheus text format) on the
+	// embedded server.
+	Metrics bool `json:"metrics,omitempty"`
+	// Events enables the GET /v1/events NDJSON stream (ashactl tail).
+	Events bool `json:"events,omitempty"`
+	// EventBuffer is the event ring capacity (default 1024).
+	EventBuffer int `json:"eventBuffer,omitempty"`
+	// AdminToken enables the /v1/admin API (ashactl pause/resume/abort/
+	// workers/drain) under this bearer token — keep it distinct from the
+	// worker token.
+	AdminToken string `json:"adminToken,omitempty"`
 }
 
 // expSpec is one experiment entry.
@@ -381,6 +392,10 @@ func main() {
 			BatchSize:     mf.Remote.BatchSize,
 			Prefetch:      mf.Remote.Prefetch,
 			FlushInterval: time.Duration(mf.Remote.FlushMillis) * time.Millisecond,
+			Metrics:       mf.Remote.Metrics,
+			Events:        mf.Remote.Events,
+			EventBuffer:   mf.Remote.EventBuffer,
+			AdminToken:    mf.Remote.AdminToken,
 			OnListen: func(url string) {
 				fmt.Printf("ashad: serving the worker fleet at %s\n", url)
 			},

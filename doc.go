@@ -56,6 +56,17 @@
 // resumed run makes bit-identical promotion decisions to an
 // uninterrupted one at the same seed.
 //
+// Fleet runs carry an opt-in observability-and-operations plane on the
+// embedded lease server, Remote{Metrics, Events, AdminToken}: GET
+// /metrics exports Prometheus counters and per-experiment rung
+// occupancy from lock-free atomics, GET /v1/events streams lifecycle
+// events (trial issued/completed/promoted, rung advances, new
+// incumbents) as NDJSON, and the token-scoped /v1/admin API —
+// cmd/ashactl is its CLI — pauses, resumes or aborts experiments,
+// resizes the shared worker budget, and drains the fleet while the run
+// is live. Pausing stops lease grants while in-flight jobs finish;
+// a run paused to zero activity parks and continues on resume.
+//
 // The repository also contains the paper's full experimental harness:
 // every table and figure of the evaluation section can be regenerated
 // with cmd/ashaexp (see DESIGN.md and EXPERIMENTS.md).

@@ -31,6 +31,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/searchspace"
 	"repro/internal/state"
 )
@@ -157,6 +158,20 @@ type Options struct {
 	// in-flight jobs are relaunched without new issue records, and the
 	// run clock continues from the journal's maximum time.
 	Resume *ResumeState
+	// Gate, when non-nil, is the live-control gate wrapped around the
+	// scheduler being driven. The engine consults it at the drain point:
+	// a pause that empties the in-flight set parks the engine in
+	// WaitResume instead of ending the run, so an operator can pause a
+	// run to zero activity and later resume it.
+	Gate *core.Gate
+	// Events, when non-nil, receives the run's lifecycle events
+	// (trial issued/completed/failed/promoted, rung advances, new
+	// incumbents) for the /v1/events stream. Publishing is lock-light
+	// and never blocks the engine on slow consumers.
+	Events *obs.Bus
+	// Experiment stamps published events with an experiment name
+	// (ignored without Events).
+	Experiment string
 }
 
 // Drive runs sched on b until the context is cancelled, budgets are
@@ -189,6 +204,7 @@ func Drive(ctx context.Context, sched core.Scheduler, b Backend, opt Options) (*
 			}
 		}
 	}
+	em := &emitter{bus: opt.Events, exp: opt.Experiment, maxRung: -1}
 	inflight := 0
 	budgetExhausted := func() bool {
 		if opt.MaxJobs > 0 && run.IssuedJobs >= opt.MaxJobs {
@@ -232,8 +248,17 @@ loop:
 			b.Launch(job)
 			run.IssuedJobs++
 			inflight++
+			em.launched(job)
 		}
 		if inflight == 0 {
+			if opt.Gate != nil && opt.Gate.Paused() && ctx.Err() == nil &&
+				!budgetExhausted() && !sched.Done() {
+				// Paused with nothing in flight: the scheduler is declining
+				// by operator order, not because the run is over. Park until
+				// resume (or abort/cancellation) instead of draining out.
+				opt.Gate.WaitResume(ctx)
+				continue
+			}
 			break // nothing running, nothing schedulable: drained
 		}
 		batch, err := b.Await(ctx)
@@ -262,7 +287,7 @@ loop:
 				firstErr = err
 				break loop
 			}
-			ingest(sched, run, opt, c)
+			ingest(sched, run, opt, em, c)
 		}
 		if err := jw.maybeSnapshot(run, b, b.Now()+clockOff); err != nil {
 			firstErr = err
@@ -291,9 +316,86 @@ loop:
 	return run, firstErr
 }
 
+// emitter publishes the engine's lifecycle events to an obs.Bus. All
+// methods run on the engine goroutine and are no-ops without a bus, so
+// runs without /v1/events pay only a nil check.
+type emitter struct {
+	bus     *obs.Bus
+	exp     string
+	maxRung int
+	hasBest bool
+	best    float64
+}
+
+// launched announces an issued job, a promotion when the job inherits
+// another trial's state, and the first time the run reaches a new rung.
+func (em *emitter) launched(job core.Job) {
+	if em.bus == nil {
+		return
+	}
+	em.bus.Publish(obs.Event{
+		Type:       obs.EventIssued,
+		Experiment: em.exp,
+		Trial:      job.TrialID,
+		Rung:       job.Rung,
+		Resource:   job.TargetResource,
+	})
+	if job.InheritFrom >= 0 {
+		em.bus.Publish(obs.Event{
+			Type:       obs.EventPromoted,
+			Experiment: em.exp,
+			Trial:      job.TrialID,
+			Rung:       job.Rung,
+		})
+	}
+	if job.Rung > em.maxRung {
+		em.maxRung = job.Rung
+		em.bus.Publish(obs.Event{
+			Type:       obs.EventRungAdvance,
+			Experiment: em.exp,
+			Rung:       job.Rung,
+		})
+	}
+}
+
+// reported announces a settled job and, when the incumbent improved,
+// the new incumbent.
+func (em *emitter) reported(c Completion, best core.Best, ok bool) {
+	if em.bus == nil {
+		return
+	}
+	if c.Failed {
+		em.bus.Publish(obs.Event{
+			Type:       obs.EventFailed,
+			Experiment: em.exp,
+			Trial:      c.Job.TrialID,
+			Rung:       c.Job.Rung,
+		})
+		return
+	}
+	em.bus.Publish(obs.Event{
+		Type:       obs.EventCompleted,
+		Experiment: em.exp,
+		Trial:      c.Job.TrialID,
+		Rung:       c.Job.Rung,
+		Loss:       c.Loss,
+		Resource:   c.Resource,
+	})
+	if ok && (!em.hasBest || best.Loss < em.best) {
+		em.hasBest, em.best = true, best.Loss
+		em.bus.Publish(obs.Event{
+			Type:       obs.EventIncumbent,
+			Experiment: em.exp,
+			Trial:      best.TrialID,
+			Loss:       best.Loss,
+			Resource:   best.Resource,
+		})
+	}
+}
+
 // ingest delivers one completion to the scheduler and records metrics —
 // the single result path shared by simulated and real runs.
-func ingest(sched core.Scheduler, run *metrics.Run, opt Options, c Completion) {
+func ingest(sched core.Scheduler, run *metrics.Run, opt Options, em *emitter, c Completion) {
 	if c.Failed {
 		run.FailedJobs++
 		sched.Report(core.Result{
@@ -306,6 +408,7 @@ func ingest(sched core.Scheduler, run *metrics.Run, opt Options, c Completion) {
 			Failed:   true,
 			Time:     c.Time,
 		})
+		em.reported(c, core.Best{}, false)
 		return
 	}
 	run.CompletedJobs++
@@ -330,6 +433,7 @@ func ingest(sched core.Scheduler, run *metrics.Run, opt Options, c Completion) {
 		}
 		run.Record(c.Time, best.Loss, test)
 	}
+	em.reported(c, best, ok)
 	if opt.OnResult != nil {
 		opt.OnResult(res, best, ok)
 	}

@@ -161,7 +161,10 @@ func Replay(rec *state.Recovered, sched core.Scheduler, opt Options) (*ResumeSta
 		},
 		Report: func(job core.Job, rep *state.Report) {
 			loss, trueLoss := rep.Losses()
-			ingest(sched, rs.Run, opt, Completion{
+			// Replayed completions never re-emit events (&emitter{}: no
+			// bus), mirroring the OnResult convention above — consumers of
+			// /v1/events see each pre-crash event at most once.
+			ingest(sched, rs.Run, opt, &emitter{maxRung: -1}, Completion{
 				Job:      job,
 				Loss:     loss,
 				TrueLoss: trueLoss,

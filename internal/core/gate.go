@@ -1,0 +1,173 @@
+package core
+
+import (
+	"context"
+	"sync"
+)
+
+// Gate state names, as reported by Gate.State and the admin API.
+const (
+	GateRunning = "running"
+	GatePaused  = "paused"
+	GateAborted = "aborted"
+)
+
+// Gate wraps a Scheduler with live run control: an operator (the
+// /v1/admin API, driven by ashactl) can pause, resume, or abort the run
+// while the engine drives it. The wrapper is transparent when running —
+// every call delegates — and enforces three invariants the
+// cross-scheduler invariant suite checks for every algorithm:
+//
+//   - while paused, Next grants nothing (results of in-flight jobs are
+//     still delivered, so the scheduler's bookkeeping stays exact and
+//     resources remain monotone across a resume);
+//   - after Abort, Next grants nothing, Done reports true, and late
+//     results are swallowed — no work after abort;
+//   - Abort is terminal: a paused gate that is aborted unblocks any
+//     engine waiting in WaitResume.
+//
+// Next/Report/Best/Done run on the engine goroutine; Pause/Resume/Abort
+// arrive from HTTP handler goroutines. The mutex makes the state flips
+// safe; the inner scheduler itself is still only ever called from the
+// engine goroutine.
+type Gate struct {
+	inner Scheduler
+
+	mu      sync.Mutex
+	paused  bool
+	aborted bool
+	resume  chan struct{} // non-nil while paused; closed on resume/abort
+}
+
+// NewGate wraps a scheduler. The zero state is running: a gate nobody
+// pauses behaves exactly like the scheduler it wraps.
+func NewGate(inner Scheduler) *Gate { return &Gate{inner: inner} }
+
+// Inner returns the wrapped scheduler.
+func (g *Gate) Inner() Scheduler { return g.inner }
+
+// Next implements Scheduler: it declines while paused or after abort,
+// and delegates otherwise.
+func (g *Gate) Next() (Job, bool) {
+	g.mu.Lock()
+	blocked := g.paused || g.aborted
+	g.mu.Unlock()
+	if blocked {
+		return Job{}, false
+	}
+	return g.inner.Next()
+}
+
+// Report implements Scheduler. Results are delivered even while paused
+// — in-flight jobs finish and their losses must not be lost — but are
+// swallowed after abort: an aborted run does no further work, including
+// scheduler bookkeeping that could promote trials.
+func (g *Gate) Report(res Result) {
+	g.mu.Lock()
+	aborted := g.aborted
+	g.mu.Unlock()
+	if aborted {
+		return
+	}
+	g.inner.Report(res)
+}
+
+// Best implements Scheduler: the incumbent survives pause and abort.
+func (g *Gate) Best() (Best, bool) { return g.inner.Best() }
+
+// Done implements Scheduler: an aborted run is over regardless of what
+// the inner scheduler still had planned.
+func (g *Gate) Done() bool {
+	g.mu.Lock()
+	aborted := g.aborted
+	g.mu.Unlock()
+	return aborted || g.inner.Done()
+}
+
+// Pause stops further Next grants until Resume. Pausing an aborted or
+// already-paused gate is a no-op.
+func (g *Gate) Pause() {
+	g.mu.Lock()
+	if !g.paused && !g.aborted {
+		g.paused = true
+		g.resume = make(chan struct{})
+	}
+	g.mu.Unlock()
+}
+
+// Resume lifts a pause and unblocks any engine waiting in WaitResume.
+func (g *Gate) Resume() {
+	g.mu.Lock()
+	if g.paused {
+		g.paused = false
+		close(g.resume)
+		g.resume = nil
+	}
+	g.mu.Unlock()
+}
+
+// Abort ends the run: Next declines forever, Done is true, late results
+// are swallowed, and a paused engine is unblocked so it can drain and
+// exit. Abort is idempotent and terminal.
+func (g *Gate) Abort() {
+	g.mu.Lock()
+	if !g.aborted {
+		g.aborted = true
+		if g.paused {
+			g.paused = false
+			close(g.resume)
+			g.resume = nil
+		}
+	}
+	g.mu.Unlock()
+}
+
+// Paused reports whether the gate is currently paused.
+func (g *Gate) Paused() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.paused
+}
+
+// Aborted reports whether the gate was aborted.
+func (g *Gate) Aborted() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.aborted
+}
+
+// State reports the gate's lifecycle state as one of the Gate*
+// constants.
+func (g *Gate) State() string {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	switch {
+	case g.aborted:
+		return GateAborted
+	case g.paused:
+		return GatePaused
+	default:
+		return GateRunning
+	}
+}
+
+// WaitResume blocks while the gate is paused, returning when the gate
+// resumes, aborts, or ctx ends. The engine calls it when a pause has
+// drained all in-flight work: instead of spinning on a declining Next,
+// it sleeps until an operator acts.
+func (g *Gate) WaitResume(ctx context.Context) {
+	for {
+		g.mu.Lock()
+		if !g.paused {
+			g.mu.Unlock()
+			return
+		}
+		resume := g.resume
+		g.mu.Unlock()
+		select {
+		case <-resume:
+		case <-ctx.Done():
+			return
+		}
+	}
+}

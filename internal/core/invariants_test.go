@@ -362,3 +362,157 @@ func TestSchedulerInvariants(t *testing.T) {
 		}
 	}
 }
+
+// TestSchedulerInvariantsLiveControl drives every scheduler config
+// through a Gate with randomized pause/resume windows injected into the
+// stream and a final abort — the live-operations contract the /v1/admin
+// API relies on, checked for all schedulers at once:
+//
+//   - no Next grants while paused (even as in-flight results keep
+//     arriving during the pause);
+//   - monotone target resources are preserved across resume — a pause
+//     never resets a trial's resource clock;
+//   - no work after abort: Next declines, Done reports true, and late
+//     results are swallowed without re-opening work.
+func TestSchedulerInvariantsLiveControl(t *testing.T) {
+	space := invariantSpace()
+	for _, tc := range invariantCases() {
+		for _, seed := range []uint64{11, 12} {
+			name := fmt.Sprintf("%s/seed=%d", tc.name, seed)
+			t.Run(name, func(t *testing.T) {
+				driveLiveControl(t, tc, space, seed)
+			})
+		}
+	}
+}
+
+func driveLiveControl(t *testing.T, tc invariantCase, space *searchspace.Space, seed uint64) {
+	t.Helper()
+	const capacity = 8
+	rng := xrand.New(seed)
+	gate := NewGate(tc.make(space, xrand.New(seed)))
+	gen := make(map[int]int)
+	lastTarget := make(map[int]float64)
+	var inflight []Job
+	issued := 0
+	clock := 0.0
+
+	// The budget stops the stream with work typically still in flight,
+	// so the final abort exercises the swallow-late-results path.
+	budget := tc.maxJobs / 2
+	if budget > 120 {
+		budget = 120
+	}
+
+	// settle reports one random in-flight job, failing it with
+	// probability failProb — the same arbitrary completion order and
+	// retry injection as the base suite.
+	settle := func(failProb float64) {
+		i := rng.IntN(len(inflight))
+		job := inflight[i]
+		inflight[i] = inflight[len(inflight)-1]
+		inflight = inflight[:len(inflight)-1]
+		clock++
+		if rng.Float64() < failProb {
+			gate.Report(Result{
+				TrialID: job.TrialID, Rung: job.Rung, Config: job.Config,
+				Loss: math.NaN(), TrueLoss: math.NaN(), Resource: 0, Failed: true, Time: clock,
+			})
+			return
+		}
+		loss := rng.Float64()
+		gate.Report(Result{
+			TrialID: job.TrialID, Rung: job.Rung, Config: job.Config,
+			Loss: loss, TrueLoss: loss, Resource: job.TargetResource, Time: clock,
+		})
+	}
+
+	for issued < budget && !gate.Done() {
+		// Randomized pause window: results keep flowing while paused,
+		// grants must not.
+		if rng.Float64() < 0.15 {
+			gate.Pause()
+			if gate.State() != GatePaused {
+				t.Fatalf("State() = %q after Pause", gate.State())
+			}
+			if job, ok := gate.Next(); ok {
+				t.Fatalf("Next granted %+v while paused", job)
+			}
+			for len(inflight) > 0 && rng.Float64() < 0.7 {
+				settle(0.15)
+			}
+			if job, ok := gate.Next(); ok {
+				t.Fatalf("Next granted %+v while paused after deliveries", job)
+			}
+			gate.Resume()
+			if gate.State() != GateRunning {
+				t.Fatalf("State() = %q after Resume", gate.State())
+			}
+		}
+		for len(inflight) < capacity && issued < budget && !gate.Done() {
+			job, ok := gate.Next()
+			if !ok {
+				break
+			}
+			if job.TargetResource <= 0 {
+				t.Fatalf("issued job with non-positive target: %+v", job)
+			}
+			if job.InheritFrom >= 0 {
+				gen[job.TrialID]++
+				delete(lastTarget, job.TrialID)
+			}
+			// The monotone check deliberately spans pause/resume cycles:
+			// lastTarget is never reset, so a scheduler whose resume path
+			// rewound a trial's resource clock would fail here.
+			if last, seen := lastTarget[job.TrialID]; seen && job.TargetResource < last-1e-9 {
+				t.Fatalf("trial %d target resource decreased %v -> %v across live control",
+					job.TrialID, last, job.TargetResource)
+			}
+			lastTarget[job.TrialID] = job.TargetResource
+			inflight = append(inflight, job)
+			issued++
+		}
+		if len(inflight) == 0 {
+			if gate.Done() {
+				break
+			}
+			t.Fatalf("scheduler declined work with nothing in flight and Done()==false after %d jobs", issued)
+		}
+		settle(0.1)
+	}
+	if issued == 0 {
+		t.Fatal("scheduler issued no jobs under live control")
+	}
+
+	gate.Abort()
+	if !gate.Done() {
+		t.Fatal("Done() == false after Abort")
+	}
+	if gate.State() != GateAborted {
+		t.Fatalf("State() = %q after Abort", gate.State())
+	}
+	if job, ok := gate.Next(); ok {
+		t.Fatalf("Next granted %+v after abort", job)
+	}
+	// Late results of jobs that were in flight at abort time are
+	// swallowed; none may re-open work.
+	for _, job := range inflight {
+		clock++
+		gate.Report(Result{
+			TrialID: job.TrialID, Rung: job.Rung, Config: job.Config,
+			Loss: rng.Float64(), TrueLoss: 0, Resource: job.TargetResource, Time: clock,
+		})
+		if late, ok := gate.Next(); ok {
+			t.Fatalf("a late result re-opened work after abort: %+v", late)
+		}
+	}
+	// Abort is terminal: pause/resume after it change nothing.
+	gate.Pause()
+	if gate.State() != GateAborted {
+		t.Fatalf("Pause() moved an aborted gate to %q", gate.State())
+	}
+	gate.Resume()
+	if !gate.Done() {
+		t.Fatal("Resume() revived an aborted gate")
+	}
+}

@@ -1,0 +1,336 @@
+// Package obs is the observability plane shared by the lease server,
+// the execution engine and the manager: typed run-lifecycle events on a
+// bounded ring buffer (Bus) feeding the /v1/events NDJSON stream with
+// slow-consumer drop accounting, plus zero-dependency helpers for the
+// Prometheus text exposition format served on /metrics.
+//
+// The package deliberately has no dependencies beyond the standard
+// library and no knowledge of schedulers or HTTP: producers publish
+// Events, consumers subscribe with their own cursor, and a consumer
+// that falls more than the ring capacity behind skips forward and is
+// told exactly how many events it missed — publishing never blocks on
+// a slow reader.
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Event types emitted by the engine and manager result paths — the same
+// callbacks that feed the write-ahead journal, so the stream and the
+// journal can never disagree about what happened.
+const (
+	// EventIssued: a job was handed to the backend (one per launch).
+	EventIssued = "trial_issued"
+	// EventCompleted: a job finished successfully with a loss.
+	EventCompleted = "trial_completed"
+	// EventFailed: a job was lost (worker crash, lease expiry) and will
+	// be retried by the scheduler.
+	EventFailed = "trial_failed"
+	// EventPromoted: an issued job continues a trial at a higher rung —
+	// the scheduler promoted it out of a lower one.
+	EventPromoted = "trial_promoted"
+	// EventRungAdvance: the run issued its first job at a new highest
+	// rung — the frontier of the successive-halving ladder moved up.
+	EventRungAdvance = "rung_advance"
+	// EventIncumbent: the run's best observed loss improved.
+	EventIncumbent = "new_incumbent"
+	// EventDropped is synthesized per subscriber (never stored in the
+	// ring): the subscriber fell behind and Count events were skipped.
+	EventDropped = "dropped"
+)
+
+// Event is one run-lifecycle event. The NDJSON encoding of this struct
+// is the /v1/events wire format; DecodeEvent is its strict parser.
+type Event struct {
+	// Seq is the bus-assigned sequence number: consecutive, starting at
+	// 0, shared across all experiments on one bus. Gaps on a stream are
+	// announced by an EventDropped record, never silent.
+	Seq int64 `json:"seq"`
+	// TimeMs is the publish wall-clock time in Unix milliseconds.
+	TimeMs int64 `json:"tMs"`
+	// Type is one of the Event* constants.
+	Type string `json:"type"`
+	// Experiment names the experiment the event belongs to (empty for
+	// single-experiment runs and bus-level records).
+	Experiment string `json:"experiment,omitempty"`
+	// Trial, Rung, Loss and Resource describe the job or incumbent the
+	// event is about; which fields are meaningful depends on Type.
+	Trial    int     `json:"trial,omitempty"`
+	Rung     int     `json:"rung,omitempty"`
+	Loss     float64 `json:"loss,omitempty"`
+	Resource float64 `json:"resource,omitempty"`
+	// Count carries the number of skipped events on an EventDropped
+	// record.
+	Count int64 `json:"count,omitempty"`
+}
+
+// sanitize clears fields JSON cannot carry: a non-finite loss (a failed
+// job's NaN) would make Marshal fail for the whole event.
+func (e *Event) sanitize() {
+	if math.IsNaN(e.Loss) || math.IsInf(e.Loss, 0) {
+		e.Loss = 0
+	}
+	if math.IsNaN(e.Resource) || math.IsInf(e.Resource, 0) {
+		e.Resource = 0
+	}
+}
+
+// DecodeEvent parses and validates one NDJSON event line: the JSON must
+// decode, the type must be non-empty, and the sequence number must be
+// non-negative. Arbitrary bytes never panic, and every event that
+// decodes re-encodes to a stable form (decode∘encode is idempotent) —
+// the property FuzzEventDecode pins down.
+func DecodeEvent(data []byte) (Event, error) {
+	var e Event
+	if err := json.Unmarshal(data, &e); err != nil {
+		return Event{}, fmt.Errorf("obs: event: %w", err)
+	}
+	if e.Type == "" {
+		return Event{}, fmt.Errorf("obs: event has no type")
+	}
+	if e.Seq < 0 {
+		return Event{}, fmt.Errorf("obs: event has negative sequence %d", e.Seq)
+	}
+	if e.Count < 0 {
+		return Event{}, fmt.Errorf("obs: event has negative drop count %d", e.Count)
+	}
+	return e, nil
+}
+
+// Bus is a bounded ring buffer of events with per-subscriber cursors.
+// Publishing is O(1), never blocks, and never waits on subscribers; a
+// subscriber that falls more than the ring capacity behind is skipped
+// forward and told how many events it missed.
+type Bus struct {
+	mu     sync.Mutex
+	buf    []Event
+	seq    int64         // next sequence number to assign
+	wake   chan struct{} // closed and replaced on every publish/close
+	closed bool
+	// dropped counts events skipped past slow subscribers, bus-wide,
+	// for the asha_events_dropped_total metric.
+	dropped atomic.Int64
+}
+
+// DefaultBusCapacity is the ring size used when a Bus is created with
+// capacity <= 0.
+const DefaultBusCapacity = 1024
+
+// NewBus creates a bus retaining the last capacity events
+// (DefaultBusCapacity when <= 0).
+func NewBus(capacity int) *Bus {
+	if capacity <= 0 {
+		capacity = DefaultBusCapacity
+	}
+	return &Bus{
+		buf:  make([]Event, capacity),
+		wake: make(chan struct{}),
+	}
+}
+
+// Publish stamps the event with the next sequence number (and the
+// current time, unless the caller set TimeMs) and appends it to the
+// ring. Publishing to a closed bus is a no-op.
+func (b *Bus) Publish(e Event) {
+	e.sanitize()
+	if e.TimeMs == 0 {
+		e.TimeMs = time.Now().UnixMilli()
+	}
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return
+	}
+	e.Seq = b.seq
+	b.buf[b.seq%int64(len(b.buf))] = e
+	b.seq++
+	close(b.wake)
+	b.wake = make(chan struct{})
+	b.mu.Unlock()
+}
+
+// Close ends the stream: blocked subscribers return with ok=false once
+// they have drained the ring. Close is idempotent.
+func (b *Bus) Close() {
+	b.mu.Lock()
+	if !b.closed {
+		b.closed = true
+		close(b.wake)
+		b.wake = make(chan struct{})
+	}
+	b.mu.Unlock()
+}
+
+// Dropped reports how many events have been skipped past slow
+// subscribers over the bus's lifetime.
+func (b *Bus) Dropped() int64 { return b.dropped.Load() }
+
+// Subscribe registers a new subscriber positioned at the current tail:
+// it sees every event published after this call.
+func (b *Bus) Subscribe() *Subscription {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return &Subscription{bus: b, cursor: b.seq}
+}
+
+// Subscription is one subscriber's cursor into the bus.
+type Subscription struct {
+	bus    *Bus
+	cursor int64
+}
+
+// Next blocks until events past the cursor exist (or ctx ends, or the
+// bus closes with nothing left) and returns them in order. dropped is
+// how many events were skipped because this subscriber fell more than
+// the ring capacity behind — announce it downstream rather than hiding
+// the gap. ok is false when the stream is over (bus closed and drained,
+// or ctx done).
+func (s *Subscription) Next(ctx context.Context) (events []Event, dropped int64, ok bool) {
+	b := s.bus
+	for {
+		b.mu.Lock()
+		if b.seq > s.cursor {
+			oldest := b.seq - int64(len(b.buf))
+			if oldest < 0 {
+				oldest = 0
+			}
+			if s.cursor < oldest {
+				dropped = oldest - s.cursor
+				s.cursor = oldest
+				b.dropped.Add(dropped)
+			}
+			events = make([]Event, 0, b.seq-s.cursor)
+			for i := s.cursor; i < b.seq; i++ {
+				events = append(events, b.buf[i%int64(len(b.buf))])
+			}
+			s.cursor = b.seq
+			b.mu.Unlock()
+			return events, dropped, true
+		}
+		if b.closed {
+			b.mu.Unlock()
+			return nil, 0, false
+		}
+		wake := b.wake
+		b.mu.Unlock()
+		select {
+		case <-wake:
+		case <-ctx.Done():
+			return nil, 0, false
+		}
+	}
+}
+
+// --- Prometheus text exposition (version 0.0.4), hand-written: the
+// /metrics endpoint must cost zero new dependencies. ---
+
+// Label is one metric label pair.
+type Label struct {
+	Name, Value string
+}
+
+// PromHeader writes a metric family's HELP and TYPE lines. typ is
+// "counter" or "gauge".
+func PromHeader(w io.Writer, name, typ, help string) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+// PromSample writes one sample line: name{labels} value.
+func PromSample(w io.Writer, name string, labels []Label, value float64) {
+	if len(labels) == 0 {
+		fmt.Fprintf(w, "%s %s\n", name, formatPromValue(value))
+		return
+	}
+	var sb strings.Builder
+	sb.WriteString(name)
+	sb.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(l.Name)
+		sb.WriteString(`="`)
+		sb.WriteString(promEscape(l.Value))
+		sb.WriteByte('"')
+	}
+	sb.WriteByte('}')
+	fmt.Fprintf(w, "%s %s\n", sb.String(), formatPromValue(value))
+}
+
+// formatPromValue renders a sample value: integers without an exponent,
+// everything else in Go's shortest-round-trip form (which Prometheus
+// parsers accept, including +Inf/-Inf/NaN spellings).
+func formatPromValue(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	if math.IsInf(v, -1) {
+		return "-Inf"
+	}
+	if math.IsNaN(v) {
+		return "NaN"
+	}
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// promEscape escapes a label value per the text-format rules.
+func promEscape(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var sb strings.Builder
+	for _, r := range s {
+		switch r {
+		case '\\':
+			sb.WriteString(`\\`)
+		case '"':
+			sb.WriteString(`\"`)
+		case '\n':
+			sb.WriteString(`\n`)
+		default:
+			sb.WriteRune(r)
+		}
+	}
+	return sb.String()
+}
+
+// ParseProm extracts every sample from a /metrics scrape into a map
+// keyed by the full sample name including its label set, exactly as it
+// appears on the line ("asha_leases_granted_total" or
+// `asha_experiment_paused{experiment="x"}`). It is the shared scrape
+// parser for tests and ashactl — not a general Prometheus parser.
+func ParseProm(text string) map[string]float64 {
+	out := make(map[string]float64)
+	for _, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		// The value is the field after the last space; the name (with
+		// labels, which may themselves contain spaces) is everything
+		// before it.
+		idx := strings.LastIndexByte(line, ' ')
+		if idx <= 0 {
+			continue
+		}
+		v, err := strconv.ParseFloat(line[idx+1:], 64)
+		if err != nil {
+			continue
+		}
+		out[strings.TrimSpace(line[:idx])] = v
+	}
+	return out
+}

@@ -1,0 +1,221 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBusDeliversInOrder(t *testing.T) {
+	b := NewBus(64)
+	sub := b.Subscribe()
+	for i := 0; i < 10; i++ {
+		b.Publish(Event{Type: EventIssued, Trial: i})
+	}
+	evs, dropped, ok := sub.Next(context.Background())
+	if !ok || dropped != 0 {
+		t.Fatalf("Next: ok=%v dropped=%d, want ok with no drops", ok, dropped)
+	}
+	if len(evs) != 10 {
+		t.Fatalf("got %d events, want 10", len(evs))
+	}
+	for i, e := range evs {
+		if e.Seq != int64(i) || e.Trial != i {
+			t.Fatalf("event %d: seq=%d trial=%d", i, e.Seq, e.Trial)
+		}
+		if e.TimeMs == 0 {
+			t.Fatalf("event %d missing publish time", i)
+		}
+	}
+}
+
+func TestBusSlowConsumerDropAccounting(t *testing.T) {
+	b := NewBus(16)
+	sub := b.Subscribe()
+	// Overflow the ring by 24: the subscriber must skip exactly that
+	// many and still see the last 16 in order.
+	for i := 0; i < 40; i++ {
+		b.Publish(Event{Type: EventIssued, Trial: i})
+	}
+	evs, dropped, ok := sub.Next(context.Background())
+	if !ok {
+		t.Fatal("Next reported a closed stream")
+	}
+	if dropped != 24 {
+		t.Fatalf("dropped = %d, want 24", dropped)
+	}
+	if len(evs) != 16 {
+		t.Fatalf("got %d events, want 16", len(evs))
+	}
+	if evs[0].Seq != 24 || evs[15].Seq != 39 {
+		t.Fatalf("ring window is [%d, %d], want [24, 39]", evs[0].Seq, evs[15].Seq)
+	}
+	if b.Dropped() != 24 {
+		t.Fatalf("bus-wide drop counter = %d, want 24", b.Dropped())
+	}
+}
+
+func TestBusSubscribeStartsAtTail(t *testing.T) {
+	b := NewBus(8)
+	b.Publish(Event{Type: EventIssued})
+	sub := b.Subscribe()
+	b.Publish(Event{Type: EventCompleted})
+	evs, _, ok := sub.Next(context.Background())
+	if !ok || len(evs) != 1 || evs[0].Type != EventCompleted {
+		t.Fatalf("late subscriber got %+v, want only the post-subscribe event", evs)
+	}
+}
+
+func TestBusCloseEndsBlockedSubscriber(t *testing.T) {
+	b := NewBus(8)
+	sub := b.Subscribe()
+	done := make(chan bool, 1)
+	go func() {
+		_, _, ok := sub.Next(context.Background())
+		done <- ok
+	}()
+	time.Sleep(10 * time.Millisecond)
+	b.Close()
+	select {
+	case ok := <-done:
+		if ok {
+			t.Fatal("Next returned ok=true after Close with nothing buffered")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("subscriber still blocked after Close")
+	}
+	// Publishing after close must be a silent no-op.
+	b.Publish(Event{Type: EventIssued})
+	if _, _, ok := sub.Next(context.Background()); ok {
+		t.Fatal("post-close publish reached a subscriber")
+	}
+}
+
+func TestBusContextCancelUnblocks(t *testing.T) {
+	b := NewBus(8)
+	sub := b.Subscribe()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan bool, 1)
+	go func() {
+		_, _, ok := sub.Next(ctx)
+		done <- ok
+	}()
+	cancel()
+	select {
+	case ok := <-done:
+		if ok {
+			t.Fatal("Next returned ok=true on a cancelled context")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("subscriber ignored context cancellation")
+	}
+}
+
+func TestBusConcurrentPublishSubscribe(t *testing.T) {
+	b := NewBus(256)
+	const publishers, perPublisher = 4, 200
+	sub := b.Subscribe()
+	var wg sync.WaitGroup
+	for p := 0; p < publishers; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perPublisher; i++ {
+				b.Publish(Event{Type: EventIssued})
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		b.Close()
+	}()
+	seen, dropped := int64(0), int64(0)
+	lastSeq := int64(-1)
+	for {
+		evs, d, ok := sub.Next(context.Background())
+		if !ok {
+			break
+		}
+		dropped += d
+		for _, e := range evs {
+			if e.Seq <= lastSeq {
+				t.Fatalf("sequence went backwards: %d after %d", e.Seq, lastSeq)
+			}
+			lastSeq = e.Seq
+			seen++
+		}
+	}
+	if seen+dropped != publishers*perPublisher {
+		t.Fatalf("seen %d + dropped %d != published %d", seen, dropped, publishers*perPublisher)
+	}
+}
+
+func TestEventSanitizeNonFinite(t *testing.T) {
+	b := NewBus(8)
+	sub := b.Subscribe()
+	b.Publish(Event{Type: EventFailed, Loss: math.NaN(), Resource: math.Inf(1)})
+	evs, _, _ := sub.Next(context.Background())
+	if len(evs) != 1 {
+		t.Fatalf("got %d events, want 1", len(evs))
+	}
+	if _, err := json.Marshal(evs[0]); err != nil {
+		t.Fatalf("sanitized event does not marshal: %v", err)
+	}
+}
+
+func TestDecodeEventRoundTrip(t *testing.T) {
+	in := Event{Seq: 7, TimeMs: 1700000000123, Type: EventCompleted,
+		Experiment: "cifar", Trial: 42, Rung: 2, Loss: 0.125, Resource: 16}
+	blob, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := DecodeEvent(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("round trip changed the event: %+v != %+v", out, in)
+	}
+}
+
+func TestDecodeEventRejects(t *testing.T) {
+	for _, bad := range []string{
+		``, `not json`, `{"seq":1}`, `{"type":""}`,
+		`{"type":"x","seq":-1}`, `{"type":"dropped","count":-2}`,
+	} {
+		if _, err := DecodeEvent([]byte(bad)); err == nil {
+			t.Fatalf("DecodeEvent(%q) accepted invalid input", bad)
+		}
+	}
+}
+
+func TestPromFormat(t *testing.T) {
+	var sb strings.Builder
+	PromHeader(&sb, "asha_test_total", "counter", "A test counter.")
+	PromSample(&sb, "asha_test_total", nil, 42)
+	PromSample(&sb, "asha_test_loss", []Label{{"experiment", `we"ird\na"me`}}, 0.5)
+	text := sb.String()
+	want := "# HELP asha_test_total A test counter.\n# TYPE asha_test_total counter\n"
+	if !strings.HasPrefix(text, want) {
+		t.Fatalf("header malformed:\n%s", text)
+	}
+	samples := ParseProm(text)
+	if samples["asha_test_total"] != 42 {
+		t.Fatalf("ParseProm lost the unlabeled sample: %v", samples)
+	}
+	if samples[`asha_test_loss{experiment="we\"ird\\na\"me"}`] != 0.5 {
+		t.Fatalf("ParseProm lost the escaped labeled sample: %v", samples)
+	}
+}
+
+func TestParsePromSkipsGarbage(t *testing.T) {
+	samples := ParseProm("# comment\n\nname_only\nbad value x\nok 1\nfloaty 2.5e-3\n")
+	if len(samples) != 2 || samples["ok"] != 1 || samples["floaty"] != 2.5e-3 {
+		t.Fatalf("ParseProm = %v", samples)
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"math"
+	"sync"
 	"time"
 
 	"repro/internal/backend"
@@ -36,6 +38,18 @@ type Backend struct {
 	results  chan result
 	start    time.Time
 	closed   bool
+
+	// live is the backend's own running tally of the run, kept for
+	// LiveStatus: the admin API and /metrics read it from HTTP handler
+	// goroutines while the engine mutates it, hence the small mutex (the
+	// engine's own metrics.Run is single-goroutine and off limits).
+	live struct {
+		sync.Mutex
+		issued, completed, failed, running int
+		rungCompleted                      []int
+		best                               float64
+		hasBest                            bool
+	}
 }
 
 // NewBackend wraps a lease server as a backend.Backend with the given
@@ -66,6 +80,10 @@ func (b *Backend) Capacity() int { return b.capacity }
 
 // Launch resolves the job's trial state and submits it to the fleet.
 func (b *Backend) Launch(job core.Job) {
+	b.live.Lock()
+	b.live.issued++
+	b.live.running++
+	b.live.Unlock()
 	t := b.trials[job.TrialID]
 	if t == nil {
 		t = &trialState{}
@@ -128,7 +146,41 @@ func (b *Backend) apply(r result) backend.Completion {
 		c.TrueLoss = r.out.Loss
 		c.Resource = t.resource
 	}
+	b.live.Lock()
+	b.live.running--
+	switch {
+	case c.Failed, c.Err != nil:
+		b.live.failed++
+	default:
+		b.live.completed++
+		for len(b.live.rungCompleted) <= r.job.Rung {
+			b.live.rungCompleted = append(b.live.rungCompleted, 0)
+		}
+		b.live.rungCompleted[r.job.Rung]++
+		if !math.IsNaN(c.Loss) && (!b.live.hasBest || c.Loss < b.live.best) {
+			b.live.hasBest, b.live.best = true, c.Loss
+		}
+	}
+	b.live.Unlock()
 	return c
+}
+
+// LiveStatus snapshots the backend's running tally of the fleet run as
+// an ExpStatus (State left blank — the control plane stamps it from its
+// gate). Safe to call from any goroutine.
+func (b *Backend) LiveStatus() ExpStatus {
+	b.live.Lock()
+	defer b.live.Unlock()
+	st := ExpStatus{
+		Issued:        b.live.issued,
+		Completed:     b.live.completed,
+		Failed:        b.live.failed,
+		Running:       b.live.running,
+		BestLoss:      b.live.best,
+		HasBest:       b.live.hasBest,
+		RungCompleted: append([]int(nil), b.live.rungCompleted...),
+	}
+	return st
 }
 
 // Now implements backend.Backend on the wall clock.

@@ -1,0 +1,531 @@
+package remote
+
+// The server's observability-and-operations plane (PR 6): GET /metrics
+// exports the lock-free counter snapshot in Prometheus text format,
+// GET /v1/events streams run-lifecycle events as NDJSON from a bounded
+// ring, and the token-scoped POST /v1/admin/* endpoints let an operator
+// (cmd/ashactl) pause, resume, or abort experiments, adjust the worker
+// budget, and drain the fleet while the run is live.
+//
+// The server owns what it can decide alone — freezing queued jobs,
+// draining workers, canceling pending work, its own counters — and
+// forwards scheduler-side decisions (stop granting Next, per-experiment
+// status) to an attached ControlPlane: the Tuner's core.Gate or the
+// Manager's dispatch loop.
+
+import (
+	"crypto/subtle"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/obs"
+)
+
+// ExpStatus is one experiment's live state as reported by the attached
+// control plane.
+type ExpStatus struct {
+	// Experiment is the experiment's name ("" for single-experiment
+	// runs).
+	Experiment string `json:"experiment"`
+	// State is one of core's gate states ("running", "paused",
+	// "aborted") or the manager's terminal states ("done", "failed").
+	State string `json:"state"`
+	// Issued/Completed/Failed/Running count the experiment's jobs.
+	Issued    int `json:"issued"`
+	Completed int `json:"completed"`
+	Failed    int `json:"failed"`
+	Running   int `json:"running"`
+	// BestLoss is the incumbent's loss (valid when HasBest).
+	BestLoss float64 `json:"bestLoss,omitempty"`
+	HasBest  bool    `json:"hasBest,omitempty"`
+	// RungCompleted counts successful completions per rung index — the
+	// rung occupancy of the successive-halving ladder.
+	RungCompleted []int `json:"rungCompleted,omitempty"`
+}
+
+// Status is the control plane's full answer to a status query.
+type Status struct {
+	Experiments []ExpStatus `json:"experiments"`
+	// Workers is the current worker budget (concurrently running jobs).
+	Workers int `json:"workers"`
+}
+
+// ControlPlane is the scheduler-side surface the admin API drives. The
+// Tuner attaches a core.Gate adapter; the Manager attaches its dispatch
+// loop. All methods must be safe to call from HTTP handler goroutines
+// and should return promptly — a status call sits on the /metrics
+// scrape path. An empty experiment name addresses every experiment
+// (single-experiment runs only have the empty name).
+type ControlPlane interface {
+	Status() (Status, error)
+	Pause(experiment string) error
+	Resume(experiment string) error
+	Abort(experiment string) error
+	SetWorkers(n int) error
+}
+
+// SetControl attaches the scheduler-side control plane. Until one is
+// attached, pause/drain act server-side only and status reports just
+// the counters.
+func (s *Server) SetControl(cp ControlPlane) { s.control.Store(controlBox{cp: cp}) }
+
+func (s *Server) controlPlane() ControlPlane {
+	if box, ok := s.control.Load().(controlBox); ok {
+		return box.cp
+	}
+	return nil
+}
+
+// EventBus returns the server's event ring, or nil when Options.Events
+// is off. The engine and manager publish their lifecycle events here.
+func (s *Server) EventBus() *obs.Bus { return s.bus }
+
+// Handler exposes the server's HTTP handler for in-process tests (the
+// admin fuzz target drives it without TCP round trips).
+func (s *Server) Handler() http.Handler { return s.hs.Handler }
+
+// CounterSnapshot is a point-in-time copy of the server's lock-free
+// counters — the same numbers /metrics exports.
+type CounterSnapshot struct {
+	Submitted      int64 `json:"submitted"`
+	Granted        int64 `json:"granted"`
+	Expired        int64 `json:"expired"`
+	Accepted       int64 `json:"accepted"`
+	Rejected       int64 `json:"rejected"`
+	Canceled       int64 `json:"canceled"`
+	BatchedGrants  int64 `json:"batchedGrants"`
+	BatchedReports int64 `json:"batchedReports"`
+	Sweeps         int64 `json:"sweeps"`
+	Registered     int64 `json:"registered"`
+	Pending        int64 `json:"pending"`
+	Leased         int64 `json:"leased"`
+	EventsDropped  int64 `json:"eventsDropped"`
+}
+
+// Counters snapshots the server's observability counters without
+// touching the lease tables' mutex.
+func (s *Server) Counters() CounterSnapshot {
+	c := CounterSnapshot{
+		Submitted:      s.submitted.Load(),
+		Granted:        s.granted.Load(),
+		Expired:        s.expired.Load(),
+		Accepted:       s.accepted.Load(),
+		Rejected:       s.rejected.Load(),
+		Canceled:       s.canceled.Load(),
+		BatchedGrants:  s.batchedGrants.Load(),
+		BatchedReports: s.batchedReports.Load(),
+		Sweeps:         s.sweeps.Load(),
+		Registered:     s.registered.Load(),
+		Pending:        s.pendingJobs.Load(),
+		Leased:         s.activeLeases.Load(),
+	}
+	if s.bus != nil {
+		c.EventsDropped = s.bus.Dropped()
+	}
+	return c
+}
+
+// PauseExperiment withholds the named experiment's queued jobs from
+// lease grants ("" withholds the whole queue).
+func (s *Server) PauseExperiment(name string) {
+	s.mu.Lock()
+	s.paused[name] = true
+	s.mu.Unlock()
+}
+
+// ResumeExperiment lifts PauseExperiment.
+func (s *Server) ResumeExperiment(name string) {
+	s.mu.Lock()
+	delete(s.paused, name)
+	s.wakeLocked()
+	s.mu.Unlock()
+}
+
+// PausedExperiments lists the currently paused experiment names,
+// sorted.
+func (s *Server) PausedExperiments() []string {
+	s.mu.Lock()
+	names := make([]string, 0, len(s.paused))
+	for name := range s.paused {
+		names = append(names, name)
+	}
+	s.mu.Unlock()
+	sort.Strings(names)
+	return names
+}
+
+// SetDraining turns worker draining on or off. While draining, every
+// lease poll is answered "the run is over": connected workers exit
+// cleanly, queued jobs stay queued, and lifting the drain lets a fresh
+// fleet pick the queue back up.
+func (s *Server) SetDraining(v bool) {
+	s.mu.Lock()
+	s.draining = v
+	if !v {
+		s.wakeLocked()
+	}
+	s.mu.Unlock()
+}
+
+// Draining reports whether the server is draining workers.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// CancelPending settles the named experiment's queued (not yet leased)
+// jobs as Failed, returning how many were canceled. "" cancels every
+// queued job. In-flight leases are untouched: their workers report or
+// expire as usual.
+func (s *Server) CancelPending(experiment string) int {
+	s.mu.Lock()
+	var canceled []*task
+	kept := s.pending[:0]
+	for _, t := range s.pending {
+		if experiment == "" || t.payload.Experiment == experiment {
+			canceled = append(canceled, t)
+		} else {
+			kept = append(kept, t)
+		}
+	}
+	for i := len(kept); i < len(s.pending); i++ {
+		s.pending[i] = nil
+	}
+	s.pending = kept
+	s.pendingJobs.Add(int64(-len(canceled)))
+	s.canceled.Add(int64(len(canceled)))
+	s.mu.Unlock()
+	for _, t := range canceled {
+		t.done(Outcome{Failed: true})
+	}
+	return len(canceled)
+}
+
+// SetMaxLeases adjusts the concurrent-lease cap at runtime (0 =
+// unlimited) — the server half of the admin worker-budget command.
+func (s *Server) SetMaxLeases(n int) {
+	s.mu.Lock()
+	s.maxLeases = n
+	s.wakeLocked()
+	s.mu.Unlock()
+}
+
+// MaxLeases reports the current concurrent-lease cap.
+func (s *Server) MaxLeases() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.maxLeases
+}
+
+// --- /metrics ---
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		s.reject(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	var b strings.Builder
+	c := s.Counters()
+	counter := func(name, help string, v int64) {
+		obs.PromHeader(&b, name, "counter", help)
+		obs.PromSample(&b, name, nil, float64(v))
+	}
+	gauge := func(name, help string, v float64) {
+		obs.PromHeader(&b, name, "gauge", help)
+		obs.PromSample(&b, name, nil, v)
+	}
+	counter("asha_jobs_submitted_total", "Jobs submitted to the lease queue.", c.Submitted)
+	counter("asha_leases_granted_total", "Job leases granted to workers.", c.Granted)
+	counter("asha_leases_expired_total", "Leases expired by the heartbeat sweeper (jobs requeued).", c.Expired)
+	counter("asha_reports_accepted_total", "Report entries accepted (jobs settled by a worker).", c.Accepted)
+	counter("asha_reports_rejected_total", "Report entries rejected (late, mispaired, or foreign leases).", c.Rejected)
+	counter("asha_jobs_canceled_total", "Queued jobs canceled by an admin abort.", c.Canceled)
+	counter("asha_lease_batch_jobs_total", "Jobs granted through batched LeaseBatch replies.", c.BatchedGrants)
+	counter("asha_report_batch_entries_total", "Entries settled through batched ReportBatch requests.", c.BatchedReports)
+	counter("asha_expiry_sweeps_total", "Lease-expiry sweep passes completed.", c.Sweeps)
+	counter("asha_workers_registered_total", "Workers registered over the server lifetime.", c.Registered)
+	gauge("asha_jobs_pending", "Jobs queued and waiting for a lease.", float64(c.Pending))
+	gauge("asha_leases_active", "Leases currently held by workers.", float64(c.Leased))
+	if s.bus != nil {
+		counter("asha_events_dropped_total", "Events skipped past slow /v1/events consumers.", c.EventsDropped)
+	}
+	gauge("asha_server_draining", "1 while lease polls are answered with done (drain mode).", boolGauge(s.Draining()))
+	gauge("asha_lease_cap", "Concurrent-lease cap (0 = unlimited).", float64(s.MaxLeases()))
+
+	if cp := s.controlPlane(); cp != nil {
+		if st, err := cp.Status(); err == nil {
+			s.writeExperimentMetrics(&b, st)
+		}
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_, _ = io.WriteString(w, b.String())
+}
+
+func boolGauge(v bool) float64 {
+	if v {
+		return 1
+	}
+	return 0
+}
+
+// writeExperimentMetrics renders the control plane's per-experiment
+// status: the engine's incremental stats (issued/completed/failed,
+// incumbent loss) and the rung occupancy of the halving ladder.
+func (s *Server) writeExperimentMetrics(b *strings.Builder, st Status) {
+	obs.PromHeader(b, "asha_worker_budget", "gauge", "Shared worker budget (concurrently running jobs).")
+	obs.PromSample(b, "asha_worker_budget", nil, float64(st.Workers))
+	family := func(name, typ, help string, value func(e ExpStatus) (float64, bool)) {
+		obs.PromHeader(b, name, typ, help)
+		for _, e := range st.Experiments {
+			if v, ok := value(e); ok {
+				obs.PromSample(b, name, []obs.Label{{Name: "experiment", Value: e.Experiment}}, v)
+			}
+		}
+	}
+	all := func(f func(e ExpStatus) float64) func(ExpStatus) (float64, bool) {
+		return func(e ExpStatus) (float64, bool) { return f(e), true }
+	}
+	family("asha_experiment_issued_total", "counter", "Training jobs issued per experiment.",
+		all(func(e ExpStatus) float64 { return float64(e.Issued) }))
+	family("asha_experiment_completed_total", "counter", "Training jobs completed per experiment.",
+		all(func(e ExpStatus) float64 { return float64(e.Completed) }))
+	family("asha_experiment_failed_total", "counter", "Training jobs failed (and retried) per experiment.",
+		all(func(e ExpStatus) float64 { return float64(e.Failed) }))
+	family("asha_experiment_running", "gauge", "Training jobs currently in flight per experiment.",
+		all(func(e ExpStatus) float64 { return float64(e.Running) }))
+	family("asha_experiment_paused", "gauge", "1 while the experiment is paused.",
+		all(func(e ExpStatus) float64 { return boolGauge(e.State == "paused") }))
+	family("asha_experiment_best_loss", "gauge", "Incumbent validation loss per experiment.",
+		func(e ExpStatus) (float64, bool) { return e.BestLoss, e.HasBest })
+	obs.PromHeader(b, "asha_experiment_rung_completed_total", "counter",
+		"Successful completions per successive-halving rung.")
+	for _, e := range st.Experiments {
+		for rung, n := range e.RungCompleted {
+			obs.PromSample(b, "asha_experiment_rung_completed_total", []obs.Label{
+				{Name: "experiment", Value: e.Experiment},
+				{Name: "rung", Value: strconv.Itoa(rung)},
+			}, float64(n))
+		}
+	}
+}
+
+// --- /v1/events ---
+
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.reject(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	if s.bus == nil {
+		s.reject(w, http.StatusNotFound, "event stream disabled")
+		return
+	}
+	experiment := r.URL.Query().Get("experiment")
+	filtered := r.URL.Query().Has("experiment")
+	flusher, _ := w.(http.Flusher)
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	if flusher != nil {
+		flusher.Flush() // commit headers so clients see the stream open
+	}
+	sub := s.bus.Subscribe()
+	enc := json.NewEncoder(w)
+	for {
+		events, dropped, ok := sub.Next(r.Context())
+		if !ok {
+			return // bus closed (run over) or client gone
+		}
+		if dropped > 0 {
+			// The gap is announced, never silent: a consumer tailing the
+			// stream knows exactly how many events it missed.
+			if err := enc.Encode(obs.Event{Type: obs.EventDropped, Count: dropped}); err != nil {
+				return
+			}
+		}
+		for _, e := range events {
+			if filtered && e.Experiment != experiment {
+				continue
+			}
+			if err := enc.Encode(e); err != nil {
+				return
+			}
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+}
+
+// --- /v1/admin ---
+
+// adminReq is the body of every admin POST; commands read the fields
+// they need and ignore the rest.
+type adminReq struct {
+	// Experiment addresses one experiment; "" addresses all of them.
+	Experiment string `json:"experiment,omitempty"`
+	// Workers is the new shared worker budget (workers command).
+	Workers int `json:"workers,omitempty"`
+	// Drain turns drain mode on or off (drain command; absent = on).
+	Drain *bool `json:"drain,omitempty"`
+}
+
+// adminResp answers the mutating admin commands.
+type adminResp struct {
+	OK bool `json:"ok"`
+	// Canceled reports how many queued jobs an abort threw away.
+	Canceled int `json:"canceled,omitempty"`
+}
+
+// AdminStatus answers /v1/admin/status: the server-side view plus the
+// control plane's per-experiment status when one is attached.
+type AdminStatus struct {
+	OK       bool            `json:"ok"`
+	Draining bool            `json:"draining"`
+	LeaseCap int             `json:"leaseCap"`
+	Paused   []string        `json:"paused,omitempty"`
+	Counters CounterSnapshot `json:"counters"`
+	// Workers and Experiments come from the control plane (absent
+	// without one).
+	Workers     int         `json:"workers,omitempty"`
+	Experiments []ExpStatus `json:"experiments,omitempty"`
+	// ControlError reports a control plane that could not answer (e.g.
+	// the run already ended); the server-side fields are still valid.
+	ControlError string `json:"controlError,omitempty"`
+}
+
+// adminAuth enforces the admin token. The check runs before any body
+// parsing, so malformed bodies can never bypass token scoping.
+func (s *Server) adminAuth(w http.ResponseWriter, r *http.Request) bool {
+	auth := r.Header.Get("Authorization")
+	token, ok := strings.CutPrefix(auth, "Bearer ")
+	if !ok || subtle.ConstantTimeCompare([]byte(token), []byte(s.opts.AdminToken)) != 1 {
+		s.reject(w, http.StatusUnauthorized, "bad or missing admin token")
+		return false
+	}
+	return true
+}
+
+// decodeAdmin parses an admin request body (empty bodies mean the zero
+// request, so `ashactl drain` needs no payload). It writes the error
+// response itself and returns false on rejection.
+func (s *Server) decodeAdmin(w http.ResponseWriter, r *http.Request, req *adminReq) bool {
+	if r.Method != http.MethodPost {
+		s.reject(w, http.StatusMethodNotAllowed, "POST only")
+		return false
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		s.reject(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
+		return false
+	}
+	if len(strings.TrimSpace(string(body))) == 0 {
+		return true
+	}
+	if err := json.Unmarshal(body, req); err != nil {
+		s.reject(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleAdmin(w http.ResponseWriter, r *http.Request) {
+	if !s.adminAuth(w, r) {
+		return
+	}
+	cp := s.controlPlane()
+	cmd := strings.TrimPrefix(r.URL.Path, "/v1/admin/")
+	if cmd == "status" {
+		// Status is read-only and convenient from a browser or curl, so
+		// GET is allowed alongside POST.
+		if r.Method != http.MethodGet && r.Method != http.MethodPost {
+			s.reject(w, http.StatusMethodNotAllowed, "GET or POST")
+			return
+		}
+		st := AdminStatus{
+			OK:       true,
+			Draining: s.Draining(),
+			LeaseCap: s.MaxLeases(),
+			Paused:   s.PausedExperiments(),
+			Counters: s.Counters(),
+		}
+		if cp != nil {
+			if cs, err := cp.Status(); err == nil {
+				st.Workers = cs.Workers
+				st.Experiments = cs.Experiments
+			} else {
+				st.ControlError = err.Error()
+			}
+		}
+		s.reply(w, st)
+		return
+	}
+	var req adminReq
+	if !s.decodeAdmin(w, r, &req) {
+		return
+	}
+	switch cmd {
+	case "pause":
+		// Server first: queued jobs freeze immediately, then the
+		// scheduler side stops granting. On a control-plane refusal
+		// (unknown experiment) the server-side pause is rolled back.
+		s.PauseExperiment(req.Experiment)
+		if cp != nil {
+			if err := cp.Pause(req.Experiment); err != nil {
+				s.ResumeExperiment(req.Experiment)
+				s.reject(w, http.StatusBadRequest, err.Error())
+				return
+			}
+		}
+		s.reply(w, adminResp{OK: true})
+	case "resume":
+		if cp != nil {
+			if err := cp.Resume(req.Experiment); err != nil {
+				s.reject(w, http.StatusBadRequest, err.Error())
+				return
+			}
+		}
+		s.ResumeExperiment(req.Experiment)
+		s.reply(w, adminResp{OK: true})
+	case "abort":
+		if cp != nil {
+			if err := cp.Abort(req.Experiment); err != nil {
+				s.reject(w, http.StatusBadRequest, err.Error())
+				return
+			}
+		}
+		// Scheduler side is down; now flush the queue so in-flight
+		// accounting drains without waiting for workers to train jobs
+		// nobody wants. A stale pause must not outlive the experiment.
+		s.ResumeExperiment(req.Experiment)
+		n := s.CancelPending(req.Experiment)
+		s.reply(w, adminResp{OK: true, Canceled: n})
+	case "workers":
+		if req.Workers < 1 {
+			s.reject(w, http.StatusBadRequest, "workers must be >= 1")
+			return
+		}
+		if cp != nil {
+			if err := cp.SetWorkers(req.Workers); err != nil {
+				s.reject(w, http.StatusBadRequest, err.Error())
+				return
+			}
+		}
+		s.SetMaxLeases(req.Workers)
+		s.reply(w, adminResp{OK: true})
+	case "drain":
+		drain := true
+		if req.Drain != nil {
+			drain = *req.Drain
+		}
+		s.SetDraining(drain)
+		s.reply(w, adminResp{OK: true})
+	default:
+		s.reject(w, http.StatusNotFound, fmt.Sprintf("unknown admin command %q", cmd))
+	}
+}

@@ -36,9 +36,11 @@ import (
 	"net"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/exec"
+	"repro/internal/obs"
 )
 
 // ProtocolVersion is the lease protocol's wire version — the same
@@ -106,6 +108,24 @@ type Options struct {
 	// FlushInterval is advertised to workers at registration as the
 	// default report-flush deadline (default DefaultFlushInterval).
 	FlushInterval time.Duration
+	// Metrics enables GET /metrics: the server's counters — and, when a
+	// ControlPlane is attached, per-experiment scheduler state — in
+	// Prometheus text format. The scrape reads lock-free atomics, never
+	// the lease tables' mutex.
+	Metrics bool
+	// Events enables GET /v1/events: an NDJSON stream of run-lifecycle
+	// events from a bounded ring buffer (see EventBuffer); slow
+	// consumers are skipped forward with an explicit "dropped" record
+	// rather than blocking publishers.
+	Events bool
+	// EventBuffer is the event ring capacity (default
+	// obs.DefaultBusCapacity; ignored without Events).
+	EventBuffer int
+	// AdminToken, when non-empty, enables the token-scoped /v1/admin
+	// API (pause/resume/abort, worker budget, drain) used by
+	// cmd/ashactl. It is deliberately a separate secret from the worker
+	// Token: operators and workers hold different credentials.
+	AdminToken string
 }
 
 // task is one submitted job: queued, then leased, then answered exactly
@@ -133,18 +153,48 @@ type Server struct {
 	nextLease  uint64
 	nextWorker int
 	workers    map[string]string // worker ID -> advertised name
-	expired    int
 	closed     bool
-	// batchedGrants counts jobs granted through LeaseBatch replies and
-	// batchedReports counts entries settled (accepted or rejected)
-	// through ReportBatch requests — the observability hooks the batch
-	// parity tests assert against.
-	batchedGrants  int
-	batchedReports int
+	// paused holds experiment names whose queued jobs are withheld from
+	// lease grants ("" pauses jobs of single-experiment runs — and, as
+	// the match loop treats it, the whole queue). draining tells every
+	// lease poll the run is over for its worker without failing queued
+	// jobs, so a fleet can be scaled to zero and later repopulated.
+	paused   map[string]bool
+	draining bool
+	// maxLeases is Options.MaxLeases, adjustable at runtime by the
+	// admin worker-budget command.
+	maxLeases int
+
+	// Observability counters. All atomics so a /metrics scrape is
+	// lock-free: the scrape never contends with the grant path, and the
+	// grant path never pays for the scrape. expired/batchedGrants/
+	// batchedReports predate /metrics (the batch parity tests assert on
+	// them); the rest exist for the scrape.
+	granted        atomic.Int64 // leases granted, single + batched
+	expired        atomic.Int64 // leases expired by the sweeper
+	accepted       atomic.Int64 // report entries accepted
+	rejected       atomic.Int64 // report entries rejected (late/mispaired)
+	batchedGrants  atomic.Int64 // jobs granted through LeaseBatch replies
+	batchedReports atomic.Int64 // entries settled through ReportBatch requests
+	sweeps         atomic.Int64 // expiry-sweep passes completed
+	registered     atomic.Int64 // workers registered over the lifetime
+	submitted      atomic.Int64 // jobs submitted to the queue
+	canceled       atomic.Int64 // queued jobs canceled by admin abort
+	pendingJobs    atomic.Int64 // gauge: jobs queued, not yet leased
+	activeLeases   atomic.Int64 // gauge: leases currently live
+
+	// bus is the /v1/events ring (nil unless Options.Events); control
+	// is the attached scheduler-side control plane, if any.
+	bus     *obs.Bus
+	control atomic.Value // of controlBox
 
 	sweepStop chan struct{}
 	sweepDone chan struct{}
 }
+
+// controlBox wraps a ControlPlane for atomic.Value, which requires a
+// consistent concrete type across stores.
+type controlBox struct{ cp ControlPlane }
 
 // NewServer starts a job-lease server listening on opts.Listen.
 func NewServer(opts Options) (*Server, error) {
@@ -179,14 +229,28 @@ func NewServer(opts Options) (*Server, error) {
 		nextLease: uint64(time.Now().Unix()) << 20,
 		leases:    make(map[uint64]*task),
 		workers:   make(map[string]string),
+		paused:    make(map[string]bool),
+		maxLeases: opts.MaxLeases,
 		sweepStop: make(chan struct{}),
 		sweepDone: make(chan struct{}),
+	}
+	if opts.Events {
+		s.bus = obs.NewBus(opts.EventBuffer)
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/register", s.handleRegister)
 	mux.HandleFunc("/v1/lease", s.handleLease)
 	mux.HandleFunc("/v1/report", s.handleReport)
 	mux.HandleFunc("/v1/heartbeat", s.handleHeartbeat)
+	if opts.Metrics {
+		mux.HandleFunc("/metrics", s.handleMetrics)
+	}
+	if opts.Events {
+		mux.HandleFunc("/v1/events", s.handleEvents)
+	}
+	if opts.AdminToken != "" {
+		mux.HandleFunc("/v1/admin/", s.handleAdmin)
+	}
 	s.hs = &http.Server{Handler: mux}
 	go func() { _ = s.hs.Serve(ln) }()
 	go s.sweep()
@@ -206,42 +270,28 @@ func (s *Server) Submit(p JobPayload, done func(Outcome)) {
 		return
 	}
 	s.pending = append(s.pending, &task{payload: p, done: done})
+	s.submitted.Add(1)
+	s.pendingJobs.Add(1)
 	s.wakeLocked()
 	s.mu.Unlock()
 }
 
 // ExpiredLeases reports how many leases have expired and been requeued
 // over the server's lifetime.
-func (s *Server) ExpiredLeases() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.expired
-}
+func (s *Server) ExpiredLeases() int { return int(s.expired.Load()) }
 
 // Workers reports how many workers have registered over the server's
 // lifetime.
-func (s *Server) Workers() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.workers)
-}
+func (s *Server) Workers() int { return int(s.registered.Load()) }
 
 // BatchedGrants reports how many jobs have been granted through
 // batched (LeaseBatch) lease replies over the server's lifetime.
-func (s *Server) BatchedGrants() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.batchedGrants
-}
+func (s *Server) BatchedGrants() int { return int(s.batchedGrants.Load()) }
 
 // BatchedReports reports how many report entries have been settled —
 // accepted or rejected — through batched (ReportBatch) report requests
 // over the server's lifetime.
-func (s *Server) BatchedReports() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.batchedReports
-}
+func (s *Server) BatchedReports() int { return int(s.batchedReports.Load()) }
 
 // closeGrace is how long a closed server keeps answering HTTP after
 // Close: workers whose poll or report lands just after shutdown get an
@@ -268,8 +318,15 @@ func (s *Server) Close() error {
 		orphans = append(orphans, t)
 		delete(s.leases, id)
 	}
+	s.pendingJobs.Store(0)
+	s.activeLeases.Store(0)
 	s.wakeLocked()
 	s.mu.Unlock()
+	if s.bus != nil {
+		// End event streams now; /metrics keeps answering through the
+		// closeGrace window so a final post-run scrape reconciles.
+		s.bus.Close()
+	}
 
 	close(s.sweepStop)
 	<-s.sweepDone
@@ -321,13 +378,18 @@ func (s *Server) sweep() {
 					dead = append(dead, t)
 				}
 			}
-			s.expired += len(dead)
+			s.expired.Add(int64(len(dead)))
+			s.activeLeases.Add(int64(-len(dead)))
 			if len(dead) > 0 && len(s.pending) > 0 {
 				// Freed lease slots may unblock pollers waiting on the
 				// MaxLeases cap.
 				s.wakeLocked()
 			}
 			s.mu.Unlock()
+			// Count the pass after its expiries are visible: a test that
+			// saw sweeps advance past a lease's TTL may rely on that
+			// lease's expiry having been counted too.
+			s.sweeps.Add(1)
 			for _, t := range dead {
 				t.done(Outcome{Failed: true})
 			}
@@ -472,6 +534,7 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 	id := fmt.Sprintf("w%d", s.nextWorker)
 	s.workers[id] = req.Name
 	s.mu.Unlock()
+	s.registered.Add(1)
 	s.reply(w, registerResp{
 		Version:        ProtocolVersion,
 		WorkerID:       id,
@@ -505,7 +568,10 @@ func (s *Server) handleLease(w http.ResponseWriter, r *http.Request) {
 	deadline := time.Now().Add(wait)
 	for {
 		s.mu.Lock()
-		if s.closed {
+		if s.closed || s.draining {
+			// Draining reads as "the run is over" to this worker: it
+			// exits cleanly while queued jobs stay queued for whichever
+			// workers join after the drain is lifted.
 			s.mu.Unlock()
 			if batched {
 				s.reply(w, LeaseBatch{Version: ProtocolVersion, Done: true})
@@ -522,7 +588,7 @@ func (s *Server) handleLease(w http.ResponseWriter, r *http.Request) {
 		var grants []LeaseGrant
 		now := time.Now()
 		for len(grants) < max {
-			if s.opts.MaxLeases != 0 && len(s.leases) >= s.opts.MaxLeases {
+			if s.maxLeases != 0 && len(s.leases) >= s.maxLeases {
 				break
 			}
 			idx := s.matchLocked(req.Experiments)
@@ -532,8 +598,9 @@ func (s *Server) handleLease(w http.ResponseWriter, r *http.Request) {
 			grants = append(grants, s.grantLocked(idx, req.WorkerID, now))
 		}
 		if len(grants) > 0 {
+			s.granted.Add(int64(len(grants)))
 			if batched {
-				s.batchedGrants += len(grants)
+				s.batchedGrants.Add(int64(len(grants)))
 			}
 			s.mu.Unlock()
 			if batched {
@@ -578,6 +645,8 @@ func (s *Server) grantLocked(idx int, worker string, now time.Time) LeaseGrant {
 	t.worker = worker
 	t.deadline = now.Add(s.opts.LeaseTTL)
 	s.leases[t.leaseID] = t
+	s.pendingJobs.Add(-1)
+	s.activeLeases.Add(1)
 	return LeaseGrant{
 		LeaseID:    t.leaseID,
 		Experiment: t.payload.Experiment,
@@ -594,9 +663,21 @@ func (s *Server) grantLocked(idx int, worker string, now time.Time) LeaseGrant {
 }
 
 // matchLocked returns the index of the oldest pending job the worker's
-// experiment restriction allows (empty = any), or -1. Callers hold s.mu.
+// experiment restriction allows (empty = any), or -1. Jobs of paused
+// experiments are withheld — a pause freezes the queue server-side on
+// top of stopping the scheduler's grants, so jobs submitted just before
+// the pause don't leak out to workers. Callers hold s.mu.
 func (s *Server) matchLocked(experiments []string) int {
+	if s.paused[""] {
+		// "" pauses the whole queue: single-experiment runs submit jobs
+		// with an empty experiment name, and a fleet-wide pause must
+		// hold every experiment's jobs.
+		return -1
+	}
 	for i, t := range s.pending {
+		if s.paused[t.payload.Experiment] {
+			continue
+		}
 		if len(experiments) == 0 {
 			return i
 		}
@@ -657,6 +738,7 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 	}
 	if ok {
 		delete(s.leases, req.LeaseID)
+		s.activeLeases.Add(-1)
 		if len(s.pending) > 0 {
 			// The freed lease slot may unblock a poller waiting on the
 			// MaxLeases cap.
@@ -667,9 +749,11 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		// The lease expired (or never existed): the job has already been
 		// requeued, so this late result is dropped — never double-counted.
+		s.rejected.Add(1)
 		s.reply(w, reportResp{Version: ProtocolVersion, Accepted: false})
 		return
 	}
+	s.accepted.Add(1)
 	var out Outcome
 	if req.Response.Error != "" {
 		out.Err = req.Response.Error
@@ -715,7 +799,10 @@ func (s *Server) handleReportBatch(w http.ResponseWriter, rb ReportBatch) {
 		settled[i] = t
 		freed++
 	}
-	s.batchedReports += len(rb.Reports)
+	s.batchedReports.Add(int64(len(rb.Reports)))
+	s.accepted.Add(int64(freed))
+	s.rejected.Add(int64(len(rb.Reports) - freed))
+	s.activeLeases.Add(int64(-freed))
 	if freed > 0 && len(s.pending) > 0 {
 		// Freed lease slots may unblock pollers waiting on MaxLeases.
 		s.wakeLocked()

@@ -14,6 +14,7 @@ import (
 	"repro/internal/backend"
 	"repro/internal/core"
 	"repro/internal/exec"
+	"repro/internal/obs"
 	"repro/internal/remote"
 	"repro/internal/state"
 	"repro/internal/xrand"
@@ -143,16 +144,27 @@ type mgrTrial struct {
 
 // mgrExp is the live state of one experiment.
 type mgrExp struct {
-	spec      Experiment
-	sched     core.Scheduler
-	trials    map[int]*mgrTrial
-	issued    int
-	completed int
-	running   int
-	barrier   bool // scheduler declined while jobs were in flight
-	done      bool
-	failed    error
-	history   []HistoryPoint
+	spec       Experiment
+	sched      core.Scheduler
+	trials     map[int]*mgrTrial
+	issued     int
+	completed  int
+	failedJobs int
+	running    int
+	barrier    bool // scheduler declined while jobs were in flight
+	done       bool
+	failed     error
+	history    []HistoryPoint
+	// Live-control state, flipped only on the dispatch goroutine by
+	// admin requests arriving over mgrRun.control: a paused experiment
+	// issues no new jobs (in-flight ones finish and report normally); an
+	// aborted experiment is done and its late results are swallowed.
+	paused  bool
+	aborted bool
+	// rungCompleted and maxRung feed the status/metrics surface: rung
+	// occupancy and the high-water rung for rung-advance events.
+	rungCompleted []int
+	maxRung       int
 
 	// Durable-state fields (nil/zero without WithManagerStateDir).
 	journal  *state.Journal
@@ -188,6 +200,13 @@ type mgrRun struct {
 	results chan mgrResult
 	fleet   *remote.Server // non-nil when jobs go to a remote fleet
 	start   time.Time
+	// budget is the live worker budget — WithManagerWorkers until an
+	// admin workers command adjusts it. control delivers admin requests
+	// to the dispatch goroutine, which alone touches experiment state;
+	// bus receives lifecycle events in fleet mode (nil otherwise).
+	budget  int
+	control chan func(*mgrRun)
+	bus     *obs.Bus
 }
 
 // Run executes every added experiment to completion of its budget (or
@@ -231,16 +250,20 @@ func (m *Manager) run(ctx context.Context, resume bool) (map[string]*Result, err
 	r := &mgrRun{
 		m:   m,
 		ctx: ctx,
-		// Buffer sized to the worker budget: at most workers jobs are in
-		// flight, so a result send never blocks.
-		results: make(chan mgrResult, m.workers),
+		// Buffer sized past the worker budget: at most budget jobs are in
+		// flight, so a result send never blocks — with headroom for an
+		// admin command raising the budget mid-run.
+		results: make(chan mgrResult, 4*m.workers+16),
 		start:   time.Now(),
+		budget:  m.workers,
+		control: make(chan func(*mgrRun), 16),
 	}
 	for _, spec := range m.experiments {
 		r.exps = append(r.exps, &mgrExp{
-			spec:   spec,
-			sched:  spec.Algorithm.newScheduler(spec.Space, xrand.New(spec.Seed)),
-			trials: make(map[int]*mgrTrial),
+			spec:    spec,
+			sched:   spec.Algorithm.newScheduler(spec.Space, xrand.New(spec.Seed)),
+			trials:  make(map[int]*mgrTrial),
+			maxRung: -1,
 		})
 	}
 	if m.stateDir != "" {
@@ -263,6 +286,13 @@ func (m *Manager) run(ctx context.Context, resume bool) (map[string]*Result, err
 		}
 		defer srv.Close()
 		r.fleet = srv
+		r.bus = srv.EventBus()
+		// Attach the admin API's scheduler-side control plane. ctl.done
+		// makes admin calls fail fast once this run returns instead of
+		// timing out against a dispatch loop that no longer exists.
+		ctl := &mgrControl{ctl: r.control, done: make(chan struct{})}
+		defer close(ctl.done)
+		srv.SetControl(ctl)
 	} else {
 		// Task buffer sized like results: dispatch never blocks.
 		r.tasks = make(chan func(), m.workers)
@@ -280,7 +310,7 @@ func (m *Manager) run(ctx context.Context, resume bool) (map[string]*Result, err
 	stopped := false
 	for {
 		if !stopped {
-			inflight += r.fill(ctx, m.workers-inflight)
+			inflight += r.fill(ctx, r.budget-inflight)
 		}
 		live := false
 		for _, e := range r.exps {
@@ -297,6 +327,25 @@ func (m *Manager) run(ctx context.Context, resume bool) (map[string]*Result, err
 			stopped = true
 		}
 		if inflight == 0 {
+			paused := false
+			for _, e := range r.exps {
+				if !e.done && e.paused {
+					paused = true
+					break
+				}
+			}
+			if paused && ctx.Err() == nil {
+				// A pause drained the run to zero activity: the paused
+				// experiments still have work, so park on the control
+				// channel until an operator resumes or aborts (or the
+				// context ends) instead of declaring the run drained.
+				select {
+				case fn := <-r.control:
+					fn(r)
+				case <-ctx.Done():
+				}
+				continue
+			}
 			// Every live experiment is at a barrier with nothing running:
 			// their schedulers are drained.
 			for _, e := range r.exps {
@@ -305,7 +354,14 @@ func (m *Manager) run(ctx context.Context, resume bool) (map[string]*Result, err
 			break
 		}
 		if stopped {
-			inflight -= r.ingest([]mgrResult{<-r.results})
+			// Draining stray results; admin requests (a status probe, an
+			// abort racing the shutdown) are still answered.
+			select {
+			case res := <-r.results:
+				inflight -= r.ingest([]mgrResult{res})
+			case fn := <-r.control:
+				fn(r)
+			}
 			continue
 		}
 		select {
@@ -315,6 +371,8 @@ func (m *Manager) run(ctx context.Context, resume bool) (map[string]*Result, err
 			batch := []mgrResult{res}
 			batch = r.drainInto(batch)
 			inflight -= r.ingest(batch)
+		case fn := <-r.control:
+			fn(r)
 		case <-ctx.Done():
 			stopped = true
 			if r.fleet != nil {
@@ -386,7 +444,7 @@ func (r *mgrRun) fill(ctx context.Context, free int) int {
 	for free > 0 && ctx.Err() == nil {
 		var pick *mgrExp
 		for _, e := range r.exps {
-			if e.done {
+			if e.done || e.paused {
 				continue
 			}
 			if len(e.relaunch) == 0 {
@@ -463,6 +521,7 @@ func (r *mgrRun) launch(ctx context.Context, e *mgrExp, job core.Job, fresh bool
 		e.issued++
 	}
 	e.running++
+	r.emitLaunch(e, job)
 	from, state := t.resource, t.state
 	results := r.results
 	exp := e
@@ -515,6 +574,12 @@ func (r *mgrRun) ingest(batch []mgrResult) int {
 		if e.failed != nil {
 			continue // stray result of an already-failed experiment
 		}
+		if e.aborted {
+			// Late result of an aborted experiment: the abort already
+			// settled its fate, so neither the journal nor the scheduler
+			// hears about it — no work after abort.
+			continue
+		}
 		if res.failed {
 			// A remote worker died or its lease expired: the trial keeps
 			// its last committed checkpoint, and the scheduler requeues
@@ -531,6 +596,7 @@ func (r *mgrRun) ingest(batch []mgrResult) int {
 					}
 				}
 				e.barrier = false
+				e.failedJobs++
 				e.sched.Report(core.Result{
 					TrialID:  res.job.TrialID,
 					Rung:     res.job.Rung,
@@ -540,6 +606,14 @@ func (r *mgrRun) ingest(batch []mgrResult) int {
 					Failed:   true,
 					Time:     now,
 				})
+				if r.bus != nil {
+					r.bus.Publish(obs.Event{
+						Type:       obs.EventFailed,
+						Experiment: e.spec.Name,
+						Trial:      res.job.TrialID,
+						Rung:       res.job.Rung,
+					})
+				}
 			}
 			if (e.exhausted() || e.sched.Done()) && e.running == 0 {
 				e.done = true
@@ -579,6 +653,10 @@ func (r *mgrRun) ingest(batch []mgrResult) int {
 			t.stateJSON = rawCheckpoint(res.state)
 		}
 		e.completed++
+		for len(e.rungCompleted) <= res.job.Rung {
+			e.rungCompleted = append(e.rungCompleted, 0)
+		}
+		e.rungCompleted[res.job.Rung]++
 		e.barrier = false // a completion may unblock a synchronous rung
 		e.sched.Report(core.Result{
 			TrialID:  res.job.TrialID,
@@ -589,10 +667,29 @@ func (r *mgrRun) ingest(batch []mgrResult) int {
 			Resource: res.job.TargetResource,
 			Time:     now,
 		})
+		if r.bus != nil {
+			r.bus.Publish(obs.Event{
+				Type:       obs.EventCompleted,
+				Experiment: e.spec.Name,
+				Trial:      res.job.TrialID,
+				Rung:       res.job.Rung,
+				Loss:       res.loss,
+				Resource:   res.job.TargetResource,
+			})
+		}
 		best, ok := e.sched.Best()
 		if ok {
 			if n := len(e.history); n == 0 || best.Loss < e.history[n-1].Loss {
 				e.history = append(e.history, HistoryPoint{Seconds: now, Loss: best.Loss})
+				if r.bus != nil {
+					r.bus.Publish(obs.Event{
+						Type:       obs.EventIncumbent,
+						Experiment: e.spec.Name,
+						Trial:      best.TrialID,
+						Loss:       best.Loss,
+						Resource:   best.Resource,
+					})
+				}
 			}
 		}
 		if r.m.onProgress != nil {
@@ -824,6 +921,197 @@ func (m *Manager) replayExperiment(e *mgrExp, rec *state.Recovered) error {
 	e.relaunch = res.Inflight
 	e.clockOff = res.MaxTime
 	return nil
+}
+
+// emitLaunch publishes the lifecycle events of one issued job: the
+// issue itself, a promotion when it inherits another trial's state, and
+// a rung-advance the first time the experiment reaches a new rung. Runs
+// on the dispatch goroutine; no-op without a fleet event bus.
+func (r *mgrRun) emitLaunch(e *mgrExp, job core.Job) {
+	if job.Rung > e.maxRung {
+		advanced := e.maxRung >= 0 // the first rung is a start, not an advance
+		e.maxRung = job.Rung
+		if r.bus != nil && advanced {
+			r.bus.Publish(obs.Event{
+				Type:       obs.EventRungAdvance,
+				Experiment: e.spec.Name,
+				Rung:       job.Rung,
+			})
+		}
+	}
+	if r.bus == nil {
+		return
+	}
+	r.bus.Publish(obs.Event{
+		Type:       obs.EventIssued,
+		Experiment: e.spec.Name,
+		Trial:      job.TrialID,
+		Rung:       job.Rung,
+		Resource:   job.TargetResource,
+	})
+	if job.InheritFrom >= 0 {
+		r.bus.Publish(obs.Event{
+			Type:       obs.EventPromoted,
+			Experiment: e.spec.Name,
+			Trial:      job.TrialID,
+			Rung:       job.Rung,
+		})
+	}
+}
+
+// status snapshots every experiment for the admin API and /metrics.
+// Runs on the dispatch goroutine.
+func (r *mgrRun) status() remote.Status {
+	st := remote.Status{Workers: r.budget}
+	for _, e := range r.exps {
+		es := remote.ExpStatus{
+			Experiment:    e.spec.Name,
+			State:         e.state(),
+			Issued:        e.issued,
+			Completed:     e.completed,
+			Failed:        e.failedJobs,
+			Running:       e.running,
+			RungCompleted: append([]int(nil), e.rungCompleted...),
+		}
+		if best, ok := e.sched.Best(); ok {
+			es.BestLoss = best.Loss
+			es.HasBest = true
+		}
+		st.Experiments = append(st.Experiments, es)
+	}
+	return st
+}
+
+// state names the experiment's lifecycle state for status reporting.
+func (e *mgrExp) state() string {
+	switch {
+	case e.aborted:
+		return core.GateAborted
+	case e.failed != nil:
+		return "failed"
+	case e.done:
+		return "done"
+	case e.paused:
+		return core.GatePaused
+	default:
+		return core.GateRunning
+	}
+}
+
+// match returns the experiments an admin command addresses: the named
+// one, or — for the empty name — all of them.
+func (r *mgrRun) match(name string) ([]*mgrExp, error) {
+	if name == "" {
+		return r.exps, nil
+	}
+	for _, e := range r.exps {
+		if e.spec.Name == name {
+			return []*mgrExp{e}, nil
+		}
+	}
+	return nil, fmt.Errorf("asha: no experiment %q", name)
+}
+
+// mgrControl is the manager's remote.ControlPlane: every admin request
+// is shipped to the dispatch goroutine over the control channel — the
+// only goroutine allowed to touch experiment state — and answered over
+// a reply channel. done is closed when the run returns, so requests
+// against a finished run fail fast instead of timing out.
+type mgrControl struct {
+	ctl  chan func(*mgrRun)
+	done chan struct{}
+}
+
+// mgrControlTimeout bounds how long an admin request waits for the
+// dispatch goroutine. The loop services control between result batches,
+// so this only trips when dispatch is wedged — better a told-you-so
+// error than an admin API that hangs with it.
+const mgrControlTimeout = 5 * time.Second
+
+func (c *mgrControl) do(fn func(*mgrRun) error) error {
+	reply := make(chan error, 1)
+	timeout := time.NewTimer(mgrControlTimeout)
+	defer timeout.Stop()
+	select {
+	case c.ctl <- func(r *mgrRun) { reply <- fn(r) }:
+	case <-c.done:
+		return errors.New("asha: the run has ended")
+	case <-timeout.C:
+		return errors.New("asha: manager control timed out")
+	}
+	select {
+	case err := <-reply:
+		return err
+	case <-c.done:
+		return errors.New("asha: the run has ended")
+	}
+}
+
+func (c *mgrControl) Status() (remote.Status, error) {
+	var st remote.Status
+	err := c.do(func(r *mgrRun) error {
+		st = r.status()
+		return nil
+	})
+	return st, err
+}
+
+func (c *mgrControl) Pause(name string) error {
+	return c.do(func(r *mgrRun) error {
+		exps, err := r.match(name)
+		if err != nil {
+			return err
+		}
+		for _, e := range exps {
+			if !e.done {
+				e.paused = true
+			}
+		}
+		return nil
+	})
+}
+
+func (c *mgrControl) Resume(name string) error {
+	return c.do(func(r *mgrRun) error {
+		exps, err := r.match(name)
+		if err != nil {
+			return err
+		}
+		for _, e := range exps {
+			e.paused = false
+		}
+		return nil
+	})
+}
+
+func (c *mgrControl) Abort(name string) error {
+	return c.do(func(r *mgrRun) error {
+		exps, err := r.match(name)
+		if err != nil {
+			return err
+		}
+		for _, e := range exps {
+			if e.done && !e.aborted {
+				continue // finished experiments keep their result
+			}
+			e.aborted = true
+			e.paused = false
+			e.done = true
+		}
+		return nil
+	})
+}
+
+func (c *mgrControl) SetWorkers(n int) error {
+	return c.do(func(r *mgrRun) error {
+		if r.fleet == nil && n > r.m.workers {
+			// The local pool's goroutines are fixed at start; the budget
+			// can shrink below them but more slots would just queue.
+			n = r.m.workers
+		}
+		r.budget = n
+		return nil
+	})
 }
 
 // result builds the public Result for a finished experiment, or nil if

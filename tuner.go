@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/backend"
 	"repro/internal/core"
+	"repro/internal/remote"
 	"repro/internal/state"
 	"repro/internal/xrand"
 )
@@ -152,7 +153,10 @@ func (t *Tuner) run(ctx context.Context, resume bool) (result *Result, err error
 	if t.workers < 1 {
 		return nil, fmt.Errorf("asha: tuner requires at least one worker")
 	}
-	sched := t.algorithm.newScheduler(t.space, xrand.New(t.seed))
+	// Every run is driven through a live-control gate. Without an admin
+	// surface it is transparent (nobody flips it); with one, the
+	// /v1/admin handlers pause, resume, or abort the run through it.
+	sched := core.NewGate(t.algorithm.newScheduler(t.space, xrand.New(t.seed)))
 	if t.maxDuration > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, t.maxDuration)
@@ -163,6 +167,14 @@ func (t *Tuner) run(ctx context.Context, resume bool) (result *Result, err error
 		return nil, err
 	}
 	opt.MaxJobs = t.maxJobs
+	opt.Gate = sched
+	if rb, ok := be.(*remote.Backend); ok {
+		// Fleet runs get the full observability plane: events flow to the
+		// server's /v1/events ring (when enabled) and the admin API is
+		// given its scheduler-side control plane.
+		opt.Events = rb.Server().EventBus()
+		rb.Server().SetControl(&tunerControl{gate: sched, be: rb, budget: t.workers})
+	}
 	if opt.MaxJobs == 0 && opt.MaxTime == 0 && ctx.Done() == nil {
 		_ = be.Close()
 		return nil, fmt.Errorf("asha: unbounded run; set WithMaxJobs, WithMaxDuration, or a cancellable context")
