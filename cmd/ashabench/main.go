@@ -33,7 +33,9 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -154,7 +156,10 @@ func benches(quick bool) []bench {
 			// One training job's full distributed round trip — lease
 			// grant, JSON checkpoint transport, report — over real
 			// loopback HTTP with an in-process 8-slot worker agent
-			// driving the shared engine (the Remote backend's hot path).
+			// driving the shared engine. JSONWire pins the agent to the
+			// legacy JSON protocol so this keeps measuring the
+			// single-job JSON path after the binary wire became the
+			// default.
 			name: "remote-loopback-throughput",
 			ops:  scale(2000),
 			run: func(ops int) int64 {
@@ -185,7 +190,7 @@ func benches(quick bool) []bench {
 				go func() {
 					defer close(agentDone)
 					_ = remote.ServeAgent(ctx, remote.AgentOptions{
-						Server: srv.URL(), Slots: 8,
+						Server: srv.URL(), Slots: 8, JSONWire: true,
 						Resolve: func(string) (exec.Objective, error) { return obj, nil },
 					})
 				}()
@@ -210,7 +215,10 @@ func benches(quick bool) []bench {
 			// past the startup transient (connection setup, heap
 			// growth) so the number reflects the pipeline's steady
 			// state. The acceptance bar is ≥5x the committed
-			// remote-loopback-throughput jobs/sec baseline.
+			// remote-loopback-throughput jobs/sec baseline. JSONWire
+			// pins the agent to the JSON batch protocol so this keeps
+			// guarding the legacy-fleet path after the binary wire
+			// became the default.
 			name: "batched-lease-throughput",
 			ops:  scale(100000),
 			run: func(ops int) int64 {
@@ -247,7 +255,7 @@ func benches(quick bool) []bench {
 				go func() {
 					defer close(agentDone)
 					_ = remote.ServeAgent(ctx, remote.AgentOptions{
-						Server: srv.URL(), Slots: 4,
+						Server: srv.URL(), Slots: 2, JSONWire: true,
 						Resolve: func(string) (exec.Objective, error) { return obj, nil },
 					})
 				}()
@@ -260,6 +268,118 @@ func benches(quick bool) []bench {
 				cancel()
 				<-agentDone
 				return int64(run.CompletedJobs)
+			},
+		},
+		{
+			// The same distributed round trip on the binary streaming
+			// wire: one persistent connection per worker, length-prefixed
+			// frames carrying dense config vectors and raw checkpoint
+			// bytes, grants of 256 prefetched 512 deep with 2ms report
+			// flushes. This is the default fleet wire; the comparison
+			// against batched-lease-throughput (same pipeline, JSON
+			// encoding) isolates what the codec and the persistent
+			// connection buy. The acceptance bar is ≥10x the committed
+			// batched-lease-throughput jobs/sec baseline.
+			name: "binary-lease-throughput",
+			ops:  scale(300000),
+			run: func(ops int) int64 {
+				space := searchspace.New(
+					searchspace.Param{Name: "lr", Type: searchspace.LogUniform, Lo: 1e-4, Hi: 1},
+					searchspace.Param{Name: "momentum", Type: searchspace.Uniform, Lo: 0, Hi: 1},
+				)
+				sched := core.NewASHA(core.ASHAConfig{
+					Space: space, RNG: xrand.New(9), Eta: 4, MinResource: 1, MaxResource: 256,
+				})
+				srv, err := remote.NewServer(remote.Options{
+					BatchSize: 512, Prefetch: 1024, FlushInterval: 2 * time.Millisecond,
+					Metrics: true,
+				})
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "ashabench: remote server: %v\n", err)
+					os.Exit(2)
+				}
+				obj := func(_ context.Context, cfg map[string]float64, from, to float64, state interface{}) (float64, interface{}, error) {
+					loss := 3.0
+					if s, ok := state.(float64); ok {
+						loss = s
+					}
+					floor := 0.1 + 0.2*cfg["momentum"]
+					loss = floor + (loss-floor)*0.8
+					return loss, loss, nil
+				}
+				ctx, cancel := context.WithCancel(context.Background())
+				defer cancel()
+				agentDone := make(chan struct{})
+				go func() {
+					defer close(agentDone)
+					_ = remote.ServeAgent(ctx, remote.AgentOptions{
+						Server: srv.URL(), Slots: 4,
+						Resolve: func(string) (exec.Objective, error) { return obj, nil },
+					})
+				}()
+				run, err := backend.Drive(ctx, sched, remote.NewBackend(srv, 1024),
+					backend.Options{MaxJobs: ops})
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "ashabench: binary loopback run: %v\n", err)
+					os.Exit(2)
+				}
+				cancel()
+				<-agentDone
+				return int64(run.CompletedJobs)
+			},
+		},
+		{
+			// Report-ingestion contention across the sharded lease table:
+			// four binary-wire agents hammer one server with grants and
+			// report batches concurrently, no scheduler in the loop (jobs
+			// come straight from Submit), so the number isolates the
+			// server's grant/settle fan-out — the path the 16-way shard
+			// split parallelizes. A single-mutex lease table serializes
+			// here regardless of cores.
+			name: "sharded-report-contention",
+			ops:  scale(200000),
+			run: func(ops int) int64 {
+				srv, err := remote.NewServer(remote.Options{
+					BatchSize: 256, Prefetch: 512, FlushInterval: 2 * time.Millisecond,
+					Metrics: true,
+				})
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "ashabench: remote server: %v\n", err)
+					os.Exit(2)
+				}
+				obj := func(_ context.Context, cfg map[string]float64, from, to float64, state interface{}) (float64, interface{}, error) {
+					return cfg["lr"], nil, nil
+				}
+				ctx, cancel := context.WithCancel(context.Background())
+				defer cancel()
+				const agents = 4
+				var agentsDone sync.WaitGroup
+				agentsDone.Add(agents)
+				for i := 0; i < agents; i++ {
+					go func() {
+						defer agentsDone.Done()
+						_ = remote.ServeAgent(ctx, remote.AgentOptions{
+							Server: srv.URL(), Slots: 2,
+							Resolve: func(string) (exec.Objective, error) { return obj, nil },
+						})
+					}()
+				}
+				names := []string{"lr", "momentum"}
+				var settled sync.WaitGroup
+				settled.Add(ops)
+				for i := 0; i < ops; i++ {
+					srv.Submit(remote.JobPayload{
+						Trial: i, Names: names, Vec: []float64{float64(i), 0.9}, To: 1,
+					}, func(remote.Outcome) { settled.Done() })
+				}
+				settled.Wait()
+				cancel()
+				agentsDone.Wait()
+				if err := srv.Close(); err != nil {
+					fmt.Fprintf(os.Stderr, "ashabench: server close: %v\n", err)
+					os.Exit(2)
+				}
+				return int64(ops)
 			},
 		},
 		{
@@ -547,6 +667,9 @@ func main() {
 	maxRegress := flag.Float64("max-regress", 0.30, "failure threshold as a fraction")
 	strictTime := flag.Bool("strict-time", false, "gate on ns/op and jobs/sec, not only allocs/op")
 	noWrite := flag.Bool("no-write", false, "skip writing the output file")
+	only := flag.String("only", "", "run only benchmarks whose name contains this substring (implies -no-write)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the benchmark runs to this file")
+	memprofile := flag.String("memprofile", "", "write an allocation profile taken after the benchmark runs to this file")
 	flag.Parse()
 
 	if *quick && *samples > 1 {
@@ -564,8 +687,25 @@ func main() {
 		Quick:      *quick,
 		Benchmarks: make(map[string]Metrics),
 	}
+	if *only != "" {
+		*noWrite = true
+	}
 	warmup()
+	if *cpuprofile != "" {
+		pf, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ashabench:", err)
+			os.Exit(2)
+		}
+		if err := pprof.StartCPUProfile(pf); err != nil {
+			fmt.Fprintln(os.Stderr, "ashabench:", err)
+			os.Exit(2)
+		}
+	}
 	for _, b := range benches(*quick) {
+		if *only != "" && !strings.Contains(b.name, *only) {
+			continue
+		}
 		var best Metrics
 		for s := 0; s < *samples; s++ {
 			best = better(best, measure(b))
@@ -577,6 +717,21 @@ func main() {
 		}
 		fmt.Printf("%-28s %12.0f ns/op %10.2f allocs/op %12.0f B/op%s\n",
 			b.name, best.NsPerOp, best.AllocsPerOp, best.BytesPerOp, extra)
+	}
+	if *cpuprofile != "" {
+		pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		pf, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ashabench:", err)
+			os.Exit(2)
+		}
+		if err := pprof.Lookup("allocs").WriteTo(pf, 0); err != nil {
+			fmt.Fprintln(os.Stderr, "ashabench:", err)
+			os.Exit(2)
+		}
+		pf.Close()
 	}
 
 	if !*noWrite {

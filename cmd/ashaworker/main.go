@@ -23,6 +23,12 @@
 // pipeline; left at 0 the worker adopts the fleet-wide defaults the
 // server advertises at registration (asha.Remote{BatchSize, Prefetch,
 // FlushInterval}, or ashad's "remote" manifest block).
+//
+// Against a server that offers it, the worker automatically upgrades to
+// the binary streaming wire (one persistent connection multiplexing
+// lease grants, report batches and heartbeats as dense binary frames);
+// -json-wire pins it to the batched JSON protocol instead, which every
+// server keeps serving.
 package main
 
 import (
@@ -95,6 +101,7 @@ func main() {
 		batch       = flag.Int("batch", 0, "jobs per lease poll and report flush (0 = server default)")
 		prefetch    = flag.Int("prefetch", 0, "local job-queue lookahead depth (0 = server default, <0 = none)")
 		flush       = flag.Duration("flush", 0, "report-flush deadline, e.g. 25ms (0 = server default, <0 = immediate)")
+		jsonWire    = flag.Bool("json-wire", false, "stay on the batched JSON protocol even when the server offers the binary streaming wire")
 		benchName   = flag.String("benchmark", "", "default surrogate benchmark objective (see -list)")
 		experiments = flag.String("experiments", "", "per-experiment objectives as name=benchmark[,name=benchmark...]")
 		list        = flag.Bool("list", false, "list built-in benchmarks and exit")
@@ -114,6 +121,7 @@ func main() {
 	w := asha.RemoteWorker{
 		Server: *server, Token: *token, Name: *name, Slots: *slots,
 		Batch: *batch, Prefetch: *prefetch, FlushInterval: *flush,
+		JSONWire: *jsonWire,
 	}
 	if *benchName != "" {
 		bench, err := asha.NamedBenchmark(*benchName)

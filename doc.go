@@ -34,7 +34,10 @@
 // cmd/ashaworker, a worker lost mid-job has its lease expire and the
 // job retried on a survivor, and short-job fleets batch the wire with
 // Remote{BatchSize, Prefetch, FlushInterval} (many jobs per HTTP round
-// trip, pipelined worker-side, per-job leases intact); Simulation
+// trip, pipelined worker-side, per-job leases intact) — new workers
+// against a new server further upgrade, automatically, to a binary
+// streaming wire that multiplexes grants, reports and heartbeats as
+// dense frames over one persistent connection per worker; Simulation
 // replays the paper's
 // distributed conditions — hundreds of workers, stragglers, dropped
 // jobs — on a discrete-event virtual clock over a calibrated surrogate

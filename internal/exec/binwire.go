@@ -1,0 +1,337 @@
+package exec
+
+// The binary job wire. The JSON Request/Response pair (subprocess.go)
+// is the readable, debuggable job encoding; this file is its dense
+// twin for hot paths that move hundreds of thousands of jobs per
+// second. A binary job carries the same fields, but the configuration
+// travels as a bare []float64 vector aligned with a parameter-name
+// table both sides agreed on out of band (the remote wire negotiates
+// the table at registration; see internal/remote), so parameter names
+// never repeat on the wire, and the checkpoint travels as raw bytes
+// with no base64 or quoting. Integers are unsigned LEB128 varints
+// (encoding/binary), floats are their IEEE-754 bits little-endian —
+// bit-exact round trips, so a loss or config value is never perturbed
+// by a decimal representation.
+//
+// WireReader is the shared bounds-checked decode cursor: it latches
+// the first error and returns zero values after it, so decoders are
+// written straight-line and check Err once at the end. Nothing here
+// panics on arbitrary input (see the fuzzers in internal/remote).
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// BinWireVersion is the version of the binary job wire. It is
+// negotiated once per connection (not stamped per job, unlike the JSON
+// wire's per-message "v" field), so version checks cost nothing on the
+// per-job path.
+const BinWireVersion = 1
+
+// --- append-style encoders ---
+
+// AppendUvarint appends v as an unsigned LEB128 varint.
+func AppendUvarint(dst []byte, v uint64) []byte {
+	return binary.AppendUvarint(dst, v)
+}
+
+// AppendFloat64 appends v's IEEE-754 bits little-endian.
+func AppendFloat64(dst []byte, v float64) []byte {
+	return binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+}
+
+// AppendBytes appends a length-prefixed byte string.
+func AppendBytes(dst, b []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(b)))
+	return append(dst, b...)
+}
+
+// AppendString appends a length-prefixed string.
+func AppendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+// --- decode cursor ---
+
+// WireReader is a bounds-checked decode cursor over one message body.
+// The first malformed read latches an error; every later read returns
+// a zero value, so a decoder runs straight through and checks Err()
+// once. Bytes/String/Float64s alias or derive from the underlying
+// buffer — callers that outlive the buffer must copy.
+type WireReader struct {
+	buf  []byte
+	off  int
+	err  error
+	slab []float64
+}
+
+// SetFloatSlab arms the cursor with a shared backing array for
+// Float64s results: vectors are carved out of slab as capped subslices
+// while capacity lasts, so a batch decode pays one float allocation per
+// frame instead of one per job. Vectors that overflow the slab fall
+// back to their own allocation — never a reallocation that would move
+// earlier vectors.
+func (r *WireReader) SetFloatSlab(slab []float64) { r.slab = slab[:0] }
+
+// FloatSlabUsed reports how many slab elements Float64s consumed —
+// the caller's sizing signal for the next frame's slab.
+func (r *WireReader) FloatSlabUsed() int { return len(r.slab) }
+
+// NewWireReader returns a cursor over b.
+func NewWireReader(b []byte) *WireReader { return &WireReader{buf: b} }
+
+// Err returns the first decode error, or nil.
+func (r *WireReader) Err() error { return r.err }
+
+// Remaining reports how many bytes are left unread.
+func (r *WireReader) Remaining() int { return len(r.buf) - r.off }
+
+func (r *WireReader) fail(format string, args ...interface{}) {
+	if r.err == nil {
+		r.err = fmt.Errorf(format, args...)
+	}
+}
+
+// Byte reads one byte.
+func (r *WireReader) Byte() byte {
+	if r.err != nil {
+		return 0
+	}
+	if r.off >= len(r.buf) {
+		r.fail("exec: binary wire truncated (byte at offset %d)", r.off)
+		return 0
+	}
+	b := r.buf[r.off]
+	r.off++
+	return b
+}
+
+// Uvarint reads one unsigned LEB128 varint.
+func (r *WireReader) Uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.buf[r.off:])
+	if n <= 0 {
+		r.fail("exec: binary wire truncated or overlong varint at offset %d", r.off)
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+// Int reads a varint and rejects values that do not fit a non-negative
+// int (trial numbers, counts).
+func (r *WireReader) Int() int {
+	v := r.Uvarint()
+	if v > math.MaxInt32 {
+		r.fail("exec: binary wire value %d out of range", v)
+		return 0
+	}
+	return int(v)
+}
+
+// Float64 reads one little-endian IEEE-754 float.
+func (r *WireReader) Float64() float64 {
+	if r.err != nil {
+		return 0
+	}
+	if r.Remaining() < 8 {
+		r.fail("exec: binary wire truncated (float64 at offset %d)", r.off)
+		return 0
+	}
+	bits := binary.LittleEndian.Uint64(r.buf[r.off:])
+	r.off += 8
+	return math.Float64frombits(bits)
+}
+
+// Bytes reads a length-prefixed byte string. The result aliases the
+// underlying buffer; an empty string decodes as nil.
+func (r *WireReader) Bytes() []byte {
+	n := r.Uvarint()
+	if r.err != nil {
+		return nil
+	}
+	if n > uint64(r.Remaining()) {
+		r.fail("exec: binary wire byte string of %d bytes exceeds the %d remaining", n, r.Remaining())
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	b := r.buf[r.off : r.off+int(n) : r.off+int(n)]
+	r.off += int(n)
+	return b
+}
+
+// String reads a length-prefixed string (copies out of the buffer).
+func (r *WireReader) String() string { return string(r.Bytes()) }
+
+// Float64s reads a count-prefixed dense float vector; nil when empty.
+func (r *WireReader) Float64s() []float64 {
+	n := r.Uvarint()
+	if r.err != nil {
+		return nil
+	}
+	if n*8 > uint64(r.Remaining()) {
+		r.fail("exec: binary wire float vector of %d values exceeds the %d bytes remaining", n, r.Remaining())
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	var out []float64
+	if start := len(r.slab); r.slab != nil && cap(r.slab)-start >= int(n) {
+		r.slab = r.slab[:start+int(n)]
+		out = r.slab[start : start+int(n) : start+int(n)]
+	} else {
+		out = make([]float64, n)
+	}
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(r.buf[r.off:]))
+		r.off += 8
+	}
+	return out
+}
+
+// ExpectEOF latches an error unless the cursor consumed the whole
+// buffer — a frame with trailing garbage is rejected whole, never
+// half-applied.
+func (r *WireReader) ExpectEOF() {
+	if r.err == nil && r.off != len(r.buf) {
+		r.fail("exec: binary wire message has %d trailing bytes", len(r.buf)-r.off)
+	}
+}
+
+// --- the job payload ---
+
+// BinRequest is the dense form of Request: the configuration is a bare
+// vector aligned with a parameter-name table negotiated out of band,
+// and the checkpoint is raw bytes. ID doubles as the remote wire's
+// lease ID, exactly as the JSON lease wire stamps Request.ID.
+type BinRequest struct {
+	ID    uint64
+	Trial int
+	From  float64
+	To    float64
+	Vec   []float64
+	State []byte
+}
+
+// AppendBinRequest appends the request's binary encoding.
+func AppendBinRequest(dst []byte, q BinRequest) []byte {
+	dst = AppendUvarint(dst, q.ID)
+	dst = AppendUvarint(dst, uint64(q.Trial))
+	dst = AppendFloat64(dst, q.From)
+	dst = AppendFloat64(dst, q.To)
+	dst = AppendUvarint(dst, uint64(len(q.Vec)))
+	for _, v := range q.Vec {
+		dst = AppendFloat64(dst, v)
+	}
+	return AppendBytes(dst, q.State)
+}
+
+// DecodeBinRequest reads one BinRequest at the cursor. Vec and State
+// alias the cursor's buffer.
+func DecodeBinRequest(r *WireReader) BinRequest {
+	var q BinRequest
+	q.ID = r.Uvarint()
+	q.Trial = r.Int()
+	q.From = r.Float64()
+	q.To = r.Float64()
+	q.Vec = r.Float64s()
+	q.State = r.Bytes()
+	return q
+}
+
+// Request converts the dense form to the name-keyed Request RunJob
+// executes, resolving the vector against the agreed parameter table.
+// The checkpoint bytes are copied (the wire buffer is reused).
+func (q BinRequest) Request(names []string) (Request, error) {
+	req, err := q.RequestShared(names)
+	if err == nil && len(req.State) > 0 {
+		req.State = append([]byte(nil), req.State...)
+	}
+	return req, err
+}
+
+// RequestShared is Request without the defensive checkpoint copy: the
+// returned State aliases q.State. For callers that hand the decode
+// buffer's ownership to the requests instead of reusing it — a batch
+// decoder then pays one buffer per frame instead of one checkpoint
+// copy per job.
+func (q BinRequest) RequestShared(names []string) (Request, error) {
+	if len(q.Vec) != len(names) {
+		return Request{}, fmt.Errorf("exec: binary job carries %d config values for a %d-parameter table", len(q.Vec), len(names))
+	}
+	req := Request{
+		Version: WireVersion,
+		ID:      int(q.ID),
+		Trial:   q.Trial,
+		From:    q.From,
+		To:      q.To,
+		State:   q.State,
+	}
+	if len(names) > 0 {
+		req.Config = make(map[string]float64, len(names))
+		for i, n := range names {
+			req.Config[n] = q.Vec[i]
+		}
+	}
+	if len(req.State) == 0 {
+		req.State = nil
+	}
+	return req, nil
+}
+
+// BinResponse is the dense form of Response. Exactly one of the loss
+// (IsErr false) or the error string (IsErr true) is meaningful,
+// mirroring how the lease server folds a Response into an Outcome.
+type BinResponse struct {
+	ID    uint64
+	IsErr bool
+	Loss  float64
+	State []byte
+	Err   string
+}
+
+// BinResponseOf converts a worker-produced Response for the wire.
+func BinResponseOf(leaseID uint64, resp Response) BinResponse {
+	if resp.Error != "" {
+		return BinResponse{ID: leaseID, IsErr: true, Err: resp.Error}
+	}
+	return BinResponse{ID: leaseID, Loss: resp.Loss, State: resp.State}
+}
+
+// AppendBinResponse appends the response's binary encoding.
+func AppendBinResponse(dst []byte, p BinResponse) []byte {
+	dst = AppendUvarint(dst, p.ID)
+	if p.IsErr {
+		dst = append(dst, 1)
+		return AppendString(dst, p.Err)
+	}
+	dst = append(dst, 0)
+	dst = AppendFloat64(dst, p.Loss)
+	return AppendBytes(dst, p.State)
+}
+
+// DecodeBinResponse reads one BinResponse at the cursor. State aliases
+// the cursor's buffer.
+func DecodeBinResponse(r *WireReader) BinResponse {
+	var p BinResponse
+	p.ID = r.Uvarint()
+	switch k := r.Byte(); k {
+	case 0:
+		p.Loss = r.Float64()
+		p.State = r.Bytes()
+	case 1:
+		p.IsErr = true
+		p.Err = r.String()
+	default:
+		r.fail("exec: binary response kind %d unknown", k)
+	}
+	return p
+}

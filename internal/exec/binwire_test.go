@@ -1,0 +1,117 @@
+package exec
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+// TestBinRequestRoundTrip pins the dense job encoding: every field
+// survives, the vector resolves against the name table into the same
+// Request the JSON wire would carry, and NaN/Inf losses round-trip
+// bit-exactly (the varint+IEEE encoding never perturbs a value the way
+// a decimal representation could).
+func TestBinRequestRoundTrip(t *testing.T) {
+	names := []string{"lr", "momentum", "width"}
+	q := BinRequest{
+		ID:    1<<40 | 17,
+		Trial: 123,
+		From:  4,
+		To:    16,
+		Vec:   []float64{1e-3, 0.9, 256},
+		State: []byte(`{"epoch":4,"w":[1,2,3]}`),
+	}
+	blob := AppendBinRequest(nil, q)
+	r := NewWireReader(blob)
+	back := DecodeBinRequest(r)
+	r.ExpectEOF()
+	if err := r.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(q, back) {
+		t.Fatalf("round trip changed the request:\n %+v\n %+v", q, back)
+	}
+	req, err := back.Request(names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Request{
+		Version: WireVersion, ID: int(q.ID), Trial: q.Trial, From: q.From, To: q.To,
+		Config: map[string]float64{"lr": 1e-3, "momentum": 0.9, "width": 256},
+		State:  append([]byte(nil), q.State...),
+	}
+	if !reflect.DeepEqual(req, want) {
+		t.Fatalf("vector resolved wrong:\n %+v\n %+v", req, want)
+	}
+	// The resolved checkpoint must be a copy: the wire buffer is reused.
+	if &req.State[0] == &back.State[0] {
+		t.Fatal("resolved request aliases the wire buffer's checkpoint")
+	}
+	if _, err := back.Request(names[:2]); err == nil {
+		t.Fatal("a 3-value vector resolved against a 2-parameter table")
+	}
+}
+
+func TestBinResponseRoundTrip(t *testing.T) {
+	cases := []BinResponse{
+		{ID: 7, Loss: 0.125, State: []byte(`{"epoch":16}`)},
+		{ID: 9, Loss: math.Inf(1)},
+		{ID: 11, IsErr: true, Err: "objective exploded"},
+		{ID: 13}, // zero loss, no checkpoint
+	}
+	for _, p := range cases {
+		blob := AppendBinResponse(nil, p)
+		r := NewWireReader(blob)
+		back := DecodeBinResponse(r)
+		r.ExpectEOF()
+		if err := r.Err(); err != nil {
+			t.Fatalf("%+v: %v", p, err)
+		}
+		if !reflect.DeepEqual(p, back) {
+			t.Fatalf("round trip changed the response:\n %+v\n %+v", p, back)
+		}
+	}
+	// A NaN loss survives bit-exactly even though NaN != NaN.
+	p := BinResponse{ID: 1, Loss: math.NaN()}
+	r := NewWireReader(AppendBinResponse(nil, p))
+	back := DecodeBinResponse(r)
+	if r.Err() != nil || math.Float64bits(back.Loss) != math.Float64bits(p.Loss) {
+		t.Fatalf("NaN loss perturbed: %x -> %x", math.Float64bits(p.Loss), math.Float64bits(back.Loss))
+	}
+}
+
+// TestWireReaderRejects pins the cursor's hardening: truncation,
+// hostile counts and trailing bytes latch errors instead of panicking
+// or allocating, and reads after an error return zero values.
+func TestWireReaderRejects(t *testing.T) {
+	// A float vector claiming more elements than bytes remain.
+	blob := AppendUvarint(nil, 1<<40)
+	r := NewWireReader(blob)
+	if v := r.Float64s(); v != nil || r.Err() == nil {
+		t.Fatalf("hostile vector count accepted: %v, err %v", v, r.Err())
+	}
+	// Reads after the latch return zeros, and the first error sticks.
+	first := r.Err()
+	if b := r.Byte(); b != 0 || r.Err() != first {
+		t.Fatal("error did not latch")
+	}
+	// A byte string running past the end.
+	r = NewWireReader(AppendUvarint(nil, 100))
+	if b := r.Bytes(); b != nil || r.Err() == nil {
+		t.Fatal("truncated byte string accepted")
+	}
+	// Trailing garbage after a complete message.
+	blob = AppendBinResponse(nil, BinResponse{ID: 1, Loss: 1})
+	r = NewWireReader(append(blob, 0xff))
+	DecodeBinResponse(r)
+	r.ExpectEOF()
+	if r.Err() == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+	// An unknown response kind byte.
+	r = NewWireReader([]byte{0x01, 0x07})
+	DecodeBinResponse(r)
+	if r.Err() == nil {
+		t.Fatal("unknown response kind accepted")
+	}
+}

@@ -35,10 +35,26 @@ type Objective func(ctx context.Context, cfg map[string]float64, from, to float6
 // trialIDKey carries the job's trial ID into objective invocations.
 type trialIDKey struct{}
 
+// trialCtx carries the trial ID as a concrete context wrapper: one
+// allocation instead of context.WithValue's value context plus boxed
+// int — WithTrialID sits on the per-job hot path of every execution
+// backend.
+type trialCtx struct {
+	context.Context
+	id int
+}
+
+func (c *trialCtx) Value(key interface{}) interface{} {
+	if _, ok := key.(trialIDKey); ok {
+		return c.id
+	}
+	return c.Context.Value(key)
+}
+
 // WithTrialID returns a context carrying the trial ID, as the pool and
 // subprocess backends install before each objective call.
 func WithTrialID(ctx context.Context, id int) context.Context {
-	return context.WithValue(ctx, trialIDKey{}, id)
+	return &trialCtx{Context: ctx, id: id}
 }
 
 // TrialIDFromContext extracts the trial ID installed by the executing

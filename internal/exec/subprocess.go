@@ -6,8 +6,10 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"os/exec"
+	"strconv"
 	"time"
 
 	"repro/internal/backend"
@@ -79,7 +81,9 @@ func RunJob(ctx context.Context, obj Objective, req Request) (Response, error) {
 	}
 	var state interface{}
 	if len(req.State) > 0 {
-		if err := json.Unmarshal(req.State, &state); err != nil {
+		if f, ok := parseNumberState(req.State); ok {
+			state = f
+		} else if err := json.Unmarshal(req.State, &state); err != nil {
 			return Response{}, fmt.Errorf("exec: worker failed to decode state: %w", err)
 		}
 	}
@@ -91,14 +95,59 @@ func RunJob(ctx context.Context, obj Objective, req Request) (Response, error) {
 	}
 	resp.Loss = loss
 	if newState != nil {
-		raw, merr := json.Marshal(newState)
-		if merr != nil {
+		if f, ok := newState.(float64); ok && !math.IsNaN(f) && !math.IsInf(f, 0) {
+			resp.State = appendJSONFloat(make([]byte, 0, 24), f)
+		} else if raw, merr := json.Marshal(newState); merr != nil {
 			resp.Error = fmt.Sprintf("state not JSON-serializable: %v", merr)
 		} else {
 			resp.State = raw
 		}
 	}
 	return resp, nil
+}
+
+// parseNumberState decodes a checkpoint that is a bare JSON number —
+// the common shape for synthetic objectives, and the dominant one on
+// the fleet benchmarks' per-job path — without the general JSON
+// scanner. Anything else falls back to json.Unmarshal. The character
+// screen keeps this a strict subset of the JSON number grammar:
+// strconv alone would also accept Go-literal extensions (hex floats,
+// digit-group underscores) a JSON peer must reject.
+func parseNumberState(raw []byte) (float64, bool) {
+	if c := raw[0]; c != '-' && (c < '0' || c > '9') {
+		return 0, false
+	}
+	for _, b := range raw {
+		switch {
+		case b >= '0' && b <= '9':
+		case b == '-' || b == '+' || b == '.' || b == 'e' || b == 'E':
+		default:
+			return 0, false
+		}
+	}
+	f, err := strconv.ParseFloat(string(raw), 64)
+	return f, err == nil
+}
+
+// appendJSONFloat appends f exactly as encoding/json encodes a float64
+// (shortest round-trip form, exponent notation only beyond 1e21/1e-6,
+// the exponent's leading zero trimmed), so a checkpoint written through
+// the fast path is byte-identical to one written by json.Marshal — the
+// resume-parity goldens depend on that.
+func appendJSONFloat(dst []byte, f float64) []byte {
+	abs := math.Abs(f)
+	format := byte('f')
+	if abs != 0 && (abs < 1e-6 || abs >= 1e21) {
+		format = 'e'
+	}
+	dst = strconv.AppendFloat(dst, f, format, -1, 64)
+	if format == 'e' {
+		if n := len(dst); n >= 4 && dst[n-4] == 'e' && dst[n-3] == '-' && dst[n-2] == '0' {
+			dst[n-2] = dst[n-1]
+			dst = dst[:n-1]
+		}
+	}
+	return dst
 }
 
 // Serve implements the worker side of the protocol: it decodes requests

@@ -59,6 +59,11 @@ type AgentOptions struct {
 	// while the server is still coming up, and lease polls during a
 	// network partition before the agent concludes the run is over.
 	RegisterTimeout time.Duration
+	// JSONWire keeps the agent on the batched JSON wire even when the
+	// server advertises the binary streaming wire — a debugging escape
+	// hatch, and the knob benchmarks use to keep measuring the JSON
+	// path.
+	JSONWire bool
 }
 
 // heldLease tracks one lease this worker currently owns, from grant to
@@ -113,6 +118,7 @@ type agent struct {
 	advBatch    int
 	advPrefetch int
 	advFlush    time.Duration
+	advBin      int
 	legacy      bool
 	// runOver is set when the server reports the run is over or a
 	// deterministic rejection dooms the worker, so every pipeline stage
@@ -122,6 +128,18 @@ type agent struct {
 	jobs    chan queuedGrant   // fetcher -> slots (buffered to Slots+Prefetch)
 	reports chan pendingReport // slots -> reporter
 	kick    chan struct{}      // wakes the fetcher when lease capacity frees
+
+	// bsMu guards bs, the live binary stream (nil before the first dial
+	// and after a stream dies). The fetcher owns dialing and leaseSeq;
+	// repSeq belongs to the reporter goroutine — neither needs a lock.
+	bsMu     sync.Mutex
+	bs       *binStream
+	leaseSeq uint64
+	repSeq   uint64
+
+	// Reporter-goroutine scratch, reused flush to flush.
+	repEntries []ReportEntry
+	repBin     []exec.BinResponse
 
 	mu   sync.Mutex
 	held map[uint64]*heldLease
@@ -197,6 +215,9 @@ func ServeAgent(ctx context.Context, o AgentOptions) error {
 	<-repDone
 	close(hbStop)
 	<-hbDone
+	if bs := a.curStream(); bs != nil {
+		bs.close()
+	}
 	if err != nil {
 		return err
 	}
@@ -261,6 +282,33 @@ func (a *agent) legacyServer() bool {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	return a.legacy
+}
+
+// binWire reports whether this agent should speak the binary streaming
+// wire to the current registration: the server advertised it, the
+// option didn't veto it, and the server isn't so old it only speaks
+// the single-job shapes.
+func (a *agent) binWire() bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return !a.o.JSONWire && a.advBin == BinProtocolVersion && !a.legacy
+}
+
+// curStream returns the live binary stream, or nil if there is none
+// (never dialed, or the last one died — the fetcher will redial).
+func (a *agent) curStream() *binStream {
+	a.bsMu.Lock()
+	defer a.bsMu.Unlock()
+	if a.bs != nil && !a.bs.alive() {
+		a.bs = nil
+	}
+	return a.bs
+}
+
+func (a *agent) setStream(bs *binStream) {
+	a.bsMu.Lock()
+	a.bs = bs
+	a.bsMu.Unlock()
 }
 
 // activeLeases reports the leases still owed work — queued or running.
@@ -337,6 +385,7 @@ func (a *agent) register(ctx context.Context, staleID string) error {
 			a.advBatch = resp.BatchSize
 			a.advPrefetch = resp.Prefetch
 			a.advFlush = time.Duration(resp.FlushMillis) * time.Millisecond
+			a.advBin = resp.Bin
 			a.legacy = resp.BatchSize == 0
 			a.mu.Unlock()
 			return nil
@@ -389,6 +438,12 @@ func (a *agent) fetchLoop(ctx context.Context) error {
 	}
 	var failingSince time.Time
 	refusals := 0
+	// Per-batch scratch, reused across polls: the dedup set and the
+	// queue of accepted grants built under one lock hold (per-grant
+	// lock round trips were a measurable share of the steady-state
+	// pipeline at fleet batch sizes).
+	granted := make(map[uint64]bool, 64)
+	var accepted []queuedGrant
 	for ctx.Err() == nil && !a.runOver.Load() {
 		free := capacity - a.activeLeases()
 		if free < threshold {
@@ -414,10 +469,16 @@ func (a *agent) fetchLoop(ctx context.Context) error {
 			LeaseBatch
 			Grant *LeaseGrant `json:"grant"`
 		}
-		status, err := a.post(ctx, "/v1/lease",
-			leaseReq{Version: ProtocolVersion, Token: a.o.Token, WorkerID: wid,
-				WaitMillis: 15000, Max: max, Experiments: a.o.Experiments},
-			&lb, 25*time.Second)
+		var status int
+		var err error
+		if a.binWire() {
+			status, err = a.binPoll(ctx, wid, max, &lb.LeaseBatch)
+		} else {
+			status, err = a.post(ctx, "/v1/lease",
+				leaseReq{Version: ProtocolVersion, Token: a.o.Token, WorkerID: wid,
+					WaitMillis: 15000, Max: max, Experiments: a.o.Experiments},
+				&lb, 25*time.Second)
+		}
 		if err != nil {
 			if ctx.Err() != nil {
 				return nil
@@ -472,9 +533,11 @@ func (a *agent) fetchLoop(ctx context.Context) error {
 		if lb.Grant != nil && len(lb.Grants) == 0 {
 			lb.Grants = []LeaseGrant{*lb.Grant}
 		}
-		granted := make(map[uint64]bool, len(lb.Grants))
+		clear(granted)
+		accepted = accepted[:0]
+		a.mu.Lock()
 		for i := range lb.Grants {
-			g := lb.Grants[i]
+			g := &lb.Grants[i]
 			if granted[g.LeaseID] {
 				// A healthy server never grants one lease twice in a
 				// reply (the strict decoder contract); drop the duplicate
@@ -483,7 +546,6 @@ func (a *agent) fetchLoop(ctx context.Context) error {
 			}
 			granted[g.LeaseID] = true
 			h := &heldLease{}
-			a.mu.Lock()
 			if old := a.held[g.LeaseID]; old != nil {
 				// A stale entry under the same number (a pre-restart
 				// lease): settle its accounting now — its queued job or
@@ -498,9 +560,12 @@ func (a *agent) fetchLoop(ctx context.Context) error {
 			}
 			a.held[g.LeaseID] = h
 			a.active++
-			a.mu.Unlock()
+			accepted = append(accepted, queuedGrant{grant: *g, h: h})
+		}
+		a.mu.Unlock()
+		for _, q := range accepted {
 			select {
-			case a.jobs <- queuedGrant{grant: g, h: h}:
+			case a.jobs <- q:
 			case <-ctx.Done():
 				return nil
 			}
@@ -509,24 +574,101 @@ func (a *agent) fetchLoop(ctx context.Context) error {
 	return nil
 }
 
+// binPoll answers one lease poll over the binary stream, dialing (or
+// redialing) it first when none is live. Its outcomes map exactly onto
+// the JSON poll's: grants or Done fill lb, a 410 handshake surfaces as
+// its status so the caller re-registers, transport failures return a
+// plain error the caller backs off on — the stream is an optimization,
+// never a new failure mode.
+func (a *agent) binPoll(ctx context.Context, wid string, max int, lb *LeaseBatch) (int, error) {
+	bs := a.curStream()
+	if bs == nil {
+		var done bool
+		var status int
+		var err error
+		bs, done, status, err = a.dialStream(ctx, wid)
+		if err != nil {
+			return status, err
+		}
+		if done {
+			lb.Done = true
+			return http.StatusOK, nil
+		}
+		a.setStream(bs)
+	}
+	a.leaseSeq++
+	seq := a.leaseSeq
+	exps := a.o.Experiments
+	if !bs.send(func(dst []byte) []byte {
+		return appendLeaseReq(dst, binLeaseReq{Seq: seq, Max: max, WaitMillis: 15000, Experiments: exps})
+	}) {
+		return 0, fmt.Errorf("remote: binary stream write failed")
+	}
+	timer := time.NewTimer(25 * time.Second)
+	defer timer.Stop()
+	select {
+	case sb := <-bs.grants:
+		if sb.done {
+			// Done is honored whatever its sequence: the server's
+			// shutdown notice is unsolicited (seq 0).
+			lb.Done = true
+			return http.StatusOK, nil
+		}
+		if sb.seq != seq {
+			bs.close()
+			return 0, fmt.Errorf("remote: binary grants answered seq %d, want %d", sb.seq, seq)
+		}
+		lb.Grants = sb.grants
+		return http.StatusOK, nil
+	case <-bs.dead:
+		return 0, fmt.Errorf("remote: binary stream closed")
+	case <-timer.C:
+		// The server answers every poll within its 30s wait cap; a
+		// silent 25s says the stream is wedged, not empty.
+		bs.close()
+		return 0, fmt.Errorf("remote: binary lease poll timed out")
+	case <-ctx.Done():
+		return 0, ctx.Err()
+	}
+}
+
+// slotCtx is one executor slot's reusable cancellable job context: a
+// fresh context.WithCancel per job was two allocations and a
+// parent-child registration on the per-job path, and the cancel only
+// ever fires on a lease expiry — so the context is recreated after a
+// cancellation instead of before every job. The slot runs one job at a
+// time and h.cancel is cleared (under a.mu) before the slot moves on,
+// so a cancellation aimed at a finished job can never reach its
+// successor through the shared context.
+type slotCtx struct {
+	ctx    context.Context
+	cancel context.CancelFunc
+}
+
 // slotLoop is one executor slot: it drains the local job queue until
 // the fetcher closes it.
 func (a *agent) slotLoop(ctx context.Context) {
+	var sc slotCtx
+	defer func() {
+		if sc.cancel != nil {
+			sc.cancel()
+		}
+	}()
 	for q := range a.jobs {
 		if ctx.Err() != nil || a.runOver.Load() {
 			a.release(q.grant.LeaseID, q.h)
 			continue
 		}
-		a.runOne(ctx, q)
+		a.runOne(ctx, q, &sc)
 	}
 }
 
 // runOne executes one leased job and hands its response to the
-// reporter. The job gets its own cancellable context: if the server
-// expires the lease mid-job (the heartbeat answer lists it), training
-// is cancelled — its report would be rejected anyway, and the slot is
-// better spent on live work.
-func (a *agent) runOne(ctx context.Context, q queuedGrant) {
+// reporter. The job runs under the slot's cancellable context: if the
+// server expires the lease mid-job (the heartbeat answer lists it),
+// training is cancelled — its report would be rejected anyway, and the
+// slot is better spent on live work.
+func (a *agent) runOne(ctx context.Context, q queuedGrant, sc *slotCtx) {
 	g, h := q.grant, q.h
 	a.mu.Lock()
 	if h.expired {
@@ -537,10 +679,12 @@ func (a *agent) runOne(ctx context.Context, q queuedGrant) {
 		a.release(g.LeaseID, h)
 		return
 	}
-	jobCtx, cancel := context.WithCancel(ctx)
-	h.cancel = cancel
+	if sc.ctx == nil || sc.ctx.Err() != nil {
+		sc.ctx, sc.cancel = context.WithCancel(ctx)
+	}
+	jobCtx := sc.ctx
+	h.cancel = sc.cancel
 	a.mu.Unlock()
-	defer cancel()
 
 	var resp exec.Response
 	obj, err := a.o.Resolve(g.Experiment)
@@ -641,9 +785,10 @@ func (a *agent) flushReports(ctx context.Context, pending []pendingReport) []pen
 	// the current registration: an entry that expired (or predates a
 	// re-registration) was already requeued server-side, and its lease
 	// number may since have been reissued to a different job — posting
-	// it could settle the wrong lease.
+	// it could settle the wrong lease. The entries buffer is reused
+	// across flushes (the reporter goroutine is its only user).
 	a.mu.Lock()
-	entries := make([]ReportEntry, 0, len(pending))
+	entries := a.repEntries[:0]
 	for _, p := range pending {
 		if !p.h.expired && a.held[p.entry.LeaseID] == p.h {
 			entries = append(entries, p.entry)
@@ -680,16 +825,82 @@ func (a *agent) flushReports(ctx context.Context, pending []pendingReport) []pen
 				LeaseID: e.LeaseID, Response: e.Response}, &rr)
 		}
 	default:
-		var rr ReportBatchResult
-		deliver(ReportBatch{Version: ProtocolVersion, Token: a.o.Token, WorkerID: wid, Reports: entries}, &rr)
+		// Prefer the binary stream when one is live; fall back to the
+		// JSON batch endpoint (which binary servers keep serving) when
+		// it is down or mid-flush failure leaves delivery uncertain —
+		// a double delivery is harmless, the server rejects the
+		// already-settled leases.
+		delivered := false
+		if bs := a.curStream(); bs != nil {
+			delivered = a.binFlush(ctx, bs, entries)
+		}
+		if !delivered {
+			var rr ReportBatchResult
+			deliver(ReportBatch{Version: ProtocolVersion, Token: a.o.Token, WorkerID: wid, Reports: entries}, &rr)
+		}
 	}
 	// Delivered or not, these leases are no longer this worker's to
 	// heartbeat: delivered results are settled, and undelivered ones
 	// must expire so the server requeues their jobs.
-	for _, p := range pending {
-		a.release(p.entry.LeaseID, p.h)
-	}
+	a.releaseAll(pending)
+	a.repEntries = entries[:0]
 	return pending[:0]
+}
+
+// releaseAll drops a whole flush's settled leases under one lock hold
+// and wakes the fetcher once — the per-entry release was a lock round
+// trip per job at fleet batch sizes.
+func (a *agent) releaseAll(pending []pendingReport) {
+	a.mu.Lock()
+	for _, p := range pending {
+		if a.held[p.entry.LeaseID] == p.h {
+			if !p.h.done {
+				a.active--
+			}
+			delete(a.held, p.entry.LeaseID)
+		}
+	}
+	a.mu.Unlock()
+	a.kickFetch()
+}
+
+// binFlush delivers one report batch as a binary frame and waits for
+// the server's ack, keeping at most one batch outstanding. Rejected
+// entries need no handling (their leases expired; the jobs are already
+// requeued). false sends the caller to the JSON fallback.
+func (a *agent) binFlush(ctx context.Context, bs *binStream, entries []ReportEntry) bool {
+	a.repSeq++
+	seq := a.repSeq
+	// The conversion buffer is reused across flushes: send encodes the
+	// frame synchronously under the write lock, so the batch is dead the
+	// moment send returns.
+	reports := a.repBin[:0]
+	for _, e := range entries {
+		reports = append(reports, exec.BinResponseOf(e.LeaseID, e.Response))
+	}
+	a.repBin = reports
+	if !bs.send(func(dst []byte) []byte {
+		return appendReports(dst, binReports{Seq: seq, Reports: reports})
+	}) {
+		return false
+	}
+	timer := time.NewTimer(10 * time.Second)
+	defer timer.Stop()
+	select {
+	case ack := <-bs.acks:
+		if ack.Seq != seq {
+			bs.close()
+		}
+		return true
+	case <-bs.dead:
+		return false
+	case <-timer.C:
+		bs.close()
+		return false
+	case <-ctx.Done():
+		// The context owns the shutdown; undelivered leases expire.
+		return true
+	}
 }
 
 // heartbeatLoop extends every lease this worker holds — queued,
@@ -718,6 +929,17 @@ func (a *agent) heartbeatLoop(ctx context.Context, stop, done chan struct{}) {
 			if len(leases) == 0 {
 				continue
 			}
+			// Over a live binary stream the heartbeat is one frame,
+			// fire-and-forget: its ack applies asynchronously through
+			// the reader (markExpired). A dead or absent stream falls
+			// back to the JSON endpoint.
+			if bs := a.curStream(); bs != nil {
+				if bs.send(func(dst []byte) []byte {
+					return appendLeaseIDFrame(dst, frameHeartbeat, leases)
+				}) {
+					continue
+				}
+			}
 			var hr heartbeatResp
 			// Transport errors are ignored: a missed heartbeat only
 			// narrows the lease's remaining TTL.
@@ -729,30 +951,32 @@ func (a *agent) heartbeatLoop(ctx context.Context, stop, done chan struct{}) {
 			// Leases the server reports expired are already requeued
 			// elsewhere: cancel their running jobs so the slots free up,
 			// and mark queued ones so the slots skip them on dequeue.
-			a.mu.Lock()
-			for _, id := range hr.Expired {
-				if h := a.held[id]; h != nil {
-					h.expired = true
-					if h.cancel != nil {
-						h.cancel()
-					}
-				}
-			}
-			a.mu.Unlock()
+			a.markExpired(hr.Expired)
 		}
 	}
 }
 
+// encBufs pools the agents' JSON encode buffers: the reporter and
+// fetcher marshal a request on every poll and flush, and pooling the
+// buffer (instead of json.Marshal's fresh allocation) takes the
+// per-request garbage out of the steady-state pipeline.
+var encBufs = sync.Pool{New: func() interface{} { return new(bytes.Buffer) }}
+
 // post sends one JSON request and decodes the JSON reply. Non-2xx
 // statuses decode the server's error message into the returned error.
 func (a *agent) post(ctx context.Context, path string, in, out interface{}, timeout time.Duration) (int, error) {
-	body, err := json.Marshal(in)
-	if err != nil {
+	buf := encBufs.Get().(*bytes.Buffer)
+	buf.Reset()
+	// The pooled buffer outlives the transport's use of the request
+	// body: Do returns only after the request was fully written (or
+	// abandoned), so returning it on exit is safe.
+	defer encBufs.Put(buf)
+	if err := json.NewEncoder(buf).Encode(in); err != nil {
 		return 0, err
 	}
 	rctx, cancel := context.WithTimeout(ctx, timeout)
 	defer cancel()
-	req, err := http.NewRequestWithContext(rctx, http.MethodPost, a.o.Server+path, bytes.NewReader(body))
+	req, err := http.NewRequestWithContext(rctx, http.MethodPost, a.o.Server+path, bytes.NewReader(buf.Bytes()))
 	if err != nil {
 		return 0, err
 	}

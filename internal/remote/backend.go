@@ -30,14 +30,21 @@ type result struct {
 // Backend drives the shared execution engine over a worker fleet
 // connected to an embedded lease server. The engine calls every method
 // from a single goroutine; job outcomes arrive asynchronously from the
-// server's HTTP handler and sweeper goroutines over a buffered channel.
+// server's HTTP handler and sweeper goroutines into a double-buffered
+// queue (an append under a mutex is several times cheaper than a
+// channel send on the per-job path, and can never block a handler).
 type Backend struct {
 	srv      *Server
 	capacity int
-	trials   map[int]*trialState
-	results  chan result
-	start    time.Time
-	closed   bool
+	// trials is indexed by trial ID — ASHA issues dense IDs, so a slice
+	// beats a map on the per-job lookup path.
+	trials []*trialState
+	start  time.Time
+	closed bool
+
+	resMu   sync.Mutex
+	results []result      // settled jobs awaiting the engine
+	resCh   chan struct{} // signaled (cap 1) when results goes non-empty
 
 	// live is the backend's own running tally of the run, kept for
 	// LiveStatus: the admin API and /metrics read it from HTTP handler
@@ -62,11 +69,35 @@ func NewBackend(srv *Server, capacity int) *Backend {
 	return &Backend{
 		srv:      srv,
 		capacity: capacity,
-		trials:   make(map[int]*trialState),
-		// Room for every in-flight job plus the Failed flushes Close
-		// produces, so a done callback can never block an HTTP handler.
-		results: make(chan result, 2*capacity+4),
-		start:   time.Now(),
+		resCh:    make(chan struct{}, 1),
+		start:    time.Now(),
+	}
+}
+
+// trial returns the trial's state record, creating it on first use.
+func (b *Backend) trial(id int) *trialState {
+	if id >= len(b.trials) {
+		grown := make([]*trialState, id+1+len(b.trials)/2)
+		copy(grown, b.trials)
+		b.trials = grown
+	}
+	t := b.trials[id]
+	if t == nil {
+		t = &trialState{}
+		b.trials[id] = t
+	}
+	return t
+}
+
+// deliver queues one settled job for the engine. Called from server
+// goroutines; never blocks.
+func (b *Backend) deliver(r result) {
+	b.resMu.Lock()
+	b.results = append(b.results, r)
+	b.resMu.Unlock()
+	select {
+	case b.resCh <- struct{}{}:
+	default:
 	}
 }
 
@@ -84,44 +115,54 @@ func (b *Backend) Launch(job core.Job) {
 	b.live.issued++
 	b.live.running++
 	b.live.Unlock()
-	t := b.trials[job.TrialID]
-	if t == nil {
-		t = &trialState{}
-		b.trials[job.TrialID] = t
-	}
-	if job.InheritFrom >= 0 {
+	t := b.trial(job.TrialID)
+	if job.InheritFrom >= 0 && job.InheritFrom < len(b.trials) {
 		if donor := b.trials[job.InheritFrom]; donor != nil {
 			t.resource = donor.resource
 			t.state = donor.state
 		}
 	}
-	results := b.results
 	b.srv.Submit(JobPayload{
-		Trial:  job.TrialID,
-		Config: job.Config.Map(),
-		From:   t.resource,
-		To:     job.TargetResource,
-		State:  t.state,
+		Trial: job.TrialID,
+		// The dense Names/Vec form: the searchspace's live slices, so
+		// every job of one space shares a backing array and the binary
+		// wire's table dedup is a pointer compare. The server rebuilds
+		// the map lazily for JSON-wire workers.
+		Names: job.Config.Names(),
+		Vec:   job.Config.Values(),
+		From:  t.resource,
+		To:    job.TargetResource,
+		State: t.state,
 	}, func(out Outcome) {
-		results <- result{job: job, out: out}
+		b.deliver(result{job: job, out: out})
 	})
 }
 
 // Await blocks for one settled job then drains every other pending one.
 func (b *Backend) Await(ctx context.Context) ([]backend.Completion, error) {
-	var batch []backend.Completion
-	select {
-	case r := <-b.results:
-		batch = append(batch, b.apply(r))
-	case <-ctx.Done():
-		return nil, ctx.Err()
-	}
 	for {
-		select {
-		case r := <-b.results:
-			batch = append(batch, b.apply(r))
-		default:
+		b.resMu.Lock()
+		drained := b.results
+		b.results = nil
+		b.resMu.Unlock()
+		if len(drained) > 0 {
+			batch := make([]backend.Completion, len(drained))
+			for i, r := range drained {
+				batch[i] = b.apply(r)
+			}
+			// Hand the drained buffer back for reuse if no new results
+			// raced in (the common case on the hot path).
+			b.resMu.Lock()
+			if b.results == nil {
+				b.results = drained[:0]
+			}
+			b.resMu.Unlock()
 			return batch, nil
+		}
+		select {
+		case <-b.resCh:
+		case <-ctx.Done():
+			return nil, ctx.Err()
 		}
 	}
 }
@@ -139,7 +180,7 @@ func (b *Backend) apply(r result) backend.Completion {
 	case r.out.Err != "":
 		c.Err = fmt.Errorf("remote: objective failed for trial %d: %s", r.job.TrialID, r.out.Err)
 	default:
-		t := b.trials[r.job.TrialID]
+		t := b.trial(r.job.TrialID)
 		t.resource = r.job.TargetResource
 		t.state = r.out.State
 		c.Loss = r.out.Loss
@@ -199,9 +240,12 @@ func (b *Backend) Close() error {
 
 // Stats implements backend.Backend.
 func (b *Backend) Stats() backend.Stats {
-	st := backend.Stats{Trials: len(b.trials)}
+	st := backend.Stats{}
 	for _, t := range b.trials {
-		st.TotalResource += t.resource
+		if t != nil {
+			st.Trials++
+			st.TotalResource += t.resource
+		}
 	}
 	return st
 }
@@ -210,7 +254,9 @@ func (b *Backend) Stats() backend.Stats {
 // are already the opaque JSON workers report.
 func (b *Backend) SnapshotTrials(fn func(trial int, resource float64, state json.RawMessage)) {
 	for id, t := range b.trials {
-		fn(id, t.resource, t.state)
+		if t != nil {
+			fn(id, t.resource, t.state)
+		}
 	}
 }
 
@@ -221,5 +267,6 @@ func (b *Backend) SnapshotTrials(fn func(trial int, resource float64, state json
 // job and a late report is rejected, so the retried job is delivered
 // exactly once.
 func (b *Backend) RestoreTrial(trial int, resource float64, state json.RawMessage) {
-	b.trials[trial] = &trialState{resource: resource, state: state}
+	t := b.trial(trial)
+	t.resource, t.state = resource, state
 }

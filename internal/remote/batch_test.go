@@ -205,17 +205,27 @@ func TestBatchReportRejectsMalformedBatches(t *testing.T) {
 func TestAgentFallsBackToLegacyServer(t *testing.T) {
 	const jobs = 6
 	type legacyState struct {
-		mu       sync.Mutex
-		leased   int
-		settled  map[uint64]float64
-		batchReq int
+		mu        sync.Mutex
+		leased    int
+		settled   map[uint64]float64
+		batchReq  int
+		streamReq int
 	}
 	st := &legacyState{settled: make(map[uint64]float64)}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/register", func(w http.ResponseWriter, r *http.Request) {
-		// PR 3 reply shape: no batch/prefetch/flush advert.
+		// PR 3 reply shape: no batch/prefetch/flush advert (and no
+		// binary-wire advert either).
 		w.Header().Set("Content-Type", "application/json")
 		_, _ = w.Write([]byte(`{"v":1,"worker":"w1","leaseTTLms":60000}`))
+	})
+	mux.HandleFunc("/v1/stream", func(w http.ResponseWriter, r *http.Request) {
+		// A pre-binary server has no such endpoint; the stub records the
+		// hit so the test fails loudly if the agent ever dials it.
+		st.mu.Lock()
+		st.streamReq++
+		st.mu.Unlock()
+		http.NotFound(w, r)
 	})
 	mux.HandleFunc("/v1/lease", func(w http.ResponseWriter, r *http.Request) {
 		st.mu.Lock()
@@ -277,8 +287,95 @@ func TestAgentFallsBackToLegacyServer(t *testing.T) {
 	if st.batchReq != 0 {
 		t.Fatalf("agent sent %d ReportBatch requests to a pre-batching server", st.batchReq)
 	}
+	if st.streamReq != 0 {
+		t.Fatalf("agent dialed /v1/stream %d times on a pre-binary server", st.streamReq)
+	}
 	if len(st.settled) != jobs {
 		t.Fatalf("legacy server settled %d of %d jobs: %v", len(st.settled), jobs, st.settled)
+	}
+}
+
+// TestBinaryAgentFallsBackToBatchedJSONServer pins the other
+// new-worker/old-tuner shade: a PR 5-era server advertises batching
+// but not the binary wire ("bin" absent). A binary-capable agent must
+// stay on the batched JSON wire — and never dial /v1/stream — while
+// moving every job.
+func TestBinaryAgentFallsBackToBatchedJSONServer(t *testing.T) {
+	const jobs = 6
+	type batchedState struct {
+		mu        sync.Mutex
+		leased    int
+		settled   map[uint64]float64
+		streamReq int
+	}
+	st := &batchedState{settled: make(map[uint64]float64)}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/register", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write([]byte(`{"v":1,"worker":"w1","leaseTTLms":60000,"batch":3,"prefetch":4,"flushMs":20}`))
+	})
+	mux.HandleFunc("/v1/stream", func(w http.ResponseWriter, r *http.Request) {
+		st.mu.Lock()
+		st.streamReq++
+		st.mu.Unlock()
+		http.NotFound(w, r)
+	})
+	mux.HandleFunc("/v1/lease", func(w http.ResponseWriter, r *http.Request) {
+		st.mu.Lock()
+		defer st.mu.Unlock()
+		w.Header().Set("Content-Type", "application/json")
+		if st.leased >= jobs {
+			_, _ = w.Write([]byte(`{"v":1,"done":true}`))
+			return
+		}
+		st.leased++
+		fmt.Fprintf(w, `{"v":1,"grants":[{"lease":%d,"job":{"v":1,"id":%d,"trial":%d,"config":{"momentum":0.5},"from":0,"to":2}}]}`,
+			st.leased, st.leased, st.leased)
+	})
+	mux.HandleFunc("/v1/report", func(w http.ResponseWriter, r *http.Request) {
+		var rb ReportBatch
+		_ = json.NewDecoder(r.Body).Decode(&rb)
+		st.mu.Lock()
+		defer st.mu.Unlock()
+		accepted := make([]bool, len(rb.Reports))
+		for i, e := range rb.Reports {
+			st.settled[e.LeaseID] = e.Response.Loss
+			accepted[i] = true
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(ReportBatchResult{Version: ProtocolVersion, Accepted: accepted})
+	})
+	mux.HandleFunc("/v1/heartbeat", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write([]byte(`{"v":1}`))
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := &http.Server{Handler: mux}
+	go func() { _ = hs.Serve(ln) }()
+	defer hs.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	err = ServeAgent(ctx, AgentOptions{
+		Server: "http://" + ln.Addr().String(),
+		Slots:  2,
+		Resolve: func(string) (exec.Objective, error) {
+			return pureObjective, nil
+		},
+	})
+	if err != nil {
+		t.Fatalf("agent against batched JSON server: %v", err)
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.streamReq != 0 {
+		t.Fatalf("agent dialed /v1/stream %d times against a server that never advertised it", st.streamReq)
+	}
+	if len(st.settled) != jobs {
+		t.Fatalf("batched JSON server settled %d of %d jobs: %v", len(st.settled), jobs, st.settled)
 	}
 }
 
@@ -428,7 +525,8 @@ func TestDriveWithBatchedPrefetchingAgent(t *testing.T) {
 	go func() {
 		agentDone <- ServeAgent(ctx, AgentOptions{
 			Server: srv.URL(), Slots: 2, // Batch/Prefetch/Flush adopt the server's advert
-			Resolve: func(string) (exec.Objective, error) { return pureObjective, nil },
+			Resolve:  func(string) (exec.Objective, error) { return pureObjective, nil },
+			JSONWire: true, // this test measures the JSON batch path specifically
 		})
 	}()
 	run, err := backend.Drive(ctx, sched, be, backend.Options{MaxJobs: maxJobs})
@@ -446,6 +544,58 @@ func TestDriveWithBatchedPrefetchingAgent(t *testing.T) {
 	}
 	if n := srv.BatchedReports(); n == 0 {
 		t.Fatal("no results traveled through batched reports")
+	}
+	if n := srv.BinaryGrants(); n != 0 {
+		t.Fatalf("%d jobs traveled through the binary wire despite JSONWire", n)
+	}
+	if err := <-agentDone; err != nil {
+		t.Fatalf("agent: %v", err)
+	}
+}
+
+// TestDriveWithBinaryStreamAgent is the binary-wire twin: a default
+// agent against a default server negotiates the binary stream, and the
+// whole run's grants and reports travel as frames — none through the
+// JSON batch endpoints.
+func TestDriveWithBinaryStreamAgent(t *testing.T) {
+	const maxJobs = 120
+	srv, err := NewServer(Options{LeaseTTL: 10 * time.Second, BatchSize: 4, Prefetch: 8,
+		FlushInterval: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	be := NewBackend(srv, 12)
+	space := testSpace()
+	sched := core.NewASHA(core.ASHAConfig{
+		Space: space, RNG: xrand.New(17), Eta: 2, MinResource: 1, MaxResource: 16,
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	agentDone := make(chan error, 1)
+	go func() {
+		agentDone <- ServeAgent(ctx, AgentOptions{
+			Server: srv.URL(), Slots: 2,
+			Resolve: func(string) (exec.Objective, error) { return pureObjective, nil },
+		})
+	}()
+	run, err := backend.Drive(ctx, sched, be, backend.Options{MaxJobs: maxJobs})
+	if err != nil {
+		t.Fatalf("drive failed: %v", err)
+	}
+	if run.CompletedJobs != maxJobs || run.FailedJobs != 0 {
+		t.Fatalf("completed %d / failed %d of %d jobs", run.CompletedJobs, run.FailedJobs, maxJobs)
+	}
+	if n := srv.ExpiredLeases(); n != 0 {
+		t.Fatalf("%d leases expired during a healthy binary run", n)
+	}
+	if n := srv.BinaryGrants(); n == 0 {
+		t.Fatal("no jobs traveled through binary grant frames")
+	}
+	if n := srv.BinaryReports(); n == 0 {
+		t.Fatal("no results traveled through binary report frames")
+	}
+	if n := srv.BatchedGrants(); n != 0 {
+		t.Fatalf("%d jobs leaked onto the JSON batch wire during a healthy binary run", n)
 	}
 	if err := <-agentDone; err != nil {
 		t.Fatalf("agent: %v", err)

@@ -1,0 +1,299 @@
+package remote
+
+// Agent side of the binary streaming wire. After a registration reply
+// advertises "bin", the agent's fetcher dials /v1/stream, upgrades the
+// connection, and the whole pipeline — lease polls, report flushes,
+// heartbeats — multiplexes over the one socket as binary frames. A
+// single reader goroutine dispatches the server's answers: grant
+// batches to the fetcher, report acks to the reporter (each over a
+// capacity-one channel, matching the single-outstanding-per-type
+// protocol), heartbeat acks applied directly via a callback.
+//
+// The stream is an optimization, never a dependency: if it dies, the
+// fetcher redials it on the next poll while reports and heartbeats
+// fall back to the JSON endpoints a binary server still serves — and a
+// handshake answered 410 routes through the agent's normal
+// re-registration path, exactly as a JSON lease poll would.
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/url"
+	"sync"
+	"time"
+
+	"repro/internal/exec"
+)
+
+// clientTable is the agent's record of one server-defined experiment
+// table: the experiment grants citing it belong to and the parameter
+// names its config vectors align with.
+type clientTable struct {
+	experiment string
+	params     []string
+}
+
+// streamBatch is one decoded grants frame, converted off the shared
+// read buffer and ready for the pipeline.
+type streamBatch struct {
+	seq    uint64
+	done   bool
+	grants []LeaseGrant
+}
+
+// binStream is one live upgraded connection.
+type binStream struct {
+	c  net.Conn
+	br *bufio.Reader
+
+	// wmu serializes frame writes from the fetcher, reporter and
+	// heartbeat goroutines; enc is the shared encode buffer it guards.
+	wmu sync.Mutex
+	bw  *bufio.Writer
+	enc []byte
+
+	grants chan streamBatch  // reader -> fetcher (cap 1)
+	acks   chan binReportAck // reader -> reporter (cap 1)
+	// onExpired applies a heartbeat ack's expired-lease list; called
+	// from the reader goroutine.
+	onExpired func([]uint64)
+
+	// tables indexes the server's table definitions; reader-only state.
+	tables map[uint64]clientTable
+
+	dead      chan struct{}
+	closeOnce sync.Once
+}
+
+// dialStream performs the /v1/stream handshake for worker wid. On
+// upgrade it returns the live stream; done reports a server answering
+// "the run is over" instead of upgrading; any other rejection returns
+// its HTTP status (0 for transport errors) so the caller can reuse the
+// JSON poll's status handling (410 -> re-register).
+func (a *agent) dialStream(ctx context.Context, wid string) (bs *binStream, done bool, status int, err error) {
+	u, err := url.Parse(a.o.Server)
+	if err != nil {
+		return nil, false, 0, err
+	}
+	addr := u.Host
+	if u.Port() == "" {
+		addr = net.JoinHostPort(u.Hostname(), "80")
+	}
+	d := net.Dialer{Timeout: 5 * time.Second}
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return nil, false, 0, err
+	}
+	body, err := json.Marshal(streamReq{Version: ProtocolVersion, Bin: BinProtocolVersion, Token: a.o.Token, WorkerID: wid})
+	if err != nil {
+		_ = conn.Close()
+		return nil, false, 0, err
+	}
+	req, err := http.NewRequest(http.MethodPost, a.o.Server+"/v1/stream", bytes.NewReader(body))
+	if err != nil {
+		_ = conn.Close()
+		return nil, false, 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Connection", "Upgrade")
+	req.Header.Set("Upgrade", streamProto)
+	// The handshake itself is bounded; the upgraded stream is not.
+	_ = conn.SetDeadline(time.Now().Add(10 * time.Second))
+	if err := req.Write(conn); err != nil {
+		_ = conn.Close()
+		return nil, false, 0, err
+	}
+	br := bufio.NewReader(conn)
+	resp, err := http.ReadResponse(br, req)
+	if err != nil {
+		_ = conn.Close()
+		return nil, false, 0, err
+	}
+	if resp.StatusCode == http.StatusSwitchingProtocols {
+		_ = conn.SetDeadline(time.Time{})
+		bs := &binStream{
+			c:      conn,
+			br:     br,
+			bw:     bufio.NewWriter(conn),
+			grants: make(chan streamBatch, 1),
+			acks:   make(chan binReportAck, 1),
+			tables: make(map[uint64]clientTable),
+			dead:   make(chan struct{}),
+		}
+		bs.onExpired = a.markExpired
+		go bs.reader()
+		return bs, false, resp.StatusCode, nil
+	}
+	defer resp.Body.Close()
+	defer conn.Close()
+	if resp.StatusCode == http.StatusOK {
+		// A closed or draining server answers the handshake in JSON
+		// with a Done batch rather than upgrading.
+		var lb LeaseBatch
+		if err := json.NewDecoder(resp.Body).Decode(&lb); err == nil && lb.Done {
+			return nil, true, resp.StatusCode, nil
+		}
+		return nil, false, 0, fmt.Errorf("remote: /v1/stream: unexpected 200 reply without done")
+	}
+	var we wireError
+	_ = json.NewDecoder(resp.Body).Decode(&we)
+	if we.Error == "" {
+		we.Error = resp.Status
+	}
+	return nil, false, resp.StatusCode, fmt.Errorf("remote: /v1/stream: %s", we.Error)
+}
+
+// markExpired is the heartbeat-ack application shared by the JSON loop
+// and the stream reader: leases the server no longer recognizes are
+// already requeued elsewhere, so running jobs are cancelled and queued
+// ones marked for the slots to skip.
+func (a *agent) markExpired(ids []uint64) {
+	a.mu.Lock()
+	for _, id := range ids {
+		if h := a.held[id]; h != nil {
+			h.expired = true
+			if h.cancel != nil {
+				h.cancel()
+			}
+		}
+	}
+	a.mu.Unlock()
+}
+
+// alive reports whether the stream is still usable.
+func (bs *binStream) alive() bool {
+	select {
+	case <-bs.dead:
+		return false
+	default:
+		return true
+	}
+}
+
+// close tears the stream down exactly once; every send and wait
+// unblocks via the dead channel.
+func (bs *binStream) close() {
+	bs.closeOnce.Do(func() {
+		close(bs.dead)
+		_ = bs.c.Close()
+	})
+}
+
+// send encodes one frame body into the shared buffer and writes it
+// under the write lock. A failed write kills the stream.
+func (bs *binStream) send(build func(dst []byte) []byte) bool {
+	bs.wmu.Lock()
+	defer bs.wmu.Unlock()
+	bs.enc = build(bs.enc[:0])
+	var hdr [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(hdr[:], uint64(len(bs.enc)))
+	if _, err := bs.bw.Write(hdr[:n]); err != nil {
+		bs.close()
+		return false
+	}
+	if _, err := bs.bw.Write(bs.enc); err != nil {
+		bs.close()
+		return false
+	}
+	if err := bs.bw.Flush(); err != nil {
+		bs.close()
+		return false
+	}
+	return true
+}
+
+// reader dispatches server frames until the stream dies. Grants are
+// converted to pipeline LeaseGrants here — rebuilding the name-keyed
+// config from the table and copying the checkpoint — because the frame
+// buffer is reused for the next read.
+func (bs *binStream) reader() {
+	defer bs.close()
+	var buf []byte
+	vecTotal := 256 // float-slab sizing: floats the last grants frame carried
+	for {
+		body, err := readFrame(bs.br, buf)
+		if err != nil {
+			return
+		}
+		buf = body[:0]
+		r := exec.NewWireReader(body[1:])
+		switch body[0] {
+		case frameGrants:
+			// One fresh slab per frame backs every grant's config vector
+			// (the vectors outlive the frame, so the slab is handed over,
+			// not reused).
+			r.SetFloatSlab(make([]float64, 0, vecTotal))
+			g, err := decodeGrants(r, bs.tableLen)
+			if err != nil {
+				return
+			}
+			if used := r.FloatSlabUsed(); used > 0 {
+				vecTotal = used + used/4
+			}
+			for _, t := range g.Tables {
+				bs.tables[t.Index] = clientTable{experiment: t.Experiment, params: t.Params}
+			}
+			sb := streamBatch{seq: g.Seq, done: g.Done}
+			if n := len(g.Grants); n > 0 {
+				sb.grants = make([]LeaseGrant, 0, n)
+				// The grants' checkpoints stay aliased to this frame's
+				// buffer (RequestShared makes no copy): hand the buffer
+				// over to the batch and let the next read allocate a
+				// fresh one — one buffer per frame instead of one
+				// checkpoint copy per job.
+				buf = nil
+			}
+			for _, gr := range g.Grants {
+				ct := bs.tables[gr.Table]
+				job, err := gr.Job.RequestShared(ct.params)
+				if err != nil {
+					return
+				}
+				sb.grants = append(sb.grants, LeaseGrant{
+					LeaseID:    gr.Job.ID,
+					Experiment: ct.experiment,
+					Job:        job,
+				})
+			}
+			select {
+			case bs.grants <- sb:
+			default:
+				// Two unconsumed grant answers: the protocol allows a
+				// single outstanding poll, so the stream lost sync.
+				return
+			}
+		case frameReportAck:
+			ack, err := decodeReportAck(r)
+			if err != nil {
+				return
+			}
+			select {
+			case bs.acks <- ack:
+			default:
+				return
+			}
+		case frameHeartbeatAck:
+			ids, err := decodeLeaseIDs(r)
+			if err != nil {
+				return
+			}
+			if len(ids) > 0 && bs.onExpired != nil {
+				bs.onExpired(ids)
+			}
+		default:
+			return
+		}
+	}
+}
+
+// tableLen resolves already-defined table indexes for decodeGrants.
+func (bs *binStream) tableLen(idx uint64) (int, bool) {
+	ct, ok := bs.tables[idx]
+	return len(ct.params), ok
+}

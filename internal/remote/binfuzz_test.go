@@ -1,0 +1,178 @@
+package remote
+
+// Native fuzz targets for the binary streaming wire (binwire.go),
+// mirroring the JSON batch fuzzers: arbitrary bytes must never panic a
+// frame decoder, truncated/duplicated/oversized frames must be
+// rejected whole (an error, never a partial message), and any frame
+// that decodes must re-encode and re-decode stably — otherwise a
+// server and a worker could silently disagree about which jobs a frame
+// moved. Byte-identity is asserted between the first and second
+// re-encoding (not against the fuzz input, which may spell varints
+// non-minimally).
+//
+// Seed corpora live in testdata/fuzz/<FuzzName>/ (committed) plus the
+// f.Add calls below. Run with:
+//
+//	go test ./internal/remote -fuzz FuzzBinaryFrame -fuzztime 30s
+//	go test ./internal/remote -fuzz FuzzBinaryLeaseBatch -fuzztime 30s
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/exec"
+)
+
+// reencodeFrame re-encodes a decodeAnyFrame result; typ disambiguates
+// the two lease-ID frame shapes, which decode identically.
+func reencodeFrame(typ byte, v interface{}) []byte {
+	switch m := v.(type) {
+	case binLeaseReq:
+		return appendLeaseReq(nil, m)
+	case binGrants:
+		return appendGrants(nil, m)
+	case binReports:
+		return appendReports(nil, m)
+	case binReportAck:
+		return appendReportAck(nil, m)
+	case []uint64:
+		return appendLeaseIDFrame(nil, typ, m)
+	}
+	return nil
+}
+
+// seedFrames builds one valid frame of every type.
+func seedFrames() [][]byte {
+	grants := binGrants{Seq: 7, Tables: []binTable{
+		{Index: 0, Experiment: "cifar-asha", Params: []string{"lr", "momentum"}},
+		{Index: 1, Params: nil}, // the anonymous single-experiment run
+	}, Grants: []binGrant{
+		{Table: 0, Job: exec.BinRequest{ID: 101, Trial: 3, From: 0, To: 4, Vec: []float64{1e-3, 0.9}}},
+		{Table: 0, Job: exec.BinRequest{ID: 102, Trial: 9, From: 4, To: 16, Vec: []float64{3e-4, 0.99},
+			State: []byte(`{"loss":0.5,"w":[1,2,3]}`)}},
+		{Table: 1, Job: exec.BinRequest{ID: 103, Trial: 1, To: 2}},
+	}}
+	reports := binReports{Seq: 3, Reports: []exec.BinResponse{
+		{ID: 101, Loss: 0.25, State: []byte(`{"epoch":4}`)},
+		{ID: 102, IsErr: true, Err: "objective exploded"},
+	}}
+	return [][]byte{
+		appendLeaseReq(nil, binLeaseReq{Seq: 1, Max: 8, WaitMillis: 15000}),
+		appendLeaseReq(nil, binLeaseReq{Seq: 2, Max: 1, Experiments: []string{"cifar-asha", "ptb"}}),
+		appendGrants(nil, grants),
+		appendGrants(nil, binGrants{Seq: 9, Done: true}),
+		appendReports(nil, reports),
+		appendReportAck(nil, binReportAck{Seq: 3, Accepted: []bool{true, false, true, true, true, false, true, true, true}}),
+		appendLeaseIDFrame(nil, frameHeartbeat, []uint64{101, 102, 1 << 40}),
+		appendLeaseIDFrame(nil, frameHeartbeatAck, []uint64{102}),
+	}
+}
+
+func FuzzBinaryFrame(f *testing.F) {
+	for _, b := range seedFrames() {
+		f.Add(b)
+	}
+	// Corrupted variants: truncation, duplication, a hostile count, an
+	// unknown type, trailing garbage.
+	valid := seedFrames()
+	f.Add(valid[2][:len(valid[2])-3])
+	f.Add(append(append([]byte(nil), valid[4]...), valid[4][1:]...))
+	f.Add([]byte{frameReports, 0x01, 0xff, 0xff, 0xff, 0xff, 0x0f})
+	f.Add([]byte{0x7f, 0x00})
+	f.Add(append(append([]byte(nil), valid[0]...), 0xde, 0xad))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		v, err := decodeAnyFrame(data)
+		if err != nil {
+			return
+		}
+		enc := reencodeFrame(data[0], v)
+		if enc == nil {
+			t.Fatalf("decoder returned unexpected type %T", v)
+		}
+		// Whatever decoded must re-encode under the same type byte.
+		if enc[0] != data[0] {
+			t.Fatalf("re-encoded frame type 0x%02x, decoded from 0x%02x", enc[0], data[0])
+		}
+		back, err := decodeAnyFrame(enc)
+		if err != nil {
+			t.Fatalf("re-encoded frame failed to decode: %v", err)
+		}
+		enc2 := reencodeFrame(enc[0], back)
+		if !bytes.Equal(enc, enc2) {
+			t.Fatalf("frame encoding not stable:\n % x\n % x", enc, enc2)
+		}
+	})
+}
+
+// FuzzBinaryLeaseBatch drills into the grants frame — the richest
+// decoder — with the connection-table context the stream reader runs
+// it under: indexes 0..3 are already defined with 0..3 parameters, and
+// frames may reference those or define their own.
+func FuzzBinaryLeaseBatch(f *testing.F) {
+	ambient := func(idx uint64) (int, bool) {
+		if idx < 4 {
+			return int(idx), true
+		}
+		return 0, false
+	}
+	add := func(g binGrants) { f.Add(appendGrants(nil, g)[1:]) } // body after the type byte
+	add(binGrants{Seq: 1, Grants: []binGrant{
+		{Table: 2, Job: exec.BinRequest{ID: 11, Trial: 4, To: 8, Vec: []float64{0.5, 2}}},
+		{Table: 0, Job: exec.BinRequest{ID: 12, Trial: 5, To: 8}},
+	}})
+	add(binGrants{Seq: 2, Tables: []binTable{{Index: 7, Experiment: "ptb", Params: []string{"dropout"}}},
+		Grants: []binGrant{
+			{Table: 7, Job: exec.BinRequest{ID: 21, Trial: 1, To: 2, Vec: []float64{0.3},
+				State: []byte("ckpt")}},
+			{Table: 3, Job: exec.BinRequest{ID: 22, Trial: 2, To: 2, Vec: []float64{1, 2, 3}}},
+		}})
+	add(binGrants{Seq: 3, Done: true})
+	// Structural violations the decoder must reject whole: a duplicated
+	// lease, an undefined table, a vector/table length mismatch.
+	f.Add(appendGrants(nil, binGrants{Grants: []binGrant{
+		{Table: 0, Job: exec.BinRequest{ID: 5}}, {Table: 0, Job: exec.BinRequest{ID: 5}},
+	}})[1:])
+	f.Add(appendGrants(nil, binGrants{Grants: []binGrant{{Table: 9, Job: exec.BinRequest{ID: 5}}}})[1:])
+	f.Add(appendGrants(nil, binGrants{Grants: []binGrant{
+		{Table: 1, Job: exec.BinRequest{ID: 5, Vec: []float64{1, 2, 3}}},
+	}})[1:])
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := decodeGrants(exec.NewWireReader(data), ambient)
+		if err != nil {
+			return
+		}
+		seen := make(map[uint64]bool, len(g.Grants))
+		tables := make(map[uint64]int, len(g.Tables))
+		for _, tb := range g.Tables {
+			if n, ok := tables[tb.Index]; ok && n >= 0 {
+				t.Fatalf("decoder accepted duplicated table %d", tb.Index)
+			}
+			tables[tb.Index] = len(tb.Params)
+		}
+		for _, gr := range g.Grants {
+			if seen[gr.Job.ID] {
+				t.Fatalf("decoder accepted duplicated lease %d", gr.Job.ID)
+			}
+			seen[gr.Job.ID] = true
+			want, ok := tables[gr.Table]
+			if !ok {
+				want, ok = ambient(gr.Table)
+			}
+			if !ok {
+				t.Fatalf("decoder accepted undefined table %d", gr.Table)
+			}
+			if len(gr.Job.Vec) != want {
+				t.Fatalf("decoder accepted a %d-value vector against a %d-param table", len(gr.Job.Vec), want)
+			}
+		}
+		enc := appendGrants(nil, g)[1:]
+		back, err := decodeGrants(exec.NewWireReader(enc), ambient)
+		if err != nil {
+			t.Fatalf("re-encoded grants failed to decode: %v", err)
+		}
+		enc2 := appendGrants(nil, back)[1:]
+		if !bytes.Equal(enc, enc2) {
+			t.Fatalf("grants encoding not stable:\n % x\n % x", enc, enc2)
+		}
+	})
+}

@@ -1,0 +1,423 @@
+package remote
+
+// The binary streaming lease wire (PR 7). The batched JSON wire
+// (wire.go) amortizes the HTTP round trip but still pays JSON encode/
+// decode, name-keyed configs and base64 checkpoints on every job —
+// ~33 allocations and ~4KB of wire per job, capping the fleet path at
+// ~61k jobs/sec while the scheduler core sustains ~1.18M decisions/sec.
+// This file is the dense replacement: length-prefixed binary frames
+// spoken over one persistent connection per worker (stream.go server
+// side, binclient.go agent side), multiplexing lease polls, report
+// batches and heartbeats. Job configs travel as bare []float64 vectors
+// aligned with a per-connection parameter-name table (sent once per
+// experiment, never per job), checkpoints as raw bytes.
+//
+// A frame is `uvarint(len(body)) || body`, body[0] the frame type.
+// Worker-to-server types sit below 0x80, server-to-worker types at or
+// above it. Lease polls and report batches carry a sequence number the
+// answering frame echoes, so the single-outstanding-per-type client can
+// assert it never pairs an answer with the wrong request. Heartbeats
+// are fire-and-forget: the ack applies asynchronously.
+//
+// The decoders are the hardening surface (see fuzz_test.go): arbitrary
+// bytes never panic, truncated/duplicated/oversized frames are
+// rejected whole, and every frame that decodes re-encodes to identical
+// bytes. Element counts are validated against the bytes actually
+// present before any allocation, so a hostile count cannot balloon
+// memory.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/exec"
+)
+
+// BinProtocolVersion is the version of the binary streaming wire a
+// server advertises in its registration reply ("bin"); 0 — the field
+// absent — means the server predates the binary wire and the agent
+// stays on JSON.
+const BinProtocolVersion = exec.BinWireVersion
+
+// maxFrameBody bounds one frame's body: far above any sane batch
+// (checkpoints are small JSON blobs), far below anything that could
+// exhaust memory on a hostile length prefix.
+const maxFrameBody = 16 << 20
+
+// Frame types.
+const (
+	frameLease     = 0x01 // worker→server: lease poll
+	frameReports   = 0x02 // worker→server: report batch
+	frameHeartbeat = 0x03 // worker→server: extend held leases
+
+	frameGrants       = 0x81 // server→worker: grant batch (answers frameLease; Done ends the run)
+	frameReportAck    = 0x82 // server→worker: per-entry acceptance (answers frameReports)
+	frameHeartbeatAck = 0x83 // server→worker: leases the worker no longer holds
+)
+
+// appendFrame wraps body (type byte included) in its length prefix.
+func appendFrame(dst, body []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(body)))
+	return append(dst, body...)
+}
+
+// readFrame reads one length-prefixed frame body into buf (grown as
+// needed) and returns the filled prefix. Oversized frames are a
+// protocol error that kills the connection — there is no resync point
+// in a corrupted length-prefixed stream.
+func readFrame(br *bufio.Reader, buf []byte) ([]byte, error) {
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, fmt.Errorf("remote: binary frame with empty body")
+	}
+	if n > maxFrameBody {
+		return nil, fmt.Errorf("remote: binary frame of %d bytes exceeds the %d limit", n, maxFrameBody)
+	}
+	if uint64(cap(buf)) < n {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if _, err := io.ReadFull(br, buf); err != nil {
+		return nil, fmt.Errorf("remote: binary frame truncated: %w", err)
+	}
+	return buf, nil
+}
+
+// --- frame messages ---
+
+// binLeaseReq is one lease poll: grant up to Max jobs of the named
+// experiments (empty = any), long-polling up to WaitMillis.
+type binLeaseReq struct {
+	Seq        uint64
+	Max        int
+	WaitMillis int64
+	// Experiments restricts grants exactly as leaseReq.Experiments.
+	Experiments []string
+}
+
+func appendLeaseReq(dst []byte, q binLeaseReq) []byte {
+	dst = append(dst, frameLease)
+	dst = exec.AppendUvarint(dst, q.Seq)
+	dst = exec.AppendUvarint(dst, uint64(q.Max))
+	dst = exec.AppendUvarint(dst, uint64(q.WaitMillis))
+	dst = exec.AppendUvarint(dst, uint64(len(q.Experiments)))
+	for _, e := range q.Experiments {
+		dst = exec.AppendString(dst, e)
+	}
+	return dst
+}
+
+func decodeLeaseReq(r *exec.WireReader) (binLeaseReq, error) {
+	var q binLeaseReq
+	q.Seq = r.Uvarint()
+	q.Max = r.Int()
+	q.WaitMillis = int64(r.Int())
+	n := r.Int()
+	if r.Err() == nil && n > r.Remaining() { // each name costs >= 1 length byte
+		return q, fmt.Errorf("remote: lease frame declares %d experiments in %d bytes", n, r.Remaining())
+	}
+	for i := 0; i < n && r.Err() == nil; i++ {
+		q.Experiments = append(q.Experiments, r.String())
+	}
+	r.ExpectEOF()
+	if err := r.Err(); err != nil {
+		return q, err
+	}
+	return q, nil
+}
+
+// binTable defines one entry of a connection's experiment table: the
+// grants that follow reference it by index instead of repeating the
+// experiment and parameter names per job. A table entry is sent once
+// per (connection, experiment) — and again only if the experiment's
+// parameter set ever changes.
+type binTable struct {
+	Index      uint64
+	Experiment string
+	Params     []string
+}
+
+// binGrant is one leased job in a grants frame, referencing a table
+// entry already defined on this connection (or in this frame).
+type binGrant struct {
+	Table uint64
+	Job   exec.BinRequest // Job.ID is the lease ID
+}
+
+// binGrants answers one lease poll: new table entries first, then the
+// grants. Done tells the worker the run is over.
+type binGrants struct {
+	Seq    uint64
+	Done   bool
+	Tables []binTable
+	Grants []binGrant
+}
+
+func appendGrants(dst []byte, g binGrants) []byte {
+	dst = append(dst, frameGrants)
+	dst = exec.AppendUvarint(dst, g.Seq)
+	if g.Done {
+		dst = append(dst, 1)
+	} else {
+		dst = append(dst, 0)
+	}
+	dst = exec.AppendUvarint(dst, uint64(len(g.Tables)))
+	for _, t := range g.Tables {
+		dst = exec.AppendUvarint(dst, t.Index)
+		dst = exec.AppendString(dst, t.Experiment)
+		dst = exec.AppendUvarint(dst, uint64(len(t.Params)))
+		for _, p := range t.Params {
+			dst = exec.AppendString(dst, p)
+		}
+	}
+	dst = exec.AppendUvarint(dst, uint64(len(g.Grants)))
+	for _, gr := range g.Grants {
+		dst = exec.AppendUvarint(dst, gr.Table)
+		dst = exec.AppendBinRequest(dst, gr.Job)
+	}
+	return dst
+}
+
+// decodeGrants parses and validates one grants frame body (type byte
+// stripped). tableLen reports the parameter count of an already-known
+// table index (ok false for unknown): the frame's own tables extend
+// that set. Validation mirrors DecodeLeaseBatch and adds the dense
+// wire's structural checks: no lease granted twice, no grant against
+// an undefined table, every vector exactly as long as its table — a
+// frame failing any check is rejected whole.
+func decodeGrants(r *exec.WireReader, tableLen func(idx uint64) (int, bool)) (binGrants, error) {
+	var g binGrants
+	g.Seq = r.Uvarint()
+	g.Done = r.Byte() != 0
+	nt := r.Int()
+	if r.Err() == nil && nt > r.Remaining() {
+		return g, fmt.Errorf("remote: grants frame declares %d tables in %d bytes", nt, r.Remaining())
+	}
+	frameTables := make(map[uint64]int, nt)
+	for i := 0; i < nt && r.Err() == nil; i++ {
+		var t binTable
+		t.Index = r.Uvarint()
+		t.Experiment = r.String()
+		np := r.Int()
+		if r.Err() == nil && np > r.Remaining() {
+			return g, fmt.Errorf("remote: table %d declares %d params in %d bytes", t.Index, np, r.Remaining())
+		}
+		for j := 0; j < np && r.Err() == nil; j++ {
+			t.Params = append(t.Params, r.String())
+		}
+		if _, dup := frameTables[t.Index]; dup {
+			return g, fmt.Errorf("remote: grants frame defines table %d twice", t.Index)
+		}
+		frameTables[t.Index] = len(t.Params)
+		g.Tables = append(g.Tables, t)
+	}
+	ng := r.Int()
+	if r.Err() == nil && ng > r.Remaining() {
+		return g, fmt.Errorf("remote: grants frame declares %d grants in %d bytes", ng, r.Remaining())
+	}
+	// Presize for the declared count, capped: the count is validated
+	// against bytes present only loosely (>= 1 byte per grant), so a
+	// hostile frame must not reserve gigabytes up front.
+	if hint := ng; hint > 0 && r.Err() == nil {
+		if hint > 4096 {
+			hint = 4096
+		}
+		g.Grants = make([]binGrant, 0, hint)
+	}
+	seen := make(map[uint64]struct{}, ng)
+	for i := 0; i < ng && r.Err() == nil; i++ {
+		var gr binGrant
+		gr.Table = r.Uvarint()
+		gr.Job = exec.DecodeBinRequest(r)
+		if r.Err() != nil {
+			break
+		}
+		want, ok := frameTables[gr.Table]
+		if !ok && tableLen != nil {
+			want, ok = tableLen(gr.Table)
+		}
+		if !ok {
+			return g, fmt.Errorf("remote: grant %d references undefined table %d", i, gr.Table)
+		}
+		if len(gr.Job.Vec) != want {
+			return g, fmt.Errorf("remote: grant of lease %d carries %d config values for a %d-parameter table", gr.Job.ID, len(gr.Job.Vec), want)
+		}
+		if _, dup := seen[gr.Job.ID]; dup {
+			return g, fmt.Errorf("remote: grants frame grants lease %d twice", gr.Job.ID)
+		}
+		seen[gr.Job.ID] = struct{}{}
+		g.Grants = append(g.Grants, gr)
+	}
+	r.ExpectEOF()
+	if err := r.Err(); err != nil {
+		return g, err
+	}
+	return g, nil
+}
+
+// binReports delivers a batch of finished jobs (the stream twin of
+// ReportBatch); each entry's BinResponse.ID is its lease ID.
+type binReports struct {
+	Seq     uint64
+	Reports []exec.BinResponse
+}
+
+func appendReports(dst []byte, rb binReports) []byte {
+	dst = append(dst, frameReports)
+	dst = exec.AppendUvarint(dst, rb.Seq)
+	dst = exec.AppendUvarint(dst, uint64(len(rb.Reports)))
+	for _, e := range rb.Reports {
+		dst = exec.AppendBinResponse(dst, e)
+	}
+	return dst
+}
+
+// decodeReports parses and validates one reports frame body: non-empty
+// and no lease settled twice, exactly as DecodeReportBatch.
+func decodeReports(r *exec.WireReader) (binReports, error) {
+	var rb binReports
+	rb.Seq = r.Uvarint()
+	n := r.Int()
+	if r.Err() == nil && n > r.Remaining() {
+		return rb, fmt.Errorf("remote: reports frame declares %d entries in %d bytes", n, r.Remaining())
+	}
+	if hint := n; hint > 0 && r.Err() == nil {
+		if hint > 4096 {
+			hint = 4096
+		}
+		rb.Reports = make([]exec.BinResponse, 0, hint)
+	}
+	seen := make(map[uint64]struct{}, n)
+	for i := 0; i < n && r.Err() == nil; i++ {
+		e := exec.DecodeBinResponse(r)
+		if r.Err() != nil {
+			break
+		}
+		if _, dup := seen[e.ID]; dup {
+			return rb, fmt.Errorf("remote: reports frame settles lease %d twice", e.ID)
+		}
+		seen[e.ID] = struct{}{}
+		rb.Reports = append(rb.Reports, e)
+	}
+	r.ExpectEOF()
+	if err := r.Err(); err != nil {
+		return rb, err
+	}
+	if len(rb.Reports) == 0 {
+		return rb, fmt.Errorf("remote: reports frame carries no reports")
+	}
+	return rb, nil
+}
+
+// binReportAck answers a reports frame with per-entry acceptance,
+// aligned index-for-index, packed as a bitmap.
+type binReportAck struct {
+	Seq      uint64
+	Accepted []bool
+}
+
+func appendReportAck(dst []byte, a binReportAck) []byte {
+	dst = append(dst, frameReportAck)
+	dst = exec.AppendUvarint(dst, a.Seq)
+	dst = exec.AppendUvarint(dst, uint64(len(a.Accepted)))
+	var cur byte
+	for i, ok := range a.Accepted {
+		if ok {
+			cur |= 1 << (i % 8)
+		}
+		if i%8 == 7 {
+			dst = append(dst, cur)
+			cur = 0
+		}
+	}
+	if len(a.Accepted)%8 != 0 {
+		dst = append(dst, cur)
+	}
+	return dst
+}
+
+func decodeReportAck(r *exec.WireReader) (binReportAck, error) {
+	var a binReportAck
+	a.Seq = r.Uvarint()
+	n := r.Int()
+	if r.Err() == nil && (n+7)/8 > r.Remaining() {
+		return a, fmt.Errorf("remote: report ack declares %d entries in %d bytes", n, r.Remaining())
+	}
+	if n > 0 && r.Err() == nil {
+		a.Accepted = make([]bool, n)
+		var cur byte
+		for i := range a.Accepted {
+			if i%8 == 0 {
+				cur = r.Byte()
+			}
+			a.Accepted[i] = cur&(1<<(i%8)) != 0
+		}
+	}
+	r.ExpectEOF()
+	if err := r.Err(); err != nil {
+		return a, err
+	}
+	return a, nil
+}
+
+// binHeartbeat extends the listed leases; binHeartbeatAck returns the
+// subset the worker no longer holds (expired and requeued).
+type binHeartbeat struct {
+	Leases []uint64
+}
+
+func appendLeaseIDFrame(dst []byte, typ byte, ids []uint64) []byte {
+	dst = append(dst, typ)
+	dst = exec.AppendUvarint(dst, uint64(len(ids)))
+	for _, id := range ids {
+		dst = exec.AppendUvarint(dst, id)
+	}
+	return dst
+}
+
+func decodeLeaseIDs(r *exec.WireReader) ([]uint64, error) {
+	n := r.Int()
+	if r.Err() == nil && n > r.Remaining() {
+		return nil, fmt.Errorf("remote: heartbeat frame declares %d leases in %d bytes", n, r.Remaining())
+	}
+	var ids []uint64
+	for i := 0; i < n && r.Err() == nil; i++ {
+		ids = append(ids, r.Uvarint())
+	}
+	r.ExpectEOF()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	return ids, nil
+}
+
+// decodeAnyFrame decodes one frame body of any type — the fuzzers'
+// entry point, exercising every decoder through the same dispatch the
+// stream readers use. Server-side readers only accept worker→server
+// types and vice versa; this helper accepts both so one fuzz target
+// covers the full surface.
+func decodeAnyFrame(body []byte) (interface{}, error) {
+	if len(body) == 0 {
+		return nil, fmt.Errorf("remote: binary frame with empty body")
+	}
+	r := exec.NewWireReader(body[1:])
+	switch body[0] {
+	case frameLease:
+		return decodeLeaseReq(r)
+	case frameGrants:
+		return decodeGrants(r, nil)
+	case frameReports:
+		return decodeReports(r)
+	case frameReportAck:
+		return decodeReportAck(r)
+	case frameHeartbeat, frameHeartbeatAck:
+		return decodeLeaseIDs(r)
+	default:
+		return nil, fmt.Errorf("remote: unknown binary frame type 0x%02x", body[0])
+	}
+}

@@ -100,6 +100,8 @@ type CounterSnapshot struct {
 	Canceled       int64 `json:"canceled"`
 	BatchedGrants  int64 `json:"batchedGrants"`
 	BatchedReports int64 `json:"batchedReports"`
+	BinGrants      int64 `json:"binGrants"`
+	BinReports     int64 `json:"binReports"`
 	Sweeps         int64 `json:"sweeps"`
 	Registered     int64 `json:"registered"`
 	Pending        int64 `json:"pending"`
@@ -119,6 +121,8 @@ func (s *Server) Counters() CounterSnapshot {
 		Canceled:       s.canceled.Load(),
 		BatchedGrants:  s.batchedGrants.Load(),
 		BatchedReports: s.batchedReports.Load(),
+		BinGrants:      s.binGrants.Load(),
+		BinReports:     s.binReports.Load(),
 		Sweeps:         s.sweeps.Load(),
 		Registered:     s.registered.Load(),
 		Pending:        s.pendingJobs.Load(),
@@ -248,6 +252,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("asha_jobs_canceled_total", "Queued jobs canceled by an admin abort.", c.Canceled)
 	counter("asha_lease_batch_jobs_total", "Jobs granted through batched LeaseBatch replies.", c.BatchedGrants)
 	counter("asha_report_batch_entries_total", "Entries settled through batched ReportBatch requests.", c.BatchedReports)
+	counter("asha_bin_lease_jobs_total", "Jobs granted through binary stream frames.", c.BinGrants)
+	counter("asha_bin_report_entries_total", "Entries settled through binary stream frames.", c.BinReports)
 	counter("asha_expiry_sweeps_total", "Lease-expiry sweep passes completed.", c.Sweeps)
 	counter("asha_workers_registered_total", "Workers registered over the server lifetime.", c.Registered)
 	gauge("asha_jobs_pending", "Jobs queued and waiting for a lease.", float64(c.Pending))

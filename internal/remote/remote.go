@@ -4,10 +4,11 @@
 // agent.go), and a backend.Backend adapter driving the shared engine
 // over a fleet (Backend, in backend.go).
 //
-// The protocol is four JSON POST endpoints:
+// The control protocol is JSON POST endpoints:
 //
-//	/v1/register  — a worker announces itself and learns its lease TTL
-//	              	and the fleet's batching defaults
+//	/v1/register  — a worker announces itself and learns its lease TTL,
+//	              	the fleet's batching defaults, and whether the server
+//	              	speaks the binary streaming wire ("bin")
 //	/v1/lease     — long-poll for jobs; each grant carries a lease ID
 //	              	and the job payload (an internal/exec.Request, so the
 //	              	wire reuses the subprocess protocol's name-keyed,
@@ -18,6 +19,15 @@
 //	              	leases, singly or as a ReportBatch settled with
 //	              	per-entry acceptance
 //	/v1/heartbeat — extend the leases a worker still holds
+//	/v1/stream    — upgrade to the binary streaming wire: one
+//	              	long-lived connection per worker multiplexing lease
+//	              	grants, report batches and heartbeats as dense
+//	              	length-prefixed frames (binwire.go, stream.go).
+//	              	Workers negotiate it at registration and fall back
+//	              	to the JSON endpoints against older servers; older
+//	              	workers never see it — every JSON shape above keeps
+//	              	working, so mixed-generation fleets interoperate in
+//	              	both directions.
 //
 // Workers are elastic: they may register at any time — including long
 // after the run started — and immediately lease queued jobs. Failure
@@ -35,6 +45,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -47,20 +58,65 @@ import (
 // version as the job payload it transports.
 const ProtocolVersion = exec.WireVersion
 
-// JobPayload is one training job submitted to the fleet.
+// JobPayload is one training job submitted to the fleet. The
+// hyperparameter assignment may be given either name-keyed (Config) or
+// as a dense vector (Names + Vec); Submit normalizes to the vector
+// form, which is what the binary wire ships — JSON grants rebuild the
+// name-keyed map on demand.
 type JobPayload struct {
 	// Experiment routes the job to the right objective on workers
 	// serving several (empty for single-experiment runs).
 	Experiment string
 	// Trial identifies the configuration's stateful training run.
 	Trial int
-	// Config is the name-keyed hyperparameter assignment.
+	// Config is the name-keyed hyperparameter assignment. Optional when
+	// Names/Vec are set.
 	Config map[string]float64
+	// Names and Vec are the dense form: Vec[i] is parameter Names[i]'s
+	// value. Names is typically the experiment's shared searchspace
+	// table (one slice for the whole run — the binary wire uses slice
+	// identity to send it once per connection). Both are read by server
+	// goroutines until the job settles and must not be mutated by the
+	// submitter in the meantime.
+	Names []string
+	Vec   []float64
 	// From and To are cumulative resources: resume at From, train to To.
 	From, To float64
 	// State is the trial's last committed checkpoint (nil on the first
 	// job).
 	State json.RawMessage
+}
+
+// normalize fills the dense form from a name-keyed Config for payloads
+// submitted the legacy way, ordering names lexicographically (the same
+// deterministic order searchspace.FromMap and encoding/json use).
+func (p *JobPayload) normalize() {
+	if p.Vec != nil || len(p.Config) == 0 {
+		return
+	}
+	names := make([]string, 0, len(p.Config))
+	for n := range p.Config {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	vec := make([]float64, len(names))
+	for i, n := range names {
+		vec[i] = p.Config[n]
+	}
+	p.Names, p.Vec = names, vec
+}
+
+// configMap returns the name-keyed assignment for the JSON wire,
+// building it from the dense form when the submitter skipped the map.
+func (p *JobPayload) configMap() map[string]float64 {
+	if p.Config != nil || p.Vec == nil {
+		return p.Config
+	}
+	m := make(map[string]float64, len(p.Vec))
+	for i, n := range p.Names {
+		m[n] = p.Vec[i]
+	}
+	return m
 }
 
 // Outcome is the single, exactly-once answer to one submitted job.
@@ -140,20 +196,47 @@ type task struct {
 	deadline time.Time
 }
 
+// leaseShardCount is the number of hash shards the lease table is
+// split across (a power of two so the shard pick is a mask). Sixteen
+// shards keep report ingestion, heartbeat extension and expiry
+// sweeping from serializing on one mutex across cores while staying
+// small enough that a sweep pass touching every shard is cheap.
+const leaseShardCount = 16
+
+// leaseShard is one shard of the lease table: the leases whose IDs
+// hash here, under their own mutex. Lock ordering: s.mu may be held
+// while taking a shard's mutex (the grant path inserts under both);
+// never the reverse — settle, heartbeat and sweep take only the shard
+// lock and re-acquire s.mu afterwards if they need to wake pollers.
+type leaseShard struct {
+	mu     sync.Mutex
+	leases map[uint64]*task
+}
+
 // Server is the embedded HTTP job-lease server.
 type Server struct {
 	opts Options
 	ln   net.Listener
 	hs   *http.Server
 
-	mu         sync.Mutex
-	wake       chan struct{} // closed and replaced on every state change
-	pending    []*task
-	leases     map[uint64]*task
-	nextLease  uint64
-	nextWorker int
-	workers    map[string]string // worker ID -> advertised name
-	closed     bool
+	mu   sync.Mutex
+	wake chan struct{} // closed and replaced on every state change
+	// wakeArmed records that some poller captured wake and intends to
+	// sleep on it: wakeLocked only pays the close-and-reallocate when a
+	// waiter may be listening, so a Submit storm with every worker busy
+	// churns no channels.
+	wakeArmed bool
+	// pending[pendingHead:] is the FIFO job queue. The head index makes
+	// the common grant — the oldest matching job IS the oldest job — an
+	// O(1) pop instead of an O(queue) slice shift, which dominated the
+	// grant path at deep backlogs (a 1024-job pipeline shifted ~8KB of
+	// pointers per grant).
+	pending     []*task
+	pendingHead int
+	nextLease   uint64
+	nextWorker  int
+	workers     map[string]string // worker ID -> advertised name
+	closed      bool
 	// paused holds experiment names whose queued jobs are withheld from
 	// lease grants ("" pauses jobs of single-experiment runs — and, as
 	// the match loop treats it, the whole queue). draining tells every
@@ -165,17 +248,29 @@ type Server struct {
 	// admin worker-budget command.
 	maxLeases int
 
+	// shards is the lease table, hash-sharded by lease ID so report
+	// ingestion and expiry sweeping scale across cores instead of
+	// serializing on s.mu.
+	shards [leaseShardCount]leaseShard
+
+	// streams tracks the live binary stream connections, so Close can
+	// tell every connected worker the run is over (streams.go).
+	streamMu sync.Mutex
+	streams  map[*streamConn]struct{}
+
 	// Observability counters. All atomics so a /metrics scrape is
 	// lock-free: the scrape never contends with the grant path, and the
 	// grant path never pays for the scrape. expired/batchedGrants/
 	// batchedReports predate /metrics (the batch parity tests assert on
 	// them); the rest exist for the scrape.
-	granted        atomic.Int64 // leases granted, single + batched
+	granted        atomic.Int64 // leases granted, single + batched + binary
 	expired        atomic.Int64 // leases expired by the sweeper
 	accepted       atomic.Int64 // report entries accepted
 	rejected       atomic.Int64 // report entries rejected (late/mispaired)
 	batchedGrants  atomic.Int64 // jobs granted through LeaseBatch replies
 	batchedReports atomic.Int64 // entries settled through ReportBatch requests
+	binGrants      atomic.Int64 // jobs granted through binary stream frames
+	binReports     atomic.Int64 // entries settled through binary stream frames
 	sweeps         atomic.Int64 // expiry-sweep passes completed
 	registered     atomic.Int64 // workers registered over the lifetime
 	submitted      atomic.Int64 // jobs submitted to the queue
@@ -227,12 +322,15 @@ func NewServer(opts Options) (*Server, error) {
 		// lease IDs, so a worker's stale pre-restart report can never
 		// collide with — and settle — a fresh lease of the same number.
 		nextLease: uint64(time.Now().Unix()) << 20,
-		leases:    make(map[uint64]*task),
 		workers:   make(map[string]string),
 		paused:    make(map[string]bool),
+		streams:   make(map[*streamConn]struct{}),
 		maxLeases: opts.MaxLeases,
 		sweepStop: make(chan struct{}),
 		sweepDone: make(chan struct{}),
+	}
+	for i := range s.shards {
+		s.shards[i].leases = make(map[uint64]*task)
 	}
 	if opts.Events {
 		s.bus = obs.NewBus(opts.EventBuffer)
@@ -242,6 +340,7 @@ func NewServer(opts Options) (*Server, error) {
 	mux.HandleFunc("/v1/lease", s.handleLease)
 	mux.HandleFunc("/v1/report", s.handleReport)
 	mux.HandleFunc("/v1/heartbeat", s.handleHeartbeat)
+	mux.HandleFunc("/v1/stream", s.handleStream)
 	if opts.Metrics {
 		mux.HandleFunc("/metrics", s.handleMetrics)
 	}
@@ -269,11 +368,17 @@ func (s *Server) Submit(p JobPayload, done func(Outcome)) {
 		done(Outcome{Failed: true})
 		return
 	}
+	p.normalize()
 	s.pending = append(s.pending, &task{payload: p, done: done})
 	s.submitted.Add(1)
 	s.pendingJobs.Add(1)
 	s.wakeLocked()
 	s.mu.Unlock()
+}
+
+// shardFor returns the shard owning lease id.
+func (s *Server) shardFor(id uint64) *leaseShard {
+	return &s.shards[id&(leaseShardCount-1)]
 }
 
 // ExpiredLeases reports how many leases have expired and been requeued
@@ -293,6 +398,15 @@ func (s *Server) BatchedGrants() int { return int(s.batchedGrants.Load()) }
 // over the server's lifetime.
 func (s *Server) BatchedReports() int { return int(s.batchedReports.Load()) }
 
+// BinaryGrants reports how many jobs have been granted over binary
+// stream connections over the server's lifetime.
+func (s *Server) BinaryGrants() int { return int(s.binGrants.Load()) }
+
+// BinaryReports reports how many report entries have been settled —
+// accepted or rejected — over binary stream connections over the
+// server's lifetime.
+func (s *Server) BinaryReports() int { return int(s.binReports.Load()) }
+
 // closeGrace is how long a closed server keeps answering HTTP after
 // Close: workers whose poll or report lands just after shutdown get an
 // authoritative "the run is over" (Done / accepted=false) instead of a
@@ -311,17 +425,39 @@ func (s *Server) Close() error {
 		return nil
 	}
 	s.closed = true
-	orphans := make([]*task, 0, len(s.pending)+len(s.leases))
-	orphans = append(orphans, s.pending...)
-	s.pending = nil
-	for id, t := range s.leases {
-		orphans = append(orphans, t)
-		delete(s.leases, id)
-	}
-	s.pendingJobs.Store(0)
-	s.activeLeases.Store(0)
+	orphans := append([]*task(nil), s.pending[s.pendingHead:]...)
+	s.pending, s.pendingHead = nil, 0
+	s.pendingJobs.Add(int64(-len(orphans)))
 	s.wakeLocked()
 	s.mu.Unlock()
+	// Flush the lease shards after s.mu is released: a report racing
+	// Close either wins its shard's lock and settles normally, or finds
+	// the shard cleared and is rejected — each task settles exactly once
+	// either way, and the gauges stay additive (no Store(0) that a
+	// concurrent settle could race past).
+	leased := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for id, t := range sh.leases {
+			orphans = append(orphans, t)
+			delete(sh.leases, id)
+			leased++
+		}
+		sh.mu.Unlock()
+	}
+	s.activeLeases.Add(int64(-leased))
+	// Tell every binary stream worker the run is over, exactly as the
+	// JSON long-poll answers Done, then drop the connections.
+	s.streamMu.Lock()
+	streams := make([]*streamConn, 0, len(s.streams))
+	for sc := range s.streams {
+		streams = append(streams, sc)
+	}
+	s.streamMu.Unlock()
+	for _, sc := range streams {
+		sc.shutdown()
+	}
 	if s.bus != nil {
 		// End event streams now; /metrics keeps answering through the
 		// closeGrace window so a final post-run scrape reconciles.
@@ -345,10 +481,37 @@ func (s *Server) Close() error {
 }
 
 // wakeLocked broadcasts a state change to every long-polling lease
-// handler. Callers must hold s.mu.
+// handler. Callers must hold s.mu. The close-and-reallocate only
+// happens while a poller is armed on the channel: a Submit burst with
+// every worker's pipeline full pays nothing, and a poller that arms
+// and then finds work before sleeping merely costs one spurious churn.
 func (s *Server) wakeLocked() {
+	if !s.wakeArmed {
+		return
+	}
+	s.wakeArmed = false
 	close(s.wake)
 	s.wake = make(chan struct{})
+}
+
+// wakeChanLocked returns the channel a grantless poller should sleep
+// on and arms it. Callers must hold s.mu; the poller must re-run the
+// grant loop after waking (the channel says "state changed", not
+// "there is work for you").
+func (s *Server) wakeChanLocked() <-chan struct{} {
+	s.wakeArmed = true
+	return s.wake
+}
+
+// wakeIfPending wakes pollers when settles or expiries freed lease
+// capacity while jobs are still queued. Called off the shard paths,
+// which do not hold s.mu.
+func (s *Server) wakeIfPending() {
+	s.mu.Lock()
+	if len(s.pending) > s.pendingHead {
+		s.wakeLocked()
+	}
+	s.mu.Unlock()
 }
 
 // sweep is the heartbeat sweeper: it expires leases whose workers went
@@ -370,22 +533,28 @@ func (s *Server) sweep() {
 		case <-s.sweepStop:
 			return
 		case now := <-tick.C:
+			// One shard locked at a time: a sweep pass never stalls
+			// report ingestion on the other shards, and never touches
+			// s.mu unless it actually expired something.
 			var dead []*task
-			s.mu.Lock()
-			for id, t := range s.leases {
-				if now.After(t.deadline) {
-					delete(s.leases, id)
-					dead = append(dead, t)
+			for i := range s.shards {
+				sh := &s.shards[i]
+				sh.mu.Lock()
+				for id, t := range sh.leases {
+					if now.After(t.deadline) {
+						delete(sh.leases, id)
+						dead = append(dead, t)
+					}
 				}
+				sh.mu.Unlock()
 			}
 			s.expired.Add(int64(len(dead)))
 			s.activeLeases.Add(int64(-len(dead)))
-			if len(dead) > 0 && len(s.pending) > 0 {
+			if len(dead) > 0 {
 				// Freed lease slots may unblock pollers waiting on the
 				// MaxLeases cap.
-				s.wakeLocked()
+				s.wakeIfPending()
 			}
-			s.mu.Unlock()
 			// Count the pass after its expiries are visible: a test that
 			// saw sweeps advance past a lease's TTL may rely on that
 			// lease's expiry having been counted too.
@@ -420,6 +589,10 @@ type registerResp struct {
 	BatchSize   int   `json:"batch,omitempty"`
 	Prefetch    int   `json:"prefetch,omitempty"`
 	FlushMillis int64 `json:"flushMs,omitempty"`
+	// Bin advertises the binary streaming wire version the server
+	// speaks on /v1/stream (absent on pre-binary servers: the worker
+	// stays on the JSON wire).
+	Bin int `json:"bin,omitempty"`
 }
 
 type leaseReq struct {
@@ -542,6 +715,7 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 		BatchSize:      s.opts.BatchSize,
 		Prefetch:       s.opts.Prefetch,
 		FlushMillis:    s.opts.FlushInterval.Milliseconds(),
+		Bin:            BinProtocolVersion,
 	})
 }
 
@@ -567,42 +741,30 @@ func (s *Server) handleLease(w http.ResponseWriter, r *http.Request) {
 	}
 	deadline := time.Now().Add(wait)
 	for {
-		s.mu.Lock()
-		if s.closed || s.draining {
+		tasks, state, wake := s.grantTasks(req.WorkerID, max, req.Experiments, nil)
+		switch state {
+		case grantDone:
 			// Draining reads as "the run is over" to this worker: it
 			// exits cleanly while queued jobs stay queued for whichever
 			// workers join after the drain is lifted.
-			s.mu.Unlock()
 			if batched {
 				s.reply(w, LeaseBatch{Version: ProtocolVersion, Done: true})
 			} else {
 				s.reply(w, leaseResp{Version: ProtocolVersion, Done: true})
 			}
 			return
-		}
-		if _, known := s.workers[req.WorkerID]; !known {
-			s.mu.Unlock()
+		case grantGone:
 			s.reject(w, http.StatusGone, "unknown worker; register again")
 			return
 		}
-		var grants []LeaseGrant
-		now := time.Now()
-		for len(grants) < max {
-			if s.maxLeases != 0 && len(s.leases) >= s.maxLeases {
-				break
-			}
-			idx := s.matchLocked(req.Experiments)
-			if idx < 0 {
-				break
-			}
-			grants = append(grants, s.grantLocked(idx, req.WorkerID, now))
-		}
-		if len(grants) > 0 {
-			s.granted.Add(int64(len(grants)))
+		if len(tasks) > 0 {
 			if batched {
-				s.batchedGrants.Add(int64(len(grants)))
+				s.batchedGrants.Add(int64(len(tasks)))
 			}
-			s.mu.Unlock()
+			grants := make([]LeaseGrant, len(tasks))
+			for i, t := range tasks {
+				grants[i] = t.grant()
+			}
 			if batched {
 				s.reply(w, LeaseBatch{Version: ProtocolVersion, Grants: grants})
 			} else {
@@ -610,8 +772,6 @@ func (s *Server) handleLease(w http.ResponseWriter, r *http.Request) {
 			}
 			return
 		}
-		wake := s.wake
-		s.mu.Unlock()
 		remaining := time.Until(deadline)
 		if remaining <= 0 {
 			if batched {
@@ -633,20 +793,89 @@ func (s *Server) handleLease(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// grantLocked leases pending[idx] to the worker and returns its grant.
-// Callers hold s.mu.
-func (s *Server) grantLocked(idx int, worker string, now time.Time) LeaseGrant {
+// grantState classifies a grantTasks pass that handed out nothing.
+type grantState int
+
+const (
+	grantOK   grantState = iota // tasks granted, or none available (sleep on wake)
+	grantDone                   // closed or draining: the run is over for this worker
+	grantGone                   // unknown worker: register again
+)
+
+// grantTasks is the lease-grant core shared by the JSON long-poll
+// handler and the binary stream granter: under s.mu it matches up to
+// max pending jobs against the worker's experiment restriction and
+// the lease cap, stamps their leases and inserts them into their
+// shards. Grants are appended to the caller's (emptied) scratch slice
+// so a streaming granter allocates nothing per poll. When it grants
+// nothing it returns an armed wake channel for the caller to sleep on
+// before retrying. The granted counter is updated here; per-wire
+// counters are the caller's.
+func (s *Server) grantTasks(workerID string, max int, experiments []string, tasks []*task) ([]*task, grantState, <-chan struct{}) {
+	s.mu.Lock()
+	if s.closed || s.draining {
+		s.mu.Unlock()
+		return nil, grantDone, nil
+	}
+	if _, known := s.workers[workerID]; !known {
+		s.mu.Unlock()
+		return nil, grantGone, nil
+	}
+	now := time.Now()
+	for len(tasks) < max {
+		if s.maxLeases != 0 && int(s.activeLeases.Load()) >= s.maxLeases {
+			break
+		}
+		idx := s.matchLocked(experiments)
+		if idx < 0 {
+			break
+		}
+		tasks = append(tasks, s.grantLocked(idx, workerID, now))
+	}
+	var wake <-chan struct{}
+	if len(tasks) == 0 {
+		wake = s.wakeChanLocked()
+	} else {
+		s.granted.Add(int64(len(tasks)))
+	}
+	s.mu.Unlock()
+	return tasks, grantOK, wake
+}
+
+// grantLocked leases pending[idx] to the worker and inserts it into
+// its lease shard. Callers hold s.mu (the shard lock nests inside).
+func (s *Server) grantLocked(idx int, worker string, now time.Time) *task {
 	t := s.pending[idx]
-	copy(s.pending[idx:], s.pending[idx+1:])
-	s.pending[len(s.pending)-1] = nil // release the task reference
-	s.pending = s.pending[:len(s.pending)-1]
+	// Head grants (no experiment restriction, nothing paused — the
+	// common case) pop in O(1); a mid-queue match shifts only the short
+	// skipped-over head segment, not the whole backlog.
+	copy(s.pending[s.pendingHead+1:idx+1], s.pending[s.pendingHead:idx])
+	s.pending[s.pendingHead] = nil // release the task reference
+	s.pendingHead++
+	if s.pendingHead == len(s.pending) {
+		s.pending, s.pendingHead = s.pending[:0], 0
+	} else if s.pendingHead > 1024 && s.pendingHead*2 >= len(s.pending) {
+		// Compact once the dead prefix dominates so append can reuse the
+		// space instead of growing the backing array without bound.
+		n := copy(s.pending, s.pending[s.pendingHead:])
+		clear(s.pending[n:len(s.pending)])
+		s.pending, s.pendingHead = s.pending[:n], 0
+	}
 	s.nextLease++
 	t.leaseID = s.nextLease
 	t.worker = worker
 	t.deadline = now.Add(s.opts.LeaseTTL)
-	s.leases[t.leaseID] = t
+	sh := s.shardFor(t.leaseID)
+	sh.mu.Lock()
+	sh.leases[t.leaseID] = t
+	sh.mu.Unlock()
 	s.pendingJobs.Add(-1)
 	s.activeLeases.Add(1)
+	return t
+}
+
+// grant builds the task's JSON-wire lease grant.
+func (t *task) grant() LeaseGrant {
 	return LeaseGrant{
 		LeaseID:    t.leaseID,
 		Experiment: t.payload.Experiment,
@@ -654,7 +883,7 @@ func (s *Server) grantLocked(idx int, worker string, now time.Time) LeaseGrant {
 			Version: exec.WireVersion,
 			ID:      int(t.leaseID),
 			Trial:   t.payload.Trial,
-			Config:  t.payload.Config,
+			Config:  t.payload.configMap(),
 			From:    t.payload.From,
 			To:      t.payload.To,
 			State:   t.payload.State,
@@ -674,7 +903,8 @@ func (s *Server) matchLocked(experiments []string) int {
 		// hold every experiment's jobs.
 		return -1
 	}
-	for i, t := range s.pending {
+	for i := s.pendingHead; i < len(s.pending); i++ {
+		t := s.pending[i]
 		if s.paused[t.payload.Experiment] {
 			continue
 		}
@@ -722,37 +952,18 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 	if !s.check(w, req.Version, req.Token) {
 		return
 	}
-	s.mu.Lock()
-	t, ok := s.leases[req.LeaseID]
-	if ok && t.worker != req.WorkerID {
-		ok = false // a worker may only settle its own lease
-		t = nil
-	}
-	if ok && req.Response.ID != int(req.LeaseID) {
-		// The grant stamped Job.ID with the lease ID; a response paired
-		// with the wrong lease must not commit a loss and checkpoint to
-		// the wrong trial (the remote twin of the subprocess parent's
-		// resp.ID check). Left leased, the job expires and retries.
-		ok = false
-		t = nil
-	}
-	if ok {
-		delete(s.leases, req.LeaseID)
-		s.activeLeases.Add(-1)
-		if len(s.pending) > 0 {
-			// The freed lease slot may unblock a poller waiting on the
-			// MaxLeases cap.
-			s.wakeLocked()
-		}
-	}
-	s.mu.Unlock()
-	if !ok {
+	t := s.takeLease(req.LeaseID, req.WorkerID, req.Response.ID)
+	if t == nil {
 		// The lease expired (or never existed): the job has already been
 		// requeued, so this late result is dropped — never double-counted.
 		s.rejected.Add(1)
 		s.reply(w, reportResp{Version: ProtocolVersion, Accepted: false})
 		return
 	}
+	s.activeLeases.Add(-1)
+	// The freed lease slot may unblock a poller waiting on the
+	// MaxLeases cap.
+	s.wakeIfPending()
 	s.accepted.Add(1)
 	var out Outcome
 	if req.Response.Error != "" {
@@ -783,31 +994,22 @@ func (s *Server) handleReportBatch(w http.ResponseWriter, rb ReportBatch) {
 	}
 	accepted := make([]bool, len(rb.Reports))
 	settled := make([]*task, len(rb.Reports))
-	s.mu.Lock()
 	freed := 0
 	for i, e := range rb.Reports {
-		t, ok := s.leases[e.LeaseID]
-		if !ok || t.worker != rb.WorkerID || e.Response.ID != int(e.LeaseID) {
-			// Expired (already requeued), another worker's lease, or a
-			// mispaired response ID: this entry is rejected — and a
-			// still-live mispaired lease is left to expire into a retry,
-			// exactly as on the single-response path.
-			continue
+		if t := s.takeLease(e.LeaseID, rb.WorkerID, e.Response.ID); t != nil {
+			accepted[i] = true
+			settled[i] = t
+			freed++
 		}
-		delete(s.leases, e.LeaseID)
-		accepted[i] = true
-		settled[i] = t
-		freed++
 	}
 	s.batchedReports.Add(int64(len(rb.Reports)))
 	s.accepted.Add(int64(freed))
 	s.rejected.Add(int64(len(rb.Reports) - freed))
 	s.activeLeases.Add(int64(-freed))
-	if freed > 0 && len(s.pending) > 0 {
+	if freed > 0 {
 		// Freed lease slots may unblock pollers waiting on MaxLeases.
-		s.wakeLocked()
+		s.wakeIfPending()
 	}
-	s.mu.Unlock()
 	for i, t := range settled {
 		if t == nil {
 			continue
@@ -830,15 +1032,49 @@ func (s *Server) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	resp := heartbeatResp{Version: ProtocolVersion}
-	now := time.Now()
-	s.mu.Lock()
-	for _, id := range req.Leases {
-		if t, ok := s.leases[id]; ok && t.worker == req.WorkerID {
-			t.deadline = now.Add(s.opts.LeaseTTL)
-		} else {
-			resp.Expired = append(resp.Expired, id)
-		}
-	}
-	s.mu.Unlock()
+	resp.Expired = s.extendLeases(req.WorkerID, req.Leases)
 	s.reply(w, resp)
+}
+
+// takeLease is the lease-settle core shared by every report path
+// (single, batched, binary): under the lease's shard lock it checks
+// that the worker owns the lease and that the response is paired with
+// it — the grant stamped Job.ID with the lease ID, and a response
+// paired with the wrong lease must not commit a loss and checkpoint to
+// the wrong trial (the remote twin of the subprocess parent's resp.ID
+// check) — then removes the lease and returns its task. nil means the
+// entry is rejected: expired (already requeued), another worker's
+// lease, or mispaired; a still-live mispaired lease is left to expire
+// into a retry. The caller owns the counters, the wake, and the done
+// callback.
+func (s *Server) takeLease(id uint64, worker string, respID int) *task {
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	t, ok := sh.leases[id]
+	if !ok || t.worker != worker || respID != int(id) {
+		return nil
+	}
+	delete(sh.leases, id)
+	return t
+}
+
+// extendLeases is the heartbeat core shared by the JSON handler and
+// the binary stream: it pushes out the deadline of each lease the
+// worker still holds and returns the IDs it no longer does (expired
+// and requeued — the worker should abandon those runs).
+func (s *Server) extendLeases(worker string, ids []uint64) (expired []uint64) {
+	deadline := time.Now().Add(s.opts.LeaseTTL)
+	for _, id := range ids {
+		sh := s.shardFor(id)
+		sh.mu.Lock()
+		if t, ok := sh.leases[id]; ok && t.worker == worker {
+			t.deadline = deadline
+			sh.mu.Unlock()
+			continue
+		}
+		sh.mu.Unlock()
+		expired = append(expired, id)
+	}
+	return expired
 }

@@ -1,0 +1,455 @@
+package remote
+
+// Server side of the binary streaming wire. A worker that saw "bin" in
+// its registration reply POSTs a small JSON handshake to /v1/stream;
+// the server answers 101 Switching Protocols, takes over the TCP
+// connection, and from then on the two sides exchange binary frames
+// (binwire.go): the worker's lease polls, report batches and
+// heartbeats multiplexed over the one connection instead of one HTTP
+// request each. Two goroutines serve a connection — a reader that
+// settles reports and answers heartbeats inline, and a granter that
+// long-polls the grant core on the worker's behalf — sharing the
+// socket through a write mutex.
+//
+// The handshake deliberately answers pre-upgrade outcomes in plain
+// JSON: a closed or draining server replies 200 with a Done LeaseBatch
+// (the agent reads "the run is over", exactly as a JSON long-poll
+// would), an unknown worker gets 410 (re-register), a bad token 401.
+// Only a healthy handshake upgrades.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/exec"
+)
+
+// streamProto names the protocol in the Upgrade header; streamUpgrade
+// is the raw 101 response accepting a stream handshake.
+const (
+	streamProto   = "asha-binlease/1"
+	streamUpgrade = "HTTP/1.1 101 Switching Protocols\r\nUpgrade: " + streamProto + "\r\nConnection: Upgrade\r\n\r\n"
+)
+
+// streamReq is the JSON handshake POSTed to /v1/stream.
+type streamReq struct {
+	Version  int    `json:"v"`
+	Bin      int    `json:"bin"`
+	Token    string `json:"token,omitempty"`
+	WorkerID string `json:"worker"`
+}
+
+// connTable is one entry of a connection's experiment table: the index
+// grants cite and the parameter names the server promised for it.
+type connTable struct {
+	index  uint64
+	params []string
+}
+
+// streamConn is one worker's live binary stream.
+type streamConn struct {
+	s      *Server
+	c      net.Conn
+	br     *bufio.Reader
+	worker string
+
+	// wmu serializes frame writes: grants from the granter goroutine,
+	// acks from the reader, the shutdown Done from Close.
+	wmu sync.Mutex
+	bw  *bufio.Writer
+
+	// leaseCh hands the reader's lease polls to the granter. Capacity
+	// one: the client keeps a single lease poll outstanding, so a
+	// second pending poll is a protocol violation.
+	leaseCh chan binLeaseReq
+
+	// tables maps experiment name -> table entry; granter-only state,
+	// no lock needed.
+	tables    map[string]*connTable
+	nextTable uint64
+
+	done      chan struct{}
+	closeOnce sync.Once
+}
+
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	var req streamReq
+	if !s.decode(w, r, &req.Version, &req.Token, &req) {
+		return
+	}
+	if req.Bin != BinProtocolVersion {
+		s.reject(w, http.StatusBadRequest,
+			fmt.Sprintf("binary wire version %d not supported (server speaks %d)", req.Bin, BinProtocolVersion))
+		return
+	}
+	s.mu.Lock()
+	if s.closed || s.draining {
+		// The run is over (or draining for scale-down): answer in JSON
+		// instead of upgrading, exactly as a lease poll would.
+		s.mu.Unlock()
+		s.reply(w, LeaseBatch{Version: ProtocolVersion, Done: true})
+		return
+	}
+	_, known := s.workers[req.WorkerID]
+	s.mu.Unlock()
+	if !known {
+		s.reject(w, http.StatusGone, "unknown worker; register again")
+		return
+	}
+	hj, ok := w.(http.Hijacker)
+	if !ok {
+		s.reject(w, http.StatusInternalServerError, "connection cannot be hijacked")
+		return
+	}
+	conn, rw, err := hj.Hijack()
+	if err != nil {
+		s.reject(w, http.StatusInternalServerError, fmt.Sprintf("hijack: %v", err))
+		return
+	}
+	_ = conn.SetDeadline(time.Time{}) // the stream outlives any HTTP deadline
+	sc := &streamConn{
+		s:       s,
+		c:       conn,
+		br:      rw.Reader,
+		bw:      rw.Writer,
+		worker:  req.WorkerID,
+		leaseCh: make(chan binLeaseReq, 1),
+		tables:  make(map[string]*connTable),
+		done:    make(chan struct{}),
+	}
+	if _, err := rw.WriteString(streamUpgrade); err != nil {
+		_ = conn.Close()
+		return
+	}
+	if err := rw.Flush(); err != nil {
+		_ = conn.Close()
+		return
+	}
+	s.streamMu.Lock()
+	s.streams[sc] = struct{}{}
+	s.streamMu.Unlock()
+	// Re-check after publishing: a Close racing past the pre-upgrade
+	// check either finds the conn in s.streams (and shuts it down) or
+	// has already snapshotted without it — catch the latter here so the
+	// worker hears the run is over promptly, not on its next poll.
+	s.mu.Lock()
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		sc.shutdown()
+		return
+	}
+	go sc.granter()
+	go sc.reader()
+}
+
+// writeFrame sends one frame (body includes the type byte) under the
+// write lock. A failed write tears the connection down so the peer
+// goroutines unblock.
+func (sc *streamConn) writeFrame(body []byte) bool {
+	var hdr [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(hdr[:], uint64(len(body)))
+	sc.wmu.Lock()
+	defer sc.wmu.Unlock()
+	if _, err := sc.bw.Write(hdr[:n]); err != nil {
+		sc.close()
+		return false
+	}
+	if _, err := sc.bw.Write(body); err != nil {
+		sc.close()
+		return false
+	}
+	if err := sc.bw.Flush(); err != nil {
+		sc.close()
+		return false
+	}
+	return true
+}
+
+// close tears the connection down exactly once, unregistering it and
+// unblocking both goroutines.
+func (sc *streamConn) close() {
+	sc.closeOnce.Do(func() {
+		close(sc.done)
+		_ = sc.c.Close()
+		sc.s.streamMu.Lock()
+		delete(sc.s.streams, sc)
+		sc.s.streamMu.Unlock()
+	})
+}
+
+// shutdown tells the worker the run is over — an unsolicited Done
+// grants frame (seq 0; the client honors Done regardless of sequence)
+// — then closes the connection. Called by Server.Close.
+func (sc *streamConn) shutdown() {
+	_ = sc.writeFrame(appendGrants(nil, binGrants{Done: true}))
+	sc.close()
+}
+
+// reader consumes worker frames: reports are settled and acked inline
+// (the shard locks make this scale across connections), heartbeats
+// extended and answered inline, lease polls handed to the granter. Any
+// read or protocol error kills the connection; the worker falls back
+// to the JSON endpoints and redials.
+func (sc *streamConn) reader() {
+	defer sc.close()
+	var buf, enc []byte
+	var ss settleScratch
+	for {
+		body, err := readFrame(sc.br, buf)
+		if err != nil {
+			return
+		}
+		buf = body[:0] // reuse the (possibly grown) frame buffer
+		r := exec.NewWireReader(body[1:])
+		switch body[0] {
+		case frameLease:
+			q, err := decodeLeaseReq(r)
+			if err != nil {
+				return
+			}
+			select {
+			case sc.leaseCh <- q:
+			case <-sc.done:
+				return
+			default:
+				// A second outstanding poll violates the protocol's
+				// single-outstanding rule; there is no way to pair two
+				// answers, so kill the connection.
+				return
+			}
+		case frameReports:
+			rb, err := decodeReports(r)
+			if err != nil {
+				return
+			}
+			var ok bool
+			enc, ok = sc.settle(rb, enc, &ss)
+			if !ok {
+				return
+			}
+		case frameHeartbeat:
+			ids, err := decodeLeaseIDs(r)
+			if err != nil {
+				return
+			}
+			expired := sc.s.extendLeases(sc.worker, ids)
+			enc = appendLeaseIDFrame(enc[:0], frameHeartbeatAck, expired)
+			if !sc.writeFrame(enc) {
+				return
+			}
+		default:
+			return
+		}
+	}
+}
+
+// settleScratch is the reader goroutine's reusable working memory for
+// settling report frames.
+type settleScratch struct {
+	accepted []bool
+	settled  []*task
+}
+
+// settle settles one reports frame against the lease shards, writes
+// the acceptance ack, then runs the done callbacks back to back — one
+// frame, one scheduler wakeup, exactly as the JSON batch path. It
+// returns the reusable encode buffer and whether the ack write
+// succeeded.
+func (sc *streamConn) settle(rb binReports, enc []byte, ss *settleScratch) ([]byte, bool) {
+	s := sc.s
+	n := len(rb.Reports)
+	if cap(ss.accepted) < n {
+		ss.accepted = make([]bool, n)
+		ss.settled = make([]*task, n)
+	}
+	accepted, settled := ss.accepted[:n], ss.settled[:n]
+	clear(accepted)
+	clear(settled)
+	freed := 0
+	stateBytes := 0
+	for i, e := range rb.Reports {
+		// BinResponse.ID is the lease ID itself (BinResponseOf stamps
+		// it), so the JSON wire's response/lease pairing check is
+		// structural here; takeLease still enforces ownership.
+		if t := s.takeLease(e.ID, sc.worker, int(e.ID)); t != nil {
+			accepted[i] = true
+			settled[i] = t
+			freed++
+			if !e.IsErr {
+				stateBytes += len(e.State)
+			}
+		}
+	}
+	s.binReports.Add(int64(len(rb.Reports)))
+	s.accepted.Add(int64(freed))
+	s.rejected.Add(int64(len(rb.Reports) - freed))
+	s.activeLeases.Add(int64(-freed))
+	if freed > 0 {
+		// Freed lease slots may unblock pollers waiting on MaxLeases.
+		s.wakeIfPending()
+	}
+	enc = appendReportAck(enc[:0], binReportAck{Seq: rb.Seq, Accepted: accepted})
+	ok := sc.writeFrame(enc)
+	// The frame buffer is reused on the next read, so accepted
+	// checkpoints must outlive it: copy them all into one arena (one
+	// allocation per frame, not per report) before the done callbacks.
+	arena := make([]byte, 0, stateBytes)
+	for i, t := range settled {
+		if t == nil {
+			continue
+		}
+		var out Outcome
+		if e := rb.Reports[i]; e.IsErr {
+			out.Err = e.Err
+		} else {
+			out.Loss = e.Loss
+			if len(e.State) > 0 {
+				start := len(arena)
+				arena = append(arena, e.State...)
+				out.State = arena[start:len(arena):len(arena)]
+			}
+		}
+		t.done(out)
+	}
+	return enc, ok
+}
+
+// granterScratch is the granter goroutine's reusable working memory:
+// one frame encode buffer, the grant-core task scratch and the grant
+// list, so a steady-state poll allocates nothing.
+type granterScratch struct {
+	enc    []byte
+	tasks  []*task
+	grants []binGrant
+}
+
+// granter services the worker's lease polls against the shared grant
+// core, long-polling on the server's wake channel exactly as the JSON
+// handler does.
+func (sc *streamConn) granter() {
+	var gs granterScratch
+	for {
+		select {
+		case q := <-sc.leaseCh:
+			if !sc.serveLease(q, &gs) {
+				return
+			}
+		case <-sc.done:
+			return
+		}
+	}
+}
+
+// serveLease answers one lease poll: grant up to min(Max, BatchSize)
+// jobs, long-polling up to WaitMillis. Returns whether the connection
+// is still usable.
+func (sc *streamConn) serveLease(q binLeaseReq, gs *granterScratch) bool {
+	s := sc.s
+	wait := time.Duration(q.WaitMillis) * time.Millisecond
+	if wait > 30*time.Second {
+		wait = 30 * time.Second
+	}
+	max := q.Max
+	if max > s.opts.BatchSize {
+		max = s.opts.BatchSize
+	}
+	if max < 1 {
+		max = 1
+	}
+	deadline := time.Now().Add(wait)
+	for {
+		tasks, state, wake := s.grantTasks(sc.worker, max, q.Experiments, gs.tasks[:0])
+		if tasks != nil {
+			gs.tasks = tasks[:0]
+		}
+		switch state {
+		case grantDone:
+			// The granter stays alive after Done: the client is expected
+			// to stop polling and close, but a straggling poll is
+			// answered Done again rather than left hanging.
+			gs.enc = appendGrants(gs.enc[:0], binGrants{Seq: q.Seq, Done: true})
+			return sc.writeFrame(gs.enc)
+		case grantGone:
+			// The registration was invalidated mid-stream; kill the
+			// connection so the client redials, hits 410 on the
+			// handshake, and re-registers.
+			sc.close()
+			return false
+		}
+		if len(tasks) > 0 {
+			s.binGrants.Add(int64(len(tasks)))
+			g := binGrants{Seq: q.Seq, Grants: gs.grants[:0]}
+			for _, t := range tasks {
+				idx := sc.tableFor(&t.payload, &g)
+				g.Grants = append(g.Grants, binGrant{
+					Table: idx,
+					Job: exec.BinRequest{
+						ID:    t.leaseID,
+						Trial: t.payload.Trial,
+						From:  t.payload.From,
+						To:    t.payload.To,
+						Vec:   t.payload.Vec,
+						State: t.payload.State,
+					},
+				})
+			}
+			gs.grants = g.Grants[:0]
+			gs.enc = appendGrants(gs.enc[:0], g)
+			return sc.writeFrame(gs.enc)
+		}
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			gs.enc = appendGrants(gs.enc[:0], binGrants{Seq: q.Seq})
+			return sc.writeFrame(gs.enc)
+		}
+		timer := time.NewTimer(remaining)
+		select {
+		case <-wake:
+			timer.Stop()
+		case <-timer.C:
+		case <-sc.done:
+			timer.Stop()
+			return false
+		}
+	}
+}
+
+// tableFor returns the connection's table index for the job's
+// experiment, appending a new table entry to the outgoing frame the
+// first time the experiment appears on this connection — or again if
+// its parameter set ever changes. Tasks of one experiment share their
+// searchspace's live name slice, so the comparison is usually one
+// pointer check.
+func (sc *streamConn) tableFor(p *JobPayload, g *binGrants) uint64 {
+	if ct, ok := sc.tables[p.Experiment]; ok && sameParams(ct.params, p.Names) {
+		return ct.index
+	}
+	idx := sc.nextTable
+	sc.nextTable++
+	sc.tables[p.Experiment] = &connTable{index: idx, params: p.Names}
+	g.Tables = append(g.Tables, binTable{Index: idx, Experiment: p.Experiment, Params: p.Names})
+	return idx
+}
+
+// sameParams reports whether two parameter-name lists are identical,
+// with a pointer fast path for slices sharing a backing array.
+func sameParams(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	if len(a) == 0 || &a[0] == &b[0] {
+		return true
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -333,6 +333,24 @@ func (c Config) Equal(o Config) bool {
 	return true
 }
 
+// Values returns the configuration's backing value vector in table
+// order — the dense form the remote binary wire ships instead of a
+// name-keyed map. The slice is the live backing store, not a copy:
+// callers must treat it as read-only and must not retain it past the
+// configuration's lifetime.
+func (c Config) Values() []float64 { return c.vals }
+
+// Names returns the configuration's parameter names in table order.
+// The slice is the shared, immutable name table: configurations of the
+// same Space return the identical slice, so a transport can use slice
+// identity to detect "same table as last time" and send names once.
+func (c Config) Names() []string {
+	if c.table == nil {
+		return nil
+	}
+	return c.table.names
+}
+
 // Map returns a name-keyed copy of the configuration — the
 // compatibility representation handed to public objectives and the
 // subprocess wire protocol.

@@ -533,10 +533,14 @@ func (r *mgrRun) launch(ctx context.Context, e *mgrExp, job core.Job, fresh bool
 		r.fleet.Submit(remote.JobPayload{
 			Experiment: e.spec.Name,
 			Trial:      job.TrialID,
-			Config:     job.Config.Map(),
-			From:       from,
-			To:         job.TargetResource,
-			State:      raw,
+			// Dense config form: the searchspace's live name/value
+			// slices, shared across the experiment's jobs so the binary
+			// wire dedups its per-connection table by pointer.
+			Names: job.Config.Names(),
+			Vec:   job.Config.Values(),
+			From:  from,
+			To:    job.TargetResource,
+			State: raw,
 		}, func(out remote.Outcome) {
 			res := mgrResult{exp: exp, job: job}
 			switch {
