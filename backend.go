@@ -130,6 +130,10 @@ type Remote struct {
 	// from the worker Token — operators and workers hold different
 	// credentials.
 	AdminToken string
+	// StragglerK tunes straggler detection (needs Metrics): a settled
+	// job whose exec time exceeds StragglerK × the rolling p95 of its
+	// rung publishes a "straggler" event. Default 3.0.
+	StragglerK float64
 }
 
 func (r Remote) build(_ context.Context, t *Tuner, _ core.Scheduler) (backend.Backend, backend.Options, error) {
@@ -161,6 +165,7 @@ func (r Remote) newServer(defaultCapacity int) (*remote.Server, int, error) {
 		Events:        r.Events,
 		EventBuffer:   r.EventBuffer,
 		AdminToken:    r.AdminToken,
+		StragglerK:    r.StragglerK,
 	})
 	if err != nil {
 		return nil, 0, fmt.Errorf("asha: starting remote lease server: %w", err)

@@ -20,6 +20,14 @@
 //	                     fleet scales to zero; off lets a new fleet rejoin
 //	tail [experiment]    stream live run events (NDJSON from /v1/events)
 //	metrics              raw Prometheus scrape of /metrics
+//	latency              latency quantile summary (queue wait, exec,
+//	                     report settle, heartbeat RTT) computed from the
+//	                     /metrics histogram families, plus a
+//	                     per-experiment exec-time breakdown
+//	trace [trial]        recent settled-job span timelines from
+//	                     /v1/trace (all jobs when trial is omitted):
+//	                     queue/dwell/exec/buffer/settle per job, with
+//	                     stragglers flagged
 //
 // -token carries the admin secret (AdminToken server-side) — a separate
 // credential from the worker token. Pause freezes both the scheduler's
@@ -35,6 +43,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"os"
 	"os/signal"
@@ -63,7 +72,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		timeout = fs.Duration("timeout", 10*time.Second, "per-request timeout (tail streams are exempt)")
 	)
 	fs.Usage = func() {
-		fmt.Fprintln(stderr, "usage: ashactl -server URL -token SECRET <status|top|pause|resume|abort|workers|drain|tail|metrics> [args]")
+		fmt.Fprintln(stderr, "usage: ashactl -server URL -token SECRET <status|top|pause|resume|abort|workers|drain|tail|metrics|latency|trace> [args]")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -166,8 +175,32 @@ func dispatch(ctx context.Context, c *client, cmd string, args []string, stdout 
 		}
 		fmt.Fprint(stdout, text)
 		return nil
+	case "latency":
+		text, err := c.metrics(ctx)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(stdout, formatLatency(obs.ParseProm(text)))
+		return nil
+	case "trace":
+		url := c.base + "/v1/trace?n=50"
+		if len(args) > 0 {
+			if _, err := strconv.Atoi(args[0]); err != nil {
+				return fmt.Errorf("trace: %q is not a trial number", args[0])
+			}
+			url += "&trial=" + args[0]
+		}
+		var tr struct {
+			Total int64            `json:"total"`
+			Spans []remote.JobSpan `json:"spans"`
+		}
+		if err := c.getJSON(ctx, url, &tr); err != nil {
+			return err
+		}
+		fmt.Fprint(stdout, formatTrace(tr.Total, tr.Spans))
+		return nil
 	default:
-		return fmt.Errorf("unknown command %q (want status, top, pause, resume, abort, workers, drain, tail, or metrics)", cmd)
+		return fmt.Errorf("unknown command %q (want status, top, pause, resume, abort, workers, drain, tail, metrics, latency, or trace)", cmd)
 	}
 }
 
@@ -214,6 +247,24 @@ func (c *client) status(ctx context.Context) (remote.AdminStatus, error) {
 	var st remote.AdminStatus
 	err := c.admin(ctx, "status", struct{}{}, &st)
 	return st, err
+}
+
+// getJSON fetches one JSON endpoint (no auth — the observability plane
+// is read-only) and decodes the reply.
+func (c *client) getJSON(ctx context.Context, url string, out interface{}) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: server answered %s", req.URL.Path, resp.Status)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
 }
 
 func (c *client) metrics(ctx context.Context) (string, error) {
@@ -393,9 +444,212 @@ func formatEvent(e obs.Event) string {
 		return fmt.Sprintf("%s %-16s rung %d reached", ts, exp, e.Rung)
 	case obs.EventIncumbent:
 		return fmt.Sprintf("%s %-16s new incumbent: trial %-5d loss %.6g at r=%g", ts, exp, e.Trial, e.Loss, e.Resource)
+	case obs.EventStraggler:
+		return fmt.Sprintf("%s %-16s STRAGGLER trial %-5d rung %d  exec %s (>k×p95 of rung)",
+			ts, exp, e.Trial, e.Rung, time.Duration(e.DurMs)*time.Millisecond)
 	case obs.EventDropped:
 		return fmt.Sprintf("%s (stream)         %d events dropped (slow consumer)", ts, e.Count)
 	default:
 		return fmt.Sprintf("%s %-16s %s trial %-5d", ts, exp, e.Type, e.Trial)
 	}
+}
+
+// scrapedHist is one histogram family reconstructed from a /metrics
+// scrape: the cumulative bucket counts keyed by their upper bounds.
+type scrapedHist struct {
+	count, sum float64
+	les        []float64 // sorted upper bounds (seconds; +Inf last)
+	cum        []float64 // cumulative counts aligned with les
+}
+
+// histFromScrape pulls one histogram family out of a parsed scrape.
+// labels is the family's fixed label block without le (e.g.
+// `experiment="cifar"`), empty for unlabeled families.
+func histFromScrape(m map[string]float64, name, labels string) (scrapedHist, bool) {
+	prefix := name + `_bucket{`
+	if labels != "" {
+		prefix += labels + `,`
+	}
+	prefix += `le="`
+	var h scrapedHist
+	type bkt struct{ le, cum float64 }
+	var bkts []bkt
+	for k, v := range m {
+		if !strings.HasPrefix(k, prefix) || !strings.HasSuffix(k, `"}`) {
+			continue
+		}
+		les := k[len(prefix) : len(k)-2]
+		le := math.Inf(1)
+		if les != "+Inf" {
+			f, err := strconv.ParseFloat(les, 64)
+			if err != nil {
+				continue
+			}
+			le = f
+		}
+		bkts = append(bkts, bkt{le: le, cum: v})
+	}
+	if len(bkts) == 0 {
+		return h, false
+	}
+	sort.Slice(bkts, func(i, j int) bool { return bkts[i].le < bkts[j].le })
+	for _, b := range bkts {
+		h.les = append(h.les, b.le)
+		h.cum = append(h.cum, b.cum)
+	}
+	suffix := ""
+	if labels != "" {
+		suffix = "{" + labels + "}"
+	}
+	h.count = m[name+"_count"+suffix]
+	h.sum = m[name+"_sum"+suffix]
+	return h, true
+}
+
+// quantile interpolates the q-quantile (seconds) from the cumulative
+// buckets, mirroring the server-side histogram's estimator.
+func (h scrapedHist) quantile(q float64) float64 {
+	total := h.count
+	if total <= 0 {
+		return 0
+	}
+	rank := math.Ceil(q * total)
+	if rank < 1 {
+		rank = 1
+	}
+	for i, c := range h.cum {
+		if c < rank {
+			continue
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = h.les[i-1]
+		}
+		hi := h.les[i]
+		if math.IsInf(hi, 1) {
+			return lo // overflow bucket: report its lower bound
+		}
+		inBkt := c
+		if i > 0 {
+			inBkt -= h.cum[i-1]
+		}
+		if inBkt <= 0 {
+			return hi
+		}
+		return lo + (hi-lo)*((rank-(c-inBkt))/inBkt)
+	}
+	return 0
+}
+
+func (h scrapedHist) mean() float64 {
+	if h.count <= 0 {
+		return 0
+	}
+	return h.sum / h.count
+}
+
+// fmtSecs renders a latency in seconds for the summary tables.
+func fmtSecs(s float64) string {
+	if s <= 0 {
+		return "-"
+	}
+	return fmtDurCtl(time.Duration(s * float64(time.Second)))
+}
+
+func fmtUs(us int64) string {
+	if us <= 0 {
+		return "-"
+	}
+	return fmtDurCtl(time.Duration(us) * time.Microsecond)
+}
+
+func fmtDurCtl(d time.Duration) string {
+	switch {
+	case d < time.Millisecond:
+		return d.Round(time.Microsecond).String()
+	case d < time.Second:
+		return d.Round(10 * time.Microsecond).String()
+	default:
+		return d.Round(time.Millisecond).String()
+	}
+}
+
+// formatLatency renders the latency summary from a parsed /metrics
+// scrape: the four server-wide stage histograms, then the
+// per-experiment exec breakdown.
+func formatLatency(m map[string]float64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-16s %10s %12s %12s %12s %12s\n", "stage", "count", "p50", "p90", "p99", "mean")
+	families := []struct{ label, name string }{
+		{"queue wait", "asha_queue_wait_seconds"},
+		{"exec", "asha_exec_seconds"},
+		{"report settle", "asha_report_settle_seconds"},
+		{"heartbeat rtt", "asha_heartbeat_rtt_seconds"},
+	}
+	any := false
+	for _, f := range families {
+		h, ok := histFromScrape(m, f.name, "")
+		if !ok {
+			continue
+		}
+		any = true
+		fmt.Fprintf(&b, "%-16s %10d %12s %12s %12s %12s\n", f.label, int64(h.count),
+			fmtSecs(h.quantile(0.5)), fmtSecs(h.quantile(0.9)), fmtSecs(h.quantile(0.99)), fmtSecs(h.mean()))
+	}
+	if !any {
+		return "no latency histograms in the scrape (server not started with Metrics?)\n"
+	}
+	// Per-experiment exec breakdown: discover the label values from the
+	// family's _count samples.
+	const expFam = "asha_experiment_exec_seconds"
+	prefix := expFam + `_count{experiment="`
+	var exps []string
+	for k := range m {
+		if strings.HasPrefix(k, prefix) && strings.HasSuffix(k, `"}`) {
+			exps = append(exps, k[len(prefix):len(k)-2])
+		}
+	}
+	if len(exps) > 0 {
+		sort.Strings(exps)
+		fmt.Fprintf(&b, "\n%-20s %10s %12s %12s %12s\n", "experiment exec", "count", "p50", "p99", "mean")
+		for _, e := range exps {
+			h, ok := histFromScrape(m, expFam, `experiment="`+e+`"`)
+			if !ok {
+				continue
+			}
+			fmt.Fprintf(&b, "%-20s %10d %12s %12s %12s\n", expName(e), int64(h.count),
+				fmtSecs(h.quantile(0.5)), fmtSecs(h.quantile(0.99)), fmtSecs(h.mean()))
+		}
+	}
+	return b.String()
+}
+
+// formatTrace renders /v1/trace spans, newest first, one line per
+// settled job.
+func formatTrace(total int64, spans []remote.JobSpan) string {
+	var b strings.Builder
+	if len(spans) == 0 {
+		return fmt.Sprintf("no spans (total settled: %d)\n", total)
+	}
+	fmt.Fprintf(&b, "%d spans of %d settled (newest first)\n", len(spans), total)
+	fmt.Fprintf(&b, "%-12s %-16s %6s %4s %9s %9s %9s %9s %9s  %s\n",
+		"settled", "experiment", "trial", "rung", "queue", "dwell", "exec", "buffer", "settle", "flags")
+	for _, sp := range spans {
+		ts := time.UnixMilli(sp.SettleUnixMs).UTC().Format("15:04:05.000")
+		var flags []string
+		if sp.Straggler {
+			flags = append(flags, "STRAGGLER")
+		}
+		if sp.Err {
+			flags = append(flags, "err")
+		}
+		if !sp.Timed {
+			flags = append(flags, "untimed")
+		}
+		fmt.Fprintf(&b, "%-12s %-16s %6d %4d %9s %9s %9s %9s %9s  %s\n",
+			ts, expName(sp.Experiment), sp.Trial, sp.Rung,
+			fmtUs(sp.QueueUs), fmtUs(sp.DwellUs), fmtUs(sp.ExecUs), fmtUs(sp.BufUs), fmtUs(sp.SettleUs),
+			strings.Join(flags, ","))
+	}
+	return b.String()
 }

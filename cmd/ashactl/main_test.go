@@ -88,6 +88,48 @@ func TestFormatStatusGolden(t *testing.T) {
 	checkGolden(t, "top.golden", formatTop(st))
 }
 
+// TestFormatLatencyGolden pins the latency summary against a scrape
+// built from real histograms — the same WriteProm/ParseProm round trip
+// the command performs against a live server.
+func TestFormatLatencyGolden(t *testing.T) {
+	var queue, exec, settle, rtt, expExec obs.Histogram
+	for i := 0; i < 90; i++ {
+		queue.Observe(2 * time.Millisecond)
+		exec.Observe(80 * time.Millisecond)
+		expExec.Observe(80 * time.Millisecond)
+	}
+	for i := 0; i < 10; i++ {
+		exec.Observe(2 * time.Second)
+		expExec.Observe(2 * time.Second)
+	}
+	settle.Observe(300 * time.Microsecond)
+	rtt.Observe(1500 * time.Microsecond)
+	var b strings.Builder
+	queue.WriteProm(&b, "asha_queue_wait_seconds", nil)
+	exec.WriteProm(&b, "asha_exec_seconds", nil)
+	settle.WriteProm(&b, "asha_report_settle_seconds", nil)
+	rtt.WriteProm(&b, "asha_heartbeat_rtt_seconds", nil)
+	expExec.WriteProm(&b, "asha_experiment_exec_seconds", []obs.Label{{Name: "experiment", Value: "cifar-asha"}})
+	checkGolden(t, "latency.golden", formatLatency(obs.ParseProm(b.String())))
+}
+
+// TestFormatTraceGolden pins the trace rendering.
+func TestFormatTraceGolden(t *testing.T) {
+	base := time.Date(2026, 8, 7, 12, 30, 45, 123e6, time.UTC).UnixMilli()
+	spans := []remote.JobSpan{
+		{Experiment: "cifar-asha", Trial: 17, Rung: 1, Lease: 42, Worker: "w1",
+			GrantUnixMs: base - 500, SettleUnixMs: base,
+			QueueUs: 1200, DwellUs: 350, ExecUs: 480000, BufUs: 900, SettleUs: 210, Timed: true},
+		{Experiment: "cifar-asha", Trial: 9, Rung: 0, Lease: 41, Worker: "w2",
+			GrantUnixMs: base - 9000, SettleUnixMs: base - 100,
+			QueueUs: 800, DwellUs: 120, ExecUs: 8400000, BufUs: 300, SettleUs: 95, Timed: true, Straggler: true},
+		{Trial: 3, Rung: 0, Lease: 40, Worker: "w1",
+			GrantUnixMs: base - 2000, SettleUnixMs: base - 200,
+			QueueUs: 400, ExecUs: 1700000, Err: true},
+	}
+	checkGolden(t, "trace.golden", formatTrace(128, spans))
+}
+
 // fakeControl records control-plane calls and serves a fixed status.
 type fakeControl struct {
 	mu    sync.Mutex
@@ -170,6 +212,12 @@ func TestCommandsAgainstLiveServer(t *testing.T) {
 	}
 	if got := ctl(t, "metrics"); !strings.Contains(got, "asha_leases_granted_total") {
 		t.Errorf("metrics scrape missing counter family:\n%s", got)
+	}
+	if got := ctl(t, "latency"); !strings.Contains(got, "queue wait") || !strings.Contains(got, "heartbeat rtt") {
+		t.Errorf("latency summary missing stage rows:\n%s", got)
+	}
+	if got := ctl(t, "trace"); !strings.Contains(got, "no spans") {
+		t.Errorf("trace on an idle server should report no spans:\n%s", got)
 	}
 
 	want := []string{"pause:exp-a", "resume:exp-a", "workers:9", "abort:"}

@@ -135,6 +135,10 @@ type remoteSpec struct {
 	// workers/drain) under this bearer token — keep it distinct from the
 	// worker token.
 	AdminToken string `json:"adminToken,omitempty"`
+	// StragglerK tunes straggler detection (needs Metrics): a settled
+	// job whose exec time exceeds StragglerK × the rolling p95 of its
+	// rung publishes a "straggler" event (default 3.0).
+	StragglerK float64 `json:"stragglerK,omitempty"`
 }
 
 // expSpec is one experiment entry.
@@ -396,6 +400,7 @@ func main() {
 			Events:        mf.Remote.Events,
 			EventBuffer:   mf.Remote.EventBuffer,
 			AdminToken:    mf.Remote.AdminToken,
+			StragglerK:    mf.Remote.StragglerK,
 			OnListen: func(url string) {
 				fmt.Printf("ashad: serving the worker fleet at %s\n", url)
 			},

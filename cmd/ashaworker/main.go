@@ -29,6 +29,13 @@
 // lease grants, report batches and heartbeats as dense binary frames);
 // -json-wire pins it to the batched JSON protocol instead, which every
 // server keeps serving.
+//
+// On either wire the worker stage-times every job on its monotonic
+// clock — dequeue dwell, execution, report-buffer wait — and ships the
+// durations with each report (plus measured heartbeat round trips), so
+// a metrics-enabled server can attribute latency per stage (ashactl
+// latency / trace). Against an older server that does not negotiate
+// the timed frames, the worker sends the exact pre-timing wire format.
 package main
 
 import (

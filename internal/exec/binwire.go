@@ -22,13 +22,26 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"time"
 )
 
-// BinWireVersion is the version of the binary job wire. It is
-// negotiated once per connection (not stamped per job, unlike the JSON
-// wire's per-message "v" field), so version checks cost nothing on the
-// per-job path.
+// BinWireVersion is the version of the binary job *payload* encoding —
+// BinRequest/BinResponse bodies. The stream protocol wrapping these
+// payloads (frame types, optional timing fields) versions separately as
+// remote.BinProtocolVersion and is negotiated once per connection (not
+// stamped per job, unlike the JSON wire's per-message "v" field), so
+// version checks cost nothing on the per-job path.
 const BinWireVersion = 1
+
+// DurationUs converts a worker-measured monotonic duration to the
+// microsecond count the timed wire shapes carry, clamping negatives to
+// zero so a clock anomaly can never encode as a huge unsigned value.
+func DurationUs(d time.Duration) int64 {
+	if d <= 0 {
+		return 0
+	}
+	return int64(d / time.Microsecond)
+}
 
 // --- append-style encoders ---
 

@@ -44,6 +44,10 @@ const (
 	EventRungAdvance = "rung_advance"
 	// EventIncumbent: the run's best observed loss improved.
 	EventIncumbent = "new_incumbent"
+	// EventStraggler: a settled job's execution time exceeded k×p95 of
+	// its rung's rolling exec-time distribution (DurMs carries the
+	// offending duration).
+	EventStraggler = "straggler"
 	// EventDropped is synthesized per subscriber (never stored in the
 	// ring): the subscriber fell behind and Count events were skipped.
 	EventDropped = "dropped"
@@ -72,6 +76,9 @@ type Event struct {
 	// Count carries the number of skipped events on an EventDropped
 	// record.
 	Count int64 `json:"count,omitempty"`
+	// DurMs carries the observed duration in milliseconds on an
+	// EventStraggler record (the trial's exec time for the settled job).
+	DurMs int64 `json:"durMs,omitempty"`
 }
 
 // sanitize clears fields JSON cannot carry: a non-finite loss (a failed

@@ -85,12 +85,20 @@ type heldLease struct {
 type queuedGrant struct {
 	grant LeaseGrant
 	h     *heldLease
+	// recv is the local monotonic receive time of the grant; the dwell
+	// stage (queue wait inside this worker) is measured against it.
+	recv time.Time
 }
 
 // pendingReport is one completed response awaiting a report flush.
+// dwell and exec are the worker-measured stage durations (monotonic
+// deltas); doneAt anchors the report-buffer dwell, closed at flush.
 type pendingReport struct {
-	entry ReportEntry
-	h     *heldLease
+	entry  ReportEntry
+	h      *heldLease
+	dwell  time.Duration
+	exec   time.Duration
+	doneAt time.Time
 }
 
 // agent is one connected worker running the prefetch pipeline: a
@@ -137,9 +145,17 @@ type agent struct {
 	leaseSeq uint64
 	repSeq   uint64
 
-	// Reporter-goroutine scratch, reused flush to flush.
+	// Reporter-goroutine scratch, reused flush to flush. repTimings is
+	// the slab the flushed entries' Timing pointers alias, so it must
+	// stay untouched until the next flush rebuilds it.
 	repEntries []ReportEntry
 	repBin     []exec.BinResponse
+	repTimings []JobTiming
+
+	// lastRTTUs is the previous JSON heartbeat's measured round trip,
+	// shipped on the next one (the server can't observe a client-side
+	// RTT any other way).
+	lastRTTUs atomic.Int64
 
 	mu   sync.Mutex
 	held map[uint64]*heldLease
@@ -291,7 +307,21 @@ func (a *agent) legacyServer() bool {
 func (a *agent) binWire() bool {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	return !a.o.JSONWire && a.advBin == BinProtocolVersion && !a.legacy
+	return !a.o.JSONWire && a.advBin >= 1 && !a.legacy
+}
+
+// binVersion is the stream protocol version this agent speaks to the
+// current registration: the server's advert capped at its own — so a
+// new worker downgrades to an old server's frames, and an old worker's
+// lower ask makes a new server hold back timed frames.
+func (a *agent) binVersion() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	v := a.advBin
+	if v > BinProtocolVersion {
+		v = BinProtocolVersion
+	}
+	return v
 }
 
 // curStream returns the live binary stream, or nil if there is none
@@ -535,6 +565,7 @@ func (a *agent) fetchLoop(ctx context.Context) error {
 		}
 		clear(granted)
 		accepted = accepted[:0]
+		recv := time.Now()
 		a.mu.Lock()
 		for i := range lb.Grants {
 			g := &lb.Grants[i]
@@ -560,7 +591,7 @@ func (a *agent) fetchLoop(ctx context.Context) error {
 			}
 			a.held[g.LeaseID] = h
 			a.active++
-			accepted = append(accepted, queuedGrant{grant: *g, h: h})
+			accepted = append(accepted, queuedGrant{grant: *g, h: h, recv: recv})
 		}
 		a.mu.Unlock()
 		for _, q := range accepted {
@@ -686,11 +717,19 @@ func (a *agent) runOne(ctx context.Context, q queuedGrant, sc *slotCtx) {
 	h.cancel = sc.cancel
 	a.mu.Unlock()
 
+	// Stage clocks: every duration is the difference of two local
+	// time.Now readings, so Go's monotonic clock carries them — wall
+	// clock steps (NTP, suspend) cannot produce negative or absurd
+	// stages, and no remote timestamp is ever subtracted from a local
+	// one.
+	start := time.Now()
+	dwell := start.Sub(q.recv)
 	var resp exec.Response
 	obj, err := a.o.Resolve(g.Experiment)
 	if err == nil {
 		resp, err = exec.RunJob(jobCtx, obj, g.Job)
 	}
+	execDur := time.Since(start)
 	if jobCtx.Err() != nil && ctx.Err() == nil {
 		// The lease was forfeited while training: the server has already
 		// requeued the job, so there is nothing worth reporting.
@@ -714,7 +753,13 @@ func (a *agent) runOne(ctx context.Context, q queuedGrant, sc *slotCtx) {
 	// flushes — the fetcher can lease its replacement immediately.
 	a.kickFetch()
 	select {
-	case a.reports <- pendingReport{entry: ReportEntry{LeaseID: g.LeaseID, Response: resp}, h: h}:
+	case a.reports <- pendingReport{
+		entry:  ReportEntry{LeaseID: g.LeaseID, Response: resp},
+		h:      h,
+		dwell:  dwell,
+		exec:   execDur,
+		doneAt: time.Now(),
+	}:
 	case <-ctx.Done():
 	}
 }
@@ -787,14 +832,28 @@ func (a *agent) flushReports(ctx context.Context, pending []pendingReport) []pen
 	// number may since have been reissued to a different job — posting
 	// it could settle the wrong lease. The entries buffer is reused
 	// across flushes (the reporter goroutine is its only user).
+	now := time.Now()
 	a.mu.Lock()
 	entries := a.repEntries[:0]
+	timings := a.repTimings[:0]
 	for _, p := range pending {
 		if !p.h.expired && a.held[p.entry.LeaseID] == p.h {
 			entries = append(entries, p.entry)
+			timings = append(timings, JobTiming{
+				DwellUs: exec.DurationUs(p.dwell),
+				ExecUs:  exec.DurationUs(p.exec),
+				BufUs:   exec.DurationUs(now.Sub(p.doneAt)),
+			})
 		}
 	}
 	a.mu.Unlock()
+	// The Timing pointers alias the slab, taken only after it stopped
+	// growing; legacy servers never see them (the single-report shape
+	// has no timing field) and the binary path carries timings as a
+	// parallel slice instead.
+	for i := range entries {
+		entries[i].Timing = &timings[i]
+	}
 	wid := a.workerID()
 	deliver := func(req, reply interface{}) {
 		for attempt := 0; attempt < 3 && ctx.Err() == nil; attempt++ {
@@ -832,7 +891,7 @@ func (a *agent) flushReports(ctx context.Context, pending []pendingReport) []pen
 		// already-settled leases.
 		delivered := false
 		if bs := a.curStream(); bs != nil {
-			delivered = a.binFlush(ctx, bs, entries)
+			delivered = a.binFlush(ctx, bs, entries, timings)
 		}
 		if !delivered {
 			var rr ReportBatchResult
@@ -844,6 +903,7 @@ func (a *agent) flushReports(ctx context.Context, pending []pendingReport) []pen
 	// must expire so the server requeues their jobs.
 	a.releaseAll(pending)
 	a.repEntries = entries[:0]
+	a.repTimings = timings[:0]
 	return pending[:0]
 }
 
@@ -868,7 +928,7 @@ func (a *agent) releaseAll(pending []pendingReport) {
 // the server's ack, keeping at most one batch outstanding. Rejected
 // entries need no handling (their leases expired; the jobs are already
 // requeued). false sends the caller to the JSON fallback.
-func (a *agent) binFlush(ctx context.Context, bs *binStream, entries []ReportEntry) bool {
+func (a *agent) binFlush(ctx context.Context, bs *binStream, entries []ReportEntry, timings []JobTiming) bool {
 	a.repSeq++
 	seq := a.repSeq
 	// The conversion buffer is reused across flushes: send encodes the
@@ -879,9 +939,20 @@ func (a *agent) binFlush(ctx context.Context, bs *binStream, entries []ReportEnt
 		reports = append(reports, exec.BinResponseOf(e.LeaseID, e.Response))
 	}
 	a.repBin = reports
-	if !bs.send(func(dst []byte) []byte {
-		return appendReports(dst, binReports{Seq: seq, Reports: reports})
-	}) {
+	var ok bool
+	if bs.ver >= 2 {
+		ok = bs.send(func(dst []byte) []byte {
+			return appendTimedReports(dst, binTimedReports{
+				binReports: binReports{Seq: seq, Reports: reports},
+				Timings:    timings,
+			})
+		})
+	} else {
+		ok = bs.send(func(dst []byte) []byte {
+			return appendReports(dst, binReports{Seq: seq, Reports: reports})
+		})
+	}
+	if !ok {
 		return false
 	}
 	timer := time.NewTimer(10 * time.Second)
@@ -931,23 +1002,39 @@ func (a *agent) heartbeatLoop(ctx context.Context, stop, done chan struct{}) {
 			}
 			// Over a live binary stream the heartbeat is one frame,
 			// fire-and-forget: its ack applies asynchronously through
-			// the reader (markExpired). A dead or absent stream falls
-			// back to the JSON endpoint.
+			// the reader (markExpired). A v2 stream sends the timed
+			// shape, carrying the previous beat's measured RTT and
+			// arming the next sample; the ack's arrival closes it in
+			// the reader. A dead or absent stream falls back to JSON.
 			if bs := a.curStream(); bs != nil {
-				if bs.send(func(dst []byte) []byte {
-					return appendLeaseIDFrame(dst, frameHeartbeat, leases)
-				}) {
+				var sent bool
+				if bs.ver >= 2 {
+					bs.hbSentNs.Store(time.Since(bs.born).Nanoseconds())
+					sent = bs.send(func(dst []byte) []byte {
+						return appendTimedHeartbeat(dst, binTimedHeartbeat{RttUs: bs.rttUs.Load(), Leases: leases})
+					})
+				} else {
+					sent = bs.send(func(dst []byte) []byte {
+						return appendLeaseIDFrame(dst, frameHeartbeat, leases)
+					})
+				}
+				if sent {
 					continue
 				}
 			}
 			var hr heartbeatResp
 			// Transport errors are ignored: a missed heartbeat only
-			// narrows the lease's remaining TTL.
+			// narrows the lease's remaining TTL. The request carries the
+			// previous beat's RTT; this one's is measured around the
+			// POST itself (monotonic time.Since).
+			hbStart := time.Now()
 			if _, err := a.post(ctx, "/v1/heartbeat",
-				heartbeatReq{Version: ProtocolVersion, Token: a.o.Token, WorkerID: a.workerID(), Leases: leases},
+				heartbeatReq{Version: ProtocolVersion, Token: a.o.Token, WorkerID: a.workerID(),
+					Leases: leases, RttUs: a.lastRTTUs.Load()},
 				&hr, 5*time.Second); err != nil {
 				continue
 			}
+			a.lastRTTUs.Store(time.Since(hbStart).Microseconds())
 			// Leases the server reports expired are already requeued
 			// elsewhere: cancel their running jobs so the slots free up,
 			// and mark queued ones so the slots skip them on dequeue.

@@ -124,6 +124,7 @@ func (b *Backend) Launch(job core.Job) {
 	}
 	b.srv.Submit(JobPayload{
 		Trial: job.TrialID,
+		Rung:  job.Rung,
 		// The dense Names/Vec form: the searchspace's live slices, so
 		// every job of one space shares a backing array and the binary
 		// wire's table dedup is a pointer compare. The server rebuilds

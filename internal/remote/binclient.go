@@ -26,6 +26,7 @@ import (
 	"net/http"
 	"net/url"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/exec"
@@ -51,6 +52,20 @@ type streamBatch struct {
 type binStream struct {
 	c  net.Conn
 	br *bufio.Reader
+	// ver is the negotiated stream protocol version:
+	// min(server-advertised, BinProtocolVersion). Timed frames (stage
+	// timings, grant timestamps, heartbeat RTT) flow only at >= 2.
+	ver int
+	// born anchors the stream's monotonic clock: heartbeat RTT is
+	// measured as the difference of two time.Since(born) readings (send
+	// in the heartbeat sender, ack arrival in the reader), exchanged
+	// through hbSentNs without mixing in any wall clock.
+	born time.Time
+	// hbSentNs is the send time (nanos since born) of the heartbeat
+	// whose ack is outstanding (0 = none); rttUs is the last measured
+	// round trip, shipped on the next timed heartbeat.
+	hbSentNs atomic.Int64
+	rttUs    atomic.Int64
 
 	// wmu serializes frame writes from the fetcher, reporter and
 	// heartbeat goroutines; enc is the shared encode buffer it guards.
@@ -90,7 +105,8 @@ func (a *agent) dialStream(ctx context.Context, wid string) (bs *binStream, done
 	if err != nil {
 		return nil, false, 0, err
 	}
-	body, err := json.Marshal(streamReq{Version: ProtocolVersion, Bin: BinProtocolVersion, Token: a.o.Token, WorkerID: wid})
+	ver := a.binVersion()
+	body, err := json.Marshal(streamReq{Version: ProtocolVersion, Bin: ver, Token: a.o.Token, WorkerID: wid})
 	if err != nil {
 		_ = conn.Close()
 		return nil, false, 0, err
@@ -120,6 +136,8 @@ func (a *agent) dialStream(ctx context.Context, wid string) (bs *binStream, done
 		bs := &binStream{
 			c:      conn,
 			br:     br,
+			ver:    ver,
+			born:   time.Now(),
 			bw:     bufio.NewWriter(conn),
 			grants: make(chan streamBatch, 1),
 			acks:   make(chan binReportAck, 1),
@@ -224,12 +242,12 @@ func (bs *binStream) reader() {
 		buf = body[:0]
 		r := exec.NewWireReader(body[1:])
 		switch body[0] {
-		case frameGrants:
+		case frameGrants, frameTimedGrants:
 			// One fresh slab per frame backs every grant's config vector
 			// (the vectors outlive the frame, so the slab is handed over,
 			// not reused).
 			r.SetFloatSlab(make([]float64, 0, vecTotal))
-			g, err := decodeGrants(r, bs.tableLen)
+			g, grantMs, err := decodeGrantsCore(r, bs.tableLen, body[0] == frameTimedGrants)
 			if err != nil {
 				return
 			}
@@ -249,17 +267,21 @@ func (bs *binStream) reader() {
 				// checkpoint copy per job.
 				buf = nil
 			}
-			for _, gr := range g.Grants {
+			for i, gr := range g.Grants {
 				ct := bs.tables[gr.Table]
 				job, err := gr.Job.RequestShared(ct.params)
 				if err != nil {
 					return
 				}
-				sb.grants = append(sb.grants, LeaseGrant{
+				lg := LeaseGrant{
 					LeaseID:    gr.Job.ID,
 					Experiment: ct.experiment,
 					Job:        job,
-				})
+				}
+				if grantMs != nil {
+					lg.GrantUnixMs = grantMs[i]
+				}
+				sb.grants = append(sb.grants, lg)
 			}
 			select {
 			case bs.grants <- sb:
@@ -282,6 +304,14 @@ func (bs *binStream) reader() {
 			ids, err := decodeLeaseIDs(r)
 			if err != nil {
 				return
+			}
+			// Close the RTT sample for the outstanding heartbeat: both
+			// endpoints are time.Since(born) readings, so the difference
+			// is a pure monotonic delta.
+			if sent := bs.hbSentNs.Swap(0); sent > 0 {
+				if rtt := time.Since(bs.born).Nanoseconds() - sent; rtt > 0 {
+					bs.rttUs.Store(rtt / int64(time.Microsecond))
+				}
 			}
 			if len(ids) > 0 && bs.onExpired != nil {
 				bs.onExpired(ids)

@@ -31,10 +31,16 @@ func reencodeFrame(typ byte, v interface{}) []byte {
 		return appendLeaseReq(nil, m)
 	case binGrants:
 		return appendGrants(nil, m)
+	case binTimedGrants:
+		return appendTimedGrants(nil, m)
 	case binReports:
 		return appendReports(nil, m)
+	case binTimedReports:
+		return appendTimedReports(nil, m)
 	case binReportAck:
 		return appendReportAck(nil, m)
+	case binTimedHeartbeat:
+		return appendTimedHeartbeat(nil, m)
 	case []uint64:
 		return appendLeaseIDFrame(nil, typ, m)
 	}
@@ -65,6 +71,13 @@ func seedFrames() [][]byte {
 		appendReportAck(nil, binReportAck{Seq: 3, Accepted: []bool{true, false, true, true, true, false, true, true, true}}),
 		appendLeaseIDFrame(nil, frameHeartbeat, []uint64{101, 102, 1 << 40}),
 		appendLeaseIDFrame(nil, frameHeartbeatAck, []uint64{102}),
+		// The timed v2 shapes: grants with per-grant timestamps, reports
+		// with per-entry stage timings, heartbeats with a measured RTT.
+		appendTimedGrants(nil, binTimedGrants{binGrants: grants,
+			GrantMs: []int64{1754560000000, 1754560000120, 1754560000250}}),
+		appendTimedReports(nil, binTimedReports{binReports: reports,
+			Timings: []JobTiming{{DwellUs: 120, ExecUs: 480000, BufUs: 900}, {DwellUs: 3, ExecUs: 75, BufUs: 0}}}),
+		appendTimedHeartbeat(nil, binTimedHeartbeat{RttUs: 1500, Leases: []uint64{101, 102}}),
 	}
 }
 
@@ -127,6 +140,15 @@ func FuzzBinaryLeaseBatch(f *testing.F) {
 			{Table: 3, Job: exec.BinRequest{ID: 22, Trial: 2, To: 2, Vec: []float64{1, 2, 3}}},
 		}})
 	add(binGrants{Seq: 3, Done: true})
+	// Timed bodies share the corpus: the fuzz body also runs each input
+	// through the timed decoder, so v2 grant timestamps get the same
+	// structural scrutiny.
+	f.Add(appendTimedGrants(nil, binTimedGrants{
+		binGrants: binGrants{Seq: 4, Grants: []binGrant{
+			{Table: 1, Job: exec.BinRequest{ID: 31, Trial: 6, To: 4, Vec: []float64{0.1}}},
+		}},
+		GrantMs: []int64{1754560000000},
+	})[1:])
 	// Structural violations the decoder must reject whole: a duplicated
 	// lease, an undefined table, a vector/table length mismatch.
 	f.Add(appendGrants(nil, binGrants{Grants: []binGrant{
@@ -137,6 +159,20 @@ func FuzzBinaryLeaseBatch(f *testing.F) {
 		{Table: 1, Job: exec.BinRequest{ID: 5, Vec: []float64{1, 2, 3}}},
 	}})[1:])
 	f.Fuzz(func(t *testing.T, data []byte) {
+		// The same body through the timed decoder first (it has its own
+		// error paths): whatever decodes must round-trip stably with its
+		// grant timestamps.
+		if tg, err := decodeTimedGrants(exec.NewWireReader(data), ambient); err == nil {
+			tenc := appendTimedGrants(nil, tg)[1:]
+			tback, err := decodeTimedGrants(exec.NewWireReader(tenc), ambient)
+			if err != nil {
+				t.Fatalf("re-encoded timed grants failed to decode: %v", err)
+			}
+			tenc2 := appendTimedGrants(nil, tback)[1:]
+			if !bytes.Equal(tenc, tenc2) {
+				t.Fatalf("timed grants encoding not stable:\n % x\n % x", tenc, tenc2)
+			}
+		}
 		g, err := decodeGrants(exec.NewWireReader(data), ambient)
 		if err != nil {
 			return

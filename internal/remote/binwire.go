@@ -35,11 +35,20 @@ import (
 	"repro/internal/exec"
 )
 
-// BinProtocolVersion is the version of the binary streaming wire a
-// server advertises in its registration reply ("bin"); 0 — the field
-// absent — means the server predates the binary wire and the agent
-// stays on JSON.
-const BinProtocolVersion = exec.BinWireVersion
+// BinProtocolVersion is the newest version of the binary streaming
+// wire a server speaks, advertised in its registration reply ("bin");
+// 0 — the field absent — means the server predates the binary wire and
+// the agent stays on JSON. The version is negotiated per connection:
+// the agent opens the stream at min(advertised, own), the server
+// accepts any handshake in [1, BinProtocolVersion], so mixed-generation
+// fleets interoperate in both directions. It versions the *stream*
+// framing and is decoupled from exec.BinWireVersion (the per-job
+// payload encoding, unchanged since v1).
+//
+// v2 adds the timed frame types (0x04/0x05/0x84) carrying per-job
+// stage timings and grant timestamps; the v1 frames encode
+// byte-identically on both versions.
+const BinProtocolVersion = 2
 
 // maxFrameBody bounds one frame's body: far above any sane batch
 // (checkpoints are small JSON blobs), far below anything that could
@@ -55,6 +64,11 @@ const (
 	frameGrants       = 0x81 // server→worker: grant batch (answers frameLease; Done ends the run)
 	frameReportAck    = 0x82 // server→worker: per-entry acceptance (answers frameReports)
 	frameHeartbeatAck = 0x83 // server→worker: leases the worker no longer holds
+
+	// v2 timed twins (only spoken on connections negotiated at >= 2):
+	frameTimedReports   = 0x04 // worker→server: frameReports + per-entry stage timings
+	frameTimedHeartbeat = 0x05 // worker→server: frameHeartbeat + last observed heartbeat RTT
+	frameTimedGrants    = 0x84 // server→worker: frameGrants + per-grant grant timestamp
 )
 
 // appendFrame wraps body (type byte included) in its length prefix.
@@ -158,8 +172,36 @@ type binGrants struct {
 	Grants []binGrant
 }
 
+// binTimedGrants is the v2 grants frame: the same batch plus one grant
+// wall-clock timestamp (Unix milliseconds) per grant, aligned with
+// Grants. The timestamp is informational (span timelines), never
+// differenced against the worker's clock for a stage duration.
+type binTimedGrants struct {
+	binGrants
+	GrantMs []int64
+}
+
 func appendGrants(dst []byte, g binGrants) []byte {
-	dst = append(dst, frameGrants)
+	return appendGrantsCore(dst, g, nil)
+}
+
+func appendTimedGrants(dst []byte, g binTimedGrants) []byte {
+	if g.GrantMs == nil {
+		g.GrantMs = make([]int64, len(g.Grants))
+	}
+	return appendGrantsCore(dst, g.binGrants, g.GrantMs)
+}
+
+// appendGrantsCore encodes a grants frame; a non-nil grantMs (aligned
+// with g.Grants) selects the timed v2 frame type and interleaves one
+// timestamp after each grant. With grantMs nil the output is
+// byte-identical to the v1 encoding.
+func appendGrantsCore(dst []byte, g binGrants, grantMs []int64) []byte {
+	if grantMs == nil {
+		dst = append(dst, frameGrants)
+	} else {
+		dst = append(dst, frameTimedGrants)
+	}
 	dst = exec.AppendUvarint(dst, g.Seq)
 	if g.Done {
 		dst = append(dst, 1)
@@ -176,9 +218,12 @@ func appendGrants(dst []byte, g binGrants) []byte {
 		}
 	}
 	dst = exec.AppendUvarint(dst, uint64(len(g.Grants)))
-	for _, gr := range g.Grants {
+	for i, gr := range g.Grants {
 		dst = exec.AppendUvarint(dst, gr.Table)
 		dst = exec.AppendBinRequest(dst, gr.Job)
+		if grantMs != nil {
+			dst = exec.AppendUvarint(dst, uint64(grantMs[i]))
+		}
 	}
 	return dst
 }
@@ -191,12 +236,25 @@ func appendGrants(dst []byte, g binGrants) []byte {
 // an undefined table, every vector exactly as long as its table — a
 // frame failing any check is rejected whole.
 func decodeGrants(r *exec.WireReader, tableLen func(idx uint64) (int, bool)) (binGrants, error) {
+	g, _, err := decodeGrantsCore(r, tableLen, false)
+	return g, err
+}
+
+// decodeTimedGrants parses the v2 twin, returning the per-grant
+// timestamps alongside the batch.
+func decodeTimedGrants(r *exec.WireReader, tableLen func(idx uint64) (int, bool)) (binTimedGrants, error) {
+	g, ms, err := decodeGrantsCore(r, tableLen, true)
+	return binTimedGrants{binGrants: g, GrantMs: ms}, err
+}
+
+func decodeGrantsCore(r *exec.WireReader, tableLen func(idx uint64) (int, bool), timed bool) (binGrants, []int64, error) {
 	var g binGrants
+	var grantMs []int64
 	g.Seq = r.Uvarint()
 	g.Done = r.Byte() != 0
 	nt := r.Int()
 	if r.Err() == nil && nt > r.Remaining() {
-		return g, fmt.Errorf("remote: grants frame declares %d tables in %d bytes", nt, r.Remaining())
+		return g, grantMs, fmt.Errorf("remote: grants frame declares %d tables in %d bytes", nt, r.Remaining())
 	}
 	frameTables := make(map[uint64]int, nt)
 	for i := 0; i < nt && r.Err() == nil; i++ {
@@ -205,20 +263,20 @@ func decodeGrants(r *exec.WireReader, tableLen func(idx uint64) (int, bool)) (bi
 		t.Experiment = r.String()
 		np := r.Int()
 		if r.Err() == nil && np > r.Remaining() {
-			return g, fmt.Errorf("remote: table %d declares %d params in %d bytes", t.Index, np, r.Remaining())
+			return g, grantMs, fmt.Errorf("remote: table %d declares %d params in %d bytes", t.Index, np, r.Remaining())
 		}
 		for j := 0; j < np && r.Err() == nil; j++ {
 			t.Params = append(t.Params, r.String())
 		}
 		if _, dup := frameTables[t.Index]; dup {
-			return g, fmt.Errorf("remote: grants frame defines table %d twice", t.Index)
+			return g, grantMs, fmt.Errorf("remote: grants frame defines table %d twice", t.Index)
 		}
 		frameTables[t.Index] = len(t.Params)
 		g.Tables = append(g.Tables, t)
 	}
 	ng := r.Int()
 	if r.Err() == nil && ng > r.Remaining() {
-		return g, fmt.Errorf("remote: grants frame declares %d grants in %d bytes", ng, r.Remaining())
+		return g, grantMs, fmt.Errorf("remote: grants frame declares %d grants in %d bytes", ng, r.Remaining())
 	}
 	// Presize for the declared count, capped: the count is validated
 	// against bytes present only loosely (>= 1 byte per grant), so a
@@ -228,12 +286,19 @@ func decodeGrants(r *exec.WireReader, tableLen func(idx uint64) (int, bool)) (bi
 			hint = 4096
 		}
 		g.Grants = make([]binGrant, 0, hint)
+		if timed {
+			grantMs = make([]int64, 0, hint)
+		}
 	}
 	seen := make(map[uint64]struct{}, ng)
 	for i := 0; i < ng && r.Err() == nil; i++ {
 		var gr binGrant
 		gr.Table = r.Uvarint()
 		gr.Job = exec.DecodeBinRequest(r)
+		var ms int64
+		if timed {
+			ms = int64(r.Uvarint())
+		}
 		if r.Err() != nil {
 			break
 		}
@@ -242,22 +307,25 @@ func decodeGrants(r *exec.WireReader, tableLen func(idx uint64) (int, bool)) (bi
 			want, ok = tableLen(gr.Table)
 		}
 		if !ok {
-			return g, fmt.Errorf("remote: grant %d references undefined table %d", i, gr.Table)
+			return g, grantMs, fmt.Errorf("remote: grant %d references undefined table %d", i, gr.Table)
 		}
 		if len(gr.Job.Vec) != want {
-			return g, fmt.Errorf("remote: grant of lease %d carries %d config values for a %d-parameter table", gr.Job.ID, len(gr.Job.Vec), want)
+			return g, grantMs, fmt.Errorf("remote: grant of lease %d carries %d config values for a %d-parameter table", gr.Job.ID, len(gr.Job.Vec), want)
 		}
 		if _, dup := seen[gr.Job.ID]; dup {
-			return g, fmt.Errorf("remote: grants frame grants lease %d twice", gr.Job.ID)
+			return g, grantMs, fmt.Errorf("remote: grants frame grants lease %d twice", gr.Job.ID)
 		}
 		seen[gr.Job.ID] = struct{}{}
 		g.Grants = append(g.Grants, gr)
+		if timed {
+			grantMs = append(grantMs, ms)
+		}
 	}
 	r.ExpectEOF()
 	if err := r.Err(); err != nil {
-		return g, err
+		return g, grantMs, err
 	}
-	return g, nil
+	return g, grantMs, nil
 }
 
 // binReports delivers a batch of finished jobs (the stream twin of
@@ -312,6 +380,105 @@ func decodeReports(r *exec.WireReader) (binReports, error) {
 		return rb, fmt.Errorf("remote: reports frame carries no reports")
 	}
 	return rb, nil
+}
+
+// binTimedReports is the v2 reports frame: the same batch plus one
+// JobTiming per entry, aligned with Reports. Each entry encodes as its
+// BinResponse followed by three uvarints (dwell, exec, buffer — all
+// microseconds of the worker's monotonic clock).
+type binTimedReports struct {
+	binReports
+	Timings []JobTiming
+}
+
+func appendTimedReports(dst []byte, rb binTimedReports) []byte {
+	dst = append(dst, frameTimedReports)
+	dst = exec.AppendUvarint(dst, rb.Seq)
+	dst = exec.AppendUvarint(dst, uint64(len(rb.Reports)))
+	for i, e := range rb.Reports {
+		dst = exec.AppendBinResponse(dst, e)
+		var tm JobTiming
+		if i < len(rb.Timings) {
+			tm = rb.Timings[i]
+		}
+		dst = exec.AppendUvarint(dst, uint64(tm.DwellUs))
+		dst = exec.AppendUvarint(dst, uint64(tm.ExecUs))
+		dst = exec.AppendUvarint(dst, uint64(tm.BufUs))
+	}
+	return dst
+}
+
+// decodeTimedReports parses and validates one timed reports frame body
+// under the same structural rules as decodeReports.
+func decodeTimedReports(r *exec.WireReader) (binTimedReports, error) {
+	var rb binTimedReports
+	rb.Seq = r.Uvarint()
+	n := r.Int()
+	if r.Err() == nil && n > r.Remaining() {
+		return rb, fmt.Errorf("remote: reports frame declares %d entries in %d bytes", n, r.Remaining())
+	}
+	if hint := n; hint > 0 && r.Err() == nil {
+		if hint > 4096 {
+			hint = 4096
+		}
+		rb.Reports = make([]exec.BinResponse, 0, hint)
+		rb.Timings = make([]JobTiming, 0, hint)
+	}
+	seen := make(map[uint64]struct{}, n)
+	for i := 0; i < n && r.Err() == nil; i++ {
+		e := exec.DecodeBinResponse(r)
+		var tm JobTiming
+		tm.DwellUs = int64(r.Uvarint())
+		tm.ExecUs = int64(r.Uvarint())
+		tm.BufUs = int64(r.Uvarint())
+		if r.Err() != nil {
+			break
+		}
+		if _, dup := seen[e.ID]; dup {
+			return rb, fmt.Errorf("remote: reports frame settles lease %d twice", e.ID)
+		}
+		seen[e.ID] = struct{}{}
+		rb.Reports = append(rb.Reports, e)
+		rb.Timings = append(rb.Timings, tm)
+	}
+	r.ExpectEOF()
+	if err := r.Err(); err != nil {
+		return rb, err
+	}
+	if len(rb.Reports) == 0 {
+		return rb, fmt.Errorf("remote: reports frame carries no reports")
+	}
+	return rb, nil
+}
+
+// binTimedHeartbeat is the v2 heartbeat: the held-lease list plus the
+// round-trip time the worker measured for its previous heartbeat (0 =
+// none measured yet). Shipping the previous beat's RTT keeps the
+// heartbeat fire-and-forget — no wait for the ack on the send path.
+type binTimedHeartbeat struct {
+	RttUs  int64
+	Leases []uint64
+}
+
+func appendTimedHeartbeat(dst []byte, hb binTimedHeartbeat) []byte {
+	dst = append(dst, frameTimedHeartbeat)
+	dst = exec.AppendUvarint(dst, uint64(hb.RttUs))
+	dst = exec.AppendUvarint(dst, uint64(len(hb.Leases)))
+	for _, id := range hb.Leases {
+		dst = exec.AppendUvarint(dst, id)
+	}
+	return dst
+}
+
+func decodeTimedHeartbeat(r *exec.WireReader) (binTimedHeartbeat, error) {
+	var hb binTimedHeartbeat
+	hb.RttUs = int64(r.Uvarint())
+	ids, err := decodeLeaseIDs(r)
+	if err != nil {
+		return hb, err
+	}
+	hb.Leases = ids
+	return hb, nil
 }
 
 // binReportAck answers a reports frame with per-entry acceptance,
@@ -411,12 +578,18 @@ func decodeAnyFrame(body []byte) (interface{}, error) {
 		return decodeLeaseReq(r)
 	case frameGrants:
 		return decodeGrants(r, nil)
+	case frameTimedGrants:
+		return decodeTimedGrants(r, nil)
 	case frameReports:
 		return decodeReports(r)
+	case frameTimedReports:
+		return decodeTimedReports(r)
 	case frameReportAck:
 		return decodeReportAck(r)
 	case frameHeartbeat, frameHeartbeatAck:
 		return decodeLeaseIDs(r)
+	case frameTimedHeartbeat:
+		return decodeTimedHeartbeat(r)
 	default:
 		return nil, fmt.Errorf("remote: unknown binary frame type 0x%02x", body[0])
 	}

@@ -1,0 +1,153 @@
+package remote
+
+// GET /v1/dashboard: the live observability plane rendered for a human
+// — internal/plot's ASCII figures built from the latency tracker's
+// live series (incumbent trajectory, fleet throughput, exec-time
+// quantiles) plus a latency quantile table, wrapped in a minimal
+// self-refreshing HTML page. No graphics stack, no JavaScript, no new
+// dependencies: the same charts ashaplot draws offline, inside <pre>
+// tags. Served only when Options.Metrics is set (it reads the tracker).
+//
+// This file also mounts net/http/pprof behind the admin token: the
+// handlers are registered explicitly on the server's own mux (never
+// http.DefaultServeMux), each wrapped in the same bearer-token check
+// as /v1/admin, so profiling a live tuner needs the operator
+// credential but no restart.
+
+import (
+	"fmt"
+	"html"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/plot"
+)
+
+// mountPprof registers the net/http/pprof handlers under /debug/pprof/
+// on the server's mux, each gated by adminAuth. Called from NewServer
+// when AdminToken is set.
+func (s *Server) mountPprof(mux *http.ServeMux) {
+	gate := func(h http.HandlerFunc) http.HandlerFunc {
+		return func(w http.ResponseWriter, r *http.Request) {
+			if !s.adminAuth(w, r) {
+				return
+			}
+			h(w, r)
+		}
+	}
+	mux.HandleFunc("/debug/pprof/", gate(pprof.Index))
+	mux.HandleFunc("/debug/pprof/cmdline", gate(pprof.Cmdline))
+	mux.HandleFunc("/debug/pprof/profile", gate(pprof.Profile))
+	mux.HandleFunc("/debug/pprof/symbol", gate(pprof.Symbol))
+	mux.HandleFunc("/debug/pprof/trace", gate(pprof.Trace))
+}
+
+// dashChartOpts is the shared geometry of the dashboard's figures.
+var dashChartOpts = plot.Options{Width: 72, Height: 14}
+
+// handleDashboard serves the live dashboard page.
+func (s *Server) handleDashboard(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.reject(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	lat := s.lat
+
+	// Snapshot the series under the lock, then render unlocked.
+	lat.mu.Lock()
+	incX := append([]float64(nil), lat.incX...)
+	incY := append([]float64(nil), lat.incY...)
+	dashX := append([]float64(nil), lat.dashX...)
+	dashAccepted := append([]float64(nil), lat.dashAccepted...)
+	dashP50 := append([]float64(nil), lat.dashP50...)
+	dashP95 := append([]float64(nil), lat.dashP95...)
+	spanCount := lat.spanCount
+	lat.mu.Unlock()
+
+	// Throughput: the accepted counter's discrete derivative between
+	// dashboard samples, in jobs/sec.
+	tpX := make([]float64, 0, len(dashX))
+	tpY := make([]float64, 0, len(dashX))
+	for i := 1; i < len(dashX); i++ {
+		dt := dashX[i] - dashX[i-1]
+		if dt <= 0 {
+			continue
+		}
+		tpX = append(tpX, dashX[i])
+		tpY = append(tpY, (dashAccepted[i]-dashAccepted[i-1])/dt)
+	}
+
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprint(w, "<!DOCTYPE html><html><head><title>asha dashboard</title>")
+	fmt.Fprint(w, `<meta http-equiv="refresh" content="5">`)
+	fmt.Fprint(w, "<style>body{font-family:monospace;background:#111;color:#ddd;padding:1em}pre{line-height:1.1}h2{color:#8cf}</style>")
+	fmt.Fprint(w, "</head><body>")
+	fmt.Fprintf(w, "<h1>asha live dashboard</h1><p>uptime %s · %d jobs settled · auto-refreshes every 5s</p>",
+		time.Since(lat.start).Round(time.Second), spanCount)
+
+	fmt.Fprint(w, "<h2>latency quantiles</h2><pre>")
+	fmt.Fprintf(w, "%-16s %10s %12s %12s %12s %12s\n", "stage", "count", "p50", "p90", "p99", "mean")
+	for _, row := range []struct {
+		name string
+		h    *obs.Histogram
+	}{
+		{"queue wait", &lat.queueWait},
+		{"exec", &lat.execTime},
+		{"report settle", &lat.settleTime},
+		{"heartbeat rtt", &lat.hbRTT},
+	} {
+		fmt.Fprintf(w, "%-16s %10d %12s %12s %12s %12s\n", row.name, row.h.Count(),
+			fmtDur(row.h.Quantile(0.5)), fmtDur(row.h.Quantile(0.9)),
+			fmtDur(row.h.Quantile(0.99)), fmtDur(row.h.Mean()))
+	}
+	fmt.Fprint(w, "</pre>")
+
+	writeChart := func(title string, series []plot.Series, opt plot.Options) {
+		fmt.Fprintf(w, "<h2>%s</h2>", html.EscapeString(title))
+		hasData := false
+		for _, sr := range series {
+			if len(sr.X) > 0 {
+				hasData = true
+			}
+		}
+		if !hasData {
+			fmt.Fprint(w, "<pre>(no data yet)</pre>")
+			return
+		}
+		fmt.Fprintf(w, "<pre>%s</pre>", html.EscapeString(plot.Render(series, opt)))
+	}
+
+	incOpts := dashChartOpts
+	incOpts.YLabel, incOpts.XLabel = "best loss", "seconds"
+	writeChart("incumbent trajectory", []plot.Series{{Name: "best", X: incX, Y: incY}}, incOpts)
+
+	tpOpts := dashChartOpts
+	tpOpts.YLabel, tpOpts.XLabel = "jobs/sec", "seconds"
+	writeChart("fleet throughput", []plot.Series{{Name: "accepted", X: tpX, Y: tpY}}, tpOpts)
+
+	qOpts := dashChartOpts
+	qOpts.YLabel, qOpts.XLabel = "exec seconds", "seconds"
+	writeChart("exec-time quantiles", []plot.Series{
+		{Name: "p50", X: dashX, Y: dashP50},
+		{Name: "p95", X: dashX, Y: dashP95},
+	}, qOpts)
+
+	fmt.Fprint(w, "</body></html>")
+}
+
+// fmtDur renders a duration for the dashboard table, rounded to keep
+// columns readable.
+func fmtDur(d time.Duration) string {
+	switch {
+	case d <= 0:
+		return "-"
+	case d < time.Millisecond:
+		return d.Round(time.Microsecond).String()
+	case d < time.Second:
+		return d.Round(10 * time.Microsecond).String()
+	default:
+		return d.Round(time.Millisecond).String()
+	}
+}

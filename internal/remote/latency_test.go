@@ -1,0 +1,458 @@
+package remote
+
+// Tests for the per-job latency tracing plane: straggler detection
+// visible on the event bus and in /v1/trace, clock-skew-proof stage
+// clamping, version-negotiated interop (a v1 worker on a v2 server
+// sees only timing-free frames), timing propagation end to end over
+// both wires, and the dashboard/pprof HTTP surfaces.
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"io"
+	"math"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/exec"
+	"repro/internal/obs"
+)
+
+// traceSpans GETs /v1/trace with the query and decodes the reply.
+func traceSpans(t *testing.T, base, query string) (int64, []JobSpan) {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/trace" + query)
+	if err != nil {
+		t.Fatalf("GET /v1/trace: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/trace: status %d", resp.StatusCode)
+	}
+	var tr struct {
+		Total int64     `json:"total"`
+		Spans []JobSpan `json:"spans"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&tr); err != nil {
+		t.Fatal(err)
+	}
+	return tr.Total, tr.Spans
+}
+
+// mkTask builds a settled-looking task for driving observeSettle
+// directly: submitted 2ms ago, granted 1ms ago.
+func mkTask(trial int) *task {
+	now := time.Now()
+	return &task{
+		payload:   JobPayload{Experiment: "exp", Trial: trial, Rung: 0},
+		leaseID:   uint64(trial + 1),
+		worker:    "w",
+		submitted: now.Add(-2 * time.Millisecond),
+		grantedAt: now.Add(-time.Millisecond),
+	}
+}
+
+// TestStragglerEventAndTrace pins the straggler pipeline: once a rung
+// has stragglerMinSamples settled jobs, an exec time beyond
+// StragglerK x the rung's p95 publishes an EventStraggler on the bus
+// and flags the span in /v1/trace.
+func TestStragglerEventAndTrace(t *testing.T) {
+	srv, err := NewServer(Options{Metrics: true, Events: true, StragglerK: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	sub := srv.EventBus().Subscribe()
+
+	out := Outcome{Loss: 0.5}
+	for i := 0; i < stragglerMinSamples; i++ {
+		srv.observeSettle(mkTask(i), &JobTiming{DwellUs: 10, ExecUs: 100_000, BufUs: 10}, &out)
+	}
+	// 10s against a rung whose p95 is ~100ms: far beyond 3x.
+	srv.observeSettle(mkTask(99), &JobTiming{ExecUs: 10_000_000}, &out)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	var straggler *obs.Event
+scan:
+	for {
+		events, _, ok := sub.Next(ctx)
+		if !ok {
+			break
+		}
+		for i := range events {
+			if events[i].Type == obs.EventStraggler {
+				straggler = &events[i]
+				break scan
+			}
+		}
+	}
+	if straggler == nil {
+		t.Fatal("no straggler event on the bus")
+	}
+	if straggler.Trial != 99 || straggler.Experiment != "exp" {
+		t.Fatalf("straggler event for trial %d/%q, want 99/exp", straggler.Trial, straggler.Experiment)
+	}
+	if straggler.DurMs < 9_000 || straggler.DurMs > 11_000 {
+		t.Fatalf("straggler DurMs = %d, want ~10000", straggler.DurMs)
+	}
+
+	total, spans := traceSpans(t, srv.URL(), "?trial=99")
+	if total != stragglerMinSamples+1 {
+		t.Fatalf("trace total = %d, want %d", total, stragglerMinSamples+1)
+	}
+	if len(spans) != 1 || !spans[0].Straggler || !spans[0].Timed {
+		t.Fatalf("trace span for trial 99 = %+v, want one timed straggler", spans)
+	}
+	// The fast jobs must not be flagged.
+	_, fast := traceSpans(t, srv.URL(), "?trial=3")
+	if len(fast) != 1 || fast[0].Straggler {
+		t.Fatalf("fast job's span = %+v, want unflagged", fast)
+	}
+}
+
+// TestClockSkewCannotCorruptStages drives hostile/broken worker
+// timings through a settle: negative and absurdly large stage values
+// must clamp into [0, maxStageDur], the settle residual must never go
+// negative, and a negative heartbeat RTT must be dropped — whatever
+// the fleet's clocks do, no histogram or span sees a negative or
+// multi-day duration.
+func TestClockSkewCannotCorruptStages(t *testing.T) {
+	srv, err := NewServer(Options{Metrics: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	out := Outcome{Loss: 1}
+
+	srv.observeSettle(mkTask(1), &JobTiming{DwellUs: -50_000, ExecUs: math.MaxInt64, BufUs: -1}, &out)
+	// A worker whose stages exceed the server-side elapsed (skewed or
+	// lying): residual clamps to zero.
+	srv.observeSettle(mkTask(2), &JobTiming{DwellUs: 3_600_000_000, ExecUs: 3_600_000_000, BufUs: 0}, &out)
+	// A grant stamped "in the future" relative to settle must not
+	// produce a negative total or queue wait.
+	future := mkTask(3)
+	future.submitted = time.Now().Add(time.Hour)
+	future.grantedAt = time.Now().Add(2 * time.Hour)
+	srv.observeSettle(future, nil, &out)
+
+	maxUs := int64(maxStageDur / time.Microsecond)
+	_, spans := traceSpans(t, srv.URL(), "?n=10")
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(spans))
+	}
+	for _, sp := range spans {
+		for name, v := range map[string]int64{
+			"queue": sp.QueueUs, "dwell": sp.DwellUs, "exec": sp.ExecUs,
+			"buf": sp.BufUs, "settle": sp.SettleUs,
+		} {
+			if v < 0 {
+				t.Errorf("trial %d: negative %s stage %d", sp.Trial, name, v)
+			}
+			if v > maxUs {
+				t.Errorf("trial %d: %s stage %dus exceeds the %v clamp", sp.Trial, name, v, maxStageDur)
+			}
+		}
+	}
+
+	srv.observeHeartbeatRTT(-12)
+	srv.observeHeartbeatRTT(0)
+	if n := srv.lat.hbRTT.Count(); n != 0 {
+		t.Fatalf("non-positive RTTs were observed (%d), want dropped", n)
+	}
+	srv.observeHeartbeatRTT(int64(48 * time.Hour / time.Microsecond))
+	if got := srv.lat.hbRTT.Quantile(1); got > maxStageDur {
+		t.Fatalf("RTT clamped to %v, want <= %v", got, maxStageDur)
+	}
+}
+
+// TestLegacyFramesBitIdentical pins the v1 encodings: a v2 build's
+// untimed frames must stay byte-for-byte what a v1 build produced
+// (appendGrantsCore with nil timestamps IS the v1 grants encoding),
+// and timing-free legacy frames must keep decoding.
+func TestLegacyFramesBitIdentical(t *testing.T) {
+	g := binGrants{Seq: 5, Tables: []binTable{{Index: 0, Experiment: "e", Params: []string{"lr"}}},
+		Grants: []binGrant{{Table: 0, Job: exec.BinRequest{ID: 9, Trial: 2, To: 4, Vec: []float64{0.5}}}}}
+	legacy := appendGrants(nil, g)
+	if legacy[0] != frameGrants {
+		t.Fatalf("untimed grants frame type 0x%02x, want 0x%02x", legacy[0], frameGrants)
+	}
+	if core := appendGrantsCore(nil, g, nil); !bytes.Equal(core, legacy) {
+		t.Fatalf("appendGrantsCore(nil timestamps) diverged from the v1 encoding:\n % x\n % x", core, legacy)
+	}
+	timed := appendTimedGrants(nil, binTimedGrants{binGrants: g, GrantMs: []int64{1754560000000}})
+	if timed[0] != frameTimedGrants {
+		t.Fatalf("timed grants frame type 0x%02x, want 0x%02x", timed[0], frameTimedGrants)
+	}
+	// Every legacy frame shape still decodes on a v2 build.
+	for _, frame := range [][]byte{
+		legacy,
+		appendLeaseReq(nil, binLeaseReq{Seq: 1, Max: 4}),
+		appendReports(nil, binReports{Seq: 2, Reports: []exec.BinResponse{{ID: 9, Loss: 0.25}}}),
+		appendReportAck(nil, binReportAck{Seq: 2, Accepted: []bool{true}}),
+		appendLeaseIDFrame(nil, frameHeartbeat, []uint64{9}),
+		appendLeaseIDFrame(nil, frameHeartbeatAck, nil),
+	} {
+		if _, err := decodeAnyFrame(frame); err != nil {
+			t.Errorf("legacy frame 0x%02x no longer decodes: %v", frame[0], err)
+		}
+	}
+}
+
+// streamDial performs a manual /v1/stream handshake at the given
+// protocol version and returns the raw connection.
+func streamDial(t *testing.T, base, worker string, bin int) (net.Conn, *bufio.Reader) {
+	t.Helper()
+	addr := strings.TrimPrefix(base, "http://")
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := json.Marshal(streamReq{Version: ProtocolVersion, Bin: bin, WorkerID: worker})
+	req, err := http.NewRequest(http.MethodPost, base+"/v1/stream", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Connection", "Upgrade")
+	req.Header.Set("Upgrade", streamProto)
+	if err := req.Write(conn); err != nil {
+		t.Fatal(err)
+	}
+	br := bufio.NewReader(conn)
+	resp, err := http.ReadResponse(br, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusSwitchingProtocols {
+		blob, _ := io.ReadAll(resp.Body)
+		conn.Close()
+		t.Fatalf("handshake at bin=%d: status %d (%s)", bin, resp.StatusCode, blob)
+	}
+	return conn, br
+}
+
+// sendFrame writes one length-prefixed frame.
+func sendFrame(t *testing.T, conn net.Conn, body []byte) {
+	t.Helper()
+	var hdr [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(hdr[:], uint64(len(body)))
+	if _, err := conn.Write(append(hdr[:n], body...)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestV1WorkerOnV2Server pins mixed-generation interop: a worker that
+// handshakes at bin=1 must receive only the timing-free v1 frames —
+// grants as 0x81, never 0x84 — while its legacy reports and heartbeats
+// settle normally; and an over-version handshake is rejected outright.
+func TestV1WorkerOnV2Server(t *testing.T) {
+	srv, err := NewServer(Options{Metrics: true, LeaseTTL: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	outcomes := make(chan Outcome, 1)
+	srv.Submit(JobPayload{Experiment: "e", Trial: 7, Config: map[string]float64{"lr": 0.1}, To: 2},
+		func(o Outcome) { outcomes <- o })
+
+	_, reg := rawPost(t, srv.URL(), "/v1/register", map[string]interface{}{"v": ProtocolVersion, "name": "old"})
+	if adv := reg["bin"]; adv != float64(BinProtocolVersion) {
+		t.Fatalf("registration advertised bin %v, want %d", adv, BinProtocolVersion)
+	}
+	worker := reg["worker"].(string)
+
+	conn, br := streamDial(t, srv.URL(), worker, 1)
+	defer conn.Close()
+	sendFrame(t, conn, appendLeaseReq(nil, binLeaseReq{Seq: 1, Max: 1, WaitMillis: 5000}))
+	frame, err := readFrame(br, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frame[0] != frameGrants {
+		t.Fatalf("v1 connection got frame type 0x%02x, want the untimed 0x%02x", frame[0], frameGrants)
+	}
+	g, err := decodeGrants(exec.NewWireReader(frame[1:]), nil)
+	if err != nil || len(g.Grants) != 1 {
+		t.Fatalf("v1 grants decode: %v (%d grants)", err, len(g.Grants))
+	}
+	lease := g.Grants[0].Job.ID
+
+	// Legacy heartbeat and report frames settle as always.
+	sendFrame(t, conn, appendLeaseIDFrame(nil, frameHeartbeat, []uint64{lease}))
+	if frame, err = readFrame(br, nil); err != nil || frame[0] != frameHeartbeatAck {
+		t.Fatalf("heartbeat ack: %v (type 0x%02x)", err, frame[0])
+	}
+	sendFrame(t, conn, appendReports(nil, binReports{Seq: 1,
+		Reports: []exec.BinResponse{{ID: lease, Loss: 0.5, State: []byte(`1`)}}}))
+	if frame, err = readFrame(br, nil); err != nil || frame[0] != frameReportAck {
+		t.Fatalf("report ack: %v (type 0x%02x)", err, frame[0])
+	}
+	select {
+	case o := <-outcomes:
+		if o.Failed || o.Err != "" || o.Loss != 0.5 {
+			t.Fatalf("outcome %+v", o)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("v1 report never settled")
+	}
+	// The untimed settle still counts into the exec histogram (server-
+	// side fallback), preserving exec_count == accepted.
+	if n := srv.lat.execTime.Count(); n != 1 {
+		t.Fatalf("exec histogram count = %d after one untimed settle, want 1", n)
+	}
+	if n := srv.lat.settleTime.Count(); n != 0 {
+		t.Fatalf("settle histogram count = %d for an untimed worker, want 0", n)
+	}
+
+	// A handshake above the server's version must be refused.
+	addr := strings.TrimPrefix(srv.URL(), "http://")
+	c2, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	body, _ := json.Marshal(streamReq{Version: ProtocolVersion, Bin: BinProtocolVersion + 1, WorkerID: worker})
+	req, _ := http.NewRequest(http.MethodPost, srv.URL()+"/v1/stream", bytes.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	if err := req.Write(c2); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.ReadResponse(bufio.NewReader(c2), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("over-version handshake: status %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestTimedWireEndToEnd runs a real agent against a real server on
+// each wire and proves worker-measured timings arrive: settled spans
+// are Timed, the report-settle histogram fills (it only fills from
+// worker timings), and exec_count reconciles with accepted reports.
+func TestTimedWireEndToEnd(t *testing.T) {
+	for _, tc := range []struct {
+		name     string
+		jsonWire bool
+	}{
+		{"binary", false},
+		{"json", true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			srv, err := NewServer(Options{Metrics: true, BatchSize: 4, LeaseTTL: time.Minute,
+				FlushInterval: 5 * time.Millisecond})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer srv.Close()
+			const jobs = 12
+			outcomes := make(chan Outcome, jobs)
+			for i := 0; i < jobs; i++ {
+				srv.Submit(JobPayload{Trial: i, Rung: i % 2, Config: map[string]float64{"lr": 0.1, "momentum": 0.5}, To: 2},
+					func(o Outcome) { outcomes <- o })
+			}
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			// pureObjective finishes in under a microsecond, which truncates
+			// to ExecUs == 0 on the wire; a short sleep makes every stage
+			// measurable.
+			slowObjective := func(ctx context.Context, cfg map[string]float64, from, to float64, state interface{}) (float64, interface{}, error) {
+				time.Sleep(2 * time.Millisecond)
+				return pureObjective(ctx, cfg, from, to, state)
+			}
+			agentDone := make(chan error, 1)
+			go func() {
+				agentDone <- ServeAgent(ctx, AgentOptions{
+					Server: srv.URL(), Slots: 2, JSONWire: tc.jsonWire,
+					Resolve: func(string) (exec.Objective, error) { return slowObjective, nil },
+				})
+			}()
+			for i := 0; i < jobs; i++ {
+				select {
+				case o := <-outcomes:
+					if o.Failed || o.Err != "" {
+						t.Fatalf("job failed: %+v", o)
+					}
+				case <-time.After(30 * time.Second):
+					t.Fatal("jobs never settled")
+				}
+			}
+			cancel()
+			<-agentDone
+
+			if n := srv.lat.execTime.Count(); n != srv.accepted.Load() {
+				t.Fatalf("exec histogram count %d != accepted reports %d", n, srv.accepted.Load())
+			}
+			if n := srv.lat.settleTime.Count(); n != jobs {
+				t.Fatalf("settle histogram count = %d, want %d timed settles", n, jobs)
+			}
+			if n := srv.lat.queueWait.Count(); n == 0 {
+				t.Fatal("queue-wait histogram empty")
+			}
+			_, spans := traceSpans(t, srv.URL(), "?n=100")
+			if len(spans) != jobs {
+				t.Fatalf("got %d spans, want %d", len(spans), jobs)
+			}
+			for _, sp := range spans {
+				if !sp.Timed {
+					t.Fatalf("span %+v not timed on the %s wire", sp, tc.name)
+				}
+				if sp.ExecUs <= 0 {
+					t.Fatalf("span %+v has no exec time", sp)
+				}
+			}
+		})
+	}
+}
+
+// TestDashboardAndPprof probes the HTML dashboard and the token-gated
+// pprof mount.
+func TestDashboardAndPprof(t *testing.T) {
+	srv, err := NewServer(Options{Metrics: true, AdminToken: "tok"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	srv.observeSettle(mkTask(1), &JobTiming{ExecUs: 1000}, &Outcome{Loss: 0.5})
+
+	resp, err := http.Get(srv.URL() + "/v1/dashboard")
+	if err != nil {
+		t.Fatal(err)
+	}
+	page, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(page), "asha live dashboard") {
+		t.Fatalf("dashboard: status %d, body %.80s", resp.StatusCode, page)
+	}
+	if !strings.Contains(string(page), "exec") {
+		t.Fatalf("dashboard missing the quantile table:\n%.400s", page)
+	}
+
+	// pprof: 401 without the admin token, 200 with it.
+	resp, err = http.Get(srv.URL() + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("pprof without token: status %d, want 401", resp.StatusCode)
+	}
+	req, _ := http.NewRequest(http.MethodGet, srv.URL()+"/debug/pprof/cmdline", nil)
+	req.Header.Set("Authorization", "Bearer tok")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof with token: status %d, want 200", resp.StatusCode)
+	}
+}

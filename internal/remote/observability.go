@@ -190,8 +190,10 @@ func (s *Server) Draining() bool {
 func (s *Server) CancelPending(experiment string) int {
 	s.mu.Lock()
 	var canceled []*task
+	// Only [pendingHead:] is live — the grant path nils consumed
+	// entries behind pendingHead rather than reslicing every grant.
 	kept := s.pending[:0]
-	for _, t := range s.pending {
+	for _, t := range s.pending[s.pendingHead:] {
 		if experiment == "" || t.payload.Experiment == experiment {
 			canceled = append(canceled, t)
 		} else {
@@ -201,7 +203,7 @@ func (s *Server) CancelPending(experiment string) int {
 	for i := len(kept); i < len(s.pending); i++ {
 		s.pending[i] = nil
 	}
-	s.pending = kept
+	s.pending, s.pendingHead = kept, 0
 	s.pendingJobs.Add(int64(-len(canceled)))
 	s.canceled.Add(int64(len(canceled)))
 	s.mu.Unlock()
@@ -263,6 +265,39 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	gauge("asha_server_draining", "1 while lease polls are answered with done (drain mode).", boolGauge(s.Draining()))
 	gauge("asha_lease_cap", "Concurrent-lease cap (0 = unlimited).", float64(s.MaxLeases()))
+
+	if lat := s.lat; lat != nil {
+		hist := func(name, help string, h *obs.Histogram) {
+			obs.PromHeader(&b, name, "histogram", help)
+			h.WriteProm(&b, name, nil)
+		}
+		hist("asha_queue_wait_seconds",
+			"Time jobs wait in the queue between submit and lease grant.", &lat.queueWait)
+		hist("asha_exec_seconds",
+			"Worker-measured objective execution time per settled job (server-side grant-to-settle when the worker reported no timing).", &lat.execTime)
+		hist("asha_report_settle_seconds",
+			"Report-to-settle residual: server grant-to-settle elapsed minus worker-reported dwell+exec+buffer.", &lat.settleTime)
+		hist("asha_heartbeat_rtt_seconds",
+			"Worker-measured heartbeat round-trip time.", &lat.hbRTT)
+		// Per-experiment exec time: snapshot the stable histogram
+		// pointers under the lock, write the (lock-free) exposition
+		// outside it.
+		lat.mu.Lock()
+		names := append([]string(nil), lat.expNames...)
+		hists := make([]*obs.Histogram, len(names))
+		for i, name := range names {
+			hists[i] = &lat.exps[name].exec
+		}
+		lat.mu.Unlock()
+		if len(names) > 0 {
+			obs.PromHeader(&b, "asha_experiment_exec_seconds", "histogram",
+				"Worker-measured objective execution time per experiment.")
+			for i, name := range names {
+				hists[i].WriteProm(&b, "asha_experiment_exec_seconds",
+					[]obs.Label{{Name: "experiment", Value: name}})
+			}
+		}
+	}
 
 	if cp := s.controlPlane(); cp != nil {
 		if st, err := cp.Status(); err == nil {

@@ -150,6 +150,19 @@ func TestMetricsDuringFleetRun(t *testing.T) {
 					t.Fatalf("mid-run scrape is missing %s:\n%v", name, m)
 				}
 			}
+			// The latency histogram families must be in the exposition from
+			// the first grant on (their buckets may still be empty).
+			for _, name := range []string{
+				"asha_queue_wait_seconds", "asha_exec_seconds",
+				"asha_report_settle_seconds", "asha_heartbeat_rtt_seconds",
+			} {
+				if _, ok := m[name+"_count"]; !ok {
+					t.Fatalf("mid-run scrape is missing histogram %s:\n%v", name, m)
+				}
+				if _, ok := m[name+`_bucket{le="+Inf"}`]; !ok {
+					t.Fatalf("mid-run scrape is missing %s's +Inf bucket", name)
+				}
+			}
 			break
 		}
 		if ctx.Err() != nil {
@@ -185,6 +198,21 @@ func TestMetricsDuringFleetRun(t *testing.T) {
 	if m["asha_jobs_pending"] != 0 || m["asha_leases_active"] != 0 {
 		t.Errorf("post-run gauges not drained: pending=%v active=%v",
 			m["asha_jobs_pending"], m["asha_leases_active"])
+	}
+	// The latency plane reconciles too: every accepted settle observed
+	// the exec histogram exactly once — whatever mix of report paths the
+	// run used — so at quiescence exec_count == accepted. The queue-wait
+	// histogram counts grants the same way.
+	if got := int(m["asha_exec_seconds_count"]); got != accepted {
+		t.Errorf("asha_exec_seconds_count %d != accepted reports %d: a settle path missed (or double-counted) the exec histogram", got, accepted)
+	}
+	if got := int(m["asha_queue_wait_seconds_count"]); got != granted {
+		t.Errorf("asha_queue_wait_seconds_count %d != granted leases %d", got, granted)
+	}
+	// All workers in this run are current-generation, so every accepted
+	// settle carried worker timings.
+	if got := int(m["asha_report_settle_seconds_count"]); got != accepted {
+		t.Errorf("asha_report_settle_seconds_count %d != accepted reports %d", got, accepted)
 	}
 	if err := <-agentDone; err != nil {
 		t.Fatalf("survivor agent: %v", err)
@@ -449,6 +477,44 @@ func TestAdminAbortCancelsPending(t *testing.T) {
 	status, body = adminPost(t, srv.URL(), "tok", "abort", "")
 	if status != http.StatusOK || body["canceled"].(float64) != 1 {
 		t.Fatalf("abort all: status %d body %v, want 1 canceled", status, body)
+	}
+}
+
+// TestAbortAfterGrantsSkipsConsumedQueue is a regression test: the
+// grant path consumes the pending queue by nilling entries behind
+// pendingHead instead of reslicing, and CancelPending used to walk the
+// queue from index 0 — panicking on the consumed prefix as soon as an
+// abort followed a grant.
+func TestAbortAfterGrantsSkipsConsumedQueue(t *testing.T) {
+	srv, err := NewServer(Options{AdminToken: "tok"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	outcomes := make(chan Outcome, 4)
+	for i := 0; i < 3; i++ {
+		srv.Submit(JobPayload{Experiment: "exp-a", Trial: i, From: 0, To: 2},
+			func(o Outcome) { outcomes <- o })
+	}
+	_, reg := rawPost(t, srv.URL(), "/v1/register", map[string]interface{}{"v": ProtocolVersion, "name": "w"})
+	worker := reg["worker"].(string)
+	if _, body := rawPost(t, srv.URL(), "/v1/lease",
+		map[string]interface{}{"v": ProtocolVersion, "worker": worker, "waitMs": 2000}); body["grant"] == nil {
+		t.Fatal("no grant for the first queued job")
+	}
+	// The two still-queued jobs cancel; the leased one is untouched.
+	if n := srv.CancelPending("exp-a"); n != 2 {
+		t.Fatalf("CancelPending canceled %d jobs, want 2", n)
+	}
+	for i := 0; i < 2; i++ {
+		select {
+		case o := <-outcomes:
+			if !o.Failed {
+				t.Fatalf("canceled job settled without Failed: %+v", o)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("canceled jobs never settled")
+		}
 	}
 }
 

@@ -69,6 +69,11 @@ type JobPayload struct {
 	Experiment string
 	// Trial identifies the configuration's stateful training run.
 	Trial int
+	// Rung is the scheduler rung the job trains toward — informational,
+	// used to bucket exec-time quantiles per rung for straggler
+	// detection (a rung-3 job legitimately runs ~η× longer than a
+	// rung-0 one, so straggler thresholds must not mix rungs).
+	Rung int
 	// Config is the name-keyed hyperparameter assignment. Optional when
 	// Names/Vec are set.
 	Config map[string]float64
@@ -179,9 +184,17 @@ type Options struct {
 	EventBuffer int
 	// AdminToken, when non-empty, enables the token-scoped /v1/admin
 	// API (pause/resume/abort, worker budget, drain) used by
-	// cmd/ashactl. It is deliberately a separate secret from the worker
-	// Token: operators and workers hold different credentials.
+	// cmd/ashactl — and, with it, the net/http/pprof handlers under
+	// /debug/pprof/, gated behind the same bearer token. It is
+	// deliberately a separate secret from the worker Token: operators
+	// and workers hold different credentials.
 	AdminToken string
+	// StragglerK is the straggler threshold multiplier: a settled job
+	// whose exec time exceeds StragglerK × the p95 of its rung's
+	// rolling exec-time distribution emits an EventStraggler on the
+	// event bus (default 3; requires Metrics for the distributions and
+	// Events for the bus).
+	StragglerK float64
 }
 
 // task is one submitted job: queued, then leased, then answered exactly
@@ -194,6 +207,13 @@ type task struct {
 	leaseID  uint64
 	worker   string
 	deadline time.Time
+	// submitted and grantedAt are the span timeline's server-side
+	// stamps: queue wait is grantedAt−submitted, and the server-side
+	// grant→settle elapsed bounds the worker-reported stages. Both are
+	// monotonic readings of the server's own clock — never differenced
+	// against a worker timestamp.
+	submitted time.Time
+	grantedAt time.Time
 }
 
 // leaseShardCount is the number of hash shards the lease table is
@@ -278,6 +298,11 @@ type Server struct {
 	pendingJobs    atomic.Int64 // gauge: jobs queued, not yet leased
 	activeLeases   atomic.Int64 // gauge: leases currently live
 
+	// lat is the per-job latency tracker behind the /metrics histogram
+	// families, /v1/trace and /v1/dashboard (latency.go); nil unless
+	// Options.Metrics, and every hot-path hook checks for nil first.
+	lat *latencyTracker
+
 	// bus is the /v1/events ring (nil unless Options.Events); control
 	// is the attached scheduler-side control plane, if any.
 	bus     *obs.Bus
@@ -342,13 +367,17 @@ func NewServer(opts Options) (*Server, error) {
 	mux.HandleFunc("/v1/heartbeat", s.handleHeartbeat)
 	mux.HandleFunc("/v1/stream", s.handleStream)
 	if opts.Metrics {
+		s.lat = newLatencyTracker()
 		mux.HandleFunc("/metrics", s.handleMetrics)
+		mux.HandleFunc("/v1/trace", s.handleTrace)
+		mux.HandleFunc("/v1/dashboard", s.handleDashboard)
 	}
 	if opts.Events {
 		mux.HandleFunc("/v1/events", s.handleEvents)
 	}
 	if opts.AdminToken != "" {
 		mux.HandleFunc("/v1/admin/", s.handleAdmin)
+		s.mountPprof(mux)
 	}
 	s.hs = &http.Server{Handler: mux}
 	go func() { _ = s.hs.Serve(ln) }()
@@ -369,7 +398,7 @@ func (s *Server) Submit(p JobPayload, done func(Outcome)) {
 		return
 	}
 	p.normalize()
-	s.pending = append(s.pending, &task{payload: p, done: done})
+	s.pending = append(s.pending, &task{payload: p, done: done, submitted: time.Now()})
 	s.submitted.Add(1)
 	s.pendingJobs.Add(1)
 	s.wakeLocked()
@@ -559,6 +588,9 @@ func (s *Server) sweep() {
 			// saw sweeps advance past a lease's TTL may rely on that
 			// lease's expiry having been counted too.
 			s.sweeps.Add(1)
+			if s.lat != nil {
+				s.lat.sample(s.accepted.Load())
+			}
 			for _, t := range dead {
 				t.done(Outcome{Failed: true})
 			}
@@ -645,6 +677,11 @@ type heartbeatReq struct {
 	Token    string   `json:"token,omitempty"`
 	WorkerID string   `json:"worker"`
 	Leases   []uint64 `json:"leases,omitempty"`
+	// RttUs is the round-trip time the worker measured for its
+	// *previous* heartbeat, in microseconds of its monotonic clock
+	// (0 = none measured yet). Reporting the previous beat keeps the
+	// heartbeat from waiting on its own reply to learn the RTT.
+	RttUs int64 `json:"rttUs,omitempty"`
 }
 
 type heartbeatResp struct {
@@ -865,6 +902,10 @@ func (s *Server) grantLocked(idx int, worker string, now time.Time) *task {
 	t.leaseID = s.nextLease
 	t.worker = worker
 	t.deadline = now.Add(s.opts.LeaseTTL)
+	t.grantedAt = now
+	if s.lat != nil {
+		s.lat.queueWait.Observe(now.Sub(t.submitted))
+	}
 	sh := s.shardFor(t.leaseID)
 	sh.mu.Lock()
 	sh.leases[t.leaseID] = t
@@ -877,8 +918,9 @@ func (s *Server) grantLocked(idx int, worker string, now time.Time) *task {
 // grant builds the task's JSON-wire lease grant.
 func (t *task) grant() LeaseGrant {
 	return LeaseGrant{
-		LeaseID:    t.leaseID,
-		Experiment: t.payload.Experiment,
+		LeaseID:     t.leaseID,
+		Experiment:  t.payload.Experiment,
+		GrantUnixMs: t.grantedAt.UnixMilli(),
 		Job: exec.Request{
 			Version: exec.WireVersion,
 			ID:      int(t.leaseID),
@@ -972,6 +1014,7 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 		out.Loss = req.Response.Loss
 		out.State = req.Response.State
 	}
+	s.observeSettle(t, nil, &out)
 	t.done(out)
 	s.reply(w, reportResp{Version: ProtocolVersion, Accepted: true})
 }
@@ -1021,6 +1064,7 @@ func (s *Server) handleReportBatch(w http.ResponseWriter, rb ReportBatch) {
 			out.Loss = resp.Loss
 			out.State = resp.State
 		}
+		s.observeSettle(t, rb.Reports[i].Timing, &out)
 		t.done(out)
 	}
 	s.reply(w, ReportBatchResult{Version: ProtocolVersion, Accepted: accepted})
@@ -1031,6 +1075,7 @@ func (s *Server) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 	if !s.decode(w, r, &req.Version, &req.Token, &req) {
 		return
 	}
+	s.observeHeartbeatRTT(req.RttUs)
 	resp := heartbeatResp{Version: ProtocolVersion}
 	resp.Expired = s.extendLeases(req.WorkerID, req.Leases)
 	s.reply(w, resp)

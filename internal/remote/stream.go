@@ -57,6 +57,10 @@ type streamConn struct {
 	c      net.Conn
 	br     *bufio.Reader
 	worker string
+	// ver is the negotiated stream protocol version for this
+	// connection: the handshake's Bin, accepted anywhere in
+	// [1, BinProtocolVersion]. Timed frames flow only at >= 2.
+	ver int
 
 	// wmu serializes frame writes: grants from the granter goroutine,
 	// acks from the reader, the shutdown Done from Close.
@@ -82,9 +86,9 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	if !s.decode(w, r, &req.Version, &req.Token, &req) {
 		return
 	}
-	if req.Bin != BinProtocolVersion {
+	if req.Bin < 1 || req.Bin > BinProtocolVersion {
 		s.reject(w, http.StatusBadRequest,
-			fmt.Sprintf("binary wire version %d not supported (server speaks %d)", req.Bin, BinProtocolVersion))
+			fmt.Sprintf("binary wire version %d not supported (server speaks 1..%d)", req.Bin, BinProtocolVersion))
 		return
 	}
 	s.mu.Lock()
@@ -118,6 +122,7 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		br:      rw.Reader,
 		bw:      rw.Writer,
 		worker:  req.WorkerID,
+		ver:     req.Bin,
 		leaseCh: make(chan binLeaseReq, 1),
 		tables:  make(map[string]*connTable),
 		done:    make(chan struct{}),
@@ -229,7 +234,20 @@ func (sc *streamConn) reader() {
 				return
 			}
 			var ok bool
-			enc, ok = sc.settle(rb, enc, &ss)
+			enc, ok = sc.settle(rb, nil, enc, &ss)
+			if !ok {
+				return
+			}
+		case frameTimedReports:
+			if sc.ver < 2 {
+				return // timed frames were not negotiated
+			}
+			rb, err := decodeTimedReports(r)
+			if err != nil {
+				return
+			}
+			var ok bool
+			enc, ok = sc.settle(rb.binReports, rb.Timings, enc, &ss)
 			if !ok {
 				return
 			}
@@ -239,6 +257,20 @@ func (sc *streamConn) reader() {
 				return
 			}
 			expired := sc.s.extendLeases(sc.worker, ids)
+			enc = appendLeaseIDFrame(enc[:0], frameHeartbeatAck, expired)
+			if !sc.writeFrame(enc) {
+				return
+			}
+		case frameTimedHeartbeat:
+			if sc.ver < 2 {
+				return
+			}
+			hb, err := decodeTimedHeartbeat(r)
+			if err != nil {
+				return
+			}
+			sc.s.observeHeartbeatRTT(hb.RttUs)
+			expired := sc.s.extendLeases(sc.worker, hb.Leases)
 			enc = appendLeaseIDFrame(enc[:0], frameHeartbeatAck, expired)
 			if !sc.writeFrame(enc) {
 				return
@@ -258,10 +290,11 @@ type settleScratch struct {
 
 // settle settles one reports frame against the lease shards, writes
 // the acceptance ack, then runs the done callbacks back to back — one
-// frame, one scheduler wakeup, exactly as the JSON batch path. It
-// returns the reusable encode buffer and whether the ack write
-// succeeded.
-func (sc *streamConn) settle(rb binReports, enc []byte, ss *settleScratch) ([]byte, bool) {
+// frame, one scheduler wakeup, exactly as the JSON batch path. timings,
+// when non-nil, is the v2 frame's per-entry stage timings aligned with
+// rb.Reports. It returns the reusable encode buffer and whether the ack
+// write succeeded.
+func (sc *streamConn) settle(rb binReports, timings []JobTiming, enc []byte, ss *settleScratch) ([]byte, bool) {
 	s := sc.s
 	n := len(rb.Reports)
 	if cap(ss.accepted) < n {
@@ -315,6 +348,11 @@ func (sc *streamConn) settle(rb binReports, enc []byte, ss *settleScratch) ([]by
 				out.State = arena[start:len(arena):len(arena)]
 			}
 		}
+		var tm *JobTiming
+		if timings != nil {
+			tm = &timings[i]
+		}
+		s.observeSettle(t, tm, &out)
 		t.done(out)
 	}
 	return enc, ok
@@ -324,9 +362,10 @@ func (sc *streamConn) settle(rb binReports, enc []byte, ss *settleScratch) ([]by
 // one frame encode buffer, the grant-core task scratch and the grant
 // list, so a steady-state poll allocates nothing.
 type granterScratch struct {
-	enc    []byte
-	tasks  []*task
-	grants []binGrant
+	enc     []byte
+	tasks   []*task
+	grants  []binGrant
+	grantMs []int64
 }
 
 // granter services the worker's lease polls against the shared grant
@@ -384,7 +423,9 @@ func (sc *streamConn) serveLease(q binLeaseReq, gs *granterScratch) bool {
 		}
 		if len(tasks) > 0 {
 			s.binGrants.Add(int64(len(tasks)))
+			timed := sc.ver >= 2
 			g := binGrants{Seq: q.Seq, Grants: gs.grants[:0]}
+			grantMs := gs.grantMs[:0]
 			for _, t := range tasks {
 				idx := sc.tableFor(&t.payload, &g)
 				g.Grants = append(g.Grants, binGrant{
@@ -398,9 +439,17 @@ func (sc *streamConn) serveLease(q binLeaseReq, gs *granterScratch) bool {
 						State: t.payload.State,
 					},
 				})
+				if timed {
+					grantMs = append(grantMs, t.grantedAt.UnixMilli())
+				}
 			}
 			gs.grants = g.Grants[:0]
-			gs.enc = appendGrants(gs.enc[:0], g)
+			gs.grantMs = grantMs[:0]
+			if timed {
+				gs.enc = appendTimedGrants(gs.enc[:0], binTimedGrants{binGrants: g, GrantMs: grantMs})
+			} else {
+				gs.enc = appendGrants(gs.enc[:0], g)
+			}
 			return sc.writeFrame(gs.enc)
 		}
 		remaining := time.Until(deadline)

@@ -32,6 +32,30 @@ type LeaseGrant struct {
 	LeaseID    uint64       `json:"lease"`
 	Experiment string       `json:"experiment,omitempty"`
 	Job        exec.Request `json:"job"`
+	// GrantUnixMs is the server's grant wall-clock time in Unix
+	// milliseconds — informational (span timelines, `ashactl trace`),
+	// never differenced against a worker clock for a stage duration.
+	// Optional: absent from pre-tracing servers, ignored by pre-tracing
+	// workers.
+	GrantUnixMs int64 `json:"grantMs,omitempty"`
+}
+
+// JobTiming carries one finished job's worker-measured stage durations,
+// in microseconds. Every field is a monotonic-clock delta taken on the
+// worker (never a difference of wall-clock readings across machines),
+// so clock skew between fleet hosts cannot produce negative or inflated
+// stages; the server additionally clamps each stage to a sane range at
+// settle. Optional end to end: a ReportEntry without a Timing settles
+// exactly as before, and the server falls back to its own grant→settle
+// measurement for the exec histogram.
+type JobTiming struct {
+	// DwellUs: grant received by the worker → job dequeued by a slot
+	// (wire transit is excluded; this is prefetch-queue dwell).
+	DwellUs int64 `json:"dwellUs,omitempty"`
+	// ExecUs: objective execution, dequeue → result ready.
+	ExecUs int64 `json:"execUs,omitempty"`
+	// BufUs: result ready → report flush left the worker.
+	BufUs int64 `json:"bufUs,omitempty"`
 }
 
 // LeaseBatch is the versioned reply to a batched lease poll (a leaseReq
@@ -45,10 +69,11 @@ type LeaseBatch struct {
 }
 
 // ReportEntry pairs one finished job's response with the lease it was
-// executed under.
+// executed under, plus (optionally) the worker-measured stage timings.
 type ReportEntry struct {
 	LeaseID  uint64        `json:"lease"`
 	Response exec.Response `json:"response"`
+	Timing   *JobTiming    `json:"timing,omitempty"`
 }
 
 // ReportBatch delivers a batch of finished jobs in one /v1/report

@@ -533,6 +533,7 @@ func (r *mgrRun) launch(ctx context.Context, e *mgrExp, job core.Job, fresh bool
 		r.fleet.Submit(remote.JobPayload{
 			Experiment: e.spec.Name,
 			Trial:      job.TrialID,
+			Rung:       job.Rung,
 			// Dense config form: the searchspace's live name/value
 			// slices, shared across the experiment's jobs so the binary
 			// wire dedups its per-connection table by pointer.
