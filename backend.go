@@ -134,6 +134,19 @@ type Remote struct {
 	// job whose exec time exceeds StragglerK × the rolling p95 of its
 	// rung publishes a "straggler" event. Default 3.0.
 	StragglerK float64
+	// ShardID names this tuner process in a federated deployment; it is
+	// surfaced on /metrics and admin status so operators can tell shards
+	// apart. Empty for standalone runs.
+	ShardID string
+	// TenantTokens maps tenant namespace -> worker-auth secret: a worker
+	// presenting a tenant's token may only lease and report jobs of
+	// experiments named "<tenant>/...". The fleet-wide Token (if set)
+	// remains valid and unscoped.
+	TenantTokens map[string]string
+	// TenantAdminTokens maps tenant namespace -> admin secret for
+	// tenant-scoped admin access: status filtered to the tenant's
+	// experiments, pause/resume/abort of them only.
+	TenantAdminTokens map[string]string
 }
 
 func (r Remote) build(_ context.Context, t *Tuner, _ core.Scheduler) (backend.Backend, backend.Options, error) {
@@ -154,18 +167,21 @@ func (r Remote) newServer(defaultCapacity int) (*remote.Server, int, error) {
 		capacity = defaultCapacity
 	}
 	srv, err := remote.NewServer(remote.Options{
-		Listen:        r.Listen,
-		Token:         r.Token,
-		LeaseTTL:      r.LeaseTTL,
-		MaxLeases:     capacity,
-		BatchSize:     r.BatchSize,
-		Prefetch:      r.Prefetch,
-		FlushInterval: r.FlushInterval,
-		Metrics:       r.Metrics,
-		Events:        r.Events,
-		EventBuffer:   r.EventBuffer,
-		AdminToken:    r.AdminToken,
-		StragglerK:    r.StragglerK,
+		Listen:            r.Listen,
+		Token:             r.Token,
+		LeaseTTL:          r.LeaseTTL,
+		MaxLeases:         capacity,
+		BatchSize:         r.BatchSize,
+		Prefetch:          r.Prefetch,
+		FlushInterval:     r.FlushInterval,
+		Metrics:           r.Metrics,
+		Events:            r.Events,
+		EventBuffer:       r.EventBuffer,
+		AdminToken:        r.AdminToken,
+		StragglerK:        r.StragglerK,
+		ShardID:           r.ShardID,
+		TenantTokens:      r.TenantTokens,
+		TenantAdminTokens: r.TenantAdminTokens,
 	})
 	if err != nil {
 		return nil, 0, fmt.Errorf("asha: starting remote lease server: %w", err)
@@ -273,6 +289,12 @@ func (c *tunerControl) Abort(name string) error {
 	}
 	c.gate.Abort()
 	return nil
+}
+
+// Adopt is a Manager-only operation: a Tuner runs exactly one
+// experiment and owns it from the start, so there is nothing to adopt.
+func (c *tunerControl) Adopt(name string) error {
+	return fmt.Errorf("asha: single-experiment run cannot adopt %q", name)
 }
 
 // SetWorkers records the new budget for status reporting; the actual

@@ -28,6 +28,13 @@
 //	                     /v1/trace (all jobs when trial is omitted):
 //	                     queue/dwell/exec/buffer/settle per job, with
 //	                     stragglers flagged
+//	shards               federation shard table from a coordinator's
+//	                     /v1/shards: liveness, heartbeat age, owned
+//	                     experiments, failover count
+//	tenants              per-tenant rollup of a shard's admin status:
+//	                     quota weight, running/issued/completed/failed
+//	adopt EXPERIMENT     activate a dormant experiment on this shard
+//	                     (the coordinator's failover path, manually)
 //
 // -token carries the admin secret (AdminToken server-side) — a separate
 // credential from the worker token. Pause freezes both the scheduler's
@@ -72,7 +79,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		timeout = fs.Duration("timeout", 10*time.Second, "per-request timeout (tail streams are exempt)")
 	)
 	fs.Usage = func() {
-		fmt.Fprintln(stderr, "usage: ashactl -server URL -token SECRET <status|top|pause|resume|abort|workers|drain|tail|metrics|latency|trace> [args]")
+		fmt.Fprintln(stderr, "usage: ashactl -server URL -token SECRET <status|top|pause|resume|abort|workers|drain|tail|metrics|latency|trace|shards|tenants|adopt> [args]")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -199,8 +206,34 @@ func dispatch(ctx context.Context, c *client, cmd string, args []string, stdout 
 		}
 		fmt.Fprint(stdout, formatTrace(tr.Total, tr.Spans))
 		return nil
+	case "shards":
+		var st remote.ShardsStatus
+		if err := c.getJSON(ctx, c.base+"/v1/shards", &st); err != nil {
+			return err
+		}
+		fmt.Fprint(stdout, formatShards(st))
+		return nil
+	case "tenants":
+		st, err := c.status(ctx)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(stdout, formatTenants(st))
+		return nil
+	case "adopt":
+		if len(args) != 1 || args[0] == "" {
+			return fmt.Errorf("usage: adopt EXPERIMENT")
+		}
+		var resp struct {
+			OK bool `json:"ok"`
+		}
+		if err := c.admin(ctx, "adopt", map[string]string{"experiment": args[0]}, &resp); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "adopted %s: this shard now schedules it\n", args[0])
+		return nil
 	default:
-		return fmt.Errorf("unknown command %q (want status, top, pause, resume, abort, workers, drain, tail, metrics, latency, or trace)", cmd)
+		return fmt.Errorf("unknown command %q (want status, top, pause, resume, abort, workers, drain, tail, metrics, latency, trace, shards, tenants, or adopt)", cmd)
 	}
 }
 
@@ -249,12 +282,16 @@ func (c *client) status(ctx context.Context) (remote.AdminStatus, error) {
 	return st, err
 }
 
-// getJSON fetches one JSON endpoint (no auth — the observability plane
-// is read-only) and decodes the reply.
+// getJSON fetches one JSON endpoint and decodes the reply. The admin
+// token travels along for endpoints that gate on it (a coordinator's
+// /v1/shards); read-only observability endpoints ignore it.
 func (c *client) getJSON(ctx context.Context, url string, out interface{}) error {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
 	if err != nil {
 		return err
+	}
+	if c.token != "" {
+		req.Header.Set("Authorization", "Bearer "+c.token)
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
@@ -620,6 +657,78 @@ func formatLatency(m map[string]float64) string {
 			fmt.Fprintf(&b, "%-20s %10d %12s %12s %12s\n", expName(e), int64(h.count),
 				fmtSecs(h.quantile(0.5)), fmtSecs(h.quantile(0.99)), fmtSecs(h.mean()))
 		}
+	}
+	return b.String()
+}
+
+// formatShards renders a coordinator's shard table.
+func formatShards(st remote.ShardsStatus) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d shards, %d failovers\n", len(st.Shards), st.Failovers)
+	fmt.Fprintf(&b, "%-12s %-6s %10s  %-24s %s\n", "shard", "state", "heartbeat", "url", "experiments")
+	for _, s := range st.Shards {
+		state := "DOWN"
+		switch {
+		case s.Up:
+			state = "up"
+		case !s.Registered:
+			state = "-"
+		}
+		beat := "-"
+		if s.AgeMillis >= 0 {
+			beat = (time.Duration(s.AgeMillis) * time.Millisecond).Round(time.Millisecond).String() + " ago"
+		}
+		url := s.URL
+		if url == "" {
+			url = "-"
+		}
+		fmt.Fprintf(&b, "%-12s %-6s %10s  %-24s %s\n",
+			s.ID, state, beat, url, strings.Join(s.Experiments, ", "))
+	}
+	return b.String()
+}
+
+// formatTenants rolls one shard's admin status up by tenant namespace
+// (the experiment-name prefix before '/').
+func formatTenants(st remote.AdminStatus) string {
+	type agg struct{ exps, issued, completed, failed, running int }
+	tenants := make(map[string]*agg)
+	for _, e := range st.Experiments {
+		t := remote.TenantOf(e.Experiment)
+		a := tenants[t]
+		if a == nil {
+			a = &agg{}
+			tenants[t] = a
+		}
+		a.exps++
+		a.issued += e.Issued
+		a.completed += e.Completed
+		a.failed += e.Failed
+		a.running += e.Running
+	}
+	if len(tenants) == 0 {
+		return "no experiments\n"
+	}
+	names := make([]string, 0, len(tenants))
+	for t := range tenants {
+		names = append(names, t)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-16s %6s %6s %7s %7s %6s %5s\n",
+		"tenant", "weight", "exps", "issued", "done", "fail", "run")
+	for _, t := range names {
+		a := tenants[t]
+		w := "1"
+		if n, ok := st.TenantWeights[t]; ok {
+			w = strconv.Itoa(n)
+		}
+		name := t
+		if name == "" {
+			name = "(none)"
+		}
+		fmt.Fprintf(&b, "%-16s %6s %6d %7d %7d %6d %5d\n",
+			name, w, a.exps, a.issued, a.completed, a.failed, a.running)
 	}
 	return b.String()
 }

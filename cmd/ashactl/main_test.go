@@ -161,6 +161,7 @@ func (f *fakeControl) Pause(e string) error   { f.record("pause:" + e); return n
 func (f *fakeControl) Resume(e string) error  { f.record("resume:" + e); return nil }
 func (f *fakeControl) Abort(e string) error   { f.record("abort:" + e); return nil }
 func (f *fakeControl) SetWorkers(n int) error { f.record(fmt.Sprintf("workers:%d", n)); return nil }
+func (f *fakeControl) Adopt(e string) error   { f.record("adopt:" + e); return nil }
 
 // TestCommandsAgainstLiveServer drives the real CLI entry point against
 // a real server: every command round-trips HTTP, auth, and JSON.
@@ -257,15 +258,18 @@ func TestTailStreamsEvents(t *testing.T) {
 		run(context.Background(), []string{"-server", srv.URL(), "-token", "ctl-secret", "tail"}, &out, &errb)
 		done <- out.String()
 	}()
-	// A subscriber starts at the bus's current tail, and we cannot
-	// observe when the stream's subscription lands — so keep publishing
-	// for a while; the local HTTP attach takes only a few of these
-	// intervals.
+	// Wait until the tail command's stream subscription has attached —
+	// the handler subscribes before answering, so Subscribers() > 0
+	// means delivery is guaranteed — then publish and end the stream.
 	bus := srv.EventBus()
-	for i := 0; i < 30; i++ {
-		bus.Publish(obs.Event{Type: obs.EventCompleted, Experiment: "exp-a", Trial: 1, Loss: 0.5, Resource: 2})
-		time.Sleep(10 * time.Millisecond)
+	deadline := time.Now().Add(10 * time.Second)
+	for bus.Subscribers() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("tail never attached to the event stream")
+		}
+		time.Sleep(time.Millisecond)
 	}
+	bus.Publish(obs.Event{Type: obs.EventCompleted, Experiment: "exp-a", Trial: 1, Loss: 0.5, Resource: 2})
 	srv.Close() // closes the bus, ending the stream cleanly
 	out := <-done
 	if !strings.Contains(out, "completed trial 1") {

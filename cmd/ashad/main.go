@@ -72,6 +72,35 @@
 // moves many jobs (see DESIGN.md, "Batched leasing & worker
 // pipelining").
 //
+// A manifest with a "federation" block splits the experiments across
+// several tuner shard processes behind one coordinator (see DESIGN.md,
+// "Federated control plane"):
+//
+//	{
+//	  "workers": 8,
+//	  "remote": {"token": "secret", "adminToken": "ops", "metrics": true,
+//	             "events": true},
+//	  "federation": {
+//	    "coordinator": "127.0.0.1:8800",
+//	    "shards": [
+//	      {"id": "shard-a", "listen": "127.0.0.1:8701"},
+//	      {"id": "shard-b", "listen": "127.0.0.1:8702"}
+//	    ]
+//	  },
+//	  "experiments": [...]
+//	}
+//
+// Run one `ashad -manifest m.json -coordinator` process and one
+// `ashad -manifest m.json -shard <id>` per shard, all from the same
+// manifest. The coordinator assigns each experiment an owning shard by
+// rendezvous hashing, redirects registering workers to the right shard,
+// and — when a shard stops heartbeating — fails its experiments over to
+// the survivors, which adopt them from their journals (-state-dir on a
+// shared directory makes the handoff lossless). Tenant namespaces
+// ("team-a/exp"), per-tenant worker/admin tokens ("tenantTokens",
+// "tenantAdminTokens") and fair-share quotas ("tenantQuotas") make one
+// deployment safely multi-tenant.
+//
 // SIGINT/SIGTERM shut the run down gracefully: scheduling stops, the
 // partial per-experiment incumbents are printed, and (in remote mode)
 // connected workers are told the run is over.
@@ -80,6 +109,7 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -92,6 +122,7 @@ import (
 	"time"
 
 	asha "repro"
+	"repro/internal/remote"
 )
 
 // manifest is the top-level experiment file.
@@ -100,8 +131,35 @@ type manifest struct {
 	// mode it is the fleet's concurrent-lease cap.
 	Workers int `json:"workers"`
 	// Remote, when present, serves jobs to a worker fleet.
-	Remote      *remoteSpec `json:"remote,omitempty"`
-	Experiments []expSpec   `json:"experiments"`
+	Remote *remoteSpec `json:"remote,omitempty"`
+	// TenantQuotas weights the dispatch fair share across tenant
+	// namespaces (experiment name prefix before '/'); absent tenants
+	// weigh 1.
+	TenantQuotas map[string]int `json:"tenantQuotas,omitempty"`
+	// Federation, when present, splits the experiments across several
+	// tuner shards behind one coordinator (run with -coordinator or
+	// -shard <id>).
+	Federation  *fedSpec  `json:"federation,omitempty"`
+	Experiments []expSpec `json:"experiments"`
+}
+
+// fedSpec describes a federated deployment: one coordinator plus a
+// static set of tuner shards, all launched from this same manifest.
+type fedSpec struct {
+	// Coordinator is the coordinator's host:port.
+	Coordinator string `json:"coordinator"`
+	// Shards lists every tuner shard and its lease-server address.
+	Shards []shardSpec `json:"shards"`
+	// TTLMillis is the shard heartbeat liveness window in milliseconds
+	// (default 5000): a shard silent this long is declared dead and its
+	// experiments fail over to the survivors.
+	TTLMillis int `json:"ttlMs,omitempty"`
+}
+
+// shardSpec names one tuner shard.
+type shardSpec struct {
+	ID     string `json:"id"`
+	Listen string `json:"listen"`
 }
 
 // remoteSpec configures the embedded job-lease server.
@@ -139,6 +197,12 @@ type remoteSpec struct {
 	// job whose exec time exceeds StragglerK × the rolling p95 of its
 	// rung publishes a "straggler" event (default 3.0).
 	StragglerK float64 `json:"stragglerK,omitempty"`
+	// TenantTokens maps tenant namespace -> worker secret: workers
+	// presenting it may only touch jobs of "<tenant>/..." experiments.
+	TenantTokens map[string]string `json:"tenantTokens,omitempty"`
+	// TenantAdminTokens maps tenant namespace -> admin secret scoped to
+	// that tenant's experiments.
+	TenantAdminTokens map[string]string `json:"tenantAdminTokens,omitempty"`
 }
 
 // expSpec is one experiment entry.
@@ -150,6 +214,11 @@ type expSpec struct {
 	Space     []paramSpec `json:"space,omitempty"`
 	MaxJobs   int         `json:"maxJobs"`
 	Seed      uint64      `json:"seed,omitempty"`
+
+	// DelayMillis sleeps this long before each job's objective call,
+	// pacing a surrogate benchmark like real training — demos and
+	// kill-tested soaks need runs that outlive their choreography.
+	DelayMillis int `json:"delayMs,omitempty"`
 
 	// Algorithm knobs (defaults in brackets).
 	Eta           int     `json:"eta,omitempty"`           // [4]
@@ -334,6 +403,18 @@ func buildExperiment(s expSpec) (asha.Experiment, error) {
 		return none, fmt.Errorf("benchmark experiments use the benchmark's own space; drop the space field")
 	}
 
+	if s.DelayMillis > 0 {
+		base := objective
+		d := time.Duration(s.DelayMillis) * time.Millisecond
+		objective = func(ctx context.Context, cfg asha.Config, from, to float64, state interface{}) (float64, interface{}, error) {
+			select {
+			case <-time.After(d):
+			case <-ctx.Done():
+				return 0, nil, ctx.Err()
+			}
+			return base(ctx, cfg, from, to, state)
+		}
+	}
 	algo, err := buildAlgorithm(s)
 	if err != nil {
 		return none, err
@@ -348,6 +429,94 @@ func buildExperiment(s expSpec) (asha.Experiment, error) {
 	}, nil
 }
 
+// hostURL turns a listen address into a dialable base URL, defaulting
+// the host to loopback for ":port" forms.
+func hostURL(addr string) string {
+	if strings.HasPrefix(addr, ":") {
+		addr = "127.0.0.1" + addr
+	}
+	return "http://" + addr
+}
+
+// runCoordinator serves the federation's coordinator tier until the
+// context is cancelled.
+func runCoordinator(ctx context.Context, mf *manifest) error {
+	fed := mf.Federation
+	ids := make([]string, 0, len(fed.Shards))
+	for _, s := range fed.Shards {
+		ids = append(ids, s.ID)
+	}
+	exps := make([]string, 0, len(mf.Experiments))
+	for _, e := range mf.Experiments {
+		exps = append(exps, e.Name)
+	}
+	opts := remote.CoordinatorOptions{
+		Listen:      fed.Coordinator,
+		Shards:      ids,
+		Experiments: exps,
+		ShardTTL:    time.Duration(fed.TTLMillis) * time.Millisecond,
+	}
+	if mf.Remote != nil {
+		opts.AdminToken = mf.Remote.AdminToken
+		opts.Token = mf.Remote.Token
+		opts.TenantTokens = mf.Remote.TenantTokens
+	}
+	coord, err := remote.NewCoordinator(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("ashad: coordinator at %s routing %d experiments across %d shards\n",
+		coord.URL(), len(exps), len(ids))
+	<-ctx.Done()
+	fmt.Printf("ashad: coordinator shutting down (%d failovers)\n", coord.Failovers())
+	return coord.Close()
+}
+
+// linkShard registers this shard with the coordinator (retrying while
+// it boots), starts the background heartbeat, and returns the set of
+// experiments the coordinator assigned to this shard.
+func linkShard(ctx context.Context, coordURL, shardID, selfURL, adminToken string) (map[string]bool, error) {
+	var (
+		assigned []string
+		interval time.Duration
+		err      error
+	)
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		assigned, interval, err = remote.RegisterShard(ctx, coordURL, shardID, selfURL, adminToken)
+		if err == nil {
+			break
+		}
+		if ctx.Err() != nil || time.Now().After(deadline) {
+			return nil, fmt.Errorf("registering shard %q with %s: %w", shardID, coordURL, err)
+		}
+		time.Sleep(500 * time.Millisecond)
+	}
+	set := make(map[string]bool, len(assigned))
+	for _, e := range assigned {
+		set[e] = true
+	}
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-t.C:
+				hbErr := remote.ShardHeartbeat(ctx, coordURL, shardID, adminToken)
+				if errors.Is(hbErr, remote.ErrShardUnknown) {
+					// A restarted coordinator forgot us: re-register.
+					// Adoption of any reassigned experiments flows through
+					// the admin plane, not this reply.
+					_, _, _ = remote.RegisterShard(ctx, coordURL, shardID, selfURL, adminToken)
+				}
+			}
+		}
+	}()
+	return set, nil
+}
+
 func main() {
 	var (
 		manifestPath = flag.String("manifest", "", "path to the experiment manifest (JSON)")
@@ -355,6 +524,8 @@ func main() {
 		progressEach = flag.Int("progress", 200, "stream a progress line every N completed jobs per experiment (0 = off)")
 		stateDir     = flag.String("state-dir", "", "journal every experiment in this directory and resume on restart")
 		example      = flag.Bool("example", false, "print a sample manifest and exit")
+		coordinator  = flag.Bool("coordinator", false, "run the manifest's federation coordinator instead of a tuner")
+		shard        = flag.String("shard", "", "run as this federation shard: serve only the experiments the coordinator assigns")
 	)
 	flag.Parse()
 
@@ -383,24 +554,92 @@ func main() {
 		mf.Workers = 8
 	}
 
+	// SIGINT/SIGTERM cancel the run context: scheduling stops, in-flight
+	// jobs drain, and the partial incumbents below still print instead
+	// of the process dying mid-write.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
+	if *coordinator || *shard != "" {
+		if mf.Federation == nil {
+			log.Fatalf("ashad: -coordinator/-shard need a \"federation\" block in the manifest")
+		}
+		if mf.Remote == nil || mf.Remote.AdminToken == "" {
+			log.Fatalf("ashad: a federated manifest needs remote.adminToken (the coordinator drives shard adoption through the admin API)")
+		}
+	}
+	if *coordinator {
+		if *shard != "" {
+			log.Fatalf("ashad: -coordinator and -shard are mutually exclusive")
+		}
+		if err := runCoordinator(ctx, &mf); err != nil {
+			log.Fatalf("ashad: %v", err)
+		}
+		return
+	}
+
+	// assigned is non-nil in shard mode: the experiments this shard
+	// actively runs. The rest stay dormant until a failover adopts them.
+	var assigned map[string]bool
+	shardID := *shard
+	if shardID != "" {
+		var spec *shardSpec
+		for i := range mf.Federation.Shards {
+			if mf.Federation.Shards[i].ID == shardID {
+				spec = &mf.Federation.Shards[i]
+				break
+			}
+		}
+		if spec == nil {
+			log.Fatalf("ashad: federation block has no shard %q", shardID)
+		}
+		if spec.Listen == "" {
+			log.Fatalf("ashad: shard %q needs a listen address", shardID)
+		}
+		mf.Remote.Listen = spec.Listen
+		coordURL := hostURL(mf.Federation.Coordinator)
+		set, err := linkShard(ctx, coordURL, shardID, hostURL(spec.Listen), mf.Remote.AdminToken)
+		if err != nil {
+			log.Fatalf("ashad: %v", err)
+		}
+		assigned = set
+		names := make([]string, 0, len(set))
+		for n := range set {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		fmt.Printf("ashad: shard %s assigned %d/%d experiments: %s\n",
+			shardID, len(set), len(mf.Experiments), strings.Join(names, ", "))
+	}
+
 	opts := []asha.ManagerOption{asha.WithManagerWorkers(mf.Workers)}
 	if *stateDir != "" {
 		opts = append(opts, asha.WithManagerStateDir(*stateDir))
 	}
+	if len(mf.TenantQuotas) > 0 {
+		opts = append(opts, asha.WithManagerTenantQuotas(mf.TenantQuotas))
+	}
+	if assigned != nil {
+		set := assigned
+		opts = append(opts, asha.WithManagerActive(func(name string) bool { return set[name] }))
+	}
 	if mf.Remote != nil {
 		opts = append(opts, asha.WithManagerRemote(asha.Remote{
-			Listen:        mf.Remote.Listen,
-			Token:         mf.Remote.Token,
-			LeaseTTL:      time.Duration(mf.Remote.LeaseTTLMillis) * time.Millisecond,
-			MaxLeases:     mf.Remote.MaxLeases,
-			BatchSize:     mf.Remote.BatchSize,
-			Prefetch:      mf.Remote.Prefetch,
-			FlushInterval: time.Duration(mf.Remote.FlushMillis) * time.Millisecond,
-			Metrics:       mf.Remote.Metrics,
-			Events:        mf.Remote.Events,
-			EventBuffer:   mf.Remote.EventBuffer,
-			AdminToken:    mf.Remote.AdminToken,
-			StragglerK:    mf.Remote.StragglerK,
+			Listen:            mf.Remote.Listen,
+			Token:             mf.Remote.Token,
+			LeaseTTL:          time.Duration(mf.Remote.LeaseTTLMillis) * time.Millisecond,
+			MaxLeases:         mf.Remote.MaxLeases,
+			BatchSize:         mf.Remote.BatchSize,
+			Prefetch:          mf.Remote.Prefetch,
+			FlushInterval:     time.Duration(mf.Remote.FlushMillis) * time.Millisecond,
+			Metrics:           mf.Remote.Metrics,
+			Events:            mf.Remote.Events,
+			EventBuffer:       mf.Remote.EventBuffer,
+			AdminToken:        mf.Remote.AdminToken,
+			StragglerK:        mf.Remote.StragglerK,
+			ShardID:           shardID,
+			TenantTokens:      mf.Remote.TenantTokens,
+			TenantAdminTokens: mf.Remote.TenantAdminTokens,
 			OnListen: func(url string) {
 				fmt.Printf("ashad: serving the worker fleet at %s\n", url)
 			},
@@ -424,12 +663,6 @@ func main() {
 			log.Fatalf("ashad: %v", err)
 		}
 	}
-
-	// SIGINT/SIGTERM cancel the run context: scheduling stops, in-flight
-	// jobs drain, and the partial incumbents below still print instead
-	// of the process dying mid-write.
-	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stopSignals()
 
 	fmt.Printf("ashad: running %d experiments on %d shared workers\n", len(mf.Experiments), mf.Workers)
 	var results map[string]*asha.Result

@@ -48,11 +48,25 @@ import (
 	"strings"
 	"sync"
 	"syscall"
+	"time"
 
 	asha "repro"
 	"repro/internal/curve"
 	"repro/internal/workload"
 )
+
+// paced wraps an objective with a fixed pre-training sleep so a
+// microsecond surrogate exercises the fleet like a real workload.
+func paced(obj asha.Objective, d time.Duration) asha.Objective {
+	return func(ctx context.Context, cfg asha.Config, from, to float64, state interface{}) (float64, interface{}, error) {
+		select {
+		case <-time.After(d):
+		case <-ctx.Done():
+			return 0, nil, ctx.Err()
+		}
+		return obj(ctx, cfg, from, to, state)
+	}
+}
 
 // benchObjective adapts a surrogate benchmark for the remote wire: its
 // checkpoint is a small JSON object, so a trial can migrate between
@@ -109,6 +123,7 @@ func main() {
 		prefetch    = flag.Int("prefetch", 0, "local job-queue lookahead depth (0 = server default, <0 = none)")
 		flush       = flag.Duration("flush", 0, "report-flush deadline, e.g. 25ms (0 = server default, <0 = immediate)")
 		jsonWire    = flag.Bool("json-wire", false, "stay on the batched JSON protocol even when the server offers the binary streaming wire")
+		delay       = flag.Duration("delay", 0, "sleep per job before training, pacing surrogate benchmarks like real work")
 		benchName   = flag.String("benchmark", "", "default surrogate benchmark objective (see -list)")
 		experiments = flag.String("experiments", "", "per-experiment objectives as name=benchmark[,name=benchmark...]")
 		list        = flag.Bool("list", false, "list built-in benchmarks and exit")
@@ -171,6 +186,16 @@ func main() {
 	if w.ObjectiveFor == nil && len(w.Objectives) == 0 {
 		fmt.Fprintln(os.Stderr, "ashaworker: pass -benchmark and/or -experiments to select objectives")
 		os.Exit(2)
+	}
+	if *delay > 0 {
+		for exp, obj := range w.Objectives {
+			w.Objectives[exp] = paced(obj, *delay)
+		}
+		if next := w.ObjectiveFor; next != nil {
+			w.ObjectiveFor = func(experiment string) asha.Objective {
+				return paced(next(experiment), *delay)
+			}
+		}
 	}
 
 	// SIGINT/SIGTERM stop leasing and exit; any in-flight lease then

@@ -48,6 +48,15 @@ const (
 	// its rung's rolling exec-time distribution (DurMs carries the
 	// offending duration).
 	EventStraggler = "straggler"
+	// EventAdopted: a federated shard took ownership of an experiment it
+	// did not start with (failover) and resumed it from its journal.
+	EventAdopted = "experiment_adopted"
+	// EventShardDown: the coordinator declared a tuner shard dead after
+	// it missed its heartbeat window (Experiment carries the shard ID).
+	EventShardDown = "shard_down"
+	// EventFailover: the coordinator reassigned one experiment from a
+	// dead shard to a survivor (Experiment names the experiment).
+	EventFailover = "failover"
 	// EventDropped is synthesized per subscriber (never stored in the
 	// ring): the subscriber fell behind and Count events were skipped.
 	EventDropped = "dropped"
@@ -127,6 +136,10 @@ type Bus struct {
 	// dropped counts events skipped past slow subscribers, bus-wide,
 	// for the asha_events_dropped_total metric.
 	dropped atomic.Int64
+	// subs counts subscriptions over the bus's lifetime, for the
+	// asha_event_subscribers gauge (cursors are never unregistered; a
+	// finished subscriber simply stops calling Next).
+	subs atomic.Int64
 }
 
 // DefaultBusCapacity is the ring size used when a Bus is created with
@@ -187,8 +200,14 @@ func (b *Bus) Dropped() int64 { return b.dropped.Load() }
 func (b *Bus) Subscribe() *Subscription {
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	b.subs.Add(1)
 	return &Subscription{bus: b, cursor: b.seq}
 }
+
+// Subscribers reports how many subscriptions the bus has handed out
+// over its lifetime. Tests and operators use it to confirm a streaming
+// consumer has actually attached before relying on delivery.
+func (b *Bus) Subscribers() int64 { return b.subs.Load() }
 
 // Subscription is one subscriber's cursor into the bus.
 type Subscription struct {

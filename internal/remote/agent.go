@@ -110,6 +110,14 @@ type pendingReport struct {
 type agent struct {
 	o      AgentOptions
 	client *http.Client
+	// server is the base URL the agent currently talks to (atomic.Value
+	// of string): it starts at o.Server and moves when a registration
+	// reply carries a redirect advert (a coordinator routing the worker
+	// to its owning shard). home keeps the original o.Server so a
+	// worker whose shard dies can go back and be routed to the
+	// survivor.
+	server atomic.Value
+	home   string
 	// regMu single-flights (re-)registration; worker and ttl are read
 	// under mu by the pipeline goroutines.
 	regMu  sync.Mutex
@@ -188,9 +196,11 @@ func ServeAgent(ctx context.Context, o AgentOptions) error {
 	a := &agent{
 		o:      o,
 		client: &http.Client{},
+		home:   o.Server,
 		held:   make(map[uint64]*heldLease),
 		kick:   make(chan struct{}, 1),
 	}
+	a.server.Store(o.Server)
 	if err := a.register(ctx, ""); err != nil {
 		return err
 	}
@@ -276,6 +286,17 @@ func (a *agent) resolveBatching() {
 	if a.flushInt <= 0 {
 		a.flushInt = 0 // negative (or unadvertised zero): flush immediately
 	}
+}
+
+// serverURL returns the base URL the agent currently talks to.
+func (a *agent) serverURL() string {
+	return a.server.Load().(string)
+}
+
+// setServerURL points the agent at a different server (a redirect
+// advert, or the trip back home after a shard death).
+func (a *agent) setServerURL(u string) {
+	a.server.Store(u)
 }
 
 // workerID returns the current registration's worker ID.
@@ -373,6 +394,11 @@ func (a *agent) kickFetch() {
 	}
 }
 
+// maxRedirectHops caps how many redirect adverts one registration
+// follows before concluding the coordinators are pointing at each
+// other.
+const maxRedirectHops = 5
+
 // register announces the worker, retrying with backoff so a worker may
 // be started before (or independently of) the tuning process. staleID
 // is the registration being replaced ("" initially): when a server
@@ -385,11 +411,26 @@ func (a *agent) register(ctx context.Context, staleID string) error {
 		return nil // another caller already refreshed the registration
 	}
 	deadline := time.Now().Add(a.o.RegisterTimeout)
+	origin := a.serverURL()
 	var lastErr error
+	hops := 0
 	for {
 		var resp registerResp
 		status, err := a.post(ctx, "/v1/register",
-			registerReq{Version: ProtocolVersion, Token: a.o.Token, Name: a.o.Name}, &resp, 5*time.Second)
+			registerReq{Version: ProtocolVersion, Token: a.o.Token, Name: a.o.Name,
+				Experiments: a.o.Experiments}, &resp, 5*time.Second)
+		if err == nil && resp.Redirect != "" {
+			// A coordinator's advert: the named shard owns this worker's
+			// experiments — register there instead. The hop cap turns a
+			// misconfigured redirect cycle into a prompt error rather
+			// than an infinite loop.
+			hops++
+			if hops > maxRedirectHops {
+				return fmt.Errorf("remote: agent redirect loop (%d hops, last advert %s)", hops, resp.Redirect)
+			}
+			a.setServerURL(resp.Redirect)
+			continue
+		}
 		if err == nil {
 			ttl := time.Duration(resp.LeaseTTLMillis) * time.Millisecond
 			if ttl <= 0 {
@@ -424,15 +465,22 @@ func (a *agent) register(ctx context.Context, staleID string) error {
 			// A deterministic rejection (bad token, version mismatch):
 			// retrying the same credentials cannot succeed, so surface it
 			// immediately instead of after the full retry window.
-			return fmt.Errorf("remote: agent rejected by %s: %w", a.o.Server, err)
+			return fmt.Errorf("remote: agent rejected by %s: %w", a.serverURL(), err)
 		}
 		lastErr = err
 		if ctx.Err() != nil {
 			return ctx.Err()
 		}
 		if time.Now().After(deadline) {
-			return fmt.Errorf("remote: agent failed to register with %s: %w", a.o.Server, lastErr)
+			return fmt.Errorf("remote: agent failed to register with %s: %w", a.serverURL(), lastErr)
 		}
+		// A dead hop — typically a coordinator advert for a shard that
+		// crashed and has not been failed over yet. Fall back to the
+		// entry point so the next attempt re-derives the route (after
+		// failover the advert names the survivor) instead of retrying
+		// the corpse until the deadline.
+		a.setServerURL(origin)
+		hops = 0
 		select {
 		case <-time.After(250 * time.Millisecond):
 		case <-ctx.Done():
@@ -536,6 +584,10 @@ func (a *agent) fetchLoop(ctx context.Context) error {
 			if errors.Is(err, syscall.ECONNREFUSED) {
 				refusals++
 				if refusals >= 4 {
+					if a.rehome(ctx, wid) {
+						failingSince, refusals = time.Time{}, 0
+						continue
+					}
 					return nil
 				}
 			} else {
@@ -545,6 +597,10 @@ func (a *agent) fetchLoop(ctx context.Context) error {
 				failingSince = time.Now()
 			}
 			if time.Since(failingSince) > a.o.RegisterTimeout {
+				if a.rehome(ctx, wid) {
+					failingSince, refusals = time.Time{}, 0
+					continue
+				}
 				return nil
 			}
 			select {
@@ -661,6 +717,24 @@ func (a *agent) binPoll(ctx context.Context, wid string, max int, lb *LeaseBatch
 	case <-ctx.Done():
 		return 0, ctx.Err()
 	}
+}
+
+// rehome sends a worker whose current server died back to its
+// original one — the coordinator, in a federated fleet, whose
+// register reply redirects it to whichever shard owns its experiments
+// now (the failover survivor). The stale registration's leases are
+// purged by register's staleID path, so nothing from the dead shard's
+// generation can settle on the new one. false means there is nowhere
+// to go: the agent already points at its original server.
+func (a *agent) rehome(ctx context.Context, staleID string) bool {
+	if a.home == "" || a.serverURL() == a.home {
+		return false
+	}
+	if bs := a.curStream(); bs != nil {
+		bs.close()
+	}
+	a.setServerURL(a.home)
+	return a.register(ctx, staleID) == nil
 }
 
 // slotCtx is one executor slot's reusable cancellable job context: a
@@ -1063,7 +1137,7 @@ func (a *agent) post(ctx context.Context, path string, in, out interface{}, time
 	}
 	rctx, cancel := context.WithTimeout(ctx, timeout)
 	defer cancel()
-	req, err := http.NewRequestWithContext(rctx, http.MethodPost, a.o.Server+path, bytes.NewReader(buf.Bytes()))
+	req, err := http.NewRequestWithContext(rctx, http.MethodPost, a.serverURL()+path, bytes.NewReader(buf.Bytes()))
 	if err != nil {
 		return 0, err
 	}

@@ -92,7 +92,8 @@ type binStream struct {
 // its HTTP status (0 for transport errors) so the caller can reuse the
 // JSON poll's status handling (410 -> re-register).
 func (a *agent) dialStream(ctx context.Context, wid string) (bs *binStream, done bool, status int, err error) {
-	u, err := url.Parse(a.o.Server)
+	srv := a.serverURL()
+	u, err := url.Parse(srv)
 	if err != nil {
 		return nil, false, 0, err
 	}
@@ -111,7 +112,7 @@ func (a *agent) dialStream(ctx context.Context, wid string) (bs *binStream, done
 		_ = conn.Close()
 		return nil, false, 0, err
 	}
-	req, err := http.NewRequest(http.MethodPost, a.o.Server+"/v1/stream", bytes.NewReader(body))
+	req, err := http.NewRequest(http.MethodPost, srv+"/v1/stream", bytes.NewReader(body))
 	if err != nil {
 		_ = conn.Close()
 		return nil, false, 0, err

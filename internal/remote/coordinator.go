@@ -1,0 +1,772 @@
+package remote
+
+// The federated control-plane tier (coordinator.go): a Coordinator
+// owns the experiment->shard assignment for a deployment of several
+// tuner processes ("shards"), routes registering workers to the shard
+// that owns their experiments, and fails a dead shard's experiments
+// over to survivors.
+//
+// Ownership is decided by rendezvous (highest-random-weight) hashing
+// over the live shard set: every experiment hashes against every
+// shard ID and the highest score wins, so removing one shard moves
+// only that shard's experiments and leaves every other assignment
+// untouched — exactly the property failover needs. The assignment map
+// is mutated only by failover; a shard that restarts after being
+// declared dead re-registers and receives whatever it still owns
+// (possibly nothing), never clawing experiments back mid-run.
+//
+// The coordinator speaks three small JSON surfaces:
+//
+//	/v1/register        — workers: answered with a redirect advert
+//	                      naming the owning shard's base URL; the
+//	                      agent re-registers there (agent.go)
+//	/v1/shard/register  — shards: announce {id, url}, learn their
+//	                      current experiment assignment and heartbeat
+//	                      cadence
+//	/v1/shard/heartbeat — shards: liveness; a shard silent past the
+//	                      TTL is declared dead and failed over
+//	/v1/shards          — operators (ashactl): assignment + health
+//
+// plus the usual /metrics and /v1/events planes. Failover drives the
+// surviving shard's token-scoped /v1/admin/adopt endpoint, which
+// recovers the experiment from its journal via the same replay
+// machinery a restart uses; exactly-once holds because the survivor's
+// lease generation is seeded past the dead shard's (remote.go,
+// nextLease) and redirected workers re-register, purging stale leases.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"net"
+	"net/http"
+	"net/url"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// DefaultShardTTL is how long a shard may go without a heartbeat
+// before the coordinator declares it dead and fails its experiments
+// over (CoordinatorOptions.ShardTTL <= 0).
+const DefaultShardTTL = 5 * time.Second
+
+// CoordinatorOptions configures a Coordinator.
+type CoordinatorOptions struct {
+	// Listen is the TCP address to serve on (default "127.0.0.1:0").
+	Listen string
+	// Shards is the static set of tuner shard IDs in the deployment.
+	// At least one is required.
+	Shards []string
+	// Experiments is the full experiment list of the deployment; each
+	// is assigned an owning shard by rendezvous hashing at startup.
+	Experiments []string
+	// ShardTTL is the heartbeat liveness window (default
+	// DefaultShardTTL).
+	ShardTTL time.Duration
+	// AdminToken authenticates shards registering and heartbeating with
+	// the coordinator, gates /v1/shards, and is presented by the
+	// coordinator when driving a survivor's /v1/admin/adopt — the one
+	// fleet-internal secret, shared with every shard's admin plane.
+	AdminToken string
+	// Token and TenantTokens mirror the shards' worker credentials so
+	// the coordinator can reject a bad worker token at routing time
+	// instead of letting the worker discover it one redirect later.
+	// Empty means any worker token is routed.
+	Token        string
+	TenantTokens map[string]string
+	// EventBuffer is the /v1/events ring capacity (default
+	// obs.DefaultBusCapacity).
+	EventBuffer int
+}
+
+// coordShard is one shard's live record.
+type coordShard struct {
+	id         string
+	url        string // base URL announced at registration ("" before)
+	registered bool
+	up         bool
+	lastBeat   time.Time
+	routed     int // unrestricted workers routed here (load balance)
+}
+
+// Coordinator is the federated control-plane tier. See the package
+// comment at the top of this file.
+type Coordinator struct {
+	opts CoordinatorOptions
+	ln   net.Listener
+	hs   *http.Server
+	bus  *obs.Bus
+
+	mu     sync.Mutex
+	shards map[string]*coordShard
+	assign map[string]string // experiment -> owning shard ID
+	closed bool
+
+	redirects  atomic.Int64 // workers routed to a shard
+	failovers  atomic.Int64 // experiments reassigned off dead shards
+	shardsDown atomic.Int64 // shard death declarations
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	sweepStop chan struct{}
+	sweepDone chan struct{}
+}
+
+// NewCoordinator starts a coordinator listening on opts.Listen.
+func NewCoordinator(opts CoordinatorOptions) (*Coordinator, error) {
+	if opts.Listen == "" {
+		opts.Listen = "127.0.0.1:0"
+	}
+	if opts.ShardTTL <= 0 {
+		opts.ShardTTL = DefaultShardTTL
+	}
+	if len(opts.Shards) == 0 {
+		return nil, fmt.Errorf("remote: coordinator needs at least one shard")
+	}
+	seen := make(map[string]bool, len(opts.Shards))
+	for _, id := range opts.Shards {
+		if id == "" {
+			return nil, fmt.Errorf("remote: coordinator shard with empty ID")
+		}
+		if seen[id] {
+			return nil, fmt.Errorf("remote: duplicate shard ID %q", id)
+		}
+		seen[id] = true
+	}
+	ln, err := net.Listen("tcp", opts.Listen)
+	if err != nil {
+		return nil, fmt.Errorf("remote: coordinator listen on %s: %w", opts.Listen, err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	c := &Coordinator{
+		opts:      opts,
+		ln:        ln,
+		bus:       obs.NewBus(opts.EventBuffer),
+		shards:    make(map[string]*coordShard, len(opts.Shards)),
+		assign:    make(map[string]string, len(opts.Experiments)),
+		ctx:       ctx,
+		cancel:    cancel,
+		sweepStop: make(chan struct{}),
+		sweepDone: make(chan struct{}),
+	}
+	for _, id := range opts.Shards {
+		c.shards[id] = &coordShard{id: id}
+	}
+	for _, exp := range opts.Experiments {
+		c.assign[exp] = rendezvousOwner(exp, opts.Shards)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/register", c.handleWorkerRegister)
+	mux.HandleFunc("/v1/shard/register", c.handleShardRegister)
+	mux.HandleFunc("/v1/shard/heartbeat", c.handleShardHeartbeat)
+	mux.HandleFunc("/v1/shards", c.handleShards)
+	mux.HandleFunc("/metrics", c.handleMetrics)
+	mux.HandleFunc("/v1/events", c.handleEvents)
+	c.hs = &http.Server{Handler: mux}
+	go func() { _ = c.hs.Serve(ln) }()
+	go c.sweepShards()
+	return c, nil
+}
+
+// URL is the coordinator's base URL ("http://host:port").
+func (c *Coordinator) URL() string { return "http://" + c.ln.Addr().String() }
+
+// Handler exposes the coordinator's HTTP handler for in-process tests
+// (the routing-wire fuzz target drives it without TCP round trips).
+func (c *Coordinator) Handler() http.Handler { return c.hs.Handler }
+
+// EventBus returns the coordinator's event ring (shard_down/failover
+// events for /v1/events).
+func (c *Coordinator) EventBus() *obs.Bus { return c.bus }
+
+// Failovers reports how many experiments have been reassigned off dead
+// shards over the coordinator's lifetime.
+func (c *Coordinator) Failovers() int { return int(c.failovers.Load()) }
+
+// Close shuts the coordinator down: the sweeper stops, in-flight adopt
+// retries are abandoned, and the listener closes.
+func (c *Coordinator) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	c.cancel()
+	close(c.sweepStop)
+	<-c.sweepDone
+	c.wg.Wait()
+	c.bus.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := c.hs.Shutdown(ctx); err != nil {
+		_ = c.hs.Close()
+	}
+	return nil
+}
+
+// rendezvousOwner picks the owning shard for an experiment by
+// highest-random-weight hashing: every shard scores
+// fnv64a(shardID, 0, experiment) and the highest score wins (ties to
+// the lexicographically smallest ID, for determinism). Every node
+// computes the same answer with no coordination, and removing a shard
+// moves only that shard's experiments.
+func rendezvousOwner(experiment string, shards []string) string {
+	var best string
+	var bestScore uint64
+	for _, id := range shards {
+		h := fnv.New64a()
+		_, _ = h.Write([]byte(id))
+		_, _ = h.Write([]byte{0})
+		_, _ = h.Write([]byte(experiment))
+		score := h.Sum64()
+		if best == "" || score > bestScore || (score == bestScore && id < best) {
+			best, bestScore = id, score
+		}
+	}
+	return best
+}
+
+// --- shard wire ---
+
+type shardRegisterReq struct {
+	Version int    `json:"v"`
+	Token   string `json:"token,omitempty"`
+	ID      string `json:"id"`
+	URL     string `json:"url"`
+}
+
+type shardRegisterResp struct {
+	Version int `json:"v"`
+	// Experiments is the shard's current assignment: the experiments it
+	// should run (the rest of the manifest stays dormant on it).
+	Experiments []string `json:"experiments"`
+	// HeartbeatMillis is the cadence the shard should beat at (a third
+	// of the liveness TTL).
+	HeartbeatMillis int64 `json:"heartbeatMs"`
+}
+
+type shardHeartbeatReq struct {
+	Version int    `json:"v"`
+	Token   string `json:"token,omitempty"`
+	ID      string `json:"id"`
+}
+
+type shardHeartbeatResp struct {
+	Version int `json:"v"`
+}
+
+// ShardStatus is one shard's row in the /v1/shards answer.
+type ShardStatus struct {
+	ID         string `json:"id"`
+	URL        string `json:"url,omitempty"`
+	Registered bool   `json:"registered"`
+	Up         bool   `json:"up"`
+	// AgeMillis is how long ago the last heartbeat arrived (-1 before
+	// the first one).
+	AgeMillis   int64    `json:"ageMs"`
+	Experiments []string `json:"experiments,omitempty"`
+}
+
+// ShardsStatus is the full /v1/shards answer.
+type ShardsStatus struct {
+	OK        bool          `json:"ok"`
+	Shards    []ShardStatus `json:"shards"`
+	Failovers int64         `json:"failovers"`
+}
+
+func (c *Coordinator) reject(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(wireError{Error: msg})
+}
+
+func (c *Coordinator) reply(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// decode parses a POST body and enforces the wire version. Token
+// checks are per-endpoint (worker vs shard credentials differ).
+func (c *Coordinator) decode(w http.ResponseWriter, r *http.Request, version *int, v interface{}) bool {
+	if r.Method != http.MethodPost {
+		c.reject(w, http.StatusMethodNotAllowed, "POST only")
+		return false
+	}
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		c.reject(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
+		return false
+	}
+	if *version != ProtocolVersion {
+		c.reject(w, http.StatusBadRequest,
+			fmt.Sprintf("protocol version %d not supported (server speaks %d)", *version, ProtocolVersion))
+		return false
+	}
+	return true
+}
+
+// shardAuth enforces the fleet admin token on the shard-facing
+// endpoints.
+func (c *Coordinator) shardAuth(w http.ResponseWriter, token string) bool {
+	if c.opts.AdminToken == "" || token == c.opts.AdminToken {
+		return true
+	}
+	c.reject(w, http.StatusUnauthorized, "bad or missing shard token")
+	return false
+}
+
+// workerScope mirrors Server.tokenScope for routing-time validation.
+func (c *Coordinator) workerScope(token string) (tenant string, scoped, ok bool) {
+	if c.opts.Token == "" && len(c.opts.TenantTokens) == 0 {
+		return "", false, true
+	}
+	if c.opts.Token != "" && token == c.opts.Token {
+		return "", false, true
+	}
+	for t, tok := range c.opts.TenantTokens {
+		if tok != "" && token == tok {
+			return t, true, true
+		}
+	}
+	return "", false, false
+}
+
+func (c *Coordinator) handleShardRegister(w http.ResponseWriter, r *http.Request) {
+	var req shardRegisterReq
+	if !c.decode(w, r, &req.Version, &req) {
+		return
+	}
+	if !c.shardAuth(w, req.Token) {
+		return
+	}
+	u, err := url.Parse(req.URL)
+	if err != nil || u.Scheme == "" || u.Host == "" {
+		c.reject(w, http.StatusBadRequest, fmt.Sprintf("bad shard URL %q", req.URL))
+		return
+	}
+	c.mu.Lock()
+	sh, known := c.shards[req.ID]
+	if !known {
+		c.mu.Unlock()
+		c.reject(w, http.StatusForbidden, fmt.Sprintf("unknown shard %q", req.ID))
+		return
+	}
+	sh.url = strings.TrimSuffix(req.URL, "/")
+	sh.registered = true
+	sh.up = true
+	sh.lastBeat = time.Now()
+	assigned := c.assignedLocked(req.ID)
+	c.mu.Unlock()
+	c.reply(w, shardRegisterResp{
+		Version:         ProtocolVersion,
+		Experiments:     assigned,
+		HeartbeatMillis: (c.opts.ShardTTL / 3).Milliseconds(),
+	})
+}
+
+// assignedLocked lists the experiments currently owned by a shard,
+// sorted. Callers hold c.mu.
+func (c *Coordinator) assignedLocked(shardID string) []string {
+	var out []string
+	for exp, owner := range c.assign {
+		if owner == shardID {
+			out = append(out, exp)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (c *Coordinator) handleShardHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var req shardHeartbeatReq
+	if !c.decode(w, r, &req.Version, &req) {
+		return
+	}
+	if !c.shardAuth(w, req.Token) {
+		return
+	}
+	c.mu.Lock()
+	sh, known := c.shards[req.ID]
+	if !known || !sh.registered {
+		c.mu.Unlock()
+		// 410 tells the shard to re-register, mirroring the worker wire.
+		c.reject(w, http.StatusGone, "unknown shard; register again")
+		return
+	}
+	sh.lastBeat = time.Now()
+	sh.up = true
+	c.mu.Unlock()
+	c.reply(w, shardHeartbeatResp{Version: ProtocolVersion})
+}
+
+// handleWorkerRegister answers a worker's registration with a redirect
+// advert naming the shard that owns its experiments: the agent
+// re-registers against the advertised URL (agent.go follows the
+// redirect), so the coordinator never brokers leases itself.
+func (c *Coordinator) handleWorkerRegister(w http.ResponseWriter, r *http.Request) {
+	var req registerReq
+	if !c.decode(w, r, &req.Version, &req) {
+		return
+	}
+	tenant, scoped, ok := c.workerScope(req.Token)
+	if !ok {
+		c.reject(w, http.StatusUnauthorized, "bad or missing worker token")
+		return
+	}
+	if scoped {
+		for _, e := range req.Experiments {
+			if TenantOf(e) != tenant {
+				c.reject(w, http.StatusForbidden,
+					fmt.Sprintf("experiment %q is outside tenant %q", e, tenant))
+				return
+			}
+		}
+	}
+	c.mu.Lock()
+	target := c.routeLocked(req.Experiments)
+	c.mu.Unlock()
+	if target == "" {
+		c.reject(w, http.StatusServiceUnavailable, "no live shard owns the requested experiments")
+		return
+	}
+	c.redirects.Add(1)
+	c.reply(w, registerResp{Version: ProtocolVersion, Redirect: target})
+}
+
+// routeLocked picks the shard URL a registering worker should be sent
+// to: the live shard owning the most of its requested experiments, or
+// — for an unrestricted worker — the live shard with the fewest
+// workers routed so far. "" means no live shard can serve it. Callers
+// hold c.mu.
+func (c *Coordinator) routeLocked(experiments []string) string {
+	if len(experiments) > 0 {
+		votes := make(map[string]int)
+		for _, exp := range experiments {
+			if owner, ok := c.assign[exp]; ok {
+				if sh := c.shards[owner]; sh != nil && sh.up && sh.url != "" {
+					votes[owner]++
+				}
+			}
+		}
+		var best string
+		for id, n := range votes {
+			if best == "" {
+				best = id
+				continue
+			}
+			b := votes[best]
+			// Equal ownership: spread the tie across shards by routing
+			// pressure, not a fixed ID order — otherwise every worker
+			// whose experiments straddle two shards herds onto one.
+			if n > b || (n == b && (c.shards[id].routed < c.shards[best].routed ||
+				(c.shards[id].routed == c.shards[best].routed && id < best))) {
+				best = id
+			}
+		}
+		if best == "" {
+			return ""
+		}
+		c.shards[best].routed++
+		return c.shards[best].url
+	}
+	var best *coordShard
+	for _, id := range c.opts.Shards {
+		sh := c.shards[id]
+		if !sh.up || sh.url == "" {
+			continue
+		}
+		if best == nil || sh.routed < best.routed {
+			best = sh
+		}
+	}
+	if best == nil {
+		return ""
+	}
+	best.routed++
+	return best.url
+}
+
+func (c *Coordinator) handleShards(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		c.reject(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	if c.opts.AdminToken != "" {
+		token, ok := strings.CutPrefix(r.Header.Get("Authorization"), "Bearer ")
+		if !ok || token != c.opts.AdminToken {
+			c.reject(w, http.StatusUnauthorized, "bad or missing admin token")
+			return
+		}
+	}
+	now := time.Now()
+	c.mu.Lock()
+	st := ShardsStatus{OK: true, Failovers: c.failovers.Load()}
+	for _, id := range c.opts.Shards {
+		sh := c.shards[id]
+		row := ShardStatus{
+			ID:          id,
+			URL:         sh.url,
+			Registered:  sh.registered,
+			Up:          sh.up,
+			AgeMillis:   -1,
+			Experiments: c.assignedLocked(id),
+		}
+		if !sh.lastBeat.IsZero() {
+			row.AgeMillis = now.Sub(sh.lastBeat).Milliseconds()
+		}
+		st.Shards = append(st.Shards, row)
+	}
+	c.mu.Unlock()
+	c.reply(w, st)
+}
+
+func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		c.reject(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	var b strings.Builder
+	c.mu.Lock()
+	type shardRow struct {
+		id  string
+		up  float64
+		own int
+	}
+	rows := make([]shardRow, 0, len(c.opts.Shards))
+	for _, id := range c.opts.Shards {
+		sh := c.shards[id]
+		rows = append(rows, shardRow{id: id, up: boolGauge(sh.up), own: len(c.assignedLocked(id))})
+	}
+	c.mu.Unlock()
+	obs.PromHeader(&b, "asha_coord_shard_up", "gauge", "1 while the shard is registered and heartbeating.")
+	for _, row := range rows {
+		obs.PromSample(&b, "asha_coord_shard_up", []obs.Label{{Name: "shard", Value: row.id}}, row.up)
+	}
+	obs.PromHeader(&b, "asha_coord_shard_experiments", "gauge", "Experiments currently assigned to the shard.")
+	for _, row := range rows {
+		obs.PromSample(&b, "asha_coord_shard_experiments", []obs.Label{{Name: "shard", Value: row.id}}, float64(row.own))
+	}
+	obs.PromHeader(&b, "asha_coord_worker_redirects_total", "counter", "Workers routed to an owning shard.")
+	obs.PromSample(&b, "asha_coord_worker_redirects_total", nil, float64(c.redirects.Load()))
+	obs.PromHeader(&b, "asha_coord_failovers_total", "counter", "Experiments reassigned off dead shards.")
+	obs.PromSample(&b, "asha_coord_failovers_total", nil, float64(c.failovers.Load()))
+	obs.PromHeader(&b, "asha_coord_shard_down_total", "counter", "Shard death declarations.")
+	obs.PromSample(&b, "asha_coord_shard_down_total", nil, float64(c.shardsDown.Load()))
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_, _ = w.Write([]byte(b.String()))
+}
+
+func (c *Coordinator) handleEvents(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		c.reject(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	flusher, _ := w.(http.Flusher)
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	if flusher != nil {
+		flusher.Flush()
+	}
+	sub := c.bus.Subscribe()
+	enc := json.NewEncoder(w)
+	for {
+		events, dropped, ok := sub.Next(r.Context())
+		if !ok {
+			return
+		}
+		if dropped > 0 {
+			if err := enc.Encode(obs.Event{Type: obs.EventDropped, Count: dropped}); err != nil {
+				return
+			}
+		}
+		for _, e := range events {
+			if err := enc.Encode(e); err != nil {
+				return
+			}
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+}
+
+// sweepShards is the liveness sweeper: a registered shard silent past
+// the TTL is declared dead, its experiments are reassigned to live
+// shards by the same rendezvous hash, and each survivor is told to
+// adopt its new experiments.
+func (c *Coordinator) sweepShards() {
+	defer close(c.sweepDone)
+	interval := c.opts.ShardTTL / 4
+	if interval < 5*time.Millisecond {
+		interval = 5 * time.Millisecond
+	}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-c.sweepStop:
+			return
+		case now := <-tick.C:
+			c.sweepOnce(now)
+		}
+	}
+}
+
+// sweepOnce runs one liveness pass (factored out for tests).
+func (c *Coordinator) sweepOnce(now time.Time) {
+	type adoption struct {
+		experiment string
+		shardURL   string
+	}
+	var deadIDs []string
+	var adoptions []adoption
+	c.mu.Lock()
+	for _, id := range c.opts.Shards {
+		sh := c.shards[id]
+		if sh.up && sh.registered && now.Sub(sh.lastBeat) > c.opts.ShardTTL {
+			sh.up = false
+			deadIDs = append(deadIDs, id)
+		}
+	}
+	if len(deadIDs) > 0 {
+		var live []string
+		for _, id := range c.opts.Shards {
+			if sh := c.shards[id]; sh.up && sh.registered {
+				live = append(live, id)
+			}
+		}
+		for _, dead := range deadIDs {
+			for _, exp := range c.assignedLocked(dead) {
+				if len(live) == 0 {
+					// Nobody to fail over to: ownership stays put so the
+					// shard picks its experiments back up if it returns.
+					continue
+				}
+				owner := rendezvousOwner(exp, live)
+				c.assign[exp] = owner
+				adoptions = append(adoptions, adoption{experiment: exp, shardURL: c.shards[owner].url})
+			}
+		}
+	}
+	c.mu.Unlock()
+	for _, id := range deadIDs {
+		c.shardsDown.Add(1)
+		c.bus.Publish(obs.Event{Type: obs.EventShardDown, Experiment: id})
+	}
+	for _, a := range adoptions {
+		c.failovers.Add(1)
+		c.bus.Publish(obs.Event{Type: obs.EventFailover, Experiment: a.experiment})
+		c.wg.Add(1)
+		go c.adopt(a.shardURL, a.experiment)
+	}
+}
+
+// adopt drives the new owner's /v1/admin/adopt until it succeeds (or
+// the coordinator closes): the survivor recovers the experiment from
+// its journal and resumes scheduling it.
+func (c *Coordinator) adopt(shardURL, experiment string) {
+	defer c.wg.Done()
+	body, _ := json.Marshal(map[string]string{"experiment": experiment})
+	backoff := 250 * time.Millisecond
+	for {
+		req, err := http.NewRequestWithContext(c.ctx, http.MethodPost,
+			shardURL+"/v1/admin/adopt", bytes.NewReader(body))
+		if err != nil {
+			return
+		}
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set("Authorization", "Bearer "+c.opts.AdminToken)
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			status := resp.StatusCode
+			_ = resp.Body.Close()
+			if status == http.StatusOK {
+				return
+			}
+		}
+		select {
+		case <-c.ctx.Done():
+			return
+		case <-time.After(backoff):
+		}
+		if backoff < 2*time.Second {
+			backoff *= 2
+		}
+	}
+}
+
+// --- shard-side client helpers (used by cmd/ashad's shard role) ---
+
+// RegisterShard announces a tuner shard to the coordinator and returns
+// the experiments it currently owns plus the heartbeat cadence.
+func RegisterShard(ctx context.Context, coordinatorURL, shardID, selfURL, adminToken string) ([]string, time.Duration, error) {
+	body, _ := json.Marshal(shardRegisterReq{
+		Version: ProtocolVersion, Token: adminToken, ID: shardID, URL: selfURL,
+	})
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		strings.TrimSuffix(coordinatorURL, "/")+"/v1/shard/register", bytes.NewReader(body))
+	if err != nil {
+		return nil, 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var we wireError
+		_ = json.NewDecoder(resp.Body).Decode(&we)
+		return nil, 0, fmt.Errorf("remote: shard register: %s (%s)", resp.Status, we.Error)
+	}
+	var sr shardRegisterResp
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		return nil, 0, fmt.Errorf("remote: shard register reply: %w", err)
+	}
+	beat := time.Duration(sr.HeartbeatMillis) * time.Millisecond
+	if beat <= 0 {
+		beat = DefaultShardTTL / 3
+	}
+	return sr.Experiments, beat, nil
+}
+
+// ErrShardUnknown is returned by ShardHeartbeat when the coordinator
+// no longer knows the shard (e.g. the coordinator restarted): the
+// shard should re-register.
+var ErrShardUnknown = fmt.Errorf("remote: coordinator does not know this shard; register again")
+
+// ShardHeartbeat sends one shard liveness beat.
+func ShardHeartbeat(ctx context.Context, coordinatorURL, shardID, adminToken string) error {
+	body, _ := json.Marshal(shardHeartbeatReq{Version: ProtocolVersion, Token: adminToken, ID: shardID})
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		strings.TrimSuffix(coordinatorURL, "/")+"/v1/shard/heartbeat", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		return nil
+	case http.StatusGone:
+		return ErrShardUnknown
+	default:
+		var we wireError
+		_ = json.NewDecoder(resp.Body).Decode(&we)
+		return fmt.Errorf("remote: shard heartbeat: %s (%s)", resp.Status, we.Error)
+	}
+}

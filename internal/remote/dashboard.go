@@ -31,7 +31,14 @@ import (
 func (s *Server) mountPprof(mux *http.ServeMux) {
 	gate := func(h http.HandlerFunc) http.HandlerFunc {
 		return func(w http.ResponseWriter, r *http.Request) {
-			if !s.adminAuth(w, r) {
+			_, scoped, ok := s.adminAuth(w, r)
+			if !ok {
+				return
+			}
+			if scoped {
+				// Profiles expose the whole process; tenant admins stay
+				// scoped to their experiments.
+				s.reject(w, http.StatusForbidden, "pprof requires the fleet admin token")
 				return
 			}
 			h(w, r)

@@ -53,6 +53,10 @@ type Status struct {
 	Experiments []ExpStatus `json:"experiments"`
 	// Workers is the current worker budget (concurrently running jobs).
 	Workers int `json:"workers"`
+	// TenantWeights are the fair-share quota weights by tenant namespace
+	// (absent when the control plane is not tenant-aware or no quotas
+	// are configured).
+	TenantWeights map[string]int `json:"tenantWeights,omitempty"`
 }
 
 // ControlPlane is the scheduler-side surface the admin API drives. The
@@ -67,6 +71,12 @@ type ControlPlane interface {
 	Resume(experiment string) error
 	Abort(experiment string) error
 	SetWorkers(n int) error
+	// Adopt takes ownership of an experiment this control plane knows
+	// about but is not running (a federated shard's dormant assignment),
+	// recovering it from its journal and scheduling it from where the
+	// previous owner left off. Control planes that cannot adopt return
+	// an error.
+	Adopt(experiment string) error
 }
 
 // SetControl attaches the scheduler-side control plane. Until one is
@@ -262,9 +272,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	gauge("asha_leases_active", "Leases currently held by workers.", float64(c.Leased))
 	if s.bus != nil {
 		counter("asha_events_dropped_total", "Events skipped past slow /v1/events consumers.", c.EventsDropped)
+		gauge("asha_event_subscribers", "Event-stream subscriptions handed out over the server lifetime.", float64(s.bus.Subscribers()))
 	}
 	gauge("asha_server_draining", "1 while lease polls are answered with done (drain mode).", boolGauge(s.Draining()))
 	gauge("asha_lease_cap", "Concurrent-lease cap (0 = unlimited).", float64(s.MaxLeases()))
+	if s.opts.ShardID != "" {
+		obs.PromHeader(&b, "asha_shard_info", "gauge", "Constant 1, labeled with this tuner shard's ID.")
+		obs.PromSample(&b, "asha_shard_info", []obs.Label{{Name: "shard", Value: s.opts.ShardID}}, 1)
+	}
 
 	if lat := s.lat; lat != nil {
 		hist := func(name, help string, h *obs.Histogram) {
@@ -354,6 +369,68 @@ func (s *Server) writeExperimentMetrics(b *strings.Builder, st Status) {
 			}, float64(n))
 		}
 	}
+	s.writeTenantMetrics(b, st)
+}
+
+// tenantAgg is one tenant's rollup across its experiments.
+type tenantAgg struct {
+	issued, completed, failed, running int
+}
+
+// writeTenantMetrics renders the per-tenant rollup of the control
+// plane's experiment status plus the configured quota weights — the
+// numbers the fair-share dispatch loop balances. Skipped entirely for
+// single-tenant deployments (no quotas, no namespaced experiments).
+func (s *Server) writeTenantMetrics(b *strings.Builder, st Status) {
+	aggs := make(map[string]*tenantAgg)
+	for _, e := range st.Experiments {
+		t := TenantOf(e.Experiment)
+		if t == "" && len(st.TenantWeights) == 0 {
+			continue
+		}
+		a := aggs[t]
+		if a == nil {
+			a = &tenantAgg{}
+			aggs[t] = a
+		}
+		a.issued += e.Issued
+		a.completed += e.Completed
+		a.failed += e.Failed
+		a.running += e.Running
+	}
+	if len(aggs) == 0 && len(st.TenantWeights) == 0 {
+		return
+	}
+	tenants := make([]string, 0, len(aggs))
+	for t := range aggs {
+		tenants = append(tenants, t)
+	}
+	sort.Strings(tenants)
+	family := func(name, typ, help string, value func(a *tenantAgg) float64) {
+		obs.PromHeader(b, name, typ, help)
+		for _, t := range tenants {
+			obs.PromSample(b, name, []obs.Label{{Name: "tenant", Value: t}}, value(aggs[t]))
+		}
+	}
+	family("asha_tenant_issued_total", "counter", "Training jobs issued per tenant.",
+		func(a *tenantAgg) float64 { return float64(a.issued) })
+	family("asha_tenant_completed_total", "counter", "Training jobs completed per tenant.",
+		func(a *tenantAgg) float64 { return float64(a.completed) })
+	family("asha_tenant_failed_total", "counter", "Training jobs failed (and retried) per tenant.",
+		func(a *tenantAgg) float64 { return float64(a.failed) })
+	family("asha_tenant_running", "gauge", "Training jobs currently in flight per tenant.",
+		func(a *tenantAgg) float64 { return float64(a.running) })
+	if len(st.TenantWeights) > 0 {
+		weights := make([]string, 0, len(st.TenantWeights))
+		for t := range st.TenantWeights {
+			weights = append(weights, t)
+		}
+		sort.Strings(weights)
+		obs.PromHeader(b, "asha_tenant_quota_weight", "gauge", "Fair-share quota weight per tenant.")
+		for _, t := range weights {
+			obs.PromSample(b, "asha_tenant_quota_weight", []obs.Label{{Name: "tenant", Value: t}}, float64(st.TenantWeights[t]))
+		}
+	}
 }
 
 // --- /v1/events ---
@@ -370,12 +447,15 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	experiment := r.URL.Query().Get("experiment")
 	filtered := r.URL.Query().Has("experiment")
 	flusher, _ := w.(http.Flusher)
+	// Subscribe before committing the headers: a client that has seen
+	// the stream open is guaranteed every event published from then on,
+	// so consumers (and tests) need no attach-race grace period.
+	sub := s.bus.Subscribe()
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
 	if flusher != nil {
 		flusher.Flush() // commit headers so clients see the stream open
 	}
-	sub := s.bus.Subscribe()
 	enc := json.NewEncoder(w)
 	for {
 		events, dropped, ok := sub.Next(r.Context())
@@ -426,7 +506,10 @@ type adminResp struct {
 // AdminStatus answers /v1/admin/status: the server-side view plus the
 // control plane's per-experiment status when one is attached.
 type AdminStatus struct {
-	OK       bool            `json:"ok"`
+	OK bool `json:"ok"`
+	// ShardID names this tuner shard in a federated deployment (absent
+	// on single-node runs).
+	ShardID  string          `json:"shard,omitempty"`
 	Draining bool            `json:"draining"`
 	LeaseCap int             `json:"leaseCap"`
 	Paused   []string        `json:"paused,omitempty"`
@@ -435,21 +518,33 @@ type AdminStatus struct {
 	// without one).
 	Workers     int         `json:"workers,omitempty"`
 	Experiments []ExpStatus `json:"experiments,omitempty"`
+	// TenantWeights are the control plane's fair-share quota weights by
+	// tenant (absent without quotas; filtered out for tenant admins).
+	TenantWeights map[string]int `json:"tenantWeights,omitempty"`
 	// ControlError reports a control plane that could not answer (e.g.
 	// the run already ended); the server-side fields are still valid.
 	ControlError string `json:"controlError,omitempty"`
 }
 
-// adminAuth enforces the admin token. The check runs before any body
+// adminAuth enforces the admin token and classifies its scope: the
+// fleet AdminToken gets scoped=false (full access), a tenant admin
+// token gets that tenant's scope. The check runs before any body
 // parsing, so malformed bodies can never bypass token scoping.
-func (s *Server) adminAuth(w http.ResponseWriter, r *http.Request) bool {
+func (s *Server) adminAuth(w http.ResponseWriter, r *http.Request) (tenant string, scoped, ok bool) {
 	auth := r.Header.Get("Authorization")
-	token, ok := strings.CutPrefix(auth, "Bearer ")
-	if !ok || subtle.ConstantTimeCompare([]byte(token), []byte(s.opts.AdminToken)) != 1 {
-		s.reject(w, http.StatusUnauthorized, "bad or missing admin token")
-		return false
+	token, found := strings.CutPrefix(auth, "Bearer ")
+	if found {
+		if s.opts.AdminToken != "" && subtle.ConstantTimeCompare([]byte(token), []byte(s.opts.AdminToken)) == 1 {
+			return "", false, true
+		}
+		for t, tok := range s.opts.TenantAdminTokens {
+			if tok != "" && subtle.ConstantTimeCompare([]byte(token), []byte(tok)) == 1 {
+				return t, true, true
+			}
+		}
 	}
-	return true
+	s.reject(w, http.StatusUnauthorized, "bad or missing admin token")
+	return "", false, false
 }
 
 // decodeAdmin parses an admin request body (empty bodies mean the zero
@@ -476,7 +571,8 @@ func (s *Server) decodeAdmin(w http.ResponseWriter, r *http.Request, req *adminR
 }
 
 func (s *Server) handleAdmin(w http.ResponseWriter, r *http.Request) {
-	if !s.adminAuth(w, r) {
+	tenant, scoped, ok := s.adminAuth(w, r)
+	if !ok {
 		return
 	}
 	cp := s.controlPlane()
@@ -490,6 +586,7 @@ func (s *Server) handleAdmin(w http.ResponseWriter, r *http.Request) {
 		}
 		st := AdminStatus{
 			OK:       true,
+			ShardID:  s.opts.ShardID,
 			Draining: s.Draining(),
 			LeaseCap: s.MaxLeases(),
 			Paused:   s.PausedExperiments(),
@@ -499,9 +596,29 @@ func (s *Server) handleAdmin(w http.ResponseWriter, r *http.Request) {
 			if cs, err := cp.Status(); err == nil {
 				st.Workers = cs.Workers
 				st.Experiments = cs.Experiments
+				st.TenantWeights = cs.TenantWeights
 			} else {
 				st.ControlError = err.Error()
 			}
+		}
+		if scoped {
+			// A tenant admin sees its own slice: other tenants'
+			// experiments, pauses and quota weights are filtered out.
+			kept := st.Experiments[:0]
+			for _, e := range st.Experiments {
+				if TenantOf(e.Experiment) == tenant {
+					kept = append(kept, e)
+				}
+			}
+			st.Experiments = kept
+			paused := st.Paused[:0]
+			for _, p := range st.Paused {
+				if p != "" && TenantOf(p) == tenant {
+					paused = append(paused, p)
+				}
+			}
+			st.Paused = paused
+			st.TenantWeights = nil
 		}
 		s.reply(w, st)
 		return
@@ -509,6 +626,22 @@ func (s *Server) handleAdmin(w http.ResponseWriter, r *http.Request) {
 	var req adminReq
 	if !s.decodeAdmin(w, r, &req) {
 		return
+	}
+	if scoped {
+		switch cmd {
+		case "pause", "resume", "abort":
+			// Tenant admins must name one of their own experiments: the
+			// fleet-wide "" target would reach across tenants.
+			if req.Experiment == "" || TenantOf(req.Experiment) != tenant {
+				s.reject(w, http.StatusForbidden,
+					fmt.Sprintf("%s requires an experiment in tenant %q", cmd, tenant))
+				return
+			}
+		default:
+			s.reject(w, http.StatusForbidden,
+				fmt.Sprintf("%s requires the fleet admin token", cmd))
+			return
+		}
 	}
 	switch cmd {
 	case "pause":
@@ -565,6 +698,22 @@ func (s *Server) handleAdmin(w http.ResponseWriter, r *http.Request) {
 			drain = *req.Drain
 		}
 		s.SetDraining(drain)
+		s.reply(w, adminResp{OK: true})
+	case "adopt":
+		// Failover entry point: the coordinator (or an operator) tells
+		// this shard to take over an experiment from its journal.
+		if req.Experiment == "" {
+			s.reject(w, http.StatusBadRequest, "adopt requires an experiment name")
+			return
+		}
+		if cp == nil {
+			s.reject(w, http.StatusBadRequest, "no control plane attached")
+			return
+		}
+		if err := cp.Adopt(req.Experiment); err != nil {
+			s.reject(w, http.StatusBadRequest, err.Error())
+			return
+		}
 		s.reply(w, adminResp{OK: true})
 	default:
 		s.reject(w, http.StatusNotFound, fmt.Sprintf("unknown admin command %q", cmd))

@@ -569,15 +569,12 @@ func TestEventsStreamFilters(t *testing.T) {
 		t.Fatalf("content type %q", ct)
 	}
 
-	// A subscriber starts at the bus's current tail and the subscription
-	// lands asynchronously, so keep publishing pairs until the stream has
-	// certainly attached, then close the bus to end the stream.
+	// The handler subscribes before committing the response headers, so
+	// once the GET has returned the stream is guaranteed these events:
+	// publish one pair and close the bus to end the stream.
 	bus := srv.EventBus()
-	for i := 0; i < 30; i++ {
-		bus.Publish(obs.Event{Type: obs.EventIssued, Experiment: "exp-a", Trial: 1, Resource: 2})
-		bus.Publish(obs.Event{Type: obs.EventIssued, Experiment: "exp-b", Trial: 2, Resource: 2})
-		time.Sleep(10 * time.Millisecond)
-	}
+	bus.Publish(obs.Event{Type: obs.EventIssued, Experiment: "exp-a", Trial: 1, Resource: 2})
+	bus.Publish(obs.Event{Type: obs.EventIssued, Experiment: "exp-b", Trial: 2, Resource: 2})
 	srv.Close()
 
 	matched := 0

@@ -41,6 +41,7 @@ package remote
 
 import (
 	"context"
+	"crypto/subtle"
 	"encoding/json"
 	"fmt"
 	"net"
@@ -148,8 +149,26 @@ type Options struct {
 	// Listen is the TCP address to serve on (default "127.0.0.1:0").
 	Listen string
 	// Token, when non-empty, is a shared secret every worker request
-	// must present.
+	// must present. It grants unscoped access: workers holding it may
+	// lease jobs of any tenant.
 	Token string
+	// TenantTokens maps tenant namespace -> worker token for multi-tenant
+	// fleets. A worker registering with a tenant's token is scoped to
+	// that tenant: it only ever receives jobs of experiments named
+	// "<tenant>/..." (see TenantOf), and its credential cannot drive
+	// another tenant's workers. Tenant names must be non-empty. When any
+	// tenant tokens are configured the server always authenticates, even
+	// if Token is empty.
+	TenantTokens map[string]string
+	// TenantAdminTokens maps tenant namespace -> admin token. A tenant
+	// admin token opens the /v1/admin API scoped to that tenant's
+	// experiments only (pause/resume/abort/status); fleet-wide commands
+	// (workers, drain, adopt) still require AdminToken.
+	TenantAdminTokens map[string]string
+	// ShardID, when non-empty, names this server's tuner shard in a
+	// federated deployment: it is exported on /metrics as
+	// asha_shard_info{shard="..."} and reported in admin status.
+	ShardID string
 	// LeaseTTL is how long a granted lease stays valid without a
 	// heartbeat (default 15s).
 	LeaseTTL time.Duration
@@ -255,7 +274,7 @@ type Server struct {
 	pendingHead int
 	nextLease   uint64
 	nextWorker  int
-	workers     map[string]string // worker ID -> advertised name
+	workers     map[string]workerInfo // worker ID -> registration record
 	closed      bool
 	// paused holds experiment names whose queued jobs are withheld from
 	// lease grants ("" pauses jobs of single-experiment runs — and, as
@@ -316,6 +335,16 @@ type Server struct {
 // consistent concrete type across stores.
 type controlBox struct{ cp ControlPlane }
 
+// workerInfo records one registered worker: the name it advertised and
+// the tenant scope of the token it presented. A worker registered with
+// a tenant token (scoped) only receives that tenant's jobs, and every
+// later request driving its ID must present the same scope.
+type workerInfo struct {
+	name   string
+	tenant string
+	scoped bool
+}
+
 // NewServer starts a job-lease server listening on opts.Listen.
 func NewServer(opts Options) (*Server, error) {
 	if opts.Listen == "" {
@@ -333,6 +362,16 @@ func NewServer(opts Options) (*Server, error) {
 	if opts.FlushInterval <= 0 {
 		opts.FlushInterval = DefaultFlushInterval
 	}
+	for tenant := range opts.TenantTokens {
+		if tenant == "" {
+			return nil, fmt.Errorf("remote: tenant token with empty tenant name")
+		}
+	}
+	for tenant := range opts.TenantAdminTokens {
+		if tenant == "" {
+			return nil, fmt.Errorf("remote: tenant admin token with empty tenant name")
+		}
+	}
 	ln, err := net.Listen("tcp", opts.Listen)
 	if err != nil {
 		return nil, fmt.Errorf("remote: listen on %s: %w", opts.Listen, err)
@@ -347,7 +386,7 @@ func NewServer(opts Options) (*Server, error) {
 		// lease IDs, so a worker's stale pre-restart report can never
 		// collide with — and settle — a fresh lease of the same number.
 		nextLease: uint64(time.Now().Unix()) << 20,
-		workers:   make(map[string]string),
+		workers:   make(map[string]workerInfo),
 		paused:    make(map[string]bool),
 		streams:   make(map[*streamConn]struct{}),
 		maxLeases: opts.MaxLeases,
@@ -375,7 +414,7 @@ func NewServer(opts Options) (*Server, error) {
 	if opts.Events {
 		mux.HandleFunc("/v1/events", s.handleEvents)
 	}
-	if opts.AdminToken != "" {
+	if opts.AdminToken != "" || len(opts.TenantAdminTokens) > 0 {
 		mux.HandleFunc("/v1/admin/", s.handleAdmin)
 		s.mountPprof(mux)
 	}
@@ -608,11 +647,21 @@ type registerReq struct {
 	Version int    `json:"v"`
 	Token   string `json:"token,omitempty"`
 	Name    string `json:"name,omitempty"`
+	// Experiments, when non-empty, announces which experiments the
+	// worker is configured to serve. A coordinator uses it to route the
+	// worker to the shard owning those experiments; a shard rejects
+	// registration for experiments outside the token's tenant scope.
+	Experiments []string `json:"experiments,omitempty"`
 }
 
 type registerResp struct {
-	Version        int    `json:"v"`
-	WorkerID       string `json:"worker"`
+	Version  int    `json:"v"`
+	WorkerID string `json:"worker,omitempty"`
+	// Redirect, when non-empty, is the base URL of the server the worker
+	// should register with instead — the coordinator's advert of the
+	// shard owning the worker's experiments. No worker ID is assigned;
+	// the worker re-registers at the advertised address.
+	Redirect       string `json:"redirect,omitempty"`
 	LeaseTTLMillis int64  `json:"leaseTTLms"`
 	// BatchSize, Prefetch and FlushMillis advertise the fleet-wide
 	// batching defaults configured on the server (see Options); a
@@ -716,11 +765,45 @@ func (s *Server) check(w http.ResponseWriter, version int, token string) bool {
 			fmt.Sprintf("protocol version %d not supported (server speaks %d)", version, ProtocolVersion))
 		return false
 	}
-	if s.opts.Token != "" && token != s.opts.Token {
+	if _, _, ok := s.tokenScope(token); !ok {
 		s.reject(w, http.StatusUnauthorized, "bad or missing worker token")
 		return false
 	}
 	return true
+}
+
+// tokenScope classifies a presented worker token: the fleet Token (or
+// an open server) grants unscoped access, a tenant token grants access
+// scoped to its tenant, anything else is rejected. Comparisons are
+// constant-time so token checking leaks no prefix information.
+func (s *Server) tokenScope(token string) (tenant string, scoped, ok bool) {
+	if s.opts.Token == "" && len(s.opts.TenantTokens) == 0 {
+		return "", false, true
+	}
+	if s.opts.Token != "" && subtle.ConstantTimeCompare([]byte(token), []byte(s.opts.Token)) == 1 {
+		return "", false, true
+	}
+	for t, tok := range s.opts.TenantTokens {
+		if tok != "" && subtle.ConstantTimeCompare([]byte(token), []byte(tok)) == 1 {
+			return t, true, true
+		}
+	}
+	return "", false, false
+}
+
+// scopeOK reports whether a request presenting the given token scope
+// may drive workerID: the scope must match the one the worker
+// registered under, so one tenant's credential can never settle or
+// extend another tenant's leases. Unknown workers pass — they fail the
+// usual unknown-worker paths (410, lease-owner mismatch) downstream.
+func (s *Server) scopeOK(workerID, tenant string, scoped bool) bool {
+	s.mu.Lock()
+	wi, known := s.workers[workerID]
+	s.mu.Unlock()
+	if !known {
+		return true
+	}
+	return wi.scoped == scoped && wi.tenant == tenant
 }
 
 func (s *Server) reject(w http.ResponseWriter, status int, msg string) {
@@ -739,10 +822,22 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 	if !s.decode(w, r, &req.Version, &req.Token, &req) {
 		return
 	}
+	tenant, scoped, _ := s.tokenScope(req.Token)
+	if scoped {
+		// Fail fast at registration: a tenant-scoped worker asking for
+		// another tenant's experiments would otherwise just starve.
+		for _, e := range req.Experiments {
+			if TenantOf(e) != tenant {
+				s.reject(w, http.StatusForbidden,
+					fmt.Sprintf("experiment %q is outside tenant %q", e, tenant))
+				return
+			}
+		}
+	}
 	s.mu.Lock()
 	s.nextWorker++
 	id := fmt.Sprintf("w%d", s.nextWorker)
-	s.workers[id] = req.Name
+	s.workers[id] = workerInfo{name: req.Name, tenant: tenant, scoped: scoped}
 	s.mu.Unlock()
 	s.registered.Add(1)
 	s.reply(w, registerResp{
@@ -759,6 +854,10 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleLease(w http.ResponseWriter, r *http.Request) {
 	var req leaseReq
 	if !s.decode(w, r, &req.Version, &req.Token, &req) {
+		return
+	}
+	if tenant, scoped, _ := s.tokenScope(req.Token); !s.scopeOK(req.WorkerID, tenant, scoped) {
+		s.reject(w, http.StatusUnauthorized, "token scope does not match worker registration")
 		return
 	}
 	wait := time.Duration(req.WaitMillis) * time.Millisecond
@@ -854,7 +953,8 @@ func (s *Server) grantTasks(workerID string, max int, experiments []string, task
 		s.mu.Unlock()
 		return nil, grantDone, nil
 	}
-	if _, known := s.workers[workerID]; !known {
+	wi, known := s.workers[workerID]
+	if !known {
 		s.mu.Unlock()
 		return nil, grantGone, nil
 	}
@@ -863,7 +963,7 @@ func (s *Server) grantTasks(workerID string, max int, experiments []string, task
 		if s.maxLeases != 0 && int(s.activeLeases.Load()) >= s.maxLeases {
 			break
 		}
-		idx := s.matchLocked(experiments)
+		idx := s.matchLocked(experiments, wi)
 		if idx < 0 {
 			break
 		}
@@ -937,8 +1037,10 @@ func (t *task) grant() LeaseGrant {
 // experiment restriction allows (empty = any), or -1. Jobs of paused
 // experiments are withheld — a pause freezes the queue server-side on
 // top of stopping the scheduler's grants, so jobs submitted just before
-// the pause don't leak out to workers. Callers hold s.mu.
-func (s *Server) matchLocked(experiments []string) int {
+// the pause don't leak out to workers. A tenant-scoped worker only
+// matches its own tenant's jobs, whatever restriction it asked for.
+// Callers hold s.mu.
+func (s *Server) matchLocked(experiments []string, wi workerInfo) int {
 	if s.paused[""] {
 		// "" pauses the whole queue: single-experiment runs submit jobs
 		// with an empty experiment name, and a fleet-wide pause must
@@ -948,6 +1050,9 @@ func (s *Server) matchLocked(experiments []string) int {
 	for i := s.pendingHead; i < len(s.pending); i++ {
 		t := s.pending[i]
 		if s.paused[t.payload.Experiment] {
+			continue
+		}
+		if wi.scoped && TenantOf(t.payload.Experiment) != wi.tenant {
 			continue
 		}
 		if len(experiments) == 0 {
@@ -994,6 +1099,10 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 	if !s.check(w, req.Version, req.Token) {
 		return
 	}
+	if tenant, scoped, _ := s.tokenScope(req.Token); !s.scopeOK(req.WorkerID, tenant, scoped) {
+		s.reject(w, http.StatusUnauthorized, "token scope does not match worker registration")
+		return
+	}
 	t := s.takeLease(req.LeaseID, req.WorkerID, req.Response.ID)
 	if t == nil {
 		// The lease expired (or never existed): the job has already been
@@ -1031,8 +1140,13 @@ func (s *Server) handleReportBatch(w http.ResponseWriter, rb ReportBatch) {
 		s.reject(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	if s.opts.Token != "" && rb.Token != s.opts.Token {
+	tenant, scoped, ok := s.tokenScope(rb.Token)
+	if !ok {
 		s.reject(w, http.StatusUnauthorized, "bad or missing worker token")
+		return
+	}
+	if !s.scopeOK(rb.WorkerID, tenant, scoped) {
+		s.reject(w, http.StatusUnauthorized, "token scope does not match worker registration")
 		return
 	}
 	accepted := make([]bool, len(rb.Reports))
@@ -1073,6 +1187,10 @@ func (s *Server) handleReportBatch(w http.ResponseWriter, rb ReportBatch) {
 func (s *Server) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 	var req heartbeatReq
 	if !s.decode(w, r, &req.Version, &req.Token, &req) {
+		return
+	}
+	if tenant, scoped, _ := s.tokenScope(req.Token); !s.scopeOK(req.WorkerID, tenant, scoped) {
+		s.reject(w, http.StatusUnauthorized, "token scope does not match worker registration")
 		return
 	}
 	s.observeHeartbeatRTT(req.RttUs)

@@ -91,6 +91,10 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 			fmt.Sprintf("binary wire version %d not supported (server speaks 1..%d)", req.Bin, BinProtocolVersion))
 		return
 	}
+	if tenant, scoped, _ := s.tokenScope(req.Token); !s.scopeOK(req.WorkerID, tenant, scoped) {
+		s.reject(w, http.StatusUnauthorized, "token scope does not match worker registration")
+		return
+	}
 	s.mu.Lock()
 	if s.closed || s.draining {
 		// The run is over (or draining for scale-down): answer in JSON

@@ -1,0 +1,18 @@
+package remote
+
+import "strings"
+
+// TenantOf extracts the tenant namespace from an experiment name: the
+// prefix before the first '/'. Names without a separator — every
+// single-tenant deployment — belong to the anonymous tenant "".
+//
+// The convention rides on names alone so tenancy needs no schema
+// change anywhere: journals, wire messages and metrics all already
+// carry the experiment name, and journalFileName's '/'-sanitization
+// keeps namespaced journals flat on disk.
+func TenantOf(experiment string) string {
+	if i := strings.IndexByte(experiment, '/'); i >= 0 {
+		return experiment[:i]
+	}
+	return ""
+}

@@ -79,6 +79,37 @@ func WithManagerRemote(r Remote) ManagerOption {
 	return func(m *Manager) { m.remote = &r }
 }
 
+// WithManagerTenantQuotas turns the dispatch loop's fair share
+// two-level: free worker slots are first balanced across tenant
+// namespaces (the prefix before '/' in experiment names) proportionally
+// to the given weights, then within the chosen tenant by the usual
+// fewest-running rule. Tenants absent from the map get weight 1;
+// weights below 1 are treated as 1. A tenant with nothing running
+// always wins its next slot, so no tenant can be starved however wide
+// the others are. Without this option the dispatch loop is exactly the
+// single-tenant fair share it always was.
+func WithManagerTenantQuotas(weights map[string]int) ManagerOption {
+	return func(m *Manager) {
+		m.tenantQuotas = make(map[string]int, len(weights))
+		for t, w := range weights {
+			if w < 1 {
+				w = 1
+			}
+			m.tenantQuotas[t] = w
+		}
+	}
+}
+
+// WithManagerActive marks which experiments this manager actively
+// schedules: experiments for which active returns false start dormant —
+// registered, visible in status, but issuing no jobs and opening no
+// journal — until an admin adopt activates them. A federated tuner
+// shard loads the full manifest and actively runs only its assigned
+// slice, so failover is just adoption of an already-known experiment.
+func WithManagerActive(active func(experiment string) bool) ManagerOption {
+	return func(m *Manager) { m.active = active }
+}
+
 // Manager runs many named tuning experiments concurrently against one
 // shared global worker budget. Free workers are assigned fair-share:
 // each slot goes to the runnable experiment with the fewest jobs in
@@ -88,12 +119,14 @@ func WithManagerRemote(r Remote) ManagerOption {
 // over a channel, which the dispatcher drains in batches — one critical
 // section per batch rather than a lock acquisition per result.
 type Manager struct {
-	workers     int
-	onProgress  func(ExperimentProgress)
-	remote      *Remote
-	stateDir    string
-	experiments []Experiment
-	names       map[string]bool
+	workers      int
+	onProgress   func(ExperimentProgress)
+	remote       *Remote
+	stateDir     string
+	experiments  []Experiment
+	names        map[string]bool
+	tenantQuotas map[string]int
+	active       func(string) bool
 }
 
 // NewManager assembles a Manager; add experiments with Add.
@@ -161,6 +194,12 @@ type mgrExp struct {
 	// aborted experiment is done and its late results are swallowed.
 	paused  bool
 	aborted bool
+	// dormant marks an experiment this shard knows but does not run:
+	// no jobs are issued and no journal is opened until an admin adopt
+	// (coordinator failover) activates it. tenant caches the namespace
+	// prefix of the experiment name for the quota fair share.
+	dormant bool
+	tenant  string
 	// rungCompleted and maxRung feed the status/metrics surface: rung
 	// occupancy and the high-water rung for rung-advance events.
 	rungCompleted []int
@@ -264,6 +303,8 @@ func (m *Manager) run(ctx context.Context, resume bool) (map[string]*Result, err
 			sched:   spec.Algorithm.newScheduler(spec.Space, xrand.New(spec.Seed)),
 			trials:  make(map[int]*mgrTrial),
 			maxRung: -1,
+			dormant: m.active != nil && !m.active(spec.Name),
+			tenant:  remote.TenantOf(spec.Name),
 		})
 	}
 	if m.stateDir != "" {
@@ -329,16 +370,17 @@ func (m *Manager) run(ctx context.Context, resume bool) (map[string]*Result, err
 		if inflight == 0 {
 			paused := false
 			for _, e := range r.exps {
-				if !e.done && e.paused {
+				if !e.done && (e.paused || e.dormant) {
 					paused = true
 					break
 				}
 			}
 			if paused && ctx.Err() == nil {
-				// A pause drained the run to zero activity: the paused
-				// experiments still have work, so park on the control
-				// channel until an operator resumes or aborts (or the
-				// context ends) instead of declaring the run drained.
+				// A pause (or a dormant experiment awaiting adoption)
+				// drained the run to zero activity: those experiments still
+				// have work, so park on the control channel until an
+				// operator resumes, adopts or aborts (or the context ends)
+				// instead of declaring the run drained.
 				select {
 				case fn := <-r.control:
 					fn(r)
@@ -435,16 +477,27 @@ func (r *mgrRun) drainInto(batch []mgrResult) []mgrResult {
 
 // fill assigns up to free worker slots fair-share: each slot goes to the
 // runnable experiment with the fewest jobs in flight (ties: fewest
-// issued, then registration order). Journaled in-flight jobs of a
+// issued, then registration order). With tenant quotas the selection is
+// two-level: first the tenant with the lowest running/weight ratio, then
+// the fewest-running experiment within it. Journaled in-flight jobs of a
 // resumed experiment go first and bypass the budget check — they were
 // issued (and counted, and journaled) before the crash. Returns the
 // number of jobs launched.
 func (r *mgrRun) fill(ctx context.Context, free int) int {
 	launched := 0
+	quotas := r.m.tenantQuotas
 	for free > 0 && ctx.Err() == nil {
+		var tenantRunning map[string]int
+		if len(quotas) > 0 {
+			tenantRunning = make(map[string]int, len(quotas))
+			for _, e := range r.exps {
+				tenantRunning[e.tenant] += e.running
+			}
+		}
 		var pick *mgrExp
+		pickTR := 0 // pick's tenant running count (quota mode only)
 		for _, e := range r.exps {
-			if e.done || e.paused {
+			if e.done || e.paused || e.dormant {
 				continue
 			}
 			if len(e.relaunch) == 0 {
@@ -458,9 +511,34 @@ func (r *mgrRun) fill(ctx context.Context, free int) int {
 					continue
 				}
 			}
-			if pick == nil || e.running < pick.running ||
-				(e.running == pick.running && e.issued < pick.issued) {
-				pick = e
+			if len(quotas) == 0 {
+				if pick == nil || e.running < pick.running ||
+					(e.running == pick.running && e.issued < pick.issued) {
+					pick = e
+				}
+				continue
+			}
+			etr := tenantRunning[e.tenant]
+			if pick == nil {
+				pick, pickTR = e, etr
+				continue
+			}
+			if e.tenant == pick.tenant {
+				if e.running < pick.running ||
+					(e.running == pick.running && e.issued < pick.issued) {
+					pick = e
+				}
+				continue
+			}
+			// Cross-tenant: compare running/weight ratios without
+			// division — e wins when etr/ew < pickTR/pw, i.e. the tenant
+			// furthest below its fair share gets the slot. A tenant with
+			// nothing running has ratio zero and can never lose to one
+			// with work in flight, so no tenant starves. Ties break to
+			// the lexicographically smaller tenant for determinism.
+			ew, pw := tenantWeight(quotas, e.tenant), tenantWeight(quotas, pick.tenant)
+			if etr*pw < pickTR*ew || (etr*pw == pickTR*ew && e.tenant < pick.tenant) {
+				pick, pickTR = e, etr
 			}
 		}
 		if pick == nil {
@@ -491,6 +569,15 @@ func (r *mgrRun) fill(ctx context.Context, free int) int {
 		launched++
 	}
 	return launched
+}
+
+// tenantWeight resolves a tenant's quota weight; absent tenants
+// (including the empty namespace) weigh 1.
+func tenantWeight(quotas map[string]int, tenant string) int {
+	if w, ok := quotas[tenant]; ok && w > 0 {
+		return w
+	}
+	return 1
 }
 
 // launch journals the decision (write-ahead, fresh jobs only), resolves
@@ -822,38 +909,55 @@ func (m *Manager) openJournals(exps []*mgrExp, resume bool) (err error) {
 		files[name] = e.spec.Name
 	}
 	for _, e := range exps {
-		e.jseen = make(map[int64]struct{})
-		path := filepath.Join(m.stateDir, journalFileName(e.spec.Name))
-		meta := state.Meta{
-			Experiment: e.spec.Name,
-			Algo:       fmt.Sprintf("%T", e.spec.Algorithm),
-			Seed:       e.spec.Seed,
-			Params:     spaceParamNames(e.spec.Space),
+		if e.dormant {
+			// Dormant experiments open no journal; an adopt opens (or
+			// recovers) it on activation. The duplicate-file check above
+			// still covered them.
+			continue
 		}
-		if resume {
-			if _, statErr := os.Stat(path); statErr == nil {
-				rec, journal, recErr := state.RecoverFile(path)
-				if recErr != nil {
-					return recErr
-				}
-				if metaErr := checkJournalMeta(rec.Meta, meta); metaErr != nil {
-					_ = journal.Close()
-					return fmt.Errorf("experiment %q: %w", e.spec.Name, metaErr)
-				}
-				if repErr := m.replayExperiment(e, rec); repErr != nil {
-					_ = journal.Close()
-					return fmt.Errorf("experiment %q: %w", e.spec.Name, repErr)
-				}
-				e.journal = journal
-				continue
-			}
+		if err := m.openJournalFor(e, resume); err != nil {
+			return err
 		}
-		journal, createErr := state.Create(path, meta)
-		if createErr != nil {
-			return createErr
-		}
-		e.journal = journal
 	}
+	return nil
+}
+
+// openJournalFor opens one experiment's journal: on resume an existing
+// journal is recovered, verified against the experiment spec and
+// replayed into its scheduler; otherwise (or when no journal exists yet)
+// a fresh one is created.
+func (m *Manager) openJournalFor(e *mgrExp, resume bool) error {
+	e.jseen = make(map[int64]struct{})
+	path := filepath.Join(m.stateDir, journalFileName(e.spec.Name))
+	meta := state.Meta{
+		Experiment: e.spec.Name,
+		Algo:       fmt.Sprintf("%T", e.spec.Algorithm),
+		Seed:       e.spec.Seed,
+		Params:     spaceParamNames(e.spec.Space),
+	}
+	if resume {
+		if _, statErr := os.Stat(path); statErr == nil {
+			rec, journal, recErr := state.RecoverFile(path)
+			if recErr != nil {
+				return recErr
+			}
+			if metaErr := checkJournalMeta(rec.Meta, meta); metaErr != nil {
+				_ = journal.Close()
+				return fmt.Errorf("experiment %q: %w", e.spec.Name, metaErr)
+			}
+			if repErr := m.replayExperiment(e, rec); repErr != nil {
+				_ = journal.Close()
+				return fmt.Errorf("experiment %q: %w", e.spec.Name, repErr)
+			}
+			e.journal = journal
+			return nil
+		}
+	}
+	journal, createErr := state.Create(path, meta)
+	if createErr != nil {
+		return createErr
+	}
+	e.journal = journal
 	return nil
 }
 
@@ -968,6 +1072,12 @@ func (r *mgrRun) emitLaunch(e *mgrExp, job core.Job) {
 // Runs on the dispatch goroutine.
 func (r *mgrRun) status() remote.Status {
 	st := remote.Status{Workers: r.budget}
+	if len(r.m.tenantQuotas) > 0 {
+		st.TenantWeights = make(map[string]int, len(r.m.tenantQuotas))
+		for t, w := range r.m.tenantQuotas {
+			st.TenantWeights[t] = w
+		}
+	}
 	for _, e := range r.exps {
 		es := remote.ExpStatus{
 			Experiment:    e.spec.Name,
@@ -996,6 +1106,8 @@ func (e *mgrExp) state() string {
 		return "failed"
 	case e.done:
 		return "done"
+	case e.dormant:
+		return "dormant"
 	case e.paused:
 		return core.GatePaused
 	default:
@@ -1102,6 +1214,39 @@ func (c *mgrControl) Abort(name string) error {
 			e.aborted = true
 			e.paused = false
 			e.done = true
+		}
+		return nil
+	})
+}
+
+// Adopt activates a dormant experiment on this node — the coordinator's
+// failover path. With a state dir the experiment's journal is recovered
+// (and replayed) if the dead owner left one, or created fresh; either
+// way the dispatch loop starts issuing its jobs on the next pass.
+// Stale leases the dead owner granted are already fenced: this node's
+// lease-ID generation is seeded past the old one, so pre-failover
+// reports are rejected and delivery stays exactly-once.
+func (c *mgrControl) Adopt(name string) error {
+	return c.do(func(r *mgrRun) error {
+		exps, err := r.match(name)
+		if err != nil {
+			return err
+		}
+		if name == "" {
+			return errors.New("asha: adopt requires an experiment name")
+		}
+		e := exps[0]
+		if !e.dormant {
+			return fmt.Errorf("asha: experiment %q is already active on this node", name)
+		}
+		if r.m.stateDir != "" {
+			if err := r.m.openJournalFor(e, true); err != nil {
+				return fmt.Errorf("asha: adopt %q: %w", name, err)
+			}
+		}
+		e.dormant = false
+		if r.bus != nil {
+			r.bus.Publish(obs.Event{Type: obs.EventAdopted, Experiment: name})
 		}
 		return nil
 	})

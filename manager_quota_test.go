@@ -1,0 +1,325 @@
+package asha
+
+// Tenant fair-share quota tests. The dispatch loop's quota selection is
+// deterministic slot by slot (running counts update at issue time, ties
+// break lexicographically), so these tests pin the exact steady-state
+// slot distribution per experiment: a gated objective blocks every job
+// until released, the manager fills its whole budget, and the test
+// reads off who got the slots.
+
+import (
+	"bytes"
+	"context"
+	"math"
+	"net/http"
+	"testing"
+	"time"
+)
+
+// quotaGate coordinates gated objectives: every started job announces
+// its experiment on started, then blocks until its experiment's release
+// channel yields (or closes, which lets the rest of the run drain).
+type quotaGate struct {
+	started chan string
+	release map[string]chan struct{}
+}
+
+func newQuotaGate(exps []string) *quotaGate {
+	g := &quotaGate{
+		started: make(chan string, 1024),
+		release: make(map[string]chan struct{}, len(exps)),
+	}
+	for _, name := range exps {
+		g.release[name] = make(chan struct{}, 1024)
+	}
+	return g
+}
+
+func (g *quotaGate) objective(name string) Objective {
+	return func(_ context.Context, cfg Config, _, to float64, _ interface{}) (float64, interface{}, error) {
+		g.started <- name
+		<-g.release[name]
+		return math.Abs(cfg["x"]-0.5) + 1/(1+to), nil, nil
+	}
+}
+
+// releaseOne unblocks exactly one in-flight job of the named experiment.
+func (g *quotaGate) releaseOne(name string) { g.release[name] <- struct{}{} }
+
+// releaseAll lets every current and future job run to completion.
+func (g *quotaGate) releaseAll() {
+	for _, ch := range g.release {
+		close(ch)
+	}
+}
+
+// collect reads n started-job announcements and returns per-experiment
+// counts.
+func (g *quotaGate) collect(t *testing.T, n int) map[string]int {
+	t.Helper()
+	counts := make(map[string]int)
+	for i := 0; i < n; i++ {
+		select {
+		case name := <-g.started:
+			counts[name]++
+		case <-time.After(15 * time.Second):
+			t.Fatalf("only %d of %d jobs started; counts so far: %v", i, n, counts)
+		}
+	}
+	return counts
+}
+
+// TestManagerTenantQuotaShares pins the steady-state worker-slot split
+// under mixed-tenant traffic for a table of quota configurations: the
+// manager fills its whole budget against gated objectives and every
+// experiment must hold exactly its fair share of slots.
+func TestManagerTenantQuotaShares(t *testing.T) {
+	const maxJobs = 12
+	cases := []struct {
+		name    string
+		workers int
+		quotas  map[string]int
+		exps    []string       // registration order matters: it is the tie-break of last resort
+		want    map[string]int // exact slots held at steady state
+	}{
+		{
+			// Equal weights: the four slots split evenly.
+			name:    "equal-weights",
+			workers: 4,
+			quotas:  map[string]int{"team-a": 1, "team-b": 1},
+			exps:    []string{"team-a/x", "team-b/y"},
+			want:    map[string]int{"team-a/x": 2, "team-b/y": 2},
+		},
+		{
+			// 3:1 weights over four workers land exactly 3:1.
+			name:    "weighted-3-1",
+			workers: 4,
+			quotas:  map[string]int{"team-a": 3, "team-b": 1},
+			exps:    []string{"team-a/x", "team-b/y"},
+			want:    map[string]int{"team-a/x": 3, "team-b/y": 1},
+		},
+		{
+			// Starvation-freedom: even at 10:1 the light tenant keeps a
+			// slot — a tenant with nothing running never loses the
+			// ratio comparison to one with work in flight.
+			name:    "lopsided-10-1",
+			workers: 4,
+			quotas:  map[string]int{"team-a": 10, "team-b": 1},
+			exps:    []string{"team-a/x", "team-b/y"},
+			want:    map[string]int{"team-a/x": 3, "team-b/y": 1},
+		},
+		{
+			// A tenant's share is split fairly among its own
+			// experiments: team-a's four slots go 2+2.
+			name:    "intra-tenant-split",
+			workers: 6,
+			quotas:  map[string]int{"team-a": 2, "team-b": 1},
+			exps:    []string{"team-a/x", "team-a/y", "team-b/z"},
+			want:    map[string]int{"team-a/x": 2, "team-a/y": 2, "team-b/z": 2},
+		},
+		{
+			// Experiments outside any tenant namespace weigh 1 and
+			// compete as the "" tenant.
+			name:    "untenanted-default-weight",
+			workers: 3,
+			quotas:  map[string]int{"team-a": 2},
+			exps:    []string{"team-a/x", "solo"},
+			want:    map[string]int{"team-a/x": 2, "solo": 1},
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			g := newQuotaGate(tc.exps)
+			m := NewManager(WithManagerWorkers(tc.workers), WithManagerTenantQuotas(tc.quotas))
+			for i, name := range tc.exps {
+				if err := m.Add(Experiment{
+					Name: name, Space: managerSpace(), Objective: g.objective(name),
+					Algorithm: RandomSearch{MaxResource: 4}, Seed: uint64(i + 1), MaxJobs: maxJobs,
+				}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			done := make(chan error, 1)
+			var results map[string]*Result
+			go func() {
+				var err error
+				results, err = m.Run(context.Background())
+				done <- err
+			}()
+
+			got := g.collect(t, tc.workers)
+			for name, want := range tc.want {
+				if got[name] != want {
+					t.Errorf("experiment %s holds %d slots, want %d (full split %v)", name, got[name], want, got)
+				}
+			}
+
+			// Drain: with the gates open every experiment must still
+			// finish its whole budget — quotas shape scheduling, never
+			// total work.
+			g.releaseAll()
+			select {
+			case err := <-done:
+				if err != nil {
+					t.Fatal(err)
+				}
+			case <-time.After(30 * time.Second):
+				t.Fatal("run did not finish after the gates opened")
+			}
+			for _, name := range tc.exps {
+				if results[name].CompletedJobs != maxJobs {
+					t.Errorf("%s completed %d jobs, want %d", name, results[name].CompletedJobs, maxJobs)
+				}
+			}
+		})
+	}
+}
+
+// TestManagerTenantQuotaRebalance releases jobs one at a time and
+// checks the freed slot is re-awarded live by the quota rule: a heavy
+// tenant below its share wins the slot back, and a light tenant that
+// goes idle is immediately topped up.
+func TestManagerTenantQuotaRebalance(t *testing.T) {
+	exps := []string{"team-a/x", "team-b/y"}
+	g := newQuotaGate(exps)
+	m := NewManager(
+		WithManagerWorkers(4),
+		WithManagerTenantQuotas(map[string]int{"team-a": 3, "team-b": 1}),
+	)
+	for i, name := range exps {
+		if err := m.Add(Experiment{
+			Name: name, Space: managerSpace(), Objective: g.objective(name),
+			Algorithm: RandomSearch{MaxResource: 4}, Seed: uint64(i + 1), MaxJobs: 40,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := m.Run(context.Background())
+		done <- err
+	}()
+
+	if got := g.collect(t, 4); got["team-a/x"] != 3 || got["team-b/y"] != 1 {
+		t.Fatalf("steady state %v, want team-a/x:3 team-b/y:1", got)
+	}
+
+	// Completing a heavy-tenant job leaves team-a below its 3/4 share,
+	// so the freed slot goes straight back to it.
+	g.releaseOne("team-a/x")
+	if got := g.collect(t, 1); got["team-a/x"] != 1 {
+		t.Fatalf("slot freed by team-a went to %v, want team-a/x", got)
+	}
+	// Completing the light tenant's only job leaves it idle, and an
+	// idle tenant can never lose the ratio comparison: the slot is
+	// re-awarded to team-b despite its 1/4 weight.
+	g.releaseOne("team-b/y")
+	if got := g.collect(t, 1); got["team-b/y"] != 1 {
+		t.Fatalf("slot freed by team-b went to %v, want team-b/y", got)
+	}
+
+	g.releaseAll()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("run did not finish after the gates opened")
+	}
+}
+
+// TestManagerQuotaWorkersResize grows the worker budget mid-run through
+// the live admin API (fleet mode) and checks the quota split is
+// re-computed against the new budget: 2 workers split 1:1 (the floor
+// keeps the light tenant alive), 8 workers split 6:2 — the configured
+// 3:1.
+func TestManagerQuotaWorkersResize(t *testing.T) {
+	exps := []string{"team-a/x", "team-b/y"}
+	g := newQuotaGate(exps)
+	urls := make(chan string, 1)
+	workerCtx, stopWorker := context.WithCancel(context.Background())
+	defer stopWorker()
+	m := NewManager(
+		WithManagerWorkers(2),
+		WithManagerTenantQuotas(map[string]int{"team-a": 3, "team-b": 1}),
+		WithManagerRemote(Remote{
+			Token:      "quota-secret",
+			AdminToken: "quota-admin",
+			LeaseTTL:   60 * time.Second,
+			OnListen:   func(u string) { urls <- u },
+		}),
+	)
+	for i, name := range exps {
+		// Objectives are nil: the jobs train on the fleet worker below.
+		if err := m.Add(Experiment{
+			Name: name, Space: managerSpace(),
+			Algorithm: RandomSearch{MaxResource: 4}, Seed: uint64(i + 1), MaxJobs: 24,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	done := make(chan error, 1)
+	var results map[string]*Result
+	go func() {
+		var err error
+		results, err = m.Run(context.Background())
+		done <- err
+	}()
+	url := <-urls
+	go func() {
+		_ = ServeRemoteWorker(workerCtx, RemoteWorker{
+			Server: url, Token: "quota-secret", Slots: 8,
+			Objectives: map[string]Objective{
+				"team-a/x": g.objective("team-a/x"),
+				"team-b/y": g.objective("team-b/y"),
+			},
+		})
+	}()
+
+	// Two workers: one slot each — the fair-share floor.
+	if got := g.collect(t, 2); got["team-a/x"] != 1 || got["team-b/y"] != 1 {
+		t.Fatalf("2-worker split %v, want 1:1", got)
+	}
+
+	// Live resize to 8 via the admin API the operator (ashactl
+	// workers 8) would use.
+	req, err := http.NewRequest(http.MethodPost, url+"/v1/admin/workers",
+		bytes.NewReader([]byte(`{"workers":8}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Authorization", "Bearer quota-admin")
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("admin workers resize: HTTP %d", resp.StatusCode)
+	}
+
+	// Six new slots appear; the cumulative 8 must split 6:2 = 3:1.
+	extra := g.collect(t, 6)
+	total := map[string]int{"team-a/x": 1 + extra["team-a/x"], "team-b/y": 1 + extra["team-b/y"]}
+	if total["team-a/x"] != 6 || total["team-b/y"] != 2 {
+		t.Fatalf("8-worker split %v, want team-a/x:6 team-b/y:2", total)
+	}
+
+	g.releaseAll()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("run did not finish after the gates opened")
+	}
+	for _, name := range exps {
+		if results[name].CompletedJobs != 24 {
+			t.Errorf("%s completed %d jobs, want %d", name, results[name].CompletedJobs, 24)
+		}
+	}
+}

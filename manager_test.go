@@ -5,6 +5,7 @@ import (
 	"errors"
 	"math"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -204,6 +205,11 @@ func TestManagerValidation(t *testing.T) {
 func TestManagerRemoteFleet(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
+	// The second worker joins once the first has demonstrably done work
+	// (a completion reached the manager) — a guaranteed mid-run join,
+	// with no timer guessing at how far along the run is.
+	firstDone := make(chan struct{})
+	var once sync.Once
 	workers := func(url string) {
 		w := RemoteWorker{
 			Server: url, Token: "mgr-secret", Slots: 2,
@@ -214,13 +220,14 @@ func TestManagerRemoteFleet(t *testing.T) {
 		}
 		go func() { _ = ServeRemoteWorker(ctx, w) }()
 		go func() {
-			time.Sleep(50 * time.Millisecond)
+			<-firstDone
 			_ = ServeRemoteWorker(ctx, w)
 		}()
 	}
 	m := NewManager(
 		WithManagerWorkers(4),
 		WithManagerRemote(Remote{Token: "mgr-secret", OnListen: workers}),
+		WithManagerProgress(func(ExperimentProgress) { once.Do(func() { close(firstDone) }) }),
 	)
 	for _, name := range []string{"alpha", "beta"} {
 		// Objectives are nil: in fleet mode they run worker-side.

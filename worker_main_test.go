@@ -23,6 +23,12 @@ func TestMain(m *testing.M) {
 		}
 		os.Exit(0)
 	}
+	if os.Getenv("ASHA_TEST_SHARD") == "1" {
+		// Federated-failover harness: this test binary doubles as a
+		// tuner shard process (see federation_failover_test.go).
+		runTestShard()
+		os.Exit(0)
+	}
 	os.Exit(m.Run())
 }
 
