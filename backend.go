@@ -297,6 +297,12 @@ func (c *tunerControl) Adopt(name string) error {
 	return fmt.Errorf("asha: single-experiment run cannot adopt %q", name)
 }
 
+// Drop is likewise Manager-only: a Tuner cannot hand its one
+// experiment to another node, so fencing it off makes no sense.
+func (c *tunerControl) Drop(name string) error {
+	return fmt.Errorf("asha: single-experiment run cannot drop %q", name)
+}
+
 // SetWorkers records the new budget for status reporting; the actual
 // throttle is the server's lease cap, which the admin handler adjusts
 // alongside this call. The engine's in-flight cap stays at the run's

@@ -35,6 +35,10 @@
 //	                     quota weight, running/issued/completed/failed
 //	adopt EXPERIMENT     activate a dormant experiment on this shard
 //	                     (the coordinator's failover path, manually)
+//	drop EXPERIMENT      adopt's inverse: stop scheduling the
+//	                     experiment, close its journal and go dormant —
+//	                     fencing a shard off an experiment another
+//	                     shard now owns
 //
 // -token carries the admin secret (AdminToken server-side) — a separate
 // credential from the worker token. Pause freezes both the scheduler's
@@ -79,7 +83,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		timeout = fs.Duration("timeout", 10*time.Second, "per-request timeout (tail streams are exempt)")
 	)
 	fs.Usage = func() {
-		fmt.Fprintln(stderr, "usage: ashactl -server URL -token SECRET <status|top|pause|resume|abort|workers|drain|tail|metrics|latency|trace|shards|tenants|adopt> [args]")
+		fmt.Fprintln(stderr, "usage: ashactl -server URL -token SECRET <status|top|pause|resume|abort|workers|drain|tail|metrics|latency|trace|shards|tenants|adopt|drop> [args]")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -232,8 +236,21 @@ func dispatch(ctx context.Context, c *client, cmd string, args []string, stdout 
 		}
 		fmt.Fprintf(stdout, "adopted %s: this shard now schedules it\n", args[0])
 		return nil
+	case "drop":
+		if len(args) != 1 || args[0] == "" {
+			return fmt.Errorf("usage: drop EXPERIMENT")
+		}
+		var resp struct {
+			OK       bool `json:"ok"`
+			Canceled int  `json:"canceled"`
+		}
+		if err := c.admin(ctx, "drop", map[string]string{"experiment": args[0]}, &resp); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "dropped %s: this shard no longer schedules it (%d queued jobs canceled)\n", args[0], resp.Canceled)
+		return nil
 	default:
-		return fmt.Errorf("unknown command %q (want status, top, pause, resume, abort, workers, drain, tail, metrics, latency, trace, shards, tenants, or adopt)", cmd)
+		return fmt.Errorf("unknown command %q (want status, top, pause, resume, abort, workers, drain, tail, metrics, latency, trace, shards, tenants, adopt, or drop)", cmd)
 	}
 }
 

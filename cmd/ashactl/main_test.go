@@ -162,6 +162,7 @@ func (f *fakeControl) Resume(e string) error  { f.record("resume:" + e); return 
 func (f *fakeControl) Abort(e string) error   { f.record("abort:" + e); return nil }
 func (f *fakeControl) SetWorkers(n int) error { f.record(fmt.Sprintf("workers:%d", n)); return nil }
 func (f *fakeControl) Adopt(e string) error   { f.record("adopt:" + e); return nil }
+func (f *fakeControl) Drop(e string) error    { f.record("drop:" + e); return nil }
 
 // TestCommandsAgainstLiveServer drives the real CLI entry point against
 // a real server: every command round-trips HTTP, auth, and JSON.

@@ -96,7 +96,11 @@
 // rendezvous hashing, redirects registering workers to the right shard,
 // and — when a shard stops heartbeating — fails its experiments over to
 // the survivors, which adopt them from their journals (-state-dir on a
-// shared directory makes the handoff lossless). Tenant namespaces
+// shared directory makes the handoff lossless). Ownership is fenced
+// from both ends: every heartbeat reply restates the shard's
+// assignment (a shard wrongly declared dead drops what it lost on its
+// first beat back), and a shard that loses the coordinator for a full
+// TTL drops everything until contact resumes. Tenant namespaces
 // ("team-a/exp"), per-tenant worker/admin tokens ("tenantTokens",
 // "tenantAdminTokens") and fair-share quotas ("tenantQuotas") make one
 // deployment safely multi-tenant.
@@ -107,6 +111,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -114,6 +119,7 @@ import (
 	"fmt"
 	"log"
 	"math"
+	"net/http"
 	"os"
 	"os/signal"
 	"sort"
@@ -473,8 +479,25 @@ func runCoordinator(ctx context.Context, mf *manifest) error {
 }
 
 // linkShard registers this shard with the coordinator (retrying while
-// it boots), starts the background heartbeat, and returns the set of
-// experiments the coordinator assigned to this shard.
+// it boots), starts the background heartbeat/reconcile loop, and
+// returns the set of experiments the coordinator assigned to this
+// shard.
+//
+// The loop is the shard's half of the federation's fencing contract:
+// the coordinator restates this shard's assignment on every heartbeat
+// reply, and the loop reconciles the local manager against it through
+// the shard's own admin plane — adopting experiments that failed over
+// *to* us and, crucially, dropping experiments that failed over *away*
+// while we were silently declared dead (GC pause, partition), so the
+// old owner never schedules — or journals — alongside the survivor.
+// When the coordinator is unreachable for a full TTL the shard cannot
+// know whether it has been failed over, so it self-fences: drops every
+// experiment and waits; the first beat back returns whatever it still
+// owns and the reconcile re-adopts it from the journals. The shard's
+// fencing clock starts at its last *successful* beat and the
+// coordinator's death clock at the last *received* one, so the shard
+// stops appending no later than the coordinator hands its journals to
+// a survivor.
 func linkShard(ctx context.Context, coordURL, shardID, selfURL, adminToken string) (map[string]bool, error) {
 	var (
 		assigned []string
@@ -499,22 +522,112 @@ func linkShard(ctx context.Context, coordURL, shardID, selfURL, adminToken strin
 	go func() {
 		t := time.NewTicker(interval)
 		defer t.Stop()
+		// synced is the assignment last applied to the local manager;
+		// the registration reply seeded the manager's active set, so it
+		// starts there. The heartbeat cadence is TTL/3 (the coordinator
+		// said so), making 3 intervals the liveness window.
+		synced := append([]string(nil), assigned...)
+		sort.Strings(synced)
+		ttl := 3 * interval
+		lastContact := time.Now()
 		for {
 			select {
 			case <-ctx.Done():
 				return
 			case <-t.C:
-				hbErr := remote.ShardHeartbeat(ctx, coordURL, shardID, adminToken)
+				cur, hbErr := remote.ShardHeartbeat(ctx, coordURL, shardID, adminToken)
 				if errors.Is(hbErr, remote.ErrShardUnknown) {
-					// A restarted coordinator forgot us: re-register.
-					// Adoption of any reassigned experiments flows through
-					// the admin plane, not this reply.
-					_, _, _ = remote.RegisterShard(ctx, coordURL, shardID, selfURL, adminToken)
+					// A restarted coordinator forgot us: re-register and
+					// reconcile against the assignment it hands back — a
+					// fresh rendezvous over the full shard set, which may
+					// disagree with post-failover reality on both sides.
+					cur, _, hbErr = remote.RegisterShard(ctx, coordURL, shardID, selfURL, adminToken)
 				}
+				if hbErr != nil {
+					if ctx.Err() == nil && time.Since(lastContact) > ttl {
+						// Self-fence: we may already be declared dead and
+						// our journals handed to survivors. Idempotent, so
+						// retrying every beat while partitioned is safe.
+						if postSelfAdmin(ctx, selfURL, adminToken, "drop", "") == nil {
+							if len(synced) > 0 {
+								log.Printf("ashad: shard %s lost the coordinator for %v; fenced (dropped %d experiments)",
+									shardID, ttl, len(synced))
+							}
+							synced = nil
+						}
+					}
+					continue
+				}
+				lastContact = time.Now()
+				synced = reconcileAssignment(ctx, selfURL, adminToken, synced, cur)
 			}
 		}
 	}()
 	return set, nil
+}
+
+// reconcileAssignment converges the local manager on the assignment the
+// coordinator just restated: experiments newly assigned here are
+// adopted, experiments assigned away are dropped, both through this
+// shard's own admin plane. It returns the assignment actually applied —
+// a failed POST keeps its experiment out of (or in) the synced view so
+// the next heartbeat retries it.
+func reconcileAssignment(ctx context.Context, selfURL, adminToken string, synced, target []string) []string {
+	have := make(map[string]bool, len(synced))
+	for _, e := range synced {
+		have[e] = true
+	}
+	applied := make([]string, 0, len(target))
+	for _, e := range target {
+		if have[e] {
+			delete(have, e)
+			applied = append(applied, e)
+			continue
+		}
+		if err := postSelfAdmin(ctx, selfURL, adminToken, "adopt", e); err != nil {
+			log.Printf("ashad: adopting %q: %v (retrying next beat)", e, err)
+			continue
+		}
+		log.Printf("ashad: adopted %q", e)
+		applied = append(applied, e)
+	}
+	// Whatever is left was synced but is no longer assigned here: it
+	// failed over to another shard while we were out — stop running it.
+	for e := range have {
+		if err := postSelfAdmin(ctx, selfURL, adminToken, "drop", e); err != nil {
+			log.Printf("ashad: dropping %q: %v (retrying next beat)", e, err)
+			applied = append(applied, e)
+			continue
+		}
+		log.Printf("ashad: dropped %q (owned elsewhere now)", e)
+	}
+	sort.Strings(applied)
+	return applied
+}
+
+// postSelfAdmin drives one command against this process's own admin
+// plane. A 4xx answer counts as applied: the server heard us and judged
+// the request — e.g. adopt's "already active" when the coordinator's
+// direct adopt call won the race — so retrying cannot change it. Only
+// transport errors and 5xx mean "try again on the next beat".
+func postSelfAdmin(ctx context.Context, baseURL, token, cmd, experiment string) error {
+	body, _ := json.Marshal(map[string]string{"experiment": experiment})
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		strings.TrimSuffix(baseURL, "/")+"/v1/admin/"+cmd, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Authorization", "Bearer "+token)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusOK || (resp.StatusCode >= 400 && resp.StatusCode < 500) {
+		return nil
+	}
+	return fmt.Errorf("%s %q: %s", cmd, experiment, resp.Status)
 }
 
 func main() {

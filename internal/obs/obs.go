@@ -48,6 +48,10 @@ const (
 	// its rung's rolling exec-time distribution (DurMs carries the
 	// offending duration).
 	EventStraggler = "straggler"
+	// EventExpDropped: a federated shard gave up ownership of an
+	// experiment (fencing after a failover declared it dead, or a lost
+	// coordinator): it goes dormant and its journal closes.
+	EventExpDropped = "experiment_dropped"
 	// EventAdopted: a federated shard took ownership of an experiment it
 	// did not start with (failover) and resumed it from its journal.
 	EventAdopted = "experiment_adopted"

@@ -33,10 +33,23 @@ package remote
 // machinery a restart uses; exactly-once holds because the survivor's
 // lease generation is seeded past the dead shard's (remote.go,
 // nextLease) and redirected workers re-register, purging stale leases.
+//
+// A false-positive death (GC pause, brief partition) must not leave
+// the old owner scheduling experiments a survivor has adopted, so
+// ownership is fenced from both ends: every heartbeat reply carries
+// the shard's current assignment — a revived shard reconciles against
+// it, dropping (/v1/admin/drop) experiments that failed over while it
+// was silent — and shards self-fence by dropping all their experiments
+// once they have gone a full TTL without coordinator contact
+// (cmd/ashad). The shard's TTL clock starts at its last *sent* beat,
+// the coordinator's at the last *received* one, so the owner stops
+// appending to the shared journal no later than the moment the
+// coordinator hands that journal to a survivor.
 
 import (
 	"bytes"
 	"context"
+	"crypto/subtle"
 	"encoding/json"
 	"fmt"
 	"hash/fnv"
@@ -264,6 +277,13 @@ type shardHeartbeatReq struct {
 
 type shardHeartbeatResp struct {
 	Version int `json:"v"`
+	// Experiments is the shard's current assignment, restated on every
+	// beat. It is the fencing signal: a shard declared dead while
+	// partitioned sees its lost experiments missing from this list on
+	// its first beat back and must stop running them (drop), while
+	// newly failed-over experiments appear here even if the
+	// coordinator's direct adopt call raced the shard's recovery.
+	Experiments []string `json:"experiments"`
 }
 
 // ShardStatus is one shard's row in the /v1/shards answer.
@@ -316,25 +336,27 @@ func (c *Coordinator) decode(w http.ResponseWriter, r *http.Request, version *in
 }
 
 // shardAuth enforces the fleet admin token on the shard-facing
-// endpoints.
+// endpoints. Comparison is constant-time, like remote.go's adminAuth —
+// these endpoints guard the same fleet-wide secret.
 func (c *Coordinator) shardAuth(w http.ResponseWriter, token string) bool {
-	if c.opts.AdminToken == "" || token == c.opts.AdminToken {
+	if c.opts.AdminToken == "" || subtle.ConstantTimeCompare([]byte(token), []byte(c.opts.AdminToken)) == 1 {
 		return true
 	}
 	c.reject(w, http.StatusUnauthorized, "bad or missing shard token")
 	return false
 }
 
-// workerScope mirrors Server.tokenScope for routing-time validation.
+// workerScope mirrors Server.tokenScope for routing-time validation,
+// including its constant-time comparisons.
 func (c *Coordinator) workerScope(token string) (tenant string, scoped, ok bool) {
 	if c.opts.Token == "" && len(c.opts.TenantTokens) == 0 {
 		return "", false, true
 	}
-	if c.opts.Token != "" && token == c.opts.Token {
+	if c.opts.Token != "" && subtle.ConstantTimeCompare([]byte(token), []byte(c.opts.Token)) == 1 {
 		return "", false, true
 	}
 	for t, tok := range c.opts.TenantTokens {
-		if tok != "" && token == tok {
+		if tok != "" && subtle.ConstantTimeCompare([]byte(token), []byte(tok)) == 1 {
 			return t, true, true
 		}
 	}
@@ -405,8 +427,9 @@ func (c *Coordinator) handleShardHeartbeat(w http.ResponseWriter, r *http.Reques
 	}
 	sh.lastBeat = time.Now()
 	sh.up = true
+	assigned := c.assignedLocked(req.ID)
 	c.mu.Unlock()
-	c.reply(w, shardHeartbeatResp{Version: ProtocolVersion})
+	c.reply(w, shardHeartbeatResp{Version: ProtocolVersion, Experiments: assigned})
 }
 
 // handleWorkerRegister answers a worker's registration with a redirect
@@ -503,7 +526,7 @@ func (c *Coordinator) handleShards(w http.ResponseWriter, r *http.Request) {
 	}
 	if c.opts.AdminToken != "" {
 		token, ok := strings.CutPrefix(r.Header.Get("Authorization"), "Bearer ")
-		if !ok || token != c.opts.AdminToken {
+		if !ok || subtle.ConstantTimeCompare([]byte(token), []byte(c.opts.AdminToken)) != 1 {
 			c.reject(w, http.StatusUnauthorized, "bad or missing admin token")
 			return
 		}
@@ -572,12 +595,15 @@ func (c *Coordinator) handleEvents(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	flusher, _ := w.(http.Flusher)
+	// Subscribe before committing the headers: a client that has seen
+	// the stream open must not miss events published in between
+	// (Server.handleEvents orders itself the same way).
+	sub := c.bus.Subscribe()
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
 	if flusher != nil {
 		flusher.Flush()
 	}
-	sub := c.bus.Subscribe()
 	enc := json.NewEncoder(w)
 	for {
 		events, dropped, ok := sub.Next(r.Context())
@@ -626,7 +652,7 @@ func (c *Coordinator) sweepShards() {
 func (c *Coordinator) sweepOnce(now time.Time) {
 	type adoption struct {
 		experiment string
-		shardURL   string
+		shardID    string
 	}
 	var deadIDs []string
 	var adoptions []adoption
@@ -654,7 +680,7 @@ func (c *Coordinator) sweepOnce(now time.Time) {
 				}
 				owner := rendezvousOwner(exp, live)
 				c.assign[exp] = owner
-				adoptions = append(adoptions, adoption{experiment: exp, shardURL: c.shards[owner].url})
+				adoptions = append(adoptions, adoption{experiment: exp, shardID: owner})
 			}
 		}
 	}
@@ -667,31 +693,53 @@ func (c *Coordinator) sweepOnce(now time.Time) {
 		c.failovers.Add(1)
 		c.bus.Publish(obs.Event{Type: obs.EventFailover, Experiment: a.experiment})
 		c.wg.Add(1)
-		go c.adopt(a.shardURL, a.experiment)
+		go c.adopt(a.shardID, a.experiment)
 	}
 }
 
-// adopt drives the new owner's /v1/admin/adopt until it succeeds (or
+// adopt drives the new owner's /v1/admin/adopt until it answers (or
 // the coordinator closes): the survivor recovers the experiment from
-// its journal and resumes scheduling it.
-func (c *Coordinator) adopt(shardURL, experiment string) {
+// its journal and resumes scheduling it. Each attempt revalidates
+// against live state rather than trusting the world at failover time:
+// if the experiment has been reassigned again (the chosen survivor
+// died before adopting — a newer adopt goroutine owns delivery now),
+// this goroutine abandons instead of posting to a shard that no
+// longer owns it, and the target URL is re-read so a survivor that
+// re-registered on a new address still gets the call. Any 4xx answer
+// is terminal: the request reached the shard and was judged — e.g. a
+// 400 "already active" after a lost 200 means the adoption already
+// happened — so retrying cannot change the answer.
+func (c *Coordinator) adopt(shardID, experiment string) {
 	defer c.wg.Done()
 	body, _ := json.Marshal(map[string]string{"experiment": experiment})
 	backoff := 250 * time.Millisecond
 	for {
-		req, err := http.NewRequestWithContext(c.ctx, http.MethodPost,
-			shardURL+"/v1/admin/adopt", bytes.NewReader(body))
-		if err != nil {
+		c.mu.Lock()
+		var shardURL string
+		if sh := c.shards[shardID]; sh != nil {
+			shardURL = sh.url
+		}
+		owns := c.assign[experiment] == shardID
+		c.mu.Unlock()
+		if !owns {
 			return
 		}
-		req.Header.Set("Content-Type", "application/json")
-		req.Header.Set("Authorization", "Bearer "+c.opts.AdminToken)
-		resp, err := http.DefaultClient.Do(req)
-		if err == nil {
-			status := resp.StatusCode
-			_ = resp.Body.Close()
-			if status == http.StatusOK {
+		if shardURL != "" {
+			req, err := http.NewRequestWithContext(c.ctx, http.MethodPost,
+				shardURL+"/v1/admin/adopt", bytes.NewReader(body))
+			if err != nil {
 				return
+			}
+			req.Header.Set("Content-Type", "application/json")
+			req.Header.Set("Authorization", "Bearer "+c.opts.AdminToken)
+			resp, err := http.DefaultClient.Do(req)
+			if err == nil {
+				status := resp.StatusCode
+				_ = resp.Body.Close()
+				if status == http.StatusOK ||
+					(status >= 400 && status < 500) {
+					return
+				}
 			}
 		}
 		select {
@@ -745,28 +793,36 @@ func RegisterShard(ctx context.Context, coordinatorURL, shardID, selfURL, adminT
 // shard should re-register.
 var ErrShardUnknown = fmt.Errorf("remote: coordinator does not know this shard; register again")
 
-// ShardHeartbeat sends one shard liveness beat.
-func ShardHeartbeat(ctx context.Context, coordinatorURL, shardID, adminToken string) error {
+// ShardHeartbeat sends one shard liveness beat and returns the shard's
+// current assignment as restated by the coordinator — the caller must
+// reconcile against it (adopt what appeared, drop what vanished), since
+// a beat after a false-positive death declaration is the only way a
+// revived shard learns its experiments now run elsewhere.
+func ShardHeartbeat(ctx context.Context, coordinatorURL, shardID, adminToken string) ([]string, error) {
 	body, _ := json.Marshal(shardHeartbeatReq{Version: ProtocolVersion, Token: adminToken, ID: shardID})
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
 		strings.TrimSuffix(coordinatorURL, "/")+"/v1/shard/heartbeat", bytes.NewReader(body))
 	if err != nil {
-		return err
+		return nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
 	resp, err := http.DefaultClient.Do(req)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	defer resp.Body.Close()
 	switch resp.StatusCode {
 	case http.StatusOK:
-		return nil
+		var hr shardHeartbeatResp
+		if err := json.NewDecoder(resp.Body).Decode(&hr); err != nil {
+			return nil, fmt.Errorf("remote: shard heartbeat reply: %w", err)
+		}
+		return hr.Experiments, nil
 	case http.StatusGone:
-		return ErrShardUnknown
+		return nil, ErrShardUnknown
 	default:
 		var we wireError
 		_ = json.NewDecoder(resp.Body).Decode(&we)
-		return fmt.Errorf("remote: shard heartbeat: %s (%s)", resp.Status, we.Error)
+		return nil, fmt.Errorf("remote: shard heartbeat: %s (%s)", resp.Status, we.Error)
 	}
 }

@@ -126,7 +126,7 @@ func TestShardRegisterHeartbeatWire(t *testing.T) {
 
 	// Heartbeat before registration: the shard is known but not
 	// registered, so it must be told to register.
-	if err := ShardHeartbeat(ctx, c.URL(), "s1", "fed-secret"); err != ErrShardUnknown {
+	if _, err := ShardHeartbeat(ctx, c.URL(), "s1", "fed-secret"); err != ErrShardUnknown {
 		t.Fatalf("pre-registration heartbeat: want ErrShardUnknown, got %v", err)
 	}
 
@@ -151,8 +151,14 @@ func TestShardRegisterHeartbeatWire(t *testing.T) {
 			t.Fatalf("s1 was assigned %q which rendezvous-hashes to the other shard", e)
 		}
 	}
-	if err := ShardHeartbeat(ctx, c.URL(), "s1", "fed-secret"); err != nil {
+	// The heartbeat reply restates the assignment — the fencing signal a
+	// revived shard reconciles against.
+	beatAssigned, err := ShardHeartbeat(ctx, c.URL(), "s1", "fed-secret")
+	if err != nil {
 		t.Fatalf("heartbeat after registration: %v", err)
+	}
+	if fmt.Sprint(beatAssigned) != fmt.Sprint(assigned) {
+		t.Fatalf("heartbeat reply restated assignment %v, want the registration's %v", beatAssigned, assigned)
 	}
 
 	// Unknown shard ID and bad token are both refused.
@@ -341,7 +347,7 @@ func TestCoordinatorFailover(t *testing.T) {
 		if time.Now().After(deadline) {
 			t.Fatalf("failover did not happen: %d/%d experiments reassigned", c.Failovers(), len(victims))
 		}
-		if err := ShardHeartbeat(ctx, c.URL(), "s1", "fed-secret"); err != nil {
+		if _, err := ShardHeartbeat(ctx, c.URL(), "s1", "fed-secret"); err != nil {
 			t.Fatalf("survivor heartbeat: %v", err)
 		}
 		time.Sleep(ttl / 5)
@@ -433,6 +439,108 @@ func TestCoordinatorFailover(t *testing.T) {
 				t.Errorf("dead s2: up=%v experiments=%v, want down and empty", sh.Up, sh.Experiments)
 			}
 		}
+	}
+
+	// Split-brain fence: s2 was declared dead by mistake (it is still
+	// running) and beats again. The reply must restate its now-empty
+	// assignment so it drops the experiments the survivor adopted —
+	// without this signal both shards would schedule the same
+	// experiments and append to the same journals.
+	revived, err := ShardHeartbeat(ctx, c.URL(), "s2", "fed-secret")
+	if err != nil {
+		t.Fatalf("revived shard heartbeat: %v", err)
+	}
+	if len(revived) != 0 {
+		t.Errorf("revived s2's heartbeat still assigns it %v; the failed-over experiments belong to s1", revived)
+	}
+}
+
+// TestAdoptRetryDiscipline pins the failover driver's retry contract:
+// a 4xx answer is terminal (the shard heard the request and judged it —
+// e.g. "already active" after a lost 200), a stale adopt whose
+// experiment has been reassigned is abandoned without posting, and a
+// 5xx is retried against the shard's *current* URL so a survivor that
+// re-registered on a new address still gets the call.
+func TestAdoptRetryDiscipline(t *testing.T) {
+	var badReqs atomic.Int64
+	badSrv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		badReqs.Add(1)
+		w.WriteHeader(http.StatusBadRequest)
+	}))
+	defer badSrv.Close()
+
+	c, err := NewCoordinator(CoordinatorOptions{
+		Shards:      []string{"s1", "s2"},
+		Experiments: []string{"exp"},
+		ShardTTL:    time.Hour, // the sweeper must not interfere
+		AdminToken:  "fed-secret",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx := context.Background()
+	if _, _, err := RegisterShard(ctx, c.URL(), "s1", badSrv.URL, "fed-secret"); err != nil {
+		t.Fatal(err)
+	}
+	setOwner := func(id string) {
+		c.mu.Lock()
+		c.assign["exp"] = id
+		c.mu.Unlock()
+	}
+
+	// 4xx is terminal: exactly one post, no retry loop.
+	setOwner("s1")
+	c.wg.Add(1)
+	c.adopt("s1", "exp")
+	if n := badReqs.Load(); n != 1 {
+		t.Fatalf("4xx adopt answered %d posts, want exactly 1 (terminal)", n)
+	}
+
+	// Reassigned before the retry: the stale goroutine abandons without
+	// posting anywhere — the newer adopt goroutine owns delivery.
+	setOwner("s2")
+	c.wg.Add(1)
+	c.adopt("s1", "exp")
+	if n := badReqs.Load(); n != 1 {
+		t.Fatalf("stale adopt still posted (%d total posts)", n)
+	}
+
+	// 5xx retries, and each attempt re-reads the shard's URL: flip s1 to
+	// a healthy address mid-retry and the adoption must land there.
+	var okReqs atomic.Int64
+	okSrv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		okReqs.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintln(w, `{"ok":true}`)
+	}))
+	defer okSrv.Close()
+	flakySrv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusInternalServerError)
+	}))
+	defer flakySrv.Close()
+	if _, _, err := RegisterShard(ctx, c.URL(), "s1", flakySrv.URL, "fed-secret"); err != nil {
+		t.Fatal(err)
+	}
+	setOwner("s1")
+	adoptDone := make(chan struct{})
+	c.wg.Add(1)
+	go func() {
+		defer close(adoptDone)
+		c.adopt("s1", "exp")
+	}()
+	// First attempt hits the 500 server; re-register on the healthy
+	// address and let the backoff retry find it.
+	if _, _, err := RegisterShard(ctx, c.URL(), "s1", okSrv.URL, "fed-secret"); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-adoptDone:
+	case <-time.After(10 * time.Second):
+		t.Fatal("adopt never settled on the re-registered URL")
+	}
+	if okReqs.Load() != 1 {
+		t.Fatalf("healthy server saw %d adopts, want 1", okReqs.Load())
 	}
 }
 

@@ -77,6 +77,15 @@ type ControlPlane interface {
 	// previous owner left off. Control planes that cannot adopt return
 	// an error.
 	Adopt(experiment string) error
+	// Drop is Adopt's inverse — the fencing half of failover: the
+	// experiment goes dormant again, its journal is closed and late
+	// results are discarded, so a shard that lost ownership (declared
+	// dead while it was merely slow) stops competing with the survivor
+	// that adopted it. "" drops every active experiment (self-fencing
+	// after losing coordinator contact). Dropping an already-dormant or
+	// finished experiment is a no-op, never an error — fencing must be
+	// safe to repeat.
+	Drop(experiment string) error
 }
 
 // SetControl attaches the scheduler-side control plane. Until one is
@@ -715,6 +724,23 @@ func (s *Server) handleAdmin(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		s.reply(w, adminResp{OK: true})
+	case "drop":
+		// Fencing entry point, Adopt's inverse: this shard no longer owns
+		// the experiment ("" = owns nothing), so stop scheduling it and
+		// release its journal for the adopting survivor. Scheduler side
+		// first (no new submissions), then flush its queued jobs; a stale
+		// pause must not survive into a later re-adoption.
+		if cp == nil {
+			s.reject(w, http.StatusBadRequest, "no control plane attached")
+			return
+		}
+		if err := cp.Drop(req.Experiment); err != nil {
+			s.reject(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		s.ResumeExperiment(req.Experiment)
+		n := s.CancelPending(req.Experiment)
+		s.reply(w, adminResp{OK: true, Canceled: n})
 	default:
 		s.reject(w, http.StatusNotFound, fmt.Sprintf("unknown admin command %q", cmd))
 	}

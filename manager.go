@@ -200,6 +200,11 @@ type mgrExp struct {
 	// prefix of the experiment name for the quota fair share.
 	dormant bool
 	tenant  string
+	// epoch counts ownership fences: a drop bumps it (and zeroes
+	// running), so in-flight results launched under an earlier epoch
+	// are discarded on arrival instead of being applied — or journaled —
+	// after a re-adoption has already replayed those jobs.
+	epoch int
 	// rungCompleted and maxRung feed the status/metrics surface: rung
 	// occupancy and the high-water rung for rung-advance events.
 	rungCompleted []int
@@ -224,6 +229,11 @@ type mgrResult struct {
 	job   core.Job
 	loss  float64
 	state interface{}
+	// epoch is the experiment's ownership epoch at launch time; a drop
+	// bumps it, so results of jobs launched before the drop are
+	// recognized as another owner's work and discarded even if the
+	// experiment has been re-adopted since.
+	epoch int
 	// failed marks a retryable loss of the job (a remote worker died or
 	// its lease expired): the scheduler is told and requeues it.
 	failed bool
@@ -612,6 +622,7 @@ func (r *mgrRun) launch(ctx context.Context, e *mgrExp, job core.Job, fresh bool
 	from, state := t.resource, t.state
 	results := r.results
 	exp := e
+	epoch := e.epoch
 	if r.fleet != nil {
 		// Fleet mode: the job travels to whichever worker leases it, with
 		// its experiment's name for objective routing and its checkpoint
@@ -630,7 +641,7 @@ func (r *mgrRun) launch(ctx context.Context, e *mgrExp, job core.Job, fresh bool
 			To:    job.TargetResource,
 			State: raw,
 		}, func(out remote.Outcome) {
-			res := mgrResult{exp: exp, job: job}
+			res := mgrResult{exp: exp, job: job, epoch: epoch}
 			switch {
 			case out.Failed:
 				res.failed = true
@@ -650,7 +661,7 @@ func (r *mgrRun) launch(ctx context.Context, e *mgrExp, job core.Job, fresh bool
 	r.tasks <- func() {
 		jctx := exec.WithTrialID(ctx, job.TrialID)
 		loss, newState, err := obj(jctx, job.Config.Map(), from, job.TargetResource, state)
-		results <- mgrResult{exp: exp, job: job, loss: loss, state: newState, err: err}
+		results <- mgrResult{exp: exp, job: job, epoch: epoch, loss: loss, state: newState, err: err}
 	}
 	return true
 }
@@ -662,6 +673,15 @@ func (r *mgrRun) launch(ctx context.Context, e *mgrExp, job core.Job, fresh bool
 func (r *mgrRun) ingest(batch []mgrResult) int {
 	for _, res := range batch {
 		e := res.exp
+		if res.epoch != e.epoch {
+			// Result of a job launched before a drop fenced this
+			// experiment: ownership — and the running tally — was
+			// surrendered with the drop, so the result is discarded
+			// without touching the journal or the scheduler, even if
+			// this node has re-adopted the experiment since (the replay
+			// relaunches that job and the rerun's result counts).
+			continue
+		}
 		e.running--
 		if e.failed != nil {
 			continue // stray result of an already-failed experiment
@@ -1247,6 +1267,52 @@ func (c *mgrControl) Adopt(name string) error {
 		e.dormant = false
 		if r.bus != nil {
 			r.bus.Publish(obs.Event{Type: obs.EventAdopted, Experiment: name})
+		}
+		return nil
+	})
+}
+
+// Drop deactivates experiments this node no longer owns — the fencing
+// half of failover, Adopt's inverse. The experiment's journal closes
+// (the adopting survivor now owns the file), its scheduler and
+// bookkeeping reset to the pristine dormant state Run starts with —
+// so a later re-adoption replays the journal into a fresh scheduler
+// instead of double-applying decisions — and ingest discards its
+// in-flight results, which the new owner will re-issue from their
+// journaled issue records. "" drops every active experiment
+// (self-fencing after losing coordinator contact). Already-dormant and
+// terminal experiments are skipped: fencing must be safe to repeat.
+func (c *mgrControl) Drop(name string) error {
+	return c.do(func(r *mgrRun) error {
+		exps, err := r.match(name)
+		if err != nil {
+			return err
+		}
+		for _, e := range exps {
+			if e.dormant || e.done || e.aborted || e.failed != nil {
+				continue
+			}
+			if e.journal != nil {
+				_ = e.journal.Close()
+				e.journal = nil
+			}
+			e.sched = e.spec.Algorithm.newScheduler(e.spec.Space, xrand.New(e.spec.Seed))
+			e.trials = make(map[int]*mgrTrial)
+			e.issued, e.completed, e.failedJobs = 0, 0, 0
+			e.barrier, e.paused = false, false
+			e.history = nil
+			e.rungCompleted, e.maxRung = nil, -1
+			e.jseen, e.relaunch = nil, nil
+			e.snapGap, e.clockOff = 0, 0
+			// In-flight jobs now belong to whoever adopts the journal:
+			// bump the epoch so their results are discarded on arrival
+			// and forget them in the running tally.
+			e.epoch++
+			e.running = 0
+			e.dormant = true
+			if r.bus != nil {
+				r.bus.Publish(obs.Event{Type: obs.EventExpDropped, Experiment: e.spec.Name})
+			}
 		}
 		return nil
 	})

@@ -325,3 +325,103 @@ func TestManagerAdminControlsExperiments(t *testing.T) {
 		t.Fatalf("beta completed its full budget (%d jobs) despite the abort", beta.CompletedJobs)
 	}
 }
+
+// TestManagerAdminDropRefences drops a live journaled experiment (the
+// fencing half of failover: this node was declared dead and another
+// shard adopted the experiment) and then re-adopts it. The drop must
+// park the experiment dormant with its journal closed and late results
+// discarded; the re-adoption must replay the journal into a fresh
+// scheduler and run the experiment to its exact budget — the
+// drop/adopt round trip neither loses nor double-counts work.
+func TestManagerAdminDropRefences(t *testing.T) {
+	const token = "mgr-admin"
+	const jobs = 60
+	urlCh := make(chan string, 1)
+	wctx, wcancel := context.WithCancel(context.Background())
+	defer wcancel()
+	m := NewManager(
+		WithManagerWorkers(2),
+		WithManagerStateDir(t.TempDir()),
+		WithManagerRemote(Remote{
+			Metrics: true, AdminToken: token,
+			LeaseTTL: 10 * time.Second,
+			OnListen: func(url string) {
+				urlCh <- url
+				go func() {
+					_ = ServeRemoteWorker(wctx, RemoteWorker{
+						Server: url, Slots: 2,
+						Objectives: map[string]Objective{
+							"alpha": managerObjective(2 * time.Millisecond),
+						},
+					})
+				}()
+			},
+		}),
+	)
+	if err := m.Add(Experiment{
+		Name: "alpha", Space: managerSpace(),
+		Algorithm: ASHA{Eta: 3, MinResource: 1, MaxResource: 27},
+		Seed:      7, MaxJobs: jobs,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	type runOut struct {
+		results map[string]*Result
+		err     error
+	}
+	done := make(chan runOut, 1)
+	go func() {
+		results, err := m.Run(context.Background())
+		done <- runOut{results, err}
+	}()
+	url := <-urlCh
+
+	// Let the run demonstrably progress, then fence it off mid-flight.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		st := fleetStatus(t, url, token)
+		if len(st.Experiments) == 1 && st.Experiments[0].Completed >= 5 {
+			if st.Experiments[0].Completed >= jobs {
+				t.Fatal("experiment finished before the drop; raise the worker delay")
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("experiment never reached 5 completions")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if status, _ := fleetAdmin(t, url, token, "drop", `{"experiment":"alpha"}`); status != http.StatusOK {
+		t.Fatalf("drop alpha: status %d", status)
+	}
+	st := fleetStatus(t, url, token)
+	if len(st.Experiments) != 1 || st.Experiments[0].State != "dormant" {
+		t.Fatalf("state after drop = %+v, want dormant", st.Experiments)
+	}
+	// Dropping again is a no-op, not an error: fencing must be safe to
+	// repeat (the self-fence fires every heartbeat while partitioned).
+	if status, _ := fleetAdmin(t, url, token, "drop", `{"experiment":"alpha"}`); status != http.StatusOK {
+		t.Fatalf("repeated drop: status %d", status)
+	}
+	// The run must still be alive (parked on the control channel), with
+	// the dropped experiment frozen: no completions accrue.
+	frozen := fleetStatus(t, url, token).Experiments[0].Completed
+	time.Sleep(50 * time.Millisecond)
+	if got := fleetStatus(t, url, token).Experiments[0].Completed; got != frozen {
+		t.Fatalf("dropped experiment still completing jobs: %d -> %d", frozen, got)
+	}
+
+	// Re-adoption (ownership came back): replay the journal and finish.
+	if status, _ := fleetAdmin(t, url, token, "adopt", `{"experiment":"alpha"}`); status != http.StatusOK {
+		t.Fatalf("re-adopt alpha: status %d", status)
+	}
+	out := <-done
+	if out.err != nil {
+		t.Fatalf("manager run failed: %v", out.err)
+	}
+	alpha := out.results["alpha"]
+	if alpha == nil || alpha.CompletedJobs != jobs {
+		t.Fatalf("alpha result %+v, want exactly %d completed jobs after the drop/adopt round trip", alpha, jobs)
+	}
+}
