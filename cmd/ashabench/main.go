@@ -153,6 +153,53 @@ func benches(quick bool) []bench {
 			},
 		},
 		{
+			// Past-paper scale: 10,000 simulated workers on PTB under a
+			// fixed job budget. The job budget (rather than a time
+			// horizon) keeps the measured work constant per op; the
+			// continuous cost spread keeps the calendar queue's ring and
+			// far tiers busy.
+			name: "sim-10k-workers",
+			ops:  scale(5),
+			run: func(ops int) int64 {
+				benchW := workload.PTBLSTM()
+				var jobs int64
+				for i := 0; i < ops; i++ {
+					sched := core.NewASHA(core.ASHAConfig{
+						Space: benchW.Space(), RNG: xrand.New(uint64(i) + 1), Eta: 4,
+						MinResource: 1, MaxResource: benchW.MaxResource(),
+					})
+					run := cluster.Run(sched, benchW.WithNoiseSeed(uint64(i)), cluster.Options{
+						Workers: 10_000, MaxJobs: 200_000, Seed: uint64(i),
+					})
+					jobs += int64(run.CompletedJobs)
+				}
+				return jobs
+			},
+		},
+		{
+			// The 100k-worker regime on the constant-cost benchmark 1
+			// space: every wave of same-duration jobs completes at one
+			// instant, so the queue must batch 100k-event completion
+			// groups instead of degenerating into 100k one-event Awaits.
+			name: "sim-100k-workers",
+			ops:  scale(2),
+			run: func(ops int) int64 {
+				benchW := workload.CudaConvnet()
+				var jobs int64
+				for i := 0; i < ops; i++ {
+					sched := core.NewASHA(core.ASHAConfig{
+						Space: benchW.Space(), RNG: xrand.New(uint64(i) + 1), Eta: 4,
+						MinResource: benchW.MaxResource() / 256, MaxResource: benchW.MaxResource(),
+					})
+					run := cluster.Run(sched, benchW.WithNoiseSeed(uint64(i)), cluster.Options{
+						Workers: 100_000, MaxJobs: 400_000, Seed: uint64(i),
+					})
+					jobs += int64(run.CompletedJobs)
+				}
+				return jobs
+			},
+		},
+		{
 			// One training job's full distributed round trip — lease
 			// grant, JSON checkpoint transport, report — over real
 			// loopback HTTP with an in-process 8-slot worker agent

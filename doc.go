@@ -81,5 +81,7 @@
 //
 // The repository also contains the paper's full experimental harness:
 // every table and figure of the evaluation section can be regenerated
-// with cmd/ashaexp (see DESIGN.md and EXPERIMENTS.md).
+// with cmd/ashaexp (see DESIGN.md and EXPERIMENTS.md), and cmd/ashasim
+// replays any journaled run's fitted workload against hypothetical
+// fleet sizes, straggler spreads and drop rates for capacity planning.
 package asha

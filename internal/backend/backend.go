@@ -84,8 +84,10 @@ type Backend interface {
 	// Await blocks until at least one launched job finishes and returns
 	// every completion available without further waiting (real backends
 	// drain their result channel; the simulator returns all events
-	// sharing the next virtual-clock instant, preserving event ordering
-	// across distinct times). The returned slice may be reused by the
+	// sharing the next virtual-clock instant as one batch, ordered FIFO
+	// by launch sequence within the instant — so same-instant completion
+	// waves cost one engine round trip and batch contents are
+	// deterministic). The returned slice may be reused by the
 	// next Await call. An empty, error-free batch means the backend can
 	// complete nothing more (e.g. the simulated clock expired) and the
 	// run must stop. A context error stops the run cleanly.

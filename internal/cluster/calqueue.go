@@ -1,0 +1,271 @@
+package cluster
+
+import "math"
+
+// The calendar queue replaces the single monolithic event heap for
+// large fleets. A 100k-worker simulation keeps ~100k pending completion
+// events at all times; a monolithic 4-ary heap pays an O(log n) sift
+// over one huge cache-hostile array for every push and pop. The
+// calendar splits pending events by completion-time window into three
+// tiers:
+//
+//   - an active heap holding only the current window (win <= curWin) —
+//     the only tier that is kept totally ordered;
+//   - a ring of calBuckets unsorted buckets, one per upcoming window
+//     (curWin < win < curWin+calBuckets), appended to in O(1) and
+//     heapified only when their window becomes current;
+//   - calFarGroups small 4-ary heaps for the far future
+//     (win > curWin+calBuckets), lazily merged back into the calendar
+//     as their windows come into ring range.
+//
+// Ordering contract: popBatch yields events in exactly the (time, seq)
+// order of the old monolithic heap — time ascending, FIFO seq among
+// exact ties — so fixed-seed parity goldens are bit-identical across
+// the rewrite. Every membership decision (push routing, ring
+// eligibility, far drains) uses the single win() computation, so a time
+// one ULP from a window edge is classified identically everywhere and
+// can never be popped out of order.
+const (
+	// calBuckets is the ring size; a power of two so the slot for a
+	// window is win & (calBuckets-1). The ring holds windows strictly
+	// inside (curWin, curWin+calBuckets): they are distinct modulo
+	// calBuckets and never alias the current window's slot (which may
+	// still hold unpromoted events when a far drain runs), so a slot
+	// never mixes two windows and bucket promotion needs no filtering.
+	calBuckets = 256
+	// calFarGroups spreads the far-future tier over several small
+	// heaps (round-robin on push) so far pushes sift shallow trees;
+	// drains merge lazily by scanning the group tops.
+	calFarGroups = 8
+)
+
+// calQueue is the sharded calendar event queue. The zero value is
+// ready to use: until the first refill calibrates the calendar
+// (width == 0), pushes accumulate in the far tier.
+type calQueue struct {
+	n int // total pending events across all tiers
+
+	// active holds the current window's events. When activeUniform is
+	// set the slice is one same-instant FIFO run (a single completion
+	// group) in final pop order — which is also a valid min-heap, so a
+	// stray push only needs to clear the flag.
+	active        eventQueue
+	activeUniform bool
+
+	epoch  float64 // time at the left edge of window 0
+	width  float64 // window width; 0 until the first rebase calibrates it
+	curWin int64   // current window index; active covers win <= curWin
+
+	ring      [calBuckets][]event // slot win&(calBuckets-1), unsorted
+	ringCount int
+
+	far      [calFarGroups]eventQueue
+	farCount int
+	farPick  int // round-robin push cursor
+}
+
+func (q *calQueue) Len() int { return q.n }
+
+// win returns the calendar window index of time t as a float (window
+// indices in the far future can exceed int64). All tier-membership
+// decisions share this one computation.
+func (q *calQueue) win(t float64) float64 {
+	return math.Floor((t - q.epoch) / q.width)
+}
+
+func (q *calQueue) push(e event) {
+	q.n++
+	q.place(e)
+}
+
+// place routes one event to its tier. Shared by push and the far-tier
+// drains (which must not recount n).
+func (q *calQueue) place(e event) {
+	if q.width > 0 {
+		w := q.win(e.time)
+		if w <= float64(q.curWin) {
+			q.pushActive(e)
+			return
+		}
+		if w < float64(q.curWin+calBuckets) {
+			slot := int64(w) & (calBuckets - 1)
+			q.ring[slot] = append(q.ring[slot], e)
+			q.ringCount++
+			return
+		}
+	}
+	g := q.farPick
+	q.farPick++
+	if q.farPick == calFarGroups {
+		q.farPick = 0
+	}
+	q.far[g].push(e)
+	q.farCount++
+}
+
+func (q *calQueue) pushActive(e event) {
+	// A same-instant seq-ascending run is already a valid min-heap
+	// (any sorted array is), so mixing in a push only invalidates the
+	// batch fast path, not the heap property.
+	q.activeUniform = false
+	q.active.push(e)
+}
+
+// peekTime returns the earliest pending event time; the caller checks
+// Len first.
+func (q *calQueue) peekTime() float64 {
+	q.ensureActive()
+	return q.active.ev[0].time
+}
+
+// popBatch removes every event sharing the earliest pending time and
+// appends them to dst in (time, seq) order, zeroing vacated slots so
+// config references release. A same-instant completion group comes
+// back as one batch regardless of size: when a whole ring bucket is
+// one FIFO run — the constant-cost case where every worker finishes at
+// the same instant — it is returned wholesale without ever being
+// heapified.
+func (q *calQueue) popBatch(dst []event) []event {
+	if q.n == 0 {
+		return dst
+	}
+	q.ensureActive()
+	if q.activeUniform {
+		ev := q.active.ev
+		dst = append(dst, ev...)
+		q.n -= len(ev)
+		for i := range ev {
+			ev[i] = event{}
+		}
+		q.active.ev = ev[:0]
+		q.activeUniform = false
+		return dst
+	}
+	t0 := q.active.ev[0].time
+	for q.active.Len() > 0 && q.active.ev[0].time == t0 {
+		dst = append(dst, q.active.pop())
+		q.n--
+	}
+	return dst
+}
+
+// ensureActive refills the active heap when it runs empty: advance the
+// calendar window by window, promoting ring buckets and draining
+// newly-eligible far events, or rebase the whole calendar around the
+// far tier when the ring is exhausted. Caller guarantees q.n > 0.
+func (q *calQueue) ensureActive() {
+	if q.active.Len() > 0 {
+		return
+	}
+	q.activeUniform = false
+	for {
+		if q.ringCount == 0 {
+			q.rebase()
+			return
+		}
+		q.curWin++
+		q.drainDueFar()
+		slot := q.curWin & (calBuckets - 1)
+		if len(q.ring[slot]) > 0 {
+			q.loadBucket(slot)
+		}
+		if q.active.Len() > 0 {
+			return
+		}
+	}
+}
+
+// loadBucket promotes ring bucket slot (whose window just became
+// current) into the active heap.
+func (q *calQueue) loadBucket(slot int64) {
+	b := q.ring[slot]
+	q.ringCount -= len(b)
+	if q.active.Len() == 0 {
+		// Steal the bucket's storage wholesale; the old active backing
+		// array becomes this slot's reusable buffer.
+		q.active.ev, q.ring[slot] = b, q.active.ev[:0]
+		if uniformRun(b) {
+			q.activeUniform = true
+		} else {
+			q.active.heapify()
+		}
+		return
+	}
+	// A due far event already landed in active this window; merge.
+	for i := range b {
+		q.active.push(b[i])
+		b[i] = event{}
+	}
+	q.ring[slot] = b[:0]
+}
+
+// uniformRun reports whether b is a single same-instant FIFO run:
+// every event shares b[0].time and seqs ascend. Such a slice is
+// already in final pop order.
+func uniformRun(b []event) bool {
+	for i := 1; i < len(b); i++ {
+		if b[i].time != b[0].time || b[i].seq <= b[i-1].seq {
+			return false
+		}
+	}
+	return true
+}
+
+// drainDueFar moves far-tier events whose window has come within ring
+// range (win < curWin+calBuckets) into the calendar. Called on every
+// window advance and after every rebase, which maintains the invariant
+// that the far tier only holds events beyond the ring horizon.
+func (q *calQueue) drainDueFar() {
+	if q.farCount == 0 {
+		return
+	}
+	limit := float64(q.curWin + calBuckets)
+	for g := range q.far {
+		fq := &q.far[g]
+		for fq.Len() > 0 && q.win(fq.ev[0].time) < limit {
+			e := fq.pop()
+			q.farCount--
+			q.place(e)
+		}
+	}
+}
+
+// rebase rebuilds the calendar around the far tier once the active
+// heap and ring are both empty: the epoch moves to the earliest
+// pending event and the window width adapts to the far events' span,
+// so a sparse far future (a handful of straggler completions far out)
+// doesn't spin through thousands of empty windows, while a dense one
+// spreads over up to calBuckets windows.
+func (q *calQueue) rebase() {
+	if q.farCount == 0 {
+		return
+	}
+	minT := math.Inf(1)
+	maxT := math.Inf(-1)
+	for g := range q.far {
+		fq := &q.far[g]
+		if fq.Len() == 0 {
+			continue
+		}
+		if t := fq.ev[0].time; t < minT {
+			minT = t
+		}
+		for i := range fq.ev {
+			if t := fq.ev[i].time; t > maxT {
+				maxT = t
+			}
+		}
+	}
+	target := q.farCount
+	if target > calBuckets {
+		target = calBuckets
+	}
+	width := (maxT - minT) / float64(target)
+	if !(width > 0) {
+		width = 1 // all far events share one instant (or one event)
+	}
+	q.epoch = minT
+	q.width = width
+	q.curWin = 0
+	q.drainDueFar()
+}

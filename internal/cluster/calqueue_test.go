@@ -1,0 +1,174 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+// refQueue is the trusted reference: the plain monolithic 4-ary heap
+// with a batch-pop wrapper matching calQueue's contract.
+type refQueue struct {
+	q eventQueue
+}
+
+func (r *refQueue) push(e event) { r.q.push(e) }
+func (r *refQueue) Len() int     { return r.q.Len() }
+func (r *refQueue) popBatch(dst []event) []event {
+	if r.q.Len() == 0 {
+		return dst
+	}
+	t0 := r.q.peekTime()
+	for r.q.Len() > 0 && r.q.peekTime() == t0 {
+		dst = append(dst, r.q.pop())
+	}
+	return dst
+}
+
+// TestCalQueueDifferential drives the calendar queue and the reference
+// heap with an identical randomized push/pop workload — bursts of
+// pushes with clustered, tied, and far-future times interleaved with
+// batch pops — and requires identical pop order throughout.
+func TestCalQueueDifferential(t *testing.T) {
+	for _, seed := range []uint64{1, 2, 3, 4, 5} {
+		rng := xrand.New(seed)
+		var cal calQueue
+		var ref refQueue
+		var seq uint64
+		now := 0.0
+		var calBatch, refBatch []event
+		for step := 0; step < 4000; step++ {
+			burst := int(rng.Uint64() % 8)
+			for i := 0; i < burst; i++ {
+				var dt float64
+				switch rng.Uint64() % 4 {
+				case 0: // exact tie bursts
+					dt = 1 + float64(rng.Uint64()%4)
+				case 1: // near-future continuous
+					dt = rng.Float64() * 10
+				case 2: // mid-range
+					dt = rng.Float64() * 1000
+				default: // far future
+					dt = 1000 + rng.Float64()*1e6
+				}
+				e := event{time: now + dt, seq: seq}
+				seq++
+				cal.push(e)
+				ref.push(e)
+			}
+			if cal.Len() != ref.Len() {
+				t.Fatalf("seed %d step %d: Len %d != %d", seed, step, cal.Len(), ref.Len())
+			}
+			if cal.Len() == 0 {
+				continue
+			}
+			if ct, rt := cal.peekTime(), ref.q.peekTime(); ct != rt {
+				t.Fatalf("seed %d step %d: peekTime %v != %v", seed, step, ct, rt)
+			}
+			if rng.Uint64()%3 == 0 {
+				continue // let the queue grow
+			}
+			calBatch = cal.popBatch(calBatch[:0])
+			refBatch = ref.popBatch(refBatch[:0])
+			if len(calBatch) != len(refBatch) {
+				t.Fatalf("seed %d step %d: batch size %d != %d (time %v vs %v)",
+					seed, step, len(calBatch), len(refBatch), calBatch[0].time, refBatch[0].time)
+			}
+			for i := range calBatch {
+				if calBatch[i].time != refBatch[i].time || calBatch[i].seq != refBatch[i].seq {
+					t.Fatalf("seed %d step %d: batch[%d] = %+v != %+v",
+						seed, step, i, calBatch[i], refBatch[i])
+				}
+			}
+			now = calBatch[0].time
+		}
+		// Drain both completely.
+		for cal.Len() > 0 {
+			calBatch = cal.popBatch(calBatch[:0])
+			refBatch = ref.popBatch(refBatch[:0])
+			if len(calBatch) != len(refBatch) {
+				t.Fatalf("seed %d drain: batch size %d != %d", seed, len(calBatch), len(refBatch))
+			}
+			for i := range calBatch {
+				if calBatch[i].time != refBatch[i].time || calBatch[i].seq != refBatch[i].seq {
+					t.Fatalf("seed %d drain: %+v != %+v", seed, calBatch[i], refBatch[i])
+				}
+			}
+		}
+		if ref.Len() != 0 {
+			t.Fatalf("seed %d: reference still has %d events", seed, ref.Len())
+		}
+	}
+}
+
+// TestCalQueueSameInstantBatch pins the constant-cost contract: a bulk
+// same-instant completion group comes back as one batch, in FIFO seq
+// order, however large.
+func TestCalQueueSameInstantBatch(t *testing.T) {
+	var q calQueue
+	const n = 100000
+	for i := 0; i < n; i++ {
+		q.push(event{time: 5, seq: uint64(i)})
+	}
+	q.push(event{time: 7, seq: n})
+	batch := q.popBatch(nil)
+	if len(batch) != n {
+		t.Fatalf("same-instant group split: got batch of %d, want %d", len(batch), n)
+	}
+	for i, e := range batch {
+		if e.time != 5 || e.seq != uint64(i) {
+			t.Fatalf("batch[%d] out of FIFO order: %+v", i, e)
+		}
+	}
+	batch = q.popBatch(batch[:0])
+	if len(batch) != 1 || batch[0].time != 7 {
+		t.Fatalf("trailing event wrong: %+v", batch)
+	}
+	if q.Len() != 0 {
+		t.Fatalf("queue not empty: %d", q.Len())
+	}
+}
+
+// TestCalQueueWindowEdges pushes times that land exactly on and one ULP
+// around window boundaries to verify membership decisions agree with
+// pop order.
+func TestCalQueueWindowEdges(t *testing.T) {
+	var q calQueue
+	var seq uint64
+	// Calibrate: spread events so rebase picks a width, then push
+	// boundary-hugging times.
+	for i := 0; i < 512; i++ {
+		q.push(event{time: float64(i), seq: seq})
+		seq++
+	}
+	_ = q.peekTime() // force rebase
+	base, width := q.epoch, q.width
+	for k := 1; k < 64; k++ {
+		edge := base + width*float64(k)
+		for _, tt := range []float64{
+			math.Nextafter(edge, math.Inf(-1)), edge, math.Nextafter(edge, math.Inf(1)),
+		} {
+			q.push(event{time: tt, seq: seq})
+			seq++
+		}
+	}
+	last := math.Inf(-1)
+	var lastSeq uint64
+	var batch []event
+	for q.Len() > 0 {
+		batch = q.popBatch(batch[:0])
+		for i, e := range batch {
+			if e.time < last {
+				t.Fatalf("time went backwards: %v after %v", e.time, last)
+			}
+			if e.time == last && i == 0 {
+				t.Fatalf("tie split across batches at %v", e.time)
+			}
+			if e.time == last && e.seq <= lastSeq {
+				t.Fatalf("FIFO violated at %v: seq %d after %d", e.time, e.seq, lastSeq)
+			}
+			last, lastSeq = e.time, e.seq
+		}
+	}
+}

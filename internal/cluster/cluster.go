@@ -130,8 +130,12 @@ func (q *eventQueue) pop() event {
 	q.ev[0] = q.ev[n-1]
 	q.ev[n-1] = event{} // release the Job's config reference
 	q.ev = q.ev[:n-1]
-	n--
-	i := 0
+	q.siftDown(0)
+	return root
+}
+
+func (q *eventQueue) siftDown(i int) {
+	n := len(q.ev)
 	for {
 		first := 4*i + 1
 		if first >= n {
@@ -153,7 +157,15 @@ func (q *eventQueue) pop() event {
 		q.ev[i], q.ev[best] = q.ev[best], q.ev[i]
 		i = best
 	}
-	return root
+}
+
+// heapify restores the heap property over arbitrary slice contents in
+// O(n) — used when the calendar queue promotes a whole ring bucket to
+// the active heap at once.
+func (q *eventQueue) heapify() {
+	for i := (len(q.ev) - 2) / 4; i >= 0; i-- {
+		q.siftDown(i)
+	}
 }
 
 // Sim is the discrete-event simulation backend for one scheduler over
@@ -177,12 +189,18 @@ type Sim struct {
 	preJob []workload.TrialState
 	hasPre []bool
 
-	events  eventQueue
-	nextSeq uint64
-	batch   []backend.Completion // reused Await buffer
-	now     float64
-	trace   []JobEvent
-	starts  map[int]startInfo // trialID -> in-flight job info
+	events   calQueue
+	nextSeq  uint64
+	batch    []backend.Completion // reused Await buffer
+	rawBatch []event              // reused same-instant event buffer
+	now      float64
+	trace    []JobEvent
+	// startAt/startFrom record each in-flight job's launch time and
+	// pre-job resource for the trace, indexed by trial ID and valid
+	// where hasPre is set. Dense slices like preJob/hasPre: the former
+	// map here was the last per-job map operation on the hot path.
+	startAt   []float64
+	startFrom []float64
 	// dropRate is the continuous-time drop hazard.
 	dropRate float64
 	closed   bool
@@ -194,11 +212,6 @@ type Sim struct {
 	maxR          float64
 }
 
-type startInfo struct {
-	start float64
-	from  float64
-}
-
 // New builds a simulator. Options are validated with panics; simulator
 // setups are static in the experiment harness.
 func New(sched core.Scheduler, bench *workload.Benchmark, opt Options) *Sim {
@@ -206,12 +219,11 @@ func New(sched core.Scheduler, bench *workload.Benchmark, opt Options) *Sim {
 		panic("cluster: need at least one worker")
 	}
 	s := &Sim{
-		sched:  sched,
-		bench:  bench,
-		opt:    opt,
-		rng:    xrand.New(opt.Seed ^ 0xC10C_0000_0000_0001),
-		starts: make(map[int]startInfo),
-		maxR:   bench.MaxResource(),
+		sched: sched,
+		bench: bench,
+		opt:   opt,
+		rng:   xrand.New(opt.Seed ^ 0xC10C_0000_0000_0001),
+		maxR:  bench.MaxResource(),
 	}
 	if opt.DropProb > 0 {
 		s.dropRate = -math.Log(1 - opt.DropProb)
@@ -233,6 +245,10 @@ func (s *Sim) ensureID(id int) {
 		s.trials = append(s.trials, nil)
 		s.preJob = append(s.preJob, workload.TrialState{})
 		s.hasPre = append(s.hasPre, false)
+		if s.opt.RecordTrace {
+			s.startAt = append(s.startAt, 0)
+			s.startFrom = append(s.startFrom, 0)
+		}
 	}
 }
 
@@ -303,7 +319,8 @@ func (s *Sim) Launch(job core.Job) {
 	s.preJob[job.TrialID] = t.Checkpoint()
 	s.hasPre[job.TrialID] = true
 	if s.opt.RecordTrace {
-		s.starts[job.TrialID] = startInfo{start: s.now, from: t.Resource()}
+		s.startAt[job.TrialID] = s.now
+		s.startFrom[job.TrialID] = t.Resource()
 	}
 
 	dr := job.TargetResource - t.Resource()
@@ -343,8 +360,8 @@ func (s *Sim) Launch(job core.Job) {
 // them, so same-instant completions — common on constant-cost
 // benchmarks — no longer pay a full engine round-trip each). An empty
 // batch means the clock passed MaxTime: in-flight work past the horizon
-// is discarded (and rolled back in Close). The returned slice is reused
-// across calls.
+// is discarded (rolled back — and, with RecordTrace, traced as
+// truncated — in Close). The returned slice is reused across calls.
 func (s *Sim) Await(ctx context.Context) ([]backend.Completion, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -359,9 +376,11 @@ func (s *Sim) Await(ctx context.Context) ([]backend.Completion, error) {
 		return nil, nil
 	}
 	s.now = first
+	s.rawBatch = s.events.popBatch(s.rawBatch[:0])
 	s.batch = s.batch[:0]
-	for s.events.Len() > 0 && s.events.peekTime() == first {
-		s.batch = append(s.batch, s.complete(s.events.pop()))
+	for i := range s.rawBatch {
+		s.batch = append(s.batch, s.complete(s.rawBatch[i]))
+		s.rawBatch[i] = event{} // release the Job's config reference
 	}
 	return s.batch, nil
 }
@@ -370,28 +389,19 @@ func (s *Sim) Await(ctx context.Context) ([]backend.Completion, error) {
 // trace and rolling back dropped jobs.
 func (s *Sim) complete(ev event) backend.Completion {
 	t := s.trials[ev.job.TrialID]
-	if s.opt.RecordTrace {
-		si := s.starts[ev.job.TrialID]
-		delete(s.starts, ev.job.TrialID)
-		s.trace = append(s.trace, JobEvent{
-			TrialID: ev.job.TrialID,
-			Rung:    ev.job.Rung,
-			Start:   si.start,
-			End:     ev.time,
-			From:    si.from,
-			To:      ev.job.TargetResource,
-			Failed:  ev.failed,
-		})
-	}
 	if ev.failed {
-		// All progress from the dropped job is lost.
+		// All progress from the dropped job is lost: roll back first so
+		// the trace records the resource the trial actually holds after
+		// the drop, not the target it never reached.
 		before := t.Resource()
 		t.Restore(s.preJob[ev.job.TrialID])
 		s.hasPre[ev.job.TrialID] = false
 		s.noteResource(before, t.Resource())
+		s.traceJob(ev.job.TrialID, ev.job.Rung, ev.time, t.Resource(), true)
 		return backend.Completion{Job: ev.job, Time: s.now, Failed: true}
 	}
 	s.hasPre[ev.job.TrialID] = false
+	s.traceJob(ev.job.TrialID, ev.job.Rung, ev.time, t.Resource(), false)
 	return backend.Completion{
 		Job:      ev.job,
 		Loss:     ev.loss,
@@ -401,16 +411,63 @@ func (s *Sim) complete(ev event) backend.Completion {
 	}
 }
 
+// traceJob appends one job's trace event when RecordTrace is set. to is
+// the trial's resource after the job settled (post-rollback for failed
+// jobs), so Figure 2-style charts never show resource a trial does not
+// hold.
+func (s *Sim) traceJob(id, rung int, end, to float64, failed bool) {
+	if !s.opt.RecordTrace {
+		return
+	}
+	s.trace = append(s.trace, JobEvent{
+		TrialID: id,
+		Rung:    rung,
+		Start:   s.startAt[id],
+		End:     end,
+		From:    s.startFrom[id],
+		To:      to,
+		Failed:  failed,
+	})
+}
+
 // Now implements backend.Backend on the virtual clock.
 func (s *Sim) Now() float64 { return s.now }
 
 // Close rolls back trials whose jobs were still in flight when the clock
-// stopped, so final accounting only sees completed work.
+// stopped, so final accounting only sees completed work. With
+// RecordTrace set, each truncated job also gets a trace event — End
+// pinned to the clock's final value (the MaxTime horizon when the run
+// was time-truncated) and Failed set — so jobs cut off by the horizon
+// no longer vanish from the trace. Truncated jobs are trace-only: they
+// were never reported to the scheduler, so run counters are unchanged.
 func (s *Sim) Close() error {
 	if s.closed {
 		return nil
 	}
 	s.closed = true
+	horizon := s.now
+	// Drain the remaining in-flight events so truncated trace entries
+	// come out in deterministic (time, seq) order and the event storage
+	// releases its config references.
+	for s.events.Len() > 0 {
+		s.rawBatch = s.events.popBatch(s.rawBatch[:0])
+		for i := range s.rawBatch {
+			id := s.rawBatch[i].job.TrialID
+			rung := s.rawBatch[i].job.Rung
+			s.rawBatch[i] = event{}
+			if !s.hasPre[id] {
+				continue
+			}
+			t := s.trials[id]
+			before := t.Resource()
+			t.Restore(s.preJob[id])
+			s.hasPre[id] = false
+			s.noteResource(before, t.Resource())
+			s.traceJob(id, rung, horizon, t.Resource(), true)
+		}
+	}
+	// Defensive sweep: every in-flight job has exactly one queued event,
+	// but roll back any stragglers regardless.
 	for id, has := range s.hasPre {
 		if !has {
 			continue

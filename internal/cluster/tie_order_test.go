@@ -1,0 +1,65 @@
+// Tie-order golden: pins the simulator's FIFO ordering of same-instant
+// completions across event-queue rewrites. CudaConvnet has constant
+// per-unit cost and the run uses no stragglers or drops, so every
+// worker's rung-0 job completes at the same instant and each wave is a
+// bulk exact tie; the completion order is then decided purely by the
+// (time, seq) FIFO contract. The golden digest below was generated with
+// the pre-calendar monolithic 4-ary heap and must never change without
+// an intentional, documented ordering change.
+package cluster
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// tieOrderDigest is the FNV-1a 64 digest of the completion sequence
+// (TrialID, Rung, Failed per trace event, in completion order) of the
+// scenario below, captured on the pre-rewrite monolithic heap.
+const tieOrderDigest = "63b1f5ec32fd0a23"
+
+func TestTieOrderGolden(t *testing.T) {
+	bench := workload.CudaConvnet()
+	sched := newASHA(bench, 97, 4, bench.MaxResource()/256)
+	sim := New(sched, bench, Options{Workers: 200, MaxJobs: 2000, Seed: 97, RecordTrace: true})
+	sim.Run()
+	trace := sim.Trace()
+	if len(trace) == 0 {
+		t.Fatal("no trace recorded")
+	}
+	// The first wave must be one bulk tie: all 200 initial rung-0 jobs
+	// share a constant cost and so one completion instant.
+	wave := 0
+	for _, ev := range trace {
+		if ev.End != trace[0].End {
+			break
+		}
+		wave++
+	}
+	if wave != 200 {
+		t.Fatalf("first completion wave has %d jobs, want 200 exact ties", wave)
+	}
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, ev := range trace {
+		binary.LittleEndian.PutUint64(buf[:], uint64(ev.TrialID))
+		h.Write(buf[:])
+		binary.LittleEndian.PutUint64(buf[:], uint64(ev.Rung))
+		h.Write(buf[:])
+		if ev.Failed {
+			h.Write([]byte{1})
+		} else {
+			h.Write([]byte{0})
+		}
+	}
+	got := fmt.Sprintf("%016x", h.Sum64())
+	if got != tieOrderDigest {
+		t.Fatalf("completion order diverged from the FIFO tie golden:\n got  %s\n want %s\n"+
+			"(this digest pins (time, seq) FIFO ordering of same-instant completions; "+
+			"it must be bit-identical across event-queue implementations)", got, tieOrderDigest)
+	}
+}

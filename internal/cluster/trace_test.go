@@ -1,0 +1,109 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// TestSimTraceDroppedJobResource is the regression test for the
+// dropped-job trace bug: Failed events used to record the job's
+// TargetResource as To even though the drop rolled the trial back to
+// its pre-job checkpoint, so drop-heavy Figure 2-style charts showed
+// dropped jobs training to target. Every Failed event's To must equal
+// the trial's restored resource — which is exactly the resource it
+// started the job with.
+func TestSimTraceDroppedJobResource(t *testing.T) {
+	bench := workload.PTBLSTM()
+	sched := newASHA(bench, 41, 4, 1)
+	sim := New(sched, bench, Options{
+		Workers: 50, MaxJobs: 1500, DropProb: 0.3, Seed: 41, RecordTrace: true,
+	})
+	run := sim.Run()
+	if run.FailedJobs == 0 {
+		t.Fatal("drop-heavy run produced no failed jobs")
+	}
+	trace := sim.Trace()
+	failed := 0
+	for i, ev := range trace {
+		if !ev.Failed {
+			continue
+		}
+		failed++
+		if ev.To != ev.From {
+			t.Fatalf("event %d: dropped job records To=%v but the trial was rolled back to %v: %+v",
+				i, ev.To, ev.From, ev)
+		}
+	}
+	if failed == 0 {
+		t.Fatal("no failed events in trace despite failed jobs in run")
+	}
+	// Cross-check the trace against the trials themselves: the last
+	// event for each trial must leave it at exactly the resource it
+	// holds now.
+	last := map[int]float64{}
+	for _, ev := range trace {
+		last[ev.TrialID] = ev.To
+	}
+	for id, tr := range sim.TrialsForTest() {
+		if to, ok := last[id]; ok && to != tr.Resource() {
+			t.Fatalf("trial %d: trace says resource %v, trial holds %v", id, to, tr.Resource())
+		}
+	}
+}
+
+// TestSimTraceTruncatedJobs is the regression test for the MaxTime
+// truncation bug: jobs still in flight when the horizon cut the run
+// used to vanish from the trace entirely (and leak their start
+// records). Close must emit one trace event per truncated job with End
+// pinned to the horizon and Failed set.
+func TestSimTraceTruncatedJobs(t *testing.T) {
+	bench := workload.PTBLSTM()
+	sched := newASHA(bench, 42, 4, 1)
+	const horizon = 3.0
+	sim := New(sched, bench, Options{
+		Workers: 25, MaxTime: horizon, Seed: 42, RecordTrace: true,
+	})
+	run := sim.Run()
+	trace := sim.Trace()
+	truncated := 0
+	for i, ev := range trace {
+		if ev.End > horizon {
+			t.Fatalf("event %d ends beyond the horizon: %+v", i, ev)
+		}
+		if ev.End == horizon && ev.Failed {
+			truncated++
+			if ev.To != ev.From {
+				t.Fatalf("event %d: truncated job records To=%v but the trial was rolled back to %v",
+					i, ev.To, ev.From)
+			}
+			if ev.Start >= horizon {
+				t.Fatalf("event %d: truncated job started at/after the horizon: %+v", i, ev)
+			}
+		}
+	}
+	if truncated == 0 {
+		t.Fatal("horizon landed mid-flight but no truncated events were traced")
+	}
+	if truncated > 25 {
+		t.Fatalf("%d truncated events for 25 workers: more in flight than capacity", truncated)
+	}
+	// Every job the engine saw completed is in the trace too, so the
+	// trace accounts for every launched job: reported completions plus
+	// in-flight truncations.
+	if want := run.CompletedJobs + run.FailedJobs + truncated; len(trace) != want {
+		t.Fatalf("trace has %d events, want %d (completed %d + failed %d + truncated %d)",
+			len(trace), want, run.CompletedJobs, run.FailedJobs, truncated)
+	}
+	// The rollback must also be reflected in final accounting: no trial
+	// may hold resource its last trace event says it does not have.
+	last := map[int]float64{}
+	for _, ev := range trace {
+		last[ev.TrialID] = ev.To
+	}
+	for id, tr := range sim.TrialsForTest() {
+		if to, ok := last[id]; ok && to != tr.Resource() {
+			t.Fatalf("trial %d: trace says resource %v, trial holds %v", id, to, tr.Resource())
+		}
+	}
+}

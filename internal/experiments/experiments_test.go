@@ -22,7 +22,7 @@ func smoke(t *testing.T, id string, opt Options) string {
 
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
-		"tab1", "tab2", "tab3", "speedup", "mispromote"}
+		"fig7-10x", "fig8-10x", "tab1", "tab2", "tab3", "speedup", "mispromote"}
 	have := map[string]bool{}
 	for _, id := range IDs() {
 		have[id] = true
@@ -181,5 +181,28 @@ func TestOptionsScaling(t *testing.T) {
 	}
 	if math.IsNaN(o.scale()) {
 		t.Fatal("scale NaN")
+	}
+}
+
+func TestFig7TenXSmoke(t *testing.T) {
+	out := smoke(t, "fig7-10x", Options{Trials: 1, Scale: 0.02})
+	if !strings.Contains(out, "5,000 workers") || !strings.Contains(out, "train std") {
+		t.Fatalf("fig7-10x output malformed:\n%s", out)
+	}
+}
+
+func TestFig8TenXSmoke(t *testing.T) {
+	out := smoke(t, "fig8-10x", Options{Trials: 1, Scale: 0.02})
+	if !strings.Contains(out, "5,000 workers") {
+		t.Fatalf("fig8-10x output malformed:\n%s", out)
+	}
+	// Time-to-first-R must be positive in every cell.
+	for _, line := range strings.Split(out, "\n") {
+		f := strings.Fields(line)
+		if len(f) == 3 {
+			if v, err := strconv.ParseFloat(f[1], 64); err == nil && v <= 0 {
+				t.Fatalf("nonpositive time-to-first-R in %q", line)
+			}
+		}
 	}
 }

@@ -16,6 +16,8 @@ import (
 func init() {
 	register("fig7", "Figure 7 (A.1): configurations trained to R in 2000 time units vs stragglers/drops", runFig7)
 	register("fig8", "Figure 8 (A.1): time until the first configuration trained to R vs stragglers/drops", runFig8)
+	register("fig7-10x", "Figure 7 at 10x paper scale: 5,000-worker fleets on the A.1 grid", runFig7TenX)
+	register("fig8-10x", "Figure 8 at 10x paper scale: time to first R on 5,000-worker fleets", runFig8TenX)
 }
 
 // simBenchmark builds the Appendix A.1 simulated workload: "the expected
@@ -55,11 +57,10 @@ func a1Schedulers(bench *workload.Benchmark, seed uint64) map[string]core.Schedu
 
 // a1Grid runs the straggler/drop grid. metric extracts the per-run
 // quantity that is averaged over repetitions.
-func a1Grid(opt Options, stds, drops []float64, sims int, maxTime float64, stopAtFirstR bool,
+func a1Grid(opt Options, workers int, stds, drops []float64, sims int, maxTime float64, stopAtFirstR bool,
 	metric func(run *clusterRun) float64) string {
 	var b strings.Builder
 	bench := simBenchmark()
-	workers := 25
 	for _, std := range stds {
 		fmt.Fprintf(&b, "train std: %.2f\n", std)
 		fmt.Fprintf(&b, "  %-12s %12s %12s\n", "drop prob", "ASHA", "SHA")
@@ -100,7 +101,7 @@ func runFig7(opt Options) string {
 	stds := []float64{0.10, 0.24, 0.56, 1.33}
 	drops := []float64{0, 0.0025, 0.005, 0.0075, 0.01}
 	header := "Figure 7: mean # configurations trained for R within 2000 time units\n\n"
-	return header + a1Grid(opt, stds, drops, sims, maxTime, false,
+	return header + a1Grid(opt, 25, stds, drops, sims, maxTime, false,
 		func(run *clusterRun) float64 { return float64(run.configsToR) })
 }
 
@@ -112,7 +113,40 @@ func runFig8(opt Options) string {
 	stds := []float64{0, 0.33, 0.67, 1.0, 1.33, 1.67}
 	drops := []float64{0, 0.001, 0.002, 0.003}
 	header := "Figure 8: mean time until first configuration trained for R\n\n"
-	return header + a1Grid(opt, stds, drops, sims, maxTime, true,
+	return header + a1Grid(opt, 25, stds, drops, sims, maxTime, true,
+		func(run *clusterRun) float64 {
+			if math.IsInf(run.firstRTime, 1) {
+				return run.maxTime
+			}
+			return run.firstRTime
+		})
+}
+
+// runFig7TenX repeats the Figure 7 protocol at 10x the paper's
+// large-scale regime: 5,000 workers instead of 500 (the paper's A.1
+// grid itself ran 25). The calendar event queue keeps the per-event
+// cost flat at this fleet size. The grid is thinned (2 straggler SDs,
+// 3 drop rates, 3 repetitions by default) because each cell trains
+// ~200x the paper's job volume.
+func runFig7TenX(opt Options) string {
+	sims := opt.trials(3)
+	maxTime := 2000 * opt.scale()
+	stds := []float64{0.24, 1.33}
+	drops := []float64{0, 0.005, 0.01}
+	header := "Figure 7 at 10x scale (5,000 workers): mean # configurations trained for R within 2000 time units\n\n"
+	return header + a1Grid(opt, 5000, stds, drops, sims, maxTime, false,
+		func(run *clusterRun) float64 { return float64(run.configsToR) })
+}
+
+// runFig8TenX repeats the Figure 8 time-to-first-R protocol on
+// 5,000-worker fleets.
+func runFig8TenX(opt Options) string {
+	sims := opt.trials(3)
+	maxTime := 2000 * opt.scale()
+	stds := []float64{0, 1.0, 1.67}
+	drops := []float64{0, 0.002}
+	header := "Figure 8 at 10x scale (5,000 workers): mean time until first configuration trained for R\n\n"
+	return header + a1Grid(opt, 5000, stds, drops, sims, maxTime, true,
 		func(run *clusterRun) float64 {
 			if math.IsInf(run.firstRTime, 1) {
 				return run.maxTime

@@ -64,6 +64,12 @@ func Render(series []Series, opt Options) string {
 	}
 	if opt.YMin != 0 || opt.YMax != 0 {
 		ymin, ymax = opt.YMin, opt.YMax
+	} else if opt.LogY {
+		// Pad multiplicatively: additive padding would push ymin to or
+		// below zero whenever the data spans a wide range, making every
+		// log coordinate (and axis label) undefined.
+		ymin /= 1.05
+		ymax *= 1.05
 	} else {
 		pad := (ymax - ymin) * 0.05
 		if pad == 0 {

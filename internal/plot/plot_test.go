@@ -112,3 +112,17 @@ func TestRenderClipsToExplicitRange(t *testing.T) {
 		t.Fatalf("clipped chart empty:\n%s", out)
 	}
 }
+
+func TestRenderLogYWideRange(t *testing.T) {
+	// Regression: additive y padding used to push ymin below zero on
+	// wide-range log charts, so every point and axis label became NaN.
+	out := Render([]Series{{
+		Name: "wall", X: []float64{4, 16, 64, 256}, Y: []float64{17.4, 6.5, 2.3, 0.26},
+	}}, Options{Width: 40, Height: 8, LogY: true})
+	if strings.Contains(out, "NaN") {
+		t.Fatalf("log chart rendered NaN labels:\n%s", out)
+	}
+	if !strings.Contains(out, "*") {
+		t.Fatalf("log chart rendered no points:\n%s", out)
+	}
+}
